@@ -1,0 +1,129 @@
+// Shared infrastructure for the benchmark binaries: the generated node suite
+// (the stand-in for the paper's ~2500 ACG files), a hand-written pitch-axis
+// control law, input drivers, and table formatting.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dataflow/acg.hpp"
+#include "dataflow/generator.hpp"
+#include "driver/compiler.hpp"
+#include "machine/machine.hpp"
+#include "minic/typecheck.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+
+namespace vc::bench {
+
+/// One benchmark unit: a node with its generated program (one "file").
+struct NodeBundle {
+  dataflow::Node node;
+  minic::Program program;
+  std::string step_fn;
+};
+
+inline NodeBundle bundle_node(dataflow::Node node) {
+  NodeBundle b{std::move(node), {}, {}};
+  b.program.name = b.node.name();
+  dataflow::generate_node(b.node, &b.program);
+  minic::type_check(b.program);
+  b.step_fn = dataflow::step_function_name(b.node);
+  return b;
+}
+
+/// The benchmark node suite: `count` generated nodes, fixed seed so every
+/// table in EXPERIMENTS.md is reproducible.
+inline std::vector<NodeBundle> make_suite(int count = 40,
+                                          std::uint64_t seed = 20110318) {
+  std::vector<NodeBundle> out;
+  for (auto& node : dataflow::generate_suite(seed, count))
+    out.push_back(bundle_node(std::move(node)));
+  return out;
+}
+
+/// Runs `cycles` step invocations with deterministic pseudo-random inputs;
+/// returns accumulated machine statistics.
+inline machine::ExecStats exercise(machine::Machine& m,
+                                   const NodeBundle& bundle, int cycles,
+                                   std::uint64_t seed) {
+  Rng rng(seed);
+  machine::ExecStats total;
+  const minic::Function* fn = bundle.program.find_function(bundle.step_fn);
+  const bool has_io =
+      bundle.program.find_global(dataflow::kIoBusGlobal) != nullptr;
+  for (int c = 0; c < cycles; ++c) {
+    std::vector<minic::Value> args;
+    for (const auto& p : fn->params) {
+      if (p.type == minic::Type::F64)
+        args.push_back(minic::Value::of_f64(rng.next_double(-20.0, 20.0)));
+      else
+        args.push_back(minic::Value::of_i32(
+            static_cast<std::int32_t>(rng.next_range(-2, 2))));
+    }
+    if (has_io)
+      m.write_global(dataflow::kIoBusGlobal, 0,
+                     minic::Value::of_f64(rng.next_double(-3.0, 3.0)));
+    m.call(bundle.step_fn, args, minic::Type::I32);
+    const machine::ExecStats& s = m.stats();
+    total.cycles += s.cycles;
+    total.instructions += s.instructions;
+    total.dcache_reads += s.dcache_reads;
+    total.dcache_writes += s.dcache_writes;
+    total.dcache_read_misses += s.dcache_read_misses;
+    total.dcache_write_misses += s.dcache_write_misses;
+    total.ifetch_line_misses += s.ifetch_line_misses;
+    total.taken_branches += s.taken_branches;
+  }
+  return total;
+}
+
+/// A representative hand-modelled pitch-axis control law with envelope
+/// protection (the workload class the paper's introduction describes).
+inline NodeBundle pitch_law() {
+  using dataflow::SymbolKind;
+  dataflow::Node n("pitch");
+  // Inputs: stick command, measured pitch rate, measured load factor.
+  const auto stick = n.add(SymbolKind::InputF);
+  const auto q_meas = n.add(SymbolKind::InputF);
+  const auto nz_meas = n.add(SymbolKind::InputF);
+  // Stick shaping: deadzone then lookup curve.
+  const auto dz = n.add(SymbolKind::Deadzone, {stick}, {0.05});
+  const auto shaped = n.add(
+      SymbolKind::Lookup1D, {dz}, {-1.0, 1.0},
+      {-25.0, -15.0, -8.0, -3.0, 0.0, 3.0, 8.0, 15.0, 25.0});
+  // Filter measurements.
+  const auto q_f = n.add(SymbolKind::FirstOrderLag, {q_meas}, {0.35});
+  const auto nz_f = n.add(SymbolKind::MovingAverage, {nz_meas}, {8});
+  // Command: shaped stick minus damping.
+  const auto q_gain = n.add(SymbolKind::Gain, {q_f}, {2.2});
+  const auto cmd = n.add(SymbolKind::Sub, {shaped, q_gain});
+  // Envelope protection: limit load factor between -1g and 2.5g.
+  const auto nz_hi = n.add(SymbolKind::ConstF, {}, {2.5});
+  const auto nz_lo = n.add(SymbolKind::ConstF, {}, {-1.0});
+  const auto over = n.add(SymbolKind::CmpGt, {nz_f, nz_hi});
+  const auto under = n.add(SymbolKind::CmpLt, {nz_f, nz_lo});
+  const auto viol = n.add(SymbolKind::LogicOr, {over, under});
+  const auto relax = n.add(SymbolKind::Gain, {cmd}, {0.25});
+  const auto protected_cmd = n.add(SymbolKind::Switch, {viol, relax, cmd});
+  // Integrate to elevator demand with rate limiting and saturation.
+  const auto integ = n.add(SymbolKind::Integrator, {protected_cmd},
+                           {0.02, -30.0, 30.0});
+  const auto rate = n.add(SymbolKind::RateLimiter, {integ}, {3.0, 3.0});
+  const auto elev = n.add(SymbolKind::Saturate, {rate}, {-20.0, 20.0});
+  n.add(SymbolKind::Output, {elev});
+  n.add(SymbolKind::Output, {integ});
+  return bundle_node(std::move(n));
+}
+
+inline void print_rule(int width = 78) {
+  std::puts(std::string(static_cast<std::size_t>(width), '-').c_str());
+}
+
+inline double pct_delta(double value, double reference) {
+  if (reference == 0.0) return 0.0;
+  return (value - reference) / reference * 100.0;
+}
+
+}  // namespace vc::bench

@@ -1,0 +1,85 @@
+// Micro benchmarks (google-benchmark): toolchain throughput — compilation
+// per configuration, static WCET analysis, cycle-level simulation, and the
+// translation validator. These measure the *tool*, complementing the
+// paper-table benches that measure the *generated code*.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "validate/validate.hpp"
+#include "wcet/wcet.hpp"
+
+using namespace vc;
+
+namespace {
+
+const bench::NodeBundle& medium_node() {
+  static const bench::NodeBundle bundle = [] {
+    dataflow::GeneratorOptions options;
+    options.min_blocks = 50;
+    options.max_blocks = 60;
+    return bench::bundle_node(
+        dataflow::generate_node(424242, "micro", options));
+  }();
+  return bundle;
+}
+
+void BM_CompileO0(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(driver::compile_program(
+        medium_node().program, driver::Config::O0Pattern));
+}
+BENCHMARK(BM_CompileO0);
+
+void BM_CompileVerified(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(driver::compile_program(
+        medium_node().program, driver::Config::Verified));
+}
+BENCHMARK(BM_CompileVerified);
+
+void BM_CompileO2(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(driver::compile_program(medium_node().program,
+                                                     driver::Config::O2Full));
+}
+BENCHMARK(BM_CompileO2);
+
+void BM_ValidatedCompile(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(validate::validated_compile(
+        medium_node().program, driver::Config::Verified, 4, 7));
+}
+BENCHMARK(BM_ValidatedCompile);
+
+void BM_WcetAnalysis(benchmark::State& state) {
+  const driver::Compiled compiled = driver::compile_program(
+      medium_node().program, driver::Config::Verified);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        wcet::analyze_wcet(compiled.image, medium_node().step_fn));
+}
+BENCHMARK(BM_WcetAnalysis);
+
+void BM_SimulatedStep(benchmark::State& state) {
+  const driver::Compiled compiled = driver::compile_program(
+      medium_node().program, driver::Config::Verified);
+  machine::Machine m(compiled.image);
+  const minic::Function* fn =
+      medium_node().program.find_function(medium_node().step_fn);
+  std::vector<minic::Value> args;
+  for (const auto& p : fn->params)
+    args.push_back(p.type == minic::Type::F64 ? minic::Value::of_f64(1.25)
+                                              : minic::Value::of_i32(1));
+  std::uint64_t instructions = 0;
+  for (auto _ : state) {
+    m.call(medium_node().step_fn, args, minic::Type::I32);
+    instructions += m.stats().instructions;
+  }
+  state.counters["insns/s"] = benchmark::Counter(
+      static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatedStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

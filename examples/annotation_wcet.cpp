@@ -1,0 +1,89 @@
+// The §3.4 annotation mechanism end to end: `__annot(...)` statements are
+// compiled as pro-forma effects, survive every optimization, and surface in
+// the disassembly listing at their final code addresses with their operands
+// resolved to machine registers or stack slots — exactly the information the
+// auto-generated annotation file hands to the WCET analyzer.
+//
+// Build & run:  ./build/examples/annotation_wcet
+#include <cstdio>
+
+#include "driver/compiler.hpp"
+#include "support/strings.hpp"
+#include "minic/parser.hpp"
+#include "minic/typecheck.hpp"
+#include "wcet/wcet.hpp"
+
+int main() {
+  using namespace vc;
+
+  minic::Program program = minic::parse_program(R"(
+    global f64 gains[16] = {1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16};
+
+    func f64 blend(i32 sectors, f64 x) {
+      local f64 acc;
+      local i32 i;
+      // The scheduler guarantees at most 12 active sectors: knowledge from
+      // the design level (Gebhard et al. call this "design-level
+      // information") that the analyzer cannot discover in the binary.
+      __annot("0 <= %1 <= 12", sectors);
+      acc = 0.0;
+      i = 0;
+      while (i < sectors) {
+        __annot("loop <= 12");
+        acc = acc + gains[i] * x;
+        i = i + 1;
+      }
+      return acc;
+    }
+  )",
+                                                "annot_demo");
+  minic::type_check(program);
+
+  for (driver::Config config :
+       {driver::Config::O0Pattern, driver::Config::Verified}) {
+    const driver::Compiled compiled = driver::compile_program(program, config);
+    std::printf("=== %s ===\n", driver::to_string(config).c_str());
+
+    // The annotation table that accompanies the binary (the "annotation
+    // file" of the paper, addresses + final operand locations).
+    std::puts("annotation table:");
+    for (const auto& entry : compiled.image.annotations) {
+      std::printf("  %s  \"%s\"", hex32(entry.addr).c_str(),
+                  entry.format.c_str());
+      for (const auto& loc : entry.operands)
+        std::printf("  %%i -> %s", loc.to_string().c_str());
+      std::puts("");
+    }
+
+    // WCET with and without consuming the table.
+    const wcet::WcetResult with =
+        wcet::analyze_wcet(compiled.image, "blend");
+    std::printf("WCET with annotations:    %llu cycles\n",
+                static_cast<unsigned long long>(with.wcet_cycles));
+    wcet::WcetOptions no_annots;
+    no_annots.use_annotations = false;
+    try {
+      const wcet::WcetResult without =
+          wcet::analyze_wcet(compiled.image, "blend", no_annots);
+      std::printf("WCET without annotations: %llu cycles\n",
+                  static_cast<unsigned long long>(without.wcet_cycles));
+    } catch (const wcet::WcetError& e) {
+      std::printf("WCET without annotations: %s\n", e.what());
+    }
+    std::puts("");
+  }
+
+  // Show the annotation comments embedded in the listing (§3.4's
+  // "# annotation:" assembler comments).
+  const driver::Compiled compiled =
+      driver::compile_program(program, driver::Config::Verified);
+  std::puts("=== verified disassembly (excerpt around the loop) ===");
+  const std::string listing = compiled.image.disassemble();
+  // Print the window around the first annotation comment.
+  const std::size_t pos = listing.find("# annotation");
+  const std::size_t start = listing.rfind('\n', pos > 400 ? pos - 400 : 0);
+  std::fwrite(listing.data() + (start == std::string::npos ? 0 : start), 1,
+              std::min<std::size_t>(1400, listing.size() - start), stdout);
+  std::puts("...");
+  return 0;
+}

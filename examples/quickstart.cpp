@@ -1,0 +1,74 @@
+// Quickstart: the whole toolchain in one page.
+//
+//   1. Write a mini-C function (what the qualified code generator emits).
+//   2. Compile it under the four compiler configurations of the paper.
+//   3. Run the binaries on the cycle-level machine simulator and check them
+//      against the reference interpreter.
+//   4. Compute static WCET bounds and compare configurations.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "driver/compiler.hpp"
+#include "machine/machine.hpp"
+#include "minic/interp.hpp"
+#include "minic/parser.hpp"
+#include "minic/typecheck.hpp"
+#include "wcet/wcet.hpp"
+
+int main() {
+  using namespace vc;
+
+  // 1. A small control-law kernel in mini-C.
+  minic::Program program = minic::parse_program(R"(
+    global f64 integ = 0.0;
+
+    func f64 pid_controller(f64 error, f64 rate) {
+      local f64 p;  local f64 d;
+      local f64 t1; local f64 t2; local f64 t3;
+      local f64 cmd;
+      p = error * 1.8;
+      d = rate * -0.6;
+      integ = fmin(fmax(integ + error * 0.05, -10.0), 10.0);
+      t1 = p + d;
+      t2 = t1 + integ;
+      t3 = t2 * t2 * 0.01 + t2;
+      cmd = t3 - t1 * 0.02;
+      return fmin(fmax(cmd, -25.0), 25.0);
+    }
+  )",
+                                                "quickstart");
+  minic::type_check(program);
+
+  // Reference semantics: the mini-C interpreter.
+  minic::Interpreter interp(program);
+  const minic::Value expected =
+      interp.call("pid_controller", {minic::Value::of_f64(3.5), minic::Value::of_f64(-1.0)});
+  std::printf("interpreter result:      %s\n", expected.to_string().c_str());
+
+  // 2..4. Compile, execute, analyze under each configuration.
+  std::printf("\n%-16s %10s %12s %10s %12s\n", "config", "result", "cycles",
+              "code B", "WCET bound");
+  for (driver::Config config : driver::kAllConfigs) {
+    const driver::Compiled compiled = driver::compile_program(program, config);
+
+    machine::Machine machine(compiled.image);
+    const minic::Value got = machine.call(
+        "pid_controller", {minic::Value::of_f64(3.5), minic::Value::of_f64(-1.0)}, minic::Type::F64);
+
+    const wcet::WcetResult wcet =
+        wcet::analyze_wcet(compiled.image, "pid_controller");
+
+    std::printf("%-16s %10s %12llu %10u %12llu%s\n",
+                driver::to_string(config).c_str(), got.to_string().c_str(),
+                static_cast<unsigned long long>(machine.stats().cycles),
+                compiled.image.code_size_of("pid_controller"),
+                static_cast<unsigned long long>(wcet.wcet_cycles),
+                got == expected ? "" : "   <-- MISMATCH!");
+  }
+
+  std::puts("\nNote how the verified configuration (the CompCert stand-in) "
+            "keeps locals in\nregisters: less code, fewer cycles, lower "
+            "WCET bound than the pattern baseline.");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Translation validation in action (paper §3.2/§4): compiling with every
+// pass checked, then demonstrating that an injected miscompilation — of the
+// kind a buggy optimizer would produce — is rejected before the binary could
+// ever reach an aircraft.
+//
+// Build & run:  ./build/examples/translation_validation
+#include <cstdio>
+
+#include "minic/parser.hpp"
+#include "minic/typecheck.hpp"
+#include "opt/opt.hpp"
+#include "rtl/analysis.hpp"
+#include "rtl/lower.hpp"
+#include "validate/validate.hpp"
+
+int main() {
+  using namespace vc;
+
+  minic::Program program = minic::parse_program(R"(
+    global f64 alt_hold = 0.0;
+    func f64 altitude_loop(f64 alt_error, f64 vs) {
+      local f64 p;
+      local f64 d;
+      p = alt_error * 0.12;
+      d = vs * -0.45;
+      alt_hold = fmin(fmax(alt_hold + (p + d) * 0.02, -5.0), 5.0);
+      return alt_hold;
+    }
+  )",
+                                                "tv_demo");
+  minic::type_check(program);
+
+  // 1. Validated compilation: every RTL pass is checked (symbolically for
+  //    CSE, differentially for all), and the final binary is cross-checked
+  //    against the interpreter.
+  std::puts("validated compilation of every configuration:");
+  for (driver::Config config : driver::kAllConfigs) {
+    const driver::Compiled compiled =
+        validate::validated_compile(program, config, 16, 2026);
+    std::printf("  %-16s OK  (%u bytes of code)\n",
+                driver::to_string(config).c_str(),
+                compiled.image.code_size_of("altitude_loop"));
+  }
+
+  // 2. Inject a miscompilation the way a buggy CSE might: reuse the "wrong"
+  //    available expression (p+d where p-d was needed).
+  std::puts("\ninjecting a defect into the optimizer output...");
+  rtl::Function fn = rtl::lower_function(program, program.functions[0],
+                                         rtl::LowerMode::Value);
+  rtl::remove_unreachable_blocks(fn);
+  const rtl::Function before = fn;
+  opt::common_subexpression_elimination(fn);
+
+  rtl::Function bad = fn;
+  for (auto& bb : bad.blocks) {
+    for (auto& ins : bb.instrs) {
+      if (ins.op == rtl::Opcode::Bin && ins.bin_op == minic::BinOp::FAdd) {
+        ins.bin_op = minic::BinOp::FSub;  // the "defect"
+        goto mutated;
+      }
+    }
+  }
+mutated:
+  const validate::CheckResult symbolic =
+      validate::check_structure_preserving(before, bad);
+  std::printf("  symbolic checker:     %s\n",
+              symbolic.ok ? "ACCEPTED (!!)"
+                          : ("rejected — " + symbolic.message).c_str());
+  const validate::CheckResult differential =
+      validate::differential_check(program, before, bad, 24, 7);
+  std::printf("  differential checker: %s\n",
+              differential.ok ? "ACCEPTED (!!)"
+                              : ("rejected — " + differential.message).c_str());
+
+  std::puts("\nA rejected pass aborts compilation: this is the \"verified "
+            "translation validation\"\nroute the paper discusses as the "
+            "practical path to certification credit (§4).");
+  return symbolic.ok || differential.ok ? 1 : 0;
+}

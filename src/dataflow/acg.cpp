@@ -1,0 +1,512 @@
+#include "dataflow/acg.hpp"
+
+#include <algorithm>
+
+#include "minic/typecheck.hpp"
+
+namespace vc::dataflow {
+
+using minic::BinOp;
+using minic::ExprPtr;
+using minic::StmtPtr;
+using minic::Type;
+using minic::UnOp;
+
+namespace {
+
+std::string wire_name(BlockId b) { return "w" + std::to_string(b); }
+
+class Generator {
+ public:
+  Generator(const Node& node, minic::Program* program)
+      : node_(node), program_(program) {}
+
+  void run() {
+    node_.validate();
+
+    fn_.name = step_function_name(node_);
+    fn_.has_return = false;
+
+    // Parameters in block-creation order of Input symbols.
+    for (const Block& b : node_.blocks()) {
+      if (b.kind == SymbolKind::InputF)
+        fn_.params.push_back(
+            {"in" + std::to_string(static_cast<int>(b.params[0])), Type::F64});
+      else if (b.kind == SymbolKind::InputI)
+        fn_.params.push_back(
+            {"in" + std::to_string(static_cast<int>(b.params[0])), Type::I32});
+    }
+
+    for (BlockId b = 0; b < node_.blocks().size(); ++b) emit_block(b);
+    // Deferred unit-delay state updates (feedback semantics: the state
+    // update reads the wire computed anywhere in the cycle).
+    for (auto& s : deferred_) fn_.body.push_back(std::move(s));
+
+    if (program_->find_function(fn_.name) != nullptr)
+      throw CompileError("duplicate node '" + node_.name() + "'");
+    program_->functions.push_back(std::move(fn_));
+    minic::type_check_function(*program_, program_->functions.back());
+  }
+
+ private:
+  // --- naming / declaration helpers ---------------------------------------
+
+  void ensure_io_bus() {
+    if (program_->find_global(kIoBusGlobal) == nullptr)
+      program_->globals.push_back(
+          minic::Global{kIoBusGlobal, Type::F64, 1, {0.0}});
+  }
+
+  std::string new_state(double init) {
+    const std::string name =
+        node_.name() + "_st" + std::to_string(state_count_++);
+    program_->globals.push_back(minic::Global{name, Type::F64, 1, {init}});
+    return name;
+  }
+
+  std::string new_state_i32(std::int32_t init) {
+    const std::string name =
+        node_.name() + "_st" + std::to_string(state_count_++);
+    program_->globals.push_back(
+        minic::Global{name, Type::I32, 1, {static_cast<double>(init)}});
+    return name;
+  }
+
+  std::string new_buffer(std::size_t count) {
+    const std::string name =
+        node_.name() + "_buf" + std::to_string(buf_count_++);
+    program_->globals.push_back(minic::Global{
+        name, Type::F64, count, std::vector<double>(count, 0.0)});
+    return name;
+  }
+
+  std::string new_index() {
+    const std::string name =
+        node_.name() + "_idx" + std::to_string(idx_count_++);
+    program_->globals.push_back(minic::Global{name, Type::I32, 1, {0.0}});
+    return name;
+  }
+
+  std::string new_table(const std::vector<double>& values) {
+    const std::string name =
+        node_.name() + "_tab" + std::to_string(tab_count_++);
+    program_->globals.push_back(
+        minic::Global{name, Type::F64, values.size(), values});
+    return name;
+  }
+
+  void declare_local(const std::string& name, Type t) {
+    fn_.locals.push_back({name, t});
+  }
+
+  /// Declares the wire local of block b and returns assignments to it.
+  std::string wire_of(BlockId b) {
+    const WireType wt = output_type(node_.blocks()[b].kind);
+    check(wt != WireType::None, "reading an Output block's wire");
+    return wire_name(b);
+  }
+
+  ExprPtr wire_ref(BlockId b) {
+    const WireType wt = output_type(node_.blocks()[b].kind);
+    return minic::local_ref(wire_name(b),
+                            wt == WireType::I32 ? Type::I32 : Type::F64);
+  }
+
+  void assign_wire(BlockId b, ExprPtr value) {
+    fn_.body.push_back(minic::assign_local(wire_name(b), std::move(value)));
+  }
+
+  // --- symbol patterns ------------------------------------------------------
+
+  void emit_block(BlockId id) {
+    const Block& b = node_.blocks()[id];
+    const WireType wt = output_type(b.kind);
+    if (wt != WireType::None)
+      declare_local(wire_name(id),
+                    wt == WireType::I32 ? Type::I32 : Type::F64);
+
+    auto in = [&](std::size_t pin) { return wire_ref(b.inputs[pin]); };
+    auto fbin = [&](BinOp op, std::size_t p0, std::size_t p1) {
+      return minic::binary(op, in(p0), in(p1));
+    };
+
+    switch (b.kind) {
+      case SymbolKind::InputF:
+        assign_wire(id, minic::local_ref(
+                            "in" + std::to_string(static_cast<int>(b.params[0])),
+                            Type::F64));
+        return;
+      case SymbolKind::InputI:
+        assign_wire(id, minic::local_ref(
+                            "in" + std::to_string(static_cast<int>(b.params[0])),
+                            Type::I32));
+        return;
+      case SymbolKind::ConstF:
+        assign_wire(id, minic::float_lit(b.params[0]));
+        return;
+      case SymbolKind::ConstI:
+        assign_wire(id,
+                    minic::int_lit(static_cast<std::int32_t>(b.params[0])));
+        return;
+      case SymbolKind::IoAcquire: {
+        // Hardware signal acquisition stand-in: a fixed, fully unrolled
+        // sequence of bus polls accumulated through a floating-point chain.
+        // The chain's result latency dominates in *every* configuration,
+        // reproducing the paper's observation that acquisition-bound nodes
+        // barely improve under optimization.
+        ensure_io_bus();
+        const int polls = static_cast<int>(b.params[0]);
+        assign_wire(id, minic::float_lit(0.0));
+        for (int p = 0; p < polls; ++p) {
+          fn_.body.push_back(minic::assign_local(
+              wire_name(id),
+              minic::binary(BinOp::FAdd, wire_ref(id),
+                            minic::global_ref(kIoBusGlobal, Type::F64))));
+        }
+        fn_.body.push_back(minic::assign_local(
+            wire_name(id),
+            minic::binary(BinOp::FDiv, wire_ref(id),
+                          minic::float_lit(static_cast<double>(polls)))));
+        return;
+      }
+      case SymbolKind::Add:
+        assign_wire(id, fbin(BinOp::FAdd, 0, 1));
+        return;
+      case SymbolKind::Sub:
+        assign_wire(id, fbin(BinOp::FSub, 0, 1));
+        return;
+      case SymbolKind::Mul:
+        assign_wire(id, fbin(BinOp::FMul, 0, 1));
+        return;
+      case SymbolKind::DivSafe:
+        assign_wire(
+            id, minic::binary(
+                    BinOp::FDiv, in(0),
+                    minic::binary(BinOp::FAdd,
+                                  minic::unary(UnOp::FAbs, in(1)),
+                                  minic::float_lit(b.params[0]))));
+        return;
+      case SymbolKind::Gain:
+        assign_wire(id, minic::binary(BinOp::FMul,
+                                      minic::float_lit(b.params[0]), in(0)));
+        return;
+      case SymbolKind::Bias:
+        assign_wire(id, minic::binary(BinOp::FAdd, in(0),
+                                      minic::float_lit(b.params[0])));
+        return;
+      case SymbolKind::Abs:
+        assign_wire(id, minic::unary(UnOp::FAbs, in(0)));
+        return;
+      case SymbolKind::Neg:
+        assign_wire(id, minic::unary(UnOp::FNeg, in(0)));
+        return;
+      case SymbolKind::Min:
+        assign_wire(id, fbin(BinOp::FMin, 0, 1));
+        return;
+      case SymbolKind::Max:
+        assign_wire(id, fbin(BinOp::FMax, 0, 1));
+        return;
+      case SymbolKind::Saturate:
+        assign_wire(
+            id, minic::binary(
+                    BinOp::FMin,
+                    minic::binary(BinOp::FMax, in(0),
+                                  minic::float_lit(b.params[0])),
+                    minic::float_lit(b.params[1])));
+        return;
+      case SymbolKind::Deadzone:
+        assign_wire(
+            id, minic::select(
+                    minic::binary(BinOp::FCmpLe,
+                                  minic::unary(UnOp::FAbs, in(0)),
+                                  minic::float_lit(b.params[0])),
+                    minic::float_lit(0.0), in(0)));
+        return;
+      case SymbolKind::CmpGt:
+        assign_wire(id, fbin(BinOp::FCmpGt, 0, 1));
+        return;
+      case SymbolKind::CmpLt:
+        assign_wire(id, fbin(BinOp::FCmpLt, 0, 1));
+        return;
+      case SymbolKind::LogicAnd:
+        assign_wire(id, fbin(BinOp::IAnd, 0, 1));
+        return;
+      case SymbolKind::LogicOr:
+        assign_wire(id, fbin(BinOp::IOr, 0, 1));
+        return;
+      case SymbolKind::LogicNot:
+        assign_wire(id, minic::unary(UnOp::LNot, in(0)));
+        return;
+      case SymbolKind::Switch:
+        assign_wire(id, minic::select(in(0), in(1), in(2)));
+        return;
+      case SymbolKind::UnitDelay: {
+        const std::string st = new_state(0.0);
+        assign_wire(id, minic::global_ref(st, Type::F64));
+        // Deferred: the input wire may be produced later in the cycle.
+        deferred_.push_back(minic::assign_global(
+            st, minic::local_ref(wire_name(b.inputs[0]), Type::F64)));
+        return;
+      }
+      case SymbolKind::FirstOrderLag: {
+        const std::string st = new_state(0.0);
+        const double a = b.params[0];
+        // st = a*x + (1-a)*st; w = st;
+        fn_.body.push_back(minic::assign_global(
+            st, minic::binary(
+                    BinOp::FAdd,
+                    minic::binary(BinOp::FMul, minic::float_lit(a), in(0)),
+                    minic::binary(BinOp::FMul, minic::float_lit(1.0 - a),
+                                  minic::global_ref(st, Type::F64)))));
+        assign_wire(id, minic::global_ref(st, Type::F64));
+        return;
+      }
+      case SymbolKind::Integrator: {
+        const std::string st = new_state(0.0);
+        const double dt = b.params[0];
+        // st = min(max(st + x*dt, lo), hi); w = st;
+        fn_.body.push_back(minic::assign_global(
+            st,
+            minic::binary(
+                BinOp::FMin,
+                minic::binary(
+                    BinOp::FMax,
+                    minic::binary(BinOp::FAdd,
+                                  minic::global_ref(st, Type::F64),
+                                  minic::binary(BinOp::FMul, in(0),
+                                                minic::float_lit(dt))),
+                    minic::float_lit(b.params[1])),
+                minic::float_lit(b.params[2]))));
+        assign_wire(id, minic::global_ref(st, Type::F64));
+        return;
+      }
+      case SymbolKind::RateLimiter: {
+        const std::string st = new_state(0.0);
+        const std::string d = "d" + std::to_string(id);
+        declare_local(d, Type::F64);
+        // d = clamp(x - st, -down, up); st = st + d; w = st;
+        fn_.body.push_back(minic::assign_local(
+            d, minic::binary(BinOp::FSub, in(0),
+                             minic::global_ref(st, Type::F64))));
+        fn_.body.push_back(minic::assign_local(
+            d, minic::binary(
+                   BinOp::FMin,
+                   minic::binary(BinOp::FMax, minic::local_ref(d, Type::F64),
+                                 minic::float_lit(-b.params[1])),
+                   minic::float_lit(b.params[0]))));
+        fn_.body.push_back(minic::assign_global(
+            st, minic::binary(BinOp::FAdd, minic::global_ref(st, Type::F64),
+                              minic::local_ref(d, Type::F64))));
+        assign_wire(id, minic::global_ref(st, Type::F64));
+        return;
+      }
+      case SymbolKind::MovingAverage: {
+        const int window = static_cast<int>(b.params[0]);
+        const std::string buf = new_buffer(static_cast<std::size_t>(window));
+        const std::string idx = new_index();
+        const std::string acc = "acc" + std::to_string(id);
+        const std::string counter = "mi" + std::to_string(id);
+        declare_local(acc, Type::F64);
+        declare_local(counter, Type::I32);
+        // buf[idx] = x;
+        fn_.body.push_back(minic::assign_element(
+            buf, minic::global_ref(idx, Type::I32), in(0)));
+        // idx = (idx + 1 == W) ? 0 : idx + 1;
+        fn_.body.push_back(minic::assign_global(
+            idx, minic::select(
+                     minic::binary(
+                         BinOp::ICmpEq,
+                         minic::binary(BinOp::IAdd,
+                                       minic::global_ref(idx, Type::I32),
+                                       minic::int_lit(1)),
+                         minic::int_lit(window)),
+                     minic::int_lit(0),
+                     minic::binary(BinOp::IAdd,
+                                   minic::global_ref(idx, Type::I32),
+                                   minic::int_lit(1)))));
+        // acc = 0; for (mi = 0; mi < W; ++mi) acc += buf[mi];
+        fn_.body.push_back(minic::assign_local(acc, minic::float_lit(0.0)));
+        std::vector<StmtPtr> body;
+        body.push_back(minic::assign_local(
+            acc, minic::binary(
+                     BinOp::FAdd, minic::local_ref(acc, Type::F64),
+                     minic::index_ref(buf, minic::local_ref(counter, Type::I32),
+                                      Type::F64))));
+        fn_.body.push_back(minic::for_stmt(counter, minic::int_lit(0),
+                                           minic::int_lit(window),
+                                           std::move(body)));
+        assign_wire(id, minic::binary(
+                            BinOp::FDiv, minic::local_ref(acc, Type::F64),
+                            minic::float_lit(static_cast<double>(window))));
+        return;
+      }
+      case SymbolKind::Biquad: {
+        // Direct form II transposed:
+        //   w  = b0*x + s1
+        //   s1 = b1*x - a1*w + s2
+        //   s2 = b2*x - a2*w
+        const std::string s1 = new_state(0.0);
+        const std::string s2 = new_state(0.0);
+        const double b0 = b.params[0];
+        const double b1 = b.params[1];
+        const double b2 = b.params[2];
+        const double a1 = b.params[3];
+        const double a2 = b.params[4];
+        assign_wire(id, minic::binary(
+                            BinOp::FAdd,
+                            minic::binary(BinOp::FMul, minic::float_lit(b0),
+                                          in(0)),
+                            minic::global_ref(s1, Type::F64)));
+        fn_.body.push_back(minic::assign_global(
+            s1,
+            minic::binary(
+                BinOp::FAdd,
+                minic::binary(
+                    BinOp::FSub,
+                    minic::binary(BinOp::FMul, minic::float_lit(b1), in(0)),
+                    minic::binary(BinOp::FMul, minic::float_lit(a1),
+                                  wire_ref(id))),
+                minic::global_ref(s2, Type::F64))));
+        fn_.body.push_back(minic::assign_global(
+            s2, minic::binary(
+                    BinOp::FSub,
+                    minic::binary(BinOp::FMul, minic::float_lit(b2), in(0)),
+                    minic::binary(BinOp::FMul, minic::float_lit(a2),
+                                  wire_ref(id)))));
+        return;
+      }
+      case SymbolKind::Hysteresis: {
+        // st = x > hi ? 1.0 : (x < lo ? 0.0 : st); w = st > 0.5;
+        const std::string st = new_state(0.0);
+        fn_.body.push_back(minic::assign_global(
+            st, minic::select(
+                    minic::binary(BinOp::FCmpGt, in(0),
+                                  minic::float_lit(b.params[1])),
+                    minic::float_lit(1.0),
+                    minic::select(
+                        minic::binary(BinOp::FCmpLt, in(0),
+                                      minic::float_lit(b.params[0])),
+                        minic::float_lit(0.0),
+                        minic::global_ref(st, Type::F64)))));
+        assign_wire(id,
+                    minic::binary(BinOp::FCmpGt,
+                                  minic::global_ref(st, Type::F64),
+                                  minic::float_lit(0.5)));
+        return;
+      }
+      case SymbolKind::Debounce: {
+        // c = cond != 0 ? c + 1 : 0; c = c > N ? N : c; w = c >= N;
+        const std::string c = new_state_i32(0);
+        const int n = static_cast<int>(b.params[0]);
+        fn_.body.push_back(minic::assign_global(
+            c, minic::select(
+                   minic::binary(BinOp::ICmpNe, in(0), minic::int_lit(0)),
+                   minic::binary(BinOp::IAdd,
+                                 minic::global_ref(c, Type::I32),
+                                 minic::int_lit(1)),
+                   minic::int_lit(0))));
+        fn_.body.push_back(minic::assign_global(
+            c, minic::select(minic::binary(BinOp::ICmpGt,
+                                           minic::global_ref(c, Type::I32),
+                                           minic::int_lit(n)),
+                             minic::int_lit(n),
+                             minic::global_ref(c, Type::I32))));
+        assign_wire(id, minic::binary(BinOp::ICmpGe,
+                                      minic::global_ref(c, Type::I32),
+                                      minic::int_lit(n)));
+        return;
+      }
+      case SymbolKind::Lookup1D: {
+        const std::string tab = new_table(b.table);
+        const int n = static_cast<int>(b.table.size());
+        const double x0 = b.params[0];
+        const double x1 = b.params[1];
+        const double inv_step = (n - 1) / (x1 - x0);
+        const std::string t = "t" + std::to_string(id);
+        const std::string k = "k" + std::to_string(id);
+        const std::string f = "f" + std::to_string(id);
+        declare_local(t, Type::F64);
+        declare_local(k, Type::I32);
+        declare_local(f, Type::F64);
+        auto tl = [&] { return minic::local_ref(t, Type::F64); };
+        auto kl = [&] { return minic::local_ref(k, Type::I32); };
+        // t = (x - x0) * inv_step;
+        fn_.body.push_back(minic::assign_local(
+            t, minic::binary(BinOp::FMul,
+                             minic::binary(BinOp::FSub, in(0),
+                                           minic::float_lit(x0)),
+                             minic::float_lit(inv_step))));
+        // k = clamp((i32) t, 0, n-2);  __annot("0 <= %1 <= n-2", k);
+        fn_.body.push_back(
+            minic::assign_local(k, minic::unary(UnOp::F2I, tl())));
+        fn_.body.push_back(minic::assign_local(
+            k, minic::select(minic::binary(BinOp::ICmpLt, kl(),
+                                           minic::int_lit(0)),
+                             minic::int_lit(0), kl())));
+        fn_.body.push_back(minic::assign_local(
+            k, minic::select(minic::binary(BinOp::ICmpGt, kl(),
+                                           minic::int_lit(n - 2)),
+                             minic::int_lit(n - 2), kl())));
+        std::vector<minic::ExprPtr> annot_args;
+        annot_args.push_back(kl());
+        fn_.body.push_back(minic::annot_stmt(
+            "0 <= %1 <= " + std::to_string(n - 2), std::move(annot_args)));
+        // f = t - (f64) k;
+        fn_.body.push_back(minic::assign_local(
+            f, minic::binary(BinOp::FSub, tl(),
+                             minic::unary(UnOp::I2F, kl()))));
+        // w = tab[k] + (tab[k+1] - tab[k]) * f;
+        auto tab_at = [&](ExprPtr index) {
+          return minic::index_ref(tab, std::move(index), Type::F64);
+        };
+        assign_wire(
+            id,
+            minic::binary(
+                BinOp::FAdd, tab_at(kl()),
+                minic::binary(
+                    BinOp::FMul,
+                    minic::binary(BinOp::FSub,
+                                  tab_at(minic::binary(BinOp::IAdd, kl(),
+                                                       minic::int_lit(1))),
+                                  tab_at(kl())),
+                    minic::local_ref(f, Type::F64))));
+        return;
+      }
+      case SymbolKind::Output: {
+        const std::string name =
+            output_global(node_, static_cast<int>(b.params[0]));
+        if (program_->find_global(name) == nullptr)
+          program_->globals.push_back(
+              minic::Global{name, Type::F64, 1, {0.0}});
+        fn_.body.push_back(minic::assign_global(name, in(0)));
+        return;
+      }
+    }
+    throw InternalError("bad SymbolKind in ACG");
+  }
+
+  const Node& node_;
+  minic::Program* program_;
+  minic::Function fn_;
+  std::vector<StmtPtr> deferred_;
+  int state_count_ = 0;
+  int buf_count_ = 0;
+  int idx_count_ = 0;
+  int tab_count_ = 0;
+};
+
+}  // namespace
+
+std::string step_function_name(const Node& node) {
+  return node.name() + "_step";
+}
+
+std::string output_global(const Node& node, int index) {
+  return node.name() + "_out" + std::to_string(index);
+}
+
+void generate_node(const Node& node, minic::Program* program) {
+  Generator(node, program).run();
+}
+
+}  // namespace vc::dataflow

@@ -1,0 +1,33 @@
+// The qualified Automatic Code Generator (ACG) stand-in (paper §2.1).
+//
+// Each node becomes one mini-C step function `<node>_step(in0, ...)` made of
+// fixed per-symbol statement patterns, exactly in block order, with one local
+// wire variable per block — the code shape whose per-symbol loads/stores the
+// paper's experiment is about. State cells, ring buffers, lookup tables and
+// node outputs become globals named `<node>_st<i>`, `<node>_buf<i>`,
+// `<node>_tab<i>`, `<node>_out<k>`.
+//
+// The ACG is also the "automatic annotation generator" (§2.2): all generated
+// loops are constant-bound counted loops, for which lowering emits
+// `loop <= N` annotations automatically.
+#pragma once
+
+#include "dataflow/node.hpp"
+#include "minic/ast.hpp"
+
+namespace vc::dataflow {
+
+/// The shared I/O bus word read by IoAcquire symbols.
+inline constexpr const char* kIoBusGlobal = "io_bus";
+
+/// Appends the node's globals and step function to `program`. Declares the
+/// io_bus global on first use. The node must validate().
+void generate_node(const Node& node, minic::Program* program);
+
+/// Name of the generated step function.
+std::string step_function_name(const Node& node);
+
+/// Name of the global holding output `index` of the node.
+std::string output_global(const Node& node, int index);
+
+}  // namespace vc::dataflow

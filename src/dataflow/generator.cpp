@@ -1,0 +1,254 @@
+#include "dataflow/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/rng.hpp"
+
+namespace vc::dataflow {
+namespace {
+
+class NodeBuilder {
+ public:
+  NodeBuilder(std::uint64_t seed, const std::string& name,
+              const GeneratorOptions& options)
+      : rng_(seed), node_(name), options_(options) {}
+
+  Node build() {
+    // Inputs.
+    const int n_f_inputs =
+        static_cast<int>(rng_.next_range(1, options_.max_inputs));
+    for (int i = 0; i < n_f_inputs; ++i)
+      f_wires_.push_back(node_.add(SymbolKind::InputF));
+    if (rng_.next_bool(0.4))
+      i_wires_.push_back(node_.add(SymbolKind::InputI));
+
+    // A couple of constants to combine with.
+    f_wires_.push_back(node_.add(SymbolKind::ConstF, {},
+                                 {rng_.next_double(-8.0, 8.0)}));
+
+    // Acquisition-bound nodes front-load a heavy I/O poll.
+    if (rng_.next_bool(options_.p_io_node)) {
+      f_wires_.push_back(node_.add(
+          SymbolKind::IoAcquire, {},
+          {static_cast<double>(rng_.next_range(16, 48))}));
+    }
+
+    // Optional feedback: a unit delay whose input is connected at the end.
+    BlockId feedback_delay = kNoBlock;
+    if (rng_.next_bool(options_.p_feedback)) {
+      feedback_delay = node_.add(SymbolKind::UnitDelay);
+      f_wires_.push_back(feedback_delay);
+    }
+
+    const int target =
+        static_cast<int>(rng_.next_range(options_.min_blocks,
+                                         options_.max_blocks));
+    while (static_cast<int>(node_.blocks().size()) < target) {
+      add_random_block();
+      // Publish a fraction of the intermediate flows as inter-node signals
+      // (SCADE flows consumed by other nodes are written to global buffers
+      // in every configuration — incompressible traffic).
+      if (rng_.next_bool(0.12)) node_.add(SymbolKind::Output, {pick_f(true)});
+    }
+
+    // Outputs read late wires (prefer recently produced values).
+    const int n_outputs =
+        static_cast<int>(rng_.next_range(1, options_.max_outputs));
+    for (int i = 0; i < n_outputs; ++i)
+      node_.add(SymbolKind::Output, {pick_f(/*prefer_late=*/true)});
+
+    if (feedback_delay != kNoBlock)
+      node_.connect_feedback(feedback_delay, pick_f(true));
+
+    node_.validate();
+    return std::move(node_);
+  }
+
+ private:
+  BlockId pick_f(bool prefer_late = false) {
+    check(!f_wires_.empty(), "no f64 wires");
+    if (prefer_late && f_wires_.size() > 4) {
+      const std::size_t lo = f_wires_.size() / 2;
+      return f_wires_[lo + rng_.next_below(f_wires_.size() - lo)];
+    }
+    return f_wires_[rng_.next_below(f_wires_.size())];
+  }
+
+  BlockId pick_i() {
+    if (i_wires_.empty()) {
+      // Materialize a boolean from a comparison.
+      i_wires_.push_back(
+          node_.add(SymbolKind::CmpGt, {pick_f(), pick_f()}));
+    }
+    return i_wires_[rng_.next_below(i_wires_.size())];
+  }
+
+  // Symbol histogram calibrated against the paper's Table 1 / §3.3 ratios:
+  // flight-control nodes are dominated by *incompressible* symbols —
+  // saturations and selections (compare/branch diamonds), stateful filters
+  // (global state traffic), logic — with pure arithmetic chains (the only
+  // code register allocation fully collapses) a minority. A heavier
+  // arithmetic share exaggerates the optimized-vs-pattern gap far beyond
+  // the paper's measurements (see EXPERIMENTS.md, calibration notes).
+  void add_random_block() {
+    const double roll = rng_.next_unit();
+    BlockId id = kNoBlock;
+    if (roll < 0.18) {
+      // Plain arithmetic.
+      switch (rng_.next_below(5)) {
+        case 0: id = node_.add(SymbolKind::Add, {pick_f(), pick_f()}); break;
+        case 1: id = node_.add(SymbolKind::Sub, {pick_f(), pick_f()}); break;
+        case 2: id = node_.add(SymbolKind::Mul, {pick_f(), pick_f()}); break;
+        case 3:
+          id = node_.add(SymbolKind::Gain, {pick_f()},
+                         {rng_.next_double(-4.0, 4.0)});
+          break;
+        default:
+          id = node_.add(SymbolKind::Bias, {pick_f()},
+                         {rng_.next_double(-10.0, 10.0)});
+          break;
+      }
+    } else if (roll < 0.44) {
+      // Shaping: saturation, abs, neg, min/max, deadzone.
+      switch (rng_.next_below(5)) {
+        case 0: {
+          const double lo = rng_.next_double(-60.0, 0.0);
+          id = node_.add(SymbolKind::Saturate, {pick_f()},
+                         {lo, lo + rng_.next_double(1.0, 80.0)});
+          break;
+        }
+        case 1: id = node_.add(SymbolKind::Abs, {pick_f()}); break;
+        case 2: id = node_.add(SymbolKind::Neg, {pick_f()}); break;
+        case 3: id = node_.add(SymbolKind::Min, {pick_f(), pick_f()}); break;
+        default:
+          id = node_.add(SymbolKind::Deadzone, {pick_f()},
+                         {rng_.next_double(0.05, 1.5)});
+          break;
+      }
+    } else if (roll < 0.60) {
+      // Logic and selection (compare/branch diamonds).
+      switch (rng_.next_below(4)) {
+        case 0: {
+          const BlockId c = node_.add(
+              rng_.next_bool() ? SymbolKind::CmpGt : SymbolKind::CmpLt,
+              {pick_f(), pick_f()});
+          i_wires_.push_back(c);
+          return;
+        }
+        case 1: {
+          const BlockId c = node_.add(
+              rng_.next_bool() ? SymbolKind::LogicAnd : SymbolKind::LogicOr,
+              {pick_i(), pick_i()});
+          i_wires_.push_back(c);
+          return;
+        }
+        case 2: {
+          const BlockId c = node_.add(SymbolKind::LogicNot, {pick_i()});
+          i_wires_.push_back(c);
+          return;
+        }
+        default:
+          id = node_.add(SymbolKind::Switch, {pick_i(), pick_f(), pick_f()});
+          break;
+      }
+    } else if (roll < 0.93) {
+      // Stateful filters (incompressible global state traffic).
+      switch (rng_.next_below(7)) {
+        case 0: {
+          const BlockId d = node_.add(SymbolKind::UnitDelay, {pick_f()});
+          id = d;
+          break;
+        }
+        case 1:
+          id = node_.add(SymbolKind::FirstOrderLag, {pick_f()},
+                         {rng_.next_double(0.05, 1.0)});
+          break;
+        case 2:
+          id = node_.add(SymbolKind::Integrator, {pick_f()},
+                         {rng_.next_double(0.005, 0.05), -100.0, 100.0});
+          break;
+        case 3:
+          id = node_.add(SymbolKind::RateLimiter, {pick_f()},
+                         {rng_.next_double(0.1, 5.0),
+                          rng_.next_double(0.1, 5.0)});
+          break;
+        case 4: {
+          // A gentle low-pass biquad (coefficients kept small for
+          // numerical stability over long runs).
+          const double b0 = rng_.next_double(0.05, 0.3);
+          id = node_.add(SymbolKind::Biquad, {pick_f()},
+                         {b0, b0 * 2.0, b0, rng_.next_double(-0.6, 0.0),
+                          rng_.next_double(0.0, 0.3)});
+          break;
+        }
+        case 5: {
+          const double lo = rng_.next_double(-10.0, 0.0);
+          const BlockId h = node_.add(
+              SymbolKind::Hysteresis, {pick_f()},
+              {lo, lo + rng_.next_double(0.5, 8.0)});
+          i_wires_.push_back(h);
+          return;
+        }
+        default: {
+          const BlockId d = node_.add(
+              SymbolKind::Debounce, {pick_i()},
+              {static_cast<double>(rng_.next_range(2, 8))});
+          i_wires_.push_back(d);
+          return;
+        }
+      }
+    } else if (roll < 0.96) {
+      // Division with a safe denominator.
+      id = node_.add(SymbolKind::DivSafe, {pick_f(), pick_f()},
+                     {rng_.next_double(0.5, 4.0)});
+    } else if (roll < 0.985) {
+      id = node_.add(SymbolKind::MovingAverage, {pick_f()},
+                     {static_cast<double>(rng_.next_range(4, 12))});
+    } else {
+      // Lookup table with a smooth random shape.
+      const int n = static_cast<int>(rng_.next_range(8, 33));
+      std::vector<double> table;
+      double v = rng_.next_double(-5.0, 5.0);
+      for (int i = 0; i < n; ++i) {
+        v += rng_.next_double(-1.0, 1.0);
+        table.push_back(v);
+      }
+      const double x0 = rng_.next_double(-20.0, 0.0);
+      id = node_.add(SymbolKind::Lookup1D, {pick_f()},
+                     {x0, x0 + rng_.next_double(5.0, 40.0)}, table);
+    }
+    if (id != kNoBlock) f_wires_.push_back(id);
+  }
+
+  Rng rng_;
+  Node node_;
+  GeneratorOptions options_;
+  std::vector<BlockId> f_wires_;
+  std::vector<BlockId> i_wires_;
+};
+
+}  // namespace
+
+Node generate_node(std::uint64_t seed, const std::string& name,
+                   const GeneratorOptions& options) {
+  return NodeBuilder(seed, name, options).build();
+}
+
+std::vector<Node> generate_suite(std::uint64_t seed, int count,
+                                 const std::string& prefix) {
+  std::vector<Node> nodes;
+  Rng rng(seed);
+  for (int i = 0; i < count; ++i) {
+    GeneratorOptions options;
+    // Spread node sizes: small glue nodes up to large control laws.
+    options.min_blocks = static_cast<int>(rng.next_range(10, 30));
+    options.max_blocks =
+        options.min_blocks + static_cast<int>(rng.next_range(5, 90));
+    nodes.push_back(generate_node(rng.next_u64(),
+                                  prefix + std::to_string(i), options));
+  }
+  return nodes;
+}
+
+}  // namespace vc::dataflow

@@ -1,0 +1,34 @@
+// Seeded random node generator: the stand-in for the paper's ~2500 generated
+// flight-control files. Produces nodes with realistic symbol histograms
+// (mostly small arithmetic symbols, some saturations/logic, a few stateful
+// filters and delays, occasional loops via moving averages and lookup
+// tables, and rare I/O-acquisition-bound nodes that improve little under
+// optimization — the spread visible in the paper's Figure 2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dataflow/node.hpp"
+
+namespace vc::dataflow {
+
+struct GeneratorOptions {
+  int min_blocks = 12;
+  int max_blocks = 90;
+  double p_io_node = 0.10;     // probability a node is acquisition-bound
+  double p_feedback = 0.5;     // probability of a unit-delay feedback loop
+  int max_inputs = 4;
+  int max_outputs = 3;
+};
+
+/// Deterministically generates one valid node from `seed`.
+Node generate_node(std::uint64_t seed, const std::string& name,
+                   const GeneratorOptions& options = {});
+
+/// Generates `count` nodes named <prefix>0..<prefix>(count-1) with varied
+/// sizes, deterministically from `seed`.
+std::vector<Node> generate_suite(std::uint64_t seed, int count,
+                                 const std::string& prefix = "node");
+
+}  // namespace vc::dataflow

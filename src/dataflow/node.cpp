@@ -1,0 +1,227 @@
+#include "dataflow/node.hpp"
+
+#include <set>
+
+namespace vc::dataflow {
+
+std::string to_string(SymbolKind kind) {
+  switch (kind) {
+    case SymbolKind::InputF: return "InputF";
+    case SymbolKind::InputI: return "InputI";
+    case SymbolKind::ConstF: return "ConstF";
+    case SymbolKind::ConstI: return "ConstI";
+    case SymbolKind::IoAcquire: return "IoAcquire";
+    case SymbolKind::Add: return "Add";
+    case SymbolKind::Sub: return "Sub";
+    case SymbolKind::Mul: return "Mul";
+    case SymbolKind::DivSafe: return "DivSafe";
+    case SymbolKind::Gain: return "Gain";
+    case SymbolKind::Bias: return "Bias";
+    case SymbolKind::Abs: return "Abs";
+    case SymbolKind::Neg: return "Neg";
+    case SymbolKind::Min: return "Min";
+    case SymbolKind::Max: return "Max";
+    case SymbolKind::Saturate: return "Saturate";
+    case SymbolKind::Deadzone: return "Deadzone";
+    case SymbolKind::CmpGt: return "CmpGt";
+    case SymbolKind::CmpLt: return "CmpLt";
+    case SymbolKind::LogicAnd: return "LogicAnd";
+    case SymbolKind::LogicOr: return "LogicOr";
+    case SymbolKind::LogicNot: return "LogicNot";
+    case SymbolKind::Switch: return "Switch";
+    case SymbolKind::UnitDelay: return "UnitDelay";
+    case SymbolKind::FirstOrderLag: return "FirstOrderLag";
+    case SymbolKind::Integrator: return "Integrator";
+    case SymbolKind::RateLimiter: return "RateLimiter";
+    case SymbolKind::MovingAverage: return "MovingAverage";
+    case SymbolKind::Biquad: return "Biquad";
+    case SymbolKind::Hysteresis: return "Hysteresis";
+    case SymbolKind::Debounce: return "Debounce";
+    case SymbolKind::Lookup1D: return "Lookup1D";
+    case SymbolKind::Output: return "Output";
+  }
+  throw InternalError("bad SymbolKind");
+}
+
+WireType output_type(SymbolKind kind) {
+  switch (kind) {
+    case SymbolKind::InputI:
+    case SymbolKind::ConstI:
+    case SymbolKind::CmpGt:
+    case SymbolKind::CmpLt:
+    case SymbolKind::LogicAnd:
+    case SymbolKind::LogicOr:
+    case SymbolKind::LogicNot:
+    case SymbolKind::Hysteresis:
+    case SymbolKind::Debounce:
+      return WireType::I32;
+    case SymbolKind::Output:
+      return WireType::None;
+    default:
+      return WireType::F64;
+  }
+}
+
+std::size_t Node::arity(SymbolKind kind) {
+  switch (kind) {
+    case SymbolKind::InputF:
+    case SymbolKind::InputI:
+    case SymbolKind::ConstF:
+    case SymbolKind::ConstI:
+    case SymbolKind::IoAcquire:
+      return 0;
+    case SymbolKind::Add:
+    case SymbolKind::Sub:
+    case SymbolKind::Mul:
+    case SymbolKind::DivSafe:
+    case SymbolKind::Min:
+    case SymbolKind::Max:
+    case SymbolKind::CmpGt:
+    case SymbolKind::CmpLt:
+    case SymbolKind::LogicAnd:
+    case SymbolKind::LogicOr:
+      return 2;
+    case SymbolKind::Switch:
+      return 3;
+    default:
+      return 1;
+  }
+}
+
+WireType Node::input_type(SymbolKind kind, std::size_t pin) {
+  switch (kind) {
+    case SymbolKind::LogicAnd:
+    case SymbolKind::LogicOr:
+    case SymbolKind::LogicNot:
+    case SymbolKind::Debounce:
+      return WireType::I32;
+    case SymbolKind::Switch:
+      return pin == 0 ? WireType::I32 : WireType::F64;
+    default:
+      return WireType::F64;
+  }
+}
+
+BlockId Node::add(SymbolKind kind, std::vector<BlockId> inputs,
+                  std::vector<double> params, std::vector<double> table) {
+  Block b;
+  b.kind = kind;
+  b.inputs = std::move(inputs);
+  b.params = std::move(params);
+  b.table = std::move(table);
+  // Allow deferred feedback connection for single-input stateful symbols.
+  if (b.inputs.empty() && arity(kind) == 1) b.inputs.assign(1, kNoBlock);
+  if (kind == SymbolKind::InputF) {
+    b.params.assign(1, static_cast<double>(input_count_ + int_input_count_));
+    ++input_count_;
+  } else if (kind == SymbolKind::InputI) {
+    b.params.assign(1, static_cast<double>(input_count_ + int_input_count_));
+    ++int_input_count_;
+  } else if (kind == SymbolKind::Output) {
+    b.params.assign(1, static_cast<double>(output_count_));
+    ++output_count_;
+  }
+  blocks_.push_back(std::move(b));
+  return static_cast<BlockId>(blocks_.size() - 1);
+}
+
+void Node::connect_feedback(BlockId delay_block, BlockId source) {
+  check(delay_block < blocks_.size() && source < blocks_.size(),
+        "connect_feedback: block out of range");
+  Block& b = blocks_[delay_block];
+  check(b.kind == SymbolKind::UnitDelay,
+        "feedback input only on UnitDelay symbols");
+  check(!b.inputs.empty(), "stateful block without input pin");
+  b.inputs[0] = source;
+}
+
+void Node::validate() const {
+  if (blocks_.empty()) throw CompileError("node '" + name_ + "' is empty");
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    const Block& b = blocks_[i];
+    const std::string where =
+        "node '" + name_ + "' block #" + std::to_string(i) + " (" +
+        to_string(b.kind) + ")";
+    if (b.inputs.size() != arity(b.kind))
+      throw CompileError(where + ": wrong input count");
+    // Only the unit delay may read from later blocks (feedback): its output
+    // is the *previous* cycle's value, so no combinational cycle arises.
+    const bool may_feedback = b.kind == SymbolKind::UnitDelay;
+    for (std::size_t pin = 0; pin < b.inputs.size(); ++pin) {
+      const BlockId src = b.inputs[pin];
+      if (src == kNoBlock)
+        throw CompileError(where + ": unconnected input pin " +
+                           std::to_string(pin));
+      if (src >= blocks_.size())
+        throw CompileError(where + ": dangling wire");
+      if (src >= i && !may_feedback)
+        throw CompileError(where + ": combinational cycle through pin " +
+                           std::to_string(pin));
+      const WireType want = input_type(b.kind, pin);
+      const WireType have = output_type(blocks_[src].kind);
+      if (want != have)
+        throw CompileError(where + ": wire type mismatch on pin " +
+                           std::to_string(pin));
+    }
+    switch (b.kind) {
+      case SymbolKind::Gain:
+      case SymbolKind::Bias:
+      case SymbolKind::Deadzone:
+      case SymbolKind::ConstF:
+      case SymbolKind::ConstI:
+        if (b.params.size() != 1) throw CompileError(where + ": needs 1 param");
+        break;
+      case SymbolKind::DivSafe:
+        if (b.params.size() != 1 || b.params[0] <= 0.0)
+          throw CompileError(where + ": needs a positive bias param");
+        break;
+      case SymbolKind::IoAcquire:
+        if (b.params.size() != 1 || b.params[0] < 1 || b.params[0] > 1000)
+          throw CompileError(where + ": poll count must be in [1, 1000]");
+        break;
+      case SymbolKind::Saturate:
+        if (b.params.size() != 2 || b.params[0] > b.params[1])
+          throw CompileError(where + ": needs params lo <= hi");
+        break;
+      case SymbolKind::FirstOrderLag:
+        if (b.params.size() != 1 || b.params[0] <= 0.0 || b.params[0] > 1.0)
+          throw CompileError(where + ": lag coefficient must be in (0,1]");
+        break;
+      case SymbolKind::Integrator:
+        if (b.params.size() != 3 || b.params[1] > b.params[2])
+          throw CompileError(where + ": needs params dt, lo <= hi");
+        break;
+      case SymbolKind::RateLimiter:
+        if (b.params.size() != 2 || b.params[0] < 0 || b.params[1] < 0)
+          throw CompileError(where + ": needs params up >= 0, down >= 0");
+        break;
+      case SymbolKind::MovingAverage:
+        if (b.params.size() != 1 || b.params[0] < 2 || b.params[0] > 16)
+          throw CompileError(where + ": window must be in [2, 16]");
+        break;
+      case SymbolKind::Biquad:
+        if (b.params.size() != 5)
+          throw CompileError(where + ": needs params b0, b1, b2, a1, a2");
+        break;
+      case SymbolKind::Hysteresis:
+        if (b.params.size() != 2 || b.params[0] >= b.params[1])
+          throw CompileError(where + ": needs params lo < hi");
+        break;
+      case SymbolKind::Debounce:
+        if (b.params.size() != 1 || b.params[0] < 1 || b.params[0] > 32)
+          throw CompileError(where + ": count must be in [1, 32]");
+        break;
+      case SymbolKind::Lookup1D:
+        if (b.params.size() != 2 || b.params[0] >= b.params[1] ||
+            b.table.size() < 2 || b.table.size() > 64)
+          throw CompileError(where + ": needs x0 < x1 and 2..64 table values");
+        break;
+      default:
+        break;
+    }
+  }
+  if (output_count_ == 0)
+    throw CompileError("node '" + name_ + "' has no outputs");
+}
+
+}  // namespace vc::dataflow

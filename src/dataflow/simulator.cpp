@@ -1,0 +1,205 @@
+#include "dataflow/simulator.hpp"
+
+#include <cmath>
+
+#include "minic/interp.hpp"
+
+namespace vc::dataflow {
+
+using minic::UnOp;
+using minic::Value;
+
+NodeSimulator::NodeSimulator(const Node& node) : node_(node) {
+  node.validate();
+  reset();
+}
+
+void NodeSimulator::reset() {
+  state_.clear();
+  for (BlockId b = 0; b < node_.blocks().size(); ++b) {
+    const Block& blk = node_.blocks()[b];
+    switch (blk.kind) {
+      case SymbolKind::UnitDelay:
+      case SymbolKind::FirstOrderLag:
+      case SymbolKind::Integrator:
+      case SymbolKind::RateLimiter:
+        state_[b] = State{};
+        break;
+      case SymbolKind::MovingAverage: {
+        State s;
+        s.ring.assign(static_cast<std::size_t>(blk.params[0]), 0.0);
+        state_[b] = s;
+        break;
+      }
+      case SymbolKind::Biquad: {
+        State s;
+        s.ring.assign(2, 0.0);  // s1, s2
+        state_[b] = s;
+        break;
+      }
+      case SymbolKind::Hysteresis:
+      case SymbolKind::Debounce:
+        state_[b] = State{};
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+std::vector<double> NodeSimulator::step(
+    const std::vector<double>& f_inputs,
+    const std::vector<std::int32_t>& i_inputs, double io_bus) {
+  // Wire values per block: f64 and i32 views.
+  std::vector<double> fw(node_.blocks().size(), 0.0);
+  std::vector<std::int32_t> iw(node_.blocks().size(), 0);
+  std::vector<double> outputs(
+      static_cast<std::size_t>(node_.output_count()), 0.0);
+  std::vector<std::pair<BlockId, BlockId>> deferred;  // (delay block, source)
+
+  std::size_t next_f = 0;
+  std::size_t next_i = 0;
+  for (BlockId id = 0; id < node_.blocks().size(); ++id) {
+    const Block& b = node_.blocks()[id];
+    auto F = [&](std::size_t pin) { return fw[b.inputs[pin]]; };
+    auto I = [&](std::size_t pin) { return iw[b.inputs[pin]]; };
+    switch (b.kind) {
+      case SymbolKind::InputF:
+        check(next_f < f_inputs.size(), "missing f64 input");
+        fw[id] = f_inputs[next_f++];
+        break;
+      case SymbolKind::InputI:
+        check(next_i < i_inputs.size(), "missing i32 input");
+        iw[id] = i_inputs[next_i++];
+        break;
+      case SymbolKind::ConstF:
+        fw[id] = b.params[0];
+        break;
+      case SymbolKind::ConstI:
+        iw[id] = static_cast<std::int32_t>(b.params[0]);
+        break;
+      case SymbolKind::IoAcquire: {
+        const int polls = static_cast<int>(b.params[0]);
+        double acc = 0.0;
+        for (int p = 0; p < polls; ++p) acc += io_bus;
+        fw[id] = acc / polls;
+        break;
+      }
+      case SymbolKind::Add: fw[id] = F(0) + F(1); break;
+      case SymbolKind::Sub: fw[id] = F(0) - F(1); break;
+      case SymbolKind::Mul: fw[id] = F(0) * F(1); break;
+      case SymbolKind::DivSafe:
+        fw[id] = F(0) / (std::fabs(F(1)) + b.params[0]);
+        break;
+      case SymbolKind::Gain: fw[id] = b.params[0] * F(0); break;
+      case SymbolKind::Bias: fw[id] = F(0) + b.params[0]; break;
+      case SymbolKind::Abs: fw[id] = std::fabs(F(0)); break;
+      case SymbolKind::Neg: fw[id] = -F(0); break;
+      case SymbolKind::Min: fw[id] = F(0) < F(1) ? F(0) : F(1); break;
+      case SymbolKind::Max: fw[id] = F(0) > F(1) ? F(0) : F(1); break;
+      case SymbolKind::Saturate: {
+        double v = F(0) > b.params[0] ? F(0) : b.params[0];
+        fw[id] = v < b.params[1] ? v : b.params[1];
+        break;
+      }
+      case SymbolKind::Deadzone:
+        fw[id] = std::fabs(F(0)) <= b.params[0] ? 0.0 : F(0);
+        break;
+      case SymbolKind::CmpGt: iw[id] = F(0) > F(1) ? 1 : 0; break;
+      case SymbolKind::CmpLt: iw[id] = F(0) < F(1) ? 1 : 0; break;
+      case SymbolKind::LogicAnd: iw[id] = I(0) & I(1); break;
+      case SymbolKind::LogicOr: iw[id] = I(0) | I(1); break;
+      case SymbolKind::LogicNot: iw[id] = I(0) == 0 ? 1 : 0; break;
+      case SymbolKind::Switch: fw[id] = I(0) != 0 ? F(1) : F(2); break;
+      case SymbolKind::UnitDelay:
+        fw[id] = state_[id].scalar;
+        deferred.emplace_back(id, b.inputs[0]);
+        break;
+      case SymbolKind::FirstOrderLag: {
+        State& s = state_[id];
+        s.scalar = b.params[0] * F(0) + (1.0 - b.params[0]) * s.scalar;
+        fw[id] = s.scalar;
+        break;
+      }
+      case SymbolKind::Integrator: {
+        State& s = state_[id];
+        double v = s.scalar + F(0) * b.params[0];
+        v = v > b.params[1] ? v : b.params[1];
+        v = v < b.params[2] ? v : b.params[2];
+        s.scalar = v;
+        fw[id] = v;
+        break;
+      }
+      case SymbolKind::RateLimiter: {
+        State& s = state_[id];
+        double d = F(0) - s.scalar;
+        d = d > -b.params[1] ? d : -b.params[1];
+        d = d < b.params[0] ? d : b.params[0];
+        s.scalar = s.scalar + d;
+        fw[id] = s.scalar;
+        break;
+      }
+      case SymbolKind::MovingAverage: {
+        State& s = state_[id];
+        const auto window = static_cast<std::int32_t>(s.ring.size());
+        s.ring[static_cast<std::size_t>(s.index)] = F(0);
+        s.index = s.index + 1 == window ? 0 : s.index + 1;
+        double acc = 0.0;
+        for (double v : s.ring) acc = acc + v;
+        fw[id] = acc / static_cast<double>(window);
+        break;
+      }
+      case SymbolKind::Biquad: {
+        State& s = state_[id];
+        const double x = F(0);
+        const double w = b.params[0] * x + s.ring[0];
+        const double p1 = b.params[1] * x;
+        const double q1 = b.params[3] * w;
+        s.ring[0] = (p1 - q1) + s.ring[1];
+        const double p2 = b.params[2] * x;
+        const double q2 = b.params[4] * w;
+        s.ring[1] = p2 - q2;
+        fw[id] = w;
+        break;
+      }
+      case SymbolKind::Hysteresis: {
+        State& s = state_[id];
+        const double x = F(0);
+        s.scalar = x > b.params[1]
+                       ? 1.0
+                       : (x < b.params[0] ? 0.0 : s.scalar);
+        iw[id] = s.scalar > 0.5 ? 1 : 0;
+        break;
+      }
+      case SymbolKind::Debounce: {
+        State& s = state_[id];
+        const int n = static_cast<int>(b.params[0]);
+        s.index = I(0) != 0 ? s.index + 1 : 0;
+        s.index = s.index > n ? n : s.index;
+        iw[id] = s.index >= n ? 1 : 0;
+        break;
+      }
+      case SymbolKind::Lookup1D: {
+        const int n = static_cast<int>(b.table.size());
+        const double inv_step = (n - 1) / (b.params[1] - b.params[0]);
+        const double t = (F(0) - b.params[0]) * inv_step;
+        // Use the exact target f64->i32 conversion semantics.
+        std::int32_t k = minic::eval_unop(UnOp::F2I, Value::of_f64(t)).i;
+        k = k < 0 ? 0 : k;
+        k = k > n - 2 ? n - 2 : k;
+        const double f = t - static_cast<double>(k);
+        const double lo = b.table[static_cast<std::size_t>(k)];
+        const double hi = b.table[static_cast<std::size_t>(k + 1)];
+        fw[id] = lo + (hi - lo) * f;
+        break;
+      }
+      case SymbolKind::Output:
+        outputs[static_cast<std::size_t>(b.params[0])] = F(0);
+        break;
+    }
+  }
+  for (const auto& [delay, src] : deferred) state_[delay].scalar = fw[src];
+  return outputs;
+}
+
+}  // namespace vc::dataflow

@@ -1,0 +1,40 @@
+// Reference evaluator for dataflow nodes, independent of the ACG.
+//
+// Gives tests a second opinion: the ACG-generated mini-C, run through the
+// interpreter (or the compiled binary, run on the machine), must agree
+// bit-exactly with direct graph evaluation. Uses the shared mini-C operator
+// semantics so f64->i32 conversions etc. match the target by construction.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "dataflow/node.hpp"
+
+namespace vc::dataflow {
+
+class NodeSimulator {
+ public:
+  explicit NodeSimulator(const Node& node);
+
+  /// Runs one cycle. `f_inputs`/`i_inputs` are the node's f64/i32 inputs in
+  /// creation order; `io_bus` is the value IoAcquire symbols poll.
+  /// Returns the node outputs in index order.
+  std::vector<double> step(const std::vector<double>& f_inputs,
+                           const std::vector<std::int32_t>& i_inputs,
+                           double io_bus = 0.0);
+
+  void reset();
+
+ private:
+  struct State {
+    double scalar = 0.0;
+    std::vector<double> ring;
+    std::int32_t index = 0;
+  };
+
+  const Node& node_;
+  std::map<BlockId, State> state_;
+};
+
+}  // namespace vc::dataflow

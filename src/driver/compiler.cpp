@@ -1,0 +1,74 @@
+#include "driver/compiler.hpp"
+
+#include "opt/opt.hpp"
+#include "regalloc/regalloc.hpp"
+#include "rtl/analysis.hpp"
+#include "rtl/lower.hpp"
+
+namespace vc::driver {
+
+std::string to_string(Config c) {
+  switch (c) {
+    case Config::O0Pattern: return "O0-pattern";
+    case Config::O1NoRegalloc: return "O1-noregalloc";
+    case Config::Verified: return "verified";
+    case Config::O2Full: return "O2-full";
+  }
+  throw InternalError("bad Config");
+}
+
+Compiled compile_program(const minic::Program& program, Config config,
+                         const opt::PassHook& pass_hook) {
+  Compiled out;
+  out.config = config;
+
+  const bool pattern_mode =
+      config == Config::O0Pattern || config == Config::O1NoRegalloc;
+  const bool optimize = config != Config::O0Pattern;
+  const bool machine_opts = config == Config::O2Full;
+
+  ppc::DataLayout layout(program);
+  std::vector<ppc::MachineFunction> machine_fns;
+
+  for (const auto& src_fn : program.functions) {
+    FunctionArtifact art;
+
+    rtl::Function fn = rtl::lower_function(
+        program, src_fn,
+        pattern_mode ? rtl::LowerMode::PatternStack : rtl::LowerMode::Value);
+    rtl::remove_unreachable_blocks(fn);
+    art.rtl_lowered = fn;
+    if (pass_hook) pass_hook("lower", art.rtl_lowered, fn);
+
+    if (optimize) opt::run_standard_pipeline(fn, &art.passes_applied, pass_hook);
+    art.rtl_optimized = fn;
+
+    // O2-full allocates scheduling-aware (spread colors so the list
+    // scheduler is not fenced in by recycled registers).
+    const regalloc::Allocation alloc = regalloc::allocate_registers(
+        fn, ppc::kAllocatableGprs, ppc::kAllocatableFprs,
+        /*spread_colors=*/machine_opts);
+    art.spill_count = alloc.spill_count;
+    art.rtl_allocated = fn;
+    if (pass_hook) pass_hook("regalloc", art.rtl_optimized, fn);
+
+    // The default compiler uses r2-based small-data addressing in every
+    // configuration; the verified compiler does not (paper §3.3).
+    ppc::EmitOptions emit_options;
+    emit_options.small_data_area = config != Config::Verified;
+    ppc::AsmFunction asm_fn = ppc::emit_function(fn, alloc, layout, emit_options);
+    ppc::remove_self_moves(asm_fn);
+    if (machine_opts) {
+      while (ppc::peephole(asm_fn) > 0) {
+      }
+      ppc::schedule(asm_fn);
+    }
+    machine_fns.push_back(ppc::finalize(asm_fn));
+    out.artifacts.emplace(src_fn.name, std::move(art));
+  }
+
+  out.image = ppc::link(machine_fns, layout);
+  return out;
+}
+
+}  // namespace vc::driver

@@ -1,0 +1,59 @@
+// The compiler driver: the four configurations of the paper's experiment.
+//
+//   O0Pattern    — the certified baseline: pattern/stack lowering, no RTL
+//                  optimization. Every symbol compiles to its fixed pattern
+//                  (paper §2.1, Listing 1).
+//   O1NoRegalloc — the default compiler "optimized without register
+//                  allocation" (§3.3): constprop/CSE/DCE over the pattern
+//                  code, program variables stay in stack slots.
+//   Verified     — the CompCert stand-in (§3.2): value lowering, constprop,
+//                  CSE, DCE, graph-coloring register allocation; no machine
+//                  level scheduling or fusion. Each RTL pass is checked by
+//                  the translation validator when requested.
+//   O2Full       — the default compiler fully optimized: Verified's pipeline
+//                  plus fmadd fusion, immediate folding, list scheduling.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "minic/ast.hpp"
+#include "opt/opt.hpp"
+#include "ppc/codegen.hpp"
+#include "ppc/program.hpp"
+#include "rtl/rtl.hpp"
+
+namespace vc::driver {
+
+enum class Config { O0Pattern, O1NoRegalloc, Verified, O2Full };
+
+std::string to_string(Config c);
+inline constexpr Config kAllConfigs[] = {Config::O0Pattern,
+                                         Config::O1NoRegalloc,
+                                         Config::Verified, Config::O2Full};
+
+/// Per-function intermediate artifacts kept for validation and inspection.
+struct FunctionArtifact {
+  rtl::Function rtl_lowered;    // right after AST -> RTL
+  rtl::Function rtl_optimized;  // after the RTL pass pipeline (pre-regalloc)
+  rtl::Function rtl_allocated;  // after spill rewriting (what codegen saw)
+  std::vector<std::string> passes_applied;
+  int spill_count = 0;
+};
+
+struct Compiled {
+  Config config{};
+  ppc::Image image;
+  std::map<std::string, FunctionArtifact> artifacts;
+};
+
+/// Compiles every function of `program` under `config` and links the image.
+/// The program must already type-check. `pass_hook`, when set, is invoked
+/// after lowering ("lower"), after every applied RTL pass, and after
+/// register allocation ("regalloc") — the attachment point for the
+/// translation validator (src/validate).
+Compiled compile_program(const minic::Program& program, Config config,
+                         const opt::PassHook& pass_hook = {});
+
+}  // namespace vc::driver

@@ -1,0 +1,83 @@
+// The "operational system" stand-in: a cyclic executive running many nodes
+// in one image (the paper's flight software is thousands of ACG nodes
+// dispatched by a static schedule each minor frame; §3.3 computes per-node
+// WCETs precisely because nodes are scheduled as units).
+//
+// A FlightSystem owns a set of generated nodes, wires node outputs to other
+// nodes' inputs through the global signal table, compiles everything into a
+// single image per configuration, executes whole frames on the simulator,
+// and budgets the frame WCET as the sum of per-node bounds (sound under the
+// drain-at-branch machine: node boundaries are blr/call boundaries).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dataflow/acg.hpp"
+#include "dataflow/node.hpp"
+#include "driver/compiler.hpp"
+#include "machine/machine.hpp"
+
+namespace vc::driver {
+
+class FlightSystem {
+ public:
+  /// Adds a node to the schedule (executed in insertion order).
+  void add_node(dataflow::Node node);
+
+  /// Connects output `out_index` of `producer` to input `in_index` of
+  /// `consumer` (by node name). The wiring is applied by the frame driver:
+  /// after the producer steps, its output global feeds the consumer's input.
+  void connect(const std::string& producer, int out_index,
+               const std::string& consumer, int in_index);
+
+  /// Generates the combined program (all nodes + signal globals).
+  /// Must be called after all add_node/connect calls.
+  void elaborate();
+
+  [[nodiscard]] const minic::Program& program() const { return program_; }
+
+  /// Compiles the whole system under `config`.
+  [[nodiscard]] Compiled compile(Config config) const;
+
+  /// Frame execution statistics.
+  struct FrameStats {
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+  };
+
+  /// Runs one frame (every node once, in schedule order) on `machine`,
+  /// feeding unconnected inputs from `external` (name -> values in input
+  /// order) and routing connected signals. Returns accumulated stats.
+  FrameStats run_frame(
+      machine::Machine& machine,
+      const std::map<std::string, std::vector<minic::Value>>& external) const;
+
+  /// Frame WCET budget: the sum of per-node WCET bounds for `compiled`.
+  /// Returns per-node bounds plus the total.
+  struct FrameWcet {
+    std::uint64_t total = 0;
+    std::vector<std::pair<std::string, std::uint64_t>> per_node;
+  };
+  [[nodiscard]] FrameWcet frame_wcet(const Compiled& compiled) const;
+
+  [[nodiscard]] const std::vector<dataflow::Node>& nodes() const {
+    return nodes_;
+  }
+
+ private:
+  struct Wire {
+    std::string producer;
+    int out_index = 0;
+    std::string consumer;
+    int in_index = 0;
+  };
+
+  std::vector<dataflow::Node> nodes_;
+  std::vector<Wire> wires_;
+  minic::Program program_;
+  bool elaborated_ = false;
+};
+
+}  // namespace vc::driver

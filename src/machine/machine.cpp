@@ -1,0 +1,457 @@
+#include "machine/machine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "support/strings.hpp"
+
+namespace vc::machine {
+
+using ppc::Image;
+using ppc::MInstr;
+using ppc::POp;
+
+namespace {
+
+std::uint32_t rotl32(std::uint32_t v, unsigned n) {
+  n &= 31;
+  return n == 0 ? v : (v << n) | (v >> (32 - n));
+}
+
+/// PowerPC rlwinm mask: bits mb..me inclusive in PPC numbering (0 = MSB),
+/// wrapping when mb > me.
+std::uint32_t ppc_mask(unsigned mb, unsigned me) {
+  const std::uint32_t x = 0xFFFFFFFFu >> mb;
+  const std::uint32_t y =
+      me == 31 ? 0xFFFFFFFFu : ~(0xFFFFFFFFu >> (me + 1));
+  return mb <= me ? (x & y) : (x | y);
+}
+
+std::uint64_t bits_of(double d) {
+  std::uint64_t b = 0;
+  std::memcpy(&b, &d, sizeof b);
+  return b;
+}
+
+double double_of(std::uint64_t b) {
+  double d = 0;
+  std::memcpy(&d, &b, sizeof d);
+  return d;
+}
+
+}  // namespace
+
+Cache::Cache(ppc::CacheConfig cfg) : cfg_(cfg) { clear(); }
+
+void Cache::clear() {
+  ways_.assign(cfg_.sets, std::vector<std::uint32_t>());
+}
+
+bool Cache::access(std::uint32_t addr) {
+  const std::uint32_t set = cfg_.set_of(addr);
+  const std::uint32_t tag = cfg_.tag_of(addr);
+  auto& lru = ways_[set];
+  auto it = std::find(lru.begin(), lru.end(), tag);
+  if (it != lru.end()) {
+    lru.erase(it);
+    lru.insert(lru.begin(), tag);
+    return true;
+  }
+  lru.insert(lru.begin(), tag);
+  if (lru.size() > cfg_.ways) lru.pop_back();
+  return false;
+}
+
+Machine::Machine(const ppc::Image& image, ppc::MachineConfig config)
+    : image_(image),
+      config_(config),
+      icache_(config.icache),
+      dcache_(config.dcache) {
+  reset();
+}
+
+void Machine::reset() {
+  data_ = image_.data_init;
+  // Allow a little headroom beyond the initialised data for alignment.
+  data_.resize(std::max<std::size_t>(data_.size(), 64), 0);
+  stack_.assign(kStackBytes, 0);
+  gpr_.fill(0);
+  fpr_.fill(0.0);
+  cr_ = 0;
+  clear_caches();
+  stats_ = ExecStats{};
+}
+
+void Machine::clear_caches() {
+  icache_.clear();
+  dcache_.clear();
+  pipe_.reset();
+}
+
+const std::uint8_t* Machine::mem_at(std::uint32_t addr,
+                                    std::uint32_t size) const {
+  if (addr >= Image::kDataBase && addr + size <= Image::kDataBase + data_.size())
+    return data_.data() + (addr - Image::kDataBase);
+  const std::uint32_t stack_base = Image::kStackTop - kStackBytes;
+  if (addr >= stack_base && addr + size <= Image::kStackTop)
+    return stack_.data() + (addr - stack_base);
+  throw MachineError("memory access outside data/stack segments: " +
+                     hex32(addr));
+}
+
+std::uint8_t* Machine::mem_at_mut(std::uint32_t addr, std::uint32_t size) {
+  return const_cast<std::uint8_t*>(mem_at(addr, size));
+}
+
+std::uint32_t Machine::read_u32(std::uint32_t addr) const {
+  const std::uint8_t* p = mem_at(addr, 4);
+  return (std::uint32_t(p[0]) << 24) | (std::uint32_t(p[1]) << 16) |
+         (std::uint32_t(p[2]) << 8) | std::uint32_t(p[3]);
+}
+
+std::uint64_t Machine::read_u64(std::uint32_t addr) const {
+  return (std::uint64_t(read_u32(addr)) << 32) | read_u32(addr + 4);
+}
+
+void Machine::write_u32(std::uint32_t addr, std::uint32_t value) {
+  std::uint8_t* p = mem_at_mut(addr, 4);
+  p[0] = static_cast<std::uint8_t>(value >> 24);
+  p[1] = static_cast<std::uint8_t>(value >> 16);
+  p[2] = static_cast<std::uint8_t>(value >> 8);
+  p[3] = static_cast<std::uint8_t>(value);
+}
+
+void Machine::write_u64(std::uint32_t addr, std::uint64_t value) {
+  write_u32(addr, static_cast<std::uint32_t>(value >> 32));
+  write_u32(addr + 4, static_cast<std::uint32_t>(value));
+}
+
+minic::Value Machine::call(const std::string& fn_name,
+                           const std::vector<minic::Value>& args,
+                           minic::Type ret_type) {
+  auto it = image_.fn_entry.find(fn_name);
+  if (it == image_.fn_entry.end())
+    throw MachineError("unknown function '" + fn_name + "'");
+
+  pipe_.reset();
+  stats_.cycles = 0;
+  stats_.instructions = 0;
+  stats_.dcache_reads = 0;
+  stats_.dcache_writes = 0;
+  stats_.dcache_read_misses = 0;
+  stats_.dcache_write_misses = 0;
+  stats_.ifetch_line_misses = 0;
+  stats_.taken_branches = 0;
+
+  gpr_[1] = Image::kStackTop - 64;
+  gpr_[2] = Image::kDataBase;
+  int next_gpr = 3;
+  int next_fpr = 1;
+  for (const auto& a : args) {
+    if (a.type == minic::Type::I32) {
+      if (next_gpr > 10) throw MachineError("too many integer arguments");
+      gpr_[next_gpr++] = static_cast<std::uint32_t>(a.i);
+    } else {
+      if (next_fpr > 8) throw MachineError("too many float arguments");
+      fpr_[next_fpr++] = a.f;
+    }
+  }
+
+  run(it->second);
+
+  if (ret_type == minic::Type::I32)
+    return minic::Value::of_i32(static_cast<std::int32_t>(gpr_[3]));
+  return minic::Value::of_f64(fpr_[1]);
+}
+
+void Machine::run(std::uint32_t entry) {
+  std::uint32_t pc = entry;
+  std::uint64_t executed = 0;
+  std::uint32_t last_fetch_line = 0xFFFFFFFF;
+
+  while (pc != Image::kStopAddr) {
+    if (++executed > fuel_) throw MachineError("machine fuel exhausted");
+    const MInstr ins = image_.fetch(pc);
+
+    // Instruction fetch through the I-cache, one lookup per line entered.
+    std::uint32_t fetch_stall = 0;
+    const std::uint32_t line = config_.icache.line_addr(pc);
+    if (line != last_fetch_line) {
+      last_fetch_line = line;
+      if (!icache_.access(pc)) {
+        fetch_stall = config_.miss_penalty;
+        ++stats_.ifetch_line_misses;
+      }
+    }
+
+    // Architectural execution (also computes data addresses/taken flags).
+    next_pc_ = pc + 4;
+    branch_taken_ = false;
+    std::uint32_t mem_addr = 0;
+    bool has_mem = ppc::is_memory_op(ins.op);
+    if (has_mem) {
+      switch (ins.op) {
+        case POp::Lwz: case POp::Stw: case POp::Lfd: case POp::Stfd:
+          mem_addr = gpr_[ins.ra] + static_cast<std::uint32_t>(ins.imm);
+          break;
+        default:  // x-form
+          mem_addr = gpr_[ins.ra] + gpr_[ins.rb];
+          break;
+      }
+    }
+    execute(ins, pc);
+
+    // Micro-architectural accounting.
+    std::uint32_t extra_mem = 0;
+    if (has_mem) {
+      const bool is_store = ins.op == POp::Stw || ins.op == POp::Stwx ||
+                            ins.op == POp::Stfd || ins.op == POp::Stfdx;
+      const bool hit = dcache_.access(mem_addr);
+      if (is_store) {
+        ++stats_.dcache_writes;
+        if (!hit) {
+          ++stats_.dcache_write_misses;
+          extra_mem = config_.miss_penalty;
+        }
+      } else {
+        ++stats_.dcache_reads;
+        if (!hit) {
+          ++stats_.dcache_read_misses;
+          extra_mem = config_.miss_penalty;
+        }
+      }
+    }
+
+    int reads[16];
+    int writes[16];
+    int n_reads = 0;
+    int n_writes = 0;
+    ppc::IssueModel::resources(ins, reads, &n_reads, writes, &n_writes);
+    pipe_.issue(ins, reads, n_reads, writes, n_writes, extra_mem, fetch_stall);
+    ++stats_.instructions;
+
+    if (ppc::is_branch(ins.op)) {
+      pipe_.drain();
+      if (branch_taken_) {
+        pipe_.add_stall(config_.taken_branch_penalty);
+        ++stats_.taken_branches;
+        last_fetch_line = 0xFFFFFFFF;  // refetch after redirect
+      }
+    }
+    pc = next_pc_;
+  }
+  pipe_.drain();
+  stats_.cycles = pipe_.current_cycle();
+}
+
+void Machine::execute(const MInstr& ins, std::uint32_t pc) {
+  auto set_cr_field = [&](int crf, bool lt, bool gt, bool eq, bool so) {
+    const int shift = 28 - crf * 4;
+    cr_ &= ~(0xFu << shift);
+    std::uint32_t bits = 0;
+    if (lt) bits |= 8;
+    if (gt) bits |= 4;
+    if (eq) bits |= 2;
+    if (so) bits |= 1;
+    cr_ |= bits << shift;
+  };
+  auto cr_bit = [&](int bit) { return (cr_ >> (31 - bit)) & 1u; };
+
+  const auto ra = gpr_[ins.ra];
+  const auto rb = gpr_[ins.rb];
+
+  switch (ins.op) {
+    case POp::Li:
+      gpr_[ins.rd] = static_cast<std::uint32_t>(ins.imm);
+      break;
+    case POp::Lis:
+      gpr_[ins.rd] = static_cast<std::uint32_t>(ins.imm) << 16;
+      break;
+    case POp::Ori:
+      gpr_[ins.rd] = ra | static_cast<std::uint32_t>(ins.imm);
+      break;
+    case POp::Xori:
+      gpr_[ins.rd] = ra ^ static_cast<std::uint32_t>(ins.imm);
+      break;
+    case POp::Addi:
+      gpr_[ins.rd] = ra + static_cast<std::uint32_t>(ins.imm);
+      break;
+    case POp::Mr:
+      gpr_[ins.rd] = ra;
+      break;
+    case POp::Add:
+      gpr_[ins.rd] = ra + rb;
+      break;
+    case POp::Subf:
+      gpr_[ins.rd] = rb - ra;
+      break;
+    case POp::Mullw:
+      gpr_[ins.rd] = ra * rb;
+      break;
+    case POp::Divw: {
+      const auto a = static_cast<std::int32_t>(ra);
+      const auto b = static_cast<std::int32_t>(rb);
+      if (b == 0) throw MachineError("divw by zero at " + hex32(pc));
+      if (a == std::numeric_limits<std::int32_t>::min() && b == -1)
+        gpr_[ins.rd] = ra;  // overflow wraps
+      else
+        gpr_[ins.rd] = static_cast<std::uint32_t>(a / b);
+      break;
+    }
+    case POp::And: gpr_[ins.rd] = ra & rb; break;
+    case POp::Or: gpr_[ins.rd] = ra | rb; break;
+    case POp::Xor: gpr_[ins.rd] = ra ^ rb; break;
+    case POp::Nor: gpr_[ins.rd] = ~(ra | rb); break;
+    case POp::Neg: gpr_[ins.rd] = 0u - ra; break;
+    case POp::Slw: {
+      const std::uint32_t sh = rb & 0x3F;
+      gpr_[ins.rd] = sh >= 32 ? 0 : ra << sh;
+      break;
+    }
+    case POp::Sraw: {
+      const std::uint32_t sh = rb & 0x3F;
+      const auto a = static_cast<std::int32_t>(ra);
+      if (sh >= 32)
+        gpr_[ins.rd] = a < 0 ? 0xFFFFFFFFu : 0;
+      else
+        gpr_[ins.rd] = static_cast<std::uint32_t>(a >> sh);
+      break;
+    }
+    case POp::Srw: {
+      const std::uint32_t sh = rb & 0x3F;
+      gpr_[ins.rd] = sh >= 32 ? 0 : ra >> sh;
+      break;
+    }
+    case POp::Rlwinm:
+      gpr_[ins.rd] = rotl32(ra, ins.sh) & ppc_mask(ins.mb, ins.me);
+      break;
+    case POp::Cmpw: {
+      const auto a = static_cast<std::int32_t>(ra);
+      const auto b = static_cast<std::int32_t>(rb);
+      set_cr_field(ins.crf, a < b, a > b, a == b, false);
+      break;
+    }
+    case POp::Cmpwi: {
+      const auto a = static_cast<std::int32_t>(ra);
+      set_cr_field(ins.crf, a < ins.imm, a > ins.imm, a == ins.imm, false);
+      break;
+    }
+    case POp::Fcmpu: {
+      const double a = fpr_[ins.ra];
+      const double b = fpr_[ins.rb];
+      if (std::isnan(a) || std::isnan(b))
+        set_cr_field(ins.crf, false, false, false, true);
+      else
+        set_cr_field(ins.crf, a < b, a > b, a == b, false);
+      break;
+    }
+    case POp::Cror: {
+      const std::uint32_t v = cr_bit(ins.crba) | cr_bit(ins.crbb);
+      cr_ = (cr_ & ~(1u << (31 - ins.crbd))) | (v << (31 - ins.crbd));
+      break;
+    }
+    case POp::Mfcr:
+      gpr_[ins.rd] = cr_;
+      break;
+    case POp::Fadd: fpr_[ins.rd] = fpr_[ins.ra] + fpr_[ins.rb]; break;
+    case POp::Fsub: fpr_[ins.rd] = fpr_[ins.ra] - fpr_[ins.rb]; break;
+    case POp::Fmul: fpr_[ins.rd] = fpr_[ins.ra] * fpr_[ins.rb]; break;
+    case POp::Fdiv: fpr_[ins.rd] = fpr_[ins.ra] / fpr_[ins.rb]; break;
+    case POp::Fmadd: {
+      // Non-fused semantics: fmadd here computes (a*b)+c in two IEEE
+      // rounding steps, exactly like the separate fmul/fadd pair the O2
+      // peephole replaced, so fusion is result-preserving by construction.
+      // (Separate statements prevent host FMA contraction.)
+      const double product = fpr_[ins.ra] * fpr_[ins.rb];
+      fpr_[ins.rd] = product + fpr_[ins.rc];
+      break;
+    }
+    case POp::Fmsub: {
+      const double product = fpr_[ins.ra] * fpr_[ins.rb];
+      fpr_[ins.rd] = product - fpr_[ins.rc];
+      break;
+    }
+    case POp::Fneg: fpr_[ins.rd] = -fpr_[ins.ra]; break;
+    case POp::Fabs: fpr_[ins.rd] = std::fabs(fpr_[ins.ra]); break;
+    case POp::Fmr: fpr_[ins.rd] = fpr_[ins.ra]; break;
+    case POp::Fcti: {
+      const minic::Value v =
+          minic::eval_unop(minic::UnOp::F2I, minic::Value::of_f64(fpr_[ins.ra]));
+      gpr_[ins.rd] = static_cast<std::uint32_t>(v.i);
+      break;
+    }
+    case POp::Icvf:
+      fpr_[ins.rd] = static_cast<double>(static_cast<std::int32_t>(ra));
+      break;
+    case POp::Lwz:
+      gpr_[ins.rd] = read_u32(ra + static_cast<std::uint32_t>(ins.imm));
+      break;
+    case POp::Stw:
+      write_u32(ra + static_cast<std::uint32_t>(ins.imm), gpr_[ins.rd]);
+      break;
+    case POp::Lwzx:
+      gpr_[ins.rd] = read_u32(ra + rb);
+      break;
+    case POp::Stwx:
+      write_u32(ra + rb, gpr_[ins.rd]);
+      break;
+    case POp::Lfd:
+      fpr_[ins.rd] =
+          double_of(read_u64(ra + static_cast<std::uint32_t>(ins.imm)));
+      break;
+    case POp::Stfd:
+      write_u64(ra + static_cast<std::uint32_t>(ins.imm),
+                bits_of(fpr_[ins.rd]));
+      break;
+    case POp::Lfdx:
+      fpr_[ins.rd] = double_of(read_u64(ra + rb));
+      break;
+    case POp::Stfdx:
+      write_u64(ra + rb, bits_of(fpr_[ins.rd]));
+      break;
+    case POp::B:
+      next_pc_ = pc + static_cast<std::uint32_t>(ins.disp) * 4;
+      branch_taken_ = true;
+      break;
+    case POp::Bc: {
+      const bool cond = cr_bit(ins.crbit) == (ins.expect ? 1u : 0u);
+      if (cond) {
+        next_pc_ = pc + static_cast<std::uint32_t>(ins.disp) * 4;
+        branch_taken_ = true;
+      }
+      break;
+    }
+    case POp::Blr:
+      // The harness runs single functions; returning from the outermost
+      // frame jumps to the stop address.
+      next_pc_ = Image::kStopAddr;
+      branch_taken_ = true;
+      break;
+    case POp::Nop:
+      break;
+  }
+}
+
+minic::Value Machine::read_global(const std::string& name, std::size_t index,
+                                  minic::Type type) const {
+  const std::uint32_t base = image_.global_addr.at(name);
+  if (type == minic::Type::F64)
+    return minic::Value::of_f64(
+        double_of(read_u64(base + static_cast<std::uint32_t>(index) * 8)));
+  return minic::Value::of_i32(static_cast<std::int32_t>(
+      read_u32(base + static_cast<std::uint32_t>(index) * 4)));
+}
+
+void Machine::write_global(const std::string& name, std::size_t index,
+                           minic::Value v) {
+  const std::uint32_t base = image_.global_addr.at(name);
+  if (v.type == minic::Type::F64)
+    write_u64(base + static_cast<std::uint32_t>(index) * 8, bits_of(v.f));
+  else
+    write_u32(base + static_cast<std::uint32_t>(index) * 4,
+              static_cast<std::uint32_t>(v.i));
+}
+
+}  // namespace vc::machine

@@ -1,0 +1,115 @@
+// Cycle-level simulator of the target machine (the MPC755 stand-in).
+//
+// Executes linked images instruction by instruction with big-endian memory,
+// L1 instruction/data caches (LRU), and the shared dual-issue timing model
+// (ppc/timing.hpp). Produces both architectural results (registers, memory)
+// and micro-architectural statistics (cycles, cache reads/writes/misses) —
+// the raw material for the paper's Table 1 and the "observed execution time"
+// side of the WCET soundness property tests.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "minic/interp.hpp"
+#include "ppc/program.hpp"
+#include "ppc/timing.hpp"
+
+namespace vc::machine {
+
+class MachineError : public std::runtime_error {
+ public:
+  explicit MachineError(const std::string& message)
+      : std::runtime_error(message) {}
+};
+
+/// An N-way set-associative LRU cache model (tags only).
+class Cache {
+ public:
+  explicit Cache(ppc::CacheConfig cfg);
+
+  void clear();
+  /// True on hit; updates LRU state either way (misses allocate).
+  bool access(std::uint32_t addr);
+
+ private:
+  ppc::CacheConfig cfg_;
+  // ways_[set] is ordered most-recently-used first; empty slots hold ~0.
+  std::vector<std::vector<std::uint32_t>> ways_;
+};
+
+struct ExecStats {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t dcache_reads = 0;
+  std::uint64_t dcache_writes = 0;
+  std::uint64_t dcache_read_misses = 0;
+  std::uint64_t dcache_write_misses = 0;
+  std::uint64_t ifetch_line_misses = 0;
+  std::uint64_t taken_branches = 0;
+};
+
+class Machine {
+ public:
+  Machine(const ppc::Image& image, ppc::MachineConfig config = {});
+
+  /// Reinitializes data memory from the image, clears registers and caches.
+  void reset();
+
+  /// Clears only the caches (to model an unknown initial cache state between
+  /// runs without losing global data — used by WCET soundness tests).
+  void clear_caches();
+
+  /// Runs `fn_name` with `args` marshalled per the calling convention.
+  /// Returns the function result read from r3/f1 according to `ret_type`.
+  minic::Value call(const std::string& fn_name,
+                    const std::vector<minic::Value>& args,
+                    minic::Type ret_type);
+
+  [[nodiscard]] const ExecStats& stats() const { return stats_; }
+
+  /// Direct global access for tests/harnesses (big-endian memory).
+  [[nodiscard]] minic::Value read_global(const std::string& name,
+                                         std::size_t index,
+                                         minic::Type type) const;
+  void write_global(const std::string& name, std::size_t index,
+                    minic::Value v);
+
+  /// Instruction budget per call (runaway guard).
+  void set_fuel(std::uint64_t fuel) { fuel_ = fuel; }
+
+ private:
+  std::uint32_t read_u32(std::uint32_t addr) const;
+  std::uint64_t read_u64(std::uint32_t addr) const;
+  void write_u32(std::uint32_t addr, std::uint32_t value);
+  void write_u64(std::uint32_t addr, std::uint64_t value);
+  const std::uint8_t* mem_at(std::uint32_t addr, std::uint32_t size) const;
+  std::uint8_t* mem_at_mut(std::uint32_t addr, std::uint32_t size);
+
+  void run(std::uint32_t entry);
+  void execute(const ppc::MInstr& ins, std::uint32_t pc);
+
+  const ppc::Image& image_;
+  ppc::MachineConfig config_;
+  Cache icache_;
+  Cache dcache_;
+  ppc::IssueModel pipe_;
+  ExecStats stats_;
+
+  std::array<std::uint32_t, 32> gpr_{};
+  std::array<double, 32> fpr_{};
+  std::uint32_t cr_ = 0;  // PowerPC numbering: CR bit i == (cr_ >> (31-i)) & 1
+  std::uint32_t next_pc_ = 0;
+  bool branch_taken_ = false;
+
+  std::vector<std::uint8_t> data_;   // at Image::kDataBase
+  std::vector<std::uint8_t> stack_;  // below Image::kStackTop
+  static constexpr std::uint32_t kStackBytes = 1 << 16;
+
+  std::uint64_t fuel_ = 200'000'000;
+};
+
+}  // namespace vc::machine

@@ -1,0 +1,294 @@
+#include "minic/ast.hpp"
+
+namespace vc::minic {
+
+std::string to_string(Type t) { return t == Type::I32 ? "i32" : "f64"; }
+
+std::string to_string(UnOp op) {
+  switch (op) {
+    case UnOp::INeg: return "-";
+    case UnOp::INot: return "~";
+    case UnOp::LNot: return "!";
+    case UnOp::FNeg: return "-";
+    case UnOp::FAbs: return "fabs";
+    case UnOp::I2F: return "(f64)";
+    case UnOp::F2I: return "(i32)";
+  }
+  throw InternalError("bad UnOp");
+}
+
+std::string to_string(BinOp op) {
+  switch (op) {
+    case BinOp::IAdd: case BinOp::FAdd: return "+";
+    case BinOp::ISub: case BinOp::FSub: return "-";
+    case BinOp::IMul: case BinOp::FMul: return "*";
+    case BinOp::IDiv: case BinOp::FDiv: return "/";
+    case BinOp::IRem: return "%";
+    case BinOp::IAnd: return "&";
+    case BinOp::IOr: return "|";
+    case BinOp::IXor: return "^";
+    case BinOp::IShl: return "<<";
+    case BinOp::IShr: return ">>";
+    case BinOp::ICmpEq: case BinOp::FCmpEq: return "==";
+    case BinOp::ICmpNe: case BinOp::FCmpNe: return "!=";
+    case BinOp::ICmpLt: case BinOp::FCmpLt: return "<";
+    case BinOp::ICmpLe: case BinOp::FCmpLe: return "<=";
+    case BinOp::ICmpGt: case BinOp::FCmpGt: return ">";
+    case BinOp::ICmpGe: case BinOp::FCmpGe: return ">=";
+    case BinOp::FMin: return "fmin";
+    case BinOp::FMax: return "fmax";
+  }
+  throw InternalError("bad BinOp");
+}
+
+Type result_type(UnOp op) {
+  switch (op) {
+    case UnOp::INeg:
+    case UnOp::INot:
+    case UnOp::LNot:
+    case UnOp::F2I:
+      return Type::I32;
+    case UnOp::FNeg:
+    case UnOp::FAbs:
+    case UnOp::I2F:
+      return Type::F64;
+  }
+  throw InternalError("bad UnOp");
+}
+
+Type operand_type(UnOp op) {
+  switch (op) {
+    case UnOp::INeg:
+    case UnOp::INot:
+    case UnOp::LNot:
+    case UnOp::I2F:
+      return Type::I32;
+    case UnOp::FNeg:
+    case UnOp::FAbs:
+    case UnOp::F2I:
+      return Type::F64;
+  }
+  throw InternalError("bad UnOp");
+}
+
+Type result_type(BinOp op) {
+  switch (op) {
+    case BinOp::FAdd:
+    case BinOp::FSub:
+    case BinOp::FMul:
+    case BinOp::FDiv:
+    case BinOp::FMin:
+    case BinOp::FMax:
+      return Type::F64;
+    default:
+      return Type::I32;
+  }
+}
+
+Type operand_type(BinOp op) {
+  switch (op) {
+    case BinOp::FAdd:
+    case BinOp::FSub:
+    case BinOp::FMul:
+    case BinOp::FDiv:
+    case BinOp::FMin:
+    case BinOp::FMax:
+    case BinOp::FCmpEq:
+    case BinOp::FCmpNe:
+    case BinOp::FCmpLt:
+    case BinOp::FCmpLe:
+    case BinOp::FCmpGt:
+    case BinOp::FCmpGe:
+      return Type::F64;
+    default:
+      return Type::I32;
+  }
+}
+
+ExprPtr Expr::clone() const {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->type = type;
+  e->int_value = int_value;
+  e->float_value = float_value;
+  e->name = name;
+  e->un_op = un_op;
+  e->bin_op = bin_op;
+  e->loc = loc;
+  e->args.reserve(args.size());
+  for (const auto& a : args) e->args.push_back(a->clone());
+  return e;
+}
+
+StmtPtr Stmt::clone() const {
+  auto s = std::make_unique<Stmt>();
+  s->kind = kind;
+  s->loc = loc;
+  s->lhs_name = lhs_name;
+  s->lhs_is_global = lhs_is_global;
+  if (lhs_index) s->lhs_index = lhs_index->clone();
+  if (value) s->value = value->clone();
+  for (const auto& b : body) s->body.push_back(b->clone());
+  for (const auto& b : else_body) s->else_body.push_back(b->clone());
+  s->loop_var = loop_var;
+  if (loop_limit) s->loop_limit = loop_limit->clone();
+  s->annot_format = annot_format;
+  for (const auto& a : annot_args) s->annot_args.push_back(a->clone());
+  return s;
+}
+
+const Function* Program::find_function(const std::string& fn_name) const {
+  for (const auto& f : functions)
+    if (f.name == fn_name) return &f;
+  return nullptr;
+}
+
+const Global* Program::find_global(const std::string& global_name) const {
+  for (const auto& g : globals)
+    if (g.name == global_name) return &g;
+  return nullptr;
+}
+
+ExprPtr int_lit(std::int32_t v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::IntLit;
+  e->type = Type::I32;
+  e->int_value = v;
+  return e;
+}
+
+ExprPtr float_lit(double v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::FloatLit;
+  e->type = Type::F64;
+  e->float_value = v;
+  return e;
+}
+
+ExprPtr local_ref(const std::string& name, Type t) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::LocalRef;
+  e->type = t;
+  e->name = name;
+  return e;
+}
+
+ExprPtr global_ref(const std::string& name, Type t) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::GlobalRef;
+  e->type = t;
+  e->name = name;
+  return e;
+}
+
+ExprPtr index_ref(const std::string& array, ExprPtr idx, Type elem_type) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::Index;
+  e->type = elem_type;
+  e->name = array;
+  e->args.push_back(std::move(idx));
+  return e;
+}
+
+ExprPtr unary(UnOp op, ExprPtr a) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::Unary;
+  e->un_op = op;
+  e->type = result_type(op);
+  e->args.push_back(std::move(a));
+  return e;
+}
+
+ExprPtr binary(BinOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::Binary;
+  e->bin_op = op;
+  e->type = result_type(op);
+  e->args.push_back(std::move(lhs));
+  e->args.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr select(ExprPtr cond, ExprPtr if_true, ExprPtr if_false) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::Select;
+  e->type = if_true->type;
+  e->args.push_back(std::move(cond));
+  e->args.push_back(std::move(if_true));
+  e->args.push_back(std::move(if_false));
+  return e;
+}
+
+StmtPtr assign_local(const std::string& name, ExprPtr value) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::Assign;
+  s->lhs_name = name;
+  s->lhs_is_global = false;
+  s->value = std::move(value);
+  return s;
+}
+
+StmtPtr assign_global(const std::string& name, ExprPtr value) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::Assign;
+  s->lhs_name = name;
+  s->lhs_is_global = true;
+  s->value = std::move(value);
+  return s;
+}
+
+StmtPtr assign_element(const std::string& array, ExprPtr idx, ExprPtr value) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::Assign;
+  s->lhs_name = array;
+  s->lhs_is_global = true;
+  s->lhs_index = std::move(idx);
+  s->value = std::move(value);
+  return s;
+}
+
+StmtPtr if_stmt(ExprPtr cond, std::vector<StmtPtr> then_body,
+                std::vector<StmtPtr> else_body) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::If;
+  s->value = std::move(cond);
+  s->body = std::move(then_body);
+  s->else_body = std::move(else_body);
+  return s;
+}
+
+StmtPtr for_stmt(const std::string& var, ExprPtr init, ExprPtr limit,
+                 std::vector<StmtPtr> body) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::For;
+  s->loop_var = var;
+  s->value = std::move(init);
+  s->loop_limit = std::move(limit);
+  s->body = std::move(body);
+  return s;
+}
+
+StmtPtr while_stmt(ExprPtr cond, std::vector<StmtPtr> body) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::While;
+  s->value = std::move(cond);
+  s->body = std::move(body);
+  return s;
+}
+
+StmtPtr return_stmt(ExprPtr value) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::Return;
+  s->value = std::move(value);
+  return s;
+}
+
+StmtPtr annot_stmt(const std::string& format, std::vector<ExprPtr> args) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::Annot;
+  s->annot_format = format;
+  s->annot_args = std::move(args);
+  return s;
+}
+
+}  // namespace vc::minic

@@ -1,0 +1,187 @@
+// Mini-C: the "algorithmic language" of the reproduction.
+//
+// This is the restricted C subset that the automatic code generator emits
+// (cf. paper §2.1): scalar i32/f64 locals and parameters, scalar/array global
+// state, straight-line symbol patterns, counted loops with static bounds,
+// if/else, and the `__annot` builtin of paper §3.4. MISRA-style restrictions
+// apply by construction: no pointers, no recursion, no unstructured control
+// flow, no dynamic allocation.
+//
+// The AST is a plain tagged tree (one node struct per syntactic class) so the
+// lowering and analysis code can switch on kinds without visitor scaffolding.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/diagnostics.hpp"
+
+namespace vc::minic {
+
+/// Scalar types. Booleans are represented as I32 with values {0, 1}.
+enum class Type { I32, F64 };
+
+std::string to_string(Type t);
+
+enum class UnOp {
+  INeg,   // i32 two's complement negate
+  INot,   // bitwise complement
+  LNot,   // logical not: x == 0 ? 1 : 0
+  FNeg,   // IEEE negate
+  FAbs,   // IEEE absolute value
+  I2F,    // exact i32 -> f64 conversion
+  F2I,    // f64 -> i32, truncation toward zero, saturating at i32 bounds
+};
+
+enum class BinOp {
+  // i32 arithmetic (wrap-around two's complement, like the target machine).
+  IAdd, ISub, IMul, IDiv, IRem,
+  IAnd, IOr, IXor, IShl, IShr,
+  // i32 comparisons, result is i32 in {0, 1}.
+  ICmpEq, ICmpNe, ICmpLt, ICmpLe, ICmpGt, ICmpGe,
+  // f64 IEEE arithmetic.
+  FAdd, FSub, FMul, FDiv, FMin, FMax,
+  // f64 comparisons, result is i32 in {0, 1}. NaN compares false except Ne.
+  FCmpEq, FCmpNe, FCmpLt, FCmpLe, FCmpGt, FCmpGe,
+};
+
+std::string to_string(UnOp op);
+std::string to_string(BinOp op);
+
+/// Result type of an operator.
+Type result_type(UnOp op);
+Type result_type(BinOp op);
+/// Operand type expected by an operator.
+Type operand_type(UnOp op);
+Type operand_type(BinOp op);
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind {
+  IntLit,     // int_value
+  FloatLit,   // float_value
+  LocalRef,   // name (local variable or parameter)
+  GlobalRef,  // name (scalar global)
+  Index,      // name (array global), args[0] = index expression (i32)
+  Unary,      // un_op, args[0]
+  Binary,     // bin_op, args[0], args[1]
+  Select,     // args[0] = condition (i32), args[1], args[2]; strict evaluation
+};
+
+struct Expr {
+  ExprKind kind{};
+  Type type = Type::I32;  // filled in by the builder / type checker
+  std::int32_t int_value = 0;
+  double float_value = 0.0;
+  std::string name;
+  UnOp un_op{};
+  BinOp bin_op{};
+  std::vector<ExprPtr> args;
+  SourceLoc loc;
+
+  [[nodiscard]] ExprPtr clone() const;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class StmtKind {
+  Assign,  // lhs (local/global/array-element) = value
+  If,      // cond, then_body, else_body
+  For,     // canonical counted loop: for (v = init; v < limit; v = v + 1)
+  While,   // guard, body  (requires an annotation for WCET analysis)
+  Return,  // value (may be null for void functions)
+  Annot,   // __annot(format, args...): pro-forma effect, paper §3.4
+};
+
+struct Stmt {
+  StmtKind kind{};
+  SourceLoc loc;
+
+  // Assign
+  std::string lhs_name;
+  bool lhs_is_global = false;
+  ExprPtr lhs_index;  // non-null for array-element assignment
+  ExprPtr value;      // Assign value / If & While condition / Return value / For init
+
+  // If / While / For
+  std::vector<StmtPtr> body;       // If: then branch; For/While: loop body
+  std::vector<StmtPtr> else_body;  // If only
+
+  // For
+  std::string loop_var;  // must be a declared i32 local
+  ExprPtr loop_limit;    // i32 expression, evaluated once before the loop
+
+  // Annot
+  std::string annot_format;        // e.g. "0 <= %1 <= %2 < 360"
+  std::vector<ExprPtr> annot_args; // the %i operands (locals/params only)
+
+  [[nodiscard]] StmtPtr clone() const;
+};
+
+struct Param {
+  std::string name;
+  Type type{};
+};
+
+struct Local {
+  std::string name;
+  Type type{};
+};
+
+struct Function {
+  std::string name;
+  std::vector<Param> params;
+  std::vector<Local> locals;
+  bool has_return = false;
+  Type return_type = Type::F64;
+  std::vector<StmtPtr> body;
+};
+
+/// A global variable: scalar when `count == 1`, array otherwise. Arrays are
+/// always statically sized; `init` holds one value per element (f64 storage,
+/// bit-exact for i32 values too since |i32| < 2^53).
+struct Global {
+  std::string name;
+  Type type{};
+  std::size_t count = 1;
+  std::vector<double> init;
+};
+
+struct Program {
+  std::string name = "program";
+  std::vector<Global> globals;
+  std::vector<Function> functions;
+
+  [[nodiscard]] const Function* find_function(const std::string& fn_name) const;
+  [[nodiscard]] const Global* find_global(const std::string& global_name) const;
+};
+
+// ---------------------------------------------------------------------------
+// Builder helpers: a terse factory API used by the ACG and by tests.
+// ---------------------------------------------------------------------------
+
+ExprPtr int_lit(std::int32_t v);
+ExprPtr float_lit(double v);
+ExprPtr local_ref(const std::string& name, Type t);
+ExprPtr global_ref(const std::string& name, Type t);
+ExprPtr index_ref(const std::string& array, ExprPtr idx, Type elem_type);
+ExprPtr unary(UnOp op, ExprPtr a);
+ExprPtr binary(BinOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr select(ExprPtr cond, ExprPtr if_true, ExprPtr if_false);
+
+StmtPtr assign_local(const std::string& name, ExprPtr value);
+StmtPtr assign_global(const std::string& name, ExprPtr value);
+StmtPtr assign_element(const std::string& array, ExprPtr idx, ExprPtr value);
+StmtPtr if_stmt(ExprPtr cond, std::vector<StmtPtr> then_body,
+                std::vector<StmtPtr> else_body = {});
+StmtPtr for_stmt(const std::string& var, ExprPtr init, ExprPtr limit,
+                 std::vector<StmtPtr> body);
+StmtPtr while_stmt(ExprPtr cond, std::vector<StmtPtr> body);
+StmtPtr return_stmt(ExprPtr value);
+StmtPtr annot_stmt(const std::string& format, std::vector<ExprPtr> args);
+
+}  // namespace vc::minic

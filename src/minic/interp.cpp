@@ -1,0 +1,293 @@
+#include "minic/interp.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "support/strings.hpp"
+
+namespace vc::minic {
+namespace {
+
+std::uint32_t as_u32(std::int32_t v) { return static_cast<std::uint32_t>(v); }
+std::int32_t as_i32(std::uint32_t v) { return static_cast<std::int32_t>(v); }
+
+}  // namespace
+
+bool Value::operator==(const Value& other) const {
+  if (type != other.type) return false;
+  if (type == Type::I32) return i == other.i;
+  // Bit-exact comparison so that -0.0 != 0.0 mismatches and NaNs compare
+  // equal to themselves: differential testing needs bit fidelity.
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::memcpy(&a, &f, sizeof a);
+  std::memcpy(&b, &other.f, sizeof b);
+  return a == b;
+}
+
+std::string Value::to_string() const {
+  if (type == Type::I32) return std::to_string(i);
+  return format_double(f);
+}
+
+std::int32_t eval_ibinop(BinOp op, std::int32_t a, std::int32_t b) {
+  switch (op) {
+    case BinOp::IAdd: return as_i32(as_u32(a) + as_u32(b));
+    case BinOp::ISub: return as_i32(as_u32(a) - as_u32(b));
+    case BinOp::IMul: return as_i32(as_u32(a) * as_u32(b));
+    case BinOp::IDiv:
+      if (b == 0) throw EvalError("integer division by zero");
+      if (a == std::numeric_limits<std::int32_t>::min() && b == -1)
+        return a;  // divw wraps on overflow
+      return a / b;
+    case BinOp::IRem:
+      if (b == 0) throw EvalError("integer remainder by zero");
+      if (a == std::numeric_limits<std::int32_t>::min() && b == -1) return 0;
+      return a % b;
+    case BinOp::IAnd: return a & b;
+    case BinOp::IOr: return a | b;
+    case BinOp::IXor: return a ^ b;
+    case BinOp::IShl: {
+      // PowerPC slw: a 6-bit shift amount; >= 32 produces 0.
+      const std::uint32_t sh = as_u32(b) & 0x3F;
+      if (sh >= 32) return 0;
+      return as_i32(as_u32(a) << sh);
+    }
+    case BinOp::IShr: {
+      // PowerPC sraw: arithmetic shift; >= 32 fills with the sign bit.
+      const std::uint32_t sh = as_u32(b) & 0x3F;
+      if (sh >= 32) return a < 0 ? -1 : 0;
+      return a >> sh;  // implementation-defined pre-C++20; arithmetic in C++20
+    }
+    case BinOp::ICmpEq: return a == b ? 1 : 0;
+    case BinOp::ICmpNe: return a != b ? 1 : 0;
+    case BinOp::ICmpLt: return a < b ? 1 : 0;
+    case BinOp::ICmpLe: return a <= b ? 1 : 0;
+    case BinOp::ICmpGt: return a > b ? 1 : 0;
+    case BinOp::ICmpGe: return a >= b ? 1 : 0;
+    default:
+      throw InternalError("eval_ibinop: not an i32 op");
+  }
+}
+
+double eval_fbinop(BinOp op, double a, double b) {
+  switch (op) {
+    case BinOp::FAdd: return a + b;
+    case BinOp::FSub: return a - b;
+    case BinOp::FMul: return a * b;
+    case BinOp::FDiv: return a / b;
+    // fmin/fmax are defined via compare-and-select (this is also how they are
+    // lowered on the target, so NaN behaviour matches by construction).
+    case BinOp::FMin: return a < b ? a : b;
+    case BinOp::FMax: return a > b ? a : b;
+    default:
+      throw InternalError("eval_fbinop: not an f64 arithmetic op");
+  }
+}
+
+std::int32_t eval_fcmp(BinOp op, double a, double b) {
+  switch (op) {
+    case BinOp::FCmpEq: return a == b ? 1 : 0;
+    case BinOp::FCmpNe: return a != b ? 1 : 0;
+    case BinOp::FCmpLt: return a < b ? 1 : 0;
+    case BinOp::FCmpLe: return a <= b ? 1 : 0;
+    case BinOp::FCmpGt: return a > b ? 1 : 0;
+    case BinOp::FCmpGe: return a >= b ? 1 : 0;
+    default:
+      throw InternalError("eval_fcmp: not an f64 comparison");
+  }
+}
+
+Value eval_unop(UnOp op, const Value& a) {
+  switch (op) {
+    case UnOp::INeg: return Value::of_i32(as_i32(0u - as_u32(a.i)));
+    case UnOp::INot: return Value::of_i32(~a.i);
+    case UnOp::LNot: return Value::of_i32(a.i == 0 ? 1 : 0);
+    case UnOp::FNeg: return Value::of_f64(-a.f);
+    case UnOp::FAbs: return Value::of_f64(std::fabs(a.f));
+    case UnOp::I2F: return Value::of_f64(static_cast<double>(a.i));
+    case UnOp::F2I: {
+      // fctiwz semantics: truncate toward zero, saturate, NaN -> INT32_MIN.
+      const double v = a.f;
+      if (std::isnan(v)) return Value::of_i32(std::numeric_limits<std::int32_t>::min());
+      if (v >= 2147483648.0) return Value::of_i32(std::numeric_limits<std::int32_t>::max());
+      if (v <= -2147483649.0) return Value::of_i32(std::numeric_limits<std::int32_t>::min());
+      return Value::of_i32(static_cast<std::int32_t>(std::trunc(v)));
+    }
+  }
+  throw InternalError("bad UnOp in eval_unop");
+}
+
+Interpreter::Interpreter(const Program& program) : program_(program) {
+  reset_globals();
+}
+
+void Interpreter::reset_globals() {
+  globals_.clear();
+  for (const auto& g : program_.globals) {
+    std::vector<Value> cells(g.count, g.type == Type::I32
+                                          ? Value::of_i32(0)
+                                          : Value::of_f64(0.0));
+    for (std::size_t i = 0; i < g.init.size(); ++i) {
+      cells[i] = g.type == Type::I32
+                     ? Value::of_i32(static_cast<std::int32_t>(g.init[i]))
+                     : Value::of_f64(g.init[i]);
+    }
+    globals_.emplace(g.name, std::move(cells));
+  }
+}
+
+Value Interpreter::call(const std::string& fn_name,
+                        const std::vector<Value>& args) {
+  const Function* fn = program_.find_function(fn_name);
+  if (fn == nullptr) throw EvalError("unknown function '" + fn_name + "'");
+  if (args.size() != fn->params.size())
+    throw EvalError("argument count mismatch calling '" + fn_name + "'");
+
+  Frame frame;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i].type != fn->params[i].type)
+      throw EvalError("argument type mismatch for '" + fn->params[i].name + "'");
+    frame.vars[fn->params[i].name] = args[i];
+  }
+  for (const auto& l : fn->locals) {
+    frame.vars[l.name] =
+        l.type == Type::I32 ? Value::of_i32(0) : Value::of_f64(0.0);
+  }
+
+  annotations_.clear();
+  steps_ = 0;
+  return_value_ =
+      fn->has_return && fn->return_type == Type::F64 ? Value::of_f64(0.0)
+                                                     : Value::of_i32(0);
+  exec_block(fn->body, frame);
+  return return_value_;
+}
+
+Value Interpreter::read_global(const std::string& name,
+                               std::size_t index) const {
+  auto it = globals_.find(name);
+  if (it == globals_.end()) throw EvalError("unknown global '" + name + "'");
+  if (index >= it->second.size())
+    throw EvalError("global index out of range for '" + name + "'");
+  return it->second[index];
+}
+
+void Interpreter::write_global(const std::string& name, std::size_t index,
+                               Value v) {
+  auto it = globals_.find(name);
+  if (it == globals_.end()) throw EvalError("unknown global '" + name + "'");
+  if (index >= it->second.size())
+    throw EvalError("global index out of range for '" + name + "'");
+  if (it->second[index].type != v.type)
+    throw EvalError("global type mismatch for '" + name + "'");
+  it->second[index] = v;
+}
+
+void Interpreter::tick() {
+  if (++steps_ > fuel_) throw EvalError("execution fuel exhausted");
+}
+
+Value Interpreter::eval(const Expr& e, Frame& frame) {
+  switch (e.kind) {
+    case ExprKind::IntLit: return Value::of_i32(e.int_value);
+    case ExprKind::FloatLit: return Value::of_f64(e.float_value);
+    case ExprKind::LocalRef: {
+      auto it = frame.vars.find(e.name);
+      if (it == frame.vars.end())
+        throw EvalError("unbound variable '" + e.name + "'");
+      return it->second;
+    }
+    case ExprKind::GlobalRef: return read_global(e.name, 0);
+    case ExprKind::Index: {
+      const Value idx = eval(*e.args[0], frame);
+      if (idx.i < 0) throw EvalError("negative array index");
+      return read_global(e.name, static_cast<std::size_t>(idx.i));
+    }
+    case ExprKind::Unary: return eval_unop(e.un_op, eval(*e.args[0], frame));
+    case ExprKind::Binary: {
+      const Value a = eval(*e.args[0], frame);
+      const Value b = eval(*e.args[1], frame);
+      if (operand_type(e.bin_op) == Type::I32)
+        return Value::of_i32(eval_ibinop(e.bin_op, a.i, b.i));
+      if (result_type(e.bin_op) == Type::F64)
+        return Value::of_f64(eval_fbinop(e.bin_op, a.f, b.f));
+      return Value::of_i32(eval_fcmp(e.bin_op, a.f, b.f));
+    }
+    case ExprKind::Select: {
+      // Strict evaluation of both arms, matching the compiled select.
+      const Value c = eval(*e.args[0], frame);
+      const Value t = eval(*e.args[1], frame);
+      const Value f = eval(*e.args[2], frame);
+      return c.i != 0 ? t : f;
+    }
+  }
+  throw InternalError("bad expr kind in interpreter");
+}
+
+Interpreter::Flow Interpreter::exec_block(const std::vector<StmtPtr>& block,
+                                          Frame& frame) {
+  for (const auto& s : block) {
+    if (exec_stmt(*s, frame) == Flow::Returned) return Flow::Returned;
+  }
+  return Flow::Normal;
+}
+
+Interpreter::Flow Interpreter::exec_stmt(const Stmt& s, Frame& frame) {
+  tick();
+  switch (s.kind) {
+    case StmtKind::Assign: {
+      const Value v = eval(*s.value, frame);
+      if (s.lhs_is_global) {
+        std::size_t index = 0;
+        if (s.lhs_index) {
+          const Value idx = eval(*s.lhs_index, frame);
+          if (idx.i < 0) throw EvalError("negative array index");
+          index = static_cast<std::size_t>(idx.i);
+        }
+        write_global(s.lhs_name, index, v);
+      } else {
+        frame.vars[s.lhs_name] = v;
+      }
+      return Flow::Normal;
+    }
+    case StmtKind::If: {
+      const Value c = eval(*s.value, frame);
+      return exec_block(c.i != 0 ? s.body : s.else_body, frame);
+    }
+    case StmtKind::For: {
+      const Value init = eval(*s.value, frame);
+      const Value limit = eval(*s.loop_limit, frame);
+      for (std::int32_t i = init.i; i < limit.i; ++i) {
+        tick();
+        frame.vars[s.loop_var] = Value::of_i32(i);
+        if (exec_block(s.body, frame) == Flow::Returned) return Flow::Returned;
+      }
+      // As in C, the loop variable retains its final value.
+      if (init.i < limit.i) frame.vars[s.loop_var] = Value::of_i32(limit.i);
+      else frame.vars[s.loop_var] = init;
+      return Flow::Normal;
+    }
+    case StmtKind::While: {
+      while (eval(*s.value, frame).i != 0) {
+        tick();
+        if (exec_block(s.body, frame) == Flow::Returned) return Flow::Returned;
+      }
+      return Flow::Normal;
+    }
+    case StmtKind::Return:
+      if (s.value) return_value_ = eval(*s.value, frame);
+      return Flow::Returned;
+    case StmtKind::Annot: {
+      AnnotEvent ev;
+      ev.format = s.annot_format;
+      for (const auto& a : s.annot_args) ev.values.push_back(eval(*a, frame));
+      annotations_.push_back(std::move(ev));
+      return Flow::Normal;
+    }
+  }
+  throw InternalError("bad stmt kind in interpreter");
+}
+
+}  // namespace vc::minic

@@ -1,0 +1,102 @@
+// Reference interpreter for mini-C.
+//
+// This is the semantic oracle of the whole reproduction: every compiler
+// configuration is differential-tested against it (machine execution of the
+// compiled binary must produce bit-identical results). Its arithmetic is
+// therefore defined to match the target machine exactly:
+//   - i32 ops wrap modulo 2^32; shifts follow PowerPC slw/sraw/srw semantics;
+//   - idiv truncates toward zero; INT_MIN / -1 yields INT_MIN;
+//   - f64 ops are host IEEE-754 doubles (the target FPU is IEEE too);
+//   - f64 -> i32 conversion truncates toward zero and saturates (fctiwz).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "minic/ast.hpp"
+
+namespace vc::minic {
+
+/// A runtime scalar value.
+struct Value {
+  Type type = Type::I32;
+  std::int32_t i = 0;
+  double f = 0.0;
+
+  static Value of_i32(std::int32_t v) { return Value{Type::I32, v, 0.0}; }
+  static Value of_f64(double v) { return Value{Type::F64, 0, v}; }
+
+  bool operator==(const Value& other) const;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// A runtime error: division by zero, out-of-bounds index, fuel exhaustion.
+class EvalError : public std::runtime_error {
+ public:
+  explicit EvalError(const std::string& message)
+      : std::runtime_error(message) {}
+};
+
+/// One `__annot` execution: the format string plus the argument values
+/// observed at that moment (paper §3.4's "pro-forma effect" semantics).
+struct AnnotEvent {
+  std::string format;
+  std::vector<Value> values;
+};
+
+// Exact operator semantics, shared with the machine simulator so both sides
+// agree by construction.
+std::int32_t eval_ibinop(BinOp op, std::int32_t a, std::int32_t b);
+double eval_fbinop(BinOp op, double a, double b);       // arithmetic f64 ops
+std::int32_t eval_fcmp(BinOp op, double a, double b);   // f64 comparisons
+Value eval_unop(UnOp op, const Value& a);
+
+class Interpreter {
+ public:
+  explicit Interpreter(const Program& program);
+
+  /// Resets all globals to their declared initializers (zero by default).
+  void reset_globals();
+
+  /// Calls `fn_name` with `args`; returns the function result (an arbitrary
+  /// i32 0 for void functions). Throws EvalError on runtime faults.
+  Value call(const std::string& fn_name, const std::vector<Value>& args);
+
+  [[nodiscard]] Value read_global(const std::string& name,
+                                  std::size_t index = 0) const;
+  void write_global(const std::string& name, std::size_t index, Value v);
+
+  /// Annotation events observed during the most recent `call`.
+  [[nodiscard]] const std::vector<AnnotEvent>& annotations() const {
+    return annotations_;
+  }
+
+  /// Statements executed during the most recent `call`.
+  [[nodiscard]] std::uint64_t steps() const { return steps_; }
+
+  /// Execution budget per call; guards against unbounded while loops.
+  void set_fuel(std::uint64_t fuel) { fuel_ = fuel; }
+
+ private:
+  struct Frame {
+    std::map<std::string, Value> vars;
+  };
+
+  enum class Flow { Normal, Returned };
+
+  Value eval(const Expr& e, Frame& frame);
+  Flow exec_block(const std::vector<StmtPtr>& block, Frame& frame);
+  Flow exec_stmt(const Stmt& s, Frame& frame);
+  void tick();
+
+  const Program& program_;
+  std::map<std::string, std::vector<Value>> globals_;
+  std::vector<AnnotEvent> annotations_;
+  Value return_value_ = Value::of_i32(0);
+  std::uint64_t steps_ = 0;
+  std::uint64_t fuel_ = 50'000'000;
+};
+
+}  // namespace vc::minic

@@ -1,0 +1,36 @@
+// Hand-written lexer for mini-C source text.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/diagnostics.hpp"
+
+namespace vc::minic {
+
+enum class TokKind {
+  End,
+  Ident,      // text
+  Keyword,    // text: global func local if else for while return void i32 f64
+              //       fabs fmin fmax __annot inf nan
+  IntLit,     // int_value
+  FloatLit,   // float_value
+  StringLit,  // text (unescaped)
+  Punct,      // text: one of ( ) { } [ ] , ; = == != < <= > >= + - * / %
+              //       & | ^ ~ ! << >> && || ? :
+};
+
+struct Token {
+  TokKind kind = TokKind::End;
+  std::string text;
+  std::int64_t int_value = 0;
+  double float_value = 0.0;
+  SourceLoc loc;
+};
+
+/// Tokenizes `source`; throws CompileError on malformed input.
+/// `//` line comments and `/* */` block comments are skipped.
+std::vector<Token> lex(const std::string& source);
+
+}  // namespace vc::minic

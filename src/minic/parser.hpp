@@ -1,0 +1,18 @@
+// Recursive-descent parser for mini-C.
+//
+// Types are synthesized during parsing (the grammar is simple enough that
+// every expression's type is determined by its leaves), so the parser both
+// builds and type-annotates the AST; `type_check` re-verifies the result.
+#pragma once
+
+#include <string>
+
+#include "minic/ast.hpp"
+
+namespace vc::minic {
+
+/// Parses a whole program. Throws CompileError with source locations.
+Program parse_program(const std::string& source,
+                      const std::string& program_name = "program");
+
+}  // namespace vc::minic

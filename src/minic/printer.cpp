@@ -1,0 +1,147 @@
+#include "minic/printer.hpp"
+
+#include "support/strings.hpp"
+
+namespace vc::minic {
+namespace {
+
+std::string indent_str(int indent) { return std::string(indent * 2, ' '); }
+
+bool is_prefix_unop(UnOp op) {
+  return op == UnOp::INeg || op == UnOp::INot || op == UnOp::LNot ||
+         op == UnOp::FNeg;
+}
+
+}  // namespace
+
+std::string print_expr(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::IntLit:
+      return std::to_string(e.int_value);
+    case ExprKind::FloatLit: {
+      std::string s = format_double(e.float_value);
+      // Ensure the literal re-parses as f64 (needs '.', 'e', or specials).
+      if (s.find('.') == std::string::npos && s.find('e') == std::string::npos &&
+          s.find("inf") == std::string::npos && s.find("nan") == std::string::npos)
+        s += ".0";
+      return s;
+    }
+    case ExprKind::LocalRef:
+    case ExprKind::GlobalRef:
+      return e.name;
+    case ExprKind::Index:
+      return e.name + "[" + print_expr(*e.args[0]) + "]";
+    case ExprKind::Unary:
+      if (is_prefix_unop(e.un_op))
+        return to_string(e.un_op) + "(" + print_expr(*e.args[0]) + ")";
+      if (e.un_op == UnOp::FAbs)
+        return "fabs(" + print_expr(*e.args[0]) + ")";
+      if (e.un_op == UnOp::I2F)
+        return "(f64)(" + print_expr(*e.args[0]) + ")";
+      return "(i32)(" + print_expr(*e.args[0]) + ")";
+    case ExprKind::Binary:
+      if (e.bin_op == BinOp::FMin || e.bin_op == BinOp::FMax)
+        return to_string(e.bin_op) + "(" + print_expr(*e.args[0]) + ", " +
+               print_expr(*e.args[1]) + ")";
+      return "(" + print_expr(*e.args[0]) + " " + to_string(e.bin_op) + " " +
+             print_expr(*e.args[1]) + ")";
+    case ExprKind::Select:
+      return "(" + print_expr(*e.args[0]) + " ? " + print_expr(*e.args[1]) +
+             " : " + print_expr(*e.args[2]) + ")";
+  }
+  throw InternalError("bad expr kind in printer");
+}
+
+std::string print_stmt(const Stmt& s, int indent) {
+  const std::string pad = indent_str(indent);
+  switch (s.kind) {
+    case StmtKind::Assign: {
+      std::string lhs = s.lhs_name;
+      if (s.lhs_index) lhs += "[" + print_expr(*s.lhs_index) + "]";
+      return pad + lhs + " = " + print_expr(*s.value) + ";\n";
+    }
+    case StmtKind::If: {
+      std::string out = pad + "if (" + print_expr(*s.value) + ") {\n";
+      for (const auto& b : s.body) out += print_stmt(*b, indent + 1);
+      out += pad + "}";
+      if (!s.else_body.empty()) {
+        out += " else {\n";
+        for (const auto& b : s.else_body) out += print_stmt(*b, indent + 1);
+        out += pad + "}";
+      }
+      return out + "\n";
+    }
+    case StmtKind::For: {
+      std::string out = pad + "for (" + s.loop_var + " = " +
+                        print_expr(*s.value) + "; " + s.loop_var + " < " +
+                        print_expr(*s.loop_limit) + "; " + s.loop_var + " = " +
+                        s.loop_var + " + 1) {\n";
+      for (const auto& b : s.body) out += print_stmt(*b, indent + 1);
+      return out + pad + "}\n";
+    }
+    case StmtKind::While: {
+      std::string out = pad + "while (" + print_expr(*s.value) + ") {\n";
+      for (const auto& b : s.body) out += print_stmt(*b, indent + 1);
+      return out + pad + "}\n";
+    }
+    case StmtKind::Return:
+      if (s.value) return pad + "return " + print_expr(*s.value) + ";\n";
+      return pad + "return;\n";
+    case StmtKind::Annot: {
+      std::string out = pad + "__annot(\"" + s.annot_format + "\"";
+      for (const auto& a : s.annot_args) out += ", " + print_expr(*a);
+      return out + ");\n";
+    }
+  }
+  throw InternalError("bad stmt kind in printer");
+}
+
+std::string print_function(const Function& fn) {
+  std::string out = "func ";
+  out += fn.has_return ? to_string(fn.return_type) : std::string("void");
+  out += " " + fn.name + "(";
+  for (std::size_t i = 0; i < fn.params.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += to_string(fn.params[i].type) + " " + fn.params[i].name;
+  }
+  out += ") {\n";
+  for (const auto& l : fn.locals)
+    out += "  local " + to_string(l.type) + " " + l.name + ";\n";
+  for (const auto& s : fn.body) out += print_stmt(*s, 1);
+  out += "}\n";
+  return out;
+}
+
+std::string print_program(const Program& program) {
+  std::string out;
+  for (const auto& g : program.globals) {
+    out += "global " + to_string(g.type) + " " + g.name;
+    if (g.count != 1) out += "[" + std::to_string(g.count) + "]";
+    if (!g.init.empty()) {
+      out += " = ";
+      if (g.count == 1) {
+        out += g.type == Type::I32
+                   ? std::to_string(static_cast<std::int32_t>(g.init[0]))
+                   : print_expr(*float_lit(g.init[0]));
+      } else {
+        out += "{";
+        for (std::size_t i = 0; i < g.init.size(); ++i) {
+          if (i != 0) out += ", ";
+          out += g.type == Type::I32
+                     ? std::to_string(static_cast<std::int32_t>(g.init[i]))
+                     : print_expr(*float_lit(g.init[i]));
+        }
+        out += "}";
+      }
+    }
+    out += ";\n";
+  }
+  if (!program.globals.empty()) out += "\n";
+  for (std::size_t i = 0; i < program.functions.size(); ++i) {
+    if (i != 0) out += "\n";
+    out += print_function(program.functions[i]);
+  }
+  return out;
+}
+
+}  // namespace vc::minic

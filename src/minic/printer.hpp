@@ -1,0 +1,16 @@
+// Pretty-printer for mini-C. The output is re-parseable by the mini-C parser
+// (round-trip tested), which is how generated nodes are stored as source files.
+#pragma once
+
+#include <string>
+
+#include "minic/ast.hpp"
+
+namespace vc::minic {
+
+std::string print_expr(const Expr& e);
+std::string print_stmt(const Stmt& s, int indent = 0);
+std::string print_function(const Function& fn);
+std::string print_program(const Program& program);
+
+}  // namespace vc::minic

@@ -1,0 +1,228 @@
+#include "minic/typecheck.hpp"
+
+#include <map>
+#include <set>
+#include <string>
+
+namespace vc::minic {
+namespace {
+
+class Checker {
+ public:
+  Checker(const Program& program, const Function& fn)
+      : program_(program), fn_(fn) {
+    for (const auto& p : fn.params) {
+      if (!vars_.emplace(p.name, p.type).second)
+        fail("duplicate parameter '" + p.name + "'");
+    }
+    for (const auto& l : fn.locals) {
+      if (!vars_.emplace(l.name, l.type).second)
+        fail("duplicate local '" + l.name + "' in function '" + fn.name + "'");
+    }
+  }
+
+  void run() { check_block(fn_.body); }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw CompileError("in function '" + fn_.name + "': " + message);
+  }
+
+  Type check_expr(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::IntLit:
+        expect(e, Type::I32);
+        return Type::I32;
+      case ExprKind::FloatLit:
+        expect(e, Type::F64);
+        return Type::F64;
+      case ExprKind::LocalRef: {
+        auto it = vars_.find(e.name);
+        if (it == vars_.end()) fail("unknown variable '" + e.name + "'");
+        if (it->second != e.type)
+          fail("variable '" + e.name + "' used with wrong type");
+        return it->second;
+      }
+      case ExprKind::GlobalRef: {
+        const Global* g = program_.find_global(e.name);
+        if (g == nullptr) fail("unknown global '" + e.name + "'");
+        if (g->count != 1) fail("array global '" + e.name + "' used as scalar");
+        if (g->type != e.type)
+          fail("global '" + e.name + "' used with wrong type");
+        return g->type;
+      }
+      case ExprKind::Index: {
+        const Global* g = program_.find_global(e.name);
+        if (g == nullptr) fail("unknown global '" + e.name + "'");
+        if (g->count == 1) fail("scalar global '" + e.name + "' indexed");
+        require(e.args.size() == 1, "Index arity");
+        if (check_expr(*e.args[0]) != Type::I32)
+          fail("array index must be i32");
+        if (g->type != e.type)
+          fail("array '" + e.name + "' used with wrong element type");
+        return g->type;
+      }
+      case ExprKind::Unary: {
+        require(e.args.size() == 1, "Unary arity");
+        if (check_expr(*e.args[0]) != operand_type(e.un_op))
+          fail("operand type mismatch for unary " + to_string(e.un_op));
+        if (e.type != result_type(e.un_op))
+          fail("result type mismatch for unary " + to_string(e.un_op));
+        return e.type;
+      }
+      case ExprKind::Binary: {
+        require(e.args.size() == 2, "Binary arity");
+        const Type want = operand_type(e.bin_op);
+        if (check_expr(*e.args[0]) != want || check_expr(*e.args[1]) != want)
+          fail("operand type mismatch for binary " + to_string(e.bin_op));
+        if (e.type != result_type(e.bin_op))
+          fail("result type mismatch for binary " + to_string(e.bin_op));
+        return e.type;
+      }
+      case ExprKind::Select: {
+        require(e.args.size() == 3, "Select arity");
+        if (check_expr(*e.args[0]) != Type::I32)
+          fail("select condition must be i32");
+        const Type a = check_expr(*e.args[1]);
+        const Type b = check_expr(*e.args[2]);
+        if (a != b) fail("select arms have different types");
+        if (e.type != a) fail("select result type mismatch");
+        return a;
+      }
+    }
+    fail("corrupt expression node");
+  }
+
+  void expect(const Expr& e, Type t) const {
+    if (e.type != t) fail("literal with wrong type annotation");
+  }
+
+  void require(bool cond, const std::string& what) const {
+    if (!cond) fail("malformed AST: " + what);
+  }
+
+  void check_block(const std::vector<StmtPtr>& block) {
+    for (const auto& s : block) check_stmt(*s);
+  }
+
+  void check_stmt(const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::Assign: {
+        Type lhs_type;
+        if (s.lhs_is_global) {
+          const Global* g = program_.find_global(s.lhs_name);
+          if (g == nullptr) fail("assignment to unknown global '" + s.lhs_name + "'");
+          if (s.lhs_index != nullptr) {
+            if (g->count == 1) fail("scalar global '" + s.lhs_name + "' indexed");
+            if (check_expr(*s.lhs_index) != Type::I32)
+              fail("array index must be i32");
+          } else if (g->count != 1) {
+            fail("array global '" + s.lhs_name + "' assigned as scalar");
+          }
+          lhs_type = g->type;
+        } else {
+          auto it = vars_.find(s.lhs_name);
+          if (it == vars_.end())
+            fail("assignment to unknown variable '" + s.lhs_name + "'");
+          if (s.lhs_index != nullptr) fail("locals cannot be indexed");
+          lhs_type = it->second;
+        }
+        if (check_expr(*s.value) != lhs_type)
+          fail("assignment type mismatch for '" + s.lhs_name + "'");
+        return;
+      }
+      case StmtKind::If: {
+        if (check_expr(*s.value) != Type::I32) fail("if condition must be i32");
+        check_block(s.body);
+        check_block(s.else_body);
+        return;
+      }
+      case StmtKind::For: {
+        auto it = vars_.find(s.loop_var);
+        if (it == vars_.end())
+          fail("loop variable '" + s.loop_var + "' is not declared");
+        if (it->second != Type::I32) fail("loop variable must be i32");
+        if (check_expr(*s.value) != Type::I32) fail("loop init must be i32");
+        if (check_expr(*s.loop_limit) != Type::I32)
+          fail("loop limit must be i32");
+        // MISRA 13.6-style rule: the loop counter must not be assigned in the
+        // body (this is also what makes loop-bound analysis work, §4.2 of the
+        // companion guideline paper).
+        if (assigns_variable(s.body, s.loop_var))
+          fail("loop variable '" + s.loop_var + "' modified in loop body");
+        check_block(s.body);
+        return;
+      }
+      case StmtKind::While: {
+        if (check_expr(*s.value) != Type::I32)
+          fail("while condition must be i32");
+        check_block(s.body);
+        return;
+      }
+      case StmtKind::Return: {
+        if (fn_.has_return) {
+          if (s.value == nullptr) fail("missing return value");
+          if (check_expr(*s.value) != fn_.return_type)
+            fail("return type mismatch");
+        } else if (s.value != nullptr) {
+          fail("void function returns a value");
+        }
+        return;
+      }
+      case StmtKind::Annot: {
+        for (const auto& a : s.annot_args) {
+          if (a->kind != ExprKind::LocalRef)
+            fail("__annot arguments must be locals or parameters");
+          check_expr(*a);
+        }
+        return;
+      }
+    }
+    fail("corrupt statement node");
+  }
+
+  static bool assigns_variable(const std::vector<StmtPtr>& block,
+                               const std::string& name) {
+    for (const auto& s : block) {
+      if (s->kind == StmtKind::Assign && !s->lhs_is_global &&
+          s->lhs_name == name)
+        return true;
+      if ((s->kind == StmtKind::For || s->kind == StmtKind::While ||
+           s->kind == StmtKind::If)) {
+        if (s->kind == StmtKind::For && s->loop_var == name) return true;
+        if (assigns_variable(s->body, name)) return true;
+        if (assigns_variable(s->else_body, name)) return true;
+      }
+    }
+    return false;
+  }
+
+  const Program& program_;
+  const Function& fn_;
+  std::map<std::string, Type> vars_;
+};
+
+}  // namespace
+
+void type_check_function(const Program& program, const Function& fn) {
+  Checker(program, fn).run();
+}
+
+void type_check(const Program& program) {
+  std::set<std::string> global_names;
+  for (const auto& g : program.globals) {
+    if (!global_names.insert(g.name).second)
+      throw CompileError("duplicate global '" + g.name + "'");
+    if (g.count == 0) throw CompileError("zero-sized global '" + g.name + "'");
+    if (!g.init.empty() && g.init.size() != g.count)
+      throw CompileError("initializer size mismatch for '" + g.name + "'");
+  }
+  std::set<std::string> fn_names;
+  for (const auto& f : program.functions) {
+    if (!fn_names.insert(f.name).second)
+      throw CompileError("duplicate function '" + f.name + "'");
+    type_check_function(program, f);
+  }
+}
+
+}  // namespace vc::minic

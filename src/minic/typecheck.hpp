@@ -1,0 +1,17 @@
+// Mini-C static checks: name resolution, typing, and MISRA-style structural
+// constraints (cf. paper §2.1 and the coding-guideline discussion of the same
+// proceedings: counted loops, no recursion, statically sized arrays).
+#pragma once
+
+#include "minic/ast.hpp"
+
+namespace vc::minic {
+
+/// Verifies a whole program. Throws CompileError on the first violation.
+/// On success, every Expr::type field is consistent with its operands.
+void type_check(const Program& program);
+
+/// Verifies one function against the program's global environment.
+void type_check_function(const Program& program, const Function& fn);
+
+}  // namespace vc::minic

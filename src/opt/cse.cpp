@@ -1,0 +1,228 @@
+#include <cstring>
+#include <map>
+#include <tuple>
+
+#include "opt/opt.hpp"
+
+namespace vc::opt {
+namespace {
+
+using rtl::Function;
+using rtl::Instr;
+using rtl::Opcode;
+using rtl::VReg;
+
+using ValueNumber = std::uint32_t;
+
+/// Hashable key describing a pure computation over value numbers.
+struct ExprKey {
+  Opcode op{};
+  int sub_op = 0;  // un_op or bin_op ordinal
+  std::uint64_t imm = 0;
+  ValueNumber a = 0;
+  ValueNumber b = 0;
+
+  bool operator<(const ExprKey& o) const {
+    return std::tie(op, sub_op, imm, a, b) <
+           std::tie(o.op, o.sub_op, o.imm, o.a, o.b);
+  }
+};
+
+bool is_commutative(minic::BinOp op) {
+  switch (op) {
+    case minic::BinOp::IAdd:
+    case minic::BinOp::IMul:
+    case minic::BinOp::IAnd:
+    case minic::BinOp::IOr:
+    case minic::BinOp::IXor:
+    case minic::BinOp::ICmpEq:
+    case minic::BinOp::ICmpNe:
+    case minic::BinOp::FAdd:
+    case minic::BinOp::FMul:
+    case minic::BinOp::FCmpEq:
+    case minic::BinOp::FCmpNe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Block-local value numbering with copy propagation.
+class LocalVN {
+ public:
+  explicit LocalVN(Function& fn) : fn_(fn) {}
+
+  bool run_block(rtl::BasicBlock& bb) {
+    bool changed = false;
+    vn_of_.clear();
+    canon_.clear();
+    exprs_.clear();
+    next_vn_ = 0;
+
+    for (Instr& ins : bb.instrs) {
+      // Copy-propagate every register use to the canonical holder of its
+      // value number (if that holder is still current).
+      changed |= rewrite_uses(ins);
+
+      if (!ins.is_pure()) {
+        if (auto d = ins.def()) define_fresh(*d);
+        continue;
+      }
+
+      const ExprKey key = make_key(ins);
+      auto it = exprs_.find(key);
+      if (it != exprs_.end()) {
+        const auto [rep, rep_vn] = it->second;
+        if (rep != ins.dst && vn(rep) == rep_vn &&
+            fn_.vregs[rep] == fn_.vregs[ins.dst]) {
+          // Same value already available in `rep`: replace with a move.
+          const VReg dst = ins.dst;
+          Instr mv;
+          mv.op = Opcode::Mov;
+          mv.dst = dst;
+          mv.src1 = rep;
+          ins = mv;
+          set_vn(dst, rep_vn);
+          changed = true;
+          continue;
+        }
+      }
+
+      if (ins.op == Opcode::Mov) {
+        set_vn(ins.dst, vn(ins.src1));
+      } else {
+        define_fresh(ins.dst);
+        exprs_[key] = {ins.dst, vn(ins.dst)};
+      }
+    }
+    return changed;
+  }
+
+ private:
+  ValueNumber vn(VReg v) {
+    auto it = vn_of_.find(v);
+    if (it != vn_of_.end()) return it->second;
+    // First reference to a block-entry value: give it a fresh number and make
+    // this vreg its canonical holder.
+    const ValueNumber n = next_vn_++;
+    vn_of_[v] = n;
+    canon_[n] = v;
+    return n;
+  }
+
+  void set_vn(VReg v, ValueNumber n) {
+    vn_of_[v] = n;
+    if (canon_.find(n) == canon_.end()) canon_[n] = v;
+  }
+
+  void define_fresh(VReg v) {
+    const ValueNumber n = next_vn_++;
+    vn_of_[v] = n;
+    canon_[n] = v;
+  }
+
+  /// Returns the canonical vreg currently holding the same value as `u`,
+  /// or `u` itself.
+  VReg canonical(VReg u) {
+    const ValueNumber n = vn(u);
+    auto it = canon_.find(n);
+    if (it == canon_.end()) return u;
+    const VReg c = it->second;
+    if (c == u) return u;
+    auto cvn = vn_of_.find(c);
+    if (cvn == vn_of_.end() || cvn->second != n) return u;  // holder stale
+    if (fn_.vregs[c] != fn_.vregs[u]) return u;
+    return c;
+  }
+
+  bool rewrite_uses(Instr& ins) {
+    bool changed = false;
+    auto rw = [&](VReg& r) {
+      if (r == rtl::kNoVReg) return;
+      const VReg c = canonical(r);
+      if (c != r) {
+        r = c;
+        changed = true;
+      }
+    };
+    switch (ins.op) {
+      case Opcode::Mov:
+      case Opcode::Un:
+      case Opcode::Branch:
+      case Opcode::StoreGlobal:
+      case Opcode::StoreStack:
+        rw(ins.src1);
+        break;
+      case Opcode::Bin:
+      case Opcode::BranchCmp:
+      case Opcode::StoreGlobalIdx:
+        rw(ins.src1);
+        rw(ins.src2);
+        break;
+      case Opcode::LoadGlobalIdx:
+        rw(ins.src1);
+        break;
+      case Opcode::Ret:
+        if (ins.src1 != rtl::kNoVReg) rw(ins.src1);
+        break;
+      case Opcode::Annot:
+        for (auto& a : ins.annot_args)
+          if (!a.is_slot) rw(a.vreg);
+        break;
+      default:
+        break;
+    }
+    return changed;
+  }
+
+  ExprKey make_key(const Instr& ins) {
+    ExprKey key;
+    key.op = ins.op;
+    switch (ins.op) {
+      case Opcode::LdI:
+        key.imm = static_cast<std::uint32_t>(ins.int_imm);
+        break;
+      case Opcode::LdF:
+        std::memcpy(&key.imm, &ins.f64_imm, sizeof key.imm);
+        break;
+      case Opcode::Mov:
+        key.a = vn(ins.src1);
+        break;
+      case Opcode::Un:
+        key.sub_op = static_cast<int>(ins.un_op);
+        key.a = vn(ins.src1);
+        break;
+      case Opcode::Bin: {
+        key.sub_op = static_cast<int>(ins.bin_op);
+        key.a = vn(ins.src1);
+        key.b = vn(ins.src2);
+        if (is_commutative(ins.bin_op) && key.b < key.a)
+          std::swap(key.a, key.b);
+        break;
+      }
+      case Opcode::GetParam:
+        key.imm = static_cast<std::uint32_t>(ins.param_index);
+        break;
+      default:
+        throw InternalError("make_key on impure instruction");
+    }
+    return key;
+  }
+
+  Function& fn_;
+  std::map<VReg, ValueNumber> vn_of_;
+  std::map<ValueNumber, VReg> canon_;
+  std::map<ExprKey, std::pair<VReg, ValueNumber>> exprs_;
+  ValueNumber next_vn_ = 0;
+};
+
+}  // namespace
+
+bool common_subexpression_elimination(rtl::Function& fn) {
+  LocalVN vn(fn);
+  bool changed = false;
+  for (auto& bb : fn.blocks) changed |= vn.run_block(bb);
+  return changed;
+}
+
+}  // namespace vc::opt

@@ -1,0 +1,63 @@
+#include <algorithm>
+#include <set>
+
+#include "opt/opt.hpp"
+#include "rtl/analysis.hpp"
+
+namespace vc::opt {
+
+bool dead_code_elimination(rtl::Function& fn) {
+  bool any_change = false;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    const rtl::Liveness lv = rtl::compute_liveness(fn);
+    for (rtl::BlockId b = 0; b < fn.blocks.size(); ++b) {
+      std::set<rtl::VReg> live = lv.live_out[b];
+      auto& instrs = fn.blocks[b].instrs;
+      std::vector<rtl::Instr> kept;
+      kept.reserve(instrs.size());
+      for (std::size_t i = instrs.size(); i-- > 0;) {
+        const rtl::Instr& ins = instrs[i];
+        const auto d = ins.def();
+        if (ins.is_pure() && d && live.count(*d) == 0) {
+          changed = true;
+          any_change = true;
+          continue;  // dead: drop
+        }
+        if (d) live.erase(*d);
+        for (rtl::VReg u : ins.uses()) live.insert(u);
+        kept.push_back(ins);
+      }
+      std::reverse(kept.begin(), kept.end());
+      instrs = std::move(kept);
+    }
+  }
+  return any_change;
+}
+
+void run_standard_pipeline(rtl::Function& fn,
+                           std::vector<std::string>* applied,
+                           const PassHook& hook) {
+  // Iterate the pass sequence to a (bounded) fixpoint: constant propagation
+  // exposes CSE opportunities and vice versa.
+  auto run_pass = [&](const char* name, auto pass) {
+    rtl::Function before;
+    if (hook) before = fn;  // snapshot only when a validator is attached
+    if (!pass(fn)) return false;
+    if (applied) applied->push_back(name);
+    if (hook) hook(name, before, fn);
+    return true;
+  };
+  for (int round = 0; round < 4; ++round) {
+    bool changed = false;
+    changed |= run_pass("constprop", constant_propagation);
+    changed |= run_pass("cse", common_subexpression_elimination);
+    changed |= run_pass("dce", dead_code_elimination);
+    changed |= run_pass("tunnel", branch_tunneling);
+    if (!changed) break;
+  }
+  fn.validate();
+}
+
+}  // namespace vc::opt

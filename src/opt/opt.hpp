@@ -1,0 +1,56 @@
+// RTL optimization passes.
+//
+// The pass list matches what the paper reports CompCert 1.7 performs (§3.2):
+// "basic optimizations such as constant propagation, common subexpression
+// elimination and register allocation by graph coloring, but no loop
+// optimizations". Register allocation lives in src/regalloc; everything here
+// is a semantics-preserving RTL->RTL rewrite, each of which can be checked by
+// the translation validator (src/validate).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "rtl/rtl.hpp"
+
+namespace vc::opt {
+
+/// Called after each applied pass with the pass name, a snapshot of the
+/// function before the pass, and the function after it. Used by the
+/// translation validator; may throw ValidationError to abort compilation.
+using PassHook = std::function<void(const std::string& pass,
+                                    const rtl::Function& before,
+                                    const rtl::Function& after)>;
+
+/// Global (whole-CFG) conditional constant propagation and folding.
+/// Folds pure integer and IEEE f64 operations on known constants, rewrites
+/// constant-condition branches into jumps. Integer division by a constant
+/// zero is never folded (the runtime trap is preserved).
+/// Returns true if anything changed.
+bool constant_propagation(rtl::Function& fn);
+
+/// Local common subexpression elimination by value numbering, with integrated
+/// copy propagation. Works block-locally; only pure instructions participate
+/// (memory is never promoted to registers here — that distinction is exactly
+/// the paper's "optimization without register allocation" configuration).
+bool common_subexpression_elimination(rtl::Function& fn);
+
+/// Liveness-based dead code elimination of pure instructions.
+/// Annotation operands count as uses (an __annot keeps its operands alive,
+/// as in CompCert). Returns true if anything changed.
+bool dead_code_elimination(rtl::Function& fn);
+
+/// Branch tunneling (CompCert's `Tunneling` pass): branches targeting blocks
+/// that consist of a single jump are redirected to the final destination;
+/// orphaned forwarders are removed. Returns true if anything changed.
+bool branch_tunneling(rtl::Function& fn);
+
+/// The fixed pass pipeline of the verified configuration: constprop, CSE,
+/// DCE, iterated until fixpoint (bounded). Each applied pass name is appended
+/// to `applied`; `hook`, when set, is invoked after every applied pass.
+void run_standard_pipeline(rtl::Function& fn,
+                           std::vector<std::string>* applied,
+                           const PassHook& hook = {});
+
+}  // namespace vc::opt

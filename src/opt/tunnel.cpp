@@ -1,0 +1,74 @@
+// Branch tunneling: redirects edges that target empty forwarding blocks
+// (blocks consisting of a single jump) to their final destination, then
+// removes the now-unreachable forwarders. This is CompCert's `Tunneling`
+// pass (it sits between register allocation and linearization there; here it
+// runs on RTL, which is equivalent for our structured CFGs).
+//
+// Lowering produces many such forwarders: the join blocks of if/select
+// diamonds whose arms are single moves, and loop exit trampolines.
+#include <vector>
+
+#include "opt/opt.hpp"
+#include "rtl/analysis.hpp"
+
+namespace vc::opt {
+
+namespace {
+
+using rtl::BlockId;
+using rtl::Function;
+using rtl::Instr;
+using rtl::Opcode;
+
+/// Final target of a jump chain starting at `b` (with cycle protection:
+/// an empty infinite loop tunnels to itself).
+BlockId resolve(const Function& fn, BlockId b) {
+  std::vector<bool> seen(fn.blocks.size(), false);
+  while (!seen[b]) {
+    seen[b] = true;
+    const auto& instrs = fn.blocks[b].instrs;
+    if (instrs.size() != 1 || instrs[0].op != Opcode::Jump) break;
+    b = instrs[0].target;
+  }
+  return b;
+}
+
+}  // namespace
+
+bool branch_tunneling(rtl::Function& fn) {
+  bool changed = false;
+  for (auto& bb : fn.blocks) {
+    Instr& t = bb.instrs.back();
+    switch (t.op) {
+      case Opcode::Jump: {
+        const BlockId target = resolve(fn, t.target);
+        // Do not tunnel a forwarder onto itself (empty infinite loop).
+        if (target != t.target && &fn.blocks[target] != &bb) {
+          t.target = target;
+          changed = true;
+        }
+        break;
+      }
+      case Opcode::Branch:
+      case Opcode::BranchCmp: {
+        const BlockId taken = resolve(fn, t.target);
+        const BlockId fall = resolve(fn, t.target2);
+        if (taken != t.target) {
+          t.target = taken;
+          changed = true;
+        }
+        if (fall != t.target2) {
+          t.target2 = fall;
+          changed = true;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  if (changed) rtl::remove_unreachable_blocks(fn);
+  return changed;
+}
+
+}  // namespace vc::opt

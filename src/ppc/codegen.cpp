@@ -1,0 +1,614 @@
+#include "ppc/codegen.hpp"
+
+#include <algorithm>
+
+namespace vc::ppc {
+namespace {
+
+using minic::BinOp;
+using minic::UnOp;
+using rtl::Opcode;
+using rtl::RegClass;
+using rtl::VReg;
+
+/// CR bit indices (whole-CR numbering): integer compares use cr0, float
+/// compares cr1; cr1's FU bit doubles as the cror scratch bit.
+constexpr int kCr0Lt = 0, kCr0Gt = 1, kCr0Eq = 2;
+constexpr int kCr1Lt = 4, kCr1Gt = 5, kCr1Eq = 6, kCr1Scratch = 7;
+
+struct CmpPlan {
+  bool is_float = false;
+  int bit = 0;        // CR bit to test after the compare (and optional cror)
+  bool expect = true; // branch/set when CR[bit] == expect
+  bool need_cror = false;
+  int cror_a = 0, cror_b = 0;  // OR'ed into kCr1Scratch when need_cror
+};
+
+CmpPlan plan_compare(BinOp op) {
+  CmpPlan p;
+  switch (op) {
+    case BinOp::ICmpEq: p.bit = kCr0Eq; p.expect = true; break;
+    case BinOp::ICmpNe: p.bit = kCr0Eq; p.expect = false; break;
+    case BinOp::ICmpLt: p.bit = kCr0Lt; p.expect = true; break;
+    case BinOp::ICmpGe: p.bit = kCr0Lt; p.expect = false; break;
+    case BinOp::ICmpGt: p.bit = kCr0Gt; p.expect = true; break;
+    case BinOp::ICmpLe: p.bit = kCr0Gt; p.expect = false; break;
+    case BinOp::FCmpEq: p.is_float = true; p.bit = kCr1Eq; p.expect = true; break;
+    case BinOp::FCmpNe: p.is_float = true; p.bit = kCr1Eq; p.expect = false; break;
+    case BinOp::FCmpLt: p.is_float = true; p.bit = kCr1Lt; p.expect = true; break;
+    case BinOp::FCmpGt: p.is_float = true; p.bit = kCr1Gt; p.expect = true; break;
+    case BinOp::FCmpLe:
+      p.is_float = true; p.need_cror = true;
+      p.cror_a = kCr1Lt; p.cror_b = kCr1Eq;
+      p.bit = kCr1Scratch; p.expect = true;
+      break;
+    case BinOp::FCmpGe:
+      p.is_float = true; p.need_cror = true;
+      p.cror_a = kCr1Gt; p.cror_b = kCr1Eq;
+      p.bit = kCr1Scratch; p.expect = true;
+      break;
+    default:
+      throw InternalError("plan_compare on non-comparison");
+  }
+  return p;
+}
+
+class Emitter {
+ public:
+  Emitter(const rtl::Function& fn, const regalloc::Allocation& alloc,
+          DataLayout& layout, EmitOptions options)
+      : fn_(fn), alloc_(alloc), layout_(layout), options_(options) {}
+
+  AsmFunction run() {
+    out_.name = fn_.name;
+    const std::size_t n_slots = fn_.slots.size();
+    out_.frame_bytes =
+        n_slots == 0
+            ? 0
+            : static_cast<std::uint32_t>((8 + 8 * n_slots + 15) / 16 * 16);
+
+    // Prologue.
+    if (out_.frame_bytes != 0)
+      push(make_regimm(POp::Addi, kStackPtr, kStackPtr,
+                       -static_cast<std::int32_t>(out_.frame_bytes)));
+
+    for (rtl::BlockId b = 0; b < fn_.blocks.size(); ++b) {
+      out_.labels.emplace_back(static_cast<int>(b), out_.ops.size());
+      for (const rtl::Instr& ins : fn_.blocks[b].instrs) emit(ins);
+    }
+    return std::move(out_);
+  }
+
+ private:
+  // --- helpers --------------------------------------------------------------
+
+  [[nodiscard]] int gpr_of(VReg v) const {
+    const auto& loc = alloc_.locs[v];
+    check(loc.in_reg && fn_.vregs[v] == RegClass::I32,
+          "expected an allocated GPR vreg");
+    check(loc.color < kAllocatableGprs, "GPR color out of range");
+    return kFirstAllocGpr + loc.color;
+  }
+
+  [[nodiscard]] int fpr_of(VReg v) const {
+    const auto& loc = alloc_.locs[v];
+    check(loc.in_reg && fn_.vregs[v] == RegClass::F64,
+          "expected an allocated FPR vreg");
+    check(loc.color < kAllocatableFprs, "FPR color out of range");
+    return kFirstAllocFpr + loc.color;
+  }
+
+  [[nodiscard]] int reg_of(VReg v) const {
+    return fn_.vregs[v] == RegClass::I32 ? gpr_of(v) : fpr_of(v);
+  }
+
+  [[nodiscard]] std::int32_t slot_offset(rtl::Slot s) const {
+    return 8 + 8 * static_cast<std::int32_t>(s);
+  }
+
+  static MInstr make_regimm(POp op, int rd, int ra, std::int32_t imm) {
+    MInstr m;
+    m.op = op;
+    m.rd = static_cast<std::uint8_t>(rd);
+    m.ra = static_cast<std::uint8_t>(ra);
+    m.imm = imm;
+    return m;
+  }
+
+  static MInstr make_reg3(POp op, int rd, int ra, int rb, int rc = 0) {
+    MInstr m;
+    m.op = op;
+    m.rd = static_cast<std::uint8_t>(rd);
+    m.ra = static_cast<std::uint8_t>(ra);
+    m.rb = static_cast<std::uint8_t>(rb);
+    m.rc = static_cast<std::uint8_t>(rc);
+    return m;
+  }
+
+  void push(MInstr ins) {
+    AsmOp op;
+    op.ins = ins;
+    out_.ops.push_back(std::move(op));
+  }
+
+  void push_reloc(MInstr ins, const std::string& sym, std::int32_t addend,
+                  RelocKind kind = RelocKind::DataDisp) {
+    AsmOp op;
+    op.ins = ins;
+    op.reloc_sym = sym;
+    op.reloc_addend = addend;
+    op.reloc_kind = kind;
+    out_.ops.push_back(std::move(op));
+  }
+
+  /// Emits a d-form global/constant-pool access. With small-data addressing
+  /// this is one instruction off r2; without it, a lis @ha / d-form @l pair
+  /// through the scratch register.
+  void access_global(POp dform, int value_reg, const std::string& sym,
+                     std::int32_t addend) {
+    if (options_.small_data_area) {
+      push_reloc(make_regimm(dform, value_reg, kDataBasePtr, 0), sym, addend);
+      return;
+    }
+    push_reloc(make_regimm(POp::Lis, kScratchGpr0, 0, 0), sym, addend,
+               RelocKind::AbsHa);
+    push_reloc(make_regimm(dform, value_reg, kScratchGpr0, 0), sym, addend,
+               RelocKind::AbsLo);
+  }
+
+  /// Materializes the address of sym+addend into `reg`.
+  void load_global_address(int reg, const std::string& sym,
+                           std::int32_t addend) {
+    if (options_.small_data_area) {
+      push_reloc(make_regimm(POp::Addi, reg, kDataBasePtr, 0), sym, addend);
+      return;
+    }
+    push_reloc(make_regimm(POp::Lis, reg, 0, 0), sym, addend, RelocKind::AbsHa);
+    push_reloc(make_regimm(POp::Addi, reg, reg, 0), sym, addend,
+               RelocKind::AbsLo);
+  }
+
+  void push_branch(MInstr ins, int label) {
+    AsmOp op;
+    op.ins = ins;
+    op.target_label = label;
+    out_.ops.push_back(std::move(op));
+  }
+
+  void load_imm(int rd, std::int32_t value) {
+    if (value >= -32768 && value <= 32767) {
+      push(make_regimm(POp::Li, rd, 0, value));
+    } else {
+      push(make_regimm(POp::Lis, rd, 0, value >> 16));
+      const std::int32_t lo = value & 0xFFFF;
+      if (lo != 0) push(make_regimm(POp::Ori, rd, rd, lo));
+    }
+  }
+
+  /// Emits cmpw/fcmpu (+ cror) for `op` on vregs a, b; returns the plan.
+  CmpPlan emit_compare(BinOp op, VReg a, VReg b) {
+    const CmpPlan p = plan_compare(op);
+    if (p.is_float) {
+      MInstr c;
+      c.op = POp::Fcmpu;
+      c.crf = 1;
+      c.ra = static_cast<std::uint8_t>(fpr_of(a));
+      c.rb = static_cast<std::uint8_t>(fpr_of(b));
+      push(c);
+      if (p.need_cror) {
+        MInstr r;
+        r.op = POp::Cror;
+        r.crbd = kCr1Scratch;
+        r.crba = static_cast<std::uint8_t>(p.cror_a);
+        r.crbb = static_cast<std::uint8_t>(p.cror_b);
+        push(r);
+      }
+    } else {
+      MInstr c;
+      c.op = POp::Cmpw;
+      c.crf = 0;
+      c.ra = static_cast<std::uint8_t>(gpr_of(a));
+      c.rb = static_cast<std::uint8_t>(gpr_of(b));
+      push(c);
+    }
+    return p;
+  }
+
+  /// Materializes CR[bit]==expect into rd as 0/1 (mfcr + rlwinm [+ xori]).
+  void materialize_crbit(int rd, int bit, bool expect) {
+    push(make_regimm(POp::Mfcr, kScratchGpr0, 0, 0));
+    MInstr rl;
+    rl.op = POp::Rlwinm;
+    rl.rd = static_cast<std::uint8_t>(rd);
+    rl.ra = kScratchGpr0;
+    rl.sh = static_cast<std::uint8_t>(bit + 1);
+    rl.mb = 31;
+    rl.me = 31;
+    push(rl);
+    if (!expect) push(make_regimm(POp::Xori, rd, rd, 1));
+  }
+
+  [[nodiscard]] int param_reg(int index) const {
+    // The index-th parameter gets the next argument register of its class.
+    int gpr = kFirstArgGpr;
+    int fpr = kFirstArgFpr;
+    for (int i = 0; i < index; ++i) {
+      if (fn_.params[static_cast<std::size_t>(i)].cls == RegClass::I32)
+        ++gpr;
+      else
+        ++fpr;
+    }
+    const bool is_int =
+        fn_.params[static_cast<std::size_t>(index)].cls == RegClass::I32;
+    const int reg = is_int ? gpr : fpr;
+    check(is_int ? reg <= 10 : reg <= 8, "too many parameters for registers");
+    return reg;
+  }
+
+  // --- main dispatcher ------------------------------------------------------
+
+  void emit(const rtl::Instr& ins) {
+    switch (ins.op) {
+      case Opcode::LdI:
+        load_imm(gpr_of(ins.dst), ins.int_imm);
+        return;
+      case Opcode::LdF: {
+        const std::uint32_t off = layout_.add_const(ins.f64_imm);
+        access_global(POp::Lfd, fpr_of(ins.dst), "$cpool",
+                      static_cast<std::int32_t>(off));
+        return;
+      }
+      case Opcode::Mov: {
+        if (fn_.vregs[ins.dst] == RegClass::I32)
+          push(make_regimm(POp::Mr, gpr_of(ins.dst), gpr_of(ins.src1), 0));
+        else
+          push(make_reg3(POp::Fmr, fpr_of(ins.dst), fpr_of(ins.src1), 0));
+        return;
+      }
+      case Opcode::Un:
+        emit_unary(ins);
+        return;
+      case Opcode::Bin:
+        emit_binary(ins);
+        return;
+      case Opcode::LoadGlobal: {
+        const std::uint32_t esz = layout_.elem_size(ins.sym);
+        const std::int32_t addend = static_cast<std::int32_t>(esz) * ins.elem;
+        if (esz == 8)
+          access_global(POp::Lfd, fpr_of(ins.dst), ins.sym, addend);
+        else
+          access_global(POp::Lwz, gpr_of(ins.dst), ins.sym, addend);
+        return;
+      }
+      case Opcode::StoreGlobal: {
+        const std::uint32_t esz = layout_.elem_size(ins.sym);
+        const std::int32_t addend = static_cast<std::int32_t>(esz) * ins.elem;
+        if (esz == 8)
+          access_global(POp::Stfd, fpr_of(ins.src1), ins.sym, addend);
+        else
+          access_global(POp::Stw, gpr_of(ins.src1), ins.sym, addend);
+        return;
+      }
+      case Opcode::LoadGlobalIdx:
+      case Opcode::StoreGlobalIdx: {
+        const bool is_store = ins.op == Opcode::StoreGlobalIdx;
+        const VReg idx = is_store ? ins.src2 : ins.src1;
+        const std::uint32_t esz = layout_.elem_size(ins.sym);
+        // r11 <- idx * esz, then an x-form access against the array base.
+        MInstr sl;
+        sl.op = POp::Rlwinm;
+        sl.rd = kScratchGpr0;
+        sl.ra = static_cast<std::uint8_t>(gpr_of(idx));
+        sl.sh = esz == 8 ? 3 : 2;
+        sl.mb = 0;
+        sl.me = esz == 8 ? 28 : 29;
+        push(sl);
+        int base_reg;
+        if (options_.small_data_area) {
+          // Fold the array offset into the index register, base off r2.
+          push_reloc(make_regimm(POp::Addi, kScratchGpr0, kScratchGpr0, 0),
+                     ins.sym, 0);
+          base_reg = kDataBasePtr;
+        } else {
+          load_global_address(kScratchGpr1, ins.sym, 0);
+          base_reg = kScratchGpr1;
+        }
+        if (is_store) {
+          if (esz == 8)
+            push(make_reg3(POp::Stfdx, fpr_of(ins.src1), base_reg,
+                           kScratchGpr0));
+          else
+            push(make_reg3(POp::Stwx, gpr_of(ins.src1), base_reg,
+                           kScratchGpr0));
+        } else {
+          if (esz == 8)
+            push(make_reg3(POp::Lfdx, fpr_of(ins.dst), base_reg,
+                           kScratchGpr0));
+          else
+            push(make_reg3(POp::Lwzx, gpr_of(ins.dst), base_reg,
+                           kScratchGpr0));
+        }
+        return;
+      }
+      case Opcode::LoadStack: {
+        const std::int32_t off = slot_offset(ins.slot);
+        if (fn_.slots[ins.slot] == RegClass::F64)
+          push(make_regimm(POp::Lfd, fpr_of(ins.dst), kStackPtr, off));
+        else
+          push(make_regimm(POp::Lwz, gpr_of(ins.dst), kStackPtr, off));
+        return;
+      }
+      case Opcode::StoreStack: {
+        const std::int32_t off = slot_offset(ins.slot);
+        if (fn_.slots[ins.slot] == RegClass::F64)
+          push(make_regimm(POp::Stfd, fpr_of(ins.src1), kStackPtr, off));
+        else
+          push(make_regimm(POp::Stw, gpr_of(ins.src1), kStackPtr, off));
+        return;
+      }
+      case Opcode::GetParam: {
+        const int src = param_reg(ins.param_index);
+        if (fn_.vregs[ins.dst] == RegClass::I32)
+          push(make_regimm(POp::Mr, gpr_of(ins.dst), src, 0));
+        else
+          push(make_reg3(POp::Fmr, fpr_of(ins.dst), src, 0));
+        return;
+      }
+      case Opcode::Jump: {
+        MInstr b;
+        b.op = POp::B;
+        push_branch(b, static_cast<int>(ins.target));
+        return;
+      }
+      case Opcode::Branch: {
+        MInstr c;
+        c.op = POp::Cmpwi;
+        c.crf = 0;
+        c.ra = static_cast<std::uint8_t>(gpr_of(ins.src1));
+        c.imm = 0;
+        push(c);
+        MInstr bc;
+        bc.op = POp::Bc;
+        bc.crbit = kCr0Eq;
+        bc.expect = false;  // branch if src != 0
+        push_branch(bc, static_cast<int>(ins.target));
+        MInstr b;
+        b.op = POp::B;
+        push_branch(b, static_cast<int>(ins.target2));
+        return;
+      }
+      case Opcode::BranchCmp: {
+        const CmpPlan p = emit_compare(ins.bin_op, ins.src1, ins.src2);
+        MInstr bc;
+        bc.op = POp::Bc;
+        bc.crbit = static_cast<std::uint8_t>(p.bit);
+        bc.expect = p.expect;
+        push_branch(bc, static_cast<int>(ins.target));
+        MInstr b;
+        b.op = POp::B;
+        push_branch(b, static_cast<int>(ins.target2));
+        return;
+      }
+      case Opcode::Ret: {
+        if (ins.src1 != rtl::kNoVReg) {
+          if (fn_.vregs[ins.src1] == RegClass::I32) {
+            if (gpr_of(ins.src1) != kRetGpr)
+              push(make_regimm(POp::Mr, kRetGpr, gpr_of(ins.src1), 0));
+          } else if (fpr_of(ins.src1) != kRetFpr) {
+            push(make_reg3(POp::Fmr, kRetFpr, fpr_of(ins.src1), 0));
+          }
+        }
+        if (out_.frame_bytes != 0)
+          push(make_regimm(POp::Addi, kStackPtr, kStackPtr,
+                           static_cast<std::int32_t>(out_.frame_bytes)));
+        MInstr blr;
+        blr.op = POp::Blr;
+        push(blr);
+        return;
+      }
+      case Opcode::Annot: {
+        AnnotEntry entry;
+        entry.addr = static_cast<std::uint32_t>(out_.ops.size());
+        entry.format = ins.annot_format;
+        for (const rtl::AnnotOperand& a : ins.annot_args) {
+          MLoc loc;
+          if (a.is_slot) {
+            loc.kind = MLoc::Kind::StackSlot;
+            loc.offset = slot_offset(a.slot) -
+                         static_cast<std::int32_t>(out_.frame_bytes);
+            loc.is_f64 = fn_.slots[a.slot] == RegClass::F64;
+          } else if (fn_.vregs[a.vreg] == RegClass::I32) {
+            loc.kind = MLoc::Kind::Gpr;
+            loc.index = gpr_of(a.vreg);
+          } else {
+            loc.kind = MLoc::Kind::Fpr;
+            loc.index = fpr_of(a.vreg);
+          }
+          entry.operands.push_back(loc);
+        }
+        out_.annots.push_back(std::move(entry));
+        return;
+      }
+    }
+    throw InternalError("bad RTL opcode in codegen");
+  }
+
+  void emit_unary(const rtl::Instr& ins) {
+    switch (ins.un_op) {
+      case UnOp::INeg:
+        push(make_regimm(POp::Neg, gpr_of(ins.dst), gpr_of(ins.src1), 0));
+        return;
+      case UnOp::INot:
+        push(make_reg3(POp::Nor, gpr_of(ins.dst), gpr_of(ins.src1),
+                       gpr_of(ins.src1)));
+        return;
+      case UnOp::FNeg:
+        push(make_reg3(POp::Fneg, fpr_of(ins.dst), fpr_of(ins.src1), 0));
+        return;
+      case UnOp::FAbs:
+        push(make_reg3(POp::Fabs, fpr_of(ins.dst), fpr_of(ins.src1), 0));
+        return;
+      case UnOp::I2F:
+        push(make_reg3(POp::Icvf, fpr_of(ins.dst), gpr_of(ins.src1), 0));
+        return;
+      case UnOp::F2I:
+        push(make_reg3(POp::Fcti, gpr_of(ins.dst), fpr_of(ins.src1), 0));
+        return;
+      case UnOp::LNot:
+        throw InternalError("LNot must be expanded during lowering");
+    }
+    throw InternalError("bad UnOp in codegen");
+  }
+
+  void emit_binary(const rtl::Instr& ins) {
+    switch (ins.bin_op) {
+      case BinOp::IAdd:
+        push(make_reg3(POp::Add, gpr_of(ins.dst), gpr_of(ins.src1),
+                       gpr_of(ins.src2)));
+        return;
+      case BinOp::ISub:
+        // subf rd, ra, rb computes rb - ra.
+        push(make_reg3(POp::Subf, gpr_of(ins.dst), gpr_of(ins.src2),
+                       gpr_of(ins.src1)));
+        return;
+      case BinOp::IMul:
+        push(make_reg3(POp::Mullw, gpr_of(ins.dst), gpr_of(ins.src1),
+                       gpr_of(ins.src2)));
+        return;
+      case BinOp::IDiv:
+        push(make_reg3(POp::Divw, gpr_of(ins.dst), gpr_of(ins.src1),
+                       gpr_of(ins.src2)));
+        return;
+      case BinOp::IRem: {
+        // r11 = a / b ; r11 = r11 * b ; rd = a - r11.
+        const int a = gpr_of(ins.src1);
+        const int b = gpr_of(ins.src2);
+        push(make_reg3(POp::Divw, kScratchGpr0, a, b));
+        push(make_reg3(POp::Mullw, kScratchGpr0, kScratchGpr0, b));
+        push(make_reg3(POp::Subf, gpr_of(ins.dst), kScratchGpr0, a));
+        return;
+      }
+      case BinOp::IAnd:
+        push(make_reg3(POp::And, gpr_of(ins.dst), gpr_of(ins.src1),
+                       gpr_of(ins.src2)));
+        return;
+      case BinOp::IOr:
+        push(make_reg3(POp::Or, gpr_of(ins.dst), gpr_of(ins.src1),
+                       gpr_of(ins.src2)));
+        return;
+      case BinOp::IXor:
+        push(make_reg3(POp::Xor, gpr_of(ins.dst), gpr_of(ins.src1),
+                       gpr_of(ins.src2)));
+        return;
+      case BinOp::IShl:
+        push(make_reg3(POp::Slw, gpr_of(ins.dst), gpr_of(ins.src1),
+                       gpr_of(ins.src2)));
+        return;
+      case BinOp::IShr:
+        push(make_reg3(POp::Sraw, gpr_of(ins.dst), gpr_of(ins.src1),
+                       gpr_of(ins.src2)));
+        return;
+      case BinOp::FAdd:
+        push(make_reg3(POp::Fadd, fpr_of(ins.dst), fpr_of(ins.src1),
+                       fpr_of(ins.src2)));
+        return;
+      case BinOp::FSub:
+        push(make_reg3(POp::Fsub, fpr_of(ins.dst), fpr_of(ins.src1),
+                       fpr_of(ins.src2)));
+        return;
+      case BinOp::FMul:
+        push(make_reg3(POp::Fmul, fpr_of(ins.dst), fpr_of(ins.src1),
+                       fpr_of(ins.src2)));
+        return;
+      case BinOp::FDiv:
+        push(make_reg3(POp::Fdiv, fpr_of(ins.dst), fpr_of(ins.src1),
+                       fpr_of(ins.src2)));
+        return;
+      case BinOp::ICmpEq: case BinOp::ICmpNe: case BinOp::ICmpLt:
+      case BinOp::ICmpLe: case BinOp::ICmpGt: case BinOp::ICmpGe:
+      case BinOp::FCmpEq: case BinOp::FCmpNe: case BinOp::FCmpLt:
+      case BinOp::FCmpLe: case BinOp::FCmpGt: case BinOp::FCmpGe: {
+        const CmpPlan p = emit_compare(ins.bin_op, ins.src1, ins.src2);
+        materialize_crbit(gpr_of(ins.dst), p.bit, p.expect);
+        return;
+      }
+      case BinOp::FMin:
+      case BinOp::FMax:
+        throw InternalError("fmin/fmax must be expanded during lowering");
+    }
+    throw InternalError("bad BinOp in codegen");
+  }
+
+  const rtl::Function& fn_;
+  const regalloc::Allocation& alloc_;
+  DataLayout& layout_;
+  EmitOptions options_;
+  AsmFunction out_;
+};
+
+}  // namespace
+
+std::size_t AsmFunction::label_pos(int label) const {
+  for (const auto& [l, pos] : labels)
+    if (l == label) return pos;
+  throw InternalError("unknown label");
+}
+
+AsmFunction emit_function(const rtl::Function& fn,
+                          const regalloc::Allocation& alloc,
+                          DataLayout& layout, EmitOptions options) {
+  return Emitter(fn, alloc, layout, options).run();
+}
+
+MachineFunction finalize(const AsmFunction& asm_fn) {
+  MachineFunction out;
+  out.name = asm_fn.name;
+  out.frame_bytes = asm_fn.frame_bytes;
+  out.code.reserve(asm_fn.ops.size());
+  for (std::size_t i = 0; i < asm_fn.ops.size(); ++i) {
+    const AsmOp& op = asm_fn.ops[i];
+    MInstr ins = op.ins;
+    if (op.target_label >= 0) {
+      const std::size_t target = asm_fn.label_pos(op.target_label);
+      ins.disp = static_cast<std::int32_t>(target) -
+                 static_cast<std::int32_t>(i);
+    }
+    if (!op.reloc_sym.empty())
+      out.relocs.push_back(
+          Reloc{i, op.reloc_sym, op.reloc_addend, op.reloc_kind});
+    out.code.push_back(ins);
+  }
+  for (const AnnotEntry& a : asm_fn.annots) {
+    AnnotEntry e = a;
+    // Clamp annotations that fall at the very end of the function.
+    if (e.addr >= out.code.size() && !out.code.empty())
+      e.addr = static_cast<std::uint32_t>(out.code.size() - 1);
+    out.annots.push_back(std::move(e));
+  }
+  return out;
+}
+
+int remove_self_moves(AsmFunction& fn) {
+  std::vector<AsmOp> kept;
+  std::vector<std::size_t> new_index(fn.ops.size() + 1, 0);
+  int removed = 0;
+  for (std::size_t i = 0; i < fn.ops.size(); ++i) {
+    new_index[i] = kept.size();
+    const MInstr& m = fn.ops[i].ins;
+    const bool self_move = (m.op == POp::Mr || m.op == POp::Fmr) &&
+                           m.rd == m.ra && fn.ops[i].target_label < 0;
+    if (self_move) {
+      ++removed;
+      continue;
+    }
+    kept.push_back(fn.ops[i]);
+  }
+  new_index[fn.ops.size()] = kept.size();
+  if (removed == 0) return 0;
+  for (auto& [label, pos] : fn.labels) pos = new_index[pos];
+  for (auto& a : fn.annots) a.addr = static_cast<std::uint32_t>(new_index[a.addr]);
+  fn.ops = std::move(kept);
+  return removed;
+}
+
+}  // namespace vc::ppc

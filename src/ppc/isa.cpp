@@ -1,0 +1,364 @@
+#include "ppc/isa.hpp"
+
+#include <array>
+
+#include "support/strings.hpp"
+
+namespace vc::ppc {
+namespace {
+
+enum class Format {
+  Reg3,    // rd, ra, rb, rc
+  RegImm,  // rd, ra, imm16
+  Rlwinm,  // rd, ra, sh, mb, me
+  Cmp,     // crf, ra, rb
+  CmpImm,  // crf, ra, imm16
+  Cror,    // crbd, crba, crbb
+  Mfcr,    // rd
+  B,       // disp26
+  Bc,      // crbit, expect, disp16
+  None,    // blr, nop
+};
+
+Format format_of(POp op) {
+  switch (op) {
+    case POp::Li: case POp::Lis: case POp::Ori: case POp::Xori:
+    case POp::Addi: case POp::Mr:
+    case POp::Lwz: case POp::Stw: case POp::Lfd: case POp::Stfd:
+      return Format::RegImm;
+    case POp::Add: case POp::Subf: case POp::Mullw: case POp::Divw:
+    case POp::And: case POp::Or: case POp::Xor: case POp::Nor:
+    case POp::Neg: case POp::Slw: case POp::Sraw: case POp::Srw:
+    case POp::Fadd: case POp::Fsub: case POp::Fmul: case POp::Fdiv:
+    case POp::Fmadd: case POp::Fmsub:
+    case POp::Fneg: case POp::Fabs: case POp::Fmr:
+    case POp::Fcti: case POp::Icvf:
+    case POp::Lwzx: case POp::Stwx: case POp::Lfdx: case POp::Stfdx:
+      return Format::Reg3;
+    case POp::Rlwinm:
+      return Format::Rlwinm;
+    case POp::Cmpw: case POp::Fcmpu:
+      return Format::Cmp;
+    case POp::Cmpwi:
+      return Format::CmpImm;
+    case POp::Cror:
+      return Format::Cror;
+    case POp::Mfcr:
+      return Format::Mfcr;
+    case POp::B:
+      return Format::B;
+    case POp::Bc:
+      return Format::Bc;
+    case POp::Blr: case POp::Nop:
+      return Format::None;
+  }
+  throw InternalError("bad POp");
+}
+
+bool imm_is_signed(POp op) {
+  switch (op) {
+    case POp::Ori:
+    case POp::Xori:
+      return false;
+    default:
+      return true;
+  }
+}
+
+constexpr std::uint32_t kOpShift = 26;
+
+void require_fits(bool ok, const char* what) {
+  if (!ok) throw InternalError(std::string("encoding overflow: ") + what);
+}
+
+}  // namespace
+
+bool MInstr::operator==(const MInstr& o) const {
+  return op == o.op && rd == o.rd && ra == o.ra && rb == o.rb && rc == o.rc &&
+         imm == o.imm && sh == o.sh && mb == o.mb && me == o.me &&
+         crf == o.crf && crbd == o.crbd && crba == o.crba && crbb == o.crbb &&
+         crbit == o.crbit && expect == o.expect && disp == o.disp;
+}
+
+std::string mnemonic(POp op) {
+  switch (op) {
+    case POp::Li: return "li";
+    case POp::Lis: return "lis";
+    case POp::Ori: return "ori";
+    case POp::Xori: return "xori";
+    case POp::Addi: return "addi";
+    case POp::Mr: return "mr";
+    case POp::Add: return "add";
+    case POp::Subf: return "subf";
+    case POp::Mullw: return "mullw";
+    case POp::Divw: return "divw";
+    case POp::And: return "and";
+    case POp::Or: return "or";
+    case POp::Xor: return "xor";
+    case POp::Nor: return "nor";
+    case POp::Neg: return "neg";
+    case POp::Slw: return "slw";
+    case POp::Sraw: return "sraw";
+    case POp::Srw: return "srw";
+    case POp::Rlwinm: return "rlwinm";
+    case POp::Cmpw: return "cmpw";
+    case POp::Cmpwi: return "cmpwi";
+    case POp::Fcmpu: return "fcmpu";
+    case POp::Cror: return "cror";
+    case POp::Mfcr: return "mfcr";
+    case POp::Fadd: return "fadd";
+    case POp::Fsub: return "fsub";
+    case POp::Fmul: return "fmul";
+    case POp::Fdiv: return "fdiv";
+    case POp::Fmadd: return "fmadd";
+    case POp::Fmsub: return "fmsub";
+    case POp::Fneg: return "fneg";
+    case POp::Fabs: return "fabs";
+    case POp::Fmr: return "fmr";
+    case POp::Fcti: return "fcti";
+    case POp::Icvf: return "icvf";
+    case POp::Lwz: return "lwz";
+    case POp::Stw: return "stw";
+    case POp::Lwzx: return "lwzx";
+    case POp::Stwx: return "stwx";
+    case POp::Lfd: return "lfd";
+    case POp::Stfd: return "stfd";
+    case POp::Lfdx: return "lfdx";
+    case POp::Stfdx: return "stfdx";
+    case POp::B: return "b";
+    case POp::Bc: return "bc";
+    case POp::Blr: return "blr";
+    case POp::Nop: return "nop";
+  }
+  throw InternalError("bad POp");
+}
+
+std::string format_instr(const MInstr& ins, std::uint32_t addr) {
+  const std::string m = mnemonic(ins.op);
+  auto gpr = [](int r) { return "r" + std::to_string(r); };
+  auto fpr = [](int r) { return "f" + std::to_string(r); };
+  const bool fp = (ins.op >= POp::Fadd && ins.op <= POp::Fmr) ||
+                  ins.op == POp::Fcmpu;
+  auto reg = [&](int r) { return fp ? fpr(r) : gpr(r); };
+
+  switch (format_of(ins.op)) {
+    case Format::RegImm:
+      switch (ins.op) {
+        case POp::Li:
+        case POp::Lis:
+          return m + " " + gpr(ins.rd) + ", " + std::to_string(ins.imm);
+        case POp::Mr:
+          return m + " " + gpr(ins.rd) + ", " + gpr(ins.ra);
+        case POp::Lwz:
+          return m + " " + gpr(ins.rd) + ", " + std::to_string(ins.imm) + "(" +
+                 gpr(ins.ra) + ")";
+        case POp::Lfd:
+          return m + " " + fpr(ins.rd) + ", " + std::to_string(ins.imm) + "(" +
+                 gpr(ins.ra) + ")";
+        case POp::Stw:
+          return m + " " + gpr(ins.rd) + ", " + std::to_string(ins.imm) + "(" +
+                 gpr(ins.ra) + ")";
+        case POp::Stfd:
+          return m + " " + fpr(ins.rd) + ", " + std::to_string(ins.imm) + "(" +
+                 gpr(ins.ra) + ")";
+        default:
+          return m + " " + gpr(ins.rd) + ", " + gpr(ins.ra) + ", " +
+                 std::to_string(ins.imm);
+      }
+    case Format::Reg3:
+      switch (ins.op) {
+        case POp::Neg: case POp::Fneg: case POp::Fabs: case POp::Fmr:
+          return m + " " + reg(ins.rd) + ", " + reg(ins.ra);
+        case POp::Fcti:
+          return m + " " + gpr(ins.rd) + ", " + fpr(ins.ra);
+        case POp::Icvf:
+          return m + " " + fpr(ins.rd) + ", " + gpr(ins.ra);
+        case POp::Fmadd: case POp::Fmsub:
+          return m + " " + fpr(ins.rd) + ", " + fpr(ins.ra) + ", " +
+                 fpr(ins.rb) + ", " + fpr(ins.rc);
+        case POp::Lwzx: case POp::Stwx:
+          return m + " " + gpr(ins.rd) + ", " + gpr(ins.ra) + ", " + gpr(ins.rb);
+        case POp::Lfdx: case POp::Stfdx:
+          return m + " " + fpr(ins.rd) + ", " + gpr(ins.ra) + ", " + gpr(ins.rb);
+        default:
+          return m + " " + reg(ins.rd) + ", " + reg(ins.ra) + ", " + reg(ins.rb);
+      }
+    case Format::Rlwinm:
+      return m + " " + gpr(ins.rd) + ", " + gpr(ins.ra) + ", " +
+             std::to_string(ins.sh) + ", " + std::to_string(ins.mb) + ", " +
+             std::to_string(ins.me);
+    case Format::Cmp:
+      return m + " cr" + std::to_string(ins.crf) + ", " + reg(ins.ra) + ", " +
+             reg(ins.rb);
+    case Format::CmpImm:
+      return m + " cr" + std::to_string(ins.crf) + ", " + gpr(ins.ra) + ", " +
+             std::to_string(ins.imm);
+    case Format::Cror:
+      return m + " " + std::to_string(ins.crbd) + ", " +
+             std::to_string(ins.crba) + ", " + std::to_string(ins.crbb);
+    case Format::Mfcr:
+      return m + " " + gpr(ins.rd);
+    case Format::B:
+      return m + " " + hex32(addr + static_cast<std::uint32_t>(ins.disp) * 4);
+    case Format::Bc: {
+      static const char* names[4] = {"lt", "gt", "eq", "so"};
+      const std::string cond = std::string(ins.expect ? "" : "!") + "cr" +
+                               std::to_string(ins.crbit / 4) + "." +
+                               names[ins.crbit % 4];
+      return m + " " + cond + ", " +
+             hex32(addr + static_cast<std::uint32_t>(ins.disp) * 4);
+    }
+    case Format::None:
+      return m;
+  }
+  throw InternalError("bad format");
+}
+
+std::uint32_t encode(const MInstr& ins) {
+  const auto opbits = static_cast<std::uint32_t>(ins.op);
+  require_fits(opbits < 64, "opcode");
+  std::uint32_t w = opbits << kOpShift;
+  auto r5 = [&](std::uint32_t v, int shift, const char* what) {
+    require_fits(v < 32, what);
+    w |= v << shift;
+  };
+  switch (format_of(ins.op)) {
+    case Format::RegImm: {
+      r5(ins.rd, 21, "rd");
+      r5(ins.ra, 16, "ra");
+      if (imm_is_signed(ins.op))
+        require_fits(ins.imm >= -32768 && ins.imm <= 32767, "simm16");
+      else
+        require_fits(ins.imm >= 0 && ins.imm <= 65535, "uimm16");
+      w |= static_cast<std::uint32_t>(ins.imm) & 0xFFFF;
+      break;
+    }
+    case Format::Reg3:
+      r5(ins.rd, 21, "rd");
+      r5(ins.ra, 16, "ra");
+      r5(ins.rb, 11, "rb");
+      r5(ins.rc, 6, "rc");
+      break;
+    case Format::Rlwinm:
+      r5(ins.rd, 21, "rd");
+      r5(ins.ra, 16, "ra");
+      r5(ins.sh, 11, "sh");
+      r5(ins.mb, 6, "mb");
+      r5(ins.me, 1, "me");
+      break;
+    case Format::Cmp:
+      require_fits(ins.crf < 8, "crf");
+      w |= static_cast<std::uint32_t>(ins.crf) << 23;
+      r5(ins.ra, 18, "ra");
+      r5(ins.rb, 13, "rb");
+      break;
+    case Format::CmpImm:
+      require_fits(ins.crf < 8, "crf");
+      w |= static_cast<std::uint32_t>(ins.crf) << 23;
+      r5(ins.ra, 18, "ra");
+      require_fits(ins.imm >= -32768 && ins.imm <= 32767, "simm16");
+      w |= static_cast<std::uint32_t>(ins.imm) & 0xFFFF;
+      break;
+    case Format::Cror:
+      r5(ins.crbd, 21, "crbd");
+      r5(ins.crba, 16, "crba");
+      r5(ins.crbb, 11, "crbb");
+      break;
+    case Format::Mfcr:
+      r5(ins.rd, 21, "rd");
+      break;
+    case Format::B:
+      require_fits(ins.disp >= -(1 << 25) && ins.disp < (1 << 25), "disp26");
+      w |= static_cast<std::uint32_t>(ins.disp) & 0x03FFFFFF;
+      break;
+    case Format::Bc:
+      r5(ins.crbit, 21, "crbit");
+      if (ins.expect) w |= 1u << 20;
+      require_fits(ins.disp >= -32768 && ins.disp <= 32767, "disp16");
+      w |= static_cast<std::uint32_t>(ins.disp) & 0xFFFF;
+      break;
+    case Format::None:
+      break;
+  }
+  return w;
+}
+
+MInstr decode(std::uint32_t word) {
+  const std::uint32_t opbits = word >> kOpShift;
+  if (opbits > static_cast<std::uint32_t>(POp::Nop))
+    throw CompileError("invalid opcode in instruction word " + hex32(word));
+  MInstr ins;
+  ins.op = static_cast<POp>(opbits);
+  auto sext16 = [](std::uint32_t v) {
+    return static_cast<std::int32_t>(static_cast<std::int16_t>(v & 0xFFFF));
+  };
+  switch (format_of(ins.op)) {
+    case Format::RegImm:
+      ins.rd = (word >> 21) & 31;
+      ins.ra = (word >> 16) & 31;
+      ins.imm = imm_is_signed(ins.op) ? sext16(word)
+                                      : static_cast<std::int32_t>(word & 0xFFFF);
+      break;
+    case Format::Reg3:
+      ins.rd = (word >> 21) & 31;
+      ins.ra = (word >> 16) & 31;
+      ins.rb = (word >> 11) & 31;
+      ins.rc = (word >> 6) & 31;
+      break;
+    case Format::Rlwinm:
+      ins.rd = (word >> 21) & 31;
+      ins.ra = (word >> 16) & 31;
+      ins.sh = (word >> 11) & 31;
+      ins.mb = (word >> 6) & 31;
+      ins.me = (word >> 1) & 31;
+      break;
+    case Format::Cmp:
+      ins.crf = (word >> 23) & 7;
+      ins.ra = (word >> 18) & 31;
+      ins.rb = (word >> 13) & 31;
+      break;
+    case Format::CmpImm:
+      ins.crf = (word >> 23) & 7;
+      ins.ra = (word >> 18) & 31;
+      ins.imm = sext16(word);
+      break;
+    case Format::Cror:
+      ins.crbd = (word >> 21) & 31;
+      ins.crba = (word >> 16) & 31;
+      ins.crbb = (word >> 11) & 31;
+      break;
+    case Format::Mfcr:
+      ins.rd = (word >> 21) & 31;
+      break;
+    case Format::B: {
+      std::uint32_t d = word & 0x03FFFFFF;
+      if (d & 0x02000000) d |= 0xFC000000;  // sign-extend 26 bits
+      ins.disp = static_cast<std::int32_t>(d);
+      break;
+    }
+    case Format::Bc:
+      ins.crbit = (word >> 21) & 31;
+      ins.expect = ((word >> 20) & 1) != 0;
+      ins.disp = sext16(word);
+      break;
+    case Format::None:
+      break;
+  }
+  return ins;
+}
+
+bool is_memory_op(POp op) {
+  switch (op) {
+    case POp::Lwz: case POp::Stw: case POp::Lwzx: case POp::Stwx:
+    case POp::Lfd: case POp::Stfd: case POp::Lfdx: case POp::Stfdx:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_branch(POp op) {
+  return op == POp::B || op == POp::Bc || op == POp::Blr;
+}
+
+}  // namespace vc::ppc

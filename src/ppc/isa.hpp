@@ -1,0 +1,108 @@
+// The target instruction set: a PowerPC-G3-like 32-bit RISC ISA.
+//
+// The MPC755 of the paper is modelled by a subset of the PowerPC user ISA
+// plus two documented substitutions (DESIGN.md §6): `fcti`/`icvf` perform
+// f64<->i32 conversion directly (the real chip needs an fctiwz/store/reload
+// dance), and instruction encodings are vcflight's own fixed 32-bit formats
+// (1:1 with the assembly, round-trip tested) rather than bit-exact PowerPC.
+//
+// Registers: 32 GPRs (r0; r1 = stack pointer; r2 = data-segment base "TOC";
+// r3..r10 integer arguments; r11/r12 emission scratch; r14..r31 allocatable),
+// 32 FPRs (f1..f8 float arguments; f12/f13 scratch; f14..f31 allocatable),
+// an 8-field condition register CR (cr0 used by integer compares, cr1 by
+// float compares), and the program counter.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/diagnostics.hpp"
+
+namespace vc::ppc {
+
+/// Condition-register bit positions within a CR field (PowerPC numbering:
+/// bit 0 of the field is LT). Bit index in the whole CR is crf*4 + bit.
+enum CrBit : int { kLt = 0, kGt = 1, kEq = 2, kSo = 3 };  // kSo = FU for fcmpu
+
+enum class POp : std::uint8_t {
+  // Integer immediates and moves
+  Li,      // rd <- simm16 (sign-extended)
+  Lis,     // rd <- simm16 << 16
+  Ori,     // rd <- ra | uimm16
+  Xori,    // rd <- ra ^ uimm16
+  Addi,    // rd <- ra + simm16
+  Mr,      // rd <- ra
+
+  // Integer arithmetic / logic (register forms)
+  Add, Subf,  // Subf: rd <- rb - ra (PowerPC convention)
+  Mullw, Divw,
+  And, Or, Xor, Nor,
+  Neg,
+  Slw, Sraw, Srw,
+  Rlwinm,  // rd <- rotl32(ra, sh) & mask(mb, me)
+
+  // Compares and CR manipulation
+  Cmpw,    // crf <- compare(ra, rb) signed
+  Cmpwi,   // crf <- compare(ra, simm16) signed
+  Fcmpu,   // crf <- compare(fa, fb); FU (kSo) set if unordered
+  Cror,    // CR[crbd] <- CR[crba] | CR[crbb]
+  Mfcr,    // rd <- CR (bit 0 of CR is the MSB of rd)
+
+  // Floating point
+  Fadd, Fsub, Fmul, Fdiv,
+  Fmadd,   // fd <- fa * fb + fc   (O2-full only)
+  Fmsub,   // fd <- fa * fb - fc   (O2-full only)
+  Fneg, Fabs, Fmr,
+  Fcti,    // rd(GPR)  <- trunc-to-i32(fa), saturating (substitution)
+  Icvf,    // fd(FPR)  <- (f64) ra(GPR)                (substitution)
+
+  // Memory (d-form: displacement(base); x-form: base + index)
+  Lwz, Stw, Lwzx, Stwx,    // 32-bit GPR loads/stores
+  Lfd, Stfd, Lfdx, Stfdx,  // 64-bit FPR loads/stores
+
+  // Control flow
+  B,    // unconditional, pc-relative word displacement
+  Bc,   // conditional on CR bit: branch if CR[crbit] == expect
+  Blr,  // return (jump to link register; the harness seeds LR)
+
+  Nop,
+};
+
+std::string mnemonic(POp op);
+
+/// One machine instruction. Fields are used according to the opcode; unused
+/// fields are zero. `rd/ra/rb` index GPRs or FPRs depending on the opcode.
+struct MInstr {
+  POp op = POp::Nop;
+  std::uint8_t rd = 0;
+  std::uint8_t ra = 0;
+  std::uint8_t rb = 0;
+  std::uint8_t rc = 0;        // fmadd/fmsub third operand
+  std::int32_t imm = 0;       // simm16/uimm16/displacement
+  std::uint8_t sh = 0, mb = 0, me = 0;  // rlwinm
+  std::uint8_t crf = 0;       // cmpw/cmpwi/fcmpu
+  std::uint8_t crbd = 0, crba = 0, crbb = 0;  // cror
+  std::uint8_t crbit = 0;     // bc: absolute CR bit index 0..31
+  bool expect = false;        // bc: branch when CR[crbit] == expect
+  std::int32_t disp = 0;      // b/bc: signed word displacement from this instr
+
+  bool operator==(const MInstr& o) const;
+};
+
+/// Assembly text for one instruction at `addr` (used in listings).
+std::string format_instr(const MInstr& ins, std::uint32_t addr);
+
+/// Encodes to the fixed 32-bit vcflight format. Throws InternalError if a
+/// field does not fit (the code generator respects all field widths).
+std::uint32_t encode(const MInstr& ins);
+
+/// Decodes one word. Throws CompileError on an invalid encoding.
+MInstr decode(std::uint32_t word);
+
+/// True if the instruction reads or writes memory.
+bool is_memory_op(POp op);
+/// True for b/bc/blr.
+bool is_branch(POp op);
+
+}  // namespace vc::ppc

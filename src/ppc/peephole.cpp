@@ -1,0 +1,219 @@
+// O2-full machine-level peepholes. These are exactly the optimizations the
+// verified configuration does NOT perform (paper §3.3: CompCert 1.7 had no
+// fused multiply-add generation or aggressive scheduling), giving the default
+// compiler's full-opt configuration its extra edge over CompCert.
+#include <algorithm>
+#include <bitset>
+#include <map>
+#include <vector>
+
+#include "ppc/codegen.hpp"
+#include "ppc/timing.hpp"
+
+namespace vc::ppc {
+namespace {
+
+using LiveSet = std::bitset<IssueModel::kNumResources>;
+
+/// Machine-level liveness over the AsmFunction CFG (blocks delimited by
+/// labels and branches). At `blr`, only the ABI-escaping registers are
+/// live-out: r1 (stack), r2 (data base), r3 and f1 (results). Used to decide
+/// whether a peephole's intermediate register is dead after the pair.
+class MachineLiveness {
+ public:
+  explicit MachineLiveness(const AsmFunction& fn) : fn_(fn) { compute(); }
+
+  /// True if `resource` may be read after executing op `pos`.
+  [[nodiscard]] bool live_after(std::size_t pos, int resource) const {
+    return live_after_[pos].test(static_cast<std::size_t>(resource));
+  }
+
+ private:
+  void compute() {
+    const std::size_t n = fn_.ops.size();
+    live_after_.assign(n, LiveSet());
+
+    // Block boundaries: labels and instructions after branches.
+    std::vector<std::size_t> leaders{0};
+    for (const auto& [label, pos] : fn_.labels) leaders.push_back(pos);
+    for (std::size_t i = 0; i < n; ++i)
+      if (is_branch(fn_.ops[i].ins.op)) leaders.push_back(i + 1);
+    std::sort(leaders.begin(), leaders.end());
+    leaders.erase(std::unique(leaders.begin(), leaders.end()), leaders.end());
+    while (!leaders.empty() && leaders.back() >= n) leaders.pop_back();
+
+    std::map<std::size_t, std::size_t> block_of_leader;
+    for (std::size_t b = 0; b < leaders.size(); ++b)
+      block_of_leader[leaders[b]] = b;
+    auto block_end = [&](std::size_t b) {
+      return b + 1 < leaders.size() ? leaders[b + 1] : n;
+    };
+
+    // Successor blocks.
+    std::vector<std::vector<std::size_t>> succs(leaders.size());
+    for (std::size_t b = 0; b < leaders.size(); ++b) {
+      const std::size_t last = block_end(b) - 1;
+      const AsmOp& op = fn_.ops[last];
+      if (op.ins.op == POp::Blr) continue;
+      if (op.target_label >= 0)
+        succs[b].push_back(block_of_leader.at(fn_.label_pos(op.target_label)));
+      if (op.ins.op != POp::B && block_end(b) < n)
+        succs[b].push_back(block_of_leader.at(block_end(b)));
+    }
+
+    LiveSet abi_escape;
+    abi_escape.set(1);       // r1
+    abi_escape.set(2);       // r2
+    abi_escape.set(3);       // r3 (int result)
+    abi_escape.set(32 + 1);  // f1 (float result)
+
+    std::vector<LiveSet> live_in(leaders.size());
+    int reads[16];
+    int writes[16];
+    int n_reads = 0;
+    int n_writes = 0;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t b = leaders.size(); b-- > 0;) {
+        LiveSet live;
+        const std::size_t last = block_end(b) - 1;
+        if (fn_.ops[last].ins.op == POp::Blr) live = abi_escape;
+        for (std::size_t s : succs[b]) live |= live_in[s];
+        for (std::size_t i = block_end(b); i-- > leaders[b];) {
+          live_after_[i] = live;
+          IssueModel::resources(fn_.ops[i].ins, reads, &n_reads, writes,
+                                &n_writes);
+          for (int k = 0; k < n_writes; ++k)
+            live.reset(static_cast<std::size_t>(writes[k]));
+          for (int k = 0; k < n_reads; ++k)
+            live.set(static_cast<std::size_t>(reads[k]));
+        }
+        if (live != live_in[b]) {
+          live_in[b] = live;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  const AsmFunction& fn_;
+  std::vector<LiveSet> live_after_;
+};
+
+/// Replaces fn.ops[i] with nothing by compacting, preserving labels/annots.
+void compact(AsmFunction& fn, const std::vector<bool>& dead) {
+  std::vector<AsmOp> kept;
+  std::vector<std::size_t> new_index(fn.ops.size() + 1, 0);
+  for (std::size_t i = 0; i < fn.ops.size(); ++i) {
+    new_index[i] = kept.size();
+    if (!dead[i]) kept.push_back(fn.ops[i]);
+  }
+  new_index[fn.ops.size()] = kept.size();
+  for (auto& [label, pos] : fn.labels) pos = new_index[pos];
+  for (auto& a : fn.annots)
+    a.addr = static_cast<std::uint32_t>(new_index[a.addr]);
+  fn.ops = std::move(kept);
+}
+
+}  // namespace
+
+int peephole(AsmFunction& fn) {
+  int rewrites = 0;
+  std::vector<bool> dead(fn.ops.size(), false);
+  // Liveness is computed once per pass; rewrites only remove register reads,
+  // so the (then stale) solution stays conservative for later sites.
+  const MachineLiveness live(fn);
+  // "The value in `reg` produced by op i is dead once op i+1 executed":
+  // either op i+1 overwrites reg, or reg is not live after op i+1.
+  auto value_dead_after_pair = [&](std::size_t i, int reg, bool fpr,
+                                   int overwrites_reg) {
+    if (overwrites_reg == reg) return true;
+    return !live.live_after(i + 1, (fpr ? 32 : 0) + reg);
+  };
+
+  // Adjacent-pair patterns. Pairs must not straddle a label boundary.
+  auto label_at = [&](std::size_t pos) {
+    for (const auto& [label, p] : fn.labels)
+      if (p == pos) return true;
+    return false;
+  };
+  auto annot_at = [&](std::size_t pos) {
+    for (const auto& a : fn.annots)
+      if (a.addr == pos) return true;
+    return false;
+  };
+
+  for (std::size_t i = 0; i + 1 < fn.ops.size(); ++i) {
+    if (dead[i] || dead[i + 1]) continue;
+    if (label_at(i + 1) || annot_at(i + 1)) continue;
+    MInstr& a = fn.ops[i].ins;
+    MInstr& b = fn.ops[i + 1].ins;
+    if (fn.ops[i].target_label >= 0 || fn.ops[i + 1].target_label >= 0)
+      continue;
+    if (!fn.ops[i].reloc_sym.empty()) continue;
+
+    // fmul fT,x,y ; fadd/fsub fD,fT,c  ->  fmadd/fmsub fD,x,y,c.
+    if (a.op == POp::Fmul && (b.op == POp::Fadd || b.op == POp::Fsub) &&
+        b.ra == a.rd && b.rb != a.rd &&
+        value_dead_after_pair(i, a.rd, true, b.rd)) {
+      MInstr fused;
+      fused.op = b.op == POp::Fadd ? POp::Fmadd : POp::Fmsub;
+      fused.rd = b.rd;
+      fused.ra = a.ra;
+      fused.rb = a.rb;
+      fused.rc = b.rb;
+      b = fused;
+      dead[i] = true;
+      ++rewrites;
+      continue;
+    }
+    // fmul fT,x,y ; fadd fD,c,fT  ->  fmadd fD,x,y,c (addition commutes).
+    if (a.op == POp::Fmul && b.op == POp::Fadd && b.rb == a.rd &&
+        b.ra != a.rd && value_dead_after_pair(i, a.rd, true, b.rd)) {
+      MInstr fused;
+      fused.op = POp::Fmadd;
+      fused.rd = b.rd;
+      fused.ra = a.ra;
+      fused.rb = a.rb;
+      fused.rc = b.ra;
+      b = fused;
+      dead[i] = true;
+      ++rewrites;
+      continue;
+    }
+    // li rT,imm ; cmpw cr,rA,rT  ->  cmpwi cr,rA,imm.
+    if (a.op == POp::Li && b.op == POp::Cmpw && b.rb == a.rd &&
+        b.ra != a.rd && value_dead_after_pair(i, a.rd, false, -1)) {
+      MInstr c;
+      c.op = POp::Cmpwi;
+      c.crf = b.crf;
+      c.ra = b.ra;
+      c.imm = a.imm;
+      b = c;
+      dead[i] = true;
+      ++rewrites;
+      continue;
+    }
+    // li rT,imm ; add rD,rA,rT (or rT,rA)  ->  addi rD,rA,imm.
+    if (a.op == POp::Li && b.op == POp::Add &&
+        (b.rb == a.rd || b.ra == a.rd) && !(b.ra == a.rd && b.rb == a.rd) &&
+        value_dead_after_pair(i, a.rd, false, b.rd)) {
+      const std::uint8_t other = b.rb == a.rd ? b.ra : b.rb;
+      MInstr c;
+      c.op = POp::Addi;
+      c.rd = b.rd;
+      c.ra = other;
+      c.imm = a.imm;
+      b = c;
+      dead[i] = true;
+      ++rewrites;
+      continue;
+    }
+  }
+
+  if (rewrites > 0) compact(fn, dead);
+  return rewrites;
+}
+
+}  // namespace vc::ppc

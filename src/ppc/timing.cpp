@@ -1,0 +1,245 @@
+#include "ppc/timing.hpp"
+
+#include <algorithm>
+
+namespace vc::ppc {
+
+Unit unit_of(POp op) {
+  if (is_memory_op(op)) return Unit::LSU;
+  if (is_branch(op)) return Unit::BPU;
+  switch (op) {
+    case POp::Fadd: case POp::Fsub: case POp::Fmul: case POp::Fdiv:
+    case POp::Fmadd: case POp::Fmsub: case POp::Fneg: case POp::Fabs:
+    case POp::Fmr: case POp::Fcmpu: case POp::Fcti: case POp::Icvf:
+      return Unit::FPU;
+    case POp::Cror:
+      return Unit::BPU;  // CR logical unit shares the branch unit
+    default:
+      return Unit::IU;
+  }
+}
+
+std::uint32_t latency_of(POp op) {
+  switch (op) {
+    case POp::Mullw: return 3;
+    case POp::Divw: return 19;
+    case POp::Mfcr: return 2;
+    case POp::Fadd: case POp::Fsub: case POp::Fmul: return 4;
+    case POp::Fmadd: case POp::Fmsub: return 4;
+    case POp::Fdiv: return 31;
+    case POp::Fcmpu: return 4;
+    case POp::Fcti: case POp::Icvf: return 4;
+    case POp::Fneg: case POp::Fabs: case POp::Fmr: return 2;
+    // L1 hits are single-cycle: the 755 overlaps load-to-use latency with
+    // its store queue and forwarding; our in-order model compensates by a
+    // cheap hit so that stack traffic is not over-weighted (calibration,
+    // see EXPERIMENTS.md).
+    case POp::Lwz: case POp::Lwzx: case POp::Lfd: case POp::Lfdx: return 1;
+    case POp::Stw: case POp::Stwx: case POp::Stfd: case POp::Stfdx: return 1;
+    default: return 1;
+  }
+}
+
+bool is_complex_iu(POp op) {
+  return op == POp::Mullw || op == POp::Divw || op == POp::Mfcr;
+}
+
+void IssueModel::reset() {
+  cycle_ = 0;
+  ready_.fill(0);
+  slot_cycle_ = ~0ull;
+  slots_used_ = 0;
+  second_iu_used_ = false;
+  std::fill(std::begin(unit_used_), std::end(unit_used_), false);
+  std::fill(std::begin(unit_busy_until_), std::end(unit_busy_until_), 0ull);
+}
+
+void IssueModel::resources(const MInstr& ins, int* reads, int* n_reads,
+                           int* writes, int* n_writes) {
+  *n_reads = 0;
+  *n_writes = 0;
+  auto R = [&](int r) { reads[(*n_reads)++] = r; };
+  auto W = [&](int r) { writes[(*n_writes)++] = r; };
+  constexpr int kFpr = 32;
+  switch (ins.op) {
+    case POp::Li: case POp::Lis:
+      W(ins.rd);
+      break;
+    case POp::Ori: case POp::Xori: case POp::Addi: case POp::Mr:
+    case POp::Neg:
+      R(ins.ra);
+      W(ins.rd);
+      break;
+    case POp::Add: case POp::Subf: case POp::Mullw: case POp::Divw:
+    case POp::And: case POp::Or: case POp::Xor: case POp::Nor:
+    case POp::Slw: case POp::Sraw: case POp::Srw:
+      R(ins.ra);
+      R(ins.rb);
+      W(ins.rd);
+      break;
+    case POp::Rlwinm:
+      R(ins.ra);
+      W(ins.rd);
+      break;
+    case POp::Cmpw:
+      R(ins.ra);
+      R(ins.rb);
+      W(kCrBase + ins.crf);
+      break;
+    case POp::Cmpwi:
+      R(ins.ra);
+      W(kCrBase + ins.crf);
+      break;
+    case POp::Fcmpu:
+      R(kFpr + ins.ra);
+      R(kFpr + ins.rb);
+      W(kCrBase + ins.crf);
+      break;
+    case POp::Cror:
+      R(kCrBase + ins.crba / 4);
+      R(kCrBase + ins.crbb / 4);
+      W(kCrBase + ins.crbd / 4);
+      break;
+    case POp::Mfcr:
+      for (int f = 0; f < 8; ++f) R(kCrBase + f);
+      W(ins.rd);
+      break;
+    case POp::Fadd: case POp::Fsub: case POp::Fmul: case POp::Fdiv:
+      R(kFpr + ins.ra);
+      R(kFpr + ins.rb);
+      W(kFpr + ins.rd);
+      break;
+    case POp::Fmadd: case POp::Fmsub:
+      R(kFpr + ins.ra);
+      R(kFpr + ins.rb);
+      R(kFpr + ins.rc);
+      W(kFpr + ins.rd);
+      break;
+    case POp::Fneg: case POp::Fabs: case POp::Fmr:
+      R(kFpr + ins.ra);
+      W(kFpr + ins.rd);
+      break;
+    case POp::Fcti:
+      R(kFpr + ins.ra);
+      W(ins.rd);
+      break;
+    case POp::Icvf:
+      R(ins.ra);
+      W(kFpr + ins.rd);
+      break;
+    case POp::Lwz:
+      R(ins.ra);
+      W(ins.rd);
+      break;
+    case POp::Stw:
+      R(ins.ra);
+      R(ins.rd);
+      break;
+    case POp::Lwzx:
+      R(ins.ra);
+      R(ins.rb);
+      W(ins.rd);
+      break;
+    case POp::Stwx:
+      R(ins.ra);
+      R(ins.rb);
+      R(ins.rd);
+      break;
+    case POp::Lfd:
+      R(ins.ra);
+      W(kFpr + ins.rd);
+      break;
+    case POp::Stfd:
+      R(ins.ra);
+      R(kFpr + ins.rd);
+      break;
+    case POp::Lfdx:
+      R(ins.ra);
+      R(ins.rb);
+      W(kFpr + ins.rd);
+      break;
+    case POp::Stfdx:
+      R(ins.ra);
+      R(ins.rb);
+      R(kFpr + ins.rd);
+      break;
+    case POp::B: case POp::Blr: case POp::Nop:
+      break;
+    case POp::Bc:
+      R(kCrBase + ins.crbit / 4);
+      break;
+  }
+}
+
+std::uint64_t IssueModel::issue(const MInstr& ins, const int* reads,
+                                int n_reads, const int* writes, int n_writes,
+                                std::uint32_t extra_mem_cycles,
+                                std::uint32_t fetch_stall) {
+  const Unit unit = unit_of(ins.op);
+  const int u = static_cast<int>(unit);
+
+  // Earliest cycle the instruction may issue: after the current in-order
+  // point, any fetch stall, operand readiness, and a free (non-blocked) unit.
+  std::uint64_t t = cycle_ + fetch_stall;
+  for (int i = 0; i < n_reads; ++i) t = std::max(t, ready_[reads[i]]);
+  t = std::max(t, unit_busy_until_[u]);
+
+  // Find an issue slot at or after t respecting dual-issue constraints.
+  for (;;) {
+    if (t != slot_cycle_) {
+      slot_cycle_ = t;
+      slots_used_ = 0;
+      second_iu_used_ = false;
+      std::fill(std::begin(unit_used_), std::end(unit_used_), false);
+    }
+    if (slots_used_ >= 2) {
+      ++t;
+      continue;
+    }
+    if (unit == Unit::IU) {
+      // Two IU instructions may pair if the second one is simple.
+      const bool first_iu = !unit_used_[u] && !second_iu_used_;
+      const bool can_second =
+          unit_used_[u] && !second_iu_used_ && !is_complex_iu(ins.op);
+      if (!first_iu && !can_second) {
+        ++t;
+        continue;
+      }
+      if (unit_used_[u]) second_iu_used_ = true;
+      unit_used_[u] = true;
+    } else {
+      if (unit_used_[u]) {
+        ++t;
+        continue;
+      }
+      unit_used_[u] = true;
+    }
+    ++slots_used_;
+    break;
+  }
+
+  const std::uint32_t lat = latency_of(ins.op) + extra_mem_cycles;
+  for (int i = 0; i < n_writes; ++i) ready_[writes[i]] = t + lat;
+
+  // Dividers block their unit until the result is ready.
+  if (ins.op == POp::Divw || ins.op == POp::Fdiv)
+    unit_busy_until_[u] = t + lat;
+
+  cycle_ = t;  // in-order issue point
+  return t;
+}
+
+void IssueModel::drain() {
+  std::uint64_t t = cycle_ + 1;  // the branch itself occupies its cycle
+  for (std::uint64_t r : ready_) t = std::max(t, r);
+  for (std::uint64_t r : unit_busy_until_) t = std::max(t, r);
+  cycle_ = t;
+  slot_cycle_ = ~0ull;
+}
+
+void IssueModel::add_stall(std::uint32_t cycles) {
+  cycle_ += cycles;
+  slot_cycle_ = ~0ull;
+}
+
+}  // namespace vc::ppc

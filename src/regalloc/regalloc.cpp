@@ -1,0 +1,254 @@
+#include "regalloc/regalloc.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "rtl/analysis.hpp"
+
+namespace vc::regalloc {
+namespace {
+
+using rtl::BlockId;
+using rtl::Function;
+using rtl::Instr;
+using rtl::Opcode;
+using rtl::RegClass;
+using rtl::VReg;
+
+/// Interference graph over virtual registers (same-class edges only) plus
+/// move-affinity edges used for biased coloring.
+struct Graph {
+  std::vector<std::set<VReg>> adj;
+  std::vector<std::set<VReg>> moves;
+  std::vector<std::uint32_t> use_count;
+  std::vector<bool> present;  // vreg occurs in the function
+};
+
+Graph build_graph(const Function& fn) {
+  Graph g;
+  g.adj.assign(fn.vregs.size(), {});
+  g.moves.assign(fn.vregs.size(), {});
+  g.use_count.assign(fn.vregs.size(), 0);
+  g.present.assign(fn.vregs.size(), false);
+
+  const rtl::Liveness lv = rtl::compute_liveness(fn);
+
+  auto add_edge = [&](VReg a, VReg b) {
+    if (a == b) return;
+    if (fn.vregs[a] != fn.vregs[b]) return;  // different register files
+    g.adj[a].insert(b);
+    g.adj[b].insert(a);
+  };
+
+  for (BlockId b = 0; b < fn.blocks.size(); ++b) {
+    std::set<VReg> live = lv.live_out[b];
+    const auto& instrs = fn.blocks[b].instrs;
+    for (std::size_t i = instrs.size(); i-- > 0;) {
+      const Instr& ins = instrs[i];
+      const auto d = ins.def();
+      if (d) {
+        g.present[*d] = true;
+        // A move's source does not interfere with its destination.
+        std::set<VReg> conflict = live;
+        if (ins.op == Opcode::Mov) conflict.erase(ins.src1);
+        for (VReg l : conflict) add_edge(*d, l);
+        live.erase(*d);
+        if (ins.op == Opcode::Mov) {
+          g.moves[*d].insert(ins.src1);
+          g.moves[ins.src1].insert(*d);
+        }
+      }
+      for (VReg u : ins.uses()) {
+        g.present[u] = true;
+        ++g.use_count[u];
+        live.insert(u);
+      }
+    }
+  }
+  return g;
+}
+
+/// One Chaitin-Briggs coloring attempt. On success fills `colors`; on
+/// failure returns the chosen spill candidate.
+std::optional<VReg> try_color(const Function& fn, const Graph& g, int k_int,
+                              int k_float, bool spread_colors,
+                              const std::set<VReg>& no_spill,
+                              std::vector<int>* colors) {
+  const std::size_t n = fn.vregs.size();
+  auto k_of = [&](VReg v) {
+    return fn.vregs[v] == RegClass::I32 ? k_int : k_float;
+  };
+
+  std::vector<std::size_t> degree(n, 0);
+  std::vector<bool> removed(n, true);
+  std::vector<VReg> work;
+  for (VReg v = 0; v < n; ++v) {
+    if (!g.present[v]) continue;
+    removed[v] = false;
+    degree[v] = g.adj[v].size();
+    work.push_back(v);
+  }
+
+  std::vector<VReg> stack;
+  std::size_t remaining = work.size();
+  while (remaining > 0) {
+    // Simplify: remove a node with degree < K.
+    VReg pick = rtl::kNoVReg;
+    for (VReg v : work) {
+      if (removed[v]) continue;
+      if (degree[v] < static_cast<std::size_t>(k_of(v))) {
+        pick = v;
+        break;
+      }
+    }
+    if (pick == rtl::kNoVReg) {
+      // Blocked: choose a spill candidate — maximize degree / (uses + 1),
+      // skipping registers that must not spill (spill temporaries).
+      VReg best = rtl::kNoVReg;
+      double best_score = -1.0;
+      for (VReg v : work) {
+        if (removed[v] || no_spill.count(v) != 0) continue;
+        const double score = static_cast<double>(degree[v]) /
+                             (static_cast<double>(g.use_count[v]) + 1.0);
+        if (score > best_score) {
+          best_score = score;
+          best = v;
+        }
+      }
+      check(best != rtl::kNoVReg, "register allocator wedged: nothing to spill");
+      return best;
+    }
+    removed[pick] = true;
+    --remaining;
+    for (VReg w : g.adj[pick])
+      if (!removed[w] && degree[w] > 0) --degree[w];
+    stack.push_back(pick);
+  }
+
+  // Select phase: pop and color, biased toward move partners' colors.
+  colors->assign(n, -1);
+  int rotate[2] = {0, 0};  // per-class round-robin start (spread mode)
+  while (!stack.empty()) {
+    const VReg v = stack.back();
+    stack.pop_back();
+    std::set<int> forbidden;
+    for (VReg w : g.adj[v])
+      if ((*colors)[w] >= 0) forbidden.insert((*colors)[w]);
+    int chosen = -1;
+    for (VReg m : g.moves[v]) {
+      const int c = (*colors)[m];
+      if (c >= 0 && fn.vregs[m] == fn.vregs[v] && forbidden.count(c) == 0) {
+        chosen = c;
+        break;
+      }
+    }
+    if (chosen < 0) {
+      const int k = k_of(v);
+      const int cls = fn.vregs[v] == RegClass::I32 ? 0 : 1;
+      const int start = spread_colors ? rotate[cls] % k : 0;
+      for (int i = 0; i < k; ++i) {
+        const int c = (start + i) % k;
+        if (forbidden.count(c) == 0) {
+          chosen = c;
+          if (spread_colors) rotate[cls] = c + 1;
+          break;
+        }
+      }
+    }
+    check(chosen >= 0, "coloring select phase failed");
+    (*colors)[v] = chosen;
+  }
+  return std::nullopt;
+}
+
+/// Rewrites `fn` so that vreg `v` lives in a fresh stack slot: every use
+/// reloads into a fresh temp, every def stores from a fresh temp.
+/// The introduced temporaries are added to `no_spill`.
+void spill_everywhere(Function& fn, VReg v, std::set<VReg>& no_spill,
+                      std::map<VReg, rtl::Slot>* spill_slot_of) {
+  const RegClass cls = fn.vregs[v];
+  const rtl::Slot slot = fn.new_slot(cls);
+  (*spill_slot_of)[v] = slot;
+
+  for (auto& bb : fn.blocks) {
+    std::vector<Instr> out;
+    out.reserve(bb.instrs.size() * 2);
+    for (Instr& ins : bb.instrs) {
+      // Reload before uses.
+      bool uses_v = false;
+      for (VReg u : ins.uses()) uses_v |= (u == v);
+      VReg reload = rtl::kNoVReg;
+      if (uses_v) {
+        reload = fn.new_vreg(cls);
+        no_spill.insert(reload);
+        Instr ld;
+        ld.op = Opcode::LoadStack;
+        ld.dst = reload;
+        ld.slot = slot;
+        out.push_back(ld);
+        auto replace = [&](VReg& r) {
+          if (r == v) r = reload;
+        };
+        replace(ins.src1);
+        replace(ins.src2);
+        for (auto& a : ins.annot_args)
+          if (!a.is_slot && a.vreg == v) {
+            // Annotation operands reference the spill slot directly: the
+            // value's home location (no reload needed for a pro-forma use).
+            a = rtl::AnnotOperand::of_slot(slot);
+          }
+      }
+      const auto d = ins.def();
+      if (d && *d == v) {
+        const VReg tmp = fn.new_vreg(cls);
+        no_spill.insert(tmp);
+        ins.dst = tmp;
+        out.push_back(ins);
+        Instr st;
+        st.op = Opcode::StoreStack;
+        st.slot = slot;
+        st.src1 = tmp;
+        out.push_back(st);
+      } else {
+        out.push_back(ins);
+      }
+    }
+    bb.instrs = std::move(out);
+  }
+}
+
+}  // namespace
+
+Allocation allocate_registers(Function& fn, int k_int, int k_float,
+                              bool spread_colors) {
+  std::set<VReg> no_spill;
+  std::map<VReg, rtl::Slot> spill_slot_of;
+  std::vector<int> colors;
+
+  int rounds = 0;
+  for (;;) {
+    check(++rounds < 64, "register allocation did not converge");
+    const Graph g = build_graph(fn);
+    const auto spill =
+        try_color(fn, g, k_int, k_float, spread_colors, no_spill, &colors);
+    if (!spill) break;
+    spill_everywhere(fn, *spill, no_spill, &spill_slot_of);
+  }
+
+  Allocation alloc;
+  alloc.spill_count = static_cast<int>(spill_slot_of.size());
+  alloc.locs.resize(fn.vregs.size());
+  for (VReg v = 0; v < fn.vregs.size(); ++v) {
+    auto it = spill_slot_of.find(v);
+    if (it != spill_slot_of.end()) {
+      alloc.locs[v] = Loc{false, -1, it->second};
+    } else {
+      alloc.locs[v] = Loc{colors[v] >= 0, colors[v], 0};
+    }
+  }
+  fn.validate();
+  return alloc;
+}
+
+}  // namespace vc::regalloc

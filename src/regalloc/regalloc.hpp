@@ -1,0 +1,46 @@
+// Register allocation: Chaitin–Briggs graph coloring with iterated
+// spill-everywhere and move-biased color choice — the "register allocation by
+// graph coloring" CompCert performs (paper §3.2). Colors are abstract indices
+// 0..K-1 per class; the backend maps them to machine registers.
+//
+// The paper's "optimized without register allocation" configuration needs no
+// separate allocator: it lowers in pattern/stack mode, where program
+// variables already live in stack slots, and only the short-lived expression
+// temporaries are colored here — exactly the discipline of a COTS compiler
+// run with register allocation disabled.
+#pragma once
+
+#include <vector>
+
+#include "rtl/rtl.hpp"
+
+namespace vc::regalloc {
+
+struct Loc {
+  bool in_reg = false;
+  int color = -1;        // valid when in_reg
+  rtl::Slot slot = 0;    // valid when !in_reg (only used for annotations)
+};
+
+struct Allocation {
+  /// Location of each virtual register (indexed by vreg id). After
+  /// allocation every vreg that appears in the function is `in_reg`; spilled
+  /// values were rewritten to short-lived temporaries around stack accesses.
+  std::vector<Loc> locs;
+  int spill_count = 0;  // number of vregs that were spilled to stack slots
+};
+
+/// Colors `fn`'s virtual registers with at most `k_int` integer and `k_float`
+/// float colors, inserting spill code into `fn` when needed.
+///
+/// `spread_colors` selects a round-robin color choice instead of
+/// lowest-available: it avoids recycling the same register for back-to-back
+/// independent computations, which removes the false WAW/WAR dependences
+/// that would otherwise defeat post-allocation instruction scheduling. The
+/// O2-full configuration uses it (a scheduling-aware allocator, like the
+/// default compiler's); the verified configuration keeps CompCert's
+/// register-thrifty lowest-color choice.
+Allocation allocate_registers(rtl::Function& fn, int k_int, int k_float,
+                              bool spread_colors = false);
+
+}  // namespace vc::regalloc

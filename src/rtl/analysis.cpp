@@ -1,0 +1,160 @@
+#include "rtl/analysis.hpp"
+
+#include <algorithm>
+#include <functional>
+
+namespace vc::rtl {
+
+std::vector<std::vector<BlockId>> predecessors(const Function& fn) {
+  std::vector<std::vector<BlockId>> preds(fn.blocks.size());
+  for (BlockId b = 0; b < fn.blocks.size(); ++b) {
+    for (BlockId s : fn.blocks[b].successors()) preds[s].push_back(b);
+  }
+  return preds;
+}
+
+std::vector<BlockId> reverse_postorder(const Function& fn) {
+  std::vector<bool> visited(fn.blocks.size(), false);
+  std::vector<BlockId> postorder;
+  postorder.reserve(fn.blocks.size());
+  // Iterative DFS to avoid deep recursion on long block chains.
+  std::vector<std::pair<BlockId, std::size_t>> stack;
+  stack.emplace_back(0, 0);
+  visited[0] = true;
+  while (!stack.empty()) {
+    auto& [block, next_succ] = stack.back();
+    const std::vector<BlockId> succs = fn.blocks[block].successors();
+    if (next_succ < succs.size()) {
+      const BlockId s = succs[next_succ++];
+      if (!visited[s]) {
+        visited[s] = true;
+        stack.emplace_back(s, 0);
+      }
+    } else {
+      postorder.push_back(block);
+      stack.pop_back();
+    }
+  }
+  std::reverse(postorder.begin(), postorder.end());
+  return postorder;
+}
+
+Liveness compute_liveness(const Function& fn) {
+  Liveness lv;
+  lv.live_in.assign(fn.blocks.size(), {});
+  lv.live_out.assign(fn.blocks.size(), {});
+
+  // Per-block gen (upward-exposed uses) and kill (defs).
+  std::vector<std::set<VReg>> gen(fn.blocks.size());
+  std::vector<std::set<VReg>> kill(fn.blocks.size());
+  for (BlockId b = 0; b < fn.blocks.size(); ++b) {
+    for (const Instr& ins : fn.blocks[b].instrs) {
+      for (VReg u : ins.uses())
+        if (kill[b].count(u) == 0) gen[b].insert(u);
+      if (auto d = ins.def()) kill[b].insert(*d);
+    }
+  }
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (BlockId bi = fn.blocks.size(); bi-- > 0;) {
+      const BlockId b = bi;
+      std::set<VReg> out;
+      for (BlockId s : fn.blocks[b].successors())
+        out.insert(lv.live_in[s].begin(), lv.live_in[s].end());
+      std::set<VReg> in = gen[b];
+      for (VReg v : out)
+        if (kill[b].count(v) == 0) in.insert(v);
+      if (out != lv.live_out[b] || in != lv.live_in[b]) {
+        lv.live_out[b] = std::move(out);
+        lv.live_in[b] = std::move(in);
+        changed = true;
+      }
+    }
+  }
+  return lv;
+}
+
+std::vector<BlockId> immediate_dominators(const Function& fn) {
+  // Cooper-Harvey-Kennedy iterative algorithm over reverse postorder.
+  const std::vector<BlockId> rpo = reverse_postorder(fn);
+  std::vector<std::size_t> rpo_index(fn.blocks.size(), SIZE_MAX);
+  for (std::size_t i = 0; i < rpo.size(); ++i) rpo_index[rpo[i]] = i;
+
+  const auto preds = predecessors(fn);
+  std::vector<BlockId> idom(fn.blocks.size(), kNoBlock);
+  idom[0] = 0;
+
+  auto intersect = [&](BlockId a, BlockId b) {
+    while (a != b) {
+      while (rpo_index[a] > rpo_index[b]) a = idom[a];
+      while (rpo_index[b] > rpo_index[a]) b = idom[b];
+    }
+    return a;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (BlockId b : rpo) {
+      if (b == 0) continue;
+      BlockId new_idom = kNoBlock;
+      for (BlockId p : preds[b]) {
+        if (rpo_index[p] == SIZE_MAX || idom[p] == kNoBlock) continue;
+        new_idom = new_idom == kNoBlock ? p : intersect(p, new_idom);
+      }
+      if (new_idom != kNoBlock && idom[b] != new_idom) {
+        idom[b] = new_idom;
+        changed = true;
+      }
+    }
+  }
+  return idom;
+}
+
+bool dominates(const std::vector<BlockId>& idom, BlockId a, BlockId b) {
+  if (idom[b] == kNoBlock) return false;
+  while (true) {
+    if (a == b) return true;
+    if (b == 0) return false;
+    b = idom[b];
+  }
+}
+
+void remove_unreachable_blocks(Function& fn) {
+  std::vector<bool> reachable(fn.blocks.size(), false);
+  std::vector<BlockId> worklist{0};
+  reachable[0] = true;
+  while (!worklist.empty()) {
+    const BlockId b = worklist.back();
+    worklist.pop_back();
+    for (BlockId s : fn.blocks[b].successors()) {
+      if (!reachable[s]) {
+        reachable[s] = true;
+        worklist.push_back(s);
+      }
+    }
+  }
+
+  std::vector<BlockId> remap(fn.blocks.size(), kNoBlock);
+  std::vector<BasicBlock> kept;
+  for (BlockId b = 0; b < fn.blocks.size(); ++b) {
+    if (reachable[b]) {
+      remap[b] = static_cast<BlockId>(kept.size());
+      kept.push_back(std::move(fn.blocks[b]));
+    }
+  }
+  for (auto& bb : kept) {
+    Instr& t = bb.instrs.back();
+    if (t.op == Opcode::Jump || t.op == Opcode::Branch ||
+        t.op == Opcode::BranchCmp) {
+      t.target = remap[t.target];
+      if (t.op != Opcode::Jump) t.target2 = remap[t.target2];
+    }
+  }
+  fn.blocks = std::move(kept);
+  fn.validate();
+}
+
+}  // namespace vc::rtl

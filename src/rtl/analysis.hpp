@@ -1,0 +1,39 @@
+// Dataflow analyses over RTL functions: predecessors, reverse-postorder,
+// liveness, dominators, and CFG cleanup. Used by the optimizer, the register
+// allocator, and the translation validators.
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "rtl/rtl.hpp"
+
+namespace vc::rtl {
+
+/// Predecessor lists for every block.
+std::vector<std::vector<BlockId>> predecessors(const Function& fn);
+
+/// Blocks reachable from entry, in reverse postorder.
+std::vector<BlockId> reverse_postorder(const Function& fn);
+
+/// Per-block live-in / live-out virtual register sets.
+struct Liveness {
+  std::vector<std::set<VReg>> live_in;
+  std::vector<std::set<VReg>> live_out;
+};
+
+Liveness compute_liveness(const Function& fn);
+
+/// Immediate dominator of every reachable block (entry's idom is itself);
+/// unreachable blocks get kNoBlock.
+constexpr BlockId kNoBlock = 0xFFFFFFFF;
+std::vector<BlockId> immediate_dominators(const Function& fn);
+
+/// True if `a` dominates `b` given an idom array.
+bool dominates(const std::vector<BlockId>& idom, BlockId a, BlockId b);
+
+/// Removes blocks unreachable from entry, remapping branch targets.
+/// Applied by every compiler configuration after lowering.
+void remove_unreachable_blocks(Function& fn);
+
+}  // namespace vc::rtl

@@ -1,0 +1,154 @@
+#include "rtl/exec.hpp"
+
+namespace vc::rtl {
+
+using minic::Value;
+
+Executor::Executor(const minic::Program& program) : program_(program) {
+  reset_globals();
+}
+
+void Executor::reset_globals() {
+  globals_.clear();
+  for (const auto& g : program_.globals) {
+    std::vector<Value> cells(
+        g.count, g.type == minic::Type::I32 ? Value::of_i32(0)
+                                            : Value::of_f64(0.0));
+    for (std::size_t i = 0; i < g.init.size(); ++i) {
+      cells[i] = g.type == minic::Type::I32
+                     ? Value::of_i32(static_cast<std::int32_t>(g.init[i]))
+                     : Value::of_f64(g.init[i]);
+    }
+    globals_.emplace(g.name, std::move(cells));
+  }
+}
+
+Value Executor::read_global(const std::string& name, std::size_t index) const {
+  auto it = globals_.find(name);
+  if (it == globals_.end())
+    throw minic::EvalError("unknown global '" + name + "'");
+  if (index >= it->second.size())
+    throw minic::EvalError("global index out of range for '" + name + "'");
+  return it->second[index];
+}
+
+void Executor::write_global(const std::string& name, std::size_t index,
+                            Value v) {
+  auto it = globals_.find(name);
+  if (it == globals_.end())
+    throw minic::EvalError("unknown global '" + name + "'");
+  if (index >= it->second.size())
+    throw minic::EvalError("global index out of range for '" + name + "'");
+  it->second[index] = v;
+}
+
+Value Executor::call(const Function& fn, const std::vector<Value>& args) {
+  if (args.size() != fn.params.size())
+    throw minic::EvalError("argument count mismatch in RTL exec");
+
+  annotations_.clear();
+  steps_ = 0;
+
+  std::vector<Value> regs(fn.vregs.size());
+  for (std::size_t i = 0; i < fn.vregs.size(); ++i)
+    regs[i] = fn.vregs[i] == RegClass::I32 ? Value::of_i32(0)
+                                           : Value::of_f64(0.0);
+  std::vector<Value> slots(fn.slots.size());
+  for (std::size_t i = 0; i < fn.slots.size(); ++i)
+    slots[i] = fn.slots[i] == RegClass::I32 ? Value::of_i32(0)
+                                            : Value::of_f64(0.0);
+
+  BlockId bb = 0;
+  std::size_t ip = 0;
+  for (;;) {
+    if (++steps_ > fuel_) throw minic::EvalError("RTL fuel exhausted");
+    const Instr& ins = fn.blocks[bb].instrs[ip];
+    ++ip;
+    switch (ins.op) {
+      case Opcode::LdI:
+        regs[ins.dst] = Value::of_i32(ins.int_imm);
+        break;
+      case Opcode::LdF:
+        regs[ins.dst] = Value::of_f64(ins.f64_imm);
+        break;
+      case Opcode::Mov:
+        regs[ins.dst] = regs[ins.src1];
+        break;
+      case Opcode::Un:
+        regs[ins.dst] = minic::eval_unop(ins.un_op, regs[ins.src1]);
+        break;
+      case Opcode::Bin: {
+        const Value& a = regs[ins.src1];
+        const Value& b = regs[ins.src2];
+        if (minic::operand_type(ins.bin_op) == minic::Type::I32)
+          regs[ins.dst] = Value::of_i32(minic::eval_ibinop(ins.bin_op, a.i, b.i));
+        else if (minic::result_type(ins.bin_op) == minic::Type::F64)
+          regs[ins.dst] = Value::of_f64(minic::eval_fbinop(ins.bin_op, a.f, b.f));
+        else
+          regs[ins.dst] = Value::of_i32(minic::eval_fcmp(ins.bin_op, a.f, b.f));
+        break;
+      }
+      case Opcode::LoadGlobal:
+        regs[ins.dst] = read_global(ins.sym, static_cast<std::size_t>(ins.elem));
+        break;
+      case Opcode::StoreGlobal:
+        write_global(ins.sym, static_cast<std::size_t>(ins.elem),
+                     regs[ins.src1]);
+        break;
+      case Opcode::LoadGlobalIdx: {
+        const std::int32_t idx = regs[ins.src1].i;
+        if (idx < 0) throw minic::EvalError("negative index in RTL exec");
+        regs[ins.dst] = read_global(ins.sym, static_cast<std::size_t>(idx));
+        break;
+      }
+      case Opcode::StoreGlobalIdx: {
+        const std::int32_t idx = regs[ins.src2].i;
+        if (idx < 0) throw minic::EvalError("negative index in RTL exec");
+        write_global(ins.sym, static_cast<std::size_t>(idx), regs[ins.src1]);
+        break;
+      }
+      case Opcode::LoadStack:
+        regs[ins.dst] = slots[ins.slot];
+        break;
+      case Opcode::StoreStack:
+        slots[ins.slot] = regs[ins.src1];
+        break;
+      case Opcode::GetParam:
+        regs[ins.dst] = args[static_cast<std::size_t>(ins.param_index)];
+        break;
+      case Opcode::Jump:
+        bb = ins.target;
+        ip = 0;
+        break;
+      case Opcode::Branch:
+        bb = regs[ins.src1].i != 0 ? ins.target : ins.target2;
+        ip = 0;
+        break;
+      case Opcode::BranchCmp: {
+        const Value& a = regs[ins.src1];
+        const Value& b = regs[ins.src2];
+        std::int32_t taken;
+        if (minic::operand_type(ins.bin_op) == minic::Type::I32)
+          taken = minic::eval_ibinop(ins.bin_op, a.i, b.i);
+        else
+          taken = minic::eval_fcmp(ins.bin_op, a.f, b.f);
+        bb = taken != 0 ? ins.target : ins.target2;
+        ip = 0;
+        break;
+      }
+      case Opcode::Ret:
+        if (ins.src1 != kNoVReg) return regs[ins.src1];
+        return Value::of_i32(0);
+      case Opcode::Annot: {
+        minic::AnnotEvent ev;
+        ev.format = ins.annot_format;
+        for (const AnnotOperand& a : ins.annot_args)
+          ev.values.push_back(a.is_slot ? slots[a.slot] : regs[a.vreg]);
+        annotations_.push_back(std::move(ev));
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace vc::rtl

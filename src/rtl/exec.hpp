@@ -1,0 +1,50 @@
+// Concrete RTL executor.
+//
+// Runs an RTL function on concrete values with the same arithmetic as the
+// mini-C interpreter. Used by tests to localize miscompilations: if
+// interpreter == RTL but RTL != machine, the bug is in the backend; if
+// interpreter != RTL, it is in lowering or an optimization pass.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "minic/interp.hpp"
+#include "rtl/rtl.hpp"
+
+namespace vc::rtl {
+
+class Executor {
+ public:
+  /// Globals are initialised from `program` exactly like the interpreter.
+  explicit Executor(const minic::Program& program);
+
+  void reset_globals();
+
+  minic::Value call(const Function& fn,
+                    const std::vector<minic::Value>& args);
+
+  [[nodiscard]] minic::Value read_global(const std::string& name,
+                                         std::size_t index = 0) const;
+  void write_global(const std::string& name, std::size_t index,
+                    minic::Value v);
+
+  /// Annotation events observed during the last call.
+  [[nodiscard]] const std::vector<minic::AnnotEvent>& annotations() const {
+    return annotations_;
+  }
+
+  /// RTL instructions executed during the last call.
+  [[nodiscard]] std::uint64_t steps() const { return steps_; }
+
+ private:
+  const minic::Program& program_;
+  std::map<std::string, std::vector<minic::Value>> globals_;
+  std::vector<minic::AnnotEvent> annotations_;
+  std::uint64_t steps_ = 0;
+  std::uint64_t fuel_ = 100'000'000;
+};
+
+}  // namespace vc::rtl

@@ -1,0 +1,27 @@
+// AST -> RTL lowering.
+//
+// Two modes, corresponding to the two code-generation disciplines the paper
+// compares (§2.1 vs §3.3):
+//
+//   PatternStack: every mini-C variable gets a dedicated stack slot; each
+//     statement loads its operands and stores its result. This reproduces the
+//     fixed per-symbol assembly patterns of the qualified-but-unoptimized
+//     production flow (paper Listing 1), including reloading loop counters
+//     and bounds on every iteration.
+//
+//   Value: variables are virtual registers; placement is left to the register
+//     allocator (what CompCert does, paper Listing 2).
+#pragma once
+
+#include "minic/ast.hpp"
+#include "rtl/rtl.hpp"
+
+namespace vc::rtl {
+
+enum class LowerMode { PatternStack, Value };
+
+/// Lowers `fn` against the globals of `program`. The result is validated.
+Function lower_function(const minic::Program& program,
+                        const minic::Function& fn, LowerMode mode);
+
+}  // namespace vc::rtl

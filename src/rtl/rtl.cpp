@@ -1,0 +1,263 @@
+#include "rtl/rtl.hpp"
+
+#include "support/strings.hpp"
+
+namespace vc::rtl {
+
+std::string to_string(RegClass c) { return c == RegClass::I32 ? "i" : "f"; }
+
+RegClass reg_class_of(minic::Type t) {
+  return t == minic::Type::I32 ? RegClass::I32 : RegClass::F64;
+}
+
+std::string to_string(Opcode op) {
+  switch (op) {
+    case Opcode::LdI: return "ldi";
+    case Opcode::LdF: return "ldf";
+    case Opcode::Mov: return "mov";
+    case Opcode::Un: return "un";
+    case Opcode::Bin: return "bin";
+    case Opcode::LoadGlobal: return "ldg";
+    case Opcode::StoreGlobal: return "stg";
+    case Opcode::LoadGlobalIdx: return "ldgx";
+    case Opcode::StoreGlobalIdx: return "stgx";
+    case Opcode::LoadStack: return "lds";
+    case Opcode::StoreStack: return "sts";
+    case Opcode::GetParam: return "param";
+    case Opcode::Jump: return "jmp";
+    case Opcode::Branch: return "br";
+    case Opcode::BranchCmp: return "brcmp";
+    case Opcode::Ret: return "ret";
+    case Opcode::Annot: return "annot";
+  }
+  throw InternalError("bad rtl opcode");
+}
+
+std::vector<VReg> Instr::uses() const {
+  std::vector<VReg> out;
+  switch (op) {
+    case Opcode::LdI:
+    case Opcode::LdF:
+    case Opcode::LoadGlobal:
+    case Opcode::LoadStack:
+    case Opcode::GetParam:
+    case Opcode::Jump:
+      break;
+    case Opcode::Mov:
+    case Opcode::Un:
+    case Opcode::Branch:
+      out.push_back(src1);
+      break;
+    case Opcode::Bin:
+    case Opcode::BranchCmp:
+      out.push_back(src1);
+      out.push_back(src2);
+      break;
+    case Opcode::LoadGlobalIdx:
+      out.push_back(src1);  // index
+      break;
+    case Opcode::StoreGlobal:
+    case Opcode::StoreStack:
+      out.push_back(src1);  // value
+      break;
+    case Opcode::StoreGlobalIdx:
+      out.push_back(src1);  // value
+      out.push_back(src2);  // index
+      break;
+    case Opcode::Ret:
+      if (src1 != kNoVReg) out.push_back(src1);
+      break;
+    case Opcode::Annot:
+      for (const AnnotOperand& a : annot_args)
+        if (!a.is_slot) out.push_back(a.vreg);
+      break;
+  }
+  return out;
+}
+
+std::optional<VReg> Instr::def() const {
+  switch (op) {
+    case Opcode::LdI:
+    case Opcode::LdF:
+    case Opcode::Mov:
+    case Opcode::Un:
+    case Opcode::Bin:
+    case Opcode::LoadGlobal:
+    case Opcode::LoadGlobalIdx:
+    case Opcode::LoadStack:
+    case Opcode::GetParam:
+      return dst;
+    default:
+      return std::nullopt;
+  }
+}
+
+bool Instr::is_pure() const {
+  switch (op) {
+    case Opcode::LdI:
+    case Opcode::LdF:
+    case Opcode::Mov:
+    case Opcode::Un:
+    case Opcode::Bin:
+    case Opcode::GetParam:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const Instr& BasicBlock::terminator() const {
+  check(!instrs.empty() && instrs.back().is_terminator(),
+        "block lacks a terminator");
+  return instrs.back();
+}
+
+std::vector<BlockId> BasicBlock::successors() const {
+  const Instr& t = terminator();
+  switch (t.op) {
+    case Opcode::Jump: return {t.target};
+    case Opcode::Branch:
+    case Opcode::BranchCmp: return {t.target, t.target2};
+    case Opcode::Ret: return {};
+    default:
+      throw InternalError("bad terminator");
+  }
+}
+
+VReg Function::new_vreg(RegClass cls) {
+  vregs.push_back(cls);
+  return static_cast<VReg>(vregs.size() - 1);
+}
+
+Slot Function::new_slot(RegClass cls) {
+  slots.push_back(cls);
+  return static_cast<Slot>(slots.size() - 1);
+}
+
+std::size_t Function::instruction_count() const {
+  std::size_t n = 0;
+  for (const auto& b : blocks) n += b.instrs.size();
+  return n;
+}
+
+void Function::validate() const {
+  check(!blocks.empty(), "function has no blocks");
+  auto check_vreg = [&](VReg v, const char* what) {
+    check(v < vregs.size(), std::string("vreg out of range in ") + what);
+  };
+  for (const auto& bb : blocks) {
+    check(!bb.instrs.empty(), "empty basic block");
+    for (std::size_t i = 0; i < bb.instrs.size(); ++i) {
+      const Instr& ins = bb.instrs[i];
+      const bool last = i + 1 == bb.instrs.size();
+      check(ins.is_terminator() == last,
+            "terminator placement violation in " + name);
+      for (VReg u : ins.uses()) check_vreg(u, "use");
+      if (auto d = ins.def()) check_vreg(*d, "def");
+      if (ins.op == Opcode::LoadStack || ins.op == Opcode::StoreStack)
+        check(ins.slot < slots.size(), "slot out of range");
+      if (ins.op == Opcode::Jump || ins.op == Opcode::Branch ||
+          ins.op == Opcode::BranchCmp) {
+        check(ins.target < blocks.size(), "branch target out of range");
+        if (ins.op != Opcode::Jump)
+          check(ins.target2 < blocks.size(), "branch target2 out of range");
+      }
+    }
+  }
+}
+
+namespace {
+
+std::string reg_name(const Function& fn, VReg v) {
+  if (v == kNoVReg) return "_";
+  return to_string(fn.vregs[v]) + std::to_string(v);
+}
+
+}  // namespace
+
+std::string print_function(const Function& fn) {
+  std::string out = "function " + fn.name + "(";
+  for (std::size_t i = 0; i < fn.params.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += fn.params[i].name + ":" + to_string(fn.params[i].cls);
+  }
+  out += ")\n";
+  for (BlockId b = 0; b < fn.blocks.size(); ++b) {
+    out += "bb" + std::to_string(b) + ":\n";
+    for (const Instr& ins : fn.blocks[b].instrs) {
+      out += "  ";
+      switch (ins.op) {
+        case Opcode::LdI:
+          out += reg_name(fn, ins.dst) + " = " + std::to_string(ins.int_imm);
+          break;
+        case Opcode::LdF:
+          out += reg_name(fn, ins.dst) + " = " + format_double(ins.f64_imm);
+          break;
+        case Opcode::Mov:
+          out += reg_name(fn, ins.dst) + " = " + reg_name(fn, ins.src1);
+          break;
+        case Opcode::Un:
+          out += reg_name(fn, ins.dst) + " = " + minic::to_string(ins.un_op) +
+                 " " + reg_name(fn, ins.src1);
+          break;
+        case Opcode::Bin:
+          out += reg_name(fn, ins.dst) + " = " + reg_name(fn, ins.src1) + " " +
+                 minic::to_string(ins.bin_op) + " " + reg_name(fn, ins.src2);
+          break;
+        case Opcode::LoadGlobal:
+          out += reg_name(fn, ins.dst) + " = " + ins.sym + "[" +
+                 std::to_string(ins.elem) + "]";
+          break;
+        case Opcode::StoreGlobal:
+          out += ins.sym + "[" + std::to_string(ins.elem) +
+                 "] = " + reg_name(fn, ins.src1);
+          break;
+        case Opcode::LoadGlobalIdx:
+          out += reg_name(fn, ins.dst) + " = " + ins.sym + "[" +
+                 reg_name(fn, ins.src1) + "]";
+          break;
+        case Opcode::StoreGlobalIdx:
+          out += ins.sym + "[" + reg_name(fn, ins.src2) +
+                 "] = " + reg_name(fn, ins.src1);
+          break;
+        case Opcode::LoadStack:
+          out += reg_name(fn, ins.dst) + " = slot" + std::to_string(ins.slot);
+          break;
+        case Opcode::StoreStack:
+          out += "slot" + std::to_string(ins.slot) + " = " +
+                 reg_name(fn, ins.src1);
+          break;
+        case Opcode::GetParam:
+          out += reg_name(fn, ins.dst) + " = param" +
+                 std::to_string(ins.param_index);
+          break;
+        case Opcode::Jump:
+          out += "jmp bb" + std::to_string(ins.target);
+          break;
+        case Opcode::Branch:
+          out += "br " + reg_name(fn, ins.src1) + " bb" +
+                 std::to_string(ins.target) + " bb" + std::to_string(ins.target2);
+          break;
+        case Opcode::BranchCmp:
+          out += "br (" + reg_name(fn, ins.src1) + " " +
+                 minic::to_string(ins.bin_op) + " " + reg_name(fn, ins.src2) +
+                 ") bb" + std::to_string(ins.target) + " bb" +
+                 std::to_string(ins.target2);
+          break;
+        case Opcode::Ret:
+          out += ins.src1 == kNoVReg ? "ret" : "ret " + reg_name(fn, ins.src1);
+          break;
+        case Opcode::Annot:
+          out += "annot \"" + ins.annot_format + "\"";
+          for (const AnnotOperand& a : ins.annot_args)
+            out += a.is_slot ? " slot" + std::to_string(a.slot)
+                             : " " + reg_name(fn, a.vreg);
+          break;
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace vc::rtl

@@ -1,0 +1,182 @@
+#include "support/interval.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/diagnostics.hpp"
+
+namespace vc {
+namespace {
+
+constexpr std::int64_t kI64Min = std::numeric_limits<std::int64_t>::min();
+constexpr std::int64_t kI64Max = std::numeric_limits<std::int64_t>::max();
+constexpr std::int64_t kI32Min = std::numeric_limits<std::int32_t>::min();
+constexpr std::int64_t kI32Max = std::numeric_limits<std::int32_t>::max();
+
+// Saturating arithmetic so interval bounds never wrap.
+std::int64_t sat_add(std::int64_t a, std::int64_t b) {
+  std::int64_t r;
+  if (__builtin_add_overflow(a, b, &r)) return b > 0 ? kI64Max : kI64Min;
+  return r;
+}
+
+std::int64_t sat_sub(std::int64_t a, std::int64_t b) {
+  std::int64_t r;
+  if (__builtin_sub_overflow(a, b, &r)) return b < 0 ? kI64Max : kI64Min;
+  return r;
+}
+
+std::int64_t sat_mul(std::int64_t a, std::int64_t b) {
+  std::int64_t r;
+  if (__builtin_mul_overflow(a, b, &r)) {
+    const bool negative = (a < 0) != (b < 0);
+    return negative ? kI64Min : kI64Max;
+  }
+  return r;
+}
+
+}  // namespace
+
+Interval Interval::range(std::int64_t lo, std::int64_t hi) {
+  check(lo <= hi, "Interval::range requires lo <= hi");
+  return Interval(lo, hi);
+}
+
+Interval Interval::top() { return Interval(kI64Min, kI64Max); }
+
+Interval Interval::i32_range() { return Interval(kI32Min, kI32Max); }
+
+bool Interval::is_top() const {
+  return nonempty_ && lo_ == kI64Min && hi_ == kI64Max;
+}
+
+std::int64_t Interval::lo() const {
+  check(nonempty_, "lo() on bottom interval");
+  return lo_;
+}
+
+std::int64_t Interval::hi() const {
+  check(nonempty_, "hi() on bottom interval");
+  return hi_;
+}
+
+std::optional<std::int64_t> Interval::as_constant() const {
+  if (nonempty_ && lo_ == hi_) return lo_;
+  return std::nullopt;
+}
+
+bool Interval::contains(std::int64_t v) const {
+  return nonempty_ && lo_ <= v && v <= hi_;
+}
+
+bool Interval::contains(const Interval& other) const {
+  if (other.is_bottom()) return true;
+  if (is_bottom()) return false;
+  return lo_ <= other.lo_ && other.hi_ <= hi_;
+}
+
+Interval Interval::join(const Interval& other) const {
+  if (is_bottom()) return other;
+  if (other.is_bottom()) return *this;
+  return Interval(std::min(lo_, other.lo_), std::max(hi_, other.hi_));
+}
+
+Interval Interval::meet(const Interval& other) const {
+  if (is_bottom() || other.is_bottom()) return bottom();
+  const std::int64_t lo = std::max(lo_, other.lo_);
+  const std::int64_t hi = std::min(hi_, other.hi_);
+  if (lo > hi) return bottom();
+  return Interval(lo, hi);
+}
+
+Interval Interval::widen(const Interval& next) const {
+  if (is_bottom()) return next;
+  if (next.is_bottom()) return *this;
+  const std::int64_t lo = next.lo_ < lo_ ? kI32Min : lo_;
+  const std::int64_t hi = next.hi_ > hi_ ? kI32Max : hi_;
+  return Interval(std::min(lo, next.lo_), std::max(hi, next.hi_));
+}
+
+Interval Interval::add(const Interval& rhs) const {
+  if (is_bottom() || rhs.is_bottom()) return bottom();
+  return Interval(sat_add(lo_, rhs.lo_), sat_add(hi_, rhs.hi_));
+}
+
+Interval Interval::sub(const Interval& rhs) const {
+  if (is_bottom() || rhs.is_bottom()) return bottom();
+  return Interval(sat_sub(lo_, rhs.hi_), sat_sub(hi_, rhs.lo_));
+}
+
+Interval Interval::mul(const Interval& rhs) const {
+  if (is_bottom() || rhs.is_bottom()) return bottom();
+  const std::int64_t candidates[4] = {
+      sat_mul(lo_, rhs.lo_), sat_mul(lo_, rhs.hi_),
+      sat_mul(hi_, rhs.lo_), sat_mul(hi_, rhs.hi_)};
+  return Interval(*std::min_element(candidates, candidates + 4),
+                  *std::max_element(candidates, candidates + 4));
+}
+
+Interval Interval::div(const Interval& rhs) const {
+  if (is_bottom() || rhs.is_bottom()) return bottom();
+  // Remove 0 from the divisor (a trapping division never produces a value).
+  Interval divisor = rhs;
+  if (divisor.lo_ == 0 && divisor.hi_ == 0) return bottom();
+  if (divisor.lo_ == 0) divisor.lo_ = 1;
+  if (divisor.hi_ == 0) divisor.hi_ = -1;
+  if (divisor.lo_ <= 0 && 0 <= divisor.hi_) {
+    // Divisor straddles zero: the quotient magnitude is bounded by |dividend|.
+    const std::int64_t m = std::max(std::llabs(lo_), std::llabs(hi_));
+    return Interval(-m, m);
+  }
+  const std::int64_t candidates[4] = {lo_ / divisor.lo_, lo_ / divisor.hi_,
+                                      hi_ / divisor.lo_, hi_ / divisor.hi_};
+  return Interval(*std::min_element(candidates, candidates + 4),
+                  *std::max_element(candidates, candidates + 4));
+}
+
+Interval Interval::neg() const {
+  if (is_bottom()) return bottom();
+  return Interval(sat_sub(0, hi_), sat_sub(0, lo_));
+}
+
+Interval Interval::clamp_i32() const {
+  if (is_bottom()) return bottom();
+  if (lo_ < kI32Min || hi_ > kI32Max) return i32_range();
+  return *this;
+}
+
+Interval Interval::refine_lt(std::int64_t bound) const {
+  if (bound == kI64Min) return bottom();
+  return meet(Interval(kI64Min, bound - 1));
+}
+
+Interval Interval::refine_le(std::int64_t bound) const {
+  return meet(Interval(kI64Min, bound));
+}
+
+Interval Interval::refine_gt(std::int64_t bound) const {
+  if (bound == kI64Max) return bottom();
+  return meet(Interval(bound + 1, kI64Max));
+}
+
+Interval Interval::refine_ge(std::int64_t bound) const {
+  return meet(Interval(bound, kI64Max));
+}
+
+Interval Interval::refine_eq(std::int64_t v) const {
+  return meet(Interval(v, v));
+}
+
+bool Interval::operator==(const Interval& other) const {
+  if (is_bottom() && other.is_bottom()) return true;
+  if (is_bottom() != other.is_bottom()) return false;
+  return lo_ == other.lo_ && hi_ == other.hi_;
+}
+
+std::string Interval::to_string() const {
+  if (is_bottom()) return "⊥";
+  if (is_top()) return "⊤";
+  return "[" + std::to_string(lo_) + ", " + std::to_string(hi_) + "]";
+}
+
+}  // namespace vc

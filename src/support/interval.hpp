@@ -1,0 +1,90 @@
+// Interval arithmetic over 64-bit signed integers.
+//
+// This is the abstract domain used by the WCET analyzer's value analysis
+// (registers hold 32-bit values but intermediate interval computations are
+// carried out in 64 bits so that i32 overflow can be detected and widened
+// instead of silently wrapping).
+//
+// The lattice is the classic interval lattice with an explicit bottom
+// (empty interval). `top()` is [INT64_MIN, INT64_MAX]; in practice registers
+// are constrained to [INT32_MIN, INT32_MAX] by `clamp_i32()`.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace vc {
+
+class Interval {
+ public:
+  /// Bottom element (empty set). Default-constructed intervals are bottom.
+  Interval() = default;
+
+  /// Singleton interval [v, v].
+  static Interval constant(std::int64_t v) { return Interval(v, v); }
+
+  /// [lo, hi]; requires lo <= hi (otherwise use bottom()).
+  static Interval range(std::int64_t lo, std::int64_t hi);
+
+  static Interval bottom() { return Interval(); }
+  static Interval top();
+  /// Full signed 32-bit range.
+  static Interval i32_range();
+  /// Booleans live in [0, 1].
+  static Interval boolean() { return Interval(0, 1); }
+
+  [[nodiscard]] bool is_bottom() const { return !nonempty_; }
+  [[nodiscard]] bool is_top() const;
+  [[nodiscard]] std::int64_t lo() const;
+  [[nodiscard]] std::int64_t hi() const;
+
+  /// Singleton value if the interval is exactly one point.
+  [[nodiscard]] std::optional<std::int64_t> as_constant() const;
+
+  [[nodiscard]] bool contains(std::int64_t v) const;
+  /// True if every element of `other` is in `this` (bottom is contained in all).
+  [[nodiscard]] bool contains(const Interval& other) const;
+
+  /// Least upper bound (interval hull).
+  [[nodiscard]] Interval join(const Interval& other) const;
+  /// Greatest lower bound (intersection).
+  [[nodiscard]] Interval meet(const Interval& other) const;
+  /// Standard widening: unstable bounds jump to the i32 extremes.
+  [[nodiscard]] Interval widen(const Interval& next) const;
+
+  // Abstract transfer functions. All results are sound over-approximations
+  // of the concrete operation on every pair of elements; bottom propagates.
+  [[nodiscard]] Interval add(const Interval& rhs) const;
+  [[nodiscard]] Interval sub(const Interval& rhs) const;
+  [[nodiscard]] Interval mul(const Interval& rhs) const;
+  /// Truncating division (PowerPC divw); division by an interval containing 0
+  /// yields a sound approximation assuming the program never traps.
+  [[nodiscard]] Interval div(const Interval& rhs) const;
+  [[nodiscard]] Interval neg() const;
+
+  /// Clamp into [INT32_MIN, INT32_MAX]; values that overflowed 32 bits widen
+  /// the result to the full i32 range (modular wrap is over-approximated).
+  [[nodiscard]] Interval clamp_i32() const;
+
+  /// Refinements used when interpreting conditional branches:
+  /// the subset of `this` that can satisfy `this < bound`, etc.
+  [[nodiscard]] Interval refine_lt(std::int64_t bound) const;
+  [[nodiscard]] Interval refine_le(std::int64_t bound) const;
+  [[nodiscard]] Interval refine_gt(std::int64_t bound) const;
+  [[nodiscard]] Interval refine_ge(std::int64_t bound) const;
+  [[nodiscard]] Interval refine_eq(std::int64_t v) const;
+
+  bool operator==(const Interval& other) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  Interval(std::int64_t lo, std::int64_t hi) : lo_(lo), hi_(hi), nonempty_(true) {}
+
+  std::int64_t lo_ = 0;
+  std::int64_t hi_ = 0;
+  bool nonempty_ = false;
+};
+
+}  // namespace vc

@@ -1,0 +1,48 @@
+// Deterministic pseudo-random number generation for workload synthesis and
+// property tests. All generators in vcflight are explicitly seeded so that
+// every benchmark table and every property-test case is reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace vc {
+
+/// SplitMix64: tiny, fast, and statistically solid for test/workload use.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  std::uint64_t next_below(std::uint64_t n) { return next_u64() % n; }
+
+  /// Uniform in [lo, hi] (inclusive).
+  std::int64_t next_range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_unit() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double next_double(double lo, double hi) {
+    return lo + next_unit() * (hi - lo);
+  }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool next_bool(double p = 0.5) { return next_unit() < p; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace vc

@@ -1,0 +1,51 @@
+#include "support/strings.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace vc {
+
+std::string hex32(std::uint32_t value) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "0x%08" PRIx32, value);
+  return buf;
+}
+
+std::string format_double(double value) {
+  // Try increasing precision until the text round-trips exactly.
+  for (int precision = 6; precision <= 17; ++precision) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*g", precision, value);
+    double parsed = 0.0;
+    std::sscanf(buf, "%lf", &parsed);
+    if (parsed == value) return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+std::string join(const std::vector<std::string>& parts, const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string pad_right(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return s + std::string(width - s.size(), ' ');
+}
+
+std::string pad_left(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return std::string(width - s.size(), ' ') + s;
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+}  // namespace vc

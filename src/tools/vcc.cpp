@@ -1,0 +1,181 @@
+// vcc — the vcflight command-line driver.
+//
+// Compiles a mini-C source file under a chosen configuration and, on demand,
+// prints the disassembly listing, runs a function on the machine simulator,
+// computes its WCET bound, or performs validated compilation.
+//
+// Usage:
+//   vcc [options] file.mc
+//     --config=<O0|O1|verified|O2>   compiler configuration (default verified)
+//     --emit-asm                     print the disassembly listing
+//     --wcet=<function>              print the WCET bound of <function>
+//     --no-annotations               ignore the annotation table in WCET
+//     --run=<function>[:a,b,...]     simulate <function> with f64/i32 args
+//     --validate                     translation-validate every pass
+//     --stats                        print per-function code sizes
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "driver/compiler.hpp"
+#include "machine/machine.hpp"
+#include "minic/parser.hpp"
+#include "minic/typecheck.hpp"
+#include "support/strings.hpp"
+#include "validate/validate.hpp"
+#include "wcet/report.hpp"
+#include "wcet/wcet.hpp"
+
+namespace {
+
+using namespace vc;
+
+[[noreturn]] void usage() {
+  std::fputs(
+      "usage: vcc [--config=O0|O1|verified|O2] [--emit-asm]\n"
+      "           [--wcet=FN] [--no-annotations] [--run=FN[:args]]\n"
+      "           [--validate] [--stats] file.mc\n",
+      stderr);
+  std::exit(2);
+}
+
+driver::Config parse_config(const std::string& name) {
+  if (name == "O0") return driver::Config::O0Pattern;
+  if (name == "O1") return driver::Config::O1NoRegalloc;
+  if (name == "verified") return driver::Config::Verified;
+  if (name == "O2") return driver::Config::O2Full;
+  std::fprintf(stderr, "vcc: unknown config '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+std::vector<minic::Value> parse_args(const minic::Function& fn,
+                                     const std::string& spec) {
+  std::vector<minic::Value> out;
+  std::stringstream ss(spec);
+  std::string item;
+  std::size_t i = 0;
+  while (std::getline(ss, item, ',')) {
+    if (i >= fn.params.size()) break;
+    if (fn.params[i].type == minic::Type::F64)
+      out.push_back(minic::Value::of_f64(std::stod(item)));
+    else
+      out.push_back(minic::Value::of_i32(std::stoi(item)));
+    ++i;
+  }
+  while (out.size() < fn.params.size()) {
+    out.push_back(fn.params[out.size()].type == minic::Type::F64
+                      ? minic::Value::of_f64(0.0)
+                      : minic::Value::of_i32(0));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  driver::Config config = driver::Config::Verified;
+  bool emit_asm = false;
+  bool do_validate = false;
+  bool stats = false;
+  bool use_annotations = true;
+  std::string wcet_fn;
+  std::string run_spec;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (starts_with(arg, "--config="))
+      config = parse_config(arg.substr(9));
+    else if (arg == "--emit-asm")
+      emit_asm = true;
+    else if (arg == "--validate")
+      do_validate = true;
+    else if (arg == "--stats")
+      stats = true;
+    else if (arg == "--no-annotations")
+      use_annotations = false;
+    else if (starts_with(arg, "--wcet="))
+      wcet_fn = arg.substr(7);
+    else if (starts_with(arg, "--run="))
+      run_spec = arg.substr(6);
+    else if (!starts_with(arg, "--") && path.empty())
+      path = arg;
+    else
+      usage();
+  }
+  if (path.empty()) usage();
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "vcc: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  try {
+    minic::Program program = minic::parse_program(buffer.str(), path);
+    minic::type_check(program);
+
+    const driver::Compiled compiled =
+        do_validate ? validate::validated_compile(program, config)
+                    : driver::compile_program(program, config);
+    std::fprintf(stderr, "vcc: compiled %zu function(s) under %s%s\n",
+                 program.functions.size(),
+                 driver::to_string(config).c_str(),
+                 do_validate ? " (validated)" : "");
+
+    if (stats) {
+      for (const auto& fn : program.functions)
+        std::printf("%-32s %6u bytes\n", fn.name.c_str(),
+                    compiled.image.code_size_of(fn.name));
+      std::printf("%-32s %6u bytes\n", "(total code)",
+                  compiled.image.code_size_bytes());
+    }
+
+    if (emit_asm) std::fputs(compiled.image.disassemble().c_str(), stdout);
+
+    if (!wcet_fn.empty()) {
+      wcet::WcetOptions options;
+      options.use_annotations = use_annotations;
+      const wcet::WcetResult r =
+          wcet::analyze_wcet(compiled.image, wcet_fn, options);
+      std::fputs(wcet::format_report(compiled.image, wcet_fn, r).c_str(),
+                 stdout);
+    }
+
+    if (!run_spec.empty()) {
+      std::string fn_name = run_spec;
+      std::string arg_spec;
+      const std::size_t colon = run_spec.find(':');
+      if (colon != std::string::npos) {
+        fn_name = run_spec.substr(0, colon);
+        arg_spec = run_spec.substr(colon + 1);
+      }
+      const minic::Function* fn = program.find_function(fn_name);
+      if (fn == nullptr) {
+        std::fprintf(stderr, "vcc: unknown function '%s'\n", fn_name.c_str());
+        return 1;
+      }
+      machine::Machine m(compiled.image);
+      const minic::Value result =
+          m.call(fn_name, parse_args(*fn, arg_spec),
+                 fn->has_return ? fn->return_type : minic::Type::I32);
+      if (fn->has_return)
+        std::printf("%s(...) = %s\n", fn_name.c_str(),
+                    result.to_string().c_str());
+      std::printf("cycles=%llu instructions=%llu dreads=%llu dwrites=%llu\n",
+                  static_cast<unsigned long long>(m.stats().cycles),
+                  static_cast<unsigned long long>(m.stats().instructions),
+                  static_cast<unsigned long long>(m.stats().dcache_reads),
+                  static_cast<unsigned long long>(m.stats().dcache_writes));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "vcc: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,455 @@
+#include "validate/validate.hpp"
+
+#include <cstring>
+#include <limits>
+#include <map>
+#include <sstream>
+
+#include "machine/machine.hpp"
+#include "minic/interp.hpp"
+#include "rtl/exec.hpp"
+#include "support/rng.hpp"
+
+namespace vc::validate {
+
+using minic::Value;
+using rtl::Instr;
+using rtl::Opcode;
+using rtl::VReg;
+
+// ---------------------------------------------------------------------------
+// 1. Symbolic structure-preserving checker
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Hash-consing table shared between the two sides being compared, so that
+/// structurally equal expressions receive equal ids on both sides.
+class Interner {
+ public:
+  using Id = std::uint32_t;
+  Id intern(const std::string& key) {
+    auto [it, inserted] = interned_.emplace(key, next_);
+    if (inserted) ++next_;
+    return it->second;
+  }
+
+ private:
+  std::map<std::string, Id> interned_;
+  Id next_ = 0;
+};
+
+/// Symbolic register environment over a shared interner; leaves are
+/// block-entry register values.
+class SymbolicEnv {
+ public:
+  using Id = Interner::Id;
+
+  explicit SymbolicEnv(Interner& interner) : interner_(interner) {}
+
+  Id entry_value(VReg v) { return intern("entry#" + std::to_string(v)); }
+
+  /// A fresh value both sides agree on (used for paired memory loads).
+  Id paired_load_value(rtl::BlockId b, std::size_t i) {
+    return intern("load#" + std::to_string(b) + "#" + std::to_string(i));
+  }
+
+  Id value_of(VReg v) {
+    auto it = regs_.find(v);
+    if (it != regs_.end()) return it->second;
+    const Id id = entry_value(v);
+    regs_[v] = id;
+    return id;
+  }
+
+  void define(VReg v, Id id) { regs_[v] = id; }
+
+  Id compute(const Instr& ins) {
+    switch (ins.op) {
+      case Opcode::LdI:
+        return intern("ldi#" + std::to_string(ins.int_imm));
+      case Opcode::LdF: {
+        std::uint64_t bits = 0;
+        std::memcpy(&bits, &ins.f64_imm, sizeof bits);
+        return intern("ldf#" + std::to_string(bits));
+      }
+      case Opcode::Mov:
+        return value_of(ins.src1);
+      case Opcode::Un:
+        return intern("un#" + std::to_string(static_cast<int>(ins.un_op)) +
+                      "#" + std::to_string(value_of(ins.src1)));
+      case Opcode::Bin: {
+        Id a = value_of(ins.src1);
+        Id b = value_of(ins.src2);
+        if (is_commutative(ins.bin_op) && b < a) std::swap(a, b);
+        return intern("bin#" + std::to_string(static_cast<int>(ins.bin_op)) +
+                      "#" + std::to_string(a) + "#" + std::to_string(b));
+      }
+      case Opcode::GetParam:
+        return intern("param#" + std::to_string(ins.param_index));
+      default:
+        throw InternalError("compute on impure instruction");
+    }
+  }
+
+ private:
+  static bool is_commutative(minic::BinOp op) {
+    switch (op) {
+      case minic::BinOp::IAdd: case minic::BinOp::IMul:
+      case minic::BinOp::IAnd: case minic::BinOp::IOr:
+      case minic::BinOp::IXor: case minic::BinOp::ICmpEq:
+      case minic::BinOp::ICmpNe: case minic::BinOp::FAdd:
+      case minic::BinOp::FMul: case minic::BinOp::FCmpEq:
+      case minic::BinOp::FCmpNe:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  Id intern(const std::string& key) { return interner_.intern(key); }
+
+  Interner& interner_;
+  std::map<VReg, Id> regs_;
+};
+
+}  // namespace
+
+CheckResult check_structure_preserving(const rtl::Function& before,
+                                       const rtl::Function& after) {
+  if (before.blocks.size() != after.blocks.size())
+    return CheckResult::fail("block count changed");
+
+  for (rtl::BlockId b = 0; b < before.blocks.size(); ++b) {
+    const auto& ib = before.blocks[b].instrs;
+    const auto& ia = after.blocks[b].instrs;
+    if (ib.size() != ia.size())
+      return CheckResult::fail("instruction count changed in bb" +
+                               std::to_string(b));
+
+    // One shared interner so equal keys get equal ids on both sides; two
+    // register environments.
+    Interner interner;
+    SymbolicEnv env_b(interner);
+    SymbolicEnv env_a(interner);
+    auto fail_at = [&](std::size_t i, const std::string& what) {
+      return CheckResult::fail("bb" + std::to_string(b) + " instr " +
+                               std::to_string(i) + ": " + what);
+    };
+
+    for (std::size_t i = 0; i < ib.size(); ++i) {
+      const Instr& x = ib[i];
+      const Instr& y = ia[i];
+      if (x.is_pure() != y.is_pure())
+        return fail_at(i, "purity mismatch");
+      if (x.is_pure()) {
+        const auto dx = x.def();
+        const auto dy = y.def();
+        if (!dx || !dy || *dx != *dy)
+          return fail_at(i, "destination mismatch");
+        const auto vx = env_b.compute(x);
+        const auto vy = env_a.compute(y);
+        if (vx != vy) return fail_at(i, "value mismatch");
+        env_b.define(*dx, vx);
+        env_a.define(*dy, vy);
+        continue;
+      }
+      // Impure / control instructions must match exactly modulo operand
+      // value equivalence.
+      if (x.op != y.op) return fail_at(i, "opcode mismatch");
+      switch (x.op) {
+        case Opcode::StoreGlobal:
+          if (x.sym != y.sym || x.elem != y.elem)
+            return fail_at(i, "store target mismatch");
+          if (env_b.value_of(x.src1) != env_a.value_of(y.src1))
+            return fail_at(i, "stored value mismatch");
+          break;
+        case Opcode::StoreGlobalIdx:
+          if (x.sym != y.sym) return fail_at(i, "store target mismatch");
+          if (env_b.value_of(x.src1) != env_a.value_of(y.src1) ||
+              env_b.value_of(x.src2) != env_a.value_of(y.src2))
+            return fail_at(i, "store operand mismatch");
+          break;
+        case Opcode::LoadGlobal:
+        case Opcode::LoadGlobalIdx:
+        case Opcode::LoadStack: {
+          if (x.sym != y.sym || x.elem != y.elem || x.slot != y.slot)
+            return fail_at(i, "load source mismatch");
+          if (x.op == Opcode::LoadGlobalIdx &&
+              env_b.value_of(x.src1) != env_a.value_of(y.src1))
+            return fail_at(i, "load index mismatch");
+          if (x.dst != y.dst) return fail_at(i, "load destination mismatch");
+          // Both sides loaded an arbitrary-but-equal value. The two
+          // environments share one interner, so the ids coincide.
+          env_b.define(x.dst, env_b.paired_load_value(b, i));
+          env_a.define(y.dst, env_a.paired_load_value(b, i));
+          break;
+        }
+        case Opcode::StoreStack:
+          if (x.slot != y.slot) return fail_at(i, "slot mismatch");
+          if (env_b.value_of(x.src1) != env_a.value_of(y.src1))
+            return fail_at(i, "stored value mismatch");
+          break;
+        case Opcode::Jump:
+          if (x.target != y.target) return fail_at(i, "jump target mismatch");
+          break;
+        case Opcode::Branch:
+          if (x.target != y.target || x.target2 != y.target2)
+            return fail_at(i, "branch target mismatch");
+          if (env_b.value_of(x.src1) != env_a.value_of(y.src1))
+            return fail_at(i, "branch condition mismatch");
+          break;
+        case Opcode::BranchCmp:
+          if (x.target != y.target || x.target2 != y.target2 ||
+              x.bin_op != y.bin_op)
+            return fail_at(i, "branch mismatch");
+          if (env_b.value_of(x.src1) != env_a.value_of(y.src1) ||
+              env_b.value_of(x.src2) != env_a.value_of(y.src2))
+            return fail_at(i, "branch operand mismatch");
+          break;
+        case Opcode::Ret:
+          if ((x.src1 == rtl::kNoVReg) != (y.src1 == rtl::kNoVReg))
+            return fail_at(i, "return arity mismatch");
+          if (x.src1 != rtl::kNoVReg &&
+              env_b.value_of(x.src1) != env_a.value_of(y.src1))
+            return fail_at(i, "return value mismatch");
+          break;
+        case Opcode::Annot: {
+          if (x.annot_format != y.annot_format)
+            return fail_at(i, "annotation format mismatch");
+          if (x.annot_args.size() != y.annot_args.size())
+            return fail_at(i, "annotation arity mismatch");
+          for (std::size_t k = 0; k < x.annot_args.size(); ++k) {
+            const auto& ax = x.annot_args[k];
+            const auto& ay = y.annot_args[k];
+            if (ax.is_slot != ay.is_slot) return fail_at(i, "annot loc kind");
+            if (ax.is_slot) {
+              if (ax.slot != ay.slot) return fail_at(i, "annot slot mismatch");
+            } else if (env_b.value_of(ax.vreg) != env_a.value_of(ay.vreg)) {
+              return fail_at(i, "annot value mismatch");
+            }
+          }
+          break;
+        }
+        default:
+          return fail_at(i, "unexpected impure opcode");
+      }
+    }
+  }
+  return CheckResult::pass();
+}
+
+// ---------------------------------------------------------------------------
+// 2. Randomized differential checking
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Value random_value(Rng& rng, rtl::RegClass cls) {
+  if (cls == rtl::RegClass::I32) {
+    switch (rng.next_below(8)) {
+      case 0: return Value::of_i32(0);
+      case 1: return Value::of_i32(1);
+      case 2: return Value::of_i32(-1);
+      case 3: return Value::of_i32(std::numeric_limits<std::int32_t>::min());
+      case 4: return Value::of_i32(std::numeric_limits<std::int32_t>::max());
+      default:
+        return Value::of_i32(
+            static_cast<std::int32_t>(rng.next_range(-100000, 100000)));
+    }
+  }
+  switch (rng.next_below(10)) {
+    case 0: return Value::of_f64(0.0);
+    case 1: return Value::of_f64(-0.0);
+    case 2: return Value::of_f64(1.0);
+    case 3: return Value::of_f64(std::numeric_limits<double>::infinity());
+    case 4: return Value::of_f64(std::numeric_limits<double>::quiet_NaN());
+    case 5: return Value::of_f64(1e-12);
+    default: return Value::of_f64(rng.next_double(-1e4, 1e4));
+  }
+}
+
+void randomize_globals(Rng& rng, const minic::Program& program,
+                       rtl::Executor* a, rtl::Executor* b) {
+  for (const auto& g : program.globals) {
+    for (std::size_t i = 0; i < g.count; ++i) {
+      // Keep array globals (ring buffers, tables) at moderate magnitudes and
+      // indices-like globals small and non-negative, so that generated code
+      // with index arithmetic stays in bounds.
+      Value v;
+      if (g.type == minic::Type::I32) {
+        v = Value::of_i32(static_cast<std::int32_t>(rng.next_below(2)));
+      } else {
+        v = Value::of_f64(rng.next_double(-50.0, 50.0));
+      }
+      a->write_global(g.name, i, v);
+      b->write_global(g.name, i, v);
+    }
+  }
+}
+
+std::string describe(const Value& v) { return v.to_string(); }
+
+}  // namespace
+
+CheckResult differential_check(const minic::Program& program,
+                               const rtl::Function& before,
+                               const rtl::Function& after, int n_tests,
+                               std::uint64_t seed) {
+  if (before.params.size() != after.params.size())
+    return CheckResult::fail("parameter list changed");
+
+  Rng rng(seed);
+  for (int t = 0; t < n_tests; ++t) {
+    rtl::Executor exec_b(program);
+    rtl::Executor exec_a(program);
+    randomize_globals(rng, program, &exec_b, &exec_a);
+
+    std::vector<Value> args;
+    for (const auto& p : before.params) args.push_back(random_value(rng, p.cls));
+
+    bool threw_b = false;
+    bool threw_a = false;
+    Value rb = Value::of_i32(0);
+    Value ra = Value::of_i32(0);
+    try {
+      rb = exec_b.call(before, args);
+    } catch (const minic::EvalError&) {
+      threw_b = true;
+    }
+    try {
+      ra = exec_a.call(after, args);
+    } catch (const minic::EvalError&) {
+      threw_a = true;
+    }
+    if (threw_b != threw_a)
+      return CheckResult::fail("trap behaviour diverged on test " +
+                               std::to_string(t));
+    if (threw_b) continue;
+
+    if (!(rb == ra))
+      return CheckResult::fail("result diverged on test " + std::to_string(t) +
+                               ": " + describe(rb) + " vs " + describe(ra));
+    for (const auto& g : program.globals) {
+      for (std::size_t i = 0; i < g.count; ++i) {
+        const Value vb = exec_b.read_global(g.name, i);
+        const Value va = exec_a.read_global(g.name, i);
+        if (!(vb == va))
+          return CheckResult::fail("global " + g.name + "[" +
+                                   std::to_string(i) + "] diverged on test " +
+                                   std::to_string(t) + ": " + describe(vb) +
+                                   " vs " + describe(va));
+      }
+    }
+    // Annotation traces (pro-forma effects) must also be preserved.
+    const auto& ann_b = exec_b.annotations();
+    const auto& ann_a = exec_a.annotations();
+    if (ann_b.size() != ann_a.size())
+      return CheckResult::fail("annotation trace length diverged");
+    for (std::size_t i = 0; i < ann_b.size(); ++i) {
+      if (ann_b[i].format != ann_a[i].format ||
+          ann_b[i].values.size() != ann_a[i].values.size())
+        return CheckResult::fail("annotation trace diverged");
+      for (std::size_t k = 0; k < ann_b[i].values.size(); ++k)
+        if (!(ann_b[i].values[k] == ann_a[i].values[k]))
+          return CheckResult::fail("annotation operand diverged");
+    }
+  }
+  return CheckResult::pass();
+}
+
+// ---------------------------------------------------------------------------
+// 3. End-to-end machine cross-check
+// ---------------------------------------------------------------------------
+
+CheckResult cross_check_machine(const minic::Program& program,
+                                const driver::Compiled& compiled,
+                                const std::string& fn_name, int n_tests,
+                                std::uint64_t seed) {
+  const minic::Function* fn = program.find_function(fn_name);
+  if (fn == nullptr) return CheckResult::fail("unknown function " + fn_name);
+  const minic::Type ret_type =
+      fn->has_return ? fn->return_type : minic::Type::I32;
+
+  Rng rng(seed);
+  minic::Interpreter interp(program);
+  machine::Machine m(compiled.image);
+
+  for (int t = 0; t < n_tests; ++t) {
+    std::vector<Value> args;
+    for (const auto& p : fn->params) {
+      args.push_back(random_value(
+          rng, p.type == minic::Type::I32 ? rtl::RegClass::I32
+                                          : rtl::RegClass::F64));
+    }
+    bool threw_i = false;
+    bool threw_m = false;
+    Value ri = Value::of_i32(0);
+    Value rm = Value::of_i32(0);
+    try {
+      ri = interp.call(fn_name, args);
+    } catch (const minic::EvalError&) {
+      threw_i = true;
+    }
+    try {
+      rm = m.call(fn_name, args, ret_type);
+    } catch (const machine::MachineError&) {
+      threw_m = true;
+    }
+    if (threw_i != threw_m)
+      return CheckResult::fail(fn_name + ": trap behaviour diverged");
+    if (threw_i) {
+      // State after a trap is unspecified; restart both sides.
+      interp.reset_globals();
+      m.reset();
+      continue;
+    }
+    if (fn->has_return && !(ri == rm))
+      return CheckResult::fail(fn_name + ": result diverged on call " +
+                               std::to_string(t) + ": " + describe(ri) +
+                               " vs " + describe(rm));
+    for (const auto& g : program.globals) {
+      for (std::size_t i = 0; i < g.count; ++i) {
+        const Value vi = interp.read_global(g.name, i);
+        const Value vm = m.read_global(g.name, i, g.type);
+        if (!(vi == vm))
+          return CheckResult::fail(fn_name + ": global " + g.name +
+                                   " diverged on call " + std::to_string(t));
+      }
+    }
+  }
+  return CheckResult::pass();
+}
+
+// ---------------------------------------------------------------------------
+// Validated compilation
+// ---------------------------------------------------------------------------
+
+driver::Compiled validated_compile(const minic::Program& program,
+                                   driver::Config config, int n_tests,
+                                   std::uint64_t seed) {
+  opt::PassHook hook = [&](const std::string& pass,
+                           const rtl::Function& before,
+                           const rtl::Function& after) {
+    if (pass == "lower") return;  // snapshot only; nothing to compare yet
+    if (pass == "cse") {
+      const CheckResult structural = check_structure_preserving(before, after);
+      if (!structural.ok)
+        throw ValidationError(pass, after.name + ": " + structural.message);
+    }
+    const CheckResult diff =
+        differential_check(program, before, after, n_tests, seed);
+    if (!diff.ok) throw ValidationError(pass, after.name + ": " + diff.message);
+  };
+
+  driver::Compiled compiled = driver::compile_program(program, config, hook);
+
+  for (const auto& fn : program.functions) {
+    const CheckResult end_to_end =
+        cross_check_machine(program, compiled, fn.name, n_tests, seed ^ 0x9E37);
+    if (!end_to_end.ok) throw ValidationError("emission", end_to_end.message);
+  }
+  return compiled;
+}
+
+}  // namespace vc::validate

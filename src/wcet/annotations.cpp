@@ -1,0 +1,155 @@
+#include "wcet/annotations.hpp"
+
+#include <limits>
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace vc::wcet {
+namespace {
+
+struct Term {
+  bool is_const = false;
+  std::int64_t value = 0;
+  int operand = 0;  // %k index (1-based)
+};
+
+struct Link {
+  bool strict = false;  // '<' vs '<='
+};
+
+/// Tokenizes "a <= b < c" into alternating terms and links.
+bool tokenize(const std::string& format, std::vector<Term>* terms,
+              std::vector<Link>* links) {
+  std::istringstream in(format);
+  std::string tok;
+  bool want_term = true;
+  while (in >> tok) {
+    if (want_term) {
+      Term t;
+      if (tok[0] == '%') {
+        t.is_const = false;
+        try {
+          t.operand = std::stoi(tok.substr(1));
+        } catch (...) {
+          return false;
+        }
+        if (t.operand <= 0) return false;
+      } else {
+        try {
+          std::size_t used = 0;
+          t.value = std::stoll(tok, &used);
+          if (used != tok.size()) return false;
+        } catch (...) {
+          return false;
+        }
+        t.is_const = true;
+      }
+      terms->push_back(t);
+    } else {
+      if (tok == "<=")
+        links->push_back(Link{false});
+      else if (tok == "<")
+        links->push_back(Link{true});
+      else
+        return false;
+    }
+    want_term = !want_term;
+  }
+  return !want_term && terms->size() >= 2 &&
+         links->size() == terms->size() - 1;
+}
+
+}  // namespace
+
+std::optional<std::map<int, Interval>> parse_chain(const std::string& format) {
+  std::vector<Term> terms;
+  std::vector<Link> links;
+  if (!tokenize(format, &terms, &links)) return std::nullopt;
+
+  std::map<int, Interval> result;
+  // Forward pass: the tightest constant lower bound reaching each operand.
+  {
+    bool have = false;
+    std::int64_t bound = 0;
+    for (std::size_t i = 0; i < terms.size(); ++i) {
+      if (i > 0 && have && links[i - 1].strict) ++bound;
+      if (terms[i].is_const) {
+        bound = have && i > 0 ? std::max(bound, terms[i].value)
+                              : terms[i].value;
+        have = true;
+      } else if (have) {
+        auto [it, inserted] =
+            result.emplace(terms[i].operand, Interval::i32_range());
+        it->second = it->second.meet(Interval::range(
+            bound, std::numeric_limits<std::int64_t>::max()));
+      }
+    }
+  }
+  // Backward pass: the tightest constant upper bound.
+  {
+    bool have = false;
+    std::int64_t bound = 0;
+    for (std::size_t i = terms.size(); i-- > 0;) {
+      if (i + 1 < terms.size() && have && links[i].strict) --bound;
+      if (terms[i].is_const) {
+        bound = have && i + 1 < terms.size() ? std::min(bound, terms[i].value)
+                                             : terms[i].value;
+        have = true;
+      } else if (have) {
+        auto [it, inserted] =
+            result.emplace(terms[i].operand, Interval::i32_range());
+        it->second = it->second.meet(Interval::range(
+            std::numeric_limits<std::int64_t>::min(), bound));
+      }
+    }
+  }
+  return result;
+}
+
+AnnotIndex index_annotations(const ppc::Image& image, std::uint32_t lo,
+                             std::uint32_t hi) {
+  AnnotIndex index;
+  for (const auto& entry : image.annotations) {
+    if (entry.addr < lo || entry.addr >= hi) continue;
+
+    // "loop <= N"
+    {
+      std::istringstream in(entry.format);
+      std::string a, b, c, rest;
+      if ((in >> a >> b >> c) && !(in >> rest) && a == "loop" &&
+          (b == "<=" || b == "<")) {
+        try {
+          std::int64_t n = std::stoll(c);
+          if (b == "<") --n;
+          auto [it, inserted] = index.loop_bounds.emplace(entry.addr, n);
+          if (!inserted) it->second = std::min(it->second, n);
+          continue;
+        } catch (...) {
+          // fall through to chain parsing
+        }
+      }
+    }
+
+    const auto chain = parse_chain(entry.format);
+    if (!chain) {
+      index.warnings.push_back("unparseable annotation \"" + entry.format +
+                               "\" at " + hex32(entry.addr));
+      continue;
+    }
+    for (const auto& [operand, range] : *chain) {
+      if (operand > static_cast<int>(entry.operands.size())) {
+        index.warnings.push_back("annotation operand %" +
+                                 std::to_string(operand) + " out of range");
+        continue;
+      }
+      const ppc::MLoc& loc =
+          entry.operands[static_cast<std::size_t>(operand - 1)];
+      if (loc.kind == ppc::MLoc::Kind::Fpr) continue;  // floats untracked
+      index.constraints[entry.addr].push_back(ValueConstraint{loc, range});
+    }
+  }
+  return index;
+}
+
+}  // namespace vc::wcet

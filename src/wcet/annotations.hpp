@@ -1,0 +1,50 @@
+// Parsing of the auto-generated annotation table (paper §3.4).
+//
+// Two annotation forms are understood by the analyzer:
+//
+//   "loop <= N"                      — the innermost loop containing the
+//                                      annotation point iterates at most N
+//                                      times per entry;
+//   chains like "0 <= %1 <= %2 < 360" — interval constraints on the %k
+//                                      operands (resolved to machine
+//                                      registers or stack slots at
+//                                      compilation time).
+//
+// Anything unparseable is ignored with a warning (annotations must never be
+// required for soundness, only for precision).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ppc/program.hpp"
+#include "support/interval.hpp"
+
+namespace vc::wcet {
+
+/// One interval constraint on a value location at a code address.
+struct ValueConstraint {
+  ppc::MLoc loc;
+  Interval range;
+};
+
+struct AnnotIndex {
+  /// Code address -> loop bound annotations ("loop <= N").
+  std::map<std::uint32_t, std::int64_t> loop_bounds;
+  /// Code address -> operand interval constraints.
+  std::map<std::uint32_t, std::vector<ValueConstraint>> constraints;
+  std::vector<std::string> warnings;
+};
+
+/// Indexes the image's annotation entries that fall inside [lo, hi).
+AnnotIndex index_annotations(const ppc::Image& image, std::uint32_t lo,
+                             std::uint32_t hi);
+
+/// Parses a constraint chain; returns per-%k intervals (1-based keys), or
+/// nullopt if the format is not understood. Exposed for unit testing.
+std::optional<std::map<int, Interval>> parse_chain(const std::string& format);
+
+}  // namespace vc::wcet

@@ -1,0 +1,325 @@
+#include "wcet/cache.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace vc::wcet {
+namespace {
+
+/// Abstract must-cache: line address -> maximal age (0-based), kept
+/// separately for the instruction (0) and data (1) caches. A line is
+/// guaranteed present iff it has an entry (age < ways by invariant).
+struct MustState {
+  bool reachable = false;
+  std::map<std::uint32_t, int> age[2];
+
+  bool operator==(const MustState& o) const {
+    return reachable == o.reachable && age[0] == o.age[0] && age[1] == o.age[1];
+  }
+};
+
+MustState join(const MustState& a, const MustState& b) {
+  if (!a.reachable) return b;
+  if (!b.reachable) return a;
+  MustState out;
+  out.reachable = true;
+  for (int space = 0; space < 2; ++space) {
+    for (const auto& [line, age_a] : a.age[space]) {
+      auto it = b.age[space].find(line);
+      if (it != b.age[space].end())
+        out.age[space][line] = std::max(age_a, it->second);
+    }
+  }
+  return out;
+}
+
+/// One abstract access event: either a precise line or an imprecise range.
+struct Event {
+  bool is_data = false;
+  bool precise = false;
+  std::uint32_t line = 0;                 // precise
+  std::uint32_t range_lo = 0, range_hi = 0;  // imprecise: line range
+  int daccess_index = -1;                 // index into values.accesses
+  int iline_index = -1;                   // index into result ilines[block]
+};
+
+class CacheAnalyzer {
+ public:
+  CacheAnalyzer(const Cfg& cfg, const ValueAnalysisResult& values,
+                const ppc::CacheConfig& icfg, const ppc::CacheConfig& dcfg)
+      : cfg_(cfg), values_(values), icfg_(icfg), dcfg_(dcfg) {}
+
+  CacheAnalysisResult run() {
+    build_events();
+    fixpoint();
+    classify();
+    persistence();
+    return std::move(result_);
+  }
+
+ private:
+  void build_events() {
+    const std::size_t n = cfg_.blocks.size();
+    result_.ilines.assign(n, {});
+    result_.daccess.assign(values_.accesses.size(), AccessClass{});
+    events_.assign(n, {});
+
+    // Index data accesses by (block, instr index).
+    std::map<std::pair<int, int>, int> daccess_at;
+    for (std::size_t i = 0; i < values_.accesses.size(); ++i)
+      daccess_at[{values_.accesses[i].block, values_.accesses[i].index}] =
+          static_cast<int>(i);
+
+    for (std::size_t b = 0; b < n; ++b) {
+      const MachineBlock& bb = cfg_.blocks[b];
+      std::uint32_t prev_line = 0xFFFFFFFF;
+      for (std::size_t i = 0; i < bb.instrs.size(); ++i) {
+        const std::uint32_t addr = bb.start + static_cast<std::uint32_t>(i) * 4;
+        const std::uint32_t line = icfg_.line_addr(addr);
+        if (line != prev_line) {
+          prev_line = line;
+          Event ev;
+          ev.is_data = false;
+          ev.precise = true;
+          ev.line = line;
+          ev.iline_index = static_cast<int>(result_.ilines[b].size());
+          ILineEvent ie;
+          ie.line_addr = line;
+          ie.first_instr = static_cast<int>(i);
+          result_.ilines[b].push_back(ie);
+          events_[b].push_back(ev);
+        }
+        auto it = daccess_at.find({static_cast<int>(b), static_cast<int>(i)});
+        if (it != daccess_at.end()) {
+          const MemAccess& acc = values_.accesses[static_cast<std::size_t>(it->second)];
+          Event ev;
+          ev.is_data = true;
+          ev.daccess_index = it->second;
+          if (auto c = acc.address.as_constant()) {
+            ev.precise = true;
+            ev.line = dcfg_.line_addr(static_cast<std::uint32_t>(*c));
+          } else {
+            ev.precise = false;
+            ev.range_lo = dcfg_.line_addr(static_cast<std::uint32_t>(
+                std::max<std::int64_t>(acc.address.lo(), 0)));
+            ev.range_hi = dcfg_.line_addr(static_cast<std::uint32_t>(
+                std::min<std::int64_t>(acc.address.hi(), 0xFFFFFFFFll)));
+          }
+          events_[b].push_back(ev);
+        }
+      }
+    }
+  }
+
+  void transfer_event(const Event& ev, MustState* s) const {
+    const ppc::CacheConfig& cfg = ev.is_data ? dcfg_ : icfg_;
+    auto& age = s->age[ev.is_data ? 1 : 0];
+    if (ev.precise) {
+      const std::uint32_t set = cfg.set_of(ev.line);
+      auto it = age.find(ev.line);
+      const int old_age =
+          it != age.end() ? it->second : static_cast<int>(cfg.ways);
+      // Lines in the same set younger than the accessed line age by one.
+      for (auto& [line, a] : age)
+        if (cfg.set_of(line) == set && a < old_age) ++a;
+      age[ev.line] = 0;
+      // Evict lines whose age reached the associativity.
+      for (auto it2 = age.begin(); it2 != age.end();) {
+        if (it2->second >= static_cast<int>(cfg.ways))
+          it2 = age.erase(it2);
+        else
+          ++it2;
+      }
+    } else {
+      // Imprecise access: every possibly-touched set ages by one.
+      const std::uint64_t span =
+          (static_cast<std::uint64_t>(ev.range_hi) - ev.range_lo) /
+              cfg.line_bytes +
+          1;
+      const bool all_sets = span >= cfg.sets;
+      std::set<std::uint32_t> sets;
+      if (!all_sets) {
+        for (std::uint32_t line = ev.range_lo; line <= ev.range_hi;
+             line += cfg.line_bytes)
+          sets.insert(cfg.set_of(line));
+      }
+      for (auto it = age.begin(); it != age.end();) {
+        if (all_sets || sets.count(cfg.set_of(it->first)) != 0) {
+          if (++it->second >= static_cast<int>(cfg.ways)) {
+            it = age.erase(it);
+            continue;
+          }
+        }
+        ++it;
+      }
+    }
+  }
+
+  void fixpoint() {
+    const std::size_t n = cfg_.blocks.size();
+    in_.assign(n, MustState{});
+    in_[0].reachable = true;
+
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t b = 0; b < n; ++b) {
+        if (!in_[b].reachable) continue;
+        MustState s = in_[b];
+        for (const Event& ev : events_[b]) transfer_event(ev, &s);
+        for (int succ : cfg_.blocks[b].succs) {
+          MustState joined = join(in_[static_cast<std::size_t>(succ)], s);
+          if (!(joined == in_[static_cast<std::size_t>(succ)])) {
+            in_[static_cast<std::size_t>(succ)] = std::move(joined);
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  void classify() {
+    for (std::size_t b = 0; b < cfg_.blocks.size(); ++b) {
+      if (!in_[b].reachable) continue;
+      MustState s = in_[b];
+      for (const Event& ev : events_[b]) {
+        const bool hit =
+            ev.precise && s.age[ev.is_data ? 1 : 0].count(ev.line) != 0;
+        AccessClass cls;
+        cls.cls = hit ? CacheClass::AlwaysHit : CacheClass::Miss;
+        if (ev.is_data)
+          result_.daccess[static_cast<std::size_t>(ev.daccess_index)] = cls;
+        else
+          result_.ilines[b][static_cast<std::size_t>(ev.iline_index)].cls = cls;
+        transfer_event(ev, &s);
+      }
+    }
+  }
+
+  /// The loop-nest path of block b, innermost first, ending with -1
+  /// (function scope).
+  [[nodiscard]] std::vector<int> scopes_of(int b) const {
+    std::vector<int> out;
+    int l = cfg_.loop_of[static_cast<std::size_t>(b)];
+    while (l != -1) {
+      out.push_back(l);
+      l = cfg_.loops[static_cast<std::size_t>(l)].parent;
+    }
+    out.push_back(-1);
+    return out;
+  }
+
+  /// All blocks belonging to scope (loop index or -1 = whole function).
+  [[nodiscard]] std::vector<int> blocks_of_scope(int scope) const {
+    if (scope == -1) {
+      std::vector<int> all(cfg_.blocks.size());
+      for (std::size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int>(i);
+      return all;
+    }
+    return cfg_.loops[static_cast<std::size_t>(scope)].blocks;
+  }
+
+  void persistence() {
+    // Precompute, per scope, the per-set line population and pollution.
+    // Scope ids: -1 (function) and every loop index.
+    std::vector<int> scopes{-1};
+    for (std::size_t i = 0; i < cfg_.loops.size(); ++i)
+      scopes.push_back(static_cast<int>(i));
+
+    struct ScopeInfo {
+      // Per cache-space (0 = instruction, 1 = data): set -> distinct lines.
+      std::map<std::uint32_t, std::set<std::uint32_t>> lines[2];
+      std::set<std::uint32_t> polluted[2];
+      bool fully_polluted[2] = {false, false};
+    };
+    std::map<int, ScopeInfo> info;
+
+    for (int scope : scopes) {
+      ScopeInfo& si = info[scope];
+      for (int b : blocks_of_scope(scope)) {
+        for (const Event& ev : events_[static_cast<std::size_t>(b)]) {
+          const ppc::CacheConfig& cfg = ev.is_data ? dcfg_ : icfg_;
+          const int space = ev.is_data ? 1 : 0;
+          if (ev.precise) {
+            si.lines[space][cfg.set_of(ev.line)].insert(ev.line);
+          } else {
+            const std::uint64_t span =
+                (static_cast<std::uint64_t>(ev.range_hi) - ev.range_lo) /
+                    cfg.line_bytes +
+                1;
+            if (span >= cfg.sets) {
+              si.fully_polluted[space] = true;
+            } else {
+              for (std::uint32_t line = ev.range_lo; line <= ev.range_hi;
+                   line += cfg.line_bytes) {
+                si.polluted[space].insert(cfg.set_of(line));
+                si.lines[space][cfg.set_of(line)].insert(line);
+              }
+            }
+          }
+        }
+      }
+    }
+
+    auto persistent_in = [&](int scope, bool is_data, std::uint32_t line) {
+      const ppc::CacheConfig& cfg = is_data ? dcfg_ : icfg_;
+      const int space = is_data ? 1 : 0;
+      const ScopeInfo& si = info.at(scope);
+      if (si.fully_polluted[space]) return false;
+      const std::uint32_t set = cfg.set_of(line);
+      if (si.polluted[space].count(set) != 0) return false;
+      auto it = si.lines[space].find(set);
+      const std::size_t population = it == si.lines[space].end()
+                                         ? 0
+                                         : it->second.size();
+      return population <= cfg.ways;
+    };
+
+    // Upgrade Miss classifications to Persistent at the outermost fitting
+    // scope along the access's loop-nest path.
+    auto upgrade = [&](int block, bool is_data, std::uint32_t line,
+                       AccessClass* cls) {
+      if (cls->cls != CacheClass::Miss) return;
+      const std::vector<int> path = scopes_of(block);
+      // path is innermost-first; search outermost-first.
+      for (auto it = path.rbegin(); it != path.rend(); ++it) {
+        if (persistent_in(*it, is_data, line)) {
+          cls->cls = CacheClass::Persistent;
+          cls->scope = *it;
+          return;
+        }
+      }
+    };
+
+    for (std::size_t b = 0; b < cfg_.blocks.size(); ++b) {
+      for (const Event& ev : events_[b]) {
+        if (!ev.precise) continue;
+        if (ev.is_data)
+          upgrade(static_cast<int>(b), true, ev.line,
+                  &result_.daccess[static_cast<std::size_t>(ev.daccess_index)]);
+        else
+          upgrade(static_cast<int>(b), false, ev.line,
+                  &result_.ilines[b][static_cast<std::size_t>(ev.iline_index)].cls);
+      }
+    }
+  }
+
+  const Cfg& cfg_;
+  const ValueAnalysisResult& values_;
+  ppc::CacheConfig icfg_;
+  ppc::CacheConfig dcfg_;
+  CacheAnalysisResult result_;
+  std::vector<std::vector<Event>> events_;
+  std::vector<MustState> in_;
+};
+
+}  // namespace
+
+CacheAnalysisResult analyze_caches(const Cfg& cfg,
+                                   const ValueAnalysisResult& values,
+                                   const ppc::MachineConfig& config) {
+  return CacheAnalyzer(cfg, values, config.icache, config.dcache).run();
+}
+
+}  // namespace vc::wcet

@@ -1,0 +1,52 @@
+// Static L1 cache analysis (Ferdinand-style must analysis + scope-based
+// persistence), the "cache analysis" phase of an aiT-like tool.
+//
+// Classification per access (instruction fetch lines and data accesses):
+//   AlwaysHit   — the line is in the must cache at this point (hit on every
+//                 execution, from the unknown initial cache state onward);
+//   Persistent  — once loaded, the line cannot be evicted within `scope`
+//                 (a loop, or the whole function when scope == -1): at most
+//                 one miss per entry of the scope;
+//   Miss        — charged as a miss on every execution (sound default).
+//
+// The persistence criterion is the classic fit test: within the scope, the
+// set of distinct lines mapping to each cache set (including every line an
+// imprecisely-addressed access might touch) must not exceed the
+// associativity.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ppc/timing.hpp"
+#include "wcet/cfg.hpp"
+#include "wcet/value_analysis.hpp"
+
+namespace vc::wcet {
+
+enum class CacheClass { AlwaysHit, Persistent, Miss };
+
+struct AccessClass {
+  CacheClass cls = CacheClass::Miss;
+  int scope = -1;  // Persistent: loop index, or -1 for the function scope
+};
+
+/// One instruction-fetch line event within a block (in fetch order).
+struct ILineEvent {
+  std::uint32_t line_addr = 0;
+  int first_instr = 0;  // index of the first instruction fetched in the line
+  AccessClass cls;
+};
+
+struct CacheAnalysisResult {
+  /// Per block: I-cache line events in order.
+  std::vector<std::vector<ILineEvent>> ilines;
+  /// Parallel to ValueAnalysisResult::accesses.
+  std::vector<AccessClass> daccess;
+};
+
+CacheAnalysisResult analyze_caches(const Cfg& cfg,
+                                   const ValueAnalysisResult& values,
+                                   const ppc::MachineConfig& config);
+
+}  // namespace vc::wcet

@@ -1,0 +1,56 @@
+// Control-flow reconstruction from the binary (the first phase of an
+// aiT-style analyzer, cf. Gebhard et al., Fig. 1, in the same proceedings).
+//
+// Decodes the function's code words, finds leaders (branch targets and
+// fall-through points after conditional branches), forms basic blocks, and
+// computes the natural-loop forest needed by the path analysis.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ppc/program.hpp"
+
+namespace vc::wcet {
+
+struct MachineBlock {
+  std::uint32_t start = 0;  // address of first instruction
+  std::vector<ppc::MInstr> instrs;
+  std::vector<std::uint32_t> succ_addrs;  // successor block start addresses
+  std::vector<int> succs;                 // successor block ids
+  std::vector<int> preds;
+
+  [[nodiscard]] std::uint32_t end() const {
+    return start + static_cast<std::uint32_t>(instrs.size()) * 4;
+  }
+};
+
+struct Loop {
+  int header = 0;               // block id
+  std::vector<int> blocks;      // member block ids (includes header)
+  int parent = -1;              // enclosing loop index, -1 for top level
+  std::vector<int> children;
+  /// Back-edge sources (latches) and exit edges (from, to) leaving the loop.
+  std::vector<int> latches;
+  std::vector<std::pair<int, int>> exits;
+};
+
+struct Cfg {
+  std::uint32_t entry_addr = 0;
+  std::vector<MachineBlock> blocks;  // blocks[0] is the entry
+  std::vector<Loop> loops;           // inner loops appear after their parents
+  std::vector<int> loop_of;          // innermost loop index per block (-1 none)
+
+  [[nodiscard]] int block_at(std::uint32_t addr) const;  // -1 if not a leader
+  [[nodiscard]] int block_containing(std::uint32_t addr) const;
+
+  /// True if `inner` equals `outer` or is nested (transitively) inside it.
+  [[nodiscard]] bool loop_within(int inner, int outer) const;
+};
+
+/// Reconstructs the CFG of `fn_name` from the image. Throws CompileError on
+/// malformed code (branch outside the function, irreducible loops).
+Cfg build_cfg(const ppc::Image& image, const std::string& fn_name);
+
+}  // namespace vc::wcet

@@ -1,0 +1,47 @@
+#include "wcet/report.hpp"
+
+#include <algorithm>
+
+#include "support/strings.hpp"
+
+namespace vc::wcet {
+
+std::string format_report(const ppc::Image& image, const std::string& fn_name,
+                          const WcetResult& result) {
+  std::string out;
+  out += "WCET report for '" + fn_name + "'\n";
+  out += "  code:  " + hex32(image.fn_entry.at(fn_name)) + " .. " +
+         hex32(image.fn_end.at(fn_name)) + "  (" +
+         std::to_string(image.code_size_of(fn_name)) + " bytes)\n";
+  out += "  bound: " + std::to_string(result.wcet_cycles) + " cycles\n";
+
+  if (!result.loops.empty()) {
+    out += "  loops:\n";
+    for (const auto& loop : result.loops) {
+      out += "    header " + hex32(loop.header_addr) + "  bound " +
+             std::to_string(loop.bound);
+      if (loop.derived && loop.from_annotation)
+        out += "  (derived, annotation agrees)";
+      else if (loop.derived)
+        out += "  (derived from binary)";
+      else
+        out += "  (from annotation)";
+      out += "\n";
+    }
+  }
+
+  if (!result.block_costs.empty()) {
+    out += "  blocks (worst-case cost per execution):\n";
+    auto sorted = result.block_costs;
+    std::sort(sorted.begin(), sorted.end());
+    for (const auto& [addr, cost] : sorted) {
+      out += "    " + hex32(addr) + "  " + pad_left(std::to_string(cost), 6) +
+             " cycles\n";
+    }
+  }
+
+  for (const auto& w : result.warnings) out += "  warning: " + w + "\n";
+  return out;
+}
+
+}  // namespace vc::wcet

@@ -1,0 +1,17 @@
+// Human-readable WCET report, in the spirit of an aiT result sheet:
+// the bound, the loop table (bounds and their provenance), per-block costs
+// with disassembly anchors, and analysis warnings.
+#pragma once
+
+#include <string>
+
+#include "ppc/program.hpp"
+#include "wcet/wcet.hpp"
+
+namespace vc::wcet {
+
+/// Formats `result` for function `fn_name` of `image` as a text report.
+std::string format_report(const ppc::Image& image, const std::string& fn_name,
+                          const WcetResult& result);
+
+}  // namespace vc::wcet

@@ -1,0 +1,454 @@
+#include "wcet/value_analysis.hpp"
+
+#include <algorithm>
+
+#include "machine/machine.hpp"
+
+namespace vc::wcet {
+
+using ppc::Image;
+using ppc::MInstr;
+using ppc::POp;
+
+namespace {
+
+constexpr std::uint32_t kEntryR1 = Image::kStackTop - 64;
+constexpr std::uint32_t kStackLo = Image::kStackTop - (1u << 16);
+constexpr std::uint32_t kStackHi = Image::kStackTop;
+
+bool in_stack(std::int64_t addr) {
+  return addr >= kStackLo && addr < kStackHi;
+}
+
+Interval u32_interval(const Interval& v) {
+  // Addresses are computed with wrap-around u32 arithmetic; our intervals are
+  // signed 64-bit. Values stay well within u32 range for valid programs; on
+  // overflow fall back to the full range.
+  if (v.is_bottom()) return Interval::range(0, 0xFFFFFFFFll);
+  if (v.lo() < 0 || v.hi() > 0xFFFFFFFFll)
+    return Interval::range(0, 0xFFFFFFFFll);
+  return v;
+}
+
+}  // namespace
+
+std::uint32_t stack_loc_address(const ppc::MLoc& loc) {
+  check(loc.kind == ppc::MLoc::Kind::StackSlot, "not a stack location");
+  return kEntryR1 + static_cast<std::uint32_t>(loc.offset);
+}
+
+AbsState AbsState::entry_state() {
+  AbsState s;
+  s.reachable = true;
+  for (auto& g : s.gpr) g = Interval::i32_range();
+  // Pinned registers (calling convention / linker script facts).
+  s.gpr[1] = Interval::constant(kEntryR1);
+  s.gpr[2] = Interval::constant(Image::kDataBase);
+  return s;
+}
+
+AbsState AbsState::join(const AbsState& other) const {
+  if (!reachable) return other;
+  if (!other.reachable) return *this;
+  AbsState out;
+  out.reachable = true;
+  for (int i = 0; i < 32; ++i) out.gpr[i] = gpr[i].join(other.gpr[i]);
+  for (const auto& [addr, v] : stack) {
+    auto it = other.stack.find(addr);
+    if (it != other.stack.end()) out.stack[addr] = v.join(it->second);
+  }
+  return out;
+}
+
+AbsState AbsState::widen(const AbsState& next) const {
+  if (!reachable) return next;
+  if (!next.reachable) return *this;
+  AbsState out;
+  out.reachable = true;
+  for (int i = 0; i < 32; ++i) out.gpr[i] = gpr[i].widen(next.gpr[i]);
+  for (const auto& [addr, v] : stack) {
+    auto it = next.stack.find(addr);
+    if (it != next.stack.end()) out.stack[addr] = v.widen(it->second);
+  }
+  return out;
+}
+
+bool AbsState::operator==(const AbsState& other) const {
+  return reachable == other.reachable && gpr == other.gpr &&
+         stack == other.stack;
+}
+
+namespace {
+
+class Analyzer {
+ public:
+  Analyzer(const Cfg& cfg, const AnnotIndex& annots)
+      : cfg_(cfg), annots_(annots) {}
+
+  ValueAnalysisResult run() {
+    const std::size_t n = cfg_.blocks.size();
+    result_.block_in.assign(n, AbsState{});
+    result_.block_in[0] = AbsState::entry_state();
+
+    // Worklist to fixpoint with widening at loop headers.
+    std::vector<int> widen_count(n, 0);
+    std::vector<bool> in_list(n, false);
+    std::vector<int> worklist{0};
+    in_list[0] = true;
+    while (!worklist.empty()) {
+      const int b = worklist.back();
+      worklist.pop_back();
+      in_list[b] = false;
+
+      AbsState s = result_.block_in[static_cast<std::size_t>(b)];
+      if (!s.reachable) continue;
+      transfer_block(b, &s, /*record=*/false);
+
+      for (std::size_t k = 0;
+           k < cfg_.blocks[static_cast<std::size_t>(b)].succs.size(); ++k) {
+        const int succ = cfg_.blocks[static_cast<std::size_t>(b)].succs[k];
+        AbsState refined = refine_edge(b, static_cast<int>(k), s);
+        AbsState& dest = result_.block_in[static_cast<std::size_t>(succ)];
+        AbsState joined = dest.join(refined);
+        const bool is_header = is_loop_header(succ);
+        if (is_header && widen_count[static_cast<std::size_t>(succ)] > 2)
+          joined = dest.widen(joined);
+        if (!(joined == dest)) {
+          dest = joined;
+          if (is_header) ++widen_count[static_cast<std::size_t>(succ)];
+          if (!in_list[static_cast<std::size_t>(succ)]) {
+            in_list[static_cast<std::size_t>(succ)] = true;
+            worklist.push_back(succ);
+          }
+        }
+      }
+    }
+
+    // Final recording pass: memory accesses, compare facts, edge states.
+    for (std::size_t b = 0; b < n; ++b) {
+      AbsState s = result_.block_in[b];
+      if (!s.reachable) continue;
+      transfer_block(static_cast<int>(b), &s, /*record=*/true);
+      for (std::size_t k = 0; k < cfg_.blocks[b].succs.size(); ++k) {
+        const int succ = cfg_.blocks[b].succs[k];
+        result_.edge_out[{static_cast<int>(b), succ}] =
+            refine_edge(static_cast<int>(b), static_cast<int>(k), s);
+      }
+    }
+    return std::move(result_);
+  }
+
+ private:
+  [[nodiscard]] bool is_loop_header(int block) const {
+    for (const auto& loop : cfg_.loops)
+      if (loop.header == block) return true;
+    return false;
+  }
+
+  void apply_constraints(std::uint32_t addr, AbsState* s) const {
+    auto it = annots_.constraints.find(addr);
+    if (it == annots_.constraints.end()) return;
+    for (const ValueConstraint& c : it->second) {
+      if (c.loc.kind == ppc::MLoc::Kind::Gpr) {
+        Interval& g = s->gpr[c.loc.index];
+        const Interval met = g.meet(c.range);
+        if (!met.is_bottom()) g = met;
+      } else if (c.loc.kind == ppc::MLoc::Kind::StackSlot && !c.loc.is_f64) {
+        const std::uint32_t cell = stack_loc_address(c.loc);
+        Interval cur = s->stack.count(cell) ? s->stack[cell]
+                                            : Interval::i32_range();
+        const Interval met = cur.meet(c.range);
+        if (!met.is_bottom()) s->stack[cell] = met;
+      }
+    }
+  }
+
+  struct PendingCmp {
+    bool valid = false;
+    bool is_int = false;
+    int lhs = -1, rhs = -1;
+    std::int32_t imm = 0;
+  };
+
+  void transfer_block(int b, AbsState* s, bool record) {
+    const MachineBlock& bb = cfg_.blocks[static_cast<std::size_t>(b)];
+    // Track the most recent compare writing each CR field in this block.
+    PendingCmp cr_state[8];
+
+    std::uint32_t addr = bb.start;
+    for (std::size_t i = 0; i < bb.instrs.size(); ++i, addr += 4) {
+      apply_constraints(addr, s);
+      const MInstr& m = bb.instrs[i];
+      transfer_instr(m, s, record, b, static_cast<int>(i), addr);
+      switch (m.op) {
+        case POp::Cmpw:
+          cr_state[m.crf] = PendingCmp{true, true, m.ra, m.rb, 0};
+          break;
+        case POp::Cmpwi:
+          cr_state[m.crf] = PendingCmp{true, true, m.ra, -1, m.imm};
+          break;
+        case POp::Fcmpu:
+          cr_state[m.crf] = PendingCmp{true, false, -1, -1, 0};
+          break;
+        case POp::Cror:
+          cr_state[m.crbd / 4].valid = false;
+          break;
+        default:
+          break;
+      }
+      if (record && m.op == POp::Bc) {
+        const PendingCmp& p = cr_state[m.crbit / 4];
+        if (p.valid && p.is_int) {
+          ValueAnalysisResult::CompareFact fact;
+          fact.lhs_reg = p.lhs;
+          fact.rhs_reg = p.rhs;
+          fact.rhs_imm = p.imm;
+          fact.crbit = m.crbit;
+          fact.lhs_at_test = s->gpr[p.lhs];
+          fact.rhs_at_test =
+              p.rhs >= 0 ? s->gpr[p.rhs] : Interval::constant(p.imm);
+          result_.compare_facts[b] = fact;
+        }
+      }
+      if (i + 1 == bb.instrs.size() && m.op == POp::Bc) {
+        // Stash the pending compare for edge refinement.
+        last_cmp_[b] = cr_state[m.crbit / 4].valid && cr_state[m.crbit / 4].is_int
+                           ? cr_state[m.crbit / 4]
+                           : PendingCmp{};
+      }
+    }
+  }
+
+  /// Refines the post-block state along successor edge `k` using the
+  /// terminator's compare, when recognized.
+  AbsState refine_edge(int b, int k, const AbsState& out) const {
+    const MachineBlock& bb = cfg_.blocks[static_cast<std::size_t>(b)];
+    const MInstr& t = bb.instrs.back();
+    if (t.op != POp::Bc) return out;
+    auto it = last_cmp_.find(b);
+    if (it == last_cmp_.end() || !it->second.valid) return out;
+    const auto& cmp = it->second;
+
+    // Edge 0 is taken (CR[bit]==expect), edge 1 is fall-through.
+    const bool cond_true = (k == 0) == t.expect;
+    const int rel = t.crbit % 4;  // 0 lt, 1 gt, 2 eq
+
+    AbsState s = out;
+    Interval& a = s.gpr[cmp.lhs];
+    Interval bval =
+        cmp.rhs >= 0 ? s.gpr[cmp.rhs] : Interval::constant(cmp.imm);
+    if (a.is_bottom() || bval.is_bottom()) return s;
+
+    Interval a2 = a;
+    Interval b2 = bval;
+    if (rel == ppc::kLt) {
+      if (cond_true) {  // a < b
+        a2 = a.refine_lt(bval.hi());
+        b2 = bval.refine_gt(a.lo());
+      } else {  // a >= b
+        a2 = a.refine_ge(bval.lo());
+        b2 = bval.refine_le(a.hi());
+      }
+    } else if (rel == ppc::kGt) {
+      if (cond_true) {  // a > b
+        a2 = a.refine_gt(bval.lo());
+        b2 = bval.refine_lt(a.hi());
+      } else {  // a <= b
+        a2 = a.refine_le(bval.hi());
+        b2 = bval.refine_ge(a.lo());
+      }
+    } else if (rel == ppc::kEq) {
+      if (cond_true) {
+        a2 = a.meet(bval);
+        b2 = a2;
+      }
+      // a != b: no useful interval refinement in general.
+    }
+    // An empty refinement means the edge is infeasible.
+    if (a2.is_bottom() || b2.is_bottom()) {
+      s.reachable = false;
+      return s;
+    }
+    a = a2;
+    if (cmp.rhs >= 0) s.gpr[cmp.rhs] = b2;
+    return s;
+  }
+
+  void transfer_instr(const MInstr& m, AbsState* s, bool record, int block,
+                      int index, std::uint32_t addr) {
+    auto& g = s->gpr;
+    auto top = [] { return Interval::i32_range(); };
+    switch (m.op) {
+      case POp::Li:
+        g[m.rd] = Interval::constant(m.imm);
+        break;
+      case POp::Lis:
+        g[m.rd] = Interval::constant(static_cast<std::int32_t>(
+            static_cast<std::uint32_t>(m.imm) << 16));
+        break;
+      case POp::Ori:
+        if (auto c = g[m.ra].as_constant())
+          g[m.rd] = Interval::constant(
+              static_cast<std::int32_t>(static_cast<std::uint32_t>(*c) |
+                                        static_cast<std::uint32_t>(m.imm)));
+        else
+          g[m.rd] = top();
+        break;
+      case POp::Xori:
+        if (auto c = g[m.ra].as_constant())
+          g[m.rd] = Interval::constant(
+              static_cast<std::int32_t>(static_cast<std::uint32_t>(*c) ^
+                                        static_cast<std::uint32_t>(m.imm)));
+        else if (static_cast<std::uint32_t>(m.imm) == 1 &&
+                 Interval::boolean().contains(g[m.ra]))
+          g[m.rd] = Interval::boolean();
+        else
+          g[m.rd] = top();
+        break;
+      case POp::Addi:
+        g[m.rd] = g[m.ra].add(Interval::constant(m.imm)).clamp_i32();
+        break;
+      case POp::Mr:
+        g[m.rd] = g[m.ra];
+        break;
+      case POp::Add:
+        g[m.rd] = g[m.ra].add(g[m.rb]).clamp_i32();
+        break;
+      case POp::Subf:
+        g[m.rd] = g[m.rb].sub(g[m.ra]).clamp_i32();
+        break;
+      case POp::Mullw:
+        g[m.rd] = g[m.ra].mul(g[m.rb]).clamp_i32();
+        break;
+      case POp::Divw:
+        g[m.rd] = g[m.ra].div(g[m.rb]).clamp_i32();
+        if (g[m.rd].is_bottom()) g[m.rd] = top();
+        break;
+      case POp::Neg:
+        g[m.rd] = g[m.ra].neg().clamp_i32();
+        break;
+      case POp::And:
+        // Common case: masking a boolean.
+        if (Interval::boolean().contains(g[m.ra]) ||
+            Interval::boolean().contains(g[m.rb]))
+          g[m.rd] = Interval::boolean();
+        else
+          g[m.rd] = top();
+        break;
+      case POp::Or:
+      case POp::Xor:
+        if (Interval::boolean().contains(g[m.ra]) &&
+            Interval::boolean().contains(g[m.rb]))
+          g[m.rd] = Interval::boolean();
+        else
+          g[m.rd] = top();
+        break;
+      case POp::Nor:
+        g[m.rd] = top();
+        break;
+      case POp::Slw:
+      case POp::Srw:
+      case POp::Sraw:
+        g[m.rd] = top();
+        break;
+      case POp::Rlwinm: {
+        // Recognize slwi (mb=0, me=31-sh): multiply by 2^sh.
+        if (m.mb == 0 && m.me == 31 - m.sh) {
+          g[m.rd] = g[m.ra]
+                        .mul(Interval::constant(std::int64_t{1} << m.sh))
+                        .clamp_i32();
+        } else if (m.mb == 31 && m.me == 31) {
+          g[m.rd] = Interval::boolean();  // single-bit extraction
+        } else {
+          g[m.rd] = top();
+        }
+        break;
+      }
+      case POp::Mfcr:
+        g[m.rd] = top();
+        break;
+      case POp::Fcti:
+        g[m.rd] = top();
+        break;
+      case POp::Lwz:
+      case POp::Lwzx:
+      case POp::Lfd:
+      case POp::Lfdx:
+      case POp::Stw:
+      case POp::Stwx:
+      case POp::Stfd:
+      case POp::Stfdx: {
+        const bool is_store = m.op == POp::Stw || m.op == POp::Stwx ||
+                              m.op == POp::Stfd || m.op == POp::Stfdx;
+        const bool is_f64 = m.op == POp::Lfd || m.op == POp::Lfdx ||
+                            m.op == POp::Stfd || m.op == POp::Stfdx;
+        const bool x_form = m.op == POp::Lwzx || m.op == POp::Stwx ||
+                            m.op == POp::Lfdx || m.op == POp::Stfdx;
+        Interval ea = x_form
+                          ? g[m.ra].add(g[m.rb])
+                          : g[m.ra].add(Interval::constant(m.imm));
+        ea = u32_interval(ea);
+        if (record) {
+          MemAccess acc;
+          acc.block = block;
+          acc.index = index;
+          acc.addr_of_instr = addr;
+          acc.is_store = is_store;
+          acc.is_f64 = is_f64;
+          acc.address = ea;
+          result_.accesses.push_back(acc);
+        }
+        if (is_store) {
+          if (auto c = ea.as_constant()) {
+            if (in_stack(*c)) {
+              if (!is_f64)
+                s->stack[static_cast<std::uint32_t>(*c)] = g[m.rd];
+              else
+                s->stack.erase(static_cast<std::uint32_t>(*c));
+            }
+          } else if (ea.lo() <= kStackHi && ea.hi() >= kStackLo) {
+            // Imprecise store possibly into the stack: invalidate slots in
+            // range (cf. Gebhard et al. on imprecise memory accesses).
+            for (auto it = s->stack.begin(); it != s->stack.end();) {
+              if (static_cast<std::int64_t>(it->first) >= ea.lo() - 8 &&
+                  static_cast<std::int64_t>(it->first) <= ea.hi())
+                it = s->stack.erase(it);
+              else
+                ++it;
+            }
+          }
+        } else if (!is_f64) {
+          Interval v = top();
+          if (auto c = ea.as_constant()) {
+            if (in_stack(*c)) {
+              auto it = s->stack.find(static_cast<std::uint32_t>(*c));
+              if (it != s->stack.end()) v = it->second;
+            }
+          }
+          g[m.rd] = v;
+        }
+        break;
+      }
+      case POp::Icvf:
+      case POp::Fadd: case POp::Fsub: case POp::Fmul: case POp::Fdiv:
+      case POp::Fmadd: case POp::Fmsub: case POp::Fneg: case POp::Fabs:
+      case POp::Fmr:
+      case POp::Cmpw: case POp::Cmpwi: case POp::Fcmpu: case POp::Cror:
+      case POp::B: case POp::Bc: case POp::Blr: case POp::Nop:
+        break;
+    }
+  }
+
+  const Cfg& cfg_;
+  const AnnotIndex& annots_;
+  ValueAnalysisResult result_;
+  std::map<int, PendingCmp> last_cmp_;
+};
+
+}  // namespace
+
+ValueAnalysisResult analyze_values(const Cfg& cfg, const AnnotIndex& annots) {
+  return Analyzer(cfg, annots).run();
+}
+
+}  // namespace vc::wcet

@@ -1,0 +1,68 @@
+// Interval value analysis on the binary (the "value analysis" phase of an
+// aiT-style analyzer): tracks signed-interval abstractions of the 32 GPRs
+// and of stack slots (identified by absolute address — r1 is known exactly
+// at function entry, as a stack-pointer annotation would provide in aiT).
+//
+// Results feed three consumers: effective-address intervals for the data
+// cache analysis, counter intervals for automatic loop-bound derivation, and
+// the evaluation of annotation constraints (paper §3.4).
+#pragma once
+
+#include <array>
+#include <map>
+#include <vector>
+
+#include "support/interval.hpp"
+#include "wcet/annotations.hpp"
+#include "wcet/cfg.hpp"
+
+namespace vc::wcet {
+
+struct AbsState {
+  bool reachable = false;
+  std::array<Interval, 32> gpr;
+  /// Tracked i32 stack cells, keyed by absolute address.
+  std::map<std::uint32_t, Interval> stack;
+
+  static AbsState entry_state();
+  /// Least upper bound; drops stack keys absent on either side.
+  [[nodiscard]] AbsState join(const AbsState& other) const;
+  /// Widening against the next iterate (applied at loop headers).
+  [[nodiscard]] AbsState widen(const AbsState& next) const;
+  bool operator==(const AbsState& other) const;
+};
+
+/// One memory access with its statically derived address interval.
+struct MemAccess {
+  int block = 0;
+  int index = 0;        // instruction index within the block
+  std::uint32_t addr_of_instr = 0;
+  bool is_store = false;
+  bool is_f64 = false;  // 8-byte access
+  Interval address;     // effective address interval (never bottom)
+};
+
+struct ValueAnalysisResult {
+  std::vector<AbsState> block_in;                     // per block
+  std::map<std::pair<int, int>, AbsState> edge_out;   // refined per CFG edge
+  std::vector<MemAccess> accesses;
+  /// The compare feeding each block's conditional terminator, if recognized:
+  /// block -> (register, rhs interval at the compare, rhs register or -1).
+  struct CompareFact {
+    int lhs_reg = -1;
+    int rhs_reg = -1;       // -1 when immediate
+    std::int32_t rhs_imm = 0;
+    std::uint8_t crbit = 0;
+    Interval lhs_at_test;   // interval of lhs register at the compare
+    Interval rhs_at_test;
+  };
+  std::map<int, CompareFact> compare_facts;
+};
+
+ValueAnalysisResult analyze_values(const Cfg& cfg, const AnnotIndex& annots);
+
+/// Address of the stack cell a StackSlot annotation location refers to
+/// (entry r1 is pinned by the harness/linker convention).
+std::uint32_t stack_loc_address(const ppc::MLoc& loc);
+
+}  // namespace vc::wcet

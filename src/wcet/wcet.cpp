@@ -1,0 +1,458 @@
+#include "wcet/wcet.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "support/strings.hpp"
+#include "wcet/annotations.hpp"
+#include "wcet/cache.hpp"
+#include "wcet/cfg.hpp"
+#include "wcet/value_analysis.hpp"
+
+namespace vc::wcet {
+
+using ppc::MInstr;
+using ppc::POp;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Loop bound analysis
+// ---------------------------------------------------------------------------
+
+/// Tries to derive a bound for the canonical counted loop: an in-loop
+/// conditional exit whose compare tests a counter register against a limit,
+/// where the counter is incremented by exactly 1 per iteration.
+std::optional<std::int64_t> derive_bound(const Cfg& cfg,
+                                         const ValueAnalysisResult& values,
+                                         const Loop& loop) {
+  const std::set<int> members(loop.blocks.begin(), loop.blocks.end());
+
+  for (const auto& [exit_from, exit_to] : loop.exits) {
+    const MachineBlock& bb = cfg.blocks[static_cast<std::size_t>(exit_from)];
+    if (bb.instrs.back().op != POp::Bc) continue;
+    auto fact_it = values.compare_facts.find(exit_from);
+    if (fact_it == values.compare_facts.end()) continue;
+    const auto& fact = fact_it->second;
+    const MInstr& bc = bb.instrs.back();
+
+    // Determine the relation that holds on the *stay-in-loop* edge.
+    // succs[0] is the taken edge, succs[1] the fall-through.
+    const int stay_succ_index = bb.succs[0] == exit_to ? 1 : 0;
+    if (bb.succs[static_cast<std::size_t>(stay_succ_index)] == exit_to)
+      continue;  // both edges leave: not the pattern
+    const bool stay_when_true = (stay_succ_index == 0) == bc.expect;
+    const int rel = bc.crbit % 4;
+
+    // Stay relation must be "counter < limit" or "counter <= limit".
+    bool counter_is_lhs = true;
+    bool strict = true;
+    if (rel == ppc::kLt && stay_when_true) {
+      counter_is_lhs = true;  // lhs < rhs
+      strict = true;
+    } else if (rel == ppc::kGt && stay_when_true) {
+      counter_is_lhs = false;  // lhs > rhs, i.e. rhs < lhs: counter is rhs
+      strict = true;
+    } else if (rel == ppc::kGt && !stay_when_true) {
+      counter_is_lhs = true;  // stay when !(lhs > rhs): lhs <= rhs
+      strict = false;
+    } else if (rel == ppc::kLt && !stay_when_true) {
+      counter_is_lhs = false;  // stay when !(lhs < rhs): rhs <= lhs
+      strict = false;
+    } else {
+      continue;
+    }
+
+    const int counter = counter_is_lhs ? fact.lhs_reg : fact.rhs_reg;
+    const Interval limit =
+        counter_is_lhs ? fact.rhs_at_test : fact.lhs_at_test;
+    if (counter < 0 || limit.is_bottom()) continue;
+    if (limit.hi() > 1'000'000'000ll) continue;  // unbounded limit
+
+    // The counter must be incremented by exactly +1 once per iteration:
+    // exactly one in-loop definition, of the form addi C,C,1 or
+    // add C,C,X / add C,X,C with X == 1, or the uncoalesced
+    // add T,C,X ; mr C,T pair.
+    int defs = 0;
+    bool step_ok = false;
+    int reads[16];
+    int writes[16];
+    int n_reads = 0;
+    int n_writes = 0;
+    for (int b : loop.blocks) {
+      const MachineBlock& mb = cfg.blocks[static_cast<std::size_t>(b)];
+      for (std::size_t i = 0; i < mb.instrs.size(); ++i) {
+        const MInstr& m = mb.instrs[i];
+        ppc::IssueModel::resources(m, reads, &n_reads, writes, &n_writes);
+        bool writes_counter = false;
+        for (int k = 0; k < n_writes; ++k)
+          if (writes[k] == counter) writes_counter = true;
+        if (!writes_counter) continue;
+        ++defs;
+        if (m.op == POp::Addi && m.rd == counter && m.ra == counter &&
+            m.imm == 1) {
+          step_ok = true;
+        } else if (m.op == POp::Add && m.rd == counter &&
+                   (m.ra == counter || m.rb == counter)) {
+          // The other operand must be a li 1 earlier in the same block.
+          const int other = m.ra == counter ? m.rb : m.ra;
+          for (std::size_t j = 0; j < i; ++j) {
+            const MInstr& def = mb.instrs[j];
+            if (def.op == POp::Li && def.rd == other) {
+              step_ok = def.imm == 1;
+            }
+          }
+        } else if (m.op == POp::Mr && m.rd == counter) {
+          // mr C,T after add T,C,1-ish: accept if the source was computed as
+          // C + 1 in the same block.
+          const int t = m.ra;
+          for (std::size_t j = 0; j < i; ++j) {
+            const MInstr& def = mb.instrs[j];
+            if (def.op == POp::Addi && def.rd == t && def.ra == counter &&
+                def.imm == 1) {
+              step_ok = true;
+            } else if (def.op == POp::Add && def.rd == t &&
+                       (def.ra == counter || def.rb == counter)) {
+              const int other = def.ra == counter ? def.rb : def.ra;
+              for (std::size_t jj = 0; jj < j; ++jj)
+                if (mb.instrs[jj].op == POp::Li &&
+                    mb.instrs[jj].rd == other && mb.instrs[jj].imm == 1)
+                  step_ok = true;
+            }
+          }
+        }
+      }
+    }
+    if (defs != 1 || !step_ok) continue;
+
+    // Initial counter interval: join over entry edges into the header.
+    Interval init = Interval::bottom();
+    for (int p : cfg.blocks[static_cast<std::size_t>(loop.header)].preds) {
+      if (members.count(p) != 0) continue;  // back edge
+      auto es = values.edge_out.find({p, loop.header});
+      if (es == values.edge_out.end() || !es->second.reachable)
+        continue;
+      init = init.join(es->second.gpr[counter]);
+    }
+    if (init.is_bottom()) continue;
+
+    const std::int64_t trips =
+        limit.hi() - init.lo() + (strict ? 0 : 1);
+    return std::max<std::int64_t>(trips, 0);
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Block timing
+// ---------------------------------------------------------------------------
+
+std::uint64_t block_base_cost(const MachineBlock& bb,
+                              const std::vector<ILineEvent>& ilines,
+                              const std::vector<const AccessClass*>& daccess,
+                              const ppc::MachineConfig& machine) {
+  ppc::IssueModel pipe;
+  pipe.reset();
+  int reads[16];
+  int writes[16];
+  int n_reads = 0;
+  int n_writes = 0;
+  std::size_t iline_next = 0;
+  std::size_t dacc_next = 0;
+
+  for (std::size_t i = 0; i < bb.instrs.size(); ++i) {
+    const MInstr& m = bb.instrs[i];
+    std::uint32_t fetch_stall = 0;
+    if (iline_next < ilines.size() &&
+        ilines[iline_next].first_instr == static_cast<int>(i)) {
+      if (ilines[iline_next].cls.cls == CacheClass::Miss)
+        fetch_stall = machine.miss_penalty;
+      ++iline_next;
+    }
+    std::uint32_t extra_mem = 0;
+    if (ppc::is_memory_op(m.op)) {
+      check(dacc_next < daccess.size(), "data access bookkeeping mismatch");
+      if (daccess[dacc_next]->cls == CacheClass::Miss)
+        extra_mem = machine.miss_penalty;
+      ++dacc_next;
+    }
+    ppc::IssueModel::resources(m, reads, &n_reads, writes, &n_writes);
+    pipe.issue(m, reads, n_reads, writes, n_writes, extra_mem, fetch_stall);
+    if (ppc::is_branch(m.op)) {
+      pipe.drain();
+      pipe.add_stall(machine.taken_branch_penalty);
+    }
+  }
+  pipe.drain();
+  return pipe.current_cycle();
+}
+
+// ---------------------------------------------------------------------------
+// Structural IPET: longest path over the loop nest
+// ---------------------------------------------------------------------------
+
+struct PathContext {
+  const Cfg& cfg;
+  const std::vector<std::uint64_t>& block_cost;
+  const std::vector<std::int64_t>& loop_bound;       // per loop index
+  const std::vector<std::uint64_t>& loop_ps_charge;  // per loop index
+};
+
+std::uint64_t loop_wcet(const PathContext& ctx, int loop_index);
+
+/// Longest path through a region (a set of blocks with inner loops already
+/// collapsed), from `source` to every block; returns the distance map.
+/// `region_loop` is the loop whose body we traverse (-1 for the whole
+/// function); its back edges to `header` are ignored.
+std::map<int, std::uint64_t> longest_paths(const PathContext& ctx,
+                                           int region_loop, int source) {
+  const Cfg& cfg = ctx.cfg;
+  std::set<int> members;
+  if (region_loop == -1) {
+    for (std::size_t i = 0; i < cfg.blocks.size(); ++i)
+      members.insert(static_cast<int>(i));
+  } else {
+    const auto& blocks = cfg.loops[static_cast<std::size_t>(region_loop)].blocks;
+    members.insert(blocks.begin(), blocks.end());
+  }
+
+  // A block is a "node" of this region if it belongs to the region and its
+  // innermost containing loop within the region is either the region itself
+  // or it is the header of an immediate inner loop (which represents the
+  // whole collapsed inner loop).
+  auto inner_loop_of = [&](int b) -> int {
+    int l = cfg.loop_of[static_cast<std::size_t>(b)];
+    // Walk up until the parent is the region loop.
+    while (l != -1 && cfg.loops[static_cast<std::size_t>(l)].parent !=
+                          region_loop)
+      l = cfg.loops[static_cast<std::size_t>(l)].parent;
+    return l;  // -1 means the block sits directly in the region
+  };
+
+  auto node_of = [&](int b) -> int {
+    const int l = inner_loop_of(b);
+    if (l == -1) return b;  // plain block
+    return cfg.loops[static_cast<std::size_t>(l)].header;  // collapsed rep
+  };
+
+  auto node_cost = [&](int node) -> std::uint64_t {
+    const int l = inner_loop_of(node);
+    if (l == -1) return ctx.block_cost[static_cast<std::size_t>(node)];
+    return loop_wcet(ctx, l);
+  };
+
+  // Build the collapsed edge list.
+  std::map<int, std::vector<int>> edges;  // node -> successor nodes
+  std::map<int, int> indegree;
+  std::set<int> nodes;
+  const int header =
+      region_loop == -1
+          ? -1
+          : cfg.loops[static_cast<std::size_t>(region_loop)].header;
+  for (int b : members) {
+    const int from_node = node_of(b);
+    nodes.insert(from_node);
+    const int from_inner = inner_loop_of(b);
+    for (int s : cfg.blocks[static_cast<std::size_t>(b)].succs) {
+      if (members.count(s) == 0) continue;   // leaves the region
+      if (s == header) continue;             // region back edge
+      const int to_node = node_of(s);
+      if (from_node == to_node) continue;    // intra-collapsed edge
+      // Only keep edges that actually leave the collapsed inner loop.
+      if (from_inner != -1) {
+        const auto& inner =
+            cfg.loops[static_cast<std::size_t>(from_inner)].blocks;
+        if (std::find(inner.begin(), inner.end(), s) != inner.end()) continue;
+      }
+      edges[from_node].push_back(to_node);
+      ++indegree[to_node];
+      nodes.insert(to_node);
+    }
+  }
+
+  // Topological longest path.
+  std::map<int, std::uint64_t> dist;
+  const int source_node = node_of(source);
+  dist[source_node] = node_cost(source_node);
+  std::vector<int> ready;
+  for (int nd : nodes)
+    if (indegree[nd] == 0) ready.push_back(nd);
+  std::size_t processed = 0;
+  while (!ready.empty()) {
+    const int nd = ready.back();
+    ready.pop_back();
+    ++processed;
+    auto dit = dist.find(nd);
+    if (dit != dist.end()) {
+      for (int s : edges[nd]) {
+        const std::uint64_t cand = dit->second + node_cost(s);
+        auto [sit, inserted] = dist.emplace(s, cand);
+        if (!inserted) sit->second = std::max(sit->second, cand);
+      }
+    }
+    for (int s : edges[nd])
+      if (--indegree[s] == 0) ready.push_back(s);
+  }
+  if (processed != nodes.size())
+    throw WcetError("cycle in collapsed region graph (irreducible flow?)");
+  return dist;
+}
+
+std::uint64_t loop_wcet(const PathContext& ctx, int loop_index) {
+  const Loop& loop = ctx.cfg.loops[static_cast<std::size_t>(loop_index)];
+  const std::map<int, std::uint64_t> dist =
+      longest_paths(ctx, loop_index, loop.header);
+
+  auto dist_to = [&](int b) -> std::uint64_t {
+    // The block may be collapsed into an inner loop header node.
+    auto it = dist.find(b);
+    if (it != dist.end()) return it->second;
+    int l = ctx.cfg.loop_of[static_cast<std::size_t>(b)];
+    while (l != -1) {
+      auto hit = dist.find(ctx.cfg.loops[static_cast<std::size_t>(l)].header);
+      if (hit != dist.end()) return hit->second;
+      l = ctx.cfg.loops[static_cast<std::size_t>(l)].parent;
+    }
+    return 0;
+  };
+
+  std::uint64_t per_iter = 0;
+  for (int latch : loop.latches)
+    per_iter = std::max(per_iter, dist_to(latch));
+  std::uint64_t exit_path = 0;
+  for (const auto& [from, to] : loop.exits)
+    exit_path = std::max(exit_path, dist_to(from));
+
+  const auto bound = static_cast<std::uint64_t>(
+      std::max<std::int64_t>(ctx.loop_bound[static_cast<std::size_t>(loop_index)], 0));
+  return bound * per_iter + exit_path +
+         ctx.loop_ps_charge[static_cast<std::size_t>(loop_index)];
+}
+
+}  // namespace
+
+WcetResult analyze_wcet(const ppc::Image& image, const std::string& fn_name,
+                        const WcetOptions& options) {
+  WcetResult result;
+
+  const Cfg cfg = build_cfg(image, fn_name);
+  AnnotIndex annots;
+  if (options.use_annotations)
+    annots = index_annotations(image, image.fn_entry.at(fn_name),
+                               image.fn_end.at(fn_name));
+  result.warnings = annots.warnings;
+
+  const ValueAnalysisResult values = analyze_values(cfg, annots);
+
+  CacheAnalysisResult caches;
+  if (options.cache_analysis) {
+    caches = analyze_caches(cfg, values, options.machine);
+  } else {
+    // Everything is a miss.
+    caches.ilines.assign(cfg.blocks.size(), {});
+    for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+      const MachineBlock& bb = cfg.blocks[b];
+      std::uint32_t prev_line = 0xFFFFFFFF;
+      for (std::size_t i = 0; i < bb.instrs.size(); ++i) {
+        const std::uint32_t addr =
+            bb.start + static_cast<std::uint32_t>(i) * 4;
+        const std::uint32_t line = options.machine.icache.line_addr(addr);
+        if (line != prev_line) {
+          prev_line = line;
+          ILineEvent ev;
+          ev.line_addr = line;
+          ev.first_instr = static_cast<int>(i);
+          ev.cls = AccessClass{CacheClass::Miss, -1};
+          caches.ilines[b].push_back(ev);
+        }
+      }
+    }
+    caches.daccess.assign(values.accesses.size(),
+                          AccessClass{CacheClass::Miss, -1});
+  }
+
+  // Loop bounds: annotations take effect on the innermost loop containing
+  // the annotation point; automatic derivation refines them.
+  std::vector<std::int64_t> loop_bound(cfg.loops.size(), -1);
+  std::vector<bool> bound_from_annot(cfg.loops.size(), false);
+  std::vector<bool> bound_derived(cfg.loops.size(), false);
+  for (const auto& [addr, n] : annots.loop_bounds) {
+    const int b = cfg.block_containing(addr);
+    if (b < 0) continue;
+    const int l = cfg.loop_of[static_cast<std::size_t>(b)];
+    if (l < 0) {
+      result.warnings.push_back("loop annotation at " + hex32(addr) +
+                                " is outside any loop");
+      continue;
+    }
+    auto& bound = loop_bound[static_cast<std::size_t>(l)];
+    if (bound < 0 || n < bound) {
+      bound = n;
+      bound_from_annot[static_cast<std::size_t>(l)] = true;
+    }
+  }
+  for (std::size_t l = 0; l < cfg.loops.size(); ++l) {
+    const auto derived = derive_bound(cfg, values, cfg.loops[l]);
+    if (derived) {
+      bound_derived[l] = true;
+      if (loop_bound[l] < 0 || *derived < loop_bound[l]) {
+        loop_bound[l] = *derived;
+        bound_from_annot[l] = false;
+      }
+    }
+  }
+  for (std::size_t l = 0; l < cfg.loops.size(); ++l) {
+    if (loop_bound[l] < 0)
+      throw WcetError(
+          "no bound for loop headed at " +
+          hex32(cfg.blocks[static_cast<std::size_t>(cfg.loops[l].header)]
+                    .start) +
+          " in " + fn_name + " (annotation required)");
+    LoopBoundInfo info;
+    info.header_addr =
+        cfg.blocks[static_cast<std::size_t>(cfg.loops[l].header)].start;
+    info.bound = loop_bound[l];
+    info.from_annotation = bound_from_annot[l];
+    info.derived = bound_derived[l];
+    result.loops.push_back(info);
+  }
+
+  // Per-block base costs plus per-execution (Miss) cache charges; collect
+  // persistence charges per scope.
+  std::vector<std::uint64_t> block_cost(cfg.blocks.size(), 0);
+  std::vector<std::uint64_t> loop_ps_charge(cfg.loops.size(), 0);
+  std::uint64_t function_ps_charge = 0;
+
+  // Group data-access classes per block in instruction order.
+  std::vector<std::vector<const AccessClass*>> dacc_by_block(cfg.blocks.size());
+  for (std::size_t i = 0; i < values.accesses.size(); ++i)
+    dacc_by_block[static_cast<std::size_t>(values.accesses[i].block)]
+        .push_back(&caches.daccess[i]);
+
+  auto charge_persistent = [&](const AccessClass& cls) {
+    if (cls.cls != CacheClass::Persistent) return;
+    if (cls.scope == -1)
+      function_ps_charge += options.machine.miss_penalty;
+    else
+      loop_ps_charge[static_cast<std::size_t>(cls.scope)] +=
+          options.machine.miss_penalty;
+  };
+
+  for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+    block_cost[b] = block_base_cost(cfg.blocks[b], caches.ilines[b],
+                                    dacc_by_block[b], options.machine);
+    for (const ILineEvent& ev : caches.ilines[b]) charge_persistent(ev.cls);
+    result.block_costs.emplace_back(cfg.blocks[b].start, block_cost[b]);
+  }
+  for (const AccessClass& cls : caches.daccess) charge_persistent(cls);
+
+  PathContext ctx{cfg, block_cost, loop_bound, loop_ps_charge};
+  const std::map<int, std::uint64_t> dist = longest_paths(ctx, -1, 0);
+  std::uint64_t best = 0;
+  for (const auto& [node, d] : dist) best = std::max(best, d);
+  result.wcet_cycles = best + function_ps_charge;
+  return result;
+}
+
+}  // namespace vc::wcet

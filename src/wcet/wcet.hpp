@@ -1,0 +1,58 @@
+// The static WCET analyzer facade (the aiT stand-in of the reproduction).
+//
+// Phases, mirroring Gebhard et al.'s description of aiT in the same
+// proceedings: decode + CFG reconstruction (cfg.hpp), value analysis
+// (value_analysis.hpp), loop bound analysis (annotations + automatic
+// derivation of canonical counted loops), cache analysis (cache.hpp),
+// per-block pipeline timing via the shared IssueModel, and a structural
+// IPET-style longest-path computation over the loop nest.
+//
+// Soundness contract (enforced by property tests against the simulator):
+// for every input, analyze_wcet(...).wcet_cycles >= observed cycles.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ppc/program.hpp"
+#include "ppc/timing.hpp"
+
+namespace vc::wcet {
+
+struct WcetOptions {
+  ppc::MachineConfig machine;
+  /// Consult the image's annotation table (§3.4 flow). Disabling this is the
+  /// ablation of bench_annotations.
+  bool use_annotations = true;
+  /// Run the cache must/persistence analysis. When disabled every access is
+  /// charged as a miss (the "no cache analysis" ablation).
+  bool cache_analysis = true;
+};
+
+struct LoopBoundInfo {
+  std::uint32_t header_addr = 0;
+  std::int64_t bound = 0;
+  bool from_annotation = false;
+  bool derived = false;  // automatically derived from the loop's exit test
+};
+
+struct WcetResult {
+  std::uint64_t wcet_cycles = 0;
+  std::vector<LoopBoundInfo> loops;
+  std::vector<std::string> warnings;
+  /// Diagnostic: per-block base costs (by block start address).
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> block_costs;
+};
+
+/// A loop without any usable bound makes WCET computation impossible.
+class WcetError : public std::runtime_error {
+ public:
+  explicit WcetError(const std::string& message)
+      : std::runtime_error(message) {}
+};
+
+WcetResult analyze_wcet(const ppc::Image& image, const std::string& fn_name,
+                        const WcetOptions& options = {});
+
+}  // namespace vc::wcet

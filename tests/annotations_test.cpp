@@ -1,0 +1,127 @@
+// Annotation machinery tests: chain parsing, loop-bound parsing, indexing by
+// address range, operand location resolution, and end-to-end transport.
+#include <gtest/gtest.h>
+
+#include "driver/compiler.hpp"
+#include "minic/parser.hpp"
+#include "minic/typecheck.hpp"
+#include "wcet/annotations.hpp"
+
+namespace vc {
+namespace {
+
+TEST(AnnotChain, SimpleBounds) {
+  const auto r = wcet::parse_chain("0 <= %1 <= 59");
+  ASSERT_TRUE(r.has_value());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ(r->at(1), Interval::range(0, 59));
+}
+
+TEST(AnnotChain, PaperExample) {
+  // The paper's own example: "0 <= %1 <= %2 < 360".
+  const auto r = wcet::parse_chain("0 <= %1 <= %2 < 360");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->at(1), Interval::range(0, 359));
+  EXPECT_EQ(r->at(2), Interval::range(0, 359));
+}
+
+TEST(AnnotChain, StrictInequalitiesAndChains) {
+  const auto r = wcet::parse_chain("-5 < %1 < 5");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->at(1), Interval::range(-4, 4));
+
+  const auto r2 = wcet::parse_chain("0 <= %1 <= 10 <= %2 <= 20");
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ(r2->at(1), Interval::range(0, 10));
+  EXPECT_EQ(r2->at(2), Interval::range(10, 20));
+
+  // One-sided.
+  const auto r3 = wcet::parse_chain("%1 <= 100");
+  ASSERT_TRUE(r3.has_value());
+  EXPECT_EQ(r3->at(1).hi(), 100);
+}
+
+TEST(AnnotChain, Rejections) {
+  EXPECT_FALSE(wcet::parse_chain("hello world").has_value());
+  EXPECT_FALSE(wcet::parse_chain("%1 >= 0").has_value());  // only <= and <
+  EXPECT_FALSE(wcet::parse_chain("%0 <= 3").has_value());  // operands 1-based
+  EXPECT_FALSE(wcet::parse_chain("1 <=").has_value());
+  EXPECT_FALSE(wcet::parse_chain("").has_value());
+}
+
+TEST(AnnotIndex, LoopBoundsAndConstraints) {
+  const auto program = [] {
+    minic::Program p = minic::parse_program(R"(
+      func i32 f(i32 n) {
+        local i32 i;
+        __annot("0 <= %1 <= 6", n);
+        i = 0;
+        while (i < n) {
+          __annot("loop <= 6");
+          i = i + 1;
+        }
+        return i;
+      }
+    )");
+    minic::type_check(p);
+    return p;
+  }();
+  const driver::Compiled compiled =
+      driver::compile_program(program, driver::Config::Verified);
+  const auto index = wcet::index_annotations(
+      compiled.image, compiled.image.fn_entry.at("f"),
+      compiled.image.fn_end.at("f"));
+  EXPECT_TRUE(index.warnings.empty());
+  ASSERT_EQ(index.loop_bounds.size(), 1u);
+  EXPECT_EQ(index.loop_bounds.begin()->second, 6);
+  ASSERT_EQ(index.constraints.size(), 1u);
+  const auto& constraints = index.constraints.begin()->second;
+  ASSERT_EQ(constraints.size(), 1u);
+  EXPECT_EQ(constraints[0].range, Interval::range(0, 6));
+  // In the verified config the operand lives in a register.
+  EXPECT_EQ(constraints[0].loc.kind, ppc::MLoc::Kind::Gpr);
+}
+
+TEST(AnnotIndex, PatternModeResolvesToStackSlots) {
+  const auto program = [] {
+    minic::Program p = minic::parse_program(R"(
+      func i32 f(i32 n) {
+        __annot("0 <= %1 <= 6", n);
+        return n;
+      }
+    )");
+    minic::type_check(p);
+    return p;
+  }();
+  const driver::Compiled compiled =
+      driver::compile_program(program, driver::Config::O0Pattern);
+  const auto index = wcet::index_annotations(
+      compiled.image, compiled.image.fn_entry.at("f"),
+      compiled.image.fn_end.at("f"));
+  ASSERT_EQ(index.constraints.size(), 1u);
+  EXPECT_EQ(index.constraints.begin()->second[0].loc.kind,
+            ppc::MLoc::Kind::StackSlot);
+}
+
+TEST(AnnotIndex, UnparseableFormatsWarnButDoNotFail) {
+  const auto program = [] {
+    minic::Program p = minic::parse_program(R"(
+      func i32 f(i32 n) {
+        __annot("mode is cruise", n);
+        return n;
+      }
+    )");
+    minic::type_check(p);
+    return p;
+  }();
+  const driver::Compiled compiled =
+      driver::compile_program(program, driver::Config::Verified);
+  const auto index = wcet::index_annotations(
+      compiled.image, compiled.image.fn_entry.at("f"),
+      compiled.image.fn_end.at("f"));
+  EXPECT_EQ(index.constraints.size(), 0u);
+  EXPECT_EQ(index.warnings.size(), 1u);
+}
+
+}  // namespace
+}  // namespace vc

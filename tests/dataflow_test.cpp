@@ -1,0 +1,208 @@
+// Dataflow / ACG tests: symbol-library semantics (NodeSimulator ==
+// interpreter on ACG output == compiled binary on the machine, bit-exact,
+// over call sequences), generator validity, and per-symbol patterns.
+#include <gtest/gtest.h>
+
+#include "dataflow/acg.hpp"
+#include "dataflow/generator.hpp"
+#include "dataflow/simulator.hpp"
+#include "driver/compiler.hpp"
+#include "machine/machine.hpp"
+#include "minic/interp.hpp"
+#include "minic/parser.hpp"
+#include "minic/printer.hpp"
+#include "minic/typecheck.hpp"
+#include "support/rng.hpp"
+
+namespace vc {
+namespace {
+
+using dataflow::Node;
+using dataflow::SymbolKind;
+using minic::Value;
+
+/// Runs `cycles` steps of `node` through: the node simulator, the mini-C
+/// interpreter on the ACG output, and the compiled binary on the machine
+/// simulator under `config`; asserts bit-exact agreement of all outputs.
+void cross_check(const Node& node, driver::Config config, int cycles,
+                 std::uint64_t seed) {
+  minic::Program program;
+  program.name = node.name();
+  dataflow::generate_node(node, &program);
+  minic::type_check(program);
+
+  dataflow::NodeSimulator reference(node);
+  minic::Interpreter interp(program);
+  const driver::Compiled compiled = driver::compile_program(program, config);
+  machine::Machine m(compiled.image);
+
+  const std::string fn = dataflow::step_function_name(node);
+  Rng rng(seed);
+  const bool has_io = program.find_global(dataflow::kIoBusGlobal) != nullptr;
+
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    std::vector<double> f_inputs;
+    std::vector<std::int32_t> i_inputs;
+    std::vector<Value> args;
+    for (const auto& p : program.find_function(fn)->params) {
+      if (p.type == minic::Type::F64) {
+        const double v = rng.next_double(-30.0, 30.0);
+        f_inputs.push_back(v);
+        args.push_back(Value::of_f64(v));
+      } else {
+        const auto v = static_cast<std::int32_t>(rng.next_range(-3, 3));
+        i_inputs.push_back(v);
+        args.push_back(Value::of_i32(v));
+      }
+    }
+    const double io = rng.next_double(-5.0, 5.0);
+    if (has_io) {
+      interp.write_global(dataflow::kIoBusGlobal, 0, Value::of_f64(io));
+      m.write_global(dataflow::kIoBusGlobal, 0, Value::of_f64(io));
+    }
+
+    const std::vector<double> want = reference.step(f_inputs, i_inputs, io);
+    interp.call(fn, args);
+    m.call(fn, args, minic::Type::I32);
+
+    for (int k = 0; k < node.output_count(); ++k) {
+      const std::string out = dataflow::output_global(node, k);
+      const Value vi = interp.read_global(out, 0);
+      const Value vm = m.read_global(out, 0, minic::Type::F64);
+      ASSERT_EQ(Value::of_f64(want[static_cast<std::size_t>(k)]), vi)
+          << node.name() << " output " << k << " (interpreter) cycle "
+          << cycle;
+      ASSERT_EQ(vi, vm) << node.name() << " output " << k << " (machine, "
+                        << driver::to_string(config) << ") cycle " << cycle;
+    }
+  }
+}
+
+Node every_symbol_node() {
+  // A hand-built node touching every library symbol at least once.
+  Node n("allsym");
+  const auto x = n.add(SymbolKind::InputF);
+  const auto y = n.add(SymbolKind::InputF);
+  const auto mode = n.add(SymbolKind::InputI);
+  const auto c = n.add(SymbolKind::ConstF, {}, {2.5});
+  const auto ci = n.add(SymbolKind::ConstI, {}, {1});
+  const auto io = n.add(SymbolKind::IoAcquire, {}, {8});
+  const auto sum = n.add(SymbolKind::Add, {x, y});
+  const auto dif = n.add(SymbolKind::Sub, {sum, c});
+  const auto prd = n.add(SymbolKind::Mul, {dif, x});
+  const auto div = n.add(SymbolKind::DivSafe, {prd, y}, {1.0});
+  const auto g = n.add(SymbolKind::Gain, {div}, {0.5});
+  const auto bi = n.add(SymbolKind::Bias, {g}, {-1.25});
+  const auto ab = n.add(SymbolKind::Abs, {bi});
+  const auto ng = n.add(SymbolKind::Neg, {ab});
+  const auto mn = n.add(SymbolKind::Min, {ng, io});
+  const auto mx = n.add(SymbolKind::Max, {mn, c});
+  const auto sat = n.add(SymbolKind::Saturate, {mx}, {-10.0, 10.0});
+  const auto dz = n.add(SymbolKind::Deadzone, {sat}, {0.25});
+  const auto cg = n.add(SymbolKind::CmpGt, {dz, c});
+  const auto cl = n.add(SymbolKind::CmpLt, {dz, x});
+  const auto la = n.add(SymbolKind::LogicAnd, {cg, cl});
+  const auto lo = n.add(SymbolKind::LogicOr, {la, mode});
+  const auto ln = n.add(SymbolKind::LogicNot, {lo});
+  (void)ci;
+  const auto sw = n.add(SymbolKind::Switch, {ln, dz, sum});
+  const auto ud = n.add(SymbolKind::UnitDelay, {sw});
+  const auto lag = n.add(SymbolKind::FirstOrderLag, {ud}, {0.3});
+  const auto itg = n.add(SymbolKind::Integrator, {lag}, {0.02, -20.0, 20.0});
+  const auto rl = n.add(SymbolKind::RateLimiter, {itg}, {1.0, 2.0});
+  const auto ma = n.add(SymbolKind::MovingAverage, {rl}, {5});
+  const auto bq =
+      n.add(SymbolKind::Biquad, {ma}, {0.2, 0.4, 0.2, -0.3, 0.1});
+  const auto hy = n.add(SymbolKind::Hysteresis, {bq}, {-1.0, 1.0});
+  const auto db = n.add(SymbolKind::Debounce, {hy}, {3});
+  const auto gate = n.add(SymbolKind::Switch, {db, bq, ma});
+  const auto lut = n.add(SymbolKind::Lookup1D, {gate}, {-10.0, 10.0},
+                         {0.0, 1.0, 4.0, 9.0, 16.0, 25.0, 16.0, 4.0, -3.0});
+  n.add(SymbolKind::Output, {lut});
+  n.add(SymbolKind::Output, {sw});
+  return n;
+}
+
+TEST(Dataflow, EverySymbolAllConfigs) {
+  const Node node = every_symbol_node();
+  for (driver::Config config : driver::kAllConfigs)
+    cross_check(node, config, 12, 0xABCDEF);
+}
+
+TEST(Dataflow, FeedbackLoop) {
+  // Closed-loop: error integrator driving the plant input through a delay.
+  Node n("loopback");
+  const auto target = n.add(SymbolKind::InputF);
+  const auto fb = n.add(SymbolKind::UnitDelay);  // connected below
+  const auto err = n.add(SymbolKind::Sub, {target, fb});
+  const auto ki = n.add(SymbolKind::Gain, {err}, {0.4});
+  const auto itg = n.add(SymbolKind::Integrator, {ki}, {0.1, -50.0, 50.0});
+  n.connect_feedback(fb, itg);
+  n.add(SymbolKind::Output, {itg});
+  for (driver::Config config : driver::kAllConfigs)
+    cross_check(n, config, 25, 42);
+}
+
+TEST(Dataflow, GeneratedSuiteCrossChecks) {
+  const std::vector<Node> nodes = dataflow::generate_suite(2026, 8);
+  ASSERT_EQ(nodes.size(), 8u);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const driver::Config config =
+        driver::kAllConfigs[i % 4];  // rotate configs for coverage
+    cross_check(nodes[i], config, 6, 1000 + i);
+  }
+}
+
+TEST(Dataflow, GeneratorIsDeterministic) {
+  const auto a = dataflow::generate_suite(7, 3);
+  const auto b = dataflow::generate_suite(7, 3);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].blocks().size(), b[i].blocks().size());
+    for (std::size_t j = 0; j < a[i].blocks().size(); ++j) {
+      EXPECT_EQ(a[i].blocks()[j].kind, b[i].blocks()[j].kind);
+      EXPECT_EQ(a[i].blocks()[j].params, b[i].blocks()[j].params);
+    }
+  }
+}
+
+TEST(Dataflow, ValidationRejectsBadNodes) {
+  {
+    Node n("cycle");
+    const auto x = n.add(SymbolKind::InputF);
+    // Combinational self-reference must be rejected.
+    Node bad("bad");
+    const auto bx = bad.add(SymbolKind::InputF);
+    const auto d = bad.add(SymbolKind::UnitDelay);  // unconnected
+    bad.add(SymbolKind::Output, {bx});
+    (void)d;
+    EXPECT_THROW(bad.validate(), CompileError);
+    (void)x;
+  }
+  {
+    Node n("types");
+    const auto x = n.add(SymbolKind::InputF);
+    EXPECT_NO_THROW(n.add(SymbolKind::Abs, {x}));
+    const auto cmp = n.add(SymbolKind::CmpGt, {x, x});
+    n.add(SymbolKind::Output, {cmp});  // Output wants f64, gets i32
+    EXPECT_THROW(n.validate(), CompileError);
+  }
+  {
+    Node n("noout");
+    n.add(SymbolKind::InputF);
+    EXPECT_THROW(n.validate(), CompileError);
+  }
+}
+
+TEST(Dataflow, PrintedProgramRoundTrips) {
+  const Node node = every_symbol_node();
+  minic::Program program;
+  dataflow::generate_node(node, &program);
+  const std::string text = minic::print_program(program);
+  const minic::Program reparsed = minic::parse_program(text);
+  minic::type_check(reparsed);
+  EXPECT_EQ(minic::print_program(reparsed), text);
+}
+
+}  // namespace
+}  // namespace vc

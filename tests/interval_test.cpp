@@ -1,0 +1,141 @@
+// Interval domain tests: lattice laws and soundness of every transfer
+// function (containment of the concrete operation, checked over randomized
+// samples — the property the WCET value analysis relies on).
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "minic/interp.hpp"
+#include "support/interval.hpp"
+#include "support/rng.hpp"
+
+namespace vc {
+namespace {
+
+TEST(Interval, BasicConstruction) {
+  EXPECT_TRUE(Interval::bottom().is_bottom());
+  EXPECT_TRUE(Interval::top().is_top());
+  EXPECT_FALSE(Interval::constant(5).is_bottom());
+  EXPECT_EQ(Interval::constant(5).as_constant(), 5);
+  EXPECT_EQ(Interval::range(1, 3).lo(), 1);
+  EXPECT_EQ(Interval::range(1, 3).hi(), 3);
+  EXPECT_FALSE(Interval::range(1, 3).as_constant().has_value());
+  EXPECT_THROW(Interval::range(3, 1), InternalError);
+}
+
+TEST(Interval, ContainsAndOrder) {
+  const Interval a = Interval::range(-10, 10);
+  EXPECT_TRUE(a.contains(0));
+  EXPECT_TRUE(a.contains(-10));
+  EXPECT_TRUE(a.contains(10));
+  EXPECT_FALSE(a.contains(11));
+  EXPECT_TRUE(a.contains(Interval::range(-5, 5)));
+  EXPECT_TRUE(a.contains(Interval::bottom()));
+  EXPECT_FALSE(a.contains(Interval::range(-5, 11)));
+  EXPECT_FALSE(Interval::bottom().contains(0));
+}
+
+TEST(Interval, LatticeLaws) {
+  const Interval a = Interval::range(-4, 7);
+  const Interval b = Interval::range(2, 20);
+  // join is an upper bound; meet a lower bound.
+  EXPECT_TRUE(a.join(b).contains(a));
+  EXPECT_TRUE(a.join(b).contains(b));
+  EXPECT_TRUE(a.contains(a.meet(b)));
+  EXPECT_TRUE(b.contains(a.meet(b)));
+  // commutativity
+  EXPECT_EQ(a.join(b), b.join(a));
+  EXPECT_EQ(a.meet(b), b.meet(a));
+  // neutral elements
+  EXPECT_EQ(a.join(Interval::bottom()), a);
+  EXPECT_EQ(a.meet(Interval::top()), a);
+  // disjoint meet is empty
+  EXPECT_TRUE(Interval::range(0, 1).meet(Interval::range(3, 4)).is_bottom());
+}
+
+TEST(Interval, WideningConverges) {
+  Interval x = Interval::constant(0);
+  for (int i = 1; i < 100; ++i) {
+    const Interval next = x.join(Interval::constant(i));
+    const Interval widened = x.widen(next);
+    EXPECT_TRUE(widened.contains(next));
+    if (widened == x) break;
+    x = widened;
+  }
+  // After widening an increasing chain, the upper bound is pinned at i32 max.
+  EXPECT_EQ(x.hi(), std::numeric_limits<std::int32_t>::max());
+}
+
+TEST(Interval, Refinements) {
+  const Interval a = Interval::range(0, 100);
+  EXPECT_EQ(a.refine_lt(50), Interval::range(0, 49));
+  EXPECT_EQ(a.refine_le(50), Interval::range(0, 50));
+  EXPECT_EQ(a.refine_gt(50), Interval::range(51, 100));
+  EXPECT_EQ(a.refine_ge(50), Interval::range(50, 100));
+  EXPECT_EQ(a.refine_eq(7), Interval::constant(7));
+  EXPECT_TRUE(a.refine_lt(0).is_bottom());
+  EXPECT_TRUE(a.refine_gt(100).is_bottom());
+  EXPECT_TRUE(a.refine_eq(101).is_bottom());
+}
+
+TEST(Interval, DivisionEdgeCases) {
+  // Divisor straddling zero.
+  const Interval q = Interval::range(-100, 100).div(Interval::range(-2, 2));
+  EXPECT_TRUE(q.contains(100));
+  EXPECT_TRUE(q.contains(-100));
+  // Divisor exactly zero -> bottom (the operation always traps).
+  EXPECT_TRUE(Interval::constant(5).div(Interval::constant(0)).is_bottom());
+  // Plain division.
+  EXPECT_EQ(Interval::range(10, 20).div(Interval::constant(2)),
+            Interval::range(5, 10));
+}
+
+// Property: abstract transfer functions contain the concrete i32 results.
+class IntervalSoundness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IntervalSoundness, TransferContainment) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 400; ++trial) {
+    // Random intervals around random centers, occasionally extreme.
+    auto random_interval = [&](std::int64_t* sample) {
+      const std::int64_t center =
+          rng.next_bool(0.15)
+              ? (rng.next_bool() ? std::numeric_limits<std::int32_t>::max()
+                                 : std::numeric_limits<std::int32_t>::min())
+              : rng.next_range(-100000, 100000);
+      const std::int64_t radius = rng.next_range(0, 1000);
+      const auto lo = std::max<std::int64_t>(
+          center - radius, std::numeric_limits<std::int32_t>::min());
+      const auto hi = std::min<std::int64_t>(
+          center + radius, std::numeric_limits<std::int32_t>::max());
+      *sample = rng.next_range(lo, hi);
+      return Interval::range(lo, hi);
+    };
+    std::int64_t xa = 0;
+    std::int64_t xb = 0;
+    const Interval a = random_interval(&xa);
+    const Interval b = random_interval(&xb);
+    const auto ia = static_cast<std::int32_t>(xa);
+    const auto ib = static_cast<std::int32_t>(xb);
+
+    EXPECT_TRUE(a.add(b).contains(xa + xb));
+    EXPECT_TRUE(a.sub(b).contains(xa - xb));
+    EXPECT_TRUE(a.mul(b).contains(xa * xb));
+    EXPECT_TRUE(a.neg().contains(-xa));
+    if (ib != 0) {
+      const std::int32_t q = minic::eval_ibinop(minic::BinOp::IDiv, ia, ib);
+      EXPECT_TRUE(a.div(b).contains(q))
+          << ia << " / " << ib << " = " << q << " not in "
+          << a.div(b).to_string();
+    }
+    // clamp_i32 contains the wrapped machine result of add.
+    const std::int32_t machine_add = minic::eval_ibinop(minic::BinOp::IAdd, ia, ib);
+    EXPECT_TRUE(a.add(b).clamp_i32().contains(machine_add));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalSoundness,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace vc

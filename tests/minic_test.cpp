@@ -1,0 +1,227 @@
+// Mini-C front-end and interpreter tests: lexing, parsing, type checking
+// (MISRA-style rejections), exact operator semantics (the contract shared
+// with the machine), and printer/parser round-trips.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "minic/interp.hpp"
+#include "minic/lexer.hpp"
+#include "minic/parser.hpp"
+#include "minic/printer.hpp"
+#include "minic/typecheck.hpp"
+
+namespace vc {
+namespace {
+
+using minic::BinOp;
+using minic::UnOp;
+using minic::Value;
+
+minic::Program parse_ok(const std::string& src) {
+  minic::Program p = minic::parse_program(src);
+  minic::type_check(p);
+  return p;
+}
+
+TEST(Lexer, TokenKinds) {
+  const auto tokens = minic::lex(
+      "func i32 f(f64 x) { return (x <= 1.5e3) ? 1 : 0; } // comment");
+  ASSERT_FALSE(tokens.empty());
+  EXPECT_EQ(tokens.back().kind, minic::TokKind::End);
+  // Keywords vs identifiers.
+  EXPECT_EQ(tokens[0].kind, minic::TokKind::Keyword);
+  EXPECT_EQ(tokens[0].text, "func");
+  EXPECT_EQ(tokens[2].kind, minic::TokKind::Ident);
+  EXPECT_EQ(tokens[2].text, "f");
+}
+
+TEST(Lexer, NumbersAndStrings) {
+  const auto tokens = minic::lex(R"(42 3.25 1e-3 "a\"b\n")");
+  EXPECT_EQ(tokens[0].kind, minic::TokKind::IntLit);
+  EXPECT_EQ(tokens[0].int_value, 42);
+  EXPECT_EQ(tokens[1].kind, minic::TokKind::FloatLit);
+  EXPECT_DOUBLE_EQ(tokens[1].float_value, 3.25);
+  EXPECT_EQ(tokens[2].kind, minic::TokKind::FloatLit);
+  EXPECT_DOUBLE_EQ(tokens[2].float_value, 1e-3);
+  EXPECT_EQ(tokens[3].kind, minic::TokKind::StringLit);
+  EXPECT_EQ(tokens[3].text, "a\"b\n");
+}
+
+TEST(Lexer, Errors) {
+  EXPECT_THROW(minic::lex("\"unterminated"), CompileError);
+  EXPECT_THROW(minic::lex("/* unterminated"), CompileError);
+  EXPECT_THROW(minic::lex("@"), CompileError);
+  EXPECT_THROW(minic::lex("99999999999"), CompileError);
+}
+
+TEST(Parser, RejectsMalformedPrograms) {
+  EXPECT_THROW(minic::parse_program("func f64 f() { return 1.0 }"),
+               CompileError);  // missing ';'
+  EXPECT_THROW(parse_ok("func f64 f() { x = 1.0; }"),
+               CompileError);  // assignment to unknown name
+  EXPECT_THROW(minic::parse_program("global f64 g = ;"), CompileError);
+  EXPECT_THROW(minic::parse_program(
+                   "func void f() { for (i = 0; i < 4; i = i + 2) {} }"),
+               CompileError);  // non-canonical step
+  EXPECT_THROW(minic::parse_program(
+                   "func void f() { local i32 i; local i32 i; }"),
+               CompileError);  // duplicate local
+}
+
+TEST(TypeCheck, Rejections) {
+  // f64/i32 mixing.
+  EXPECT_THROW(parse_ok("func f64 f(f64 x, i32 k) { return x + k; }"),
+               CompileError);
+  // loop counter modified in body (MISRA 13.6-style rule).
+  EXPECT_THROW(parse_ok(R"(
+    func void f() {
+      local i32 i;
+      for (i = 0; i < 4; i = i + 1) { i = 0; }
+    })"),
+               CompileError);
+  // indexing a scalar global.
+  EXPECT_THROW(parse_ok(R"(
+    global f64 g = 0.0;
+    func f64 f() { return g[0]; })"),
+               CompileError);
+  // wrong return type.
+  EXPECT_THROW(parse_ok("func i32 f(f64 x) { return x; }"), CompileError);
+  // duplicate globals / functions.
+  EXPECT_THROW(parse_ok("global f64 a; global i32 a;"), CompileError);
+  EXPECT_THROW(parse_ok("func void f() { } func void f() { }"), CompileError);
+}
+
+TEST(Interp, IntegerSemanticsMatchTheMachineContract) {
+  using minic::eval_ibinop;
+  const std::int32_t int_min = std::numeric_limits<std::int32_t>::min();
+  const std::int32_t int_max = std::numeric_limits<std::int32_t>::max();
+  // Wrap-around.
+  EXPECT_EQ(eval_ibinop(BinOp::IAdd, int_max, 1), int_min);
+  EXPECT_EQ(eval_ibinop(BinOp::ISub, int_min, 1), int_max);
+  EXPECT_EQ(eval_ibinop(BinOp::IMul, 65536, 65536), 0);
+  // divw corner: INT_MIN / -1 wraps; division by zero traps.
+  EXPECT_EQ(eval_ibinop(BinOp::IDiv, int_min, -1), int_min);
+  EXPECT_EQ(eval_ibinop(BinOp::IRem, int_min, -1), 0);
+  EXPECT_THROW(eval_ibinop(BinOp::IDiv, 1, 0), minic::EvalError);
+  EXPECT_THROW(eval_ibinop(BinOp::IRem, 1, 0), minic::EvalError);
+  // Truncation toward zero.
+  EXPECT_EQ(eval_ibinop(BinOp::IDiv, -7, 2), -3);
+  EXPECT_EQ(eval_ibinop(BinOp::IRem, -7, 2), -1);
+  // PowerPC shift semantics: 6-bit amount, >=32 produces 0 / sign-fill.
+  EXPECT_EQ(eval_ibinop(BinOp::IShl, 1, 31), int_min);
+  EXPECT_EQ(eval_ibinop(BinOp::IShl, 1, 32), 0);
+  EXPECT_EQ(eval_ibinop(BinOp::IShl, 1, 64), 1);  // 64 & 0x3F == 0
+  EXPECT_EQ(eval_ibinop(BinOp::IShr, -8, 2), -2);
+  EXPECT_EQ(eval_ibinop(BinOp::IShr, -8, 40), -1);
+  EXPECT_EQ(eval_ibinop(BinOp::IShr, 8, 40), 0);
+}
+
+TEST(Interp, FloatToIntSaturates) {
+  auto f2i = [](double v) {
+    return minic::eval_unop(UnOp::F2I, Value::of_f64(v)).i;
+  };
+  EXPECT_EQ(f2i(1.9), 1);
+  EXPECT_EQ(f2i(-1.9), -1);
+  EXPECT_EQ(f2i(3e9), std::numeric_limits<std::int32_t>::max());
+  EXPECT_EQ(f2i(-3e9), std::numeric_limits<std::int32_t>::min());
+  EXPECT_EQ(f2i(std::numeric_limits<double>::quiet_NaN()),
+            std::numeric_limits<std::int32_t>::min());
+  EXPECT_EQ(f2i(2147483647.0), std::numeric_limits<std::int32_t>::max());
+}
+
+TEST(Interp, FminFmaxCompareSelectSemantics) {
+  using minic::eval_fbinop;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  // fmin(a,b) = a < b ? a : b — NaN comparisons are false, so b wins.
+  EXPECT_TRUE(std::isnan(eval_fbinop(BinOp::FMin, 1.0, nan)));
+  EXPECT_EQ(eval_fbinop(BinOp::FMin, nan, 1.0), 1.0);
+  EXPECT_EQ(eval_fbinop(BinOp::FMax, -0.0, 0.0), 0.0);  // not <, so b
+}
+
+TEST(Interp, StatementExecution) {
+  const minic::Program program = parse_ok(R"(
+    global i32 calls = 0;
+    func i32 collatz_steps(i32 n) {
+      local i32 steps;
+      steps = 0;
+      while (n != 1) {
+        __annot("loop <= 200");
+        if ((n % 2) == 0) { n = n / 2; } else { n = 3 * n + 1; }
+        steps = steps + 1;
+      }
+      calls = calls + 1;
+      return steps;
+    }
+  )");
+  minic::Interpreter interp(program);
+  EXPECT_EQ(interp.call("collatz_steps", {Value::of_i32(6)}).i, 8);
+  EXPECT_EQ(interp.call("collatz_steps", {Value::of_i32(27)}).i, 111);
+  EXPECT_EQ(interp.read_global("calls").i, 2);
+  // Annotation events recorded once per iteration.
+  EXPECT_EQ(interp.annotations().size(), 111u);
+}
+
+TEST(Interp, FuelGuardsDivergence) {
+  const minic::Program program = parse_ok(R"(
+    func void spin() {
+      local i32 x;
+      x = 0;
+      while (x == 0) { x = 0; }
+    }
+  )");
+  minic::Interpreter interp(program);
+  interp.set_fuel(10'000);
+  EXPECT_THROW(interp.call("spin", {}), minic::EvalError);
+}
+
+TEST(Printer, RoundTripsHandWrittenPrograms) {
+  const char* sources[] = {
+      R"(global f64 a[3] = {1.0, -2.5, 0.0};
+
+func f64 f(f64 x) {
+  local f64 t;
+  t = (x * 2.0);
+  return fmin(t, a[1]);
+}
+)",
+      R"(func i32 g(i32 a, i32 b) {
+  local i32 r;
+  r = ((a & b) | (a ^ 15));
+  if ((a < b)) {
+    r = (r << 2);
+  } else {
+    r = (r >> 1);
+  }
+  return r;
+}
+)",
+  };
+  for (const char* src : sources) {
+    const minic::Program p1 = parse_ok(src);
+    const std::string printed = minic::print_program(p1);
+    const minic::Program p2 = parse_ok(printed);
+    EXPECT_EQ(minic::print_program(p2), printed);
+  }
+}
+
+TEST(Printer, FloatLiteralsRoundTripBitExactly) {
+  const double values[] = {0.1, 1.0 / 3.0, 1e-300, -1.5e300, 0.0, -0.0,
+                           3.141592653589793};
+  for (double v : values) {
+    minic::Program p;
+    p.functions.emplace_back();
+    auto& fn = p.functions.back();
+    fn.name = "f";
+    fn.has_return = true;
+    fn.return_type = minic::Type::F64;
+    fn.body.push_back(minic::return_stmt(minic::float_lit(v)));
+    const minic::Program p2 = minic::parse_program(minic::print_program(p));
+    minic::Interpreter interp(p2);
+    EXPECT_EQ(interp.call("f", {}), Value::of_f64(v));
+  }
+}
+
+}  // namespace
+}  // namespace vc

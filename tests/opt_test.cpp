@@ -1,0 +1,311 @@
+// Optimizer unit tests: constant propagation (folding, branch rewriting,
+// trap preservation), CSE/copy propagation, DCE (including annotation
+// liveness), and pipeline semantic preservation on random inputs.
+#include <gtest/gtest.h>
+
+#include "minic/interp.hpp"
+#include "minic/parser.hpp"
+#include "minic/typecheck.hpp"
+#include "opt/opt.hpp"
+#include "rtl/analysis.hpp"
+#include "rtl/exec.hpp"
+#include "rtl/lower.hpp"
+#include "support/rng.hpp"
+
+namespace vc {
+namespace {
+
+using minic::Value;
+using rtl::Opcode;
+
+minic::Program parse(const std::string& src) {
+  minic::Program p = minic::parse_program(src);
+  minic::type_check(p);
+  return p;
+}
+
+rtl::Function lower(const minic::Program& p, rtl::LowerMode mode =
+                                                 rtl::LowerMode::Value) {
+  rtl::Function fn = rtl::lower_function(p, p.functions[0], mode);
+  rtl::remove_unreachable_blocks(fn);
+  return fn;
+}
+
+int count_ops(const rtl::Function& fn, Opcode op) {
+  int n = 0;
+  for (const auto& bb : fn.blocks)
+    for (const auto& ins : bb.instrs)
+      if (ins.op == op) ++n;
+  return n;
+}
+
+TEST(ConstProp, FoldsArithmeticAndBranches) {
+  const auto program = parse(R"(
+    func i32 f() {
+      local i32 a;
+      a = (3 + 4) * 2;
+      if (a > 10) { return 100; }
+      return 200;
+    }
+  )");
+  rtl::Function fn = lower(program);
+  EXPECT_TRUE(opt::constant_propagation(fn));
+  opt::dead_code_elimination(fn);
+  // Everything folds: no Bin left, no conditional branch left.
+  EXPECT_EQ(count_ops(fn, Opcode::Bin), 0);
+  EXPECT_EQ(count_ops(fn, Opcode::BranchCmp), 0);
+  rtl::Executor exec(program);
+  EXPECT_EQ(exec.call(fn, {}), Value::of_i32(100));
+}
+
+TEST(ConstProp, FoldsFloatOperationsBitExactly) {
+  const auto program = parse(R"(
+    func f64 f() {
+      return (0.1 + 0.2) * 3.0;
+    }
+  )");
+  rtl::Function fn = lower(program);
+  opt::constant_propagation(fn);
+  opt::dead_code_elimination(fn);
+  EXPECT_EQ(count_ops(fn, Opcode::Bin), 0);
+  rtl::Executor exec(program);
+  EXPECT_EQ(exec.call(fn, {}), Value::of_f64((0.1 + 0.2) * 3.0));
+}
+
+TEST(ConstProp, NeverFoldsDivisionByConstantZero) {
+  const auto program = parse(R"(
+    func i32 f() {
+      local i32 z;
+      z = 0;
+      return 7 / z;
+    }
+  )");
+  rtl::Function fn = lower(program);
+  opt::constant_propagation(fn);
+  // The trapping division must survive.
+  EXPECT_GE(count_ops(fn, Opcode::Bin), 1);
+  rtl::Executor exec(program);
+  EXPECT_THROW(exec.call(fn, {}), minic::EvalError);
+}
+
+TEST(ConstProp, JoinLosesPrecisionSoundly) {
+  // `a` differs on the two paths: must not fold uses after the join.
+  const auto program = parse(R"(
+    func i32 f(i32 c) {
+      local i32 a;
+      if (c > 0) { a = 1; } else { a = 2; }
+      return a * 10;
+    }
+  )");
+  rtl::Function fn = lower(program);
+  opt::constant_propagation(fn);
+  rtl::Executor exec(program);
+  EXPECT_EQ(exec.call(fn, {Value::of_i32(1)}), Value::of_i32(10));
+  EXPECT_EQ(exec.call(fn, {Value::of_i32(-1)}), Value::of_i32(20));
+}
+
+TEST(Cse, EliminatesRedundantExpressions) {
+  const auto program = parse(R"(
+    func f64 f(f64 x, f64 y) {
+      local f64 a; local f64 b;
+      a = (x * y) + 1.0;
+      b = (x * y) + 2.0;   // x*y is redundant
+      return a + b + (y * x);  // commuted: still redundant
+    }
+  )");
+  rtl::Function fn = lower(program);
+  const int muls_before = [&] {
+    int n = 0;
+    for (const auto& bb : fn.blocks)
+      for (const auto& ins : bb.instrs)
+        if (ins.op == Opcode::Bin && ins.bin_op == minic::BinOp::FMul) ++n;
+    return n;
+  }();
+  ASSERT_EQ(muls_before, 3);
+  EXPECT_TRUE(opt::common_subexpression_elimination(fn));
+  opt::dead_code_elimination(fn);
+  int muls_after = 0;
+  for (const auto& bb : fn.blocks)
+    for (const auto& ins : bb.instrs)
+      if (ins.op == Opcode::Bin && ins.bin_op == minic::BinOp::FMul)
+        ++muls_after;
+  EXPECT_EQ(muls_after, 1);
+  rtl::Executor exec(program);
+  const Value r = exec.call(fn, {Value::of_f64(3.0), Value::of_f64(5.0)});
+  EXPECT_EQ(r, Value::of_f64((3.0 * 5.0 + 1.0) + (3.0 * 5.0 + 2.0) + 15.0));
+}
+
+TEST(Cse, DoesNotCrossRedefinitions) {
+  // After `x` is reassigned, x+y is a different value.
+  const auto program = parse(R"(
+    func i32 f(i32 x, i32 y) {
+      local i32 a; local i32 b;
+      a = x + y;
+      x = x + 1;
+      b = x + y;
+      return a * 1000 + b;
+    }
+  )");
+  rtl::Function fn = lower(program);
+  opt::common_subexpression_elimination(fn);
+  rtl::Executor exec(program);
+  EXPECT_EQ(exec.call(fn, {Value::of_i32(3), Value::of_i32(4)}),
+            Value::of_i32(7 * 1000 + 8));
+}
+
+TEST(Dce, RemovesDeadCodeButKeepsAnnotationOperands) {
+  const auto program = parse(R"(
+    func i32 f(i32 x) {
+      local i32 dead;
+      local i32 tracked;
+      dead = x * 111;       // never used
+      tracked = x * 7;      // only used by the annotation
+      __annot("0 <= %1", tracked);
+      return x;
+    }
+  )");
+  rtl::Function fn = lower(program);
+  const std::size_t before = fn.instruction_count();
+  EXPECT_TRUE(opt::dead_code_elimination(fn));
+  EXPECT_LT(fn.instruction_count(), before);
+  // The annotation operand's computation must survive.
+  rtl::Executor exec(program);
+  exec.call(fn, {Value::of_i32(6)});
+  ASSERT_EQ(exec.annotations().size(), 1u);
+  EXPECT_EQ(exec.annotations()[0].values[0], Value::of_i32(42));
+}
+
+TEST(Pipeline, PreservesSemanticsOnRandomPrograms) {
+  // A grab bag of kernels; the full pipeline must preserve results and
+  // global effects bit-exactly on random inputs.
+  const char* sources[] = {
+      R"(global f64 s = 0.25;
+         func f64 k1(f64 x, f64 y) {
+           local f64 a;
+           a = fmin(fmax(x / (fabs(y) + 1.0), -8.0), 8.0);
+           s = s * 0.5 + a;
+           return s;
+         })",
+      R"(func i32 k2(i32 n) {
+           local i32 i; local i32 acc;
+           acc = 0;
+           for (i = 0; i < 13; i = i + 1) {
+             acc = acc + ((n >> (i & 7)) & 1) * (i + 1);
+           }
+           return acc;
+         })",
+      R"(global i32 mode = 0;
+         func f64 k3(f64 x, i32 m) {
+           local f64 r;
+           r = 0.0;
+           mode = m;
+           if (m == 0) { r = x; }
+           else if (m == 1) { r = -x; }
+           else { r = x * x; }
+           return (m > 1 ? r + 1.0 : r);
+         })",
+  };
+  Rng rng(31337);
+  for (const char* src : sources) {
+    const auto program = parse(src);
+    for (auto mode : {rtl::LowerMode::PatternStack, rtl::LowerMode::Value}) {
+      rtl::Function fn = lower(program, mode);
+      const rtl::Function original = fn;
+      std::vector<std::string> applied;
+      opt::run_standard_pipeline(fn, &applied);
+      rtl::Executor exec_a(program);
+      rtl::Executor exec_b(program);
+      for (int t = 0; t < 25; ++t) {
+        std::vector<Value> args;
+        for (const auto& p : fn.params)
+          args.push_back(p.cls == rtl::RegClass::F64
+                             ? Value::of_f64(rng.next_double(-50, 50))
+                             : Value::of_i32(static_cast<std::int32_t>(
+                                   rng.next_range(-5, 5))));
+        ASSERT_EQ(exec_a.call(original, args), exec_b.call(fn, args));
+        for (const auto& g : program.globals)
+          for (std::size_t i = 0; i < g.count; ++i)
+            ASSERT_EQ(exec_a.read_global(g.name, i),
+                      exec_b.read_global(g.name, i));
+      }
+    }
+  }
+}
+
+TEST(Tunneling, CollapsesForwardingChains) {
+  // Empty if-arms lower to pure forwarding blocks ([jump join]).
+  const auto program = parse(R"(
+    global f64 g = 0.0;
+    func f64 f(f64 x, f64 y) {
+      local f64 r;
+      r = x;
+      if (x > 0.0) { } else { r = y; }
+      if (y > 0.0) { g = g + 1.0; } else { }
+      return r;
+    }
+  )");
+  rtl::Function fn = lower(program);
+  const std::size_t blocks_before = fn.blocks.size();
+  const bool changed = opt::branch_tunneling(fn);
+  EXPECT_TRUE(changed);
+  EXPECT_LT(fn.blocks.size(), blocks_before);
+  // No surviving branch may target a pure forwarder.
+  for (const auto& bb : fn.blocks) {
+    for (rtl::BlockId s : bb.successors()) {
+      const auto& target = fn.blocks[s].instrs;
+      const bool forwarder =
+          target.size() == 1 && target[0].op == Opcode::Jump;
+      EXPECT_FALSE(forwarder);
+    }
+  }
+  // Semantics preserved.
+  rtl::Function original = lower(program);
+  rtl::Executor exec_a(program);
+  rtl::Executor exec_b(program);
+  Rng rng(17);
+  for (int t = 0; t < 20; ++t) {
+    const std::vector<Value> args{Value::of_f64(rng.next_double(-3, 3)),
+                                  Value::of_f64(rng.next_double(-3, 3))};
+    ASSERT_EQ(exec_a.call(original, args), exec_b.call(fn, args));
+  }
+}
+
+TEST(Tunneling, SurvivesEmptyInfiniteLoops) {
+  // A forwarder cycle (hand-built; the front end cannot produce one) must
+  // not send tunneling into an endless chase.
+  rtl::Function fn;
+  fn.name = "spin";
+  fn.blocks.resize(2);
+  rtl::Instr j0;
+  j0.op = Opcode::Jump;
+  j0.target = 1;
+  rtl::Instr j1;
+  j1.op = Opcode::Jump;
+  j1.target = 0;
+  fn.blocks[0].instrs.push_back(j0);
+  fn.blocks[1].instrs.push_back(j1);
+  fn.validate();
+  EXPECT_NO_THROW(opt::branch_tunneling(fn));
+  fn.validate();
+}
+
+TEST(Pipeline, OptimizedCodeIsNeverLarger) {
+  const auto program = parse(R"(
+    func f64 chain(f64 a, f64 b, f64 c) {
+      local f64 t1; local f64 t2; local f64 t3;
+      t1 = a * 2.0 + b;
+      t2 = a * 2.0 + c;   // CSE target
+      t3 = (1.5 + 2.5) * t1;  // constprop target
+      return t1 + t2 + t3;
+    }
+  )");
+  rtl::Function fn = lower(program);
+  const std::size_t before = fn.instruction_count();
+  std::vector<std::string> applied;
+  opt::run_standard_pipeline(fn, &applied);
+  EXPECT_LE(fn.instruction_count(), before);
+  EXPECT_FALSE(applied.empty());
+}
+
+}  // namespace
+}  // namespace vc

@@ -1,0 +1,157 @@
+// Register allocator tests: coloring validity (interfering vregs never share
+// a color), spilling under artificially small register files, semantic
+// preservation of spill rewriting, and move-biased coalescing.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "minic/interp.hpp"
+#include "minic/parser.hpp"
+#include "minic/typecheck.hpp"
+#include "regalloc/regalloc.hpp"
+#include "rtl/analysis.hpp"
+#include "rtl/exec.hpp"
+#include "rtl/lower.hpp"
+#include "support/rng.hpp"
+
+namespace vc {
+namespace {
+
+using minic::Value;
+
+minic::Program parse(const std::string& src) {
+  minic::Program p = minic::parse_program(src);
+  minic::type_check(p);
+  return p;
+}
+
+/// Recomputes interference on the final function and checks that no two
+/// interfering vregs of the same class share a color.
+void expect_valid_coloring(const rtl::Function& fn,
+                           const regalloc::Allocation& alloc) {
+  const rtl::Liveness lv = rtl::compute_liveness(fn);
+  for (rtl::BlockId b = 0; b < fn.blocks.size(); ++b) {
+    std::set<rtl::VReg> live = lv.live_out[b];
+    const auto& instrs = fn.blocks[b].instrs;
+    for (std::size_t i = instrs.size(); i-- > 0;) {
+      const rtl::Instr& ins = instrs[i];
+      if (auto d = ins.def()) {
+        for (rtl::VReg l : live) {
+          if (l == *d) continue;
+          if (fn.vregs[l] != fn.vregs[*d]) continue;
+          if (ins.op == rtl::Opcode::Mov && l == ins.src1) continue;
+          ASSERT_TRUE(alloc.locs[*d].in_reg);
+          ASSERT_TRUE(alloc.locs[l].in_reg);
+          ASSERT_NE(alloc.locs[*d].color, alloc.locs[l].color)
+              << "vregs " << *d << " and " << l << " interfere";
+        }
+        live.erase(*d);
+      }
+      for (rtl::VReg u : ins.uses()) live.insert(u);
+    }
+  }
+}
+
+const char* kPressureSource = R"(
+  func f64 pressure(f64 a, f64 b, f64 c, f64 d) {
+    local f64 t1; local f64 t2; local f64 t3; local f64 t4;
+    local f64 t5; local f64 t6; local f64 t7; local f64 t8;
+    t1 = a + b;  t2 = a - b;  t3 = c + d;  t4 = c - d;
+    t5 = t1 * t3;  t6 = t2 * t4;  t7 = t1 * t4;  t8 = t2 * t3;
+    return ((t1 + t2) * (t3 + t4) + (t5 + t6) * (t7 + t8)) /
+           (t5 - t6 + t7 - t8 + 1000.0);
+  }
+)";
+
+TEST(Regalloc, ValidColoringWithAmpleRegisters) {
+  const auto program = parse(kPressureSource);
+  rtl::Function fn = rtl::lower_function(program, program.functions[0],
+                                         rtl::LowerMode::Value);
+  rtl::remove_unreachable_blocks(fn);
+  const regalloc::Allocation alloc = regalloc::allocate_registers(fn, 18, 18);
+  EXPECT_EQ(alloc.spill_count, 0);
+  expect_valid_coloring(fn, alloc);
+}
+
+TEST(Regalloc, SpillsUnderPressureAndStaysCorrect) {
+  const auto program = parse(kPressureSource);
+  for (int k : {3, 4, 5}) {
+    rtl::Function fn = rtl::lower_function(program, program.functions[0],
+                                           rtl::LowerMode::Value);
+    rtl::remove_unreachable_blocks(fn);
+    const rtl::Function original = fn;
+    const regalloc::Allocation alloc = regalloc::allocate_registers(fn, k, k);
+    EXPECT_GT(alloc.spill_count, 0) << "k=" << k;
+    expect_valid_coloring(fn, alloc);
+    // Spill rewriting preserves semantics.
+    rtl::Executor exec_a(program);
+    rtl::Executor exec_b(program);
+    Rng rng(k);
+    for (int t = 0; t < 10; ++t) {
+      std::vector<Value> args;
+      for (int i = 0; i < 4; ++i)
+        args.push_back(Value::of_f64(rng.next_double(-9, 9)));
+      ASSERT_EQ(exec_a.call(original, args), exec_b.call(fn, args));
+    }
+    // And every color fits the budget.
+    for (const auto& loc : alloc.locs) {
+      if (loc.in_reg) {
+        EXPECT_LT(loc.color, k);
+      }
+    }
+  }
+}
+
+TEST(Regalloc, LoopCarriedValuesSurviveAllocation) {
+  const auto program = parse(R"(
+    func f64 horner(f64 x) {
+      local f64 acc;
+      local i32 i;
+      acc = 1.0;
+      for (i = 0; i < 8; i = i + 1) {
+        acc = acc * x + 0.5;
+      }
+      return acc;
+    }
+  )");
+  for (int k : {2, 3, 8}) {
+    rtl::Function fn = rtl::lower_function(program, program.functions[0],
+                                           rtl::LowerMode::Value);
+    rtl::remove_unreachable_blocks(fn);
+    const rtl::Function original = fn;
+    const regalloc::Allocation alloc = regalloc::allocate_registers(fn, k, k);
+    expect_valid_coloring(fn, alloc);
+    rtl::Executor exec_a(program);
+    rtl::Executor exec_b(program);
+    const std::vector<Value> args{Value::of_f64(1.5)};
+    ASSERT_EQ(exec_a.call(original, args), exec_b.call(fn, args));
+  }
+}
+
+TEST(Regalloc, MoveBiasedColoringCoalescesCopies) {
+  // A chain of moves should collapse onto one color when possible.
+  const auto program = parse(R"(
+    func f64 passthrough(f64 x) {
+      local f64 a; local f64 b; local f64 c;
+      a = x;
+      b = a;
+      c = b;
+      return c;
+    }
+  )");
+  rtl::Function fn = rtl::lower_function(program, program.functions[0],
+                                         rtl::LowerMode::Value);
+  rtl::remove_unreachable_blocks(fn);
+  const regalloc::Allocation alloc = regalloc::allocate_registers(fn, 18, 18);
+  // Collect colors of all F64 vregs involved in moves; biased coloring
+  // should give most of them the same color.
+  std::set<int> colors;
+  for (const auto& bb : fn.blocks)
+    for (const auto& ins : bb.instrs)
+      if (ins.op == rtl::Opcode::Mov && fn.vregs[ins.dst] == rtl::RegClass::F64)
+        colors.insert(alloc.locs[ins.dst].color);
+  EXPECT_LE(colors.size(), 2u);
+}
+
+}  // namespace
+}  // namespace vc

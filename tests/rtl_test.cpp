@@ -1,0 +1,224 @@
+// RTL IR and analysis tests: lowering structure (both modes), CFG utilities,
+// liveness, dominators, unreachable-block cleanup, validation, and the RTL
+// executor against the interpreter.
+#include <gtest/gtest.h>
+
+#include "minic/interp.hpp"
+#include "minic/parser.hpp"
+#include "minic/typecheck.hpp"
+#include "rtl/analysis.hpp"
+#include "rtl/exec.hpp"
+#include "rtl/lower.hpp"
+#include "support/rng.hpp"
+
+namespace vc {
+namespace {
+
+using minic::Value;
+using rtl::Opcode;
+
+minic::Program parse(const std::string& src) {
+  minic::Program p = minic::parse_program(src);
+  minic::type_check(p);
+  return p;
+}
+
+int count_ops(const rtl::Function& fn, Opcode op) {
+  int n = 0;
+  for (const auto& bb : fn.blocks)
+    for (const auto& ins : bb.instrs)
+      if (ins.op == op) ++n;
+  return n;
+}
+
+TEST(RtlLower, PatternModePutsVariablesInSlots) {
+  const auto program = parse(R"(
+    func f64 f(f64 a, f64 b) {
+      local f64 t;
+      t = a + b;
+      return t * a;
+    }
+  )");
+  const rtl::Function pattern = rtl::lower_function(
+      program, program.functions[0], rtl::LowerMode::PatternStack);
+  const rtl::Function value = rtl::lower_function(
+      program, program.functions[0], rtl::LowerMode::Value);
+  // Pattern mode: one slot per variable (a, b, t), plus loads/stores.
+  EXPECT_EQ(pattern.slots.size(), 3u);
+  EXPECT_GT(count_ops(pattern, Opcode::LoadStack), 0);
+  EXPECT_GT(count_ops(pattern, Opcode::StoreStack), 0);
+  // Value mode: no slots at all before register allocation.
+  EXPECT_EQ(value.slots.size(), 0u);
+  EXPECT_EQ(count_ops(value, Opcode::LoadStack), 0);
+}
+
+TEST(RtlLower, ForLoopGetsAutomaticBoundAnnotation) {
+  const auto program = parse(R"(
+    func i32 f() {
+      local i32 i; local i32 s;
+      s = 0;
+      for (i = 0; i < 10; i = i + 1) { s = s + i; }
+      return s;
+    }
+  )");
+  for (auto mode : {rtl::LowerMode::PatternStack, rtl::LowerMode::Value}) {
+    const rtl::Function fn =
+        rtl::lower_function(program, program.functions[0], mode);
+    bool found = false;
+    for (const auto& bb : fn.blocks)
+      for (const auto& ins : bb.instrs)
+        if (ins.op == Opcode::Annot && ins.annot_format == "loop <= 10")
+          found = true;
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(RtlLower, ValidationCatchesBrokenFunctions) {
+  rtl::Function fn;
+  fn.name = "broken";
+  EXPECT_THROW(fn.validate(), InternalError);  // no blocks
+  fn.blocks.emplace_back();
+  EXPECT_THROW(fn.validate(), InternalError);  // empty block
+  rtl::Instr ret;
+  ret.op = Opcode::Ret;
+  fn.blocks[0].instrs.push_back(ret);
+  EXPECT_NO_THROW(fn.validate());
+  rtl::Instr jmp;
+  jmp.op = Opcode::Jump;
+  jmp.target = 7;  // out of range
+  fn.blocks[0].instrs.insert(fn.blocks[0].instrs.begin(), jmp);
+  EXPECT_THROW(fn.validate(), InternalError);  // terminator not last
+}
+
+TEST(RtlAnalysis, ReversePostorderAndPredecessors) {
+  const auto program = parse(R"(
+    func i32 f(i32 n) {
+      local i32 s;
+      s = 0;
+      while (n > 0) {
+        s = s + n;
+        n = n - 1;
+      }
+      return s;
+    }
+  )");
+  rtl::Function fn = rtl::lower_function(program, program.functions[0],
+                                         rtl::LowerMode::Value);
+  rtl::remove_unreachable_blocks(fn);
+  const auto rpo = rtl::reverse_postorder(fn);
+  EXPECT_EQ(rpo.size(), fn.blocks.size());
+  EXPECT_EQ(rpo.front(), 0u);
+  const auto preds = rtl::predecessors(fn);
+  // The loop head has two predecessors (entry and back edge).
+  int two_pred_blocks = 0;
+  for (const auto& p : preds)
+    if (p.size() == 2) ++two_pred_blocks;
+  EXPECT_GE(two_pred_blocks, 1);
+  // Dominators: entry dominates everything.
+  const auto idom = rtl::immediate_dominators(fn);
+  for (rtl::BlockId b = 0; b < fn.blocks.size(); ++b)
+    EXPECT_TRUE(rtl::dominates(idom, 0, b));
+}
+
+TEST(RtlAnalysis, LivenessOnDiamond) {
+  const auto program = parse(R"(
+    func f64 f(f64 x, i32 c) {
+      local f64 r;
+      if (c > 0) { r = x * 2.0; } else { r = x * 3.0; }
+      return r + x;
+    }
+  )");
+  rtl::Function fn = rtl::lower_function(program, program.functions[0],
+                                         rtl::LowerMode::Value);
+  rtl::remove_unreachable_blocks(fn);
+  const rtl::Liveness lv = rtl::compute_liveness(fn);
+  // x's vreg must be live across the diamond (used in the join block).
+  // Find the GetParam of param 0.
+  rtl::VReg x_reg = rtl::kNoVReg;
+  for (const auto& ins : fn.blocks[0].instrs)
+    if (ins.op == Opcode::GetParam && ins.param_index == 0) x_reg = ins.dst;
+  ASSERT_NE(x_reg, rtl::kNoVReg);
+  int live_blocks = 0;
+  for (const auto& in : lv.live_in)
+    if (in.count(x_reg) != 0) ++live_blocks;
+  EXPECT_GE(live_blocks, 2);
+}
+
+TEST(RtlAnalysis, RemoveUnreachableAfterEarlyReturn) {
+  const auto program = parse(R"(
+    func i32 f(i32 c) {
+      if (c > 0) { return 1; }
+      return 2;
+    }
+  )");
+  rtl::Function fn = rtl::lower_function(program, program.functions[0],
+                                         rtl::LowerMode::Value);
+  const std::size_t before = fn.blocks.size();
+  rtl::remove_unreachable_blocks(fn);
+  EXPECT_LT(fn.blocks.size(), before);
+  fn.validate();
+  // Semantics preserved.
+  rtl::Executor exec(program);
+  EXPECT_EQ(exec.call(fn, {Value::of_i32(5)}), Value::of_i32(1));
+  EXPECT_EQ(exec.call(fn, {Value::of_i32(-5)}), Value::of_i32(2));
+}
+
+TEST(RtlExec, AgreesWithInterpreterOnBothModes) {
+  const auto program = parse(R"(
+    global f64 acc = 0.0;
+    global f64 ring[4] = {1.0, 2.0, 3.0, 4.0};
+    func f64 step(f64 x, i32 k) {
+      local f64 t;
+      local i32 i;
+      t = 0.0;
+      for (i = 0; i < 4; i = i + 1) {
+        t = t + ring[i];
+      }
+      ring[(k & 3)] = x;
+      acc = acc + t;
+      if (x > 0.0) { t = t * 2.0; }
+      return t - (f64)(k);
+    }
+  )");
+  Rng rng(99);
+  for (auto mode : {rtl::LowerMode::PatternStack, rtl::LowerMode::Value}) {
+    rtl::Function fn =
+        rtl::lower_function(program, program.functions[0], mode);
+    rtl::remove_unreachable_blocks(fn);
+    minic::Interpreter interp(program);
+    rtl::Executor exec(program);
+    for (int t = 0; t < 20; ++t) {
+      const Value x = Value::of_f64(rng.next_double(-10, 10));
+      const Value k = Value::of_i32(static_cast<std::int32_t>(
+          rng.next_range(-100, 100)));
+      ASSERT_EQ(interp.call("step", {x, k}), exec.call(fn, {x, k}));
+      ASSERT_EQ(interp.read_global("acc"), exec.read_global("acc"));
+      for (int i = 0; i < 4; ++i)
+        ASSERT_EQ(interp.read_global("ring", i), exec.read_global("ring", i));
+    }
+  }
+}
+
+TEST(RtlExec, AnnotationOperandsReadSlotsAndRegs) {
+  const auto program = parse(R"(
+    func i32 f(i32 a) {
+      local i32 b;
+      b = a * 2;
+      __annot("0 <= %1 <= %2", a, b);
+      return b;
+    }
+  )");
+  for (auto mode : {rtl::LowerMode::PatternStack, rtl::LowerMode::Value}) {
+    rtl::Function fn =
+        rtl::lower_function(program, program.functions[0], mode);
+    rtl::remove_unreachable_blocks(fn);
+    rtl::Executor exec(program);
+    exec.call(fn, {Value::of_i32(21)});
+    ASSERT_EQ(exec.annotations().size(), 1u);
+    EXPECT_EQ(exec.annotations()[0].values[0], Value::of_i32(21));
+    EXPECT_EQ(exec.annotations()[0].values[1], Value::of_i32(42));
+  }
+}
+
+}  // namespace
+}  // namespace vc

@@ -1,0 +1,222 @@
+// Translation-validation tests: genuine pipelines must validate; seeded
+// miscompilations (operand swaps, wrong constants, dropped stores, wrong
+// registers) must be rejected by the appropriate checker.
+#include <gtest/gtest.h>
+
+#include "dataflow/acg.hpp"
+#include "dataflow/generator.hpp"
+#include "minic/parser.hpp"
+#include "minic/typecheck.hpp"
+#include "opt/opt.hpp"
+#include "rtl/analysis.hpp"
+#include "rtl/lower.hpp"
+#include "validate/validate.hpp"
+
+namespace vc {
+namespace {
+
+minic::Program parse(const std::string& src) {
+  minic::Program p = minic::parse_program(src);
+  minic::type_check(p);
+  return p;
+}
+
+const std::string kSample = R"(
+  global f64 state = 1.5;
+  global f64 hist[4] = {0.5, 1.0, 1.5, 2.0};
+  func f64 law(f64 x, f64 y, i32 k) {
+    local f64 t1; local f64 t2; local f64 acc;
+    local i32 i;
+    t1 = x * y + state;
+    t2 = x * y - state;
+    acc = 0.0;
+    for (i = 0; i < 4; i = i + 1) {
+      acc = acc + hist[i] * t1;
+    }
+    if (k > 0) { acc = acc + t2; } else { acc = acc - t2; }
+    state = acc * 0.25;
+    return acc;
+  }
+)";
+
+TEST(Validate, GenuinePipelinesValidate) {
+  const auto program = parse(kSample);
+  for (driver::Config config : driver::kAllConfigs)
+    EXPECT_NO_THROW(validate::validated_compile(program, config, 8, 11))
+        << driver::to_string(config);
+}
+
+TEST(Validate, GeneratedNodesValidate) {
+  const auto nodes = dataflow::generate_suite(555, 4);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    minic::Program program;
+    dataflow::generate_node(nodes[i], &program);
+    minic::type_check(program);
+    EXPECT_NO_THROW(validate::validated_compile(
+        program, driver::kAllConfigs[i % 4], 6, 77 + i));
+  }
+}
+
+TEST(Validate, StructureCheckerAcceptsCse) {
+  const auto program = parse(kSample);
+  rtl::Function fn = rtl::lower_function(program, program.functions[0],
+                                         rtl::LowerMode::Value);
+  rtl::remove_unreachable_blocks(fn);
+  rtl::Function before = fn;
+  opt::common_subexpression_elimination(fn);
+  const auto result = validate::check_structure_preserving(before, fn);
+  EXPECT_TRUE(result.ok) << result.message;
+}
+
+TEST(Validate, StructureCheckerRejectsWrongRewrites) {
+  const auto program = parse(kSample);
+  rtl::Function fn = rtl::lower_function(program, program.functions[0],
+                                         rtl::LowerMode::Value);
+  rtl::remove_unreachable_blocks(fn);
+  const rtl::Function before = fn;
+
+  // Mutation 1: swap the operands of the first non-commutative Bin.
+  {
+    rtl::Function bad = before;
+    bool mutated = false;
+    for (auto& bb : bad.blocks) {
+      for (auto& ins : bb.instrs) {
+        if (ins.op == rtl::Opcode::Bin &&
+            ins.bin_op == minic::BinOp::FSub && !mutated) {
+          std::swap(ins.src1, ins.src2);
+          mutated = true;
+        }
+      }
+    }
+    ASSERT_TRUE(mutated);
+    EXPECT_FALSE(validate::check_structure_preserving(before, bad).ok);
+  }
+  // Mutation 2: change a constant.
+  {
+    rtl::Function bad = before;
+    bool mutated = false;
+    for (auto& bb : bad.blocks) {
+      for (auto& ins : bb.instrs) {
+        if (ins.op == rtl::Opcode::LdF && !mutated) {
+          ins.f64_imm += 1.0;
+          mutated = true;
+        }
+      }
+    }
+    ASSERT_TRUE(mutated);
+    EXPECT_FALSE(validate::check_structure_preserving(before, bad).ok);
+  }
+  // Mutation 3: retarget a store to another global.
+  {
+    rtl::Function bad = before;
+    bool mutated = false;
+    for (auto& bb : bad.blocks) {
+      for (auto& ins : bb.instrs) {
+        if (ins.op == rtl::Opcode::StoreGlobal && ins.sym == "state" &&
+            !mutated) {
+          ins.sym = "hist";
+          ins.elem = 0;
+          mutated = true;
+        }
+      }
+    }
+    ASSERT_TRUE(mutated);
+    EXPECT_FALSE(validate::check_structure_preserving(before, bad).ok);
+  }
+}
+
+TEST(Validate, DifferentialCheckerCatchesMiscompiles) {
+  const auto program = parse(kSample);
+  rtl::Function fn = rtl::lower_function(program, program.functions[0],
+                                         rtl::LowerMode::Value);
+  rtl::remove_unreachable_blocks(fn);
+  const rtl::Function before = fn;
+
+  // Identity transformation validates.
+  EXPECT_TRUE(validate::differential_check(program, before, before, 8, 3).ok);
+
+  // Mutation: FAdd -> FSub somewhere.
+  {
+    rtl::Function bad = before;
+    bool mutated = false;
+    for (auto& bb : bad.blocks) {
+      for (auto& ins : bb.instrs) {
+        if (ins.op == rtl::Opcode::Bin &&
+            ins.bin_op == minic::BinOp::FAdd && !mutated) {
+          ins.bin_op = minic::BinOp::FSub;
+          mutated = true;
+        }
+      }
+    }
+    ASSERT_TRUE(mutated);
+    EXPECT_FALSE(validate::differential_check(program, before, bad, 16, 3).ok);
+  }
+  // Mutation: drop the store to `state` (turn it into a jump-preserving
+  // no-op by replacing with a Mov to a fresh vreg).
+  {
+    rtl::Function bad = before;
+    bool mutated = false;
+    for (auto& bb : bad.blocks) {
+      for (auto& ins : bb.instrs) {
+        if (ins.op == rtl::Opcode::StoreGlobal && !mutated) {
+          const rtl::VReg scratch = bad.new_vreg(bad.vregs[ins.src1]);
+          rtl::Instr mv;
+          mv.op = rtl::Opcode::Mov;
+          mv.dst = scratch;
+          mv.src1 = ins.src1;
+          ins = mv;
+          mutated = true;
+        }
+      }
+    }
+    ASSERT_TRUE(mutated);
+    EXPECT_FALSE(validate::differential_check(program, before, bad, 16, 3).ok);
+  }
+  // Mutation: constant tweak must be caught too.
+  {
+    rtl::Function bad = before;
+    bool mutated = false;
+    for (auto& bb : bad.blocks) {
+      for (auto& ins : bb.instrs) {
+        if (ins.op == rtl::Opcode::LdI && ins.int_imm == 4 && !mutated) {
+          ins.int_imm = 3;  // shrink the loop bound
+          mutated = true;
+        }
+      }
+    }
+    ASSERT_TRUE(mutated);
+    EXPECT_FALSE(validate::differential_check(program, before, bad, 16, 3).ok);
+  }
+}
+
+TEST(Validate, EndToEndCatchesEmissionBug) {
+  const auto program = parse(kSample);
+  driver::Compiled compiled =
+      driver::compile_program(program, driver::Config::Verified);
+  EXPECT_TRUE(
+      validate::cross_check_machine(program, compiled, "law", 8, 5).ok);
+
+  // Corrupt one instruction word in the image (simulating an assembler or
+  // linker defect): flip an fadd into an fsub if present.
+  bool corrupted = false;
+  for (auto& word : compiled.image.words) {
+    ppc::MInstr ins = ppc::decode(word);
+    if (ins.op == ppc::POp::Fadd) {
+      ins.op = ppc::POp::Fsub;
+      word = ppc::encode(ins);
+      corrupted = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(corrupted);
+  // A single call sequence can mask the defect when a NaN/inf input poisons
+  // the state early (NaN +/- c is the same NaN); several seeds make the
+  // check robust, like a real qualification campaign would.
+  bool caught = false;
+  for (std::uint64_t seed = 1; seed <= 8 && !caught; ++seed)
+    caught = !validate::cross_check_machine(program, compiled, "law", 8, seed).ok;
+  EXPECT_TRUE(caught);
+}
+
+}  // namespace
+}  // namespace vc
