@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_annotations"
+  "../bench/bench_annotations.pdb"
+  "CMakeFiles/bench_annotations.dir/bench_annotations.cpp.o"
+  "CMakeFiles/bench_annotations.dir/bench_annotations.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_annotations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_wcet"
+  "../bench/bench_fig2_wcet.pdb"
+  "CMakeFiles/bench_fig2_wcet.dir/bench_fig2_wcet.cpp.o"
+  "CMakeFiles/bench_fig2_wcet.dir/bench_fig2_wcet.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_wcet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_wcet_tightness"
+  "../bench/bench_wcet_tightness.pdb"
+  "CMakeFiles/bench_wcet_tightness.dir/bench_wcet_tightness.cpp.o"
+  "CMakeFiles/bench_wcet_tightness.dir/bench_wcet_tightness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wcet_tightness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

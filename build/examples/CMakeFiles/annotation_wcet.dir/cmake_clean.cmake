@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/annotation_wcet.dir/annotation_wcet.cpp.o"
+  "CMakeFiles/annotation_wcet.dir/annotation_wcet.cpp.o.d"
+  "annotation_wcet"
+  "annotation_wcet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/annotation_wcet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

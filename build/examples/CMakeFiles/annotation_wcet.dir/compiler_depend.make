@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for annotation_wcet.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyclic_executive.dir/cyclic_executive.cpp.o"
+  "CMakeFiles/cyclic_executive.dir/cyclic_executive.cpp.o.d"
+  "cyclic_executive"
+  "cyclic_executive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyclic_executive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

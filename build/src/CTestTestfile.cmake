@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("minic")
+subdirs("rtl")
+subdirs("opt")
+subdirs("regalloc")
+subdirs("ppc")
+subdirs("machine")
+subdirs("wcet")
+subdirs("validate")
+subdirs("dataflow")
+subdirs("driver")
+subdirs("tools")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataflow/acg.cpp" "src/dataflow/CMakeFiles/vc_dataflow.dir/acg.cpp.o" "gcc" "src/dataflow/CMakeFiles/vc_dataflow.dir/acg.cpp.o.d"
+  "/root/repo/src/dataflow/generator.cpp" "src/dataflow/CMakeFiles/vc_dataflow.dir/generator.cpp.o" "gcc" "src/dataflow/CMakeFiles/vc_dataflow.dir/generator.cpp.o.d"
+  "/root/repo/src/dataflow/node.cpp" "src/dataflow/CMakeFiles/vc_dataflow.dir/node.cpp.o" "gcc" "src/dataflow/CMakeFiles/vc_dataflow.dir/node.cpp.o.d"
+  "/root/repo/src/dataflow/simulator.cpp" "src/dataflow/CMakeFiles/vc_dataflow.dir/simulator.cpp.o" "gcc" "src/dataflow/CMakeFiles/vc_dataflow.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/minic/CMakeFiles/vc_minic.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/vc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

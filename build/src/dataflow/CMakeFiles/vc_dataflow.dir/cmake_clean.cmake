@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_dataflow.dir/acg.cpp.o"
+  "CMakeFiles/vc_dataflow.dir/acg.cpp.o.d"
+  "CMakeFiles/vc_dataflow.dir/generator.cpp.o"
+  "CMakeFiles/vc_dataflow.dir/generator.cpp.o.d"
+  "CMakeFiles/vc_dataflow.dir/node.cpp.o"
+  "CMakeFiles/vc_dataflow.dir/node.cpp.o.d"
+  "CMakeFiles/vc_dataflow.dir/simulator.cpp.o"
+  "CMakeFiles/vc_dataflow.dir/simulator.cpp.o.d"
+  "libvc_dataflow.a"
+  "libvc_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_driver.dir/compiler.cpp.o"
+  "CMakeFiles/vc_driver.dir/compiler.cpp.o.d"
+  "CMakeFiles/vc_driver.dir/system.cpp.o"
+  "CMakeFiles/vc_driver.dir/system.cpp.o.d"
+  "libvc_driver.a"
+  "libvc_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

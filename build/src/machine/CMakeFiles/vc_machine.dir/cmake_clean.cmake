@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_machine.dir/machine.cpp.o"
+  "CMakeFiles/vc_machine.dir/machine.cpp.o.d"
+  "libvc_machine.a"
+  "libvc_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_minic.dir/ast.cpp.o"
+  "CMakeFiles/vc_minic.dir/ast.cpp.o.d"
+  "CMakeFiles/vc_minic.dir/interp.cpp.o"
+  "CMakeFiles/vc_minic.dir/interp.cpp.o.d"
+  "CMakeFiles/vc_minic.dir/lexer.cpp.o"
+  "CMakeFiles/vc_minic.dir/lexer.cpp.o.d"
+  "CMakeFiles/vc_minic.dir/parser.cpp.o"
+  "CMakeFiles/vc_minic.dir/parser.cpp.o.d"
+  "CMakeFiles/vc_minic.dir/printer.cpp.o"
+  "CMakeFiles/vc_minic.dir/printer.cpp.o.d"
+  "CMakeFiles/vc_minic.dir/typecheck.cpp.o"
+  "CMakeFiles/vc_minic.dir/typecheck.cpp.o.d"
+  "libvc_minic.a"
+  "libvc_minic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_minic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/constprop.cpp" "src/opt/CMakeFiles/vc_opt.dir/constprop.cpp.o" "gcc" "src/opt/CMakeFiles/vc_opt.dir/constprop.cpp.o.d"
+  "/root/repo/src/opt/cse.cpp" "src/opt/CMakeFiles/vc_opt.dir/cse.cpp.o" "gcc" "src/opt/CMakeFiles/vc_opt.dir/cse.cpp.o.d"
+  "/root/repo/src/opt/dce.cpp" "src/opt/CMakeFiles/vc_opt.dir/dce.cpp.o" "gcc" "src/opt/CMakeFiles/vc_opt.dir/dce.cpp.o.d"
+  "/root/repo/src/opt/tunnel.cpp" "src/opt/CMakeFiles/vc_opt.dir/tunnel.cpp.o" "gcc" "src/opt/CMakeFiles/vc_opt.dir/tunnel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtl/CMakeFiles/vc_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/minic/CMakeFiles/vc_minic.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/vc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

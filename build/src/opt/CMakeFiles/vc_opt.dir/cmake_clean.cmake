@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_opt.dir/constprop.cpp.o"
+  "CMakeFiles/vc_opt.dir/constprop.cpp.o.d"
+  "CMakeFiles/vc_opt.dir/cse.cpp.o"
+  "CMakeFiles/vc_opt.dir/cse.cpp.o.d"
+  "CMakeFiles/vc_opt.dir/dce.cpp.o"
+  "CMakeFiles/vc_opt.dir/dce.cpp.o.d"
+  "CMakeFiles/vc_opt.dir/tunnel.cpp.o"
+  "CMakeFiles/vc_opt.dir/tunnel.cpp.o.d"
+  "libvc_opt.a"
+  "libvc_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ppc/codegen.cpp" "src/ppc/CMakeFiles/vc_ppc.dir/codegen.cpp.o" "gcc" "src/ppc/CMakeFiles/vc_ppc.dir/codegen.cpp.o.d"
+  "/root/repo/src/ppc/isa.cpp" "src/ppc/CMakeFiles/vc_ppc.dir/isa.cpp.o" "gcc" "src/ppc/CMakeFiles/vc_ppc.dir/isa.cpp.o.d"
+  "/root/repo/src/ppc/peephole.cpp" "src/ppc/CMakeFiles/vc_ppc.dir/peephole.cpp.o" "gcc" "src/ppc/CMakeFiles/vc_ppc.dir/peephole.cpp.o.d"
+  "/root/repo/src/ppc/program.cpp" "src/ppc/CMakeFiles/vc_ppc.dir/program.cpp.o" "gcc" "src/ppc/CMakeFiles/vc_ppc.dir/program.cpp.o.d"
+  "/root/repo/src/ppc/schedule.cpp" "src/ppc/CMakeFiles/vc_ppc.dir/schedule.cpp.o" "gcc" "src/ppc/CMakeFiles/vc_ppc.dir/schedule.cpp.o.d"
+  "/root/repo/src/ppc/timing.cpp" "src/ppc/CMakeFiles/vc_ppc.dir/timing.cpp.o" "gcc" "src/ppc/CMakeFiles/vc_ppc.dir/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtl/CMakeFiles/vc_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/regalloc/CMakeFiles/vc_regalloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/minic/CMakeFiles/vc_minic.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/vc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_ppc.dir/codegen.cpp.o"
+  "CMakeFiles/vc_ppc.dir/codegen.cpp.o.d"
+  "CMakeFiles/vc_ppc.dir/isa.cpp.o"
+  "CMakeFiles/vc_ppc.dir/isa.cpp.o.d"
+  "CMakeFiles/vc_ppc.dir/peephole.cpp.o"
+  "CMakeFiles/vc_ppc.dir/peephole.cpp.o.d"
+  "CMakeFiles/vc_ppc.dir/program.cpp.o"
+  "CMakeFiles/vc_ppc.dir/program.cpp.o.d"
+  "CMakeFiles/vc_ppc.dir/schedule.cpp.o"
+  "CMakeFiles/vc_ppc.dir/schedule.cpp.o.d"
+  "CMakeFiles/vc_ppc.dir/timing.cpp.o"
+  "CMakeFiles/vc_ppc.dir/timing.cpp.o.d"
+  "libvc_ppc.a"
+  "libvc_ppc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_ppc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_regalloc.dir/regalloc.cpp.o"
+  "CMakeFiles/vc_regalloc.dir/regalloc.cpp.o.d"
+  "libvc_regalloc.a"
+  "libvc_regalloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_regalloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

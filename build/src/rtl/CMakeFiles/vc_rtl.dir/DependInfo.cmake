@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtl/analysis.cpp" "src/rtl/CMakeFiles/vc_rtl.dir/analysis.cpp.o" "gcc" "src/rtl/CMakeFiles/vc_rtl.dir/analysis.cpp.o.d"
+  "/root/repo/src/rtl/exec.cpp" "src/rtl/CMakeFiles/vc_rtl.dir/exec.cpp.o" "gcc" "src/rtl/CMakeFiles/vc_rtl.dir/exec.cpp.o.d"
+  "/root/repo/src/rtl/lower.cpp" "src/rtl/CMakeFiles/vc_rtl.dir/lower.cpp.o" "gcc" "src/rtl/CMakeFiles/vc_rtl.dir/lower.cpp.o.d"
+  "/root/repo/src/rtl/rtl.cpp" "src/rtl/CMakeFiles/vc_rtl.dir/rtl.cpp.o" "gcc" "src/rtl/CMakeFiles/vc_rtl.dir/rtl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/minic/CMakeFiles/vc_minic.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/vc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_rtl.dir/analysis.cpp.o"
+  "CMakeFiles/vc_rtl.dir/analysis.cpp.o.d"
+  "CMakeFiles/vc_rtl.dir/exec.cpp.o"
+  "CMakeFiles/vc_rtl.dir/exec.cpp.o.d"
+  "CMakeFiles/vc_rtl.dir/lower.cpp.o"
+  "CMakeFiles/vc_rtl.dir/lower.cpp.o.d"
+  "CMakeFiles/vc_rtl.dir/rtl.cpp.o"
+  "CMakeFiles/vc_rtl.dir/rtl.cpp.o.d"
+  "libvc_rtl.a"
+  "libvc_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_support.dir/diagnostics.cpp.o"
+  "CMakeFiles/vc_support.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/vc_support.dir/interval.cpp.o"
+  "CMakeFiles/vc_support.dir/interval.cpp.o.d"
+  "CMakeFiles/vc_support.dir/strings.cpp.o"
+  "CMakeFiles/vc_support.dir/strings.cpp.o.d"
+  "libvc_support.a"
+  "libvc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

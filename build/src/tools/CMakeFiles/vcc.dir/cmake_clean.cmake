@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcc.dir/vcc.cpp.o"
+  "CMakeFiles/vcc.dir/vcc.cpp.o.d"
+  "vcc"
+  "vcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

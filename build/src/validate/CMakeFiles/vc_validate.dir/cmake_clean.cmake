@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_validate.dir/validate.cpp.o"
+  "CMakeFiles/vc_validate.dir/validate.cpp.o.d"
+  "libvc_validate.a"
+  "libvc_validate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_validate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

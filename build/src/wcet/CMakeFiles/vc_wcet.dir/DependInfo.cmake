@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wcet/annotations.cpp" "src/wcet/CMakeFiles/vc_wcet.dir/annotations.cpp.o" "gcc" "src/wcet/CMakeFiles/vc_wcet.dir/annotations.cpp.o.d"
+  "/root/repo/src/wcet/cache.cpp" "src/wcet/CMakeFiles/vc_wcet.dir/cache.cpp.o" "gcc" "src/wcet/CMakeFiles/vc_wcet.dir/cache.cpp.o.d"
+  "/root/repo/src/wcet/cfg.cpp" "src/wcet/CMakeFiles/vc_wcet.dir/cfg.cpp.o" "gcc" "src/wcet/CMakeFiles/vc_wcet.dir/cfg.cpp.o.d"
+  "/root/repo/src/wcet/report.cpp" "src/wcet/CMakeFiles/vc_wcet.dir/report.cpp.o" "gcc" "src/wcet/CMakeFiles/vc_wcet.dir/report.cpp.o.d"
+  "/root/repo/src/wcet/value_analysis.cpp" "src/wcet/CMakeFiles/vc_wcet.dir/value_analysis.cpp.o" "gcc" "src/wcet/CMakeFiles/vc_wcet.dir/value_analysis.cpp.o.d"
+  "/root/repo/src/wcet/wcet.cpp" "src/wcet/CMakeFiles/vc_wcet.dir/wcet.cpp.o" "gcc" "src/wcet/CMakeFiles/vc_wcet.dir/wcet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ppc/CMakeFiles/vc_ppc.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/vc_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/regalloc/CMakeFiles/vc_regalloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/vc_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/minic/CMakeFiles/vc_minic.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/vc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

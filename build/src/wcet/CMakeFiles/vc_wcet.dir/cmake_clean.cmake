@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_wcet.dir/annotations.cpp.o"
+  "CMakeFiles/vc_wcet.dir/annotations.cpp.o.d"
+  "CMakeFiles/vc_wcet.dir/cache.cpp.o"
+  "CMakeFiles/vc_wcet.dir/cache.cpp.o.d"
+  "CMakeFiles/vc_wcet.dir/cfg.cpp.o"
+  "CMakeFiles/vc_wcet.dir/cfg.cpp.o.d"
+  "CMakeFiles/vc_wcet.dir/report.cpp.o"
+  "CMakeFiles/vc_wcet.dir/report.cpp.o.d"
+  "CMakeFiles/vc_wcet.dir/value_analysis.cpp.o"
+  "CMakeFiles/vc_wcet.dir/value_analysis.cpp.o.d"
+  "CMakeFiles/vc_wcet.dir/wcet.cpp.o"
+  "CMakeFiles/vc_wcet.dir/wcet.cpp.o.d"
+  "libvc_wcet.a"
+  "libvc_wcet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_wcet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_analysis_test.dir/cache_analysis_test.cpp.o"
+  "CMakeFiles/cache_analysis_test.dir/cache_analysis_test.cpp.o.d"
+  "cache_analysis_test"
+  "cache_analysis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_compiler_test.dir/fuzz_compiler_test.cpp.o"
+  "CMakeFiles/fuzz_compiler_test.dir/fuzz_compiler_test.cpp.o.d"
+  "fuzz_compiler_test"
+  "fuzz_compiler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_compiler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

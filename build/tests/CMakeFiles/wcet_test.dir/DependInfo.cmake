@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/wcet_test.cpp" "tests/CMakeFiles/wcet_test.dir/wcet_test.cpp.o" "gcc" "tests/CMakeFiles/wcet_test.dir/wcet_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/vc_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/vc_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/wcet/CMakeFiles/vc_wcet.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/vc_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/validate/CMakeFiles/vc_validate.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/vc_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/regalloc/CMakeFiles/vc_regalloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/ppc/CMakeFiles/vc_ppc.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/vc_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/minic/CMakeFiles/vc_minic.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/vc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

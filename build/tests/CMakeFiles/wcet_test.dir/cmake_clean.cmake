@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcet_test.dir/wcet_test.cpp.o"
+  "CMakeFiles/wcet_test.dir/wcet_test.cpp.o.d"
+  "wcet_test"
+  "wcet_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcet_unit_test.dir/wcet_unit_test.cpp.o"
+  "CMakeFiles/wcet_unit_test.dir/wcet_unit_test.cpp.o.d"
+  "wcet_unit_test"
+  "wcet_unit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcet_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
