@@ -3,13 +3,16 @@
 // control law, input drivers, and table formatting.
 #pragma once
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "dataflow/acg.hpp"
 #include "dataflow/generator.hpp"
 #include "driver/compiler.hpp"
+#include "driver/fleet.hpp"
 #include "machine/machine.hpp"
 #include "minic/typecheck.hpp"
 #include "support/rng.hpp"
@@ -41,6 +44,17 @@ inline std::vector<NodeBundle> make_suite(int count = 40,
   for (auto& node : dataflow::generate_suite(seed, count))
     out.push_back(bundle_node(std::move(node)));
   return out;
+}
+
+/// Adapts the bench suite to the fleet runner's input shape. The returned
+/// units point into `suite`, which must outlive the run_fleet call.
+inline std::vector<driver::FleetUnit> to_fleet_units(
+    const std::vector<NodeBundle>& suite) {
+  std::vector<driver::FleetUnit> units;
+  units.reserve(suite.size());
+  for (const NodeBundle& b : suite)
+    units.push_back({b.node.name(), &b.program, b.step_fn});
+  return units;
 }
 
 /// Runs `cycles` step invocations with deterministic pseudo-random inputs;
@@ -121,9 +135,58 @@ inline void print_rule(int width = 78) {
   std::puts(std::string(static_cast<std::size_t>(width), '-').c_str());
 }
 
+/// Percentage change of `value` vs `reference`. A zero reference makes the
+/// comparison undefined: returns NaN (rendered as "n/a" by fmt_pct), never a
+/// fake "no change".
 inline double pct_delta(double value, double reference) {
-  if (reference == 0.0) return 0.0;
+  if (reference == 0.0) return std::nan("");
   return (value - reference) / reference * 100.0;
+}
+
+/// Formats a pct_delta for the tables: "+12.3%", right-aligned to `width`;
+/// NaN renders as "n/a".
+inline std::string fmt_pct(double pct, int width = 8) {
+  char buf[64];
+  if (std::isnan(pct))
+    std::snprintf(buf, sizeof buf, "%*s ", width, "n/a");
+  else
+    std::snprintf(buf, sizeof buf, "%+*.1f%%", width, pct);
+  return buf;
+}
+
+/// Command-line flags shared by the fleet-driven bench binaries.
+struct BenchFlags {
+  int jobs = 0;   // --jobs=N  worker threads (0 = hardware concurrency)
+  int nodes = 0;  // --nodes=N suite size (0 = the binary's default)
+};
+
+/// Parses --jobs=N / --nodes=N; exits 2 with a diagnostic on anything else.
+inline BenchFlags parse_bench_flags(int argc, char** argv,
+                                    const char* bench_name) {
+  BenchFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    int* slot = nullptr;
+    std::string rest;
+    if (starts_with(arg, "--jobs=")) {
+      slot = &flags.jobs;
+      rest = arg.substr(7);
+    } else if (starts_with(arg, "--nodes=")) {
+      slot = &flags.nodes;
+      rest = arg.substr(8);
+    }
+    char* end = nullptr;
+    const long v = slot ? std::strtol(rest.c_str(), &end, 10) : 0;
+    if (slot == nullptr || rest.empty() || *end != '\0' || v < 0 ||
+        v > 1000000) {
+      std::fprintf(stderr,
+                   "%s: bad argument '%s'\nusage: %s [--jobs=N] [--nodes=N]\n",
+                   bench_name, arg.c_str(), bench_name);
+      std::exit(2);
+    }
+    *slot = static_cast<int>(v);
+  }
+  return flags;
 }
 
 }  // namespace vc::bench

@@ -8,21 +8,34 @@
 //   fully optimized ('O2-full'):       -18.4%
 // The per-node spread matters too: nodes dominated by hardware signal
 // acquisition improve much less than pure symbol-chain nodes.
+//
+// All compile + WCET chains run through the fleet runner; --jobs=N sets the
+// worker count and --nodes=N scales the generated suite.
 #include <cstdio>
 #include <map>
 
 #include "bench_common.hpp"
-#include "wcet/wcet.hpp"
 
 using namespace vc;
 using bench::NodeBundle;
 
-int main() {
-  std::puts("=== Figure 2: per-node WCET by compiler configuration ===");
-  std::puts("workload: 40 generated nodes + pitch-axis law, seed 20110318\n");
+int main(int argc, char** argv) {
+  const bench::BenchFlags flags =
+      bench::parse_bench_flags(argc, argv, "bench_fig2_wcet");
+  const int nodes = flags.nodes > 0 ? flags.nodes : 40;
 
-  std::vector<NodeBundle> suite = bench::make_suite();
+  std::puts("=== Figure 2: per-node WCET by compiler configuration ===");
+  std::printf("workload: %d generated nodes + pitch-axis law, seed "
+              "20110318\n\n", nodes);
+
+  std::vector<NodeBundle> suite = bench::make_suite(nodes);
   suite.push_back(bench::pitch_law());
+
+  driver::FleetOptions options;
+  options.jobs = flags.jobs;
+  options.wcet = true;
+  const driver::FleetReport report =
+      driver::run_fleet(bench::to_fleet_units(suite), options);
 
   std::printf("%-10s %10s %14s %12s %10s   %s\n", "node", "O0-pattern",
               "O1-noregalloc", "verified", "O2-full",
@@ -30,48 +43,51 @@ int main() {
   bench::print_rule(100);
 
   std::map<driver::Config, double> sum_ratio;
-  std::map<driver::Config, std::uint64_t> sum_wcet;
   int analyzed = 0;
 
-  for (const NodeBundle& bundle : suite) {
+  for (std::size_t u = 0; u < report.units; ++u) {
     std::map<driver::Config, std::uint64_t> wcet;
     bool ok = true;
-    for (driver::Config config : driver::kAllConfigs) {
-      try {
-        const driver::Compiled compiled =
-            driver::compile_program(bundle.program, config);
-        wcet[config] =
-            wcet::analyze_wcet(compiled.image, bundle.step_fn).wcet_cycles;
-      } catch (const std::exception& e) {
-        std::printf("%-10s analysis failed (%s): %s\n",
-                    bundle.node.name().c_str(),
-                    driver::to_string(config).c_str(), e.what());
+    for (std::size_t c = 0; c < report.configs; ++c) {
+      const driver::FleetRecord& r = report.at(u, c);
+      if (!r.ok) {
+        std::printf("%-10s analysis failed (%s): %s\n", r.name.c_str(),
+                    driver::to_string(r.config).c_str(), r.error.c_str());
         ok = false;
         break;
       }
+      wcet[r.config] = r.wcet_cycles;
     }
     if (!ok) continue;
     ++analyzed;
     const auto o0 = static_cast<double>(wcet[driver::Config::O0Pattern]);
-    for (driver::Config config : driver::kAllConfigs) {
+    for (driver::Config config : driver::kAllConfigs)
       sum_ratio[config] += static_cast<double>(wcet[config]) / o0;
-      sum_wcet[config] += wcet[config];
-    }
     std::printf(
-        "%-10s %10llu %14llu %12llu %10llu   %+6.1f%% / %+6.1f%% / %+6.1f%%\n",
-        bundle.node.name().c_str(),
+        "%-10s %10llu %14llu %12llu %10llu   %s / %s / %s\n",
+        report.at(u, 0).name.c_str(),
         static_cast<unsigned long long>(wcet[driver::Config::O0Pattern]),
         static_cast<unsigned long long>(wcet[driver::Config::O1NoRegalloc]),
         static_cast<unsigned long long>(wcet[driver::Config::Verified]),
         static_cast<unsigned long long>(wcet[driver::Config::O2Full]),
-        bench::pct_delta(
-            static_cast<double>(wcet[driver::Config::O1NoRegalloc]), o0),
-        bench::pct_delta(static_cast<double>(wcet[driver::Config::Verified]),
-                         o0),
-        bench::pct_delta(static_cast<double>(wcet[driver::Config::O2Full]),
-                         o0));
+        bench::fmt_pct(
+            bench::pct_delta(
+                static_cast<double>(wcet[driver::Config::O1NoRegalloc]), o0),
+            6)
+            .c_str(),
+        bench::fmt_pct(
+            bench::pct_delta(
+                static_cast<double>(wcet[driver::Config::Verified]), o0),
+            6)
+            .c_str(),
+        bench::fmt_pct(
+            bench::pct_delta(static_cast<double>(wcet[driver::Config::O2Full]),
+                             o0),
+            6)
+            .c_str());
   }
   bench::print_rule(100);
+  std::puts(report.throughput_summary().c_str());
 
   std::printf("\nanalyzed %d/%zu nodes\n", analyzed, suite.size());
   std::puts("mean WCET change vs O0-pattern (mean of per-node ratios):");

@@ -6,6 +6,9 @@
 //   cache reads  -76%,  cache writes  -65%,  code size  -26%.
 // The other configurations bracket it: "optimized without register
 // allocation" changes little; "fully optimized" is comparable to CompCert.
+//
+// All (node, config) chains run through the fleet runner; --jobs=N sets the
+// worker count and --nodes=N scales the generated suite.
 #include <cstdio>
 #include <map>
 
@@ -24,26 +27,35 @@ struct Totals {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchFlags flags =
+      bench::parse_bench_flags(argc, argv, "bench_table1");
+  const int nodes = flags.nodes > 0 ? flags.nodes : 40;
+
   std::puts("=== Table 1: memory accesses and code size vs non-optimized "
             "default compiler ===");
-  std::puts("workload: 40 generated nodes + pitch-axis law, 50 cycles each, "
-            "seed 20110318\n");
+  std::printf("workload: %d generated nodes + pitch-axis law, 50 cycles "
+              "each, seed 20110318\n\n", nodes);
 
-  std::vector<NodeBundle> suite = bench::make_suite();
+  std::vector<NodeBundle> suite = bench::make_suite(nodes);
   suite.push_back(bench::pitch_law());
 
+  driver::FleetOptions options;
+  options.jobs = flags.jobs;
+  options.exec_cycles = 50;
+  const driver::FleetReport report =
+      driver::run_fleet(bench::to_fleet_units(suite), options);
+
   std::map<driver::Config, Totals> totals;
-  for (driver::Config config : driver::kAllConfigs) {
-    for (const NodeBundle& bundle : suite) {
-      const driver::Compiled compiled =
-          driver::compile_program(bundle.program, config);
-      machine::Machine m(compiled.image);
-      const machine::ExecStats stats = bench::exercise(m, bundle, 50, 7);
-      totals[config].reads += stats.dcache_reads;
-      totals[config].writes += stats.dcache_writes;
-      totals[config].code_bytes += compiled.image.code_size_of(bundle.step_fn);
+  for (const driver::FleetRecord& r : report.records) {
+    if (!r.ok) {
+      std::printf("%-10s failed (%s): %s\n", r.name.c_str(),
+                  driver::to_string(r.config).c_str(), r.error.c_str());
+      continue;
     }
+    totals[r.config].reads += r.exec.dcache_reads;
+    totals[r.config].writes += r.exec.dcache_writes;
+    totals[r.config].code_bytes += r.code_bytes;
   }
 
   const Totals& ref = totals[driver::Config::O0Pattern];
@@ -53,19 +65,25 @@ int main() {
   bench::print_rule(92);
   for (driver::Config config : driver::kAllConfigs) {
     const Totals& t = totals[config];
-    std::printf("%-16s %14llu %14llu %12llu %+8.1f%% %+8.1f%% %+8.1f%%\n",
+    std::printf("%-16s %14llu %14llu %12llu %s %s %s\n",
                 driver::to_string(config).c_str(),
                 static_cast<unsigned long long>(t.reads),
                 static_cast<unsigned long long>(t.writes),
                 static_cast<unsigned long long>(t.code_bytes),
-                bench::pct_delta(static_cast<double>(t.reads),
-                                 static_cast<double>(ref.reads)),
-                bench::pct_delta(static_cast<double>(t.writes),
-                                 static_cast<double>(ref.writes)),
-                bench::pct_delta(static_cast<double>(t.code_bytes),
-                                 static_cast<double>(ref.code_bytes)));
+                bench::fmt_pct(bench::pct_delta(static_cast<double>(t.reads),
+                                                static_cast<double>(ref.reads)))
+                    .c_str(),
+                bench::fmt_pct(
+                    bench::pct_delta(static_cast<double>(t.writes),
+                                     static_cast<double>(ref.writes)))
+                    .c_str(),
+                bench::fmt_pct(
+                    bench::pct_delta(static_cast<double>(t.code_bytes),
+                                     static_cast<double>(ref.code_bytes)))
+                    .c_str());
   }
   bench::print_rule(92);
+  std::puts(report.throughput_summary().c_str());
   std::puts("\npaper (CompCert ~ 'verified' row):  reads -76%, writes -65%, "
             "code size -26%");
   std::puts("expected shape: 'O1-noregalloc' changes little; 'verified' and "

@@ -1,69 +1,61 @@
 // WCET bound quality: static bound vs highest observed execution time on the
 // cycle-level simulator (the bound/observed ratio aiT users care about), and
 // the contribution of the cache analysis (must + persistence) to tightness.
-// Also doubles as a large-scale soundness sweep: any observed run exceeding
-// its bound is reported as UNSOUND.
+// Also doubles as a large-scale soundness sweep: any node whose observed
+// maximum exceeds its bound is reported as UNSOUND.
+//
+// The per-(node, config) chains — compile, 30 cold-cache runs, bound with
+// and without cache analysis — run through the fleet runner; --jobs=N sets
+// the worker count and --nodes=N scales the generated suite.
 #include <cstdio>
 #include <map>
 
 #include "bench_common.hpp"
-#include "wcet/wcet.hpp"
 
 using namespace vc;
 
-int main() {
-  std::puts("=== WCET bound tightness: bound / max observed cycles ===");
-  std::puts("workload: 24 generated nodes, 30 runs each with cold caches, "
-            "seed 20110318\n");
+int main(int argc, char** argv) {
+  const bench::BenchFlags flags =
+      bench::parse_bench_flags(argc, argv, "bench_wcet_tightness");
+  const int nodes = flags.nodes > 0 ? flags.nodes : 24;
 
-  const std::vector<bench::NodeBundle> suite = bench::make_suite(24);
+  std::puts("=== WCET bound tightness: bound / max observed cycles ===");
+  std::printf("workload: %d generated nodes, 30 runs each with cold caches, "
+              "seed 20110318\n\n", nodes);
+
+  const std::vector<bench::NodeBundle> suite = bench::make_suite(nodes);
+
+  driver::FleetOptions options;
+  options.jobs = flags.jobs;
+  options.exec_cycles = 30;
+  options.cold_caches = true;  // unknown initial cache state, like the analysis
+  options.wcet = true;
+  options.wcet_nocache = true;
+  options.suite_seed = 5150;
+  const driver::FleetReport report =
+      driver::run_fleet(bench::to_fleet_units(suite), options);
 
   std::map<driver::Config, double> ratio_sum;
   std::map<driver::Config, double> ratio_nocache_sum;
   int unsound = 0;
 
-  for (const auto& bundle : suite) {
-    for (driver::Config config : driver::kAllConfigs) {
-      const driver::Compiled compiled =
-          driver::compile_program(bundle.program, config);
-      const std::uint64_t bound =
-          wcet::analyze_wcet(compiled.image, bundle.step_fn).wcet_cycles;
-      wcet::WcetOptions nocache;
-      nocache.cache_analysis = false;
-      const std::uint64_t bound_nocache =
-          wcet::analyze_wcet(compiled.image, bundle.step_fn, nocache)
-              .wcet_cycles;
-
-      machine::Machine m(compiled.image);
-      const minic::Function* fn =
-          bundle.program.find_function(bundle.step_fn);
-      Rng rng(5150);
-      std::uint64_t observed_max = 0;
-      for (int run = 0; run < 30; ++run) {
-        m.clear_caches();  // unknown initial cache state, like the analysis
-        std::vector<minic::Value> args;
-        for (const auto& p : fn->params) {
-          args.push_back(p.type == minic::Type::F64
-                             ? minic::Value::of_f64(rng.next_double(-25, 25))
-                             : minic::Value::of_i32(static_cast<std::int32_t>(
-                                   rng.next_range(-2, 2))));
-        }
-        m.call(bundle.step_fn, args, minic::Type::I32);
-        observed_max = std::max(observed_max, m.stats().cycles);
-        if (m.stats().cycles > bound) {
-          ++unsound;
-          std::printf("UNSOUND: %s %s observed %llu > bound %llu\n",
-                      bundle.node.name().c_str(),
-                      driver::to_string(config).c_str(),
-                      static_cast<unsigned long long>(m.stats().cycles),
-                      static_cast<unsigned long long>(bound));
-        }
-      }
-      ratio_sum[config] +=
-          static_cast<double>(bound) / static_cast<double>(observed_max);
-      ratio_nocache_sum[config] += static_cast<double>(bound_nocache) /
-                                   static_cast<double>(observed_max);
+  for (const driver::FleetRecord& r : report.records) {
+    if (!r.ok) {
+      std::printf("%-10s failed (%s): %s\n", r.name.c_str(),
+                  driver::to_string(r.config).c_str(), r.error.c_str());
+      continue;
     }
+    if (r.observed_max_cycles > r.wcet_cycles) {
+      ++unsound;
+      std::printf("UNSOUND: %s %s observed %llu > bound %llu\n",
+                  r.name.c_str(), driver::to_string(r.config).c_str(),
+                  static_cast<unsigned long long>(r.observed_max_cycles),
+                  static_cast<unsigned long long>(r.wcet_cycles));
+    }
+    ratio_sum[r.config] += static_cast<double>(r.wcet_cycles) /
+                           static_cast<double>(r.observed_max_cycles);
+    ratio_nocache_sum[r.config] += static_cast<double>(r.wcet_nocache_cycles) /
+                                   static_cast<double>(r.observed_max_cycles);
   }
 
   std::printf("%-16s %26s %30s\n", "configuration",
@@ -75,6 +67,7 @@ int main() {
                 ratio_nocache_sum[config] / static_cast<double>(suite.size()));
   }
   bench::print_rule(76);
+  std::puts(report.throughput_summary().c_str());
   std::printf("\nsoundness violations: %d (must be 0)\n", unsound);
   std::puts("expected: ratios modestly above 1 with cache analysis; several "
             "times larger without it\n(every access then pays the full miss "

@@ -1,0 +1,154 @@
+#include "driver/fleet.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <exception>
+
+#include "dataflow/acg.hpp"
+#include "support/rng.hpp"
+#include "support/threadpool.hpp"
+#include "wcet/wcet.hpp"
+
+namespace vc::driver {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Executes one (unit, config) job into `record`. Never throws.
+void run_job(const FleetUnit& unit, Config config, std::uint64_t input_seed,
+             const FleetOptions& options, FleetRecord* record) {
+  record->name = unit.name;
+  record->config = config;
+  try {
+    const auto t_compile = Clock::now();
+    const Compiled compiled = compile_program(*unit.program, config);
+    record->compile_seconds = seconds_since(t_compile);
+    record->code_bytes = compiled.image.code_size_of(unit.entry);
+
+    if (options.exec_cycles > 0) {
+      const auto t_exec = Clock::now();
+      const minic::Function* fn = unit.program->find_function(unit.entry);
+      if (fn == nullptr)
+        throw std::runtime_error("no function '" + unit.entry + "'");
+      const bool has_io =
+          unit.program->find_global(dataflow::kIoBusGlobal) != nullptr;
+      Rng rng(input_seed);
+      machine::Machine m(compiled.image);
+      for (int c = 0; c < options.exec_cycles; ++c) {
+        if (options.cold_caches) m.clear_caches();
+        std::vector<minic::Value> args;
+        args.reserve(fn->params.size());
+        for (const auto& p : fn->params) {
+          if (p.type == minic::Type::F64)
+            args.push_back(minic::Value::of_f64(rng.next_double(-20.0, 20.0)));
+          else
+            args.push_back(minic::Value::of_i32(
+                static_cast<std::int32_t>(rng.next_range(-2, 2))));
+        }
+        if (has_io)
+          m.write_global(dataflow::kIoBusGlobal, 0,
+                         minic::Value::of_f64(rng.next_double(-3.0, 3.0)));
+        m.call(unit.entry, args, minic::Type::I32);
+        const machine::ExecStats& s = m.stats();
+        record->exec.cycles += s.cycles;
+        record->exec.instructions += s.instructions;
+        record->exec.dcache_reads += s.dcache_reads;
+        record->exec.dcache_writes += s.dcache_writes;
+        record->exec.dcache_read_misses += s.dcache_read_misses;
+        record->exec.dcache_write_misses += s.dcache_write_misses;
+        record->exec.ifetch_line_misses += s.ifetch_line_misses;
+        record->exec.taken_branches += s.taken_branches;
+        record->observed_max_cycles =
+            std::max(record->observed_max_cycles, s.cycles);
+      }
+      record->exec_seconds = seconds_since(t_exec);
+    }
+
+    if (options.wcet || options.wcet_nocache) {
+      const auto t_wcet = Clock::now();
+      wcet::WcetOptions wopts;
+      wopts.use_annotations = options.use_annotations;
+      if (options.wcet)
+        record->wcet_cycles =
+            wcet::analyze_wcet(compiled.image, unit.entry, wopts).wcet_cycles;
+      if (options.wcet_nocache) {
+        wopts.cache_analysis = false;
+        record->wcet_nocache_cycles =
+            wcet::analyze_wcet(compiled.image, unit.entry, wopts).wcet_cycles;
+      }
+      record->wcet_seconds = seconds_since(t_wcet);
+    }
+    record->ok = true;
+  } catch (const std::exception& e) {
+    record->ok = false;
+    record->error = e.what();
+  }
+}
+
+}  // namespace
+
+std::uint64_t fleet_job_seed(std::uint64_t suite_seed, std::size_t index) {
+  // One SplitMix64 step over (seed ^ index·golden-ratio): decorrelates the
+  // per-unit streams while staying a pure function of (seed, index).
+  std::uint64_t z = suite_seed ^
+                    (0x9E3779B97F4A7C15ull * (static_cast<std::uint64_t>(index) + 1));
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+double FleetReport::nodes_per_second() const {
+  if (wall_seconds <= 0.0) return 0.0;
+  return static_cast<double>(records.size()) / wall_seconds;
+}
+
+std::string FleetReport::throughput_summary() const {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof buf,
+      "fleet: %zu node(s) x %zu config(s) on %d worker(s): %.2fs wall, "
+      "%.1f jobs/s\n"
+      "fleet: phase time (summed over jobs): compile %.2fs, execute %.2fs, "
+      "wcet %.2fs",
+      units, configs, jobs, wall_seconds, nodes_per_second(), compile_seconds,
+      exec_seconds, wcet_seconds);
+  return buf;
+}
+
+FleetReport run_fleet(const std::vector<FleetUnit>& units,
+                      const FleetOptions& options) {
+  FleetReport report;
+  report.units = units.size();
+  report.configs = options.configs.size();
+  report.jobs = options.jobs > 0
+                    ? options.jobs
+                    : static_cast<int>(ThreadPool::default_worker_count());
+  report.records.resize(units.size() * options.configs.size());
+
+  const auto t_start = Clock::now();
+  // Job j = (unit j / nconfigs, config j % nconfigs); each writes slot j.
+  parallel_for(report.records.size(), static_cast<std::size_t>(report.jobs),
+               [&](std::size_t j) {
+                 const std::size_t u = j / options.configs.size();
+                 const std::size_t c = j % options.configs.size();
+                 run_job(units[u], options.configs[c],
+                         fleet_job_seed(options.suite_seed, u), options,
+                         &report.records[j]);
+               });
+  report.wall_seconds = seconds_since(t_start);
+
+  for (const FleetRecord& r : report.records) {
+    report.compile_seconds += r.compile_seconds;
+    report.exec_seconds += r.exec_seconds;
+    report.wcet_seconds += r.wcet_seconds;
+  }
+  return report;
+}
+
+}  // namespace vc::driver

@@ -1,0 +1,107 @@
+// The fleet runner: batch compile / execute / WCET over many generated
+// nodes, the reproduction's counterpart of running CompCert + aiT over the
+// paper's ~2500 ACG files. Each (node, configuration) pair is an independent
+// job — the per-file chain is embarrassingly parallel — so the fleet fans
+// jobs out over a thread pool (support/threadpool.hpp) and collects results
+// into deterministically ordered per-node records.
+//
+// Determinism contract: records are keyed by (unit index, config index) and
+// each job writes only its own pre-assigned slot, so the report is
+// bit-identical for any worker count. Pseudo-random execution inputs come
+// from one Rng per job, seeded from (suite seed, unit index) only — never
+// from scheduling order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "driver/compiler.hpp"
+#include "machine/machine.hpp"
+#include "minic/ast.hpp"
+
+namespace vc::driver {
+
+/// One unit of fleet work: a type-checked program plus its entry function
+/// (for generated nodes, the node's step function). The program is
+/// non-owning — mini-C programs are move-only (statement bodies are unique
+/// pointers), so the caller keeps the suite alive across run_fleet.
+struct FleetUnit {
+  std::string name;
+  const minic::Program* program = nullptr;
+  std::string entry;
+};
+
+struct FleetOptions {
+  /// Worker threads; 0 = one per hardware thread, 1 = serial on the caller.
+  int jobs = 0;
+  /// Configurations to run every unit under (defaults to all four).
+  std::vector<Config> configs{std::begin(kAllConfigs), std::end(kAllConfigs)};
+  /// Step invocations per job with pseudo-random inputs (0 = skip execution).
+  int exec_cycles = 0;
+  /// Clear caches before every invocation (unknown-initial-state runs, as in
+  /// the WCET soundness sweeps).
+  bool cold_caches = false;
+  /// Compute the static WCET bound of the entry function.
+  bool wcet = false;
+  /// Additionally compute the bound with cache analysis disabled.
+  bool wcet_nocache = false;
+  bool use_annotations = true;
+  /// Base seed for the per-job input streams; the job for unit i draws from
+  /// Rng(seed_for(suite_seed, i)) regardless of config and worker count.
+  std::uint64_t suite_seed = 7;
+};
+
+/// The input stream seed for unit `index` (SplitMix64 golden-ratio mix, so
+/// neighbouring units get uncorrelated streams).
+std::uint64_t fleet_job_seed(std::uint64_t suite_seed, std::size_t index);
+
+/// The outcome of one (unit, config) job.
+struct FleetRecord {
+  std::string name;
+  Config config{};
+  bool ok = false;
+  std::string error;  // set when !ok (compile/exec/WCET failure)
+
+  std::uint32_t code_bytes = 0;       // entry function code size
+  machine::ExecStats exec;            // accumulated over exec_cycles
+  std::uint64_t observed_max_cycles = 0;  // max single-invocation cycles
+  std::uint64_t wcet_cycles = 0;
+  std::uint64_t wcet_nocache_cycles = 0;
+
+  // Per-job wall time, split by phase (observability layer).
+  double compile_seconds = 0.0;
+  double exec_seconds = 0.0;
+  double wcet_seconds = 0.0;
+};
+
+struct FleetReport {
+  /// units.size() * configs.size() records, unit-major then config, in the
+  /// order given to run_fleet.
+  std::vector<FleetRecord> records;
+  std::size_t units = 0;
+  std::size_t configs = 0;
+  int jobs = 0;             // worker count actually used
+  double wall_seconds = 0.0;
+  // Aggregate phase times summed over jobs (> wall_seconds when parallel).
+  double compile_seconds = 0.0;
+  double exec_seconds = 0.0;
+  double wcet_seconds = 0.0;
+
+  [[nodiscard]] const FleetRecord& at(std::size_t unit,
+                                      std::size_t config) const {
+    return records[unit * configs + config];
+  }
+  /// Node-chains completed per wall-clock second (units * configs jobs).
+  [[nodiscard]] double nodes_per_second() const;
+  /// Human-readable throughput counters for the bench footers.
+  [[nodiscard]] std::string throughput_summary() const;
+};
+
+/// Runs every unit under every configuration and returns the ordered report.
+/// Individual job failures are recorded (ok=false), not thrown.
+FleetReport run_fleet(const std::vector<FleetUnit>& units,
+                      const FleetOptions& options = {});
+
+}  // namespace vc::driver

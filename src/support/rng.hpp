@@ -19,8 +19,19 @@ class Rng {
     return z ^ (z >> 31);
   }
 
-  /// Uniform in [0, n). n must be > 0.
-  std::uint64_t next_below(std::uint64_t n) { return next_u64() % n; }
+  /// Uniform in [0, n). n must be > 0. Exactly uniform: draws below
+  /// 2^64 mod n are rejected (the arc4random_uniform scheme), so the top
+  /// partial copy of [0, n) never over-weights small residues. Accepted
+  /// draws return next_u64() % n — identical to the old modulo-only
+  /// implementation — and the rejection probability is < n / 2^64, so for
+  /// the small n used throughout (< 2^17) existing seeded streams are
+  /// unchanged in practice.
+  std::uint64_t next_below(std::uint64_t n) {
+    const std::uint64_t min = (0 - n) % n;  // == 2^64 mod n
+    std::uint64_t x = next_u64();
+    while (x < min) x = next_u64();
+    return x % n;
+  }
 
   /// Uniform in [lo, hi] (inclusive).
   std::int64_t next_range(std::int64_t lo, std::int64_t hi) {

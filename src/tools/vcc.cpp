@@ -2,10 +2,12 @@
 //
 // Compiles a mini-C source file under a chosen configuration and, on demand,
 // prints the disassembly listing, runs a function on the machine simulator,
-// computes its WCET bound, or performs validated compilation.
+// computes its WCET bound, or performs validated compilation. Batch mode
+// compiles every .mc file of a directory in parallel over a thread pool.
 //
 // Usage:
 //   vcc [options] file.mc
+//   vcc [options] --batch dir
 //     --config=<O0|O1|verified|O2>   compiler configuration (default verified)
 //     --emit-asm                     print the disassembly listing
 //     --wcet=<function>              print the WCET bound of <function>
@@ -13,8 +15,13 @@
 //     --run=<function>[:a,b,...]     simulate <function> with f64/i32 args
 //     --validate                     translation-validate every pass
 //     --stats                        print per-function code sizes
+//     --batch                        compile every .mc file under <dir>
+//     --jobs=N                       batch worker threads (0 = all cores)
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -25,6 +32,8 @@
 #include "minic/parser.hpp"
 #include "minic/typecheck.hpp"
 #include "support/strings.hpp"
+#include "support/threadpool.hpp"
+#include "tools/vcc_cli.hpp"
 #include "validate/validate.hpp"
 #include "wcet/report.hpp"
 #include "wcet/wcet.hpp"
@@ -37,40 +46,109 @@ using namespace vc;
   std::fputs(
       "usage: vcc [--config=O0|O1|verified|O2] [--emit-asm]\n"
       "           [--wcet=FN] [--no-annotations] [--run=FN[:args]]\n"
-      "           [--validate] [--stats] file.mc\n",
+      "           [--validate] [--stats] file.mc\n"
+      "       vcc [--config=...] [--validate] [--jobs=N] --batch dir\n",
       stderr);
   std::exit(2);
 }
 
-driver::Config parse_config(const std::string& name) {
-  if (name == "O0") return driver::Config::O0Pattern;
-  if (name == "O1") return driver::Config::O1NoRegalloc;
-  if (name == "verified") return driver::Config::Verified;
-  if (name == "O2") return driver::Config::O2Full;
-  std::fprintf(stderr, "vcc: unknown config '%s'\n", name.c_str());
+[[noreturn]] void die(const std::string& message) {
+  std::fprintf(stderr, "vcc: %s\n", message.c_str());
   std::exit(2);
 }
 
-std::vector<minic::Value> parse_args(const minic::Function& fn,
-                                     const std::string& spec) {
-  std::vector<minic::Value> out;
-  std::stringstream ss(spec);
-  std::string item;
-  std::size_t i = 0;
-  while (std::getline(ss, item, ',')) {
-    if (i >= fn.params.size()) break;
-    if (fn.params[i].type == minic::Type::F64)
-      out.push_back(minic::Value::of_f64(std::stod(item)));
-    else
-      out.push_back(minic::Value::of_i32(std::stoi(item)));
-    ++i;
+/// Parses + type-checks + compiles one source string.
+driver::Compiled compile_source(const std::string& source,
+                                const std::string& path,
+                                driver::Config config, bool do_validate,
+                                minic::Program* program_out) {
+  minic::Program program = minic::parse_program(source, path);
+  minic::type_check(program);
+  driver::Compiled compiled = do_validate
+                                  ? validate::validated_compile(program, config)
+                                  : driver::compile_program(program, config);
+  *program_out = std::move(program);
+  return compiled;
+}
+
+std::string read_file_or_die(const std::string& path, int exit_code = 1) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "vcc: cannot open %s\n", path.c_str());
+    std::exit(exit_code);
   }
-  while (out.size() < fn.params.size()) {
-    out.push_back(fn.params[out.size()].type == minic::Type::F64
-                      ? minic::Value::of_f64(0.0)
-                      : minic::Value::of_i32(0));
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Batch mode: every .mc file under `dir`, compiled in parallel, results
+/// printed in sorted-path order (deterministic for any worker count).
+int run_batch(const std::string& dir, driver::Config config, bool do_validate,
+              int jobs) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    std::fprintf(stderr, "vcc: not a directory: %s\n", dir.c_str());
+    return 1;
   }
-  return out;
+  std::vector<std::string> files;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec))
+    if (entry.is_regular_file() && entry.path().extension() == ".mc")
+      files.push_back(entry.path().string());
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    std::fprintf(stderr, "vcc: no .mc files under %s\n", dir.c_str());
+    return 1;
+  }
+
+  struct FileResult {
+    bool ok = false;
+    std::string line;
+  };
+  std::vector<FileResult> results(files.size());
+
+  const auto t_start = std::chrono::steady_clock::now();
+  parallel_for(
+      files.size(),
+      jobs > 0 ? static_cast<std::size_t>(jobs)
+               : ThreadPool::default_worker_count(),
+      [&](std::size_t i) {
+        FileResult& r = results[i];
+        char buf[512];
+        try {
+          std::ifstream in(files[i]);
+          if (!in) throw std::runtime_error("cannot open file");
+          std::stringstream buffer;
+          buffer << in.rdbuf();
+          minic::Program program;
+          const driver::Compiled compiled = compile_source(
+              buffer.str(), files[i], config, do_validate, &program);
+          std::snprintf(buf, sizeof buf, "%s: ok — %zu function(s), %u bytes",
+                        files[i].c_str(), program.functions.size(),
+                        compiled.image.code_size_bytes());
+          r.ok = true;
+        } catch (const std::exception& e) {
+          std::snprintf(buf, sizeof buf, "%s: error: %s", files[i].c_str(),
+                        e.what());
+        }
+        r.line = buf;
+      });
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
+          .count();
+
+  std::size_t ok = 0;
+  for (const FileResult& r : results) {
+    std::puts(r.line.c_str());
+    ok += r.ok ? 1 : 0;
+  }
+  std::fprintf(stderr,
+               "vcc: batch compiled %zu/%zu file(s) under %s in %.2fs "
+               "(%.1f files/s)\n",
+               ok, files.size(), driver::to_string(config).c_str(), wall,
+               wall > 0.0 ? static_cast<double>(files.size()) / wall : 0.0);
+  return ok == files.size() ? 0 : 1;
 }
 
 }  // namespace
@@ -82,47 +160,51 @@ int main(int argc, char** argv) {
   bool do_validate = false;
   bool stats = false;
   bool use_annotations = true;
+  bool batch = false;
+  int jobs = 0;
   std::string wcet_fn;
   std::string run_spec;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (starts_with(arg, "--config="))
-      config = parse_config(arg.substr(9));
-    else if (arg == "--emit-asm")
+    if (starts_with(arg, "--config=")) {
+      const auto parsed = tools::parse_config_name(arg.substr(9));
+      if (!parsed) die("unknown config '" + arg.substr(9) + "'");
+      config = *parsed;
+    } else if (arg == "--emit-asm") {
       emit_asm = true;
-    else if (arg == "--validate")
+    } else if (arg == "--validate") {
       do_validate = true;
-    else if (arg == "--stats")
+    } else if (arg == "--stats") {
       stats = true;
-    else if (arg == "--no-annotations")
+    } else if (arg == "--no-annotations") {
       use_annotations = false;
-    else if (starts_with(arg, "--wcet="))
+    } else if (arg == "--batch") {
+      batch = true;
+    } else if (starts_with(arg, "--jobs=")) {
+      const auto parsed = tools::parse_count_flag(arg.substr(7));
+      if (!parsed) die("bad --jobs value '" + arg.substr(7) + "'");
+      jobs = *parsed;
+    } else if (starts_with(arg, "--wcet=")) {
       wcet_fn = arg.substr(7);
-    else if (starts_with(arg, "--run="))
+    } else if (starts_with(arg, "--run=")) {
       run_spec = arg.substr(6);
-    else if (!starts_with(arg, "--") && path.empty())
+    } else if (!starts_with(arg, "--") && path.empty()) {
       path = arg;
-    else
+    } else {
       usage();
+    }
   }
   if (path.empty()) usage();
 
-  std::ifstream in(path);
-  if (!in) {
-    std::fprintf(stderr, "vcc: cannot open %s\n", path.c_str());
-    return 1;
-  }
-  std::stringstream buffer;
-  buffer << in.rdbuf();
+  if (batch) return run_batch(path, config, do_validate, jobs);
+
+  const std::string source = read_file_or_die(path);
 
   try {
-    minic::Program program = minic::parse_program(buffer.str(), path);
-    minic::type_check(program);
-
+    minic::Program program;
     const driver::Compiled compiled =
-        do_validate ? validate::validated_compile(program, config)
-                    : driver::compile_program(program, config);
+        compile_source(source, path, config, do_validate, &program);
     std::fprintf(stderr, "vcc: compiled %zu function(s) under %s%s\n",
                  program.functions.size(),
                  driver::to_string(config).c_str(),
@@ -160,9 +242,11 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "vcc: unknown function '%s'\n", fn_name.c_str());
         return 1;
       }
+      const tools::CallArgs call = tools::parse_call_args(*fn, arg_spec);
+      if (!call.ok()) die(call.error);
       machine::Machine m(compiled.image);
       const minic::Value result =
-          m.call(fn_name, parse_args(*fn, arg_spec),
+          m.call(fn_name, call.values,
                  fn->has_return ? fn->return_type : minic::Type::I32);
       if (fn->has_return)
         std::printf("%s(...) = %s\n", fn_name.c_str(),

@@ -1,0 +1,104 @@
+#include "tools/vcc_cli.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
+
+namespace vc::tools {
+
+namespace {
+
+/// Splits on ',' keeping empty items ("1,,2" -> {"1", "", "2"}); an empty
+/// spec yields no items.
+std::vector<std::string> split_commas(const std::string& spec) {
+  std::vector<std::string> items;
+  if (spec.empty()) return items;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) {
+      items.push_back(spec.substr(start));
+      return items;
+    }
+    items.push_back(spec.substr(start, comma - start));
+    start = comma + 1;
+  }
+}
+
+bool parse_f64(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size() || errno == ERANGE) return false;
+  *out = v;
+  return true;
+}
+
+bool parse_i32(const std::string& text, std::int32_t* out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size() || errno == ERANGE ||
+      v < std::numeric_limits<std::int32_t>::min() ||
+      v > std::numeric_limits<std::int32_t>::max())
+    return false;
+  *out = static_cast<std::int32_t>(v);
+  return true;
+}
+
+}  // namespace
+
+std::optional<driver::Config> parse_config_name(const std::string& name) {
+  if (name == "O0") return driver::Config::O0Pattern;
+  if (name == "O1") return driver::Config::O1NoRegalloc;
+  if (name == "verified") return driver::Config::Verified;
+  if (name == "O2") return driver::Config::O2Full;
+  return std::nullopt;
+}
+
+CallArgs parse_call_args(const minic::Function& fn, const std::string& spec) {
+  CallArgs out;
+  const std::vector<std::string> items = split_commas(spec);
+  if (items.size() != fn.params.size()) {
+    out.error = "function '" + fn.name + "' expects " +
+                std::to_string(fn.params.size()) + " argument(s), got " +
+                std::to_string(items.size());
+    return out;
+  }
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const minic::Param& p = fn.params[i];
+    if (p.type == minic::Type::F64) {
+      double v = 0.0;
+      if (!parse_f64(items[i], &v)) {
+        out.error = "invalid f64 literal '" + items[i] + "' for parameter '" +
+                    p.name + "' of '" + fn.name + "'";
+        return out;
+      }
+      out.values.push_back(minic::Value::of_f64(v));
+    } else {
+      std::int32_t v = 0;
+      if (!parse_i32(items[i], &v)) {
+        out.error = "invalid i32 literal '" + items[i] + "' for parameter '" +
+                    p.name + "' of '" + fn.name + "'";
+        return out;
+      }
+      out.values.push_back(minic::Value::of_i32(v));
+    }
+  }
+  return out;
+}
+
+std::optional<int> parse_count_flag(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size() || errno == ERANGE || v < 0 ||
+      v > 1000000)
+    return std::nullopt;
+  return static_cast<int>(v);
+}
+
+}  // namespace vc::tools

@@ -1,0 +1,39 @@
+// Argument parsing for the vcc driver, split out so the strict-parsing
+// rules are unit-testable (tests/vcc_cli_test.cpp) without spawning the
+// binary. Policy: malformed or wrong-arity argument lists are diagnosed,
+// never silently truncated or zero-filled — vcc exits 2 on any of these.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "driver/compiler.hpp"
+#include "minic/ast.hpp"
+#include "minic/interp.hpp"
+
+namespace vc::tools {
+
+/// Maps a --config= name to a configuration; nullopt for unknown names.
+std::optional<driver::Config> parse_config_name(const std::string& name);
+
+/// Result of parsing a --run=FN[:a,b,...] argument list against a function
+/// signature: the marshalled values, or a diagnostic.
+struct CallArgs {
+  std::vector<minic::Value> values;
+  std::string error;  // empty on success
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+/// Strictly parses `spec` (empty, or "a,b,c") against `fn`'s parameters:
+/// exactly one well-formed literal per parameter — extra, missing, or
+/// malformed arguments produce an error instead of truncation or zero-fill.
+/// i32 literals must be decimal integers in range; f64 literals anything
+/// strtod fully consumes.
+CallArgs parse_call_args(const minic::Function& fn, const std::string& spec);
+
+/// Parses a decimal unsigned integer flag value ("--jobs=N"); nullopt on
+/// malformed input or values outside [0, 1000000].
+std::optional<int> parse_count_flag(const std::string& text);
+
+}  // namespace vc::tools

@@ -1,0 +1,170 @@
+// Fleet runner: thread-count invariance (the determinism contract — any
+// worker count produces bit-identical per-node stats and WCET bounds),
+// record ordering, per-job failure isolation, and the thread pool itself.
+#include <atomic>
+#include <gtest/gtest.h>
+
+#include "dataflow/acg.hpp"
+#include "dataflow/generator.hpp"
+#include "driver/fleet.hpp"
+#include "minic/typecheck.hpp"
+#include "support/threadpool.hpp"
+
+namespace vc {
+namespace {
+
+/// Owns the generated programs (FleetUnit only points at them). Moving the
+/// struct keeps the programs vector's heap buffer, so the unit pointers stay
+/// valid.
+struct Suite {
+  std::vector<minic::Program> programs;
+  std::vector<driver::FleetUnit> units;
+};
+
+Suite small_suite(int count) {
+  Suite s;
+  const std::vector<dataflow::Node> nodes =
+      dataflow::generate_suite(20110318, count);
+  for (const dataflow::Node& node : nodes) {
+    minic::Program program;
+    program.name = node.name();
+    dataflow::generate_node(node, &program);
+    minic::type_check(program);
+    s.programs.push_back(std::move(program));
+  }
+  for (std::size_t i = 0; i < nodes.size(); ++i)
+    s.units.push_back({nodes[i].name(), &s.programs[i],
+                       dataflow::step_function_name(nodes[i])});
+  return s;
+}
+
+driver::FleetOptions exec_and_wcet_options(int jobs) {
+  driver::FleetOptions options;
+  options.jobs = jobs;
+  options.exec_cycles = 10;
+  options.wcet = true;
+  options.wcet_nocache = true;
+  return options;
+}
+
+/// Everything except the wall-time fields must match across worker counts.
+void expect_records_identical(const driver::FleetReport& a,
+                              const driver::FleetReport& b) {
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    const driver::FleetRecord& ra = a.records[i];
+    const driver::FleetRecord& rb = b.records[i];
+    SCOPED_TRACE(ra.name + "/" + driver::to_string(ra.config));
+    EXPECT_EQ(ra.name, rb.name);
+    EXPECT_EQ(ra.config, rb.config);
+    EXPECT_EQ(ra.ok, rb.ok);
+    EXPECT_EQ(ra.error, rb.error);
+    EXPECT_EQ(ra.code_bytes, rb.code_bytes);
+    EXPECT_EQ(ra.exec.cycles, rb.exec.cycles);
+    EXPECT_EQ(ra.exec.instructions, rb.exec.instructions);
+    EXPECT_EQ(ra.exec.dcache_reads, rb.exec.dcache_reads);
+    EXPECT_EQ(ra.exec.dcache_writes, rb.exec.dcache_writes);
+    EXPECT_EQ(ra.exec.dcache_read_misses, rb.exec.dcache_read_misses);
+    EXPECT_EQ(ra.exec.dcache_write_misses, rb.exec.dcache_write_misses);
+    EXPECT_EQ(ra.exec.ifetch_line_misses, rb.exec.ifetch_line_misses);
+    EXPECT_EQ(ra.exec.taken_branches, rb.exec.taken_branches);
+    EXPECT_EQ(ra.observed_max_cycles, rb.observed_max_cycles);
+    EXPECT_EQ(ra.wcet_cycles, rb.wcet_cycles);
+    EXPECT_EQ(ra.wcet_nocache_cycles, rb.wcet_nocache_cycles);
+  }
+}
+
+TEST(FleetTest, ThreadCountInvariance) {
+  const Suite suite = small_suite(6);
+  const driver::FleetReport serial =
+      driver::run_fleet(suite.units, exec_and_wcet_options(1));
+  const driver::FleetReport parallel8 =
+      driver::run_fleet(suite.units, exec_and_wcet_options(8));
+  EXPECT_EQ(serial.jobs, 1);
+  EXPECT_EQ(parallel8.jobs, 8);
+  expect_records_identical(serial, parallel8);
+}
+
+TEST(FleetTest, RecordOrderingAndShape) {
+  const Suite suite = small_suite(3);
+  driver::FleetOptions options = exec_and_wcet_options(4);
+  const driver::FleetReport report = driver::run_fleet(suite.units, options);
+  ASSERT_EQ(report.units, suite.units.size());
+  ASSERT_EQ(report.configs, options.configs.size());
+  ASSERT_EQ(report.records.size(),
+            suite.units.size() * options.configs.size());
+  for (std::size_t u = 0; u < report.units; ++u) {
+    for (std::size_t c = 0; c < report.configs; ++c) {
+      const driver::FleetRecord& r = report.at(u, c);
+      EXPECT_EQ(r.name, suite.units[u].name);
+      EXPECT_EQ(r.config, options.configs[c]);
+      EXPECT_TRUE(r.ok) << r.error;
+      EXPECT_GT(r.code_bytes, 0u);
+      EXPECT_GT(r.exec.cycles, 0u);
+      EXPECT_GT(r.wcet_cycles, 0u);
+      // Cache analysis can only tighten the bound.
+      EXPECT_GE(r.wcet_nocache_cycles, r.wcet_cycles);
+      // The bound must cover every observed run (soundness).
+      EXPECT_GE(r.wcet_cycles, r.observed_max_cycles);
+    }
+  }
+  EXPECT_GT(report.wall_seconds, 0.0);
+  EXPECT_GT(report.compile_seconds, 0.0);
+  EXPECT_FALSE(report.throughput_summary().empty());
+}
+
+TEST(FleetTest, JobFailureIsIsolated) {
+  Suite suite = small_suite(2);
+  suite.units[0].entry = "no_such_function";
+  driver::FleetOptions options;
+  options.jobs = 2;
+  options.exec_cycles = 2;
+  const driver::FleetReport report = driver::run_fleet(suite.units, options);
+  for (std::size_t c = 0; c < report.configs; ++c) {
+    EXPECT_FALSE(report.at(0, c).ok);
+    EXPECT_FALSE(report.at(0, c).error.empty());
+    EXPECT_TRUE(report.at(1, c).ok) << report.at(1, c).error;
+  }
+}
+
+TEST(FleetTest, JobSeedIsPureFunctionOfSuiteSeedAndIndex) {
+  EXPECT_EQ(driver::fleet_job_seed(7, 0), driver::fleet_job_seed(7, 0));
+  EXPECT_NE(driver::fleet_job_seed(7, 0), driver::fleet_job_seed(7, 1));
+  EXPECT_NE(driver::fleet_job_seed(7, 0), driver::fleet_job_seed(8, 0));
+}
+
+TEST(ThreadPoolTest, RunsEveryJobExactlyOnce) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 1000; ++i)
+      pool.submit([&count] { count.fetch_add(1); });
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), 1000);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for(hits.size(), 8,
+               [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForSerialFallback) {
+  std::vector<int> hits(64, 0);
+  parallel_for(hits.size(), 1, [&hits](std::size_t i) { hits[i] += 1; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesException) {
+  EXPECT_THROW(
+      parallel_for(16, 4,
+                   [](std::size_t i) {
+                     if (i == 7) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace vc

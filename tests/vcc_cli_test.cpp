@@ -1,0 +1,116 @@
+// The vcc strict argument-parsing rules: malformed literals, wrong arity,
+// and flag values are diagnosed instead of silently truncated/zero-filled.
+#include <gtest/gtest.h>
+
+#include "tools/vcc_cli.hpp"
+
+namespace vc::tools {
+namespace {
+
+minic::Function two_param_fn() {
+  minic::Function fn;
+  fn.name = "f";
+  fn.params = {{"x", minic::Type::F64}, {"n", minic::Type::I32}};
+  return fn;
+}
+
+TEST(VccCliTest, ParsesWellFormedArguments) {
+  const CallArgs args = parse_call_args(two_param_fn(), "4.5,-3");
+  ASSERT_TRUE(args.ok()) << args.error;
+  ASSERT_EQ(args.values.size(), 2u);
+  EXPECT_EQ(args.values[0].type, minic::Type::F64);
+  EXPECT_DOUBLE_EQ(args.values[0].f, 4.5);
+  EXPECT_EQ(args.values[1].type, minic::Type::I32);
+  EXPECT_EQ(args.values[1].i, -3);
+}
+
+TEST(VccCliTest, AcceptsScientificAndNegativeF64) {
+  minic::Function fn;
+  fn.name = "g";
+  fn.params = {{"x", minic::Type::F64}};
+  const CallArgs args = parse_call_args(fn, "-1.25e3");
+  ASSERT_TRUE(args.ok()) << args.error;
+  EXPECT_DOUBLE_EQ(args.values[0].f, -1250.0);
+}
+
+TEST(VccCliTest, RejectsMalformedF64) {
+  const CallArgs args = parse_call_args(two_param_fn(), "abc,3");
+  ASSERT_FALSE(args.ok());
+  EXPECT_NE(args.error.find("invalid f64 literal 'abc'"), std::string::npos);
+  EXPECT_NE(args.error.find("'x'"), std::string::npos);
+}
+
+TEST(VccCliTest, RejectsTrailingGarbage) {
+  const CallArgs args = parse_call_args(two_param_fn(), "4.5x,3");
+  ASSERT_FALSE(args.ok());
+  EXPECT_NE(args.error.find("invalid f64"), std::string::npos);
+}
+
+TEST(VccCliTest, RejectsFractionalI32) {
+  const CallArgs args = parse_call_args(two_param_fn(), "4.5,3.7");
+  ASSERT_FALSE(args.ok());
+  EXPECT_NE(args.error.find("invalid i32 literal '3.7'"), std::string::npos);
+}
+
+TEST(VccCliTest, RejectsOutOfRangeI32) {
+  const CallArgs args = parse_call_args(two_param_fn(), "1.0,99999999999");
+  ASSERT_FALSE(args.ok());
+  EXPECT_NE(args.error.find("invalid i32"), std::string::npos);
+}
+
+TEST(VccCliTest, RejectsMissingArguments) {
+  const CallArgs args = parse_call_args(two_param_fn(), "4.5");
+  ASSERT_FALSE(args.ok());
+  EXPECT_NE(args.error.find("expects 2 argument(s), got 1"),
+            std::string::npos);
+}
+
+TEST(VccCliTest, RejectsNoArgumentsWhenParamsExpected) {
+  const CallArgs args = parse_call_args(two_param_fn(), "");
+  ASSERT_FALSE(args.ok());
+  EXPECT_NE(args.error.find("expects 2 argument(s), got 0"),
+            std::string::npos);
+}
+
+TEST(VccCliTest, RejectsExtraArguments) {
+  const CallArgs args = parse_call_args(two_param_fn(), "4.5,3,9");
+  ASSERT_FALSE(args.ok());
+  EXPECT_NE(args.error.find("expects 2 argument(s), got 3"),
+            std::string::npos);
+}
+
+TEST(VccCliTest, RejectsEmptyItem) {
+  const CallArgs args = parse_call_args(two_param_fn(), "4.5,");
+  ASSERT_FALSE(args.ok());
+  EXPECT_NE(args.error.find("invalid i32 literal ''"), std::string::npos);
+}
+
+TEST(VccCliTest, EmptySpecMatchesNullaryFunction) {
+  minic::Function fn;
+  fn.name = "h";
+  const CallArgs args = parse_call_args(fn, "");
+  EXPECT_TRUE(args.ok()) << args.error;
+  EXPECT_TRUE(args.values.empty());
+}
+
+TEST(VccCliTest, ParseConfigName) {
+  EXPECT_EQ(parse_config_name("O0"), driver::Config::O0Pattern);
+  EXPECT_EQ(parse_config_name("O1"), driver::Config::O1NoRegalloc);
+  EXPECT_EQ(parse_config_name("verified"), driver::Config::Verified);
+  EXPECT_EQ(parse_config_name("O2"), driver::Config::O2Full);
+  EXPECT_FALSE(parse_config_name("O3").has_value());
+  EXPECT_FALSE(parse_config_name("").has_value());
+}
+
+TEST(VccCliTest, ParseCountFlag) {
+  EXPECT_EQ(parse_count_flag("8"), 8);
+  EXPECT_EQ(parse_count_flag("0"), 0);
+  EXPECT_FALSE(parse_count_flag("").has_value());
+  EXPECT_FALSE(parse_count_flag("abc").has_value());
+  EXPECT_FALSE(parse_count_flag("-1").has_value());
+  EXPECT_FALSE(parse_count_flag("8x").has_value());
+  EXPECT_FALSE(parse_count_flag("10000001").has_value());
+}
+
+}  // namespace
+}  // namespace vc::tools
