@@ -18,10 +18,12 @@ using namespace vc;
 namespace {
 
 enum class Variant {
-  Full,          // constprop + cse + dce + regalloc (the verified pipeline)
+  Full,          // constprop + cse + forward + dce + deadstore + regalloc
   NoConstprop,
   NoCse,
+  NoForward,     // without store-to-load forwarding
   NoDce,
+  NoDeadstore,   // without dead-store elimination
   NoRegalloc,    // value lowering but pattern-style: impossible — instead:
                  // pattern lowering + all RTL passes (the paper's O1)
   NothingAtAll,  // pattern lowering, no passes (the paper's O0)
@@ -32,7 +34,9 @@ const char* name_of(Variant v) {
     case Variant::Full: return "verified (all passes)";
     case Variant::NoConstprop: return "  - constprop";
     case Variant::NoCse: return "  - cse";
+    case Variant::NoForward: return "  - forwarding";
     case Variant::NoDce: return "  - dce";
+    case Variant::NoDeadstore: return "  - deadstore";
     case Variant::NoRegalloc: return "  - regalloc (pattern+opts)";
     case Variant::NothingAtAll: return "  - everything (pattern)";
   }
@@ -50,12 +54,19 @@ std::uint64_t wcet_of_variant(const bench::NodeBundle& bundle, Variant v) {
         pattern ? rtl::LowerMode::PatternStack : rtl::LowerMode::Value);
     rtl::remove_unreachable_blocks(fn);
     if (v != Variant::NothingAtAll) {
+      // The memory passes assume value lowering (pattern mode keeps its
+      // per-symbol load/store discipline), matching the driver's gating.
+      const bool memory_opts = !pattern;
       for (int round = 0; round < 4; ++round) {
         bool changed = false;
         if (v != Variant::NoConstprop) changed |= opt::constant_propagation(fn);
         if (v != Variant::NoCse)
           changed |= opt::common_subexpression_elimination(fn);
+        if (memory_opts && v != Variant::NoForward)
+          changed |= opt::memory_forwarding(fn);
         if (v != Variant::NoDce) changed |= opt::dead_code_elimination(fn);
+        if (memory_opts && v != Variant::NoDeadstore)
+          changed |= opt::dead_store_elimination(fn);
         if (!changed) break;
       }
     }
@@ -73,15 +84,19 @@ std::uint64_t wcet_of_variant(const bench::NodeBundle& bundle, Variant v) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchFlags flags =
+      bench::parse_bench_flags(argc, argv, "bench_ablation_passes");
+  const int n_nodes = flags.nodes > 0 ? flags.nodes : 24;
   std::puts("=== Ablation: contribution of each verified-pipeline pass to "
             "the WCET gain ===");
-  std::puts("workload: 24 generated nodes, seed 20110318; baseline = full "
-            "verified pipeline\n");
+  std::printf("workload: %d generated nodes, seed 20110318; baseline = full "
+              "verified pipeline\n\n", n_nodes);
 
-  const std::vector<bench::NodeBundle> suite = bench::make_suite(24);
-  const Variant variants[] = {Variant::Full, Variant::NoConstprop,
-                              Variant::NoCse, Variant::NoDce,
+  const std::vector<bench::NodeBundle> suite = bench::make_suite(n_nodes);
+  const Variant variants[] = {Variant::Full,      Variant::NoConstprop,
+                              Variant::NoCse,     Variant::NoForward,
+                              Variant::NoDce,     Variant::NoDeadstore,
                               Variant::NoRegalloc, Variant::NothingAtAll};
 
   std::map<Variant, double> ratio_sum;

@@ -1,0 +1,31 @@
+#!/usr/bin/env sh
+# Smoke-runs every bench binary on a tiny workload (--nodes=4 --jobs=2).
+# Benches that take no flags ignore the arguments. Intended for the asan
+# preset: `cmake --preset asan && cmake --build --preset asan -j && \
+#          bench/smoke.sh build-asan/bench`
+# Exits non-zero on the first failing bench.
+set -eu
+
+dir="${1:-build/bench}"
+if [ ! -d "$dir" ]; then
+  echo "smoke.sh: bench directory '$dir' not found (build first?)" >&2
+  exit 2
+fi
+
+status=0
+for b in "$dir"/bench_*; do
+  [ -x "$b" ] || continue
+  echo "=== smoke: $(basename "$b") ==="
+  case "$(basename "$b")" in
+    bench_micro)
+      # google-benchmark binary: rejects foreign flags; cap iteration time.
+      set -- --benchmark_min_time=0.05 ;;
+    *)
+      set -- --nodes=4 --jobs=2 ;;
+  esac
+  if ! "$b" "$@" > /dev/null; then
+    echo "smoke.sh: $(basename "$b") FAILED" >&2
+    status=1
+  fi
+done
+exit $status

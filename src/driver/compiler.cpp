@@ -18,7 +18,8 @@ std::string to_string(Config c) {
 }
 
 Compiled compile_program(const minic::Program& program, Config config,
-                         const opt::PassHook& pass_hook) {
+                         const opt::PassHook& pass_hook,
+                         opt::PassTimings* pass_timings) {
   Compiled out;
   out.config = config;
 
@@ -26,6 +27,13 @@ Compiled compile_program(const minic::Program& program, Config config,
       config == Config::O0Pattern || config == Config::O1NoRegalloc;
   const bool optimize = config != Config::O0Pattern;
   const bool machine_opts = config == Config::O2Full;
+
+  // The memory passes run only with value lowering: O1-noregalloc models the
+  // paper's "optimized without register allocation" arm, whose pattern code
+  // keeps its per-symbol memory discipline (§3.3).
+  opt::PipelineOptions pipeline_options;
+  pipeline_options.memory_opts = optimize && !pattern_mode;
+  pipeline_options.timings = pass_timings;
 
   ppc::DataLayout layout(program);
   std::vector<ppc::MachineFunction> machine_fns;
@@ -40,7 +48,9 @@ Compiled compile_program(const minic::Program& program, Config config,
     art.rtl_lowered = fn;
     if (pass_hook) pass_hook("lower", art.rtl_lowered, fn);
 
-    if (optimize) opt::run_standard_pipeline(fn, &art.passes_applied, pass_hook);
+    if (optimize)
+      opt::run_standard_pipeline(fn, &art.passes_applied, pass_hook,
+                                 pipeline_options);
     art.rtl_optimized = fn;
 
     // O2-full allocates scheduling-aware (spread colors so the list

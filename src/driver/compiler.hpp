@@ -52,8 +52,11 @@ struct Compiled {
 /// The program must already type-check. `pass_hook`, when set, is invoked
 /// after lowering ("lower"), after every applied RTL pass, and after
 /// register allocation ("regalloc") — the attachment point for the
-/// translation validator (src/validate).
+/// translation validator (src/validate). `pass_timings`, when set,
+/// accumulates per-pass RTL optimization wall time over all functions (the
+/// fleet runner surfaces it in the bench footers).
 Compiled compile_program(const minic::Program& program, Config config,
-                         const opt::PassHook& pass_hook = {});
+                         const opt::PassHook& pass_hook = {},
+                         opt::PassTimings* pass_timings = nullptr);
 
 }  // namespace vc::driver

@@ -27,7 +27,8 @@ void run_job(const FleetUnit& unit, Config config, std::uint64_t input_seed,
   record->config = config;
   try {
     const auto t_compile = Clock::now();
-    const Compiled compiled = compile_program(*unit.program, config);
+    const Compiled compiled =
+        compile_program(*unit.program, config, {}, &record->pass_timings);
     record->compile_seconds = seconds_since(t_compile);
     record->code_bytes = compiled.image.code_size_of(unit.entry);
 
@@ -109,15 +110,19 @@ double FleetReport::nodes_per_second() const {
 }
 
 std::string FleetReport::throughput_summary() const {
-  char buf[256];
+  char buf[512];
   std::snprintf(
       buf, sizeof buf,
       "fleet: %zu node(s) x %zu config(s) on %d worker(s): %.2fs wall, "
       "%.1f jobs/s\n"
       "fleet: phase time (summed over jobs): compile %.2fs, execute %.2fs, "
-      "wcet %.2fs",
+      "wcet %.2fs\n"
+      "fleet: rtl pass time: constprop %.3fs, cse %.3fs, forward %.3fs, "
+      "dce %.3fs, deadstore %.3fs, tunnel %.3fs",
       units, configs, jobs, wall_seconds, nodes_per_second(), compile_seconds,
-      exec_seconds, wcet_seconds);
+      exec_seconds, wcet_seconds, pass_timings.constprop, pass_timings.cse,
+      pass_timings.forward, pass_timings.dce, pass_timings.deadstore,
+      pass_timings.tunnel);
   return buf;
 }
 
@@ -147,6 +152,7 @@ FleetReport run_fleet(const std::vector<FleetUnit>& units,
     report.compile_seconds += r.compile_seconds;
     report.exec_seconds += r.exec_seconds;
     report.wcet_seconds += r.wcet_seconds;
+    report.pass_timings += r.pass_timings;
   }
   return report;
 }

@@ -74,6 +74,8 @@ struct FleetRecord {
   double compile_seconds = 0.0;
   double exec_seconds = 0.0;
   double wcet_seconds = 0.0;
+  // Compile time split by RTL pass (where inside `compile` the time goes).
+  opt::PassTimings pass_timings;
 };
 
 struct FleetReport {
@@ -88,6 +90,8 @@ struct FleetReport {
   double compile_seconds = 0.0;
   double exec_seconds = 0.0;
   double wcet_seconds = 0.0;
+  // Aggregate per-pass RTL optimization time summed over jobs.
+  opt::PassTimings pass_timings;
 
   [[nodiscard]] const FleetRecord& at(std::size_t unit,
                                       std::size_t config) const {

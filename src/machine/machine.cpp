@@ -224,8 +224,8 @@ void Machine::run(std::uint32_t entry) {
       }
     }
 
-    int reads[16];
-    int writes[16];
+    int reads[ppc::IssueModel::kMaxResourcesPerInstr];
+    int writes[ppc::IssueModel::kMaxResourcesPerInstr];
     int n_reads = 0;
     int n_writes = 0;
     ppc::IssueModel::resources(ins, reads, &n_reads, writes, &n_writes);

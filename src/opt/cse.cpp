@@ -1,18 +1,20 @@
 #include <cstring>
-#include <map>
-#include <tuple>
+#include <vector>
 
 #include "opt/opt.hpp"
+#include "rtl/analysis.hpp"
 
 namespace vc::opt {
 namespace {
 
+using rtl::BlockId;
 using rtl::Function;
 using rtl::Instr;
 using rtl::Opcode;
 using rtl::VReg;
 
 using ValueNumber = std::uint32_t;
+constexpr ValueNumber kNoVn = 0xFFFFFFFF;
 
 /// Hashable key describing a pure computation over value numbers.
 struct ExprKey {
@@ -22,11 +24,29 @@ struct ExprKey {
   ValueNumber a = 0;
   ValueNumber b = 0;
 
-  bool operator<(const ExprKey& o) const {
-    return std::tie(op, sub_op, imm, a, b) <
-           std::tie(o.op, o.sub_op, o.imm, o.a, o.b);
+  bool operator==(const ExprKey& o) const {
+    return op == o.op && sub_op == o.sub_op && imm == o.imm && a == o.a &&
+           b == o.b;
   }
 };
+
+std::uint64_t hash_key(const ExprKey& k) {
+  // FNV-1a over the key fields, finished with a SplitMix64 avalanche so the
+  // open-addressing probe sequence spreads even for near-identical keys.
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001B3ull;
+  };
+  mix(static_cast<std::uint64_t>(k.op));
+  mix(static_cast<std::uint64_t>(static_cast<unsigned>(k.sub_op)));
+  mix(k.imm);
+  mix(k.a);
+  mix(k.b);
+  h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ull;
+  h = (h ^ (h >> 27)) * 0x94D049BB133111EBull;
+  return h ^ (h >> 31);
+}
 
 bool is_commutative(minic::BinOp op) {
   switch (op) {
@@ -47,19 +67,109 @@ bool is_commutative(minic::BinOp op) {
   }
 }
 
-/// Block-local value numbering with copy propagation.
-class LocalVN {
+/// Dominator-scoped value numbering with copy propagation.
+///
+/// The function's dominator tree is walked in preorder; every table entry
+/// made while visiting a block is popped from an undo log when its subtree
+/// is done, so a block sees exactly the equivalences established on its
+/// dominator chain (a scoped hash table, as in CompCert's CSE).
+///
+/// RTL is not SSA, so an equivalence inherited from a dominator can be stale:
+/// a vreg may be redefined on a path between the dominator and the current
+/// block (e.g. around a loop). An inherited binding for v is therefore
+/// trusted only when it provably still holds:
+///   - v has no definition anywhere (it always holds its initial value), or
+///   - v has exactly one definition site and the binding was made there
+///     (`from_def`); any path to the current block runs through the same
+///     single def, so the binding describes the value the block observes.
+/// Bindings made in the current block are always valid (the walk within a
+/// block is sequential). Everything else gets a fresh number on use.
+class ScopedVN {
  public:
-  explicit LocalVN(Function& fn) : fn_(fn) {}
+  explicit ScopedVN(Function& fn) : fn_(fn) {
+    def_count_.assign(fn.vregs.size(), 0);
+    std::size_t pure_instrs = 0;
+    for (const auto& bb : fn.blocks)
+      for (const Instr& ins : bb.instrs) {
+        if (auto d = ins.def()) ++def_count_[*d];
+        if (ins.is_pure()) ++pure_instrs;
+      }
+    bindings_.assign(fn.vregs.size(), Binding{});
+    // The expression table never rehashes: capacity covers every possible
+    // insertion (at most one per pure instruction, twice for overwrites),
+    // so undo-log slot indices stay stable for the whole walk.
+    std::size_t cap = 16;
+    while (cap < 4 * (pure_instrs + 1)) cap <<= 1;
+    slots_.assign(cap, Slot{});
+  }
 
-  bool run_block(rtl::BasicBlock& bb) {
+  bool run() {
+    const std::vector<BlockId> idom = rtl::immediate_dominators(fn_);
+    const auto children = rtl::dominator_children(idom);
     bool changed = false;
-    vn_of_.clear();
-    canon_.clear();
-    exprs_.clear();
-    next_vn_ = 0;
+    // Iterative preorder DFS; frame second = undo-log marks at block entry.
+    struct Frame {
+      BlockId block;
+      std::size_t next_child = 0;
+      Marks marks;
+    };
+    std::vector<Frame> stack;
+    stack.push_back({0, 0, marks()});
+    changed |= visit_block(0);
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      if (f.next_child < children[f.block].size()) {
+        const BlockId c = children[f.block][f.next_child++];
+        stack.push_back({c, 0, marks()});
+        changed |= visit_block(c);
+      } else {
+        rollback(f.marks);
+        stack.pop_back();
+      }
+    }
+    return changed;
+  }
 
-    for (Instr& ins : bb.instrs) {
+ private:
+  struct Binding {
+    ValueNumber vn = kNoVn;
+    BlockId block = 0;
+    bool live = false;
+    bool from_def = false;
+  };
+  struct Slot {
+    ExprKey key{};
+    VReg rep = rtl::kNoVReg;
+    ValueNumber rep_vn = kNoVn;
+    bool used = false;
+  };
+  struct Marks {
+    std::size_t bind = 0, canon = 0, expr = 0;
+  };
+
+  Marks marks() const {
+    return {bind_log_.size(), canon_log_.size(), expr_log_.size()};
+  }
+
+  void rollback(const Marks& m) {
+    while (bind_log_.size() > m.bind) {
+      bindings_[bind_log_.back().first] = bind_log_.back().second;
+      bind_log_.pop_back();
+    }
+    while (canon_log_.size() > m.canon) {
+      canon_[canon_log_.back().first] = canon_log_.back().second;
+      canon_log_.pop_back();
+    }
+    while (expr_log_.size() > m.expr) {
+      slots_[expr_log_.back().first] = expr_log_.back().second;
+      expr_log_.pop_back();
+    }
+  }
+
+  bool visit_block(BlockId b) {
+    cur_block_ = b;
+    bool changed = false;
+    for (Instr& ins : fn_.blocks[b].instrs) {
       // Copy-propagate every register use to the canonical holder of its
       // value number (if that holder is still current).
       changed |= rewrite_uses(ins);
@@ -70,9 +180,10 @@ class LocalVN {
       }
 
       const ExprKey key = make_key(ins);
-      auto it = exprs_.find(key);
-      if (it != exprs_.end()) {
-        const auto [rep, rep_vn] = it->second;
+      const std::size_t slot = find_slot(key);
+      if (slots_[slot].used) {
+        const VReg rep = slots_[slot].rep;
+        const ValueNumber rep_vn = slots_[slot].rep_vn;
         if (rep != ins.dst && vn(rep) == rep_vn &&
             fn_.vregs[rep] == fn_.vregs[ins.dst]) {
           // Same value already available in `rep`: replace with a move.
@@ -92,32 +203,54 @@ class LocalVN {
         set_vn(ins.dst, vn(ins.src1));
       } else {
         define_fresh(ins.dst);
-        exprs_[key] = {ins.dst, vn(ins.dst)};
+        put_expr(slot, key, ins.dst, bindings_[ins.dst].vn);
       }
     }
     return changed;
   }
 
- private:
+  /// True if v's current binding may be used at this point of the walk.
+  bool binding_valid(VReg v) const {
+    const Binding& b = bindings_[v];
+    if (!b.live) return false;
+    if (b.block == cur_block_) return true;
+    if (def_count_[v] == 0) return true;
+    return def_count_[v] == 1 && b.from_def;
+  }
+
   ValueNumber vn(VReg v) {
-    auto it = vn_of_.find(v);
-    if (it != vn_of_.end()) return it->second;
-    // First reference to a block-entry value: give it a fresh number and make
-    // this vreg its canonical holder.
+    if (binding_valid(v)) return bindings_[v].vn;
+    // First (trustworthy) reference to this value here: fresh number, this
+    // vreg is its canonical holder. Not a def-site binding.
     const ValueNumber n = next_vn_++;
-    vn_of_[v] = n;
-    canon_[n] = v;
+    set_binding(v, {n, cur_block_, true, false});
+    set_canon(n, v);
     return n;
   }
 
   void set_vn(VReg v, ValueNumber n) {
-    vn_of_[v] = n;
-    if (canon_.find(n) == canon_.end()) canon_[n] = v;
+    set_binding(v, {n, cur_block_, true, true});
+    if (canon_of(n) == rtl::kNoVReg) set_canon(n, v);
   }
 
   void define_fresh(VReg v) {
     const ValueNumber n = next_vn_++;
-    vn_of_[v] = n;
+    set_binding(v, {n, cur_block_, true, true});
+    set_canon(n, v);
+  }
+
+  void set_binding(VReg v, Binding b) {
+    bind_log_.emplace_back(v, bindings_[v]);
+    bindings_[v] = b;
+  }
+
+  VReg canon_of(ValueNumber n) const {
+    return n < canon_.size() ? canon_[n] : rtl::kNoVReg;
+  }
+
+  void set_canon(ValueNumber n, VReg v) {
+    if (n >= canon_.size()) canon_.resize(n + 1, rtl::kNoVReg);
+    canon_log_.emplace_back(n, canon_[n]);
     canon_[n] = v;
   }
 
@@ -125,12 +258,9 @@ class LocalVN {
   /// or `u` itself.
   VReg canonical(VReg u) {
     const ValueNumber n = vn(u);
-    auto it = canon_.find(n);
-    if (it == canon_.end()) return u;
-    const VReg c = it->second;
-    if (c == u) return u;
-    auto cvn = vn_of_.find(c);
-    if (cvn == vn_of_.end() || cvn->second != n) return u;  // holder stale
+    const VReg c = canon_of(n);
+    if (c == rtl::kNoVReg || c == u) return u;
+    if (!binding_valid(c) || bindings_[c].vn != n) return u;  // holder stale
     if (fn_.vregs[c] != fn_.vregs[u]) return u;
     return c;
   }
@@ -209,20 +339,39 @@ class LocalVN {
     return key;
   }
 
+  /// Linear-probe lookup: the slot holding `key`, or the empty slot where it
+  /// would be inserted. Capacity is fixed and oversized, so this terminates.
+  std::size_t find_slot(const ExprKey& key) const {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = hash_key(key) & mask;
+    while (slots_[i].used && !(slots_[i].key == key)) i = (i + 1) & mask;
+    return i;
+  }
+
+  void put_expr(std::size_t slot, const ExprKey& key, VReg rep,
+                ValueNumber rep_vn) {
+    expr_log_.emplace_back(slot, slots_[slot]);
+    slots_[slot] = {key, rep, rep_vn, true};
+  }
+
   Function& fn_;
-  std::map<VReg, ValueNumber> vn_of_;
-  std::map<ValueNumber, VReg> canon_;
-  std::map<ExprKey, std::pair<VReg, ValueNumber>> exprs_;
+  BlockId cur_block_ = 0;
+  std::vector<int> def_count_;
+  std::vector<Binding> bindings_;      // indexed by vreg
+  std::vector<VReg> canon_;            // indexed by value number
+  std::vector<Slot> slots_;            // open-addressing expression table
+  std::vector<std::pair<VReg, Binding>> bind_log_;
+  std::vector<std::pair<ValueNumber, VReg>> canon_log_;
+  std::vector<std::pair<std::size_t, Slot>> expr_log_;
   ValueNumber next_vn_ = 0;
 };
 
 }  // namespace
 
 bool common_subexpression_elimination(rtl::Function& fn) {
-  LocalVN vn(fn);
-  bool changed = false;
-  for (auto& bb : fn.blocks) changed |= vn.run_block(bb);
-  return changed;
+  // Unreachable blocks are left untouched: the dominator tree only spans
+  // blocks reachable from entry, and the validator walks the same tree.
+  return ScopedVN(fn).run();
 }
 
 }  // namespace vc::opt

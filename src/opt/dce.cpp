@@ -1,32 +1,34 @@
 #include <algorithm>
-#include <set>
+#include <chrono>
 
 #include "opt/opt.hpp"
 #include "rtl/analysis.hpp"
+#include "support/bitset.hpp"
 
 namespace vc::opt {
 
 bool dead_code_elimination(rtl::Function& fn) {
   bool any_change = false;
   bool changed = true;
+  DenseBitset live(fn.vregs.size());
   while (changed) {
     changed = false;
     const rtl::Liveness lv = rtl::compute_liveness(fn);
     for (rtl::BlockId b = 0; b < fn.blocks.size(); ++b) {
-      std::set<rtl::VReg> live = lv.live_out[b];
+      live = lv.live_out[b];
       auto& instrs = fn.blocks[b].instrs;
       std::vector<rtl::Instr> kept;
       kept.reserve(instrs.size());
       for (std::size_t i = instrs.size(); i-- > 0;) {
         const rtl::Instr& ins = instrs[i];
         const auto d = ins.def();
-        if (ins.is_pure() && d && live.count(*d) == 0) {
+        if (ins.is_pure() && d && !live.test(*d)) {
           changed = true;
           any_change = true;
           continue;  // dead: drop
         }
-        if (d) live.erase(*d);
-        for (rtl::VReg u : ins.uses()) live.insert(u);
+        if (d) live.reset(*d);
+        for (rtl::VReg u : ins.uses()) live.set(u);
         kept.push_back(ins);
       }
       std::reverse(kept.begin(), kept.end());
@@ -38,23 +40,39 @@ bool dead_code_elimination(rtl::Function& fn) {
 
 void run_standard_pipeline(rtl::Function& fn,
                            std::vector<std::string>* applied,
-                           const PassHook& hook) {
+                           const PassHook& hook,
+                           const PipelineOptions& options) {
+  using Clock = std::chrono::steady_clock;
   // Iterate the pass sequence to a (bounded) fixpoint: constant propagation
-  // exposes CSE opportunities and vice versa.
-  auto run_pass = [&](const char* name, auto pass) {
+  // exposes CSE opportunities, forwarding turns loads into moves that CSE
+  // and DCE then collapse, and dead stores surface once reloads are gone.
+  auto run_pass = [&](const char* name, auto pass, double* bucket) {
     rtl::Function before;
     if (hook) before = fn;  // snapshot only when a validator is attached
-    if (!pass(fn)) return false;
+    const auto t0 = Clock::now();
+    const bool pass_changed = pass(fn);
+    if (bucket)
+      *bucket += std::chrono::duration<double>(Clock::now() - t0).count();
+    if (!pass_changed) return false;
     if (applied) applied->push_back(name);
     if (hook) hook(name, before, fn);
     return true;
   };
+  PassTimings* t = options.timings;
   for (int round = 0; round < 4; ++round) {
     bool changed = false;
-    changed |= run_pass("constprop", constant_propagation);
-    changed |= run_pass("cse", common_subexpression_elimination);
-    changed |= run_pass("dce", dead_code_elimination);
-    changed |= run_pass("tunnel", branch_tunneling);
+    changed |= run_pass("constprop", constant_propagation,
+                        t ? &t->constprop : nullptr);
+    changed |= run_pass("cse", common_subexpression_elimination,
+                        t ? &t->cse : nullptr);
+    if (options.memory_opts)
+      changed |=
+          run_pass("forward", memory_forwarding, t ? &t->forward : nullptr);
+    changed |= run_pass("dce", dead_code_elimination, t ? &t->dce : nullptr);
+    if (options.memory_opts)
+      changed |= run_pass("deadstore", dead_store_elimination,
+                          t ? &t->deadstore : nullptr);
+    changed |= run_pass("tunnel", branch_tunneling, t ? &t->tunnel : nullptr);
     if (!changed) break;
   }
   fn.validate();

@@ -30,11 +30,33 @@ using PassHook = std::function<void(const std::string& pass,
 /// Returns true if anything changed.
 bool constant_propagation(rtl::Function& fn);
 
-/// Local common subexpression elimination by value numbering, with integrated
-/// copy propagation. Works block-locally; only pure instructions participate
-/// (memory is never promoted to registers here — that distinction is exactly
-/// the paper's "optimization without register allocation" configuration).
+/// Dominator-scoped common subexpression elimination by value numbering,
+/// with integrated copy propagation: an expression computed in a block is
+/// available in every block it dominates (scoped hash tables with an undo
+/// log, per CompCert's beyond-basic-block CSE). RTL is not SSA, so an
+/// inherited equivalence about vreg v is trusted only when it cannot be
+/// stale: v has no definition at all, or exactly one and the binding was
+/// made at that definition. Only pure instructions participate; memory is
+/// handled by the separate forwarding pass below.
 bool common_subexpression_elimination(rtl::Function& fn);
+
+/// Alias-aware store-to-load forwarding over stack slots and statically
+/// addressed globals. A forward must-available dataflow (intersection at
+/// joins) tracks which vreg holds the current value of each location; a
+/// LoadStack/LoadGlobal whose location has a known holder becomes a Mov.
+/// Facts die when the holding vreg is redefined, when the location is
+/// overwritten, or — for globals of a symbol — when a dynamically indexed
+/// StoreGlobalIdx to that symbol might alias. Stack slots never alias
+/// globals. Returns true if anything changed.
+bool memory_forwarding(rtl::Function& fn);
+
+/// Dead store elimination: removes StoreStack/StoreGlobal whose location is
+/// provably never read afterwards, by a backward location-liveness fixpoint.
+/// Stack slots are function-local (dead at Ret); globals survive the function
+/// (all live at Ret). A dynamically indexed LoadGlobalIdx keeps every element
+/// of its symbol live; annotation slot operands keep their slots live.
+/// StoreGlobalIdx is never removed. Returns true if anything changed.
+bool dead_store_elimination(rtl::Function& fn);
 
 /// Liveness-based dead code elimination of pure instructions.
 /// Annotation operands count as uses (an __annot keeps its operands alive,
@@ -46,11 +68,47 @@ bool dead_code_elimination(rtl::Function& fn);
 /// orphaned forwarders are removed. Returns true if anything changed.
 bool branch_tunneling(rtl::Function& fn);
 
+/// Wall-clock seconds spent in each RTL pass (and in the liveness analysis
+/// driving DCE), accumulated across pipeline rounds. Surfaced per fleet job
+/// so `bench_table1 --jobs=N` reports where compile time goes.
+struct PassTimings {
+  double constprop = 0.0;
+  double cse = 0.0;
+  double forward = 0.0;
+  double dce = 0.0;
+  double deadstore = 0.0;
+  double tunnel = 0.0;
+
+  PassTimings& operator+=(const PassTimings& o) {
+    constprop += o.constprop;
+    cse += o.cse;
+    forward += o.forward;
+    dce += o.dce;
+    deadstore += o.deadstore;
+    tunnel += o.tunnel;
+    return *this;
+  }
+  [[nodiscard]] double total() const {
+    return constprop + cse + forward + dce + deadstore + tunnel;
+  }
+};
+
+struct PipelineOptions {
+  /// Enables the memory passes (forwarding + dead store elimination). Off in
+  /// the "optimization without register allocation" configuration, which by
+  /// construction keeps the pattern code's memory discipline (paper §3.3).
+  bool memory_opts = false;
+  /// When set, per-pass wall time is accumulated here.
+  PassTimings* timings = nullptr;
+};
+
 /// The fixed pass pipeline of the verified configuration: constprop, CSE,
-/// DCE, iterated until fixpoint (bounded). Each applied pass name is appended
-/// to `applied`; `hook`, when set, is invoked after every applied pass.
+/// [forwarding,] DCE, [dead-store,] tunneling, iterated until fixpoint
+/// (bounded). Each applied pass name is appended to `applied`; `hook`, when
+/// set, is invoked after every applied pass.
 void run_standard_pipeline(rtl::Function& fn,
                            std::vector<std::string>* applied,
-                           const PassHook& hook = {});
+                           const PassHook& hook = {},
+                           const PipelineOptions& options = {});
 
 }  // namespace vc::opt

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "support/diagnostics.hpp"
+
 namespace vc::ppc {
 
 Unit unit_of(POp op) {
@@ -58,8 +60,14 @@ void IssueModel::resources(const MInstr& ins, int* reads, int* n_reads,
                            int* writes, int* n_writes) {
   *n_reads = 0;
   *n_writes = 0;
-  auto R = [&](int r) { reads[(*n_reads)++] = r; };
-  auto W = [&](int r) { writes[(*n_writes)++] = r; };
+  auto R = [&](int r) {
+    check(*n_reads < kMaxResourcesPerInstr, "resource read list overflow");
+    reads[(*n_reads)++] = r;
+  };
+  auto W = [&](int r) {
+    check(*n_writes < kMaxResourcesPerInstr, "resource write list overflow");
+    writes[(*n_writes)++] = r;
+  };
   constexpr int kFpr = 32;
   switch (ins.op) {
     case POp::Li: case POp::Lis:

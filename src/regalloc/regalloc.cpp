@@ -5,6 +5,7 @@
 #include <set>
 
 #include "rtl/analysis.hpp"
+#include "support/bitset.hpp"
 
 namespace vc::regalloc {
 namespace {
@@ -41,19 +42,22 @@ Graph build_graph(const Function& fn) {
     g.adj[b].insert(a);
   };
 
+  DenseBitset live(fn.vregs.size());
   for (BlockId b = 0; b < fn.blocks.size(); ++b) {
-    std::set<VReg> live = lv.live_out[b];
+    live = lv.live_out[b];
     const auto& instrs = fn.blocks[b].instrs;
     for (std::size_t i = instrs.size(); i-- > 0;) {
       const Instr& ins = instrs[i];
       const auto d = ins.def();
       if (d) {
         g.present[*d] = true;
-        // A move's source does not interfere with its destination.
-        std::set<VReg> conflict = live;
-        if (ins.op == Opcode::Mov) conflict.erase(ins.src1);
-        for (VReg l : conflict) add_edge(*d, l);
-        live.erase(*d);
+        live.for_each([&](std::size_t l) {
+          // A move's source does not interfere with its destination.
+          if (ins.op == Opcode::Mov && static_cast<VReg>(l) == ins.src1)
+            return;
+          add_edge(*d, static_cast<VReg>(l));
+        });
+        live.reset(*d);
         if (ins.op == Opcode::Mov) {
           g.moves[*d].insert(ins.src1);
           g.moves[ins.src1].insert(*d);
@@ -62,7 +66,7 @@ Graph build_graph(const Function& fn) {
       for (VReg u : ins.uses()) {
         g.present[u] = true;
         ++g.use_count[u];
-        live.insert(u);
+        live.set(u);
       }
     }
   }

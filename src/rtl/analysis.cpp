@@ -40,37 +40,64 @@ std::vector<BlockId> reverse_postorder(const Function& fn) {
 }
 
 Liveness compute_liveness(const Function& fn) {
+  const std::size_t nblocks = fn.blocks.size();
+  const std::size_t nvregs = fn.vregs.size();
   Liveness lv;
-  lv.live_in.assign(fn.blocks.size(), {});
-  lv.live_out.assign(fn.blocks.size(), {});
+  lv.live_in.assign(nblocks, DenseBitset(nvregs));
+  lv.live_out.assign(nblocks, DenseBitset(nvregs));
 
   // Per-block gen (upward-exposed uses) and kill (defs).
-  std::vector<std::set<VReg>> gen(fn.blocks.size());
-  std::vector<std::set<VReg>> kill(fn.blocks.size());
-  for (BlockId b = 0; b < fn.blocks.size(); ++b) {
+  std::vector<DenseBitset> gen(nblocks, DenseBitset(nvregs));
+  std::vector<DenseBitset> kill(nblocks, DenseBitset(nvregs));
+  for (BlockId b = 0; b < nblocks; ++b) {
     for (const Instr& ins : fn.blocks[b].instrs) {
       for (VReg u : ins.uses())
-        if (kill[b].count(u) == 0) gen[b].insert(u);
-      if (auto d = ins.def()) kill[b].insert(*d);
+        if (!kill[b].test(u)) gen[b].set(u);
+      if (auto d = ins.def()) kill[b].set(*d);
     }
   }
 
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (BlockId bi = fn.blocks.size(); bi-- > 0;) {
-      const BlockId b = bi;
-      std::set<VReg> out;
-      for (BlockId s : fn.blocks[b].successors())
-        out.insert(lv.live_in[s].begin(), lv.live_in[s].end());
-      std::set<VReg> in = gen[b];
-      for (VReg v : out)
-        if (kill[b].count(v) == 0) in.insert(v);
-      if (out != lv.live_out[b] || in != lv.live_in[b]) {
-        lv.live_out[b] = std::move(out);
-        lv.live_in[b] = std::move(in);
-        changed = true;
+  const auto preds = predecessors(fn);
+
+  // Backward worklist fixpoint, seeded in postorder so most blocks settle on
+  // the first visit; a block re-enters the list only when a successor's
+  // live-in grows.
+  std::vector<BlockId> worklist;
+  std::vector<bool> queued(nblocks, false);
+  {
+    std::vector<BlockId> rpo = reverse_postorder(fn);
+    for (std::size_t i = rpo.size(); i-- > 0;) {
+      worklist.push_back(rpo[i]);
+      queued[rpo[i]] = true;
+    }
+    // Unreachable blocks still get live sets (some callers iterate all
+    // blocks); one visit each suffices since nothing feeds back into them.
+    for (BlockId b = 0; b < nblocks; ++b)
+      if (!queued[b]) {
+        worklist.push_back(b);
+        queued[b] = true;
       }
+  }
+
+  DenseBitset in(nvregs);
+  while (!worklist.empty()) {
+    const BlockId b = worklist.back();
+    worklist.pop_back();
+    queued[b] = false;
+
+    DenseBitset& out = lv.live_out[b];
+    for (BlockId s : fn.blocks[b].successors()) out.union_with(lv.live_in[s]);
+
+    in = out;
+    in.subtract(kill[b]);
+    in.union_with(gen[b]);
+    if (in != lv.live_in[b]) {
+      lv.live_in[b] = in;
+      for (BlockId p : preds[b])
+        if (!queued[p]) {
+          queued[p] = true;
+          worklist.push_back(p);
+        }
     }
   }
   return lv;
@@ -120,6 +147,18 @@ bool dominates(const std::vector<BlockId>& idom, BlockId a, BlockId b) {
     if (b == 0) return false;
     b = idom[b];
   }
+}
+
+std::vector<std::vector<BlockId>> dominator_children(
+    const std::vector<BlockId>& idom) {
+  std::vector<std::vector<BlockId>> children(idom.size());
+  for (BlockId b = 0; b < idom.size(); ++b) {
+    if (b == 0 || idom[b] == kNoBlock) continue;
+    children[idom[b]].push_back(b);
+  }
+  // Block ids ascend as idom runs over them, so each list is already sorted;
+  // the preorder walk over these lists is deterministic.
+  return children;
 }
 
 void remove_unreachable_blocks(Function& fn) {

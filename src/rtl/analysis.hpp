@@ -3,10 +3,10 @@
 // allocator, and the translation validators.
 #pragma once
 
-#include <set>
 #include <vector>
 
 #include "rtl/rtl.hpp"
+#include "support/bitset.hpp"
 
 namespace vc::rtl {
 
@@ -16,12 +16,16 @@ std::vector<std::vector<BlockId>> predecessors(const Function& fn);
 /// Blocks reachable from entry, in reverse postorder.
 std::vector<BlockId> reverse_postorder(const Function& fn);
 
-/// Per-block live-in / live-out virtual register sets.
+/// Per-block live-in / live-out virtual register sets, as dense bitsets over
+/// the vreg universe (index = vreg number, size = fn.vregs.size()).
 struct Liveness {
-  std::vector<std::set<VReg>> live_in;
-  std::vector<std::set<VReg>> live_out;
+  std::vector<DenseBitset> live_in;
+  std::vector<DenseBitset> live_out;
 };
 
+/// Backward worklist fixpoint over DenseBitsets: each block's transfer is a
+/// handful of word ops and a block is revisited only when a successor's
+/// live-in actually grows.
 Liveness compute_liveness(const Function& fn);
 
 /// Immediate dominator of every reachable block (entry's idom is itself);
@@ -31,6 +35,12 @@ std::vector<BlockId> immediate_dominators(const Function& fn);
 
 /// True if `a` dominates `b` given an idom array.
 bool dominates(const std::vector<BlockId>& idom, BlockId a, BlockId b);
+
+/// Children lists of the dominator tree implied by `idom` (entry is the root;
+/// unreachable blocks have no parent and no children). children[b] is sorted
+/// ascending, so a preorder walk from the entry is deterministic.
+std::vector<std::vector<BlockId>> dominator_children(
+    const std::vector<BlockId>& idom);
 
 /// Removes blocks unreachable from entry, remapping branch targets.
 /// Applied by every compiler configuration after lowering.

@@ -7,12 +7,15 @@
 
 #include "machine/machine.hpp"
 #include "minic/interp.hpp"
+#include "rtl/analysis.hpp"
 #include "rtl/exec.hpp"
+#include "support/bitset.hpp"
 #include "support/rng.hpp"
 
 namespace vc::validate {
 
 using minic::Value;
+using rtl::BlockId;
 using rtl::Instr;
 using rtl::Opcode;
 using rtl::VReg;
@@ -20,6 +23,26 @@ using rtl::VReg;
 // ---------------------------------------------------------------------------
 // 1. Symbolic structure-preserving checker
 // ---------------------------------------------------------------------------
+//
+// The checker symbolically executes both versions in dominator-tree preorder
+// (scoped environments with an undo log), so equivalences established in a
+// block are visible in the blocks it dominates — matching the reach of the
+// scoped CSE. RTL is not SSA, so an inherited binding about vreg v is only
+// trusted when it cannot be stale: v is never defined (it always holds its
+// initial value), or it has exactly one definition site and the binding was
+// made there. Everything else falls back to an opaque per-block entry value.
+//
+// Memory rewrites (store-to-load forwarding) are justified by an independent
+// two-phase argument:
+//   phase 1: a register-free must-availability dataflow over the *before*
+//     function computes, for every static memory location, the write/read
+//     site ("token") whose value the location holds on every incoming path;
+//   phase 2: during the symbolic walk, each store/first-load site records the
+//     symbolic value of its token. Availability at a use implies the token's
+//     site dominates it (a must-fact survives only if every path runs
+//     through its creation site), so the recording walk has already visited
+//     it. A load rewritten to a Mov is accepted iff the Mov's source has
+//     exactly the token's recorded symbolic value.
 
 namespace {
 
@@ -39,30 +62,51 @@ class Interner {
   Id next_ = 0;
 };
 
-/// Symbolic register environment over a shared interner; leaves are
-/// block-entry register values.
+constexpr Interner::Id kNoId = 0xFFFFFFFF;
+
+/// Dominator-scoped symbolic register environment over a shared interner.
+/// Bindings are pushed while walking a block's subtree and rolled back when
+/// leaving it; validity of inherited bindings follows the single-def rule
+/// described above.
 class SymbolicEnv {
  public:
   using Id = Interner::Id;
 
-  explicit SymbolicEnv(Interner& interner) : interner_(interner) {}
+  SymbolicEnv(Interner& interner, const rtl::Function& fn)
+      : interner_(interner) {
+    def_count_.assign(fn.vregs.size(), 0);
+    for (const auto& bb : fn.blocks)
+      for (const Instr& ins : bb.instrs)
+        if (auto d = ins.def()) ++def_count_[*d];
+    bindings_.assign(fn.vregs.size(), Binding{});
+  }
 
-  Id entry_value(VReg v) { return intern("entry#" + std::to_string(v)); }
-
-  /// A fresh value both sides agree on (used for paired memory loads).
-  Id paired_load_value(rtl::BlockId b, std::size_t i) {
-    return intern("load#" + std::to_string(b) + "#" + std::to_string(i));
+  void enter_block(BlockId b) { cur_block_ = b; }
+  [[nodiscard]] std::size_t mark() const { return log_.size(); }
+  void rollback(std::size_t m) {
+    while (log_.size() > m) {
+      bindings_[log_.back().first] = log_.back().second;
+      log_.pop_back();
+    }
   }
 
   Id value_of(VReg v) {
-    auto it = regs_.find(v);
-    if (it != regs_.end()) return it->second;
-    const Id id = entry_value(v);
-    regs_[v] = id;
+    const Binding& b = bindings_[v];
+    if (b.live && (b.block == cur_block_ || def_count_[v] == 0 ||
+                   (def_count_[v] == 1 && b.from_def)))
+      return b.id;
+    // Opaque entry value. Never-defined vregs hold their initial value
+    // everywhere (one global leaf); anything else is pinned to this block.
+    const Id id = def_count_[v] == 0
+                      ? intern("entry#" + std::to_string(v))
+                      : intern("entry#" + std::to_string(cur_block_) + "#" +
+                               std::to_string(v));
+    set(v, {id, cur_block_, true, false});
     return id;
   }
 
-  void define(VReg v, Id id) { regs_[v] = id; }
+  /// Binds v at its definition site.
+  void define(VReg v, Id id) { set(v, {id, cur_block_, true, true}); }
 
   Id compute(const Instr& ins) {
     switch (ins.op) {
@@ -93,6 +137,13 @@ class SymbolicEnv {
   }
 
  private:
+  struct Binding {
+    Id id = kNoId;
+    BlockId block = 0;
+    bool live = false;
+    bool from_def = false;
+  };
+
   static bool is_commutative(minic::BinOp op) {
     switch (op) {
       case minic::BinOp::IAdd: case minic::BinOp::IMul:
@@ -107,10 +158,177 @@ class SymbolicEnv {
     }
   }
 
+  void set(VReg v, Binding b) {
+    log_.emplace_back(v, bindings_[v]);
+    bindings_[v] = b;
+  }
+
   Id intern(const std::string& key) { return interner_.intern(key); }
 
   Interner& interner_;
-  std::map<VReg, Id> regs_;
+  BlockId cur_block_ = 0;
+  std::vector<int> def_count_;
+  std::vector<Binding> bindings_;
+  std::vector<std::pair<VReg, Binding>> log_;
+};
+
+/// Field-by-field instruction equality (f64 immediates by bit pattern).
+bool instr_equal(const Instr& x, const Instr& y) {
+  std::uint64_t fx = 0, fy = 0;
+  std::memcpy(&fx, &x.f64_imm, sizeof fx);
+  std::memcpy(&fy, &y.f64_imm, sizeof fy);
+  if (x.op != y.op || x.dst != y.dst || x.src1 != y.src1 ||
+      x.src2 != y.src2 || x.int_imm != y.int_imm || fx != fy ||
+      x.un_op != y.un_op || x.bin_op != y.bin_op || x.sym != y.sym ||
+      x.elem != y.elem || x.slot != y.slot ||
+      x.param_index != y.param_index || x.target != y.target ||
+      x.target2 != y.target2 || x.annot_format != y.annot_format ||
+      x.annot_args.size() != y.annot_args.size())
+    return false;
+  for (std::size_t k = 0; k < x.annot_args.size(); ++k) {
+    const auto& ax = x.annot_args[k];
+    const auto& ay = y.annot_args[k];
+    if (ax.is_slot != ay.is_slot || ax.vreg != ay.vreg || ax.slot != ay.slot)
+      return false;
+  }
+  return true;
+}
+
+/// Static memory locations of a function: stack slots first, then one index
+/// per distinct (symbol, element) constant address. Shared by the
+/// availability (phase 1) and dead-store checkers.
+struct LocIndex {
+  std::size_t nslots = 0;
+  std::map<std::pair<std::string, std::int32_t>, std::size_t> global_index;
+  std::map<std::string, std::vector<std::size_t>> by_sym;
+  std::size_t nlocs = 0;
+
+  explicit LocIndex(const rtl::Function& fn) : nslots(fn.slots.size()) {
+    nlocs = nslots;
+    for (const auto& bb : fn.blocks)
+      for (const Instr& ins : bb.instrs)
+        if (ins.op == Opcode::LoadGlobal || ins.op == Opcode::StoreGlobal) {
+          const auto key = std::make_pair(ins.sym, ins.elem);
+          if (global_index.emplace(key, nlocs).second) {
+            by_sym[ins.sym].push_back(nlocs);
+            ++nlocs;
+          }
+        }
+  }
+
+  [[nodiscard]] std::size_t loc_of(const Instr& ins) const {
+    if (ins.op == Opcode::LoadStack || ins.op == Opcode::StoreStack)
+      return ins.slot;
+    return global_index.at({ins.sym, ins.elem});
+  }
+};
+
+constexpr std::int32_t kNoToken = -1;
+
+/// Phase 1: register-free must-availability of memory values over the
+/// *before* function. A token names the site whose write (or first read)
+/// produced a location's current value; facts meet by intersection, so an
+/// available token's site lies on every path (it dominates the use).
+struct MemAvailability {
+  LocIndex locs;
+  std::vector<std::vector<std::int32_t>> token_of;  // site -> its token
+  std::vector<std::vector<std::int32_t>> avail_at;  // load site -> token
+  std::int32_t ntokens = 0;
+
+  explicit MemAvailability(const rtl::Function& fn) : locs(fn) {
+    token_of.resize(fn.blocks.size());
+    avail_at.resize(fn.blocks.size());
+    for (BlockId b = 0; b < fn.blocks.size(); ++b) {
+      token_of[b].assign(fn.blocks[b].instrs.size(), kNoToken);
+      avail_at[b].assign(fn.blocks[b].instrs.size(), kNoToken);
+      for (std::size_t i = 0; i < fn.blocks[b].instrs.size(); ++i) {
+        const Opcode op = fn.blocks[b].instrs[i].op;
+        if (op == Opcode::LoadStack || op == Opcode::LoadGlobal ||
+            op == Opcode::StoreStack || op == Opcode::StoreGlobal)
+          token_of[b][i] = ntokens++;
+      }
+    }
+
+    // Fixpoint over reachable blocks; out-facts start at TOP (optimistic)
+    // and only shrink toward the must-intersection.
+    const std::vector<BlockId> rpo = rtl::reverse_postorder(fn);
+    const auto preds = rtl::predecessors(fn);
+    struct State {
+      bool top = true;
+      std::vector<std::int32_t> fact;
+    };
+    std::vector<State> out(fn.blocks.size());
+
+    auto entry_state = [&](BlockId b) {
+      State in;
+      if (b == rpo.front()) {
+        in.top = false;
+        in.fact.assign(locs.nlocs, kNoToken);
+        return in;
+      }
+      for (BlockId p : preds[b]) {
+        if (out[p].top) continue;
+        if (in.top) {
+          in = out[p];
+        } else {
+          for (std::size_t l = 0; l < in.fact.size(); ++l)
+            if (in.fact[l] != out[p].fact[l]) in.fact[l] = kNoToken;
+        }
+      }
+      return in;
+    };
+
+    auto apply = [&](BlockId b, std::size_t i, const Instr& ins, State& s) {
+      switch (ins.op) {
+        case Opcode::StoreStack:
+        case Opcode::StoreGlobal:
+          s.fact[locs.loc_of(ins)] = token_of[b][i];
+          break;
+        case Opcode::StoreGlobalIdx: {
+          auto it = locs.by_sym.find(ins.sym);
+          if (it != locs.by_sym.end())
+            for (std::size_t l : it->second) s.fact[l] = kNoToken;
+          break;
+        }
+        case Opcode::LoadStack:
+        case Opcode::LoadGlobal: {
+          const std::size_t l = locs.loc_of(ins);
+          if (s.fact[l] == kNoToken) s.fact[l] = token_of[b][i];
+          break;
+        }
+        default:
+          break;  // register effects don't touch memory facts
+      }
+    };
+
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (BlockId b : rpo) {
+        State in = entry_state(b);
+        if (in.top) continue;
+        for (std::size_t i = 0; i < fn.blocks[b].instrs.size(); ++i)
+          apply(b, i, fn.blocks[b].instrs[i], in);
+        if (out[b].top || out[b].fact != in.fact) {
+          out[b] = std::move(in);
+          changed = true;
+        }
+      }
+    }
+
+    // Final replay: record, at every static load site, the token available
+    // just before it.
+    for (BlockId b : rpo) {
+      State s = entry_state(b);
+      if (s.top) continue;
+      for (std::size_t i = 0; i < fn.blocks[b].instrs.size(); ++i) {
+        const Instr& ins = fn.blocks[b].instrs[i];
+        if (ins.op == Opcode::LoadStack || ins.op == Opcode::LoadGlobal)
+          avail_at[b][i] = s.fact[locs.loc_of(ins)];
+        apply(b, i, ins, s);
+      }
+    }
+  }
 };
 
 }  // namespace
@@ -119,29 +337,62 @@ CheckResult check_structure_preserving(const rtl::Function& before,
                                        const rtl::Function& after) {
   if (before.blocks.size() != after.blocks.size())
     return CheckResult::fail("block count changed");
-
-  for (rtl::BlockId b = 0; b < before.blocks.size(); ++b) {
-    const auto& ib = before.blocks[b].instrs;
-    const auto& ia = after.blocks[b].instrs;
-    if (ib.size() != ia.size())
+  for (BlockId b = 0; b < before.blocks.size(); ++b)
+    if (before.blocks[b].instrs.size() != after.blocks[b].instrs.size())
       return CheckResult::fail("instruction count changed in bb" +
                                std::to_string(b));
 
-    // One shared interner so equal keys get equal ids on both sides; two
-    // register environments.
-    Interner interner;
-    SymbolicEnv env_b(interner);
-    SymbolicEnv env_a(interner);
+  const MemAvailability mem(before);
+  std::vector<Interner::Id> token_value(
+      static_cast<std::size_t>(mem.ntokens), kNoId);
+
+  // One shared interner for the whole function so equal keys get equal ids
+  // on both sides and across blocks.
+  Interner interner;
+  SymbolicEnv env_b(interner, before);
+  SymbolicEnv env_a(interner, after);
+
+  const std::vector<BlockId> idom = rtl::immediate_dominators(before);
+  const auto children = rtl::dominator_children(idom);
+
+  CheckResult result = CheckResult::pass();
+
+  // Walks one block's instruction pairs; returns false (with `result` set)
+  // on the first mismatch.
+  auto walk_block = [&](BlockId b) {
+    const auto& ib = before.blocks[b].instrs;
+    const auto& ia = after.blocks[b].instrs;
+    env_b.enter_block(b);
+    env_a.enter_block(b);
     auto fail_at = [&](std::size_t i, const std::string& what) {
-      return CheckResult::fail("bb" + std::to_string(b) + " instr " +
-                               std::to_string(i) + ": " + what);
+      result = CheckResult::fail("bb" + std::to_string(b) + " instr " +
+                                 std::to_string(i) + ": " + what);
+      return false;
     };
 
     for (std::size_t i = 0; i < ib.size(); ++i) {
       const Instr& x = ib[i];
       const Instr& y = ia[i];
-      if (x.is_pure() != y.is_pure())
-        return fail_at(i, "purity mismatch");
+
+      // A forwarded load: the before side reads memory, the after side
+      // copies from a register that must hold the location's current value.
+      if ((x.op == Opcode::LoadStack || x.op == Opcode::LoadGlobal) &&
+          y.op == Opcode::Mov) {
+        if (x.dst != y.dst) return fail_at(i, "forwarded load destination");
+        const std::int32_t tok = mem.avail_at[b][i];
+        if (tok == kNoToken)
+          return fail_at(i, "forwarded load without available value");
+        const Interner::Id tv = token_value[static_cast<std::size_t>(tok)];
+        if (tv == kNoId)
+          return fail_at(i, "forwarded load from unrecorded site");
+        if (env_a.value_of(y.src1) != tv)
+          return fail_at(i, "forwarded value mismatch");
+        env_b.define(x.dst, tv);
+        env_a.define(y.dst, tv);
+        continue;
+      }
+
+      if (x.is_pure() != y.is_pure()) return fail_at(i, "purity mismatch");
       if (x.is_pure()) {
         const auto dx = x.def();
         const auto dy = y.def();
@@ -159,11 +410,16 @@ CheckResult check_structure_preserving(const rtl::Function& before,
       if (x.op != y.op) return fail_at(i, "opcode mismatch");
       switch (x.op) {
         case Opcode::StoreGlobal:
-          if (x.sym != y.sym || x.elem != y.elem)
+        case Opcode::StoreStack: {
+          if (x.sym != y.sym || x.elem != y.elem || x.slot != y.slot)
             return fail_at(i, "store target mismatch");
-          if (env_b.value_of(x.src1) != env_a.value_of(y.src1))
+          const auto sv_b = env_b.value_of(x.src1);
+          if (sv_b != env_a.value_of(y.src1))
             return fail_at(i, "stored value mismatch");
+          // Record the stored symbolic value for forwarding justification.
+          token_value[static_cast<std::size_t>(mem.token_of[b][i])] = sv_b;
           break;
+        }
         case Opcode::StoreGlobalIdx:
           if (x.sym != y.sym) return fail_at(i, "store target mismatch");
           if (env_b.value_of(x.src1) != env_a.value_of(y.src1) ||
@@ -171,25 +427,38 @@ CheckResult check_structure_preserving(const rtl::Function& before,
             return fail_at(i, "store operand mismatch");
           break;
         case Opcode::LoadGlobal:
-        case Opcode::LoadGlobalIdx:
         case Opcode::LoadStack: {
           if (x.sym != y.sym || x.elem != y.elem || x.slot != y.slot)
             return fail_at(i, "load source mismatch");
-          if (x.op == Opcode::LoadGlobalIdx &&
-              env_b.value_of(x.src1) != env_a.value_of(y.src1))
-            return fail_at(i, "load index mismatch");
           if (x.dst != y.dst) return fail_at(i, "load destination mismatch");
-          // Both sides loaded an arbitrary-but-equal value. The two
-          // environments share one interner, so the ids coincide.
-          env_b.define(x.dst, env_b.paired_load_value(b, i));
-          env_a.define(y.dst, env_a.paired_load_value(b, i));
+          // If the location's value is known (a dominating store or earlier
+          // load), both sides observe exactly that value; otherwise this
+          // load is itself the location's token.
+          const std::int32_t tok = mem.avail_at[b][i];
+          Interner::Id v = tok == kNoToken
+                               ? kNoId
+                               : token_value[static_cast<std::size_t>(tok)];
+          if (v == kNoId) {
+            v = interner.intern("load#" + std::to_string(b) + "#" +
+                                std::to_string(i));
+            token_value[static_cast<std::size_t>(mem.token_of[b][i])] = v;
+          }
+          env_b.define(x.dst, v);
+          env_a.define(y.dst, v);
           break;
         }
-        case Opcode::StoreStack:
-          if (x.slot != y.slot) return fail_at(i, "slot mismatch");
+        case Opcode::LoadGlobalIdx: {
+          if (x.sym != y.sym) return fail_at(i, "load source mismatch");
           if (env_b.value_of(x.src1) != env_a.value_of(y.src1))
-            return fail_at(i, "stored value mismatch");
+            return fail_at(i, "load index mismatch");
+          if (x.dst != y.dst) return fail_at(i, "load destination mismatch");
+          // Both sides loaded an arbitrary-but-equal value.
+          const auto v = interner.intern("loadx#" + std::to_string(b) + "#" +
+                                         std::to_string(i));
+          env_b.define(x.dst, v);
+          env_a.define(y.dst, v);
           break;
+        }
         case Opcode::Jump:
           if (x.target != y.target) return fail_at(i, "jump target mismatch");
           break;
@@ -235,6 +504,164 @@ CheckResult check_structure_preserving(const rtl::Function& before,
           return fail_at(i, "unexpected impure opcode");
       }
     }
+    return true;
+  };
+
+  // Preorder walk of before's dominator tree (after's CFG is checked equal
+  // edge by edge as terminators are compared).
+  struct Frame {
+    BlockId block;
+    std::size_t next_child = 0;
+    std::size_t mark_b, mark_a;
+  };
+  std::vector<Frame> stack;
+  std::vector<bool> walked(before.blocks.size(), false);
+  stack.push_back({0, 0, env_b.mark(), env_a.mark()});
+  walked[0] = true;
+  if (!walk_block(0)) return result;
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_child < children[f.block].size()) {
+      const BlockId c = children[f.block][f.next_child++];
+      const std::size_t mb = env_b.mark();
+      const std::size_t ma = env_a.mark();
+      stack.push_back({c, 0, mb, ma});
+      walked[c] = true;
+      if (!walk_block(c)) return result;
+    } else {
+      env_b.rollback(f.mark_b);
+      env_a.rollback(f.mark_a);
+      stack.pop_back();
+    }
+  }
+
+  // Unreachable blocks carry no proof obligations but must not be rewritten.
+  for (BlockId b = 0; b < before.blocks.size(); ++b) {
+    if (walked[b]) continue;
+    for (std::size_t i = 0; i < before.blocks[b].instrs.size(); ++i)
+      if (!instr_equal(before.blocks[b].instrs[i], after.blocks[b].instrs[i]))
+        return CheckResult::fail("unreachable bb" + std::to_string(b) +
+                                 " was rewritten");
+  }
+  return CheckResult::pass();
+}
+
+// ---------------------------------------------------------------------------
+// 1b. Dead-store-elimination checker
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Backward transfer of one before-instruction over the live-location set;
+/// mirrors the independent liveness the checker computes (NOT the pass's).
+void location_transfer(const Instr& ins, const LocIndex& locs,
+                       DenseBitset& live) {
+  switch (ins.op) {
+    case Opcode::Ret:
+      live.clear();
+      for (const auto& [sym, indices] : locs.by_sym)
+        for (std::size_t l : indices) live.set(l);
+      break;
+    case Opcode::LoadStack:
+    case Opcode::LoadGlobal:
+      live.set(locs.loc_of(ins));
+      break;
+    case Opcode::LoadGlobalIdx: {
+      auto it = locs.by_sym.find(ins.sym);
+      if (it != locs.by_sym.end())
+        for (std::size_t l : it->second) live.set(l);
+      break;
+    }
+    case Opcode::Annot:
+      for (const auto& a : ins.annot_args)
+        if (a.is_slot) live.set(a.slot);
+      break;
+    case Opcode::StoreStack:
+    case Opcode::StoreGlobal:
+      live.reset(locs.loc_of(ins));
+      break;
+    default:
+      break;  // StoreGlobalIdx: a may-write kills nothing
+  }
+}
+
+}  // namespace
+
+CheckResult check_dead_store_elimination(const rtl::Function& before,
+                                         const rtl::Function& after) {
+  if (before.blocks.size() != after.blocks.size())
+    return CheckResult::fail("block count changed");
+
+  const LocIndex locs(before);
+  const std::size_t nlocs = locs.nlocs == 0 ? 1 : locs.nlocs;
+
+  // Location liveness on `before` (independent of the pass).
+  std::vector<DenseBitset> live_in(before.blocks.size(), DenseBitset(nlocs));
+  std::vector<DenseBitset> live_out(before.blocks.size(), DenseBitset(nlocs));
+  const std::vector<BlockId> rpo = rtl::reverse_postorder(before);
+  bool changed = true;
+  DenseBitset live(nlocs);
+  while (changed) {
+    changed = false;
+    for (std::size_t i = rpo.size(); i-- > 0;) {
+      const BlockId b = rpo[i];
+      for (BlockId s : before.blocks[b].successors())
+        live_out[b].union_with(live_in[s]);
+      live = live_out[b];
+      const auto& instrs = before.blocks[b].instrs;
+      for (std::size_t j = instrs.size(); j-- > 0;)
+        location_transfer(instrs[j], locs, live);
+      if (live != live_in[b]) {
+        live_in[b] = live;
+        changed = true;
+      }
+    }
+  }
+
+  std::vector<bool> reachable(before.blocks.size(), false);
+  for (BlockId b : rpo) reachable[b] = true;
+
+  for (BlockId b = 0; b < before.blocks.size(); ++b) {
+    const auto& ib = before.blocks[b].instrs;
+    const auto& ia = after.blocks[b].instrs;
+    auto fail_at = [&](std::size_t i, const std::string& what) {
+      return CheckResult::fail("bb" + std::to_string(b) + " instr " +
+                               std::to_string(i) + ": " + what);
+    };
+
+    if (!reachable[b]) {
+      // No liveness facts here; require verbatim preservation.
+      if (ib.size() != ia.size())
+        return CheckResult::fail("unreachable bb" + std::to_string(b) +
+                                 " was rewritten");
+      for (std::size_t i = 0; i < ib.size(); ++i)
+        if (!instr_equal(ib[i], ia[i]))
+          return CheckResult::fail("unreachable bb" + std::to_string(b) +
+                                   " was rewritten");
+      continue;
+    }
+
+    // Backward alignment: matched instructions must be identical; anything
+    // the after side dropped must be a store whose location is dead below
+    // the removal point.
+    live = live_out[b];
+    std::size_t j = ia.size();
+    for (std::size_t i = ib.size(); i-- > 0;) {
+      const Instr& x = ib[i];
+      if (j > 0 && instr_equal(x, ia[j - 1])) {
+        --j;
+        location_transfer(x, locs, live);
+        continue;
+      }
+      if (x.op != Opcode::StoreStack && x.op != Opcode::StoreGlobal)
+        return fail_at(i, "removed instruction is not a store");
+      if (live.test(locs.loc_of(x)))
+        return fail_at(i, "removed store to a live location");
+      location_transfer(x, locs, live);
+    }
+    if (j != 0)
+      return CheckResult::fail("bb" + std::to_string(b) +
+                               ": unmatched added instructions");
   }
   return CheckResult::pass();
 }
@@ -432,10 +859,15 @@ driver::Compiled validated_compile(const minic::Program& program,
                            const rtl::Function& before,
                            const rtl::Function& after) {
     if (pass == "lower") return;  // snapshot only; nothing to compare yet
-    if (pass == "cse") {
+    if (pass == "cse" || pass == "forward") {
       const CheckResult structural = check_structure_preserving(before, after);
       if (!structural.ok)
         throw ValidationError(pass, after.name + ": " + structural.message);
+    }
+    if (pass == "deadstore") {
+      const CheckResult ds = check_dead_store_elimination(before, after);
+      if (!ds.ok)
+        throw ValidationError(pass, after.name + ": " + ds.message);
     }
     const CheckResult diff =
         differential_check(program, before, after, n_tests, seed);

@@ -2,21 +2,30 @@
 // the paper discuss verified translation validation as the equivalent
 // guarantee obtainable at lower cost).
 //
-// Three checkers, composed by `validated_compile`:
+// Four checkers, composed by `validated_compile`:
 //
 //  1. `check_structure_preserving` — a symbolic validator for rewrites that
-//     keep the CFG and instruction count intact (our CSE/copy-propagation):
-//     both versions are symbolically executed block by block under
-//     hash-consed value numbering; every instruction pair must define the
-//     same destination with an equivalent value and perform identical side
-//     effects. A pass accepted by this checker is semantics-preserving.
+//     keep the CFG and instruction count intact (CSE/copy-propagation and
+//     store-to-load forwarding): both versions are symbolically executed in
+//     dominator-tree preorder under hash-consed value numbering; every
+//     instruction pair must define the same destination with an equivalent
+//     value and perform identical side effects. Memory rewrites are checked
+//     against an independent must-availability analysis: a load replaced by
+//     a Mov is accepted only when the moved value provably equals the
+//     location's current content on every path. A pass accepted by this
+//     checker is semantics-preserving.
 //
-//  2. `differential_check` — bounded randomized equivalence of two RTL
+//  2. `check_dead_store_elimination` — accepts removal of StoreStack /
+//     StoreGlobal instructions that an independent backward location-
+//     liveness analysis on the *before* function proves dead; everything
+//     else must be preserved verbatim.
+//
+//  3. `differential_check` — bounded randomized equivalence of two RTL
 //     versions of a function: both run on the RTL executor with identical
 //     random inputs and global states; results, all globals, and annotation
 //     traces must agree bit-exactly (runtime traps must coincide).
 //
-//  3. `cross_check_machine` — end-to-end: the linked binary on the machine
+//  4. `cross_check_machine` — end-to-end: the linked binary on the machine
 //     simulator against the mini-C interpreter over stateful call sequences
 //     (covers register allocation, code emission, encoding, linking).
 //
@@ -41,9 +50,16 @@ struct CheckResult {
   static CheckResult fail(std::string m) { return {false, std::move(m)}; }
 };
 
-/// Symbolic equivalence for CFG- and count-preserving rewrites (CSE).
+/// Symbolic equivalence for CFG- and count-preserving rewrites (CSE and
+/// memory forwarding).
 CheckResult check_structure_preserving(const rtl::Function& before,
                                        const rtl::Function& after);
+
+/// Validates a dead-store-elimination step: `after` must be `before` minus
+/// only StoreStack/StoreGlobal instructions whose location is provably dead
+/// (never read again on any path) in `before`.
+CheckResult check_dead_store_elimination(const rtl::Function& before,
+                                         const rtl::Function& after);
 
 /// Randomized differential equivalence of two RTL versions of one function
 /// of `program` (globals/types are taken from the program).
@@ -60,10 +76,11 @@ CheckResult cross_check_machine(const minic::Program& program,
                                 std::uint64_t seed);
 
 /// Compiles `program` under `config` with every pass validated:
-/// `check_structure_preserving` for CSE, `differential_check` for every
-/// applied pass (including lowering cleanup and register allocation), and a
-/// final `cross_check_machine` per function. Throws ValidationError on the
-/// first rejected step.
+/// `check_structure_preserving` for CSE and forwarding,
+/// `check_dead_store_elimination` for the dead-store pass,
+/// `differential_check` for every applied pass (including lowering cleanup
+/// and register allocation), and a final `cross_check_machine` per function.
+/// Throws ValidationError on the first rejected step.
 driver::Compiled validated_compile(const minic::Program& program,
                                    driver::Config config, int n_tests = 12,
                                    std::uint64_t seed = 1);

@@ -170,16 +170,64 @@ class Analyzer {
     std::int32_t imm = 0;
   };
 
+  /// The GPR an instruction defines, or -1. Used by the copy tracker; listing
+  /// a non-GPR destination here is conservative (it only drops equalities).
+  static int def_gpr(const MInstr& m) {
+    switch (m.op) {
+      case POp::Li: case POp::Lis: case POp::Ori: case POp::Xori:
+      case POp::Addi: case POp::Mr: case POp::Add: case POp::Subf:
+      case POp::Mullw: case POp::Divw: case POp::Neg: case POp::And:
+      case POp::Or: case POp::Xor: case POp::Nor: case POp::Slw:
+      case POp::Srw: case POp::Sraw: case POp::Rlwinm: case POp::Mfcr:
+      case POp::Fcti: case POp::Lwz: case POp::Lwzx:
+        return m.rd;
+      default:
+        return -1;
+    }
+  }
+
+  /// The GPR whose value a register-to-register copy duplicates, or -1.
+  static int copy_src(const MInstr& m) {
+    if (m.op == POp::Mr) return m.ra;
+    if ((m.op == POp::Addi || m.op == POp::Ori) && m.imm == 0) return m.ra;
+    return -1;
+  }
+
   void transfer_block(int b, AbsState* s, bool record) {
     const MachineBlock& bb = cfg_.blocks[static_cast<std::size_t>(b)];
     // Track the most recent compare writing each CR field in this block.
     PendingCmp cr_state[8];
+    // Block-local copy classes: root[i] is the representative of the set of
+    // registers known to hold the same value as r_i. Lets the terminator's
+    // compare refine every copy of the tested register in refine_edge —
+    // without this, a fact on the compared register is lost whenever the
+    // optimizer routed the dominating use through a different copy.
+    std::array<std::uint8_t, 32> root;
+    for (int i = 0; i < 32; ++i) root[i] = static_cast<std::uint8_t>(i);
+    auto detach = [&root](int d) {
+      const auto du = static_cast<std::uint8_t>(d);
+      if (root[d] != du) {  // non-representative member: just leave the class
+        root[d] = du;
+        return;
+      }
+      int nrep = -1;  // representative dies: promote the first other member
+      for (int j = 0; j < 32; ++j)
+        if (j != d && root[j] == du) {
+          if (nrep < 0) nrep = j;
+          root[j] = static_cast<std::uint8_t>(nrep);
+        }
+    };
 
     std::uint32_t addr = bb.start;
     for (std::size_t i = 0; i < bb.instrs.size(); ++i, addr += 4) {
       apply_constraints(addr, s);
       const MInstr& m = bb.instrs[i];
       transfer_instr(m, s, record, b, static_cast<int>(i), addr);
+      if (const int d = def_gpr(m); d >= 0) {
+        const int src = copy_src(m);
+        detach(d);
+        if (src >= 0 && src != d) root[d] = root[src];
+      }
       switch (m.op) {
         case POp::Cmpw:
           cr_state[m.crf] = PendingCmp{true, true, m.ra, m.rb, 0};
@@ -217,6 +265,7 @@ class Analyzer {
                            : PendingCmp{};
       }
     }
+    block_copies_[b] = root;
   }
 
   /// Refines the post-block state along successor edge `k` using the
@@ -269,8 +318,26 @@ class Analyzer {
       s.reachable = false;
       return s;
     }
-    a = a2;
-    if (cmp.rhs >= 0) s.gpr[cmp.rhs] = b2;
+    // Apply each refinement to the whole copy class of the tested register:
+    // every member holds the same concrete value, so meeting its interval
+    // with the refined one stays sound (and an empty meet proves the edge
+    // infeasible).
+    const auto& root = block_copies_.at(b);
+    auto apply_class = [&](int reg, const Interval& refined) {
+      const std::uint8_t r = root[reg];
+      for (int i = 0; i < 32; ++i) {
+        if (root[i] != r) continue;
+        const Interval met = s.gpr[i].meet(refined);
+        if (met.is_bottom()) {
+          s.reachable = false;
+          return;
+        }
+        s.gpr[i] = met;
+      }
+    };
+    apply_class(cmp.lhs, a2);
+    if (!s.reachable) return s;
+    if (cmp.rhs >= 0) apply_class(cmp.rhs, b2);
     return s;
   }
 
@@ -443,6 +510,9 @@ class Analyzer {
   const AnnotIndex& annots_;
   ValueAnalysisResult result_;
   std::map<int, PendingCmp> last_cmp_;
+  // Per-block copy classes at the terminator (position-independent within
+  // the block walk, so one snapshot per block suffices).
+  std::map<int, std::array<std::uint8_t, 32>> block_copies_;
 };
 
 }  // namespace

@@ -76,10 +76,30 @@ std::optional<std::int64_t> derive_bound(const Cfg& cfg,
     // add T,C,X ; mr C,T pair.
     int defs = 0;
     bool step_ok = false;
-    int reads[16];
-    int writes[16];
+    int reads[ppc::IssueModel::kMaxResourcesPerInstr];
+    int writes[ppc::IssueModel::kMaxResourcesPerInstr];
     int n_reads = 0;
     int n_writes = 0;
+    // Is `reg` exactly 1 just before instruction `i` of block `b`? The last
+    // in-block definition wins; with no in-block definition, fall back to the
+    // value analysis' block-entry interval — CSE hoists the step constant out
+    // of the loop, so a same-block `li reg, 1` is not guaranteed to exist.
+    const auto reg_is_one = [&](const MachineBlock& mb, int b, std::size_t i,
+                                int reg) {
+      int r2[ppc::IssueModel::kMaxResourcesPerInstr];
+      int w2[ppc::IssueModel::kMaxResourcesPerInstr];
+      int nr2 = 0;
+      int nw2 = 0;
+      for (std::size_t j = i; j > 0; --j) {
+        const MInstr& def = mb.instrs[j - 1];
+        ppc::IssueModel::resources(def, r2, &nr2, w2, &nw2);
+        for (int k = 0; k < nw2; ++k)
+          if (w2[k] == reg) return def.op == POp::Li && def.imm == 1;
+      }
+      const Interval& iv =
+          values.block_in[static_cast<std::size_t>(b)].gpr[reg];
+      return !iv.is_bottom() && iv.lo() == 1 && iv.hi() == 1;
+    };
     for (int b : loop.blocks) {
       const MachineBlock& mb = cfg.blocks[static_cast<std::size_t>(b)];
       for (std::size_t i = 0; i < mb.instrs.size(); ++i) {
@@ -95,14 +115,8 @@ std::optional<std::int64_t> derive_bound(const Cfg& cfg,
           step_ok = true;
         } else if (m.op == POp::Add && m.rd == counter &&
                    (m.ra == counter || m.rb == counter)) {
-          // The other operand must be a li 1 earlier in the same block.
           const int other = m.ra == counter ? m.rb : m.ra;
-          for (std::size_t j = 0; j < i; ++j) {
-            const MInstr& def = mb.instrs[j];
-            if (def.op == POp::Li && def.rd == other) {
-              step_ok = def.imm == 1;
-            }
-          }
+          if (reg_is_one(mb, b, i, other)) step_ok = true;
         } else if (m.op == POp::Mr && m.rd == counter) {
           // mr C,T after add T,C,1-ish: accept if the source was computed as
           // C + 1 in the same block.
@@ -115,10 +129,7 @@ std::optional<std::int64_t> derive_bound(const Cfg& cfg,
             } else if (def.op == POp::Add && def.rd == t &&
                        (def.ra == counter || def.rb == counter)) {
               const int other = def.ra == counter ? def.rb : def.ra;
-              for (std::size_t jj = 0; jj < j; ++jj)
-                if (mb.instrs[jj].op == POp::Li &&
-                    mb.instrs[jj].rd == other && mb.instrs[jj].imm == 1)
-                  step_ok = true;
+              if (reg_is_one(mb, b, j, other)) step_ok = true;
             }
           }
         }
@@ -154,8 +165,8 @@ std::uint64_t block_base_cost(const MachineBlock& bb,
                               const ppc::MachineConfig& machine) {
   ppc::IssueModel pipe;
   pipe.reset();
-  int reads[16];
-  int writes[16];
+  int reads[ppc::IssueModel::kMaxResourcesPerInstr];
+  int writes[ppc::IssueModel::kMaxResourcesPerInstr];
   int n_reads = 0;
   int n_writes = 0;
   std::size_t iline_next = 0;

@@ -7,6 +7,7 @@
 #include "driver/compiler.hpp"
 #include "minic/parser.hpp"
 #include "minic/typecheck.hpp"
+#include "support/bitset.hpp"
 #include "support/strings.hpp"
 #include "wcet/report.hpp"
 #include "wcet/wcet.hpp"
@@ -34,6 +35,40 @@ TEST(Strings, Helpers) {
   for (double v : {0.1, 1.0 / 3.0, -0.0, 1e-300, 12345.678}) {
     EXPECT_EQ(std::stod(format_double(v)), v);
   }
+}
+
+TEST(Bitset, DenseBitsetOperations) {
+  DenseBitset a(130);
+  EXPECT_TRUE(a.none());
+  a.set(0);
+  a.set(63);
+  a.set(64);
+  a.set(129);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_TRUE(a.test(63) && a.test(64));
+  EXPECT_FALSE(a.test(1));
+  a.reset(63);
+  EXPECT_EQ(a.count(), 3u);
+
+  DenseBitset b(130);
+  b.set(0);
+  b.set(100);
+  EXPECT_TRUE(a.union_with(b));       // adds bit 100
+  EXPECT_FALSE(a.union_with(b));      // already a superset: no change
+  EXPECT_EQ(a.count(), 4u);
+  DenseBitset c = a;
+  EXPECT_TRUE(c.intersect_with(b));   // drops 64 and 129
+  EXPECT_EQ(c.count(), 2u);
+  a.subtract(b);
+  EXPECT_FALSE(a.test(0));
+  EXPECT_TRUE(a.test(64));
+
+  std::vector<std::size_t> seen;
+  c.for_each([&](std::size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<std::size_t>{0, 100}));
+  c.clear();
+  EXPECT_TRUE(c.none());
+  EXPECT_TRUE(c == DenseBitset(130));
 }
 
 TEST(Determinism, CompilingTwiceYieldsIdenticalImages) {

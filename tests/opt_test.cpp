@@ -153,6 +153,210 @@ TEST(Cse, DoesNotCrossRedefinitions) {
             Value::of_i32(7 * 1000 + 8));
 }
 
+TEST(Cse, EliminatesAcrossDominatedBlocks) {
+  // x*y is computed in the entry block and again in both branch arms and
+  // after the join; the dominator-scoped table removes all three redundant
+  // copies (block-local CSE could remove none of them).
+  const auto program = parse(R"(
+    func f64 f(f64 x, f64 y, i32 c) {
+      local f64 a; local f64 b;
+      a = x * y;
+      if (c > 0) { b = x * y + 1.0; } else { b = x * y - 1.0; }
+      return b + x * y + a;
+    }
+  )");
+  rtl::Function fn = lower(program);
+  EXPECT_TRUE(opt::common_subexpression_elimination(fn));
+  opt::dead_code_elimination(fn);
+  int muls = 0;
+  for (const auto& bb : fn.blocks)
+    for (const auto& ins : bb.instrs)
+      if (ins.op == Opcode::Bin && ins.bin_op == minic::BinOp::FMul) ++muls;
+  EXPECT_EQ(muls, 1);
+  rtl::Executor exec(program);
+  const Value r = exec.call(fn, {Value::of_f64(3.0), Value::of_f64(5.0),
+                                 Value::of_i32(1)});
+  EXPECT_EQ(r, Value::of_f64((15.0 + 1.0) + 15.0 + 15.0));
+}
+
+TEST(Forwarding, ForwardsGlobalStoreToLoads) {
+  const auto program = parse(R"(
+    global f64 g = 0.0;
+    func f64 f(f64 x) {
+      g = x * 2.0;
+      return g + g;   // both loads take the stored value
+    }
+  )");
+  rtl::Function fn = lower(program);
+  ASSERT_GE(count_ops(fn, Opcode::LoadGlobal), 2);
+  EXPECT_TRUE(opt::memory_forwarding(fn));
+  EXPECT_EQ(count_ops(fn, Opcode::LoadGlobal), 0);
+  EXPECT_EQ(count_ops(fn, Opcode::StoreGlobal), 1);  // store stays (DSE's job)
+  rtl::Executor exec(program);
+  EXPECT_EQ(exec.call(fn, {Value::of_f64(3.0)}), Value::of_f64(12.0));
+  EXPECT_EQ(exec.read_global("g", 0), Value::of_f64(6.0));
+}
+
+TEST(Forwarding, ForwardsStackStoreToLoad) {
+  // Hand-built: value lowering does not emit stack traffic pre-regalloc, so
+  // exercise the slot side of the pass directly.
+  rtl::Function fn;
+  fn.name = "fwd";
+  fn.params.push_back({"x", rtl::RegClass::F64});
+  fn.has_return = true;
+  fn.ret_class = rtl::RegClass::F64;
+  const rtl::VReg v0 = fn.new_vreg(rtl::RegClass::F64);
+  const rtl::VReg v1 = fn.new_vreg(rtl::RegClass::F64);
+  const rtl::Slot s0 = fn.new_slot(rtl::RegClass::F64);
+  fn.blocks.resize(1);
+  auto& ins = fn.blocks[0].instrs;
+  rtl::Instr i;
+  i.op = Opcode::GetParam;
+  i.dst = v0;
+  ins.push_back(i);
+  i = {};
+  i.op = Opcode::StoreStack;
+  i.slot = s0;
+  i.src1 = v0;
+  ins.push_back(i);
+  i = {};
+  i.op = Opcode::LoadStack;
+  i.dst = v1;
+  i.slot = s0;
+  ins.push_back(i);
+  i = {};
+  i.op = Opcode::Ret;
+  i.src1 = v1;
+  ins.push_back(i);
+  fn.validate();
+
+  EXPECT_TRUE(opt::memory_forwarding(fn));
+  fn.validate();
+  EXPECT_EQ(count_ops(fn, Opcode::LoadStack), 0);
+  EXPECT_EQ(count_ops(fn, Opcode::Mov), 1);
+  const auto program = parse("func i32 z() { return 0; }");
+  rtl::Executor exec(program);
+  EXPECT_EQ(exec.call(fn, {Value::of_f64(2.5)}), Value::of_f64(2.5));
+}
+
+TEST(Forwarding, IndexedStoreClobbersOnlyItsSymbol) {
+  // A StoreGlobalIdx may hit any element of its symbol, so it kills the
+  // forwarded fact for g[0] — but never facts about stack slots.
+  rtl::Function fn;
+  fn.name = "clobber";
+  fn.params.push_back({"k", rtl::RegClass::I32});
+  fn.params.push_back({"x", rtl::RegClass::F64});
+  fn.has_return = true;
+  fn.ret_class = rtl::RegClass::F64;
+  const rtl::VReg vk = fn.new_vreg(rtl::RegClass::I32);
+  const rtl::VReg vx = fn.new_vreg(rtl::RegClass::F64);
+  const rtl::VReg vg = fn.new_vreg(rtl::RegClass::F64);
+  const rtl::VReg vs = fn.new_vreg(rtl::RegClass::F64);
+  const rtl::Slot s0 = fn.new_slot(rtl::RegClass::F64);
+  fn.blocks.resize(1);
+  auto& ins = fn.blocks[0].instrs;
+  rtl::Instr i;
+  i.op = Opcode::GetParam;
+  i.dst = vk;
+  ins.push_back(i);
+  i = {};
+  i.op = Opcode::GetParam;
+  i.dst = vx;
+  i.param_index = 1;
+  ins.push_back(i);
+  i = {};
+  i.op = Opcode::StoreGlobal;
+  i.sym = "g";
+  i.src1 = vx;
+  ins.push_back(i);
+  i = {};
+  i.op = Opcode::StoreStack;
+  i.slot = s0;
+  i.src1 = vx;
+  ins.push_back(i);
+  i = {};
+  i.op = Opcode::StoreGlobalIdx;
+  i.sym = "g";
+  i.src1 = vx;
+  i.src2 = vk;
+  ins.push_back(i);
+  i = {};
+  i.op = Opcode::LoadGlobal;
+  i.sym = "g";
+  i.dst = vg;
+  ins.push_back(i);
+  i = {};
+  i.op = Opcode::LoadStack;
+  i.slot = s0;
+  i.dst = vs;
+  ins.push_back(i);
+  i = {};
+  i.op = Opcode::Ret;
+  i.src1 = vg;
+  ins.push_back(i);
+  fn.validate();
+
+  EXPECT_TRUE(opt::memory_forwarding(fn));
+  fn.validate();
+  EXPECT_EQ(count_ops(fn, Opcode::LoadGlobal), 1);  // clobbered: kept
+  EXPECT_EQ(count_ops(fn, Opcode::LoadStack), 0);   // slot fact survived
+}
+
+TEST(DeadStore, SweepsDeadStoresKeepsAnnotatedSlots) {
+  rtl::Function fn;
+  fn.name = "dse";
+  fn.params.push_back({"x", rtl::RegClass::F64});
+  fn.has_return = false;
+  const rtl::VReg vx = fn.new_vreg(rtl::RegClass::F64);
+  const rtl::Slot s0 = fn.new_slot(rtl::RegClass::F64);
+  const rtl::Slot s1 = fn.new_slot(rtl::RegClass::F64);
+  fn.blocks.resize(1);
+  auto& ins = fn.blocks[0].instrs;
+  rtl::Instr i;
+  i.op = Opcode::GetParam;
+  i.dst = vx;
+  ins.push_back(i);
+  i = {};
+  i.op = Opcode::StoreStack;  // overwritten below: dead
+  i.slot = s0;
+  i.src1 = vx;
+  ins.push_back(i);
+  i = {};
+  i.op = Opcode::StoreStack;  // read by the annotation: live
+  i.slot = s1;
+  i.src1 = vx;
+  ins.push_back(i);
+  i = {};
+  i.op = Opcode::StoreGlobal;  // overwritten below: dead
+  i.sym = "g";
+  i.src1 = vx;
+  ins.push_back(i);
+  i = {};
+  i.op = Opcode::StoreGlobal;  // globals live at return: kept
+  i.sym = "g";
+  i.src1 = vx;
+  ins.push_back(i);
+  i = {};
+  i.op = Opcode::StoreStack;  // slot never read again: dead
+  i.slot = s0;
+  i.src1 = vx;
+  ins.push_back(i);
+  i = {};
+  i.op = Opcode::Annot;
+  i.annot_format = "0 <= %1";
+  i.annot_args.push_back(rtl::AnnotOperand::of_slot(s1));
+  ins.push_back(i);
+  i = {};
+  i.op = Opcode::Ret;
+  ins.push_back(i);
+  fn.validate();
+
+  EXPECT_TRUE(opt::dead_store_elimination(fn));
+  fn.validate();
+  EXPECT_EQ(count_ops(fn, Opcode::StoreStack), 1);   // only the annotated slot
+  EXPECT_EQ(count_ops(fn, Opcode::StoreGlobal), 1);  // only the last write
+}
+
 TEST(Dce, RemovesDeadCodeButKeepsAnnotationOperands) {
   const auto program = parse(R"(
     func i32 f(i32 x) {

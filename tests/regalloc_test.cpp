@@ -31,23 +31,24 @@ void expect_valid_coloring(const rtl::Function& fn,
                            const regalloc::Allocation& alloc) {
   const rtl::Liveness lv = rtl::compute_liveness(fn);
   for (rtl::BlockId b = 0; b < fn.blocks.size(); ++b) {
-    std::set<rtl::VReg> live = lv.live_out[b];
+    DenseBitset live = lv.live_out[b];
     const auto& instrs = fn.blocks[b].instrs;
     for (std::size_t i = instrs.size(); i-- > 0;) {
       const rtl::Instr& ins = instrs[i];
       if (auto d = ins.def()) {
-        for (rtl::VReg l : live) {
-          if (l == *d) continue;
-          if (fn.vregs[l] != fn.vregs[*d]) continue;
-          if (ins.op == rtl::Opcode::Mov && l == ins.src1) continue;
+        live.for_each([&](std::size_t lbit) {
+          const auto l = static_cast<rtl::VReg>(lbit);
+          if (l == *d) return;
+          if (fn.vregs[l] != fn.vregs[*d]) return;
+          if (ins.op == rtl::Opcode::Mov && l == ins.src1) return;
           ASSERT_TRUE(alloc.locs[*d].in_reg);
           ASSERT_TRUE(alloc.locs[l].in_reg);
           ASSERT_NE(alloc.locs[*d].color, alloc.locs[l].color)
               << "vregs " << *d << " and " << l << " interfere";
-        }
-        live.erase(*d);
+        });
+        live.reset(*d);
       }
-      for (rtl::VReg u : ins.uses()) live.insert(u);
+      for (rtl::VReg u : ins.uses()) live.set(u);
     }
   }
 }

@@ -140,7 +140,7 @@ TEST(RtlAnalysis, LivenessOnDiamond) {
   ASSERT_NE(x_reg, rtl::kNoVReg);
   int live_blocks = 0;
   for (const auto& in : lv.live_in)
-    if (in.count(x_reg) != 0) ++live_blocks;
+    if (in.test(x_reg)) ++live_blocks;
   EXPECT_GE(live_blocks, 2);
 }
 

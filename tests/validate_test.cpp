@@ -125,6 +125,140 @@ TEST(Validate, StructureCheckerRejectsWrongRewrites) {
   }
 }
 
+TEST(Validate, StructureCheckerAcceptsMemoryForwarding) {
+  const auto program = parse(kSample);
+  rtl::Function fn = rtl::lower_function(program, program.functions[0],
+                                         rtl::LowerMode::Value);
+  rtl::remove_unreachable_blocks(fn);
+  const rtl::Function before = fn;
+  // kSample reads `state` twice in the entry block: the second load is
+  // forwarded from the first (load-load forwarding).
+  ASSERT_TRUE(opt::memory_forwarding(fn));
+  const auto result = validate::check_structure_preserving(before, fn);
+  EXPECT_TRUE(result.ok) << result.message;
+}
+
+// before: x2 = x+x ; g[0] = x ; r = load g[0] ; ret r
+// The only value a rewritten load may copy is x.
+rtl::Function forwarding_subject() {
+  rtl::Function fn;
+  fn.name = "subject";
+  fn.params.push_back({"x", rtl::RegClass::F64});
+  fn.has_return = true;
+  fn.ret_class = rtl::RegClass::F64;
+  const rtl::VReg vx = fn.new_vreg(rtl::RegClass::F64);
+  const rtl::VReg v2 = fn.new_vreg(rtl::RegClass::F64);
+  const rtl::VReg vr = fn.new_vreg(rtl::RegClass::F64);
+  fn.blocks.resize(1);
+  auto& ins = fn.blocks[0].instrs;
+  rtl::Instr i;
+  i.op = rtl::Opcode::GetParam;
+  i.dst = vx;
+  ins.push_back(i);
+  i = {};
+  i.op = rtl::Opcode::Bin;
+  i.bin_op = minic::BinOp::FAdd;
+  i.dst = v2;
+  i.src1 = vx;
+  i.src2 = vx;
+  ins.push_back(i);
+  i = {};
+  i.op = rtl::Opcode::StoreGlobal;
+  i.sym = "state";
+  i.src1 = vx;
+  ins.push_back(i);
+  i = {};
+  i.op = rtl::Opcode::LoadGlobal;
+  i.sym = "state";
+  i.dst = vr;
+  ins.push_back(i);
+  i = {};
+  i.op = rtl::Opcode::Ret;
+  i.src1 = vr;
+  ins.push_back(i);
+  fn.validate();
+  return fn;
+}
+
+TEST(Validate, StructureCheckerRejectsWrongForwarding) {
+  const rtl::Function before = forwarding_subject();
+
+  // Correct forwarding: the load becomes a copy of the stored register.
+  {
+    rtl::Function good = before;
+    rtl::Instr& ld = good.blocks[0].instrs[3];
+    ld = rtl::Instr{};
+    ld.op = rtl::Opcode::Mov;
+    ld.dst = 2;   // vr
+    ld.src1 = 0;  // vx, the stored value
+    EXPECT_TRUE(validate::check_structure_preserving(before, good).ok);
+  }
+  // Wrong source register: x+x is not the value in memory.
+  {
+    rtl::Function bad = before;
+    rtl::Instr& ld = bad.blocks[0].instrs[3];
+    ld = rtl::Instr{};
+    ld.op = rtl::Opcode::Mov;
+    ld.dst = 2;
+    ld.src1 = 1;  // v2 == x+x
+    EXPECT_FALSE(validate::check_structure_preserving(before, bad).ok);
+  }
+  // Forwarding a load with no dominating store of the location.
+  {
+    rtl::Function before2 = before;
+    before2.blocks[0].instrs.erase(before2.blocks[0].instrs.begin() + 2);
+    rtl::Function bad = before2;
+    rtl::Instr& ld = bad.blocks[0].instrs[2];
+    ld = rtl::Instr{};
+    ld.op = rtl::Opcode::Mov;
+    ld.dst = 2;
+    ld.src1 = 0;
+    EXPECT_FALSE(validate::check_structure_preserving(before2, bad).ok);
+  }
+}
+
+TEST(Validate, DeadStoreCheckerRejectsLiveStoreRemoval) {
+  rtl::Function before;
+  before.name = "ds";
+  before.params.push_back({"x", rtl::RegClass::F64});
+  const rtl::VReg vx = before.new_vreg(rtl::RegClass::F64);
+  const rtl::Slot s0 = before.new_slot(rtl::RegClass::F64);
+  before.blocks.resize(1);
+  auto& ins = before.blocks[0].instrs;
+  rtl::Instr i;
+  i.op = rtl::Opcode::GetParam;
+  i.dst = vx;
+  ins.push_back(i);
+  i = {};
+  i.op = rtl::Opcode::StoreStack;  // dead: never read before return
+  i.slot = s0;
+  i.src1 = vx;
+  ins.push_back(i);
+  i = {};
+  i.op = rtl::Opcode::StoreGlobal;  // live: globals outlive the function
+  i.sym = "state";
+  i.src1 = vx;
+  ins.push_back(i);
+  i = {};
+  i.op = rtl::Opcode::Ret;
+  ins.push_back(i);
+  before.validate();
+
+  // Removing the dead slot store is accepted...
+  rtl::Function good = before;
+  good.blocks[0].instrs.erase(good.blocks[0].instrs.begin() + 1);
+  const auto ok = validate::check_dead_store_elimination(before, good);
+  EXPECT_TRUE(ok.ok) << ok.message;
+  // ...removing the live global store is not.
+  rtl::Function bad = before;
+  bad.blocks[0].instrs.erase(bad.blocks[0].instrs.begin() + 2);
+  EXPECT_FALSE(validate::check_dead_store_elimination(before, bad).ok);
+  // ...and neither is removing a non-store.
+  rtl::Function bad2 = before;
+  bad2.blocks[0].instrs.erase(bad2.blocks[0].instrs.begin());
+  EXPECT_FALSE(validate::check_dead_store_elimination(before, bad2).ok);
+}
+
 TEST(Validate, DifferentialCheckerCatchesMiscompiles) {
   const auto program = parse(kSample);
   rtl::Function fn = rtl::lower_function(program, program.functions[0],
