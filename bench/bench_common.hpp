@@ -6,9 +6,11 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "artifact/store.hpp"
 #include "dataflow/acg.hpp"
 #include "dataflow/generator.hpp"
 #include "driver/compiler.hpp"
@@ -158,14 +160,35 @@ inline std::string fmt_pct(double pct, int width = 8) {
 struct BenchFlags {
   int jobs = 0;   // --jobs=N  worker threads (0 = hardware concurrency)
   int nodes = 0;  // --nodes=N suite size (0 = the binary's default)
+  int cache_budget_mb = 0;  // --cache-budget-mb=N LRU budget (0 = unlimited)
+  std::string cache_dir;    // --cache-dir=DIR artifact store (empty = off)
+  std::string report_json;  // --report-json=FILE machine-readable report
 };
 
-/// Parses --jobs=N / --nodes=N; exits 2 with a diagnostic on anything else.
+/// Parses the shared bench flags; exits 2 with a diagnostic on anything else.
 inline BenchFlags parse_bench_flags(int argc, char** argv,
                                     const char* bench_name) {
   BenchFlags flags;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    std::string* text_slot = nullptr;
+    std::string text_rest;
+    if (starts_with(arg, "--cache-dir=")) {
+      text_slot = &flags.cache_dir;
+      text_rest = arg.substr(12);
+    } else if (starts_with(arg, "--report-json=")) {
+      text_slot = &flags.report_json;
+      text_rest = arg.substr(14);
+    }
+    if (text_slot != nullptr) {
+      if (text_rest.empty()) {
+        std::fprintf(stderr, "%s: empty value in '%s'\n", bench_name,
+                     arg.c_str());
+        std::exit(2);
+      }
+      *text_slot = text_rest;
+      continue;
+    }
     int* slot = nullptr;
     std::string rest;
     if (starts_with(arg, "--jobs=")) {
@@ -174,19 +197,47 @@ inline BenchFlags parse_bench_flags(int argc, char** argv,
     } else if (starts_with(arg, "--nodes=")) {
       slot = &flags.nodes;
       rest = arg.substr(8);
+    } else if (starts_with(arg, "--cache-budget-mb=")) {
+      slot = &flags.cache_budget_mb;
+      rest = arg.substr(18);
     }
     char* end = nullptr;
     const long v = slot ? std::strtol(rest.c_str(), &end, 10) : 0;
     if (slot == nullptr || rest.empty() || *end != '\0' || v < 0 ||
         v > 1000000) {
       std::fprintf(stderr,
-                   "%s: bad argument '%s'\nusage: %s [--jobs=N] [--nodes=N]\n",
+                   "%s: bad argument '%s'\nusage: %s [--jobs=N] [--nodes=N] "
+                   "[--cache-dir=DIR] [--cache-budget-mb=N] "
+                   "[--report-json=FILE]\n",
                    bench_name, arg.c_str(), bench_name);
       std::exit(2);
     }
     *slot = static_cast<int>(v);
   }
   return flags;
+}
+
+/// Opens the artifact store requested by --cache-dir (nullptr when off).
+inline std::unique_ptr<artifact::ArtifactStore> open_bench_store(
+    const BenchFlags& flags) {
+  if (flags.cache_dir.empty()) return nullptr;
+  return std::make_unique<artifact::ArtifactStore>(
+      artifact::ArtifactStore::Options{
+          flags.cache_dir,
+          static_cast<std::uint64_t>(flags.cache_budget_mb) * 1024 * 1024});
+}
+
+/// Writes the machine-readable campaign report when --report-json was given.
+inline void write_bench_report(const driver::FleetReport& report,
+                               const BenchFlags& flags,
+                               const char* bench_name) {
+  if (flags.report_json.empty()) return;
+  if (driver::write_report_json(report, flags.report_json))
+    std::fprintf(stderr, "%s: wrote %s\n", bench_name,
+                 flags.report_json.c_str());
+  else
+    std::fprintf(stderr, "%s: cannot write %s\n", bench_name,
+                 flags.report_json.c_str());
 }
 
 }  // namespace vc::bench

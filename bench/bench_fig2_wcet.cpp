@@ -10,7 +10,10 @@
 // acquisition improve much less than pure symbol-chain nodes.
 //
 // All compile + WCET chains run through the fleet runner; --jobs=N sets the
-// worker count and --nodes=N scales the generated suite.
+// worker count and --nodes=N scales the generated suite up to the paper's
+// full ~2500 ACG files (--nodes=2500). --cache-dir=DIR attaches the
+// content-addressed artifact store and --report-json=FILE emits the full
+// record array as JSON.
 #include <cstdio>
 #include <map>
 
@@ -31,11 +34,14 @@ int main(int argc, char** argv) {
   std::vector<NodeBundle> suite = bench::make_suite(nodes);
   suite.push_back(bench::pitch_law());
 
+  const auto store = bench::open_bench_store(flags);
   driver::FleetOptions options;
   options.jobs = flags.jobs;
   options.wcet = true;
+  options.store = store.get();
   const driver::FleetReport report =
       driver::run_fleet(bench::to_fleet_units(suite), options);
+  bench::write_bench_report(report, flags, "bench_fig2_wcet");
 
   std::printf("%-10s %10s %14s %12s %10s   %s\n", "node", "O0-pattern",
               "O1-noregalloc", "verified", "O2-full",

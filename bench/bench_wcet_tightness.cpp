@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
 
   const std::vector<bench::NodeBundle> suite = bench::make_suite(nodes);
 
+  const auto store = bench::open_bench_store(flags);
   driver::FleetOptions options;
   options.jobs = flags.jobs;
   options.exec_cycles = 30;
@@ -32,8 +33,10 @@ int main(int argc, char** argv) {
   options.wcet = true;
   options.wcet_nocache = true;
   options.suite_seed = 5150;
+  options.store = store.get();
   const driver::FleetReport report =
       driver::run_fleet(bench::to_fleet_units(suite), options);
+  bench::write_bench_report(report, flags, "bench_wcet_tightness");
 
   std::map<driver::Config, double> ratio_sum;
   std::map<driver::Config, double> ratio_nocache_sum;

@@ -1,0 +1,232 @@
+#include "artifact/image_io.hpp"
+
+#include <cstring>
+
+#include "support/strings.hpp"
+
+namespace vc::artifact {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x5643494D;  // "VCIM"
+
+// Guards against absurd counts in corrupt headers before any allocation.
+constexpr std::uint64_t kMaxElems = 1ull << 28;
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+      out_.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+  }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+  void bytes(const std::vector<std::uint8_t>& b) {
+    u32(static_cast<std::uint32_t>(b.size()));
+    out_.insert(out_.end(), b.begin(), b.end());
+  }
+
+  std::vector<std::uint8_t> take() { return std::move(out_); }
+
+ private:
+  std::vector<std::uint8_t> out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::uint8_t>& bytes) : bytes_(bytes) {}
+
+  bool u8(std::uint8_t* v) {
+    if (pos_ + 1 > bytes_.size()) return fail();
+    *v = bytes_[pos_++];
+    return true;
+  }
+  bool u32(std::uint32_t* v) {
+    if (pos_ + 4 > bytes_.size()) return fail();
+    std::uint32_t out = 0;
+    for (int i = 0; i < 4; ++i)
+      out |= static_cast<std::uint32_t>(bytes_[pos_ + static_cast<std::size_t>(i)])
+             << (8 * i);
+    pos_ += 4;
+    *v = out;
+    return true;
+  }
+  bool i32(std::int32_t* v) {
+    std::uint32_t raw = 0;
+    if (!u32(&raw)) return false;
+    *v = static_cast<std::int32_t>(raw);
+    return true;
+  }
+  bool str(std::string* s) {
+    std::uint32_t size = 0;
+    if (!u32(&size) || size > kMaxElems || pos_ + size > bytes_.size())
+      return fail();
+    s->assign(reinterpret_cast<const char*>(bytes_.data() + pos_), size);
+    pos_ += size;
+    return true;
+  }
+
+  [[nodiscard]] bool truncated() const { return truncated_; }
+  [[nodiscard]] bool at_end() const { return pos_ == bytes_.size(); }
+
+ private:
+  bool fail() {
+    truncated_ = true;
+    return false;
+  }
+
+  const std::vector<std::uint8_t>& bytes_;
+  std::size_t pos_ = 0;
+  bool truncated_ = false;
+};
+
+void write_sym_map(Writer* w, const std::map<std::string, std::uint32_t>& m) {
+  w->u32(static_cast<std::uint32_t>(m.size()));
+  for (const auto& [name, value] : m) {
+    w->str(name);
+    w->u32(value);
+  }
+}
+
+bool read_sym_map(Reader* r, std::map<std::string, std::uint32_t>* m) {
+  std::uint32_t count = 0;
+  if (!r->u32(&count) || count > kMaxElems) return false;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::string name;
+    std::uint32_t value = 0;
+    if (!r->str(&name) || !r->u32(&value)) return false;
+    (*m)[name] = value;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_image(const ppc::Image& image) {
+  Writer w;
+  w.u32(kMagic);
+  w.u32(kImageFormatVersion);
+
+  w.u32(static_cast<std::uint32_t>(image.words.size()));
+  for (const std::uint32_t word : image.words) w.u32(word);
+  w.bytes(image.data_init);
+  write_sym_map(&w, image.fn_entry);
+  write_sym_map(&w, image.fn_end);
+  write_sym_map(&w, image.global_addr);
+
+  w.u32(static_cast<std::uint32_t>(image.annotations.size()));
+  for (const ppc::AnnotEntry& a : image.annotations) {
+    w.u32(a.addr);
+    w.str(a.format);
+    w.u32(static_cast<std::uint32_t>(a.operands.size()));
+    for (const ppc::MLoc& op : a.operands) {
+      w.u8(static_cast<std::uint8_t>(op.kind));
+      w.i32(op.index);
+      w.i32(op.offset);
+      w.u8(op.is_f64 ? 1 : 0);
+    }
+  }
+  return w.take();
+}
+
+ImageParse deserialize_image(const std::vector<std::uint8_t>& bytes) {
+  ImageParse out;
+  Reader r(bytes);
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  if (!r.u32(&magic) || magic != kMagic) {
+    out.error = "bad image magic";
+    return out;
+  }
+  if (!r.u32(&version) || version != kImageFormatVersion) {
+    out.error = "unsupported image format version";
+    return out;
+  }
+
+  std::uint32_t word_count = 0;
+  if (!r.u32(&word_count) || word_count > kMaxElems) {
+    out.error = "bad code section";
+    return out;
+  }
+  out.image.words.resize(word_count);
+  for (std::uint32_t i = 0; i < word_count; ++i)
+    if (!r.u32(&out.image.words[i])) {
+      out.error = "truncated code section";
+      return out;
+    }
+
+  std::uint32_t data_size = 0;
+  if (!r.u32(&data_size) || data_size > kMaxElems) {
+    out.error = "bad data section";
+    return out;
+  }
+  out.image.data_init.resize(data_size);
+  for (std::uint32_t i = 0; i < data_size; ++i)
+    if (!r.u8(&out.image.data_init[i])) {
+      out.error = "truncated data section";
+      return out;
+    }
+
+  if (!read_sym_map(&r, &out.image.fn_entry) ||
+      !read_sym_map(&r, &out.image.fn_end) ||
+      !read_sym_map(&r, &out.image.global_addr)) {
+    out.error = "bad symbol table";
+    return out;
+  }
+
+  std::uint32_t annot_count = 0;
+  if (!r.u32(&annot_count) || annot_count > kMaxElems) {
+    out.error = "bad annotation table";
+    return out;
+  }
+  out.image.annotations.resize(annot_count);
+  for (std::uint32_t i = 0; i < annot_count; ++i) {
+    ppc::AnnotEntry& a = out.image.annotations[i];
+    std::uint32_t op_count = 0;
+    if (!r.u32(&a.addr) || !r.str(&a.format) || !r.u32(&op_count) ||
+        op_count > kMaxElems) {
+      out.error = "bad annotation entry";
+      return out;
+    }
+    a.operands.resize(op_count);
+    for (std::uint32_t j = 0; j < op_count; ++j) {
+      ppc::MLoc& op = a.operands[j];
+      std::uint8_t kind = 0;
+      std::uint8_t is_f64 = 0;
+      if (!r.u8(&kind) || kind > 2 || !r.i32(&op.index) || !r.i32(&op.offset) ||
+          !r.u8(&is_f64)) {
+        out.error = "bad annotation operand";
+        return out;
+      }
+      op.kind = static_cast<ppc::MLoc::Kind>(kind);
+      op.is_f64 = is_f64 != 0;
+    }
+  }
+
+  if (!r.at_end()) {
+    out.error = "trailing bytes after image";
+    return out;
+  }
+  return out;
+}
+
+std::string annotation_text(const ppc::Image& image) {
+  std::string out;
+  for (const ppc::AnnotEntry& a : image.annotations) {
+    out += hex32(a.addr);
+    out += "  ";
+    out += a.format;
+    for (const ppc::MLoc& op : a.operands) {
+      out += "  ";
+      out += op.to_string();
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace vc::artifact

@@ -29,6 +29,12 @@ namespace vc::driver {
 enum class Config { O0Pattern, O1NoRegalloc, Verified, O2Full };
 
 std::string to_string(Config c);
+
+/// The compiler identity baked into every artifact-store key (src/artifact):
+/// bump it with any change that can alter generated code, annotations, or
+/// WCET analysis results, so stale cached artifacts miss instead of
+/// resurfacing output of an older toolchain.
+inline constexpr const char kCompilerVersion[] = "vcflight-3";
 inline constexpr Config kAllConfigs[] = {Config::O0Pattern,
                                          Config::O1NoRegalloc,
                                          Config::Verified, Config::O2Full};

@@ -4,8 +4,12 @@
 #include <chrono>
 #include <cstdio>
 #include <exception>
+#include <fstream>
+#include <stdexcept>
 
+#include "artifact/image_io.hpp"
 #include "dataflow/acg.hpp"
+#include "minic/printer.hpp"
 #include "support/rng.hpp"
 #include "support/threadpool.hpp"
 #include "wcet/wcet.hpp"
@@ -20,72 +24,238 @@ double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
-/// Executes one (unit, config) job into `record`. Never throws.
+// --- stats.json schema -----------------------------------------------------
+//
+// One document per artifact:
+//   { "entry": "...", "code_bytes": N,
+//     "results": [ { "params": {...}, "exec": {...},
+//                    "observed_max_cycles": N,
+//                    "wcet_cycles": N, "wcet_nocache_cycles": N } ] }
+// The compile is fully determined by the artifact key; the derived results
+// additionally depend on run parameters, so each distinct parameter set gets
+// its own stanza (bounded ring, oldest dropped).
+
+constexpr std::size_t kMaxResultStanzas = 16;
+
+json::Value params_json(std::uint64_t input_seed, const FleetOptions& options) {
+  json::Value p;
+  p["input_seed"] = json::Value(input_seed);
+  p["exec_cycles"] = json::Value(static_cast<std::int64_t>(options.exec_cycles));
+  p["cold_caches"] = json::Value(options.cold_caches);
+  p["wcet"] = json::Value(options.wcet);
+  p["wcet_nocache"] = json::Value(options.wcet_nocache);
+  return p;
+}
+
+bool params_match(const json::Value& p, std::uint64_t input_seed,
+                  const FleetOptions& options) {
+  if (p.at("exec_cycles").as_i64(-1) != options.exec_cycles) return false;
+  if (p.at("cold_caches").as_bool() != options.cold_caches) return false;
+  if (p.at("wcet").as_bool() != options.wcet) return false;
+  if (p.at("wcet_nocache").as_bool() != options.wcet_nocache) return false;
+  // The input seed only shapes results when execution actually runs.
+  if (options.exec_cycles > 0 && p.at("input_seed").as_u64() != input_seed)
+    return false;
+  return true;
+}
+
+json::Value exec_stats_json(const machine::ExecStats& s) {
+  json::Value e;
+  e["cycles"] = json::Value(s.cycles);
+  e["instructions"] = json::Value(s.instructions);
+  e["dcache_reads"] = json::Value(s.dcache_reads);
+  e["dcache_writes"] = json::Value(s.dcache_writes);
+  e["dcache_read_misses"] = json::Value(s.dcache_read_misses);
+  e["dcache_write_misses"] = json::Value(s.dcache_write_misses);
+  e["ifetch_line_misses"] = json::Value(s.ifetch_line_misses);
+  e["taken_branches"] = json::Value(s.taken_branches);
+  return e;
+}
+
+machine::ExecStats exec_stats_from_json(const json::Value& e) {
+  machine::ExecStats s;
+  s.cycles = e.at("cycles").as_u64();
+  s.instructions = e.at("instructions").as_u64();
+  s.dcache_reads = e.at("dcache_reads").as_u64();
+  s.dcache_writes = e.at("dcache_writes").as_u64();
+  s.dcache_read_misses = e.at("dcache_read_misses").as_u64();
+  s.dcache_write_misses = e.at("dcache_write_misses").as_u64();
+  s.ifetch_line_misses = e.at("ifetch_line_misses").as_u64();
+  s.taken_branches = e.at("taken_branches").as_u64();
+  return s;
+}
+
+json::Value stanza_from_record(const FleetRecord& record,
+                               std::uint64_t input_seed,
+                               const FleetOptions& options) {
+  json::Value stanza;
+  stanza["params"] = params_json(input_seed, options);
+  stanza["exec"] = exec_stats_json(record.exec);
+  stanza["observed_max_cycles"] = json::Value(record.observed_max_cycles);
+  stanza["wcet_cycles"] = json::Value(record.wcet_cycles);
+  stanza["wcet_nocache_cycles"] = json::Value(record.wcet_nocache_cycles);
+  return stanza;
+}
+
+void record_from_stanza(const json::Value& doc, const json::Value& stanza,
+                        FleetRecord* record) {
+  record->code_bytes =
+      static_cast<std::uint32_t>(doc.at("code_bytes").as_u64());
+  record->exec = exec_stats_from_json(stanza.at("exec"));
+  record->observed_max_cycles = stanza.at("observed_max_cycles").as_u64();
+  record->wcet_cycles = stanza.at("wcet_cycles").as_u64();
+  record->wcet_nocache_cycles = stanza.at("wcet_nocache_cycles").as_u64();
+}
+
+/// Runs the execution phase against `image`, accumulating into `record`.
+void run_exec_phase(const FleetUnit& unit, const ppc::Image& image,
+                    std::uint64_t input_seed, const FleetOptions& options,
+                    FleetRecord* record) {
+  const auto t_exec = Clock::now();
+  const minic::Function* fn = unit.program->find_function(unit.entry);
+  if (fn == nullptr)
+    throw std::runtime_error("no function '" + unit.entry + "'");
+  const bool has_io =
+      unit.program->find_global(dataflow::kIoBusGlobal) != nullptr;
+  Rng rng(input_seed);
+  machine::Machine m(image);
+  for (int c = 0; c < options.exec_cycles; ++c) {
+    if (options.cold_caches) m.clear_caches();
+    std::vector<minic::Value> args;
+    args.reserve(fn->params.size());
+    for (const auto& p : fn->params) {
+      if (p.type == minic::Type::F64)
+        args.push_back(minic::Value::of_f64(rng.next_double(-20.0, 20.0)));
+      else
+        args.push_back(minic::Value::of_i32(
+            static_cast<std::int32_t>(rng.next_range(-2, 2))));
+    }
+    if (has_io)
+      m.write_global(dataflow::kIoBusGlobal, 0,
+                     minic::Value::of_f64(rng.next_double(-3.0, 3.0)));
+    m.call(unit.entry, args, minic::Type::I32);
+    const machine::ExecStats& s = m.stats();
+    record->exec.cycles += s.cycles;
+    record->exec.instructions += s.instructions;
+    record->exec.dcache_reads += s.dcache_reads;
+    record->exec.dcache_writes += s.dcache_writes;
+    record->exec.dcache_read_misses += s.dcache_read_misses;
+    record->exec.dcache_write_misses += s.dcache_write_misses;
+    record->exec.ifetch_line_misses += s.ifetch_line_misses;
+    record->exec.taken_branches += s.taken_branches;
+    record->observed_max_cycles =
+        std::max(record->observed_max_cycles, s.cycles);
+  }
+  record->exec_seconds = seconds_since(t_exec);
+}
+
+/// Runs the WCET phase against `image`, filling `record`'s bound fields.
+void run_wcet_phase(const FleetUnit& unit, const ppc::Image& image,
+                    const FleetOptions& options, FleetRecord* record) {
+  const auto t_wcet = Clock::now();
+  wcet::WcetOptions wopts;
+  wopts.use_annotations = options.use_annotations;
+  if (options.wcet)
+    record->wcet_cycles =
+        wcet::analyze_wcet(image, unit.entry, wopts).wcet_cycles;
+  if (options.wcet_nocache) {
+    wopts.cache_analysis = false;
+    record->wcet_nocache_cycles =
+        wcet::analyze_wcet(image, unit.entry, wopts).wcet_cycles;
+  }
+  record->wcet_seconds = seconds_since(t_wcet);
+}
+
+/// Executes one (unit, config) job into `record`. Never throws. `source` is
+/// the unit's printed program text (only set when a store is attached).
 void run_job(const FleetUnit& unit, Config config, std::uint64_t input_seed,
-             const FleetOptions& options, FleetRecord* record) {
+             const FleetOptions& options, const std::string* source,
+             FleetRecord* record) {
   record->name = unit.name;
   record->config = config;
   try {
-    const auto t_compile = Clock::now();
-    const Compiled compiled =
-        compile_program(*unit.program, config, {}, &record->pass_timings);
-    record->compile_seconds = seconds_since(t_compile);
-    record->code_bytes = compiled.image.code_size_of(unit.entry);
+    artifact::ArtifactStore* store = options.store;
+    Hash128 key;
+    json::Value cached_doc;
+    ppc::Image cached_image;
+    bool have_image = false;
 
-    if (options.exec_cycles > 0) {
-      const auto t_exec = Clock::now();
-      const minic::Function* fn = unit.program->find_function(unit.entry);
-      if (fn == nullptr)
-        throw std::runtime_error("no function '" + unit.entry + "'");
-      const bool has_io =
-          unit.program->find_global(dataflow::kIoBusGlobal) != nullptr;
-      Rng rng(input_seed);
-      machine::Machine m(compiled.image);
-      for (int c = 0; c < options.exec_cycles; ++c) {
-        if (options.cold_caches) m.clear_caches();
-        std::vector<minic::Value> args;
-        args.reserve(fn->params.size());
-        for (const auto& p : fn->params) {
-          if (p.type == minic::Type::F64)
-            args.push_back(minic::Value::of_f64(rng.next_double(-20.0, 20.0)));
-          else
-            args.push_back(minic::Value::of_i32(
-                static_cast<std::int32_t>(rng.next_range(-2, 2))));
+    if (store != nullptr) {
+      key = artifact::ArtifactStore::make_key(*source, unit.entry,
+                                              to_string(config),
+                                              options.use_annotations,
+                                              kCompilerVersion);
+      const auto t_lookup = Clock::now();
+      auto loaded = store->lookup(key);
+      record->cache_lookup_seconds = seconds_since(t_lookup);
+      if (loaded) {
+        for (const json::Value& stanza : loaded->stats.at("results").as_array())
+          if (params_match(stanza.at("params"), input_seed, options)) {
+            record_from_stanza(loaded->stats, stanza, record);
+            record->cache_hit = true;
+            record->ok = true;
+            return;
+          }
+        // Same compile, different run parameters: reuse the executable,
+        // recompute just the derived results. A cached image that fails to
+        // deserialize is dropped and the job transparently compiles cold.
+        artifact::ImageParse parsed =
+            artifact::deserialize_image(loaded->image_bytes);
+        if (parsed.ok()) {
+          cached_image = std::move(parsed.image);
+          cached_doc = std::move(loaded->stats);
+          have_image = true;
+          record->cache_image_hit = true;
+        } else {
+          store->invalidate(key);
         }
-        if (has_io)
-          m.write_global(dataflow::kIoBusGlobal, 0,
-                         minic::Value::of_f64(rng.next_double(-3.0, 3.0)));
-        m.call(unit.entry, args, minic::Type::I32);
-        const machine::ExecStats& s = m.stats();
-        record->exec.cycles += s.cycles;
-        record->exec.instructions += s.instructions;
-        record->exec.dcache_reads += s.dcache_reads;
-        record->exec.dcache_writes += s.dcache_writes;
-        record->exec.dcache_read_misses += s.dcache_read_misses;
-        record->exec.dcache_write_misses += s.dcache_write_misses;
-        record->exec.ifetch_line_misses += s.ifetch_line_misses;
-        record->exec.taken_branches += s.taken_branches;
-        record->observed_max_cycles =
-            std::max(record->observed_max_cycles, s.cycles);
       }
-      record->exec_seconds = seconds_since(t_exec);
     }
 
-    if (options.wcet || options.wcet_nocache) {
-      const auto t_wcet = Clock::now();
-      wcet::WcetOptions wopts;
-      wopts.use_annotations = options.use_annotations;
-      if (options.wcet)
-        record->wcet_cycles =
-            wcet::analyze_wcet(compiled.image, unit.entry, wopts).wcet_cycles;
-      if (options.wcet_nocache) {
-        wopts.cache_analysis = false;
-        record->wcet_nocache_cycles =
-            wcet::analyze_wcet(compiled.image, unit.entry, wopts).wcet_cycles;
-      }
-      record->wcet_seconds = seconds_since(t_wcet);
+    Compiled compiled;
+    if (!have_image) {
+      const auto t_compile = Clock::now();
+      compiled = compile_program(*unit.program, config, {},
+                                 &record->pass_timings);
+      record->compile_seconds = seconds_since(t_compile);
     }
+    const ppc::Image& image = have_image ? cached_image : compiled.image;
+    record->code_bytes = image.code_size_of(unit.entry);
+
+    if (options.exec_cycles > 0)
+      run_exec_phase(unit, image, input_seed, options, record);
+    if (options.wcet || options.wcet_nocache)
+      run_wcet_phase(unit, image, options, record);
     record->ok = true;
+
+    if (store != nullptr) {
+      const auto t_publish = Clock::now();
+      const json::Value stanza = stanza_from_record(*record, input_seed,
+                                                    options);
+      if (have_image) {
+        json::Array results = cached_doc.at("results").as_array();
+        results.push_back(stanza);
+        while (results.size() > kMaxResultStanzas)
+          results.erase(results.begin());
+        cached_doc["results"] = json::Value(std::move(results));
+        store->update_stats(key, cached_doc);
+      } else {
+        json::Value doc;
+        doc["entry"] = json::Value(unit.entry);
+        doc["code_bytes"] = json::Value(record->code_bytes);
+        doc["results"] = json::Value(json::Array{stanza});
+        json::Value info;
+        info["unit"] = json::Value(unit.name);
+        info["config"] = json::Value(to_string(config));
+        info["annotations"] = json::Value(options.use_annotations);
+        info["compiler_version"] = json::Value(kCompilerVersion);
+        info["source_bytes"] =
+            json::Value(static_cast<std::uint64_t>(source->size()));
+        store->publish(key, artifact::serialize_image(image),
+                       artifact::annotation_text(image), doc, std::move(info));
+      }
+      record->cache_publish_seconds = seconds_since(t_publish);
+    }
   } catch (const std::exception& e) {
     record->ok = false;
     record->error = e.what();
@@ -110,8 +280,8 @@ double FleetReport::nodes_per_second() const {
 }
 
 std::string FleetReport::throughput_summary() const {
-  char buf[512];
-  std::snprintf(
+  char buf[768];
+  int n = std::snprintf(
       buf, sizeof buf,
       "fleet: %zu node(s) x %zu config(s) on %d worker(s): %.2fs wall, "
       "%.1f jobs/s\n"
@@ -123,11 +293,26 @@ std::string FleetReport::throughput_summary() const {
       exec_seconds, wcet_seconds, pass_timings.constprop, pass_timings.cse,
       pass_timings.forward, pass_timings.dce, pass_timings.deadstore,
       pass_timings.tunnel);
+  if (cache_enabled && n > 0 && static_cast<std::size_t>(n) < sizeof buf) {
+    std::snprintf(
+        buf + n, sizeof buf - static_cast<std::size_t>(n),
+        "\nfleet: cache: %llu full hit(s), %llu image hit(s), %llu miss(es), "
+        "lookup %.2fs, publish %.2fs\nfleet: %s",
+        static_cast<unsigned long long>(cache_full_hits),
+        static_cast<unsigned long long>(cache_image_hits),
+        static_cast<unsigned long long>(cache_misses), cache_lookup_seconds,
+        cache_publish_seconds, store_stats.summary().c_str());
+  }
   return buf;
 }
 
 FleetReport run_fleet(const std::vector<FleetUnit>& units,
                       const FleetOptions& options) {
+  if (options.jobs < 0)
+    throw std::invalid_argument(
+        "FleetOptions::jobs must be >= 0 (0 = one worker per hardware "
+        "thread), got " + std::to_string(options.jobs));
+
   FleetReport report;
   report.units = units.size();
   report.configs = options.configs.size();
@@ -135,6 +320,16 @@ FleetReport run_fleet(const std::vector<FleetUnit>& units,
                     ? options.jobs
                     : static_cast<int>(ThreadPool::default_worker_count());
   report.records.resize(units.size() * options.configs.size());
+  report.cache_enabled = options.store != nullptr;
+
+  // The artifact key hashes the unit's *source text*; print each program
+  // once up front (cheap, serial) instead of once per (unit, config) job.
+  std::vector<std::string> sources;
+  if (options.store != nullptr) {
+    sources.reserve(units.size());
+    for (const FleetUnit& unit : units)
+      sources.push_back(minic::print_program(*unit.program));
+  }
 
   const auto t_start = Clock::now();
   // Job j = (unit j / nconfigs, config j % nconfigs); each writes slot j.
@@ -144,6 +339,7 @@ FleetReport run_fleet(const std::vector<FleetUnit>& units,
                  const std::size_t c = j % options.configs.size();
                  run_job(units[u], options.configs[c],
                          fleet_job_seed(options.suite_seed, u), options,
+                         sources.empty() ? nullptr : &sources[u],
                          &report.records[j]);
                });
   report.wall_seconds = seconds_since(t_start);
@@ -153,7 +349,18 @@ FleetReport run_fleet(const std::vector<FleetUnit>& units,
     report.exec_seconds += r.exec_seconds;
     report.wcet_seconds += r.wcet_seconds;
     report.pass_timings += r.pass_timings;
+    report.cache_lookup_seconds += r.cache_lookup_seconds;
+    report.cache_publish_seconds += r.cache_publish_seconds;
+    if (report.cache_enabled) {
+      if (r.cache_hit)
+        ++report.cache_full_hits;
+      else if (r.cache_image_hit)
+        ++report.cache_image_hits;
+      else
+        ++report.cache_misses;
+    }
   }
+  if (options.store != nullptr) report.store_stats = options.store->stats();
   return report;
 }
 

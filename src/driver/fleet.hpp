@@ -17,9 +17,11 @@
 #include <string>
 #include <vector>
 
+#include "artifact/store.hpp"
 #include "driver/compiler.hpp"
 #include "machine/machine.hpp"
 #include "minic/ast.hpp"
+#include "support/json.hpp"
 
 namespace vc::driver {
 
@@ -35,6 +37,7 @@ struct FleetUnit {
 
 struct FleetOptions {
   /// Worker threads; 0 = one per hardware thread, 1 = serial on the caller.
+  /// Negative values are rejected by run_fleet (std::invalid_argument).
   int jobs = 0;
   /// Configurations to run every unit under (defaults to all four).
   std::vector<Config> configs{std::begin(kAllConfigs), std::end(kAllConfigs)};
@@ -51,6 +54,15 @@ struct FleetOptions {
   /// Base seed for the per-job input streams; the job for unit i draws from
   /// Rng(seed_for(suite_seed, i)) regardless of config and worker count.
   std::uint64_t suite_seed = 7;
+  /// Optional content-addressed artifact store. When set, every job first
+  /// looks up its (source, entry, config, annotations, compiler-version)
+  /// key: a full hit replays the cached results without compiling; an
+  /// image-only hit (same compile, different run parameters) reuses the
+  /// cached executable and recomputes just execution/WCET; a miss compiles
+  /// cold and publishes. Corrupt entries fall back to a cold compile.
+  /// The store must outlive the run_fleet call; it may be shared across
+  /// runs and processes (that is what makes campaign restarts warm).
+  artifact::ArtifactStore* store = nullptr;
 };
 
 /// The input stream seed for unit `index` (SplitMix64 golden-ratio mix, so
@@ -70,10 +82,18 @@ struct FleetRecord {
   std::uint64_t wcet_cycles = 0;
   std::uint64_t wcet_nocache_cycles = 0;
 
+  // Artifact-cache outcome for this job (false/false when caching is off or
+  // the job was a miss). `cache_hit` = full hit, results replayed from the
+  // store; `cache_image_hit` = executable reused, results recomputed.
+  bool cache_hit = false;
+  bool cache_image_hit = false;
+
   // Per-job wall time, split by phase (observability layer).
   double compile_seconds = 0.0;
   double exec_seconds = 0.0;
   double wcet_seconds = 0.0;
+  double cache_lookup_seconds = 0.0;
+  double cache_publish_seconds = 0.0;
   // Compile time split by RTL pass (where inside `compile` the time goes).
   opt::PassTimings pass_timings;
 };
@@ -93,6 +113,15 @@ struct FleetReport {
   // Aggregate per-pass RTL optimization time summed over jobs.
   opt::PassTimings pass_timings;
 
+  // Artifact-cache aggregates (all zero when no store was attached).
+  bool cache_enabled = false;
+  std::uint64_t cache_full_hits = 0;
+  std::uint64_t cache_image_hits = 0;
+  std::uint64_t cache_misses = 0;
+  double cache_lookup_seconds = 0.0;
+  double cache_publish_seconds = 0.0;
+  artifact::StoreStats store_stats;  // store-lifetime counters snapshot
+
   [[nodiscard]] const FleetRecord& at(std::size_t unit,
                                       std::size_t config) const {
     return records[unit * configs + config];
@@ -104,8 +133,18 @@ struct FleetReport {
 };
 
 /// Runs every unit under every configuration and returns the ordered report.
-/// Individual job failures are recorded (ok=false), not thrown.
+/// Individual job failures are recorded (ok=false), not thrown. Throws
+/// std::invalid_argument for negative FleetOptions::jobs.
 FleetReport run_fleet(const std::vector<FleetUnit>& units,
                       const FleetOptions& options = {});
+
+/// The machine-readable campaign report (--report-json): the full record
+/// array plus the aggregate header, as a JSON document. BENCH_*.json
+/// trajectories come from this instead of scraped stdout.
+json::Value to_json(const FleetReport& report);
+
+/// Serializes to_json(report) to `path` (pretty-printed, trailing newline).
+/// Returns false if the file cannot be written.
+bool write_report_json(const FleetReport& report, const std::string& path);
 
 }  // namespace vc::driver

@@ -1,0 +1,111 @@
+// Machine-readable campaign reports (--report-json): the full FleetReport —
+// every record plus the aggregate header — as one JSON document, so
+// BENCH_*.json trajectories come from the tool instead of scraped stdout.
+#include <fstream>
+
+#include "driver/fleet.hpp"
+
+namespace vc::driver {
+
+namespace {
+
+json::Value pass_timings_json(const opt::PassTimings& t) {
+  json::Value p;
+  p["constprop"] = json::Value(t.constprop);
+  p["cse"] = json::Value(t.cse);
+  p["forward"] = json::Value(t.forward);
+  p["dce"] = json::Value(t.dce);
+  p["deadstore"] = json::Value(t.deadstore);
+  p["tunnel"] = json::Value(t.tunnel);
+  return p;
+}
+
+json::Value exec_json(const machine::ExecStats& s) {
+  json::Value e;
+  e["cycles"] = json::Value(s.cycles);
+  e["instructions"] = json::Value(s.instructions);
+  e["dcache_reads"] = json::Value(s.dcache_reads);
+  e["dcache_writes"] = json::Value(s.dcache_writes);
+  e["dcache_read_misses"] = json::Value(s.dcache_read_misses);
+  e["dcache_write_misses"] = json::Value(s.dcache_write_misses);
+  e["ifetch_line_misses"] = json::Value(s.ifetch_line_misses);
+  e["taken_branches"] = json::Value(s.taken_branches);
+  return e;
+}
+
+json::Value record_json(const FleetRecord& r) {
+  json::Value v;
+  v["name"] = json::Value(r.name);
+  v["config"] = json::Value(to_string(r.config));
+  v["ok"] = json::Value(r.ok);
+  if (!r.ok) v["error"] = json::Value(r.error);
+  v["code_bytes"] = json::Value(r.code_bytes);
+  v["exec"] = exec_json(r.exec);
+  v["observed_max_cycles"] = json::Value(r.observed_max_cycles);
+  v["wcet_cycles"] = json::Value(r.wcet_cycles);
+  v["wcet_nocache_cycles"] = json::Value(r.wcet_nocache_cycles);
+  v["cache_hit"] = json::Value(r.cache_hit);
+  v["cache_image_hit"] = json::Value(r.cache_image_hit);
+  v["compile_seconds"] = json::Value(r.compile_seconds);
+  v["exec_seconds"] = json::Value(r.exec_seconds);
+  v["wcet_seconds"] = json::Value(r.wcet_seconds);
+  v["cache_lookup_seconds"] = json::Value(r.cache_lookup_seconds);
+  v["cache_publish_seconds"] = json::Value(r.cache_publish_seconds);
+  return v;
+}
+
+}  // namespace
+
+json::Value to_json(const FleetReport& report) {
+  json::Value doc;
+  doc["schema"] = json::Value("vcflight-fleet-report-v1");
+  doc["compiler_version"] = json::Value(kCompilerVersion);
+  doc["units"] = json::Value(static_cast<std::uint64_t>(report.units));
+  doc["configs"] = json::Value(static_cast<std::uint64_t>(report.configs));
+  doc["jobs"] = json::Value(static_cast<std::int64_t>(report.jobs));
+  doc["wall_seconds"] = json::Value(report.wall_seconds);
+  doc["nodes_per_second"] = json::Value(report.nodes_per_second());
+  doc["compile_seconds"] = json::Value(report.compile_seconds);
+  doc["exec_seconds"] = json::Value(report.exec_seconds);
+  doc["wcet_seconds"] = json::Value(report.wcet_seconds);
+  doc["pass_timings"] = pass_timings_json(report.pass_timings);
+
+  json::Value cache;
+  cache["enabled"] = json::Value(report.cache_enabled);
+  if (report.cache_enabled) {
+    cache["full_hits"] = json::Value(report.cache_full_hits);
+    cache["image_hits"] = json::Value(report.cache_image_hits);
+    cache["misses"] = json::Value(report.cache_misses);
+    cache["lookup_seconds"] = json::Value(report.cache_lookup_seconds);
+    cache["publish_seconds"] = json::Value(report.cache_publish_seconds);
+    json::Value store;
+    store["lookups"] = json::Value(report.store_stats.lookups);
+    store["hits"] = json::Value(report.store_stats.hits);
+    store["misses"] = json::Value(report.store_stats.misses);
+    store["publishes"] = json::Value(report.store_stats.publishes);
+    store["publish_races"] = json::Value(report.store_stats.publish_races);
+    store["stats_updates"] = json::Value(report.store_stats.stats_updates);
+    store["corrupt_dropped"] = json::Value(report.store_stats.corrupt_dropped);
+    store["evictions"] = json::Value(report.store_stats.evictions);
+    store["resident_entries"] =
+        json::Value(report.store_stats.resident_entries);
+    store["resident_bytes"] = json::Value(report.store_stats.resident_bytes);
+    cache["store"] = std::move(store);
+  }
+  doc["cache"] = std::move(cache);
+
+  json::Array records;
+  records.reserve(report.records.size());
+  for (const FleetRecord& r : report.records) records.push_back(record_json(r));
+  doc["records"] = json::Value(std::move(records));
+  return doc;
+}
+
+bool write_report_json(const FleetReport& report, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << to_json(report).dump(1) << "\n";
+  return out.good();
+}
+
+}  // namespace vc::driver

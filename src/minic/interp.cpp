@@ -17,8 +17,14 @@ std::int32_t as_i32(std::uint32_t v) { return static_cast<std::int32_t>(v); }
 bool Value::operator==(const Value& other) const {
   if (type != other.type) return false;
   if (type == Type::I32) return i == other.i;
-  // Bit-exact comparison so that -0.0 != 0.0 mismatches and NaNs compare
-  // equal to themselves: differential testing needs bit fidelity.
+  // Bit-exact comparison so that -0.0 != 0.0 mismatches: differential
+  // testing needs bit fidelity. NaNs are the one exception — all NaNs
+  // compare equal, because their sign/payload comes from the *host* FPU
+  // (every execution engine here evaluates f64 ops in host arithmetic) and
+  // varies with the host compiler's FP code generation, e.g. between the
+  // release and sanitizer builds.
+  if (std::isnan(f) || std::isnan(other.f))
+    return std::isnan(f) && std::isnan(other.f);
   std::uint64_t a = 0;
   std::uint64_t b = 0;
   std::memcpy(&a, &f, sizeof a);

@@ -1,0 +1,391 @@
+#include "support/json.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace vc::json {
+
+namespace {
+
+const Value kNull;
+const Array kEmptyArray;
+const Object kEmptyObject;
+
+void write_escaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void write_newline(std::string* out, int indent, int depth) {
+  if (indent < 0) return;
+  out->push_back('\n');
+  out->append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+bool Value::as_bool(bool fallback) const {
+  return kind_ == Kind::Bool ? bool_ : fallback;
+}
+
+std::int64_t Value::as_i64(std::int64_t fallback) const {
+  if (kind_ == Kind::Int) return int_;
+  if (kind_ == Kind::UInt &&
+      uint_ <= static_cast<std::uint64_t>(INT64_MAX))
+    return static_cast<std::int64_t>(uint_);
+  return fallback;
+}
+
+std::uint64_t Value::as_u64(std::uint64_t fallback) const {
+  if (kind_ == Kind::UInt) return uint_;
+  if (kind_ == Kind::Int && int_ >= 0) return static_cast<std::uint64_t>(int_);
+  return fallback;
+}
+
+double Value::as_double(double fallback) const {
+  switch (kind_) {
+    case Kind::Double: return double_;
+    case Kind::Int: return static_cast<double>(int_);
+    case Kind::UInt: return static_cast<double>(uint_);
+    default: return fallback;
+  }
+}
+
+std::string Value::as_string(const std::string& fallback) const {
+  return kind_ == Kind::String ? string_ : fallback;
+}
+
+const Array& Value::as_array() const {
+  return kind_ == Kind::Array ? array_ : kEmptyArray;
+}
+
+const Object& Value::as_object() const {
+  return kind_ == Kind::Object ? object_ : kEmptyObject;
+}
+
+const Value& Value::at(const std::string& key) const {
+  if (kind_ == Kind::Object) {
+    const auto it = object_.find(key);
+    if (it != object_.end()) return it->second;
+  }
+  return kNull;
+}
+
+Value& Value::operator[](const std::string& key) {
+  if (kind_ == Kind::Null) kind_ = Kind::Object;
+  // Non-object access is a programming error; keep it deterministic by
+  // resetting to an object rather than corrupting the existing lane.
+  if (kind_ != Kind::Object) {
+    *this = Value(Object{});
+  }
+  return object_[key];
+}
+
+void Value::write(std::string* out, int indent, int depth) const {
+  char buf[64];
+  switch (kind_) {
+    case Kind::Null: *out += "null"; break;
+    case Kind::Bool: *out += bool_ ? "true" : "false"; break;
+    case Kind::Int:
+      std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(int_));
+      *out += buf;
+      break;
+    case Kind::UInt:
+      std::snprintf(buf, sizeof buf, "%llu",
+                    static_cast<unsigned long long>(uint_));
+      *out += buf;
+      break;
+    case Kind::Double:
+      if (std::isfinite(double_)) {
+        // %.17g round-trips every double; trim to %g when exact.
+        std::snprintf(buf, sizeof buf, "%.17g", double_);
+        double probe = 0.0;
+        char probe_buf[64];
+        std::snprintf(probe_buf, sizeof probe_buf, "%g", double_);
+        probe = std::strtod(probe_buf, nullptr);
+        *out += probe == double_ ? probe_buf : buf;
+      } else {
+        *out += "null";  // JSON has no NaN/Inf; null keeps documents valid
+      }
+      break;
+    case Kind::String: write_escaped(out, string_); break;
+    case Kind::Array: {
+      if (array_.empty()) {
+        *out += "[]";
+        break;
+      }
+      out->push_back('[');
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        write_newline(out, indent, depth + 1);
+        array_[i].write(out, indent, depth + 1);
+      }
+      write_newline(out, indent, depth);
+      out->push_back(']');
+      break;
+    }
+    case Kind::Object: {
+      if (object_.empty()) {
+        *out += "{}";
+        break;
+      }
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [key, value] : object_) {
+        if (!first) out->push_back(',');
+        first = false;
+        write_newline(out, indent, depth + 1);
+        write_escaped(out, key);
+        *out += indent < 0 ? ":" : ": ";
+        value.write(out, indent, depth + 1);
+      }
+      write_newline(out, indent, depth);
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Value::dump(int indent) const {
+  std::string out;
+  write(&out, indent, 0);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Parsed run() {
+    Parsed out;
+    out.value = parse_value(&out.error);
+    if (!out.error.empty()) return out;
+    skip_ws();
+    if (pos_ != text_.size()) fail(&out.error, "trailing characters");
+    return out;
+  }
+
+ private:
+  void fail(std::string* error, const std::string& what) {
+    if (error->empty())
+      *error = what + " at offset " + std::to_string(pos_);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_word(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Value parse_value(std::string* error) {
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      fail(error, "unexpected end of input");
+      return {};
+    }
+    const char c = text_[pos_];
+    if (c == '{') return parse_object(error);
+    if (c == '[') return parse_array(error);
+    if (c == '"') return parse_string(error);
+    if (consume_word("null")) return {};
+    if (consume_word("true")) return Value(true);
+    if (consume_word("false")) return Value(false);
+    if (c == '-' || (c >= '0' && c <= '9')) return parse_number(error);
+    fail(error, "unexpected character");
+    return {};
+  }
+
+  Value parse_object(std::string* error) {
+    ++pos_;  // '{'
+    Object out;
+    skip_ws();
+    if (consume('}')) return Value(std::move(out));
+    for (;;) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        fail(error, "expected object key");
+        return {};
+      }
+      Value key = parse_string(error);
+      if (!error->empty()) return {};
+      skip_ws();
+      if (!consume(':')) {
+        fail(error, "expected ':'");
+        return {};
+      }
+      out[key.as_string()] = parse_value(error);
+      if (!error->empty()) return {};
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) return Value(std::move(out));
+      fail(error, "expected ',' or '}'");
+      return {};
+    }
+  }
+
+  Value parse_array(std::string* error) {
+    ++pos_;  // '['
+    Array out;
+    skip_ws();
+    if (consume(']')) return Value(std::move(out));
+    for (;;) {
+      out.push_back(parse_value(error));
+      if (!error->empty()) return {};
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) return Value(std::move(out));
+      fail(error, "expected ',' or ']'");
+      return {};
+    }
+  }
+
+  Value parse_string(std::string* error) {
+    ++pos_;  // '"'
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return Value(std::move(out));
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            fail(error, "truncated \\u escape");
+            return {};
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else {
+              fail(error, "bad \\u escape");
+              return {};
+            }
+          }
+          // Our documents are ASCII; anything else is preserved as '?'.
+          out.push_back(code < 0x80 ? static_cast<char>(code) : '?');
+          break;
+        }
+        default:
+          fail(error, "bad escape");
+          return {};
+      }
+    }
+    fail(error, "unterminated string");
+    return {};
+  }
+
+  Value parse_number(std::string* error) {
+    const std::size_t start = pos_;
+    if (consume('-')) {
+    }
+    while (pos_ < text_.size() && std::isdigit(
+               static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+    bool is_double = false;
+    if (pos_ < text_.size() && (text_[pos_] == '.' || text_[pos_] == 'e' ||
+                                text_[pos_] == 'E')) {
+      is_double = true;
+      while (pos_ < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+              text_[pos_] == '+' || text_[pos_] == '-'))
+        ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    if (token.empty() || token == "-") {
+      fail(error, "bad number");
+      return {};
+    }
+    errno = 0;
+    char* end = nullptr;
+    if (is_double) {
+      const double v = std::strtod(token.c_str(), &end);
+      if (end != token.c_str() + token.size() || errno == ERANGE) {
+        fail(error, "bad number");
+        return {};
+      }
+      return Value(v);
+    }
+    if (token[0] == '-') {
+      const long long v = std::strtoll(token.c_str(), &end, 10);
+      if (end != token.c_str() + token.size() || errno == ERANGE) {
+        fail(error, "bad number");
+        return {};
+      }
+      return Value(static_cast<std::int64_t>(v));
+    }
+    const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+    if (end != token.c_str() + token.size() || errno == ERANGE) {
+      fail(error, "bad number");
+      return {};
+    }
+    return Value(static_cast<std::uint64_t>(v));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Parsed parse(std::string_view text) { return Parser(text).run(); }
+
+}  // namespace vc::json

@@ -1,0 +1,92 @@
+// A small JSON document model with a writer and a strict parser — the
+// serialization substrate for the artifact store's metadata/result files
+// (src/artifact) and the fleet's machine-readable campaign reports
+// (--report-json).
+//
+// Deliberate scope cuts, acceptable for tool-generated documents:
+//  - numbers are kept in three exact lanes (int64 / uint64 / double), so
+//    cycle counters and 64-bit seeds round-trip without precision loss;
+//  - strings are escaped but only ASCII is emitted (non-ASCII bytes pass
+//    through verbatim; our documents are ASCII by construction);
+//  - the parser is strict: trailing garbage, unterminated values, and
+//    duplicate keys (last one wins) are the only liberties taken.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vc::json {
+
+class Value;
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+class Value {
+ public:
+  enum class Kind { Null, Bool, Int, UInt, Double, String, Array, Object };
+
+  Value() = default;
+  Value(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+  Value(bool b) : kind_(Kind::Bool), bool_(b) {}
+  Value(int v) : kind_(Kind::Int), int_(v) {}
+  Value(std::int64_t v) : kind_(Kind::Int), int_(v) {}
+  Value(std::uint32_t v) : kind_(Kind::UInt), uint_(v) {}
+  Value(std::uint64_t v) : kind_(Kind::UInt), uint_(v) {}
+  Value(double v) : kind_(Kind::Double), double_(v) {}
+  Value(const char* s) : kind_(Kind::String), string_(s) {}
+  Value(std::string s) : kind_(Kind::String), string_(std::move(s)) {}
+  Value(Array a) : kind_(Kind::Array), array_(std::move(a)) {}
+  Value(Object o) : kind_(Kind::Object), object_(std::move(o)) {}
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::Null; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::Object; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::Array; }
+
+  /// Typed accessors with per-document defaults: a missing or differently-
+  /// typed field yields `fallback`, never a throw — store readers treat any
+  /// schema surprise as a cache miss, not an error.
+  [[nodiscard]] bool as_bool(bool fallback = false) const;
+  [[nodiscard]] std::int64_t as_i64(std::int64_t fallback = 0) const;
+  [[nodiscard]] std::uint64_t as_u64(std::uint64_t fallback = 0) const;
+  [[nodiscard]] double as_double(double fallback = 0.0) const;
+  [[nodiscard]] std::string as_string(const std::string& fallback = {}) const;
+  [[nodiscard]] const Array& as_array() const;    // empty if not an array
+  [[nodiscard]] const Object& as_object() const;  // empty if not an object
+
+  /// Object field access; returns a shared Null value when absent.
+  [[nodiscard]] const Value& at(const std::string& key) const;
+
+  /// Mutable object field (creates the field; converts Null to Object).
+  Value& operator[](const std::string& key);
+
+  /// Serializes the document. `indent` < 0 emits the compact one-line form;
+  /// >= 0 pretty-prints with that many spaces per level.
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+ private:
+  void write(std::string* out, int indent, int depth) const;
+
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  std::uint64_t uint_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Parse result: a document or a position-annotated error (no exceptions —
+/// corrupt cache files are an expected input, not a failure).
+struct Parsed {
+  Value value;
+  std::string error;  // empty on success
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+Parsed parse(std::string_view text);
+
+}  // namespace vc::json

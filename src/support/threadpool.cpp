@@ -62,7 +62,17 @@ void ThreadPool::worker_loop() {
 void parallel_for(std::size_t count, std::size_t jobs,
                   const std::function<void(std::size_t)>& fn) {
   if (jobs <= 1) {
-    for (std::size_t i = 0; i < count; ++i) fn(i);
+    // Same exception contract as the pooled path: every index runs; the
+    // first exception is rethrown once the loop completes.
+    std::exception_ptr first_error;
+    for (std::size_t i = 0; i < count; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
     return;
   }
   ThreadPool pool(jobs);

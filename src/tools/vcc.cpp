@@ -17,11 +17,13 @@
 //     --stats                        print per-function code sizes
 //     --batch                        compile every .mc file under <dir>
 //     --jobs=N                       batch worker threads (0 = all cores)
-#include <algorithm>
-#include <chrono>
+//     --cache-dir=DIR                batch: content-addressed artifact cache
+//     --cache-budget-mb=N            batch: cache LRU budget (0 = unlimited)
+//
+// Batch mode exits non-zero if any file fails, and lists the failing files
+// in a per-file pass/fail summary on stderr.
 #include <cstdio>
 #include <cstring>
-#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -32,7 +34,6 @@
 #include "minic/parser.hpp"
 #include "minic/typecheck.hpp"
 #include "support/strings.hpp"
-#include "support/threadpool.hpp"
 #include "tools/vcc_cli.hpp"
 #include "validate/validate.hpp"
 #include "wcet/report.hpp"
@@ -47,7 +48,8 @@ using namespace vc;
       "usage: vcc [--config=O0|O1|verified|O2] [--emit-asm]\n"
       "           [--wcet=FN] [--no-annotations] [--run=FN[:args]]\n"
       "           [--validate] [--stats] file.mc\n"
-      "       vcc [--config=...] [--validate] [--jobs=N] --batch dir\n",
+      "       vcc [--config=...] [--validate] [--jobs=N]\n"
+      "           [--cache-dir=DIR] [--cache-budget-mb=N] --batch dir\n",
       stderr);
   std::exit(2);
 }
@@ -82,73 +84,20 @@ std::string read_file_or_die(const std::string& path, int exit_code = 1) {
   return buffer.str();
 }
 
-/// Batch mode: every .mc file under `dir`, compiled in parallel, results
-/// printed in sorted-path order (deterministic for any worker count).
-int run_batch(const std::string& dir, driver::Config config, bool do_validate,
-              int jobs) {
-  namespace fs = std::filesystem;
-  std::error_code ec;
-  if (!fs::is_directory(dir, ec)) {
-    std::fprintf(stderr, "vcc: not a directory: %s\n", dir.c_str());
-    return 1;
+/// Batch mode front-end: the policy (parallel compile, per-file summary,
+/// non-zero exit on any failure, optional artifact cache) lives in
+/// tools::run_batch so it is unit-testable; this just prints.
+int run_batch_cli(const std::string& dir, const tools::BatchOptions& options) {
+  const tools::BatchResult result = tools::run_batch(dir, options);
+  for (const std::string& line : result.lines) std::puts(line.c_str());
+  if (result.total == 0) {
+    std::fprintf(stderr, "vcc: %s\n", result.summary.c_str());
+    return result.exit_code;
   }
-  std::vector<std::string> files;
-  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec))
-    if (entry.is_regular_file() && entry.path().extension() == ".mc")
-      files.push_back(entry.path().string());
-  std::sort(files.begin(), files.end());
-  if (files.empty()) {
-    std::fprintf(stderr, "vcc: no .mc files under %s\n", dir.c_str());
-    return 1;
-  }
-
-  struct FileResult {
-    bool ok = false;
-    std::string line;
-  };
-  std::vector<FileResult> results(files.size());
-
-  const auto t_start = std::chrono::steady_clock::now();
-  parallel_for(
-      files.size(),
-      jobs > 0 ? static_cast<std::size_t>(jobs)
-               : ThreadPool::default_worker_count(),
-      [&](std::size_t i) {
-        FileResult& r = results[i];
-        char buf[512];
-        try {
-          std::ifstream in(files[i]);
-          if (!in) throw std::runtime_error("cannot open file");
-          std::stringstream buffer;
-          buffer << in.rdbuf();
-          minic::Program program;
-          const driver::Compiled compiled = compile_source(
-              buffer.str(), files[i], config, do_validate, &program);
-          std::snprintf(buf, sizeof buf, "%s: ok — %zu function(s), %u bytes",
-                        files[i].c_str(), program.functions.size(),
-                        compiled.image.code_size_bytes());
-          r.ok = true;
-        } catch (const std::exception& e) {
-          std::snprintf(buf, sizeof buf, "%s: error: %s", files[i].c_str(),
-                        e.what());
-        }
-        r.line = buf;
-      });
-  const double wall =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
-          .count();
-
-  std::size_t ok = 0;
-  for (const FileResult& r : results) {
-    std::puts(r.line.c_str());
-    ok += r.ok ? 1 : 0;
-  }
-  std::fprintf(stderr,
-               "vcc: batch compiled %zu/%zu file(s) under %s in %.2fs "
-               "(%.1f files/s)\n",
-               ok, files.size(), driver::to_string(config).c_str(), wall,
-               wall > 0.0 ? static_cast<double>(files.size()) / wall : 0.0);
-  return ok == files.size() ? 0 : 1;
+  std::fprintf(stderr, "vcc: %s\n", result.summary.c_str());
+  for (const std::string& path : result.failures)
+    std::fprintf(stderr, "vcc: FAILED: %s\n", path.c_str());
+  return result.exit_code;
 }
 
 }  // namespace
@@ -162,6 +111,8 @@ int main(int argc, char** argv) {
   bool use_annotations = true;
   bool batch = false;
   int jobs = 0;
+  std::string cache_dir;
+  std::uint64_t cache_budget_bytes = 0;
   std::string wcet_fn;
   std::string run_spec;
 
@@ -185,6 +136,13 @@ int main(int argc, char** argv) {
       const auto parsed = tools::parse_count_flag(arg.substr(7));
       if (!parsed) die("bad --jobs value '" + arg.substr(7) + "'");
       jobs = *parsed;
+    } else if (starts_with(arg, "--cache-dir=")) {
+      cache_dir = arg.substr(12);
+      if (cache_dir.empty()) die("empty --cache-dir value");
+    } else if (starts_with(arg, "--cache-budget-mb=")) {
+      const auto parsed = tools::parse_count_flag(arg.substr(18));
+      if (!parsed) die("bad --cache-budget-mb value '" + arg.substr(18) + "'");
+      cache_budget_bytes = static_cast<std::uint64_t>(*parsed) * 1024 * 1024;
     } else if (starts_with(arg, "--wcet=")) {
       wcet_fn = arg.substr(7);
     } else if (starts_with(arg, "--run=")) {
@@ -197,7 +155,15 @@ int main(int argc, char** argv) {
   }
   if (path.empty()) usage();
 
-  if (batch) return run_batch(path, config, do_validate, jobs);
+  if (batch) {
+    tools::BatchOptions batch_options;
+    batch_options.config = config;
+    batch_options.validate = do_validate;
+    batch_options.jobs = jobs;
+    batch_options.cache_dir = cache_dir;
+    batch_options.cache_budget_bytes = cache_budget_bytes;
+    return run_batch_cli(path, batch_options);
+  }
 
   const std::string source = read_file_or_die(path);
 

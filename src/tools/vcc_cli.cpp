@@ -1,8 +1,22 @@
 #include "tools/vcc_cli.hpp"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <limits>
+#include <memory>
+#include <sstream>
+
+#include "artifact/image_io.hpp"
+#include "artifact/store.hpp"
+#include "minic/parser.hpp"
+#include "minic/typecheck.hpp"
+#include "support/threadpool.hpp"
+#include "validate/validate.hpp"
 
 namespace vc::tools {
 
@@ -88,6 +102,139 @@ CallArgs parse_call_args(const minic::Function& fn, const std::string& spec) {
     }
   }
   return out;
+}
+
+BatchResult run_batch(const std::string& dir, const BatchOptions& options) {
+  namespace fs = std::filesystem;
+  BatchResult result;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    result.summary = "not a directory: " + dir;
+    return result;
+  }
+  if (options.jobs < 0) {
+    result.summary = "--jobs must be >= 0, got " +
+                     std::to_string(options.jobs);
+    return result;
+  }
+  std::vector<std::string> files;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec))
+    if (entry.is_regular_file() && entry.path().extension() == ".mc")
+      files.push_back(entry.path().string());
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    result.summary = "no .mc files under " + dir;
+    return result;
+  }
+  result.total = files.size();
+
+  // Validated runs re-check every compile by design; caching would skip the
+  // very work the flag requests.
+  std::unique_ptr<artifact::ArtifactStore> store;
+  if (!options.cache_dir.empty() && !options.validate)
+    store = std::make_unique<artifact::ArtifactStore>(
+        artifact::ArtifactStore::Options{options.cache_dir,
+                                         options.cache_budget_bytes});
+
+  struct FileResult {
+    bool ok = false;
+    bool cached = false;
+    std::string line;
+  };
+  std::vector<FileResult> results(files.size());
+
+  const auto t_start = std::chrono::steady_clock::now();
+  parallel_for(
+      files.size(),
+      options.jobs > 0 ? static_cast<std::size_t>(options.jobs)
+                       : ThreadPool::default_worker_count(),
+      [&](std::size_t i) {
+        FileResult& r = results[i];
+        char buf[512];
+        try {
+          std::ifstream in(files[i]);
+          if (!in) throw std::runtime_error("cannot open file");
+          std::stringstream buffer;
+          buffer << in.rdbuf();
+          const std::string source = buffer.str();
+
+          // Whole-file compiles have no entry function; "" keys the image.
+          Hash128 key;
+          if (store != nullptr) {
+            key = artifact::ArtifactStore::make_key(
+                source, "", driver::to_string(options.config),
+                /*annotations=*/true, driver::kCompilerVersion);
+            if (const auto loaded = store->lookup(key)) {
+              std::snprintf(buf, sizeof buf,
+                            "%s: ok — %llu function(s), %llu bytes (cached)",
+                            files[i].c_str(),
+                            static_cast<unsigned long long>(
+                                loaded->stats.at("functions").as_u64()),
+                            static_cast<unsigned long long>(
+                                loaded->stats.at("code_bytes").as_u64()));
+              r.ok = true;
+              r.cached = true;
+              r.line = buf;
+              return;
+            }
+          }
+
+          minic::Program program = minic::parse_program(source, files[i]);
+          minic::type_check(program);
+          const driver::Compiled compiled =
+              options.validate
+                  ? validate::validated_compile(program, options.config)
+                  : driver::compile_program(program, options.config);
+          if (store != nullptr) {
+            json::Value doc;
+            doc["functions"] = json::Value(
+                static_cast<std::uint64_t>(program.functions.size()));
+            doc["code_bytes"] =
+                json::Value(compiled.image.code_size_bytes());
+            doc["results"] = json::Value(json::Array{});
+            json::Value info;
+            info["file"] = json::Value(files[i]);
+            info["config"] = json::Value(driver::to_string(options.config));
+            info["compiler_version"] = json::Value(driver::kCompilerVersion);
+            store->publish(key, artifact::serialize_image(compiled.image),
+                           artifact::annotation_text(compiled.image), doc,
+                           std::move(info));
+          }
+          std::snprintf(buf, sizeof buf, "%s: ok — %zu function(s), %u bytes",
+                        files[i].c_str(), program.functions.size(),
+                        compiled.image.code_size_bytes());
+          r.ok = true;
+        } catch (const std::exception& e) {
+          std::snprintf(buf, sizeof buf, "%s: error: %s", files[i].c_str(),
+                        e.what());
+        }
+        r.line = buf;
+      });
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
+          .count();
+
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    result.lines.push_back(results[i].line);
+    if (results[i].ok) {
+      ++result.compiled;
+      if (results[i].cached) ++result.cache_hits;
+    } else {
+      result.failures.push_back(files[i]);
+    }
+  }
+
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "batch: %zu/%zu file(s) ok, %zu failed under %s in %.2fs "
+                "(%.1f files/s)",
+                result.compiled, result.total, result.failures.size(),
+                driver::to_string(options.config).c_str(), wall,
+                wall > 0.0 ? static_cast<double>(result.total) / wall : 0.0);
+  result.summary = buf;
+  if (store != nullptr) result.summary += "\n" + store->stats().summary();
+  result.exit_code = result.failures.empty() ? 0 : 1;
+  return result;
 }
 
 std::optional<int> parse_count_flag(const std::string& text) {

@@ -33,7 +33,37 @@ struct CallArgs {
 CallArgs parse_call_args(const minic::Function& fn, const std::string& spec);
 
 /// Parses a decimal unsigned integer flag value ("--jobs=N"); nullopt on
-/// malformed input or values outside [0, 1000000].
+/// malformed input or values outside [0, 1000000]. Negative values are
+/// malformed by policy: they must never reach the thread pool.
 std::optional<int> parse_count_flag(const std::string& text);
+
+/// Batch compilation (vcc --batch): every .mc file under a directory,
+/// compiled in parallel, with optional artifact caching. Lives here (not in
+/// the vcc binary) so the exit-code and summary policy is unit-testable:
+/// any per-file failure must yield a non-zero exit code and an explicit
+/// per-file pass/fail summary — a batch must never "exit 0 with errors in
+/// the scrollback".
+struct BatchOptions {
+  driver::Config config = driver::Config::Verified;
+  /// Translation-validate every pass. Validated runs bypass the artifact
+  /// cache: re-checking the compilation is the point of the run.
+  bool validate = false;
+  int jobs = 0;  // 0 = one worker per hardware thread
+  /// Artifact-store directory; empty disables caching.
+  std::string cache_dir;
+  std::uint64_t cache_budget_bytes = 0;  // 0 = unlimited
+};
+
+struct BatchResult {
+  int exit_code = 1;               // 0 only when every file compiled
+  std::size_t total = 0;
+  std::size_t compiled = 0;
+  std::size_t cache_hits = 0;
+  std::vector<std::string> lines;     // per-file results, sorted-path order
+  std::vector<std::string> failures;  // paths of the files that failed
+  std::string summary;                // human footer (throughput + cache)
+};
+
+BatchResult run_batch(const std::string& dir, const BatchOptions& options);
 
 }  // namespace vc::tools

@@ -1,5 +1,9 @@
-// The vcc strict argument-parsing rules: malformed literals, wrong arity,
-// and flag values are diagnosed instead of silently truncated/zero-filled.
+// The vcc strict argument-parsing rules (malformed literals, wrong arity,
+// and flag values are diagnosed instead of silently truncated/zero-filled)
+// and the --batch exit-code/summary policy: a batch with any failing file
+// must exit non-zero and name every failure explicitly.
+#include <filesystem>
+#include <fstream>
 #include <gtest/gtest.h>
 
 #include "tools/vcc_cli.hpp"
@@ -110,6 +114,164 @@ TEST(VccCliTest, ParseCountFlag) {
   EXPECT_FALSE(parse_count_flag("-1").has_value());
   EXPECT_FALSE(parse_count_flag("8x").has_value());
   EXPECT_FALSE(parse_count_flag("10000001").has_value());
+}
+
+// ---------------------------------------------------------------- --batch
+
+namespace fs = std::filesystem;
+
+/// A scratch directory of .mc files, removed on destruction.
+class BatchDir {
+ public:
+  explicit BatchDir(const std::string& tag)
+      : dir_((fs::temp_directory_path() / ("vcc-batch-test-" + tag))
+                 .string()) {
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  ~BatchDir() {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  void add(const std::string& name, const std::string& source) const {
+    std::ofstream out(fs::path(dir_) / name);
+    out << source;
+  }
+
+  [[nodiscard]] const std::string& path() const { return dir_; }
+
+ private:
+  std::string dir_;
+};
+
+const char kGoodSource[] =
+    "func f64 lowpass(f64 x) { return 0.2 * x; }\n";
+const char kBadSource[] =
+    "func f64 broken(f64 x) { return undeclared_name; }\n";
+
+TEST(VccBatchTest, AllFilesOkExitsZero) {
+  const BatchDir dir("all-ok");
+  dir.add("a.mc", kGoodSource);
+  dir.add("b.mc", kGoodSource);
+  const BatchResult result = run_batch(dir.path(), BatchOptions{});
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_EQ(result.total, 2u);
+  EXPECT_EQ(result.compiled, 2u);
+  EXPECT_TRUE(result.failures.empty());
+  ASSERT_EQ(result.lines.size(), 2u);
+  for (const std::string& line : result.lines)
+    EXPECT_NE(line.find(": ok"), std::string::npos) << line;
+  EXPECT_NE(result.summary.find("2/2 file(s) ok, 0 failed"),
+            std::string::npos)
+      << result.summary;
+}
+
+TEST(VccBatchTest, AnyFailureExitsNonZeroAndIsNamed) {
+  const BatchDir dir("one-bad");
+  dir.add("a.mc", kGoodSource);
+  dir.add("bad.mc", kBadSource);
+  dir.add("c.mc", kGoodSource);
+  const BatchResult result = run_batch(dir.path(), BatchOptions{});
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_EQ(result.total, 3u);
+  EXPECT_EQ(result.compiled, 2u);
+  // The failing file is named in the failure list AND its per-file line.
+  ASSERT_EQ(result.failures.size(), 1u);
+  EXPECT_NE(result.failures[0].find("bad.mc"), std::string::npos);
+  bool saw_error_line = false;
+  for (const std::string& line : result.lines)
+    if (line.find("bad.mc") != std::string::npos &&
+        line.find("error") != std::string::npos)
+      saw_error_line = true;
+  EXPECT_TRUE(saw_error_line);
+  EXPECT_NE(result.summary.find("2/3 file(s) ok, 1 failed"),
+            std::string::npos)
+      << result.summary;
+}
+
+TEST(VccBatchTest, FailureIsolatedPerFileAtAnyWorkerCount) {
+  const BatchDir dir("parallel-bad");
+  dir.add("bad.mc", kBadSource);
+  for (int i = 0; i < 6; ++i)
+    dir.add("ok" + std::to_string(i) + ".mc", kGoodSource);
+  BatchOptions options;
+  options.jobs = 4;
+  const BatchResult result = run_batch(dir.path(), options);
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_EQ(result.compiled, 6u);
+  EXPECT_EQ(result.failures.size(), 1u);
+}
+
+TEST(VccBatchTest, NegativeJobsIsDiagnosed) {
+  const BatchDir dir("neg-jobs");
+  dir.add("a.mc", kGoodSource);
+  BatchOptions options;
+  options.jobs = -3;
+  const BatchResult result = run_batch(dir.path(), options);
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_EQ(result.total, 0u);  // rejected before any file was touched
+  EXPECT_NE(result.summary.find("--jobs must be >= 0"), std::string::npos)
+      << result.summary;
+  EXPECT_NE(result.summary.find("-3"), std::string::npos);
+}
+
+TEST(VccBatchTest, MissingDirectoryIsDiagnosed) {
+  const BatchResult result =
+      run_batch("/nonexistent/vcc-batch-dir", BatchOptions{});
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.summary.find("not a directory"), std::string::npos);
+}
+
+TEST(VccBatchTest, EmptyDirectoryIsDiagnosed) {
+  const BatchDir dir("empty");
+  const BatchResult result = run_batch(dir.path(), BatchOptions{});
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.summary.find("no .mc files"), std::string::npos);
+}
+
+TEST(VccBatchTest, SecondRunHitsTheCache) {
+  const BatchDir dir("cache");
+  // Distinct sources: identical files would share one artifact key (content
+  // addressing) and the second file would hit within the cold run already.
+  dir.add("a.mc", kGoodSource);
+  dir.add("b.mc", "func f64 gain(f64 x) { return 1.5 * x; }\n");
+  const std::string cache =
+      (fs::temp_directory_path() / "vcc-batch-test-cache-store").string();
+  fs::remove_all(cache);
+  BatchOptions options;
+  options.cache_dir = cache;
+
+  const BatchResult cold = run_batch(dir.path(), options);
+  EXPECT_EQ(cold.exit_code, 0);
+  EXPECT_EQ(cold.cache_hits, 0u);
+
+  const BatchResult warm = run_batch(dir.path(), options);
+  EXPECT_EQ(warm.exit_code, 0);
+  EXPECT_EQ(warm.cache_hits, 2u);
+  for (const std::string& line : warm.lines)
+    EXPECT_NE(line.find("(cached)"), std::string::npos) << line;
+  // The cache footer rides along in the summary.
+  EXPECT_NE(warm.summary.find("artifact store"), std::string::npos)
+      << warm.summary;
+  fs::remove_all(cache);
+}
+
+TEST(VccBatchTest, ValidateBypassesTheCache) {
+  const BatchDir dir("validate");
+  dir.add("a.mc", kGoodSource);
+  const std::string cache =
+      (fs::temp_directory_path() / "vcc-batch-test-validate-store").string();
+  fs::remove_all(cache);
+  BatchOptions options;
+  options.cache_dir = cache;
+  options.validate = true;
+  const BatchResult first = run_batch(dir.path(), options);
+  EXPECT_EQ(first.exit_code, 0);
+  const BatchResult second = run_batch(dir.path(), options);
+  EXPECT_EQ(second.exit_code, 0);
+  EXPECT_EQ(second.cache_hits, 0u);  // re-validation is the point of the run
+  fs::remove_all(cache);
 }
 
 }  // namespace
