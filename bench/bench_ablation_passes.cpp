@@ -2,84 +2,53 @@
 // contribution of each pass to the WCET gain. The paper's §3.3 emphasises
 // that "a good register allocation" carries most of the improvement and that
 // other optimizations are hampered without it — this bench quantifies that
-// claim on our suite by rebuilding the verified pipeline with pieces removed.
+// claim on our suite.
+//
+// Every arm is expressed through the pass framework's own ablation surface:
+// the verified configuration with CompileOptions::disable_passes removing one
+// pass (exactly what `vcc --disable-pass=NAME` wires up), plus the O1 and O0
+// configurations as the no-regalloc / no-anything endpoints. There is no
+// hand-rolled pipeline here — the bench measures the pipelines users can
+// actually select.
 #include <cstdio>
 #include <map>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
-#include "opt/opt.hpp"
-#include "regalloc/regalloc.hpp"
-#include "rtl/analysis.hpp"
-#include "rtl/lower.hpp"
 #include "wcet/wcet.hpp"
 
 using namespace vc;
 
 namespace {
 
-enum class Variant {
-  Full,          // constprop + cse + forward + dce + deadstore + regalloc
-  NoConstprop,
-  NoCse,
-  NoForward,     // without store-to-load forwarding
-  NoDce,
-  NoDeadstore,   // without dead-store elimination
-  NoRegalloc,    // value lowering but pattern-style: impossible — instead:
-                 // pattern lowering + all RTL passes (the paper's O1)
-  NothingAtAll,  // pattern lowering, no passes (the paper's O0)
+struct Arm {
+  const char* label;
+  driver::Config config;
+  std::vector<std::string> disable;  // --disable-pass list for this arm
 };
 
-const char* name_of(Variant v) {
-  switch (v) {
-    case Variant::Full: return "verified (all passes)";
-    case Variant::NoConstprop: return "  - constprop";
-    case Variant::NoCse: return "  - cse";
-    case Variant::NoForward: return "  - forwarding";
-    case Variant::NoDce: return "  - dce";
-    case Variant::NoDeadstore: return "  - deadstore";
-    case Variant::NoRegalloc: return "  - regalloc (pattern+opts)";
-    case Variant::NothingAtAll: return "  - everything (pattern)";
-  }
-  return "?";
+const std::vector<Arm>& arms() {
+  static const std::vector<Arm> kArms = {
+      {"verified (all passes)", driver::Config::Verified, {}},
+      {"  - constprop", driver::Config::Verified, {"constprop"}},
+      {"  - cse", driver::Config::Verified, {"cse"}},
+      {"  - forwarding", driver::Config::Verified, {"forward"}},
+      {"  - dce", driver::Config::Verified, {"dce"}},
+      {"  - deadstore", driver::Config::Verified, {"deadstore"}},
+      {"  - tunnel", driver::Config::Verified, {"tunnel"}},
+      {"  - regalloc (= O1 config)", driver::Config::O1NoRegalloc, {}},
+      {"  - everything (= O0 config)", driver::Config::O0Pattern, {}},
+  };
+  return kArms;
 }
 
-std::uint64_t wcet_of_variant(const bench::NodeBundle& bundle, Variant v) {
-  const bool pattern =
-      v == Variant::NoRegalloc || v == Variant::NothingAtAll;
-  ppc::DataLayout layout(bundle.program);
-  std::vector<ppc::MachineFunction> machine_fns;
-  for (const auto& src : bundle.program.functions) {
-    rtl::Function fn = rtl::lower_function(
-        bundle.program, src,
-        pattern ? rtl::LowerMode::PatternStack : rtl::LowerMode::Value);
-    rtl::remove_unreachable_blocks(fn);
-    if (v != Variant::NothingAtAll) {
-      // The memory passes assume value lowering (pattern mode keeps its
-      // per-symbol load/store discipline), matching the driver's gating.
-      const bool memory_opts = !pattern;
-      for (int round = 0; round < 4; ++round) {
-        bool changed = false;
-        if (v != Variant::NoConstprop) changed |= opt::constant_propagation(fn);
-        if (v != Variant::NoCse)
-          changed |= opt::common_subexpression_elimination(fn);
-        if (memory_opts && v != Variant::NoForward)
-          changed |= opt::memory_forwarding(fn);
-        if (v != Variant::NoDce) changed |= opt::dead_code_elimination(fn);
-        if (memory_opts && v != Variant::NoDeadstore)
-          changed |= opt::dead_store_elimination(fn);
-        if (!changed) break;
-      }
-    }
-    const regalloc::Allocation alloc = regalloc::allocate_registers(
-        fn, ppc::kAllocatableGprs, ppc::kAllocatableFprs);
-    ppc::EmitOptions options;
-    options.small_data_area = pattern;  // verified variants: no SDA
-    ppc::AsmFunction asm_fn = ppc::emit_function(fn, alloc, layout, options);
-    ppc::remove_self_moves(asm_fn);
-    machine_fns.push_back(ppc::finalize(asm_fn));
-  }
-  const ppc::Image image = ppc::link(machine_fns, layout);
-  return wcet::analyze_wcet(image, bundle.step_fn).wcet_cycles;
+std::uint64_t wcet_of_arm(const bench::NodeBundle& bundle, const Arm& arm) {
+  driver::CompileOptions copts;
+  copts.disable_passes = arm.disable;
+  const driver::Compiled compiled =
+      driver::compile_program(bundle.program, arm.config, copts);
+  return wcet::analyze_wcet(compiled.image, bundle.step_fn).wcet_cycles;
 }
 
 }  // namespace
@@ -91,32 +60,31 @@ int main(int argc, char** argv) {
   std::puts("=== Ablation: contribution of each verified-pipeline pass to "
             "the WCET gain ===");
   std::printf("workload: %d generated nodes, seed 20110318; baseline = full "
-              "verified pipeline\n\n", n_nodes);
+              "verified pipeline;\narms built with --disable-pass over the "
+              "verified configuration\n\n", n_nodes);
 
   const std::vector<bench::NodeBundle> suite = bench::make_suite(n_nodes);
-  const Variant variants[] = {Variant::Full,      Variant::NoConstprop,
-                              Variant::NoCse,     Variant::NoForward,
-                              Variant::NoDce,     Variant::NoDeadstore,
-                              Variant::NoRegalloc, Variant::NothingAtAll};
 
-  std::map<Variant, double> ratio_sum;
-  std::map<Variant, std::uint64_t> example;
+  std::map<std::string, double> ratio_sum;
+  std::map<std::string, std::uint64_t> example;
   for (const auto& bundle : suite) {
-    const std::uint64_t full = wcet_of_variant(bundle, Variant::Full);
-    for (Variant v : variants) {
-      const std::uint64_t w = wcet_of_variant(bundle, v);
-      ratio_sum[v] += static_cast<double>(w) / static_cast<double>(full);
-      if (bundle.node.name() == "node0") example[v] = w;
+    const std::uint64_t full = wcet_of_arm(bundle, arms().front());
+    for (const Arm& arm : arms()) {
+      const std::uint64_t w = wcet_of_arm(bundle, arm);
+      ratio_sum[arm.label] +=
+          static_cast<double>(w) / static_cast<double>(full);
+      if (bundle.node.name() == "node0") example[arm.label] = w;
     }
   }
 
   std::printf("%-30s %16s %18s\n", "variant", "node0 WCET",
               "mean WCET vs full");
   bench::print_rule(68);
-  for (Variant v : variants) {
-    std::printf("%-30s %16llu %+17.1f%%\n", name_of(v),
-                static_cast<unsigned long long>(example[v]),
-                (ratio_sum[v] / static_cast<double>(suite.size()) - 1.0) *
+  for (const Arm& arm : arms()) {
+    std::printf("%-30s %16llu %+17.1f%%\n", arm.label,
+                static_cast<unsigned long long>(example[arm.label]),
+                (ratio_sum[arm.label] / static_cast<double>(suite.size()) -
+                 1.0) *
                     100.0);
   }
   bench::print_rule(68);

@@ -19,6 +19,7 @@
 #include "minic/typecheck.hpp"
 #include "support/rng.hpp"
 #include "support/strings.hpp"
+#include "validate/validate.hpp"
 
 namespace vc::bench {
 
@@ -163,6 +164,10 @@ struct BenchFlags {
   int cache_budget_mb = 0;  // --cache-budget-mb=N LRU budget (0 = unlimited)
   std::string cache_dir;    // --cache-dir=DIR artifact store (empty = off)
   std::string report_json;  // --report-json=FILE machine-readable report
+  // --validate=off|rtl|full: translation-validate every fleet compile at the
+  // given level (bare --validate = rtl). Validated jobs bypass the artifact
+  // cache so the checkers actually run.
+  driver::ValidateLevel validate = driver::ValidateLevel::Off;
 };
 
 /// Parses the shared bench flags; exits 2 with a diagnostic on anything else.
@@ -171,6 +176,25 @@ inline BenchFlags parse_bench_flags(int argc, char** argv,
   BenchFlags flags;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    if (arg == "--validate") {
+      flags.validate = driver::ValidateLevel::Rtl;
+      continue;
+    }
+    if (starts_with(arg, "--validate=")) {
+      const std::string level = arg.substr(11);
+      if (level == "off") {
+        flags.validate = driver::ValidateLevel::Off;
+      } else if (level == "rtl") {
+        flags.validate = driver::ValidateLevel::Rtl;
+      } else if (level == "full") {
+        flags.validate = driver::ValidateLevel::Full;
+      } else {
+        std::fprintf(stderr, "%s: unknown validate level '%s'\n", bench_name,
+                     level.c_str());
+        std::exit(2);
+      }
+      continue;
+    }
     std::string* text_slot = nullptr;
     std::string text_rest;
     if (starts_with(arg, "--cache-dir=")) {
@@ -208,13 +232,30 @@ inline BenchFlags parse_bench_flags(int argc, char** argv,
       std::fprintf(stderr,
                    "%s: bad argument '%s'\nusage: %s [--jobs=N] [--nodes=N] "
                    "[--cache-dir=DIR] [--cache-budget-mb=N] "
-                   "[--report-json=FILE]\n",
+                   "[--report-json=FILE] [--validate[=off|rtl|full]]\n",
                    bench_name, arg.c_str(), bench_name);
       std::exit(2);
     }
     *slot = static_cast<int>(v);
   }
   return flags;
+}
+
+/// Wires --validate into a fleet run: attaches a compile override that runs
+/// the translation validator at the requested level on every job. Overridden
+/// jobs bypass the artifact store (fleet.cpp) — re-checking is the point.
+/// n_tests is lower than the vcc default (6 vs 12): the differential checker
+/// runs per RTL pass per function, and campaign-scale validation multiplies
+/// that by thousands of jobs.
+inline void attach_validation(driver::FleetOptions* options,
+                              driver::ValidateLevel level) {
+  if (level == driver::ValidateLevel::Off) return;
+  options->compile_override = [level](const minic::Program& program,
+                                      driver::Config config,
+                                      const driver::CompileOptions& copts) {
+    return validate::validated_compile(program, config, /*n_tests=*/6,
+                                       /*seed=*/1, level, copts);
+  };
 }
 
 /// Opens the artifact store requested by --cache-dir (nullptr when off).

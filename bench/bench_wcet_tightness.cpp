@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
   options.wcet_nocache = true;
   options.suite_seed = 5150;
   options.store = store.get();
+  bench::attach_validation(&options, flags.validate);
   const driver::FleetReport report =
       driver::run_fleet(bench::to_fleet_units(suite), options);
   bench::write_bench_report(report, flags, "bench_wcet_tightness");

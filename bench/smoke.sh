@@ -3,10 +3,15 @@
 # Benches that take no flags ignore the arguments. Intended for the asan
 # preset: `cmake --preset asan && cmake --build --preset asan -j && \
 #          bench/smoke.sh build-asan/bench`
+# Any arguments after the bench directory are appended to every fleet bench
+# invocation — CI's asan lane passes --validate=full so the three machine
+# checkers run under the sanitizers on every smoke compile.
 # Exits non-zero on the first failing bench.
 set -eu
 
 dir="${1:-build/bench}"
+[ $# -gt 0 ] && shift
+extra="$*"
 if [ ! -d "$dir" ]; then
   echo "smoke.sh: bench directory '$dir' not found (build first?)" >&2
   exit 2
@@ -19,11 +24,12 @@ for b in "$dir"/bench_*; do
   case "$(basename "$b")" in
     bench_micro)
       # google-benchmark binary: rejects foreign flags; cap iteration time.
-      set -- --benchmark_min_time=0.05 ;;
+      flags="--benchmark_min_time=0.05" ;;
     *)
-      set -- --nodes=4 --jobs=2 ;;
+      flags="--nodes=4 --jobs=2 $extra" ;;
   esac
-  if ! "$b" "$@" > /dev/null; then
+  # shellcheck disable=SC2086  # word splitting of $flags is intended
+  if ! "$b" $flags > /dev/null; then
     echo "smoke.sh: $(basename "$b") FAILED" >&2
     status=1
   fi

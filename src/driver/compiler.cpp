@@ -1,39 +1,99 @@
 #include "driver/compiler.hpp"
 
-#include "opt/opt.hpp"
-#include "regalloc/regalloc.hpp"
-#include "rtl/analysis.hpp"
+#include <algorithm>
+
 #include "rtl/lower.hpp"
+#include "support/diagnostics.hpp"
 
 namespace vc::driver {
 
 std::string to_string(Config c) {
-  switch (c) {
-    case Config::O0Pattern: return "O0-pattern";
-    case Config::O1NoRegalloc: return "O1-noregalloc";
-    case Config::Verified: return "verified";
-    case Config::O2Full: return "O2-full";
+  for (const ConfigName& n : kConfigNames)
+    if (n.config == c) return n.full;
+  throw InternalError("bad Config");
+}
+
+std::optional<Config> parse_config(const std::string& name) {
+  for (const ConfigName& n : kConfigNames)
+    if (name == n.cli || name == n.full) return n.config;
+  return std::nullopt;
+}
+
+std::string to_string(ValidateLevel level) {
+  switch (level) {
+    case ValidateLevel::Off: return "off";
+    case ValidateLevel::Rtl: return "rtl";
+    case ValidateLevel::Full: return "full";
+  }
+  throw InternalError("bad ValidateLevel");
+}
+
+std::vector<std::string> pipeline_names(Config config) {
+  switch (config) {
+    case Config::O0Pattern:
+      return {"lower", "regalloc", "emit", "selfmove"};
+    case Config::O1NoRegalloc:
+      // No memory passes: the paper's "optimized without register
+      // allocation" arm keeps the pattern code's per-symbol memory
+      // discipline (§3.3), which forwarding/dead-store would break up.
+      return {"lower", "constprop", "cse", "dce", "tunnel",
+              "regalloc", "emit", "selfmove"};
+    case Config::Verified:
+      return {"lower", "constprop", "cse", "forward", "dce", "deadstore",
+              "tunnel", "regalloc", "emit", "selfmove"};
+    case Config::O2Full:
+      return {"lower", "constprop", "cse", "forward", "dce", "deadstore",
+              "tunnel", "regalloc", "emit", "selfmove", "peephole",
+              "schedule"};
   }
   throw InternalError("bad Config");
 }
 
+std::vector<std::string> resolve_pipeline(Config config,
+                                          const CompileOptions& options) {
+  const pass::Registry registry = pass::Registry::builtin();
+  auto optional_step = [&](const std::string& name) -> const pass::StepDef& {
+    const pass::StepDef* def = registry.find(name);
+    if (def == nullptr) throw CompileError("unknown pass '" + name + "'");
+    if (def->structural)
+      throw CompileError("pass '" + name +
+                         "' is structural and cannot be selected or disabled");
+    return *def;
+  };
+
+  std::vector<std::string> names;
+  if (!options.passes.empty()) {
+    std::vector<std::string> rtl_opts;
+    std::vector<std::string> machine_opts;
+    for (const std::string& name : options.passes) {
+      const pass::StepDef& def = optional_step(name);
+      (def.level == pass::Level::Rtl ? rtl_opts : machine_opts)
+          .push_back(name);
+    }
+    names.push_back("lower");
+    names.insert(names.end(), rtl_opts.begin(), rtl_opts.end());
+    names.push_back("regalloc");
+    names.push_back("emit");
+    names.insert(names.end(), machine_opts.begin(), machine_opts.end());
+  } else {
+    names = pipeline_names(config);
+  }
+  for (const std::string& name : options.disable_passes) {
+    optional_step(name);  // known and non-structural, or CompileError
+    names.erase(std::remove(names.begin(), names.end(), name), names.end());
+  }
+  return names;
+}
+
 Compiled compile_program(const minic::Program& program, Config config,
-                         const opt::PassHook& pass_hook,
-                         opt::PassTimings* pass_timings) {
+                         const CompileOptions& options) {
   Compiled out;
   out.config = config;
 
   const bool pattern_mode =
       config == Config::O0Pattern || config == Config::O1NoRegalloc;
-  const bool optimize = config != Config::O0Pattern;
-  const bool machine_opts = config == Config::O2Full;
-
-  // The memory passes run only with value lowering: O1-noregalloc models the
-  // paper's "optimized without register allocation" arm, whose pattern code
-  // keeps its per-symbol memory discipline (§3.3).
-  opt::PipelineOptions pipeline_options;
-  pipeline_options.memory_opts = optimize && !pattern_mode;
-  pipeline_options.timings = pass_timings;
+  const pass::Registry registry = pass::Registry::builtin();
+  const std::vector<std::string> names = resolve_pipeline(config, options);
 
   ppc::DataLayout layout(program);
   std::vector<ppc::MachineFunction> machine_fns;
@@ -41,39 +101,45 @@ Compiled compile_program(const minic::Program& program, Config config,
   for (const auto& src_fn : program.functions) {
     FunctionArtifact art;
 
-    rtl::Function fn = rtl::lower_function(
-        program, src_fn,
-        pattern_mode ? rtl::LowerMode::PatternStack : rtl::LowerMode::Value);
-    rtl::remove_unreachable_blocks(fn);
-    art.rtl_lowered = fn;
-    if (pass_hook) pass_hook("lower", art.rtl_lowered, fn);
-
-    if (optimize)
-      opt::run_standard_pipeline(fn, &art.passes_applied, pass_hook,
-                                 pipeline_options);
-    art.rtl_optimized = fn;
-
-    // O2-full allocates scheduling-aware (spread colors so the list
-    // scheduler is not fenced in by recycled registers).
-    const regalloc::Allocation alloc = regalloc::allocate_registers(
-        fn, ppc::kAllocatableGprs, ppc::kAllocatableFprs,
-        /*spread_colors=*/machine_opts);
-    art.spill_count = alloc.spill_count;
-    art.rtl_allocated = fn;
-    if (pass_hook) pass_hook("regalloc", art.rtl_optimized, fn);
-
+    pass::FunctionState state;
+    state.program = &program;
+    state.source = &src_fn;
+    state.layout = &layout;
+    state.lower_mode = pattern_mode ? rtl::LowerMode::PatternStack
+                                    : rtl::LowerMode::Value;
     // The default compiler uses r2-based small-data addressing in every
     // configuration; the verified compiler does not (paper §3.3).
-    ppc::EmitOptions emit_options;
-    emit_options.small_data_area = config != Config::Verified;
-    ppc::AsmFunction asm_fn = ppc::emit_function(fn, alloc, layout, emit_options);
-    ppc::remove_self_moves(asm_fn);
-    if (machine_opts) {
-      while (ppc::peephole(asm_fn) > 0) {
+    state.small_data_area = config != Config::Verified;
+    // O2-full allocates scheduling-aware (spread colors so the list
+    // scheduler is not fenced in by recycled registers).
+    state.spread_colors = config == Config::O2Full;
+
+    pass::ManagerOptions manager_options;
+    manager_options.stats = options.stats;
+    manager_options.dump_after = options.dump_after;
+    manager_options.dump = options.dump;
+    // Before-IR snapshots cost a function copy per applied pass; take them
+    // only when a checker is attached. The artifact capture below gets its
+    // one pre-regalloc snapshot from FunctionState::rtl_pre_regalloc.
+    manager_options.snapshots = static_cast<bool>(options.hook);
+    manager_options.hook = [&](const pass::StepTrace& trace) {
+      if (trace.pass == "lower") {
+        art.rtl_lowered = trace.state->rtl;
+      } else if (trace.pass == "regalloc") {
+        art.rtl_optimized = trace.state->rtl_pre_regalloc;
+        art.rtl_allocated = trace.state->rtl;
+        art.spill_count = trace.state->alloc.spill_count;
+      } else if (trace.level == pass::Level::Rtl) {
+        art.passes_applied.push_back(trace.pass);
       }
-      ppc::schedule(asm_fn);
-    }
-    machine_fns.push_back(ppc::finalize(asm_fn));
+      return options.hook ? options.hook(trace) : 0;
+    };
+
+    const pass::PassManager manager(registry, names,
+                                    std::move(manager_options));
+    manager.run(state);
+
+    machine_fns.push_back(ppc::finalize(state.machine));
     out.artifacts.emplace(src_fn.name, std::move(art));
   }
 

@@ -174,7 +174,10 @@ void run_job(const FleetUnit& unit, Config config, std::uint64_t input_seed,
   record->name = unit.name;
   record->config = config;
   try {
-    artifact::ArtifactStore* store = options.store;
+    // Overridden compiles (validated campaigns) never touch the cache: the
+    // point is to run the checkers, not to replay a previous run's verdict.
+    artifact::ArtifactStore* store =
+        options.compile_override ? nullptr : options.store;
     Hash128 key;
     json::Value cached_doc;
     ppc::Image cached_image;
@@ -215,8 +218,11 @@ void run_job(const FleetUnit& unit, Config config, std::uint64_t input_seed,
     Compiled compiled;
     if (!have_image) {
       const auto t_compile = Clock::now();
-      compiled = compile_program(*unit.program, config, {},
-                                 &record->pass_timings);
+      CompileOptions copts;
+      copts.stats = &record->pass_stats;
+      compiled = options.compile_override
+                     ? options.compile_override(*unit.program, config, copts)
+                     : compile_program(*unit.program, config, copts);
       record->compile_seconds = seconds_since(t_compile);
     }
     const ppc::Image& image = have_image ? cached_image : compiled.image;
@@ -280,30 +286,48 @@ double FleetReport::nodes_per_second() const {
 }
 
 std::string FleetReport::throughput_summary() const {
-  char buf[768];
-  int n = std::snprintf(
+  char buf[384];
+  std::snprintf(
       buf, sizeof buf,
       "fleet: %zu node(s) x %zu config(s) on %d worker(s): %.2fs wall, "
       "%.1f jobs/s\n"
       "fleet: phase time (summed over jobs): compile %.2fs, execute %.2fs, "
-      "wcet %.2fs\n"
-      "fleet: rtl pass time: constprop %.3fs, cse %.3fs, forward %.3fs, "
-      "dce %.3fs, deadstore %.3fs, tunnel %.3fs",
+      "wcet %.2fs",
       units, configs, jobs, wall_seconds, nodes_per_second(), compile_seconds,
-      exec_seconds, wcet_seconds, pass_timings.constprop, pass_timings.cse,
-      pass_timings.forward, pass_timings.dce, pass_timings.deadstore,
-      pass_timings.tunnel);
-  if (cache_enabled && n > 0 && static_cast<std::size_t>(n) < sizeof buf) {
+      exec_seconds, wcet_seconds);
+  std::string out = buf;
+  if (!pass_stats.passes.empty()) {
+    // One entry per pass actually run, in pipeline order — the pipeline is
+    // data now, so the footer follows it instead of a hard-wired pass list.
+    out += "\nfleet: pass time:";
+    bool first = true;
+    std::uint64_t total_checks = 0;
+    for (const pass::PassStat& p : pass_stats.passes) {
+      std::snprintf(buf, sizeof buf, "%s %s %.3fs", first ? "" : ",",
+                    p.name.c_str(), p.seconds);
+      out += buf;
+      first = false;
+      total_checks += p.checks;
+    }
+    if (total_checks > 0) {
+      std::snprintf(buf, sizeof buf,
+                    "\nfleet: validation: %llu per-pass check(s) passed",
+                    static_cast<unsigned long long>(total_checks));
+      out += buf;
+    }
+  }
+  if (cache_enabled) {
     std::snprintf(
-        buf + n, sizeof buf - static_cast<std::size_t>(n),
+        buf, sizeof buf,
         "\nfleet: cache: %llu full hit(s), %llu image hit(s), %llu miss(es), "
         "lookup %.2fs, publish %.2fs\nfleet: %s",
         static_cast<unsigned long long>(cache_full_hits),
         static_cast<unsigned long long>(cache_image_hits),
         static_cast<unsigned long long>(cache_misses), cache_lookup_seconds,
         cache_publish_seconds, store_stats.summary().c_str());
+    out += buf;
   }
-  return buf;
+  return out;
 }
 
 FleetReport run_fleet(const std::vector<FleetUnit>& units,
@@ -348,7 +372,7 @@ FleetReport run_fleet(const std::vector<FleetUnit>& units,
     report.compile_seconds += r.compile_seconds;
     report.exec_seconds += r.exec_seconds;
     report.wcet_seconds += r.wcet_seconds;
-    report.pass_timings += r.pass_timings;
+    report.pass_stats += r.pass_stats;
     report.cache_lookup_seconds += r.cache_lookup_seconds;
     report.cache_publish_seconds += r.cache_publish_seconds;
     if (report.cache_enabled) {

@@ -14,6 +14,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -63,6 +64,14 @@ struct FleetOptions {
   /// The store must outlive the run_fleet call; it may be shared across
   /// runs and processes (that is what makes campaign restarts warm).
   artifact::ArtifactStore* store = nullptr;
+  /// When set, replaces compile_program for every job — the attachment point
+  /// for validated campaigns (validate::validated_compile cannot be named
+  /// here: src/validate links against the driver). Jobs with an override
+  /// bypass the artifact store entirely, so the override (and its checkers)
+  /// actually runs instead of being replayed from cache.
+  std::function<Compiled(const minic::Program&, Config,
+                         const CompileOptions&)>
+      compile_override;
 };
 
 /// The input stream seed for unit `index` (SplitMix64 golden-ratio mix, so
@@ -94,8 +103,9 @@ struct FleetRecord {
   double wcet_seconds = 0.0;
   double cache_lookup_seconds = 0.0;
   double cache_publish_seconds = 0.0;
-  // Compile time split by RTL pass (where inside `compile` the time goes).
-  opt::PassTimings pass_timings;
+  // Per-pass pipeline telemetry for this job's compile: wall time, rewrite
+  // counts, IR-size deltas, validator check counts (empty on cache hits).
+  pass::PipelineStats pass_stats;
 };
 
 struct FleetReport {
@@ -110,8 +120,8 @@ struct FleetReport {
   double compile_seconds = 0.0;
   double exec_seconds = 0.0;
   double wcet_seconds = 0.0;
-  // Aggregate per-pass RTL optimization time summed over jobs.
-  opt::PassTimings pass_timings;
+  // Aggregate per-pass pipeline telemetry summed over jobs.
+  pass::PipelineStats pass_stats;
 
   // Artifact-cache aggregates (all zero when no store was attached).
   bool cache_enabled = false;

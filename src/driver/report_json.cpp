@@ -9,15 +9,21 @@ namespace vc::driver {
 
 namespace {
 
-json::Value pass_timings_json(const opt::PassTimings& t) {
-  json::Value p;
-  p["constprop"] = json::Value(t.constprop);
-  p["cse"] = json::Value(t.cse);
-  p["forward"] = json::Value(t.forward);
-  p["dce"] = json::Value(t.dce);
-  p["deadstore"] = json::Value(t.deadstore);
-  p["tunnel"] = json::Value(t.tunnel);
-  return p;
+json::Value pass_stats_json(const pass::PipelineStats& stats) {
+  json::Array passes;
+  passes.reserve(stats.passes.size());
+  for (const pass::PassStat& p : stats.passes) {
+    json::Value v;
+    v["name"] = json::Value(p.name);
+    v["seconds"] = json::Value(p.seconds);
+    v["runs"] = json::Value(p.runs);
+    v["applied"] = json::Value(p.applied);
+    v["rewrites"] = json::Value(static_cast<std::int64_t>(p.rewrites));
+    v["ir_delta"] = json::Value(static_cast<std::int64_t>(p.ir_delta));
+    v["checks"] = json::Value(p.checks);
+    passes.push_back(std::move(v));
+  }
+  return json::Value(std::move(passes));
 }
 
 json::Value exec_json(const machine::ExecStats& s) {
@@ -58,7 +64,10 @@ json::Value record_json(const FleetRecord& r) {
 
 json::Value to_json(const FleetReport& report) {
   json::Value doc;
-  doc["schema"] = json::Value("vcflight-fleet-report-v1");
+  // v2: "pass_timings" (fixed six-field RTL object) became "pass_stats", an
+  // ordered per-pass array with wall time, run/applied/rewrite counts,
+  // IR-size delta, and validator check counts for every pipeline step.
+  doc["schema"] = json::Value("vcflight-fleet-report-v2");
   doc["compiler_version"] = json::Value(kCompilerVersion);
   doc["units"] = json::Value(static_cast<std::uint64_t>(report.units));
   doc["configs"] = json::Value(static_cast<std::uint64_t>(report.configs));
@@ -68,7 +77,7 @@ json::Value to_json(const FleetReport& report) {
   doc["compile_seconds"] = json::Value(report.compile_seconds);
   doc["exec_seconds"] = json::Value(report.exec_seconds);
   doc["wcet_seconds"] = json::Value(report.wcet_seconds);
-  doc["pass_timings"] = pass_timings_json(report.pass_timings);
+  doc["pass_stats"] = pass_stats_json(report.pass_stats);
 
   json::Value cache;
   cache["enabled"] = json::Value(report.cache_enabled);

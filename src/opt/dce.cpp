@@ -1,5 +1,4 @@
 #include <algorithm>
-#include <chrono>
 
 #include "opt/opt.hpp"
 #include "rtl/analysis.hpp"
@@ -36,46 +35,6 @@ bool dead_code_elimination(rtl::Function& fn) {
     }
   }
   return any_change;
-}
-
-void run_standard_pipeline(rtl::Function& fn,
-                           std::vector<std::string>* applied,
-                           const PassHook& hook,
-                           const PipelineOptions& options) {
-  using Clock = std::chrono::steady_clock;
-  // Iterate the pass sequence to a (bounded) fixpoint: constant propagation
-  // exposes CSE opportunities, forwarding turns loads into moves that CSE
-  // and DCE then collapse, and dead stores surface once reloads are gone.
-  auto run_pass = [&](const char* name, auto pass, double* bucket) {
-    rtl::Function before;
-    if (hook) before = fn;  // snapshot only when a validator is attached
-    const auto t0 = Clock::now();
-    const bool pass_changed = pass(fn);
-    if (bucket)
-      *bucket += std::chrono::duration<double>(Clock::now() - t0).count();
-    if (!pass_changed) return false;
-    if (applied) applied->push_back(name);
-    if (hook) hook(name, before, fn);
-    return true;
-  };
-  PassTimings* t = options.timings;
-  for (int round = 0; round < 4; ++round) {
-    bool changed = false;
-    changed |= run_pass("constprop", constant_propagation,
-                        t ? &t->constprop : nullptr);
-    changed |= run_pass("cse", common_subexpression_elimination,
-                        t ? &t->cse : nullptr);
-    if (options.memory_opts)
-      changed |=
-          run_pass("forward", memory_forwarding, t ? &t->forward : nullptr);
-    changed |= run_pass("dce", dead_code_elimination, t ? &t->dce : nullptr);
-    if (options.memory_opts)
-      changed |= run_pass("deadstore", dead_store_elimination,
-                          t ? &t->deadstore : nullptr);
-    changed |= run_pass("tunnel", branch_tunneling, t ? &t->tunnel : nullptr);
-    if (!changed) break;
-  }
-  fn.validate();
 }
 
 }  // namespace vc::opt

@@ -6,22 +6,14 @@
 // optimizations". Register allocation lives in src/regalloc; everything here
 // is a semantics-preserving RTL->RTL rewrite, each of which can be checked by
 // the translation validator (src/validate).
+// Each pass is a bool-returning rewrite; sequencing, fixpoint iteration,
+// checker hooks, and per-pass telemetry live in the pass framework
+// (src/pass), which registers every pass here as a pipeline step.
 #pragma once
-
-#include <functional>
-#include <string>
-#include <vector>
 
 #include "rtl/rtl.hpp"
 
 namespace vc::opt {
-
-/// Called after each applied pass with the pass name, a snapshot of the
-/// function before the pass, and the function after it. Used by the
-/// translation validator; may throw ValidationError to abort compilation.
-using PassHook = std::function<void(const std::string& pass,
-                                    const rtl::Function& before,
-                                    const rtl::Function& after)>;
 
 /// Global (whole-CFG) conditional constant propagation and folding.
 /// Folds pure integer and IEEE f64 operations on known constants, rewrites
@@ -67,48 +59,5 @@ bool dead_code_elimination(rtl::Function& fn);
 /// that consist of a single jump are redirected to the final destination;
 /// orphaned forwarders are removed. Returns true if anything changed.
 bool branch_tunneling(rtl::Function& fn);
-
-/// Wall-clock seconds spent in each RTL pass (and in the liveness analysis
-/// driving DCE), accumulated across pipeline rounds. Surfaced per fleet job
-/// so `bench_table1 --jobs=N` reports where compile time goes.
-struct PassTimings {
-  double constprop = 0.0;
-  double cse = 0.0;
-  double forward = 0.0;
-  double dce = 0.0;
-  double deadstore = 0.0;
-  double tunnel = 0.0;
-
-  PassTimings& operator+=(const PassTimings& o) {
-    constprop += o.constprop;
-    cse += o.cse;
-    forward += o.forward;
-    dce += o.dce;
-    deadstore += o.deadstore;
-    tunnel += o.tunnel;
-    return *this;
-  }
-  [[nodiscard]] double total() const {
-    return constprop + cse + forward + dce + deadstore + tunnel;
-  }
-};
-
-struct PipelineOptions {
-  /// Enables the memory passes (forwarding + dead store elimination). Off in
-  /// the "optimization without register allocation" configuration, which by
-  /// construction keeps the pattern code's memory discipline (paper §3.3).
-  bool memory_opts = false;
-  /// When set, per-pass wall time is accumulated here.
-  PassTimings* timings = nullptr;
-};
-
-/// The fixed pass pipeline of the verified configuration: constprop, CSE,
-/// [forwarding,] DCE, [dead-store,] tunneling, iterated until fixpoint
-/// (bounded). Each applied pass name is appended to `applied`; `hook`, when
-/// set, is invoked after every applied pass.
-void run_standard_pipeline(rtl::Function& fn,
-                           std::vector<std::string>* applied,
-                           const PassHook& hook = {},
-                           const PipelineOptions& options = {});
 
 }  // namespace vc::opt

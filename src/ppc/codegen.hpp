@@ -81,7 +81,8 @@ int remove_self_moves(AsmFunction& fn);
 int peephole(AsmFunction& fn);
 
 /// O2-full list scheduler: reorders instructions within branch/label-free
-/// regions to hide latencies, using the shared timing model.
-void schedule(AsmFunction& fn);
+/// regions to hide latencies, using the shared timing model. Returns the
+/// number of ops whose position changed.
+int schedule(AsmFunction& fn);
 
 }  // namespace vc::ppc

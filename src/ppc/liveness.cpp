@@ -1,0 +1,80 @@
+#include "ppc/liveness.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace vc::ppc {
+
+MachineLiveness::LiveSet MachineLiveness::abi_escape() {
+  LiveSet escape;
+  escape.set(1);       // r1 (stack pointer)
+  escape.set(2);       // r2 (data base)
+  escape.set(3);       // r3 (int result)
+  escape.set(32 + 1);  // f1 (float result)
+  return escape;
+}
+
+MachineLiveness::MachineLiveness(const AsmFunction& fn) {
+  const std::size_t n = fn.ops.size();
+  live_after_.assign(n, LiveSet());
+
+  // Block boundaries: labels and instructions after branches.
+  std::vector<std::size_t> leaders{0};
+  for (const auto& [label, pos] : fn.labels) leaders.push_back(pos);
+  for (std::size_t i = 0; i < n; ++i)
+    if (is_branch(fn.ops[i].ins.op)) leaders.push_back(i + 1);
+  std::sort(leaders.begin(), leaders.end());
+  leaders.erase(std::unique(leaders.begin(), leaders.end()), leaders.end());
+  while (!leaders.empty() && leaders.back() >= n) leaders.pop_back();
+
+  std::map<std::size_t, std::size_t> block_of_leader;
+  for (std::size_t b = 0; b < leaders.size(); ++b)
+    block_of_leader[leaders[b]] = b;
+  auto block_end = [&](std::size_t b) {
+    return b + 1 < leaders.size() ? leaders[b + 1] : n;
+  };
+
+  // Successor blocks.
+  std::vector<std::vector<std::size_t>> succs(leaders.size());
+  for (std::size_t b = 0; b < leaders.size(); ++b) {
+    const std::size_t last = block_end(b) - 1;
+    const AsmOp& op = fn.ops[last];
+    if (op.ins.op == POp::Blr) continue;
+    if (op.target_label >= 0)
+      succs[b].push_back(block_of_leader.at(fn.label_pos(op.target_label)));
+    if (op.ins.op != POp::B && block_end(b) < n)
+      succs[b].push_back(block_of_leader.at(block_end(b)));
+  }
+
+  const LiveSet escape = abi_escape();
+  std::vector<LiveSet> live_in(leaders.size());
+  int reads[IssueModel::kMaxResourcesPerInstr];
+  int writes[IssueModel::kMaxResourcesPerInstr];
+  int n_reads = 0;
+  int n_writes = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t b = leaders.size(); b-- > 0;) {
+      LiveSet live;
+      const std::size_t last = block_end(b) - 1;
+      if (fn.ops[last].ins.op == POp::Blr) live = escape;
+      for (std::size_t s : succs[b]) live |= live_in[s];
+      for (std::size_t i = block_end(b); i-- > leaders[b];) {
+        live_after_[i] = live;
+        IssueModel::resources(fn.ops[i].ins, reads, &n_reads, writes,
+                              &n_writes);
+        for (int k = 0; k < n_writes; ++k)
+          live.reset(static_cast<std::size_t>(writes[k]));
+        for (int k = 0; k < n_reads; ++k)
+          live.set(static_cast<std::size_t>(reads[k]));
+      }
+      if (live != live_in[b]) {
+        live_in[b] = live;
+        changed = true;
+      }
+    }
+  }
+}
+
+}  // namespace vc::ppc

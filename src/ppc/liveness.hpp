@@ -1,0 +1,43 @@
+// Machine-level liveness over the AsmFunction CFG (blocks delimited by
+// labels and branches), at the granularity of the shared IssueModel resource
+// indices (GPRs, FPRs, CR fields). At `blr`, only the ABI-escaping registers
+// are live-out: r1 (stack), r2 (data base), r3 and f1 (results).
+//
+// Shared by the peephole pass (is the intermediate register of a fused pair
+// dead afterwards?) and the machine-level translation validators in
+// src/validate (which resources must agree at a comparison point?).
+#pragma once
+
+#include <bitset>
+#include <cstddef>
+#include <vector>
+
+#include "ppc/codegen.hpp"
+#include "ppc/timing.hpp"
+
+namespace vc::ppc {
+
+class MachineLiveness {
+ public:
+  using LiveSet = std::bitset<IssueModel::kNumResources>;
+
+  explicit MachineLiveness(const AsmFunction& fn);
+
+  /// True if `resource` may be read after executing op `pos`.
+  [[nodiscard]] bool live_after(std::size_t pos, int resource) const {
+    return live_after_[pos].test(static_cast<std::size_t>(resource));
+  }
+
+  /// The full live-after set of op `pos`.
+  [[nodiscard]] const LiveSet& live_after_set(std::size_t pos) const {
+    return live_after_[pos];
+  }
+
+  /// The registers live across a `blr`: r1, r2, r3, f1.
+  static LiveSet abi_escape();
+
+ private:
+  std::vector<LiveSet> live_after_;
+};
+
+}  // namespace vc::ppc

@@ -3,103 +3,14 @@
 // fused multiply-add generation or aggressive scheduling), giving the default
 // compiler's full-opt configuration its extra edge over CompCert.
 #include <algorithm>
-#include <bitset>
-#include <map>
 #include <vector>
 
 #include "ppc/codegen.hpp"
+#include "ppc/liveness.hpp"
 #include "ppc/timing.hpp"
 
 namespace vc::ppc {
 namespace {
-
-using LiveSet = std::bitset<IssueModel::kNumResources>;
-
-/// Machine-level liveness over the AsmFunction CFG (blocks delimited by
-/// labels and branches). At `blr`, only the ABI-escaping registers are
-/// live-out: r1 (stack), r2 (data base), r3 and f1 (results). Used to decide
-/// whether a peephole's intermediate register is dead after the pair.
-class MachineLiveness {
- public:
-  explicit MachineLiveness(const AsmFunction& fn) : fn_(fn) { compute(); }
-
-  /// True if `resource` may be read after executing op `pos`.
-  [[nodiscard]] bool live_after(std::size_t pos, int resource) const {
-    return live_after_[pos].test(static_cast<std::size_t>(resource));
-  }
-
- private:
-  void compute() {
-    const std::size_t n = fn_.ops.size();
-    live_after_.assign(n, LiveSet());
-
-    // Block boundaries: labels and instructions after branches.
-    std::vector<std::size_t> leaders{0};
-    for (const auto& [label, pos] : fn_.labels) leaders.push_back(pos);
-    for (std::size_t i = 0; i < n; ++i)
-      if (is_branch(fn_.ops[i].ins.op)) leaders.push_back(i + 1);
-    std::sort(leaders.begin(), leaders.end());
-    leaders.erase(std::unique(leaders.begin(), leaders.end()), leaders.end());
-    while (!leaders.empty() && leaders.back() >= n) leaders.pop_back();
-
-    std::map<std::size_t, std::size_t> block_of_leader;
-    for (std::size_t b = 0; b < leaders.size(); ++b)
-      block_of_leader[leaders[b]] = b;
-    auto block_end = [&](std::size_t b) {
-      return b + 1 < leaders.size() ? leaders[b + 1] : n;
-    };
-
-    // Successor blocks.
-    std::vector<std::vector<std::size_t>> succs(leaders.size());
-    for (std::size_t b = 0; b < leaders.size(); ++b) {
-      const std::size_t last = block_end(b) - 1;
-      const AsmOp& op = fn_.ops[last];
-      if (op.ins.op == POp::Blr) continue;
-      if (op.target_label >= 0)
-        succs[b].push_back(block_of_leader.at(fn_.label_pos(op.target_label)));
-      if (op.ins.op != POp::B && block_end(b) < n)
-        succs[b].push_back(block_of_leader.at(block_end(b)));
-    }
-
-    LiveSet abi_escape;
-    abi_escape.set(1);       // r1
-    abi_escape.set(2);       // r2
-    abi_escape.set(3);       // r3 (int result)
-    abi_escape.set(32 + 1);  // f1 (float result)
-
-    std::vector<LiveSet> live_in(leaders.size());
-    int reads[16];
-    int writes[16];
-    int n_reads = 0;
-    int n_writes = 0;
-    bool changed = true;
-    while (changed) {
-      changed = false;
-      for (std::size_t b = leaders.size(); b-- > 0;) {
-        LiveSet live;
-        const std::size_t last = block_end(b) - 1;
-        if (fn_.ops[last].ins.op == POp::Blr) live = abi_escape;
-        for (std::size_t s : succs[b]) live |= live_in[s];
-        for (std::size_t i = block_end(b); i-- > leaders[b];) {
-          live_after_[i] = live;
-          IssueModel::resources(fn_.ops[i].ins, reads, &n_reads, writes,
-                                &n_writes);
-          for (int k = 0; k < n_writes; ++k)
-            live.reset(static_cast<std::size_t>(writes[k]));
-          for (int k = 0; k < n_reads; ++k)
-            live.set(static_cast<std::size_t>(reads[k]));
-        }
-        if (live != live_in[b]) {
-          live_in[b] = live;
-          changed = true;
-        }
-      }
-    }
-  }
-
-  const AsmFunction& fn_;
-  std::vector<LiveSet> live_after_;
-};
 
 /// Replaces fn.ops[i] with nothing by compacting, preserving labels/annots.
 void compact(AsmFunction& fn, const std::vector<bool>& dead) {

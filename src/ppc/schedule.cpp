@@ -19,10 +19,10 @@ struct Node {
   std::uint32_t priority = 0;     // critical-path length to a sink
 };
 
-void schedule_region(std::vector<AsmOp>& ops, std::size_t begin,
-                     std::size_t end) {
+int schedule_region(std::vector<AsmOp>& ops, std::size_t begin,
+                    std::size_t end) {
   const std::size_t n = end - begin;
-  if (n < 2) return;
+  if (n < 2) return 0;
 
   std::vector<Node> nodes(n);
   int reads[16];
@@ -91,15 +91,20 @@ void schedule_region(std::vector<AsmOp>& ops, std::size_t begin,
     for (std::size_t s : nodes[pick].succs) --preds_left[s];
   }
 
+  int moved = 0;
+  for (std::size_t k = 0; k < n; ++k)
+    if (order[k] != k) ++moved;
+
   std::vector<AsmOp> scheduled;
   scheduled.reserve(n);
   for (std::size_t i : order) scheduled.push_back(ops[begin + i]);
   std::copy(scheduled.begin(), scheduled.end(), ops.begin() + begin);
+  return moved;
 }
 
 }  // namespace
 
-void schedule(AsmFunction& fn) {
+int schedule(AsmFunction& fn) {
   std::vector<bool> boundary(fn.ops.size() + 1, false);
   boundary[0] = true;
   boundary[fn.ops.size()] = true;
@@ -115,13 +120,15 @@ void schedule(AsmFunction& fn) {
     // the CR dependence edges already guarantee that, so no extra boundary.
   }
 
+  int moved = 0;
   std::size_t begin = 0;
   for (std::size_t i = 1; i <= fn.ops.size(); ++i) {
     if (boundary[i]) {
-      schedule_region(fn.ops, begin, i);
+      moved += schedule_region(fn.ops, begin, i);
       begin = i;
     }
   }
+  return moved;
 }
 
 }  // namespace vc::ppc

@@ -13,7 +13,12 @@
 //     --wcet=<function>              print the WCET bound of <function>
 //     --no-annotations               ignore the annotation table in WCET
 //     --run=<function>[:a,b,...]     simulate <function> with f64/i32 args
-//     --validate                     translation-validate every pass
+//     --validate[=off|rtl|full]      translation-validate every pass; bare
+//                                    --validate means rtl, full adds the
+//                                    machine-level checkers
+//     --passes=a,b,c                 replace the config's optimization passes
+//     --disable-pass=NAME            drop one pass (repeatable)
+//     --dump-after=PASS              print the IR after every applied run
 //     --stats                        print per-function code sizes
 //     --batch                        compile every .mc file under <dir>
 //     --jobs=N                       batch worker threads (0 = all cores)
@@ -33,6 +38,8 @@
 #include "machine/machine.hpp"
 #include "minic/parser.hpp"
 #include "minic/typecheck.hpp"
+#include "ppc/isa.hpp"
+#include "rtl/rtl.hpp"
 #include "support/strings.hpp"
 #include "tools/vcc_cli.hpp"
 #include "validate/validate.hpp"
@@ -47,8 +54,10 @@ using namespace vc;
   std::fputs(
       "usage: vcc [--config=O0|O1|verified|O2] [--emit-asm]\n"
       "           [--wcet=FN] [--no-annotations] [--run=FN[:args]]\n"
-      "           [--validate] [--stats] file.mc\n"
-      "       vcc [--config=...] [--validate] [--jobs=N]\n"
+      "           [--validate[=off|rtl|full]] [--passes=a,b,c]\n"
+      "           [--disable-pass=NAME] [--dump-after=PASS]\n"
+      "           [--stats] file.mc\n"
+      "       vcc [--config=...] [--validate[=off|rtl|full]] [--jobs=N]\n"
       "           [--cache-dir=DIR] [--cache-budget-mb=N] --batch dir\n",
       stderr);
   std::exit(2);
@@ -61,16 +70,52 @@ using namespace vc;
 
 /// Parses + type-checks + compiles one source string.
 driver::Compiled compile_source(const std::string& source,
-                                const std::string& path,
-                                driver::Config config, bool do_validate,
+                                const std::string& path, driver::Config config,
+                                driver::ValidateLevel validate_level,
+                                driver::CompileOptions copts,
                                 minic::Program* program_out) {
   minic::Program program = minic::parse_program(source, path);
   minic::type_check(program);
-  driver::Compiled compiled = do_validate
-                                  ? validate::validated_compile(program, config)
-                                  : driver::compile_program(program, config);
+  driver::Compiled compiled =
+      validate_level != driver::ValidateLevel::Off
+          ? validate::validated_compile(program, config, /*n_tests=*/12,
+                                        /*seed=*/1, validate_level,
+                                        std::move(copts))
+          : driver::compile_program(program, config, copts);
   *program_out = std::move(program);
   return compiled;
+}
+
+/// --dump-after printer: RTL as the pretty-printed function, machine code as
+/// one formatted instruction per op (labels interleaved at their positions).
+void dump_state(const std::string& pass, const pass::FunctionState& s) {
+  std::printf("== %s after %s ==\n", s.name().c_str(), pass.c_str());
+  if (!s.emitted) {
+    std::fputs(rtl::print_function(s.rtl).c_str(), stdout);
+    return;
+  }
+  for (std::size_t i = 0; i < s.machine.ops.size(); ++i) {
+    for (const auto& [label, pos] : s.machine.labels)
+      if (pos == i) std::printf("L%d:\n", label);
+    std::printf("  %s\n",
+                ppc::format_instr(s.machine.ops[i].ins,
+                                  static_cast<std::uint32_t>(i * 4))
+                    .c_str());
+  }
+  for (const auto& [label, pos] : s.machine.labels)
+    if (pos == s.machine.ops.size()) std::printf("L%d:\n", label);
+}
+
+/// Splits a non-empty comma-separated --passes= list ("a,b,c").
+std::vector<std::string> split_pass_list(const std::string& spec) {
+  std::vector<std::string> items;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t comma = spec.find(',', start);
+    items.push_back(spec.substr(start, comma - start));
+    if (comma == std::string::npos) return items;
+    start = comma + 1;
+  }
 }
 
 std::string read_file_or_die(const std::string& path, int exit_code = 1) {
@@ -106,7 +151,8 @@ int main(int argc, char** argv) {
   std::string path;
   driver::Config config = driver::Config::Verified;
   bool emit_asm = false;
-  bool do_validate = false;
+  driver::ValidateLevel validate_level = driver::ValidateLevel::Off;
+  driver::CompileOptions copts;
   bool stats = false;
   bool use_annotations = true;
   bool batch = false;
@@ -125,7 +171,21 @@ int main(int argc, char** argv) {
     } else if (arg == "--emit-asm") {
       emit_asm = true;
     } else if (arg == "--validate") {
-      do_validate = true;
+      validate_level = driver::ValidateLevel::Rtl;
+    } else if (starts_with(arg, "--validate=")) {
+      const auto parsed = tools::parse_validate_level(arg.substr(11));
+      if (!parsed) die("unknown validate level '" + arg.substr(11) + "'");
+      validate_level = *parsed;
+    } else if (starts_with(arg, "--passes=")) {
+      if (arg.size() == 9) die("empty --passes value");
+      copts.passes = split_pass_list(arg.substr(9));
+    } else if (starts_with(arg, "--disable-pass=")) {
+      if (arg.size() == 15) die("empty --disable-pass value");
+      copts.disable_passes.push_back(arg.substr(15));
+    } else if (starts_with(arg, "--dump-after=")) {
+      if (arg.size() == 13) die("empty --dump-after value");
+      copts.dump_after = arg.substr(13);
+      copts.dump = dump_state;
     } else if (arg == "--stats") {
       stats = true;
     } else if (arg == "--no-annotations") {
@@ -158,7 +218,7 @@ int main(int argc, char** argv) {
   if (batch) {
     tools::BatchOptions batch_options;
     batch_options.config = config;
-    batch_options.validate = do_validate;
+    batch_options.validate = validate_level;
     batch_options.jobs = jobs;
     batch_options.cache_dir = cache_dir;
     batch_options.cache_budget_bytes = cache_budget_bytes;
@@ -169,12 +229,15 @@ int main(int argc, char** argv) {
 
   try {
     minic::Program program;
-    const driver::Compiled compiled =
-        compile_source(source, path, config, do_validate, &program);
-    std::fprintf(stderr, "vcc: compiled %zu function(s) under %s%s\n",
-                 program.functions.size(),
-                 driver::to_string(config).c_str(),
-                 do_validate ? " (validated)" : "");
+    const driver::Compiled compiled = compile_source(
+        source, path, config, validate_level, std::move(copts), &program);
+    std::fprintf(
+        stderr, "vcc: compiled %zu function(s) under %s%s\n",
+        program.functions.size(), driver::to_string(config).c_str(),
+        validate_level != driver::ValidateLevel::Off
+            ? (" (validated: " + driver::to_string(validate_level) + ")")
+                  .c_str()
+            : "");
 
     if (stats) {
       for (const auto& fn : program.functions)

@@ -65,10 +65,14 @@ bool parse_i32(const std::string& text, std::int32_t* out) {
 }  // namespace
 
 std::optional<driver::Config> parse_config_name(const std::string& name) {
-  if (name == "O0") return driver::Config::O0Pattern;
-  if (name == "O1") return driver::Config::O1NoRegalloc;
-  if (name == "verified") return driver::Config::Verified;
-  if (name == "O2") return driver::Config::O2Full;
+  return driver::parse_config(name);
+}
+
+std::optional<driver::ValidateLevel> parse_validate_level(
+    const std::string& name) {
+  if (name == "off") return driver::ValidateLevel::Off;
+  if (name == "rtl") return driver::ValidateLevel::Rtl;
+  if (name == "full") return driver::ValidateLevel::Full;
   return std::nullopt;
 }
 
@@ -131,7 +135,8 @@ BatchResult run_batch(const std::string& dir, const BatchOptions& options) {
   // Validated runs re-check every compile by design; caching would skip the
   // very work the flag requests.
   std::unique_ptr<artifact::ArtifactStore> store;
-  if (!options.cache_dir.empty() && !options.validate)
+  if (!options.cache_dir.empty() &&
+      options.validate == driver::ValidateLevel::Off)
     store = std::make_unique<artifact::ArtifactStore>(
         artifact::ArtifactStore::Options{options.cache_dir,
                                          options.cache_budget_bytes});
@@ -182,8 +187,10 @@ BatchResult run_batch(const std::string& dir, const BatchOptions& options) {
           minic::Program program = minic::parse_program(source, files[i]);
           minic::type_check(program);
           const driver::Compiled compiled =
-              options.validate
-                  ? validate::validated_compile(program, options.config)
+              options.validate != driver::ValidateLevel::Off
+                  ? validate::validated_compile(program, options.config,
+                                                /*n_tests=*/12, /*seed=*/1,
+                                                options.validate)
                   : driver::compile_program(program, options.config);
           if (store != nullptr) {
             json::Value doc;

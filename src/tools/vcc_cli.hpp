@@ -15,7 +15,16 @@
 namespace vc::tools {
 
 /// Maps a --config= name to a configuration; nullopt for unknown names.
+/// Accepts both the cli ("O2") and full ("O2-full") spellings — this is a
+/// thin wrapper over driver::parse_config, kept so the CLI surface stays
+/// unit-testable in one place.
 std::optional<driver::Config> parse_config_name(const std::string& name);
+
+/// Maps a --validate= level name ("off", "rtl", "full") to the level;
+/// nullopt for unknown names. A bare --validate (no value) means Rtl, but
+/// that defaulting lives in the flag loop, not here.
+std::optional<driver::ValidateLevel> parse_validate_level(
+    const std::string& name);
 
 /// Result of parsing a --run=FN[:a,b,...] argument list against a function
 /// signature: the marshalled values, or a diagnostic.
@@ -45,9 +54,9 @@ std::optional<int> parse_count_flag(const std::string& text);
 /// the scrollback".
 struct BatchOptions {
   driver::Config config = driver::Config::Verified;
-  /// Translation-validate every pass. Validated runs bypass the artifact
-  /// cache: re-checking the compilation is the point of the run.
-  bool validate = false;
+  /// Translation-validation level (off / rtl / full). Validated runs bypass
+  /// the artifact cache: re-checking the compilation is the point of the run.
+  driver::ValidateLevel validate = driver::ValidateLevel::Off;
   int jobs = 0;  // 0 = one worker per hardware thread
   /// Artifact-store directory; empty disables caching.
   std::string cache_dir;

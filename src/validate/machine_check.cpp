@@ -1,0 +1,717 @@
+// Machine-level translation validators: register allocation, machine-code
+// equivalence (self-move removal / peephole fusion), and list scheduling.
+// Each checker re-derives the safety argument independently of the pass it
+// checks (its own liveness, its own symbolic execution, its own dependence
+// edges from the shared resource model).
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ppc/liveness.hpp"
+#include "ppc/timing.hpp"
+#include "rtl/analysis.hpp"
+#include "support/bitset.hpp"
+#include "validate/validate.hpp"
+
+namespace vc::validate {
+
+using ppc::AsmFunction;
+using ppc::AsmOp;
+using ppc::IssueModel;
+using ppc::MInstr;
+using ppc::POp;
+using rtl::BlockId;
+using rtl::Instr;
+using rtl::Opcode;
+using rtl::VReg;
+
+// ---------------------------------------------------------------------------
+// Register-allocation checker
+// ---------------------------------------------------------------------------
+//
+// Two obligations (Rideau & Leroy's decomposition):
+//   B. spill round-trip — `after` is `before` under the spill-everywhere
+//      discipline: every use of a spilled value reloads from its slot into a
+//      fresh temporary immediately before the use, every definition stores
+//      back immediately after, and nothing else touches a spill slot;
+//   A. coloring — on `after`, an independent liveness analysis proves that
+//      no two simultaneously live same-class registers share a color (so at
+//      every program point, each use reads the value last written to its
+//      assigned register).
+
+namespace {
+
+/// Field-by-field RTL instruction equality (f64 immediates by bit pattern).
+bool rtl_instr_equal(const Instr& x, const Instr& y) {
+  std::uint64_t fx = 0, fy = 0;
+  std::memcpy(&fx, &x.f64_imm, sizeof fx);
+  std::memcpy(&fy, &y.f64_imm, sizeof fy);
+  if (x.op != y.op || x.dst != y.dst || x.src1 != y.src1 ||
+      x.src2 != y.src2 || x.int_imm != y.int_imm || fx != fy ||
+      x.un_op != y.un_op || x.bin_op != y.bin_op || x.sym != y.sym ||
+      x.elem != y.elem || x.slot != y.slot ||
+      x.param_index != y.param_index || x.target != y.target ||
+      x.target2 != y.target2 || x.annot_format != y.annot_format ||
+      x.annot_args.size() != y.annot_args.size())
+    return false;
+  for (std::size_t k = 0; k < x.annot_args.size(); ++k) {
+    const auto& ax = x.annot_args[k];
+    const auto& ay = y.annot_args[k];
+    if (ax.is_slot != ay.is_slot || ax.vreg != ay.vreg || ax.slot != ay.slot)
+      return false;
+  }
+  return true;
+}
+
+std::string at(BlockId b, std::size_t i) {
+  return "bb" + std::to_string(b) + " instr " + std::to_string(i);
+}
+
+}  // namespace
+
+CheckResult check_register_allocation(const rtl::Function& before,
+                                      const rtl::Function& after,
+                                      const regalloc::Allocation& alloc,
+                                      int k_int, int k_float) {
+  if (before.blocks.size() != after.blocks.size())
+    return CheckResult::fail("block count changed");
+  if (alloc.locs.size() != after.vregs.size())
+    return CheckResult::fail("allocation does not cover every vreg");
+  if (after.slots.size() < before.slots.size())
+    return CheckResult::fail("stack slots disappeared");
+
+  // Which original vregs occur in `before` (a vreg can exist but be unused).
+  std::vector<bool> occurs(before.vregs.size(), false);
+  for (const auto& bb : before.blocks)
+    for (const Instr& ins : bb.instrs) {
+      if (auto d = ins.def()) occurs[*d] = true;
+      for (VReg u : ins.uses()) occurs[u] = true;
+    }
+
+  // Spilled vregs: occur in `before` but were not given a register. Each must
+  // own a distinct fresh slot of its class.
+  std::map<rtl::Slot, VReg> slot_owner;
+  int spilled = 0;
+  for (VReg v = 0; v < before.vregs.size(); ++v) {
+    if (!occurs[v] || alloc.locs[v].in_reg) continue;
+    const rtl::Slot slot = alloc.locs[v].slot;
+    if (slot < before.slots.size() || slot >= after.slots.size())
+      return CheckResult::fail("spilled vreg " + std::to_string(v) +
+                               " mapped to a non-fresh slot");
+    if (after.slots[slot] != before.vregs[v])
+      return CheckResult::fail("spill slot class mismatch for vreg " +
+                               std::to_string(v));
+    if (!slot_owner.emplace(slot, v).second)
+      return CheckResult::fail("two spilled vregs share slot " +
+                               std::to_string(slot));
+    ++spilled;
+  }
+  if (spilled != alloc.spill_count)
+    return CheckResult::fail("spill count disagrees with allocation");
+  if (after.slots.size() != before.slots.size() + slot_owner.size())
+    return CheckResult::fail("unaccounted fresh stack slots");
+
+  // Obligation B: per-block cursor walk reconstructing `before` from `after`
+  // by undoing the reload/store discipline. Temporaries (vreg ids beyond the
+  // original universe) are bound by the reload immediately preceding their
+  // single use and forgotten right after it.
+  const VReg first_tmp = static_cast<VReg>(before.vregs.size());
+  for (BlockId b = 0; b < before.blocks.size(); ++b) {
+    const auto& ib = before.blocks[b].instrs;
+    const auto& ia = after.blocks[b].instrs;
+    std::size_t j = 0;
+    std::map<VReg, VReg> bound;  // temporary -> spilled vreg it reloads
+
+    for (std::size_t i = 0; i < ib.size(); ++i) {
+      const Instr& x = ib[i];
+
+      // Reloads directly preceding the use they feed.
+      while (j < ia.size() && ia[j].op == Opcode::LoadStack &&
+             ia[j].slot >= before.slots.size()) {
+        auto owner = slot_owner.find(ia[j].slot);
+        if (owner == slot_owner.end())
+          return CheckResult::fail(at(b, i) + ": reload from unknown slot " +
+                                   std::to_string(ia[j].slot));
+        if (ia[j].dst < first_tmp)
+          return CheckResult::fail(at(b, i) +
+                                   ": reload into a non-temporary register");
+        bound[ia[j].dst] = owner->second;
+        ++j;
+      }
+      if (j >= ia.size())
+        return CheckResult::fail(at(b, i) + ": instruction missing");
+
+      Instr y = ia[j++];
+      auto translate_use = [&](VReg& r) {
+        if (r == rtl::kNoVReg || r < first_tmp) return true;
+        auto it = bound.find(r);
+        if (it == bound.end()) return false;
+        r = it->second;
+        return true;
+      };
+      if (!translate_use(y.src1) || !translate_use(y.src2))
+        return CheckResult::fail(at(b, i) + ": use of an unbound temporary");
+      for (auto& a : y.annot_args) {
+        if (a.is_slot && a.slot >= before.slots.size()) {
+          auto owner = slot_owner.find(a.slot);
+          if (owner == slot_owner.end())
+            return CheckResult::fail(at(b, i) + ": annot names unknown slot");
+          // A spilled annotation operand references the value's home slot.
+          a = rtl::AnnotOperand::of_vreg(owner->second);
+        } else if (!a.is_slot && a.vreg >= first_tmp) {
+          return CheckResult::fail(at(b, i) + ": annot names a temporary");
+        }
+      }
+
+      // A definition into a temporary must store back to its owner's slot
+      // immediately.
+      if (auto d = y.def(); d && *d >= first_tmp) {
+        if (j >= ia.size() || ia[j].op != Opcode::StoreStack ||
+            ia[j].src1 != *d || ia[j].slot < before.slots.size())
+          return CheckResult::fail(at(b, i) +
+                                   ": temporary definition without store-back");
+        auto owner = slot_owner.find(ia[j].slot);
+        if (owner == slot_owner.end())
+          return CheckResult::fail(at(b, i) + ": store-back to unknown slot");
+        y.dst = owner->second;
+        ++j;
+      }
+
+      if (!rtl_instr_equal(x, y))
+        return CheckResult::fail(at(b, i) +
+                                 ": instruction altered beyond spilling");
+      bound.clear();  // reload temporaries are single-use
+    }
+    if (j != ia.size())
+      return CheckResult::fail("bb" + std::to_string(b) +
+                               ": trailing added instructions");
+  }
+
+  // Obligation A: coloring validity on `after` under independent liveness.
+  std::vector<bool> present(after.vregs.size(), false);
+  for (const auto& bb : after.blocks)
+    for (const Instr& ins : bb.instrs) {
+      if (auto d = ins.def()) present[*d] = true;
+      for (VReg u : ins.uses()) present[u] = true;
+    }
+  for (VReg v = 0; v < after.vregs.size(); ++v) {
+    if (!present[v]) continue;
+    const regalloc::Loc& loc = alloc.locs[v];
+    if (!loc.in_reg)
+      return CheckResult::fail("vreg " + std::to_string(v) +
+                               " still present but not in a register");
+    const int k = after.vregs[v] == rtl::RegClass::I32 ? k_int : k_float;
+    if (loc.color < 0 || loc.color >= k)
+      return CheckResult::fail("vreg " + std::to_string(v) +
+                               " colored out of range");
+  }
+
+  const rtl::Liveness lv = rtl::compute_liveness(after);
+  DenseBitset live(after.vregs.size());
+  for (BlockId b = 0; b < after.blocks.size(); ++b) {
+    live = lv.live_out[b];
+    const auto& instrs = after.blocks[b].instrs;
+    for (std::size_t i = instrs.size(); i-- > 0;) {
+      const Instr& ins = instrs[i];
+      if (auto d = ins.def()) {
+        CheckResult conflict = CheckResult::pass();
+        live.for_each([&](std::size_t l) {
+          const VReg w = static_cast<VReg>(l);
+          if (w == *d || after.vregs[w] != after.vregs[*d]) return;
+          // A move's destination may share its source's color: at this
+          // definition both hold the same value.
+          if (ins.op == Opcode::Mov && w == ins.src1) return;
+          if (conflict.ok && alloc.locs[w].color == alloc.locs[*d].color)
+            conflict = CheckResult::fail(
+                at(b, i) + ": vregs " + std::to_string(*d) + " and " +
+                std::to_string(w) + " live together share color " +
+                std::to_string(alloc.locs[*d].color));
+        });
+        if (!conflict.ok) return conflict;
+        live.reset(*d);
+      }
+      for (VReg u : ins.uses()) live.set(u);
+    }
+  }
+  return CheckResult::pass();
+}
+
+// ---------------------------------------------------------------------------
+// Machine-equivalence checker (self-move removal, peephole fusion)
+// ---------------------------------------------------------------------------
+//
+// Both functions are cut at their markers (labels and annotation anchors,
+// which these rewrites preserve in content and order); corresponding
+// segments are then symbolically executed over the 73 machine resources.
+// Fused forms normalize to the expressions of their unfused equivalents
+// (fmadd = fadd(fmul(a,b),c); cmpwi/addi fold their immediate exactly like a
+// preceding li would). Memory accesses and control transfers become ordered
+// event lists that must match; register state is compared at every branch
+// and at segment exit, restricted to the registers an independent machine
+// liveness analysis (on the before function) proves may still be read.
+
+namespace {
+
+struct SymEnv {
+  std::array<std::string, IssueModel::kNumResources> val;
+
+  explicit SymEnv(std::size_t segment) {
+    for (std::size_t r = 0; r < val.size(); ++r)
+      val[r] = "init" + std::to_string(segment) + ":" + std::to_string(r);
+  }
+  std::string& gpr(int r) { return val[static_cast<std::size_t>(r)]; }
+  std::string& fpr(int r) { return val[static_cast<std::size_t>(32 + r)]; }
+  std::string& crf(int f) {
+    return val[static_cast<std::size_t>(IssueModel::kCrBase + f)];
+  }
+};
+
+/// A memory access or control transfer, in program order within a segment.
+/// Branch events snapshot the full environment; the comparison restricts it
+/// to the live-after set of the *before* side's branch.
+struct MEvent {
+  std::string tag;          // kind + operand expressions
+  bool is_branch = false;
+  std::size_t pos = 0;      // op index (before side: liveness anchor)
+  std::array<std::string, IssueModel::kNumResources> env;
+};
+
+std::string sort2(const char* op, std::string a, std::string b) {
+  if (b < a) std::swap(a, b);
+  return std::string(op) + "(" + a + "," + b + ")";
+}
+
+std::string bin2(const char* op, const std::string& a, const std::string& b) {
+  return std::string(op) + "(" + a + "," + b + ")";
+}
+
+/// The symbolic value of an instruction's immediate, folding in any pending
+/// relocation so that `li rT,sym@x; op ..,rT` and a relocated immediate form
+/// denote the same constant.
+std::string imm_token(const AsmOp& op) {
+  if (!op.reloc_sym.empty())
+    return "rel" + std::to_string(static_cast<int>(op.reloc_kind)) + ":" +
+           op.reloc_sym + "+" + std::to_string(op.reloc_addend);
+  return "c" + std::to_string(op.ins.imm);
+}
+
+/// Executes one op over `env`, appending memory/branch events. `n_loads`
+/// numbers loads within the segment: the j-th load of either side binds the
+/// same fresh symbol (their addresses are forced equal by event comparison).
+void sym_step(const AsmOp& op, std::size_t pos, std::size_t segment,
+              SymEnv& env, std::vector<MEvent>& events, int& n_loads) {
+  const MInstr& m = op.ins;
+  auto mem_addr_d = [&] { return sort2("add", env.gpr(m.ra), imm_token(op)); };
+  auto mem_addr_x = [&] {
+    return sort2("add", env.gpr(m.ra), env.gpr(m.rb));
+  };
+  auto load = [&](const std::string& width, const std::string& addr) {
+    events.push_back({width + "[" + addr + "]", false, pos, {}});
+    return "mem" + std::to_string(segment) + ":" + std::to_string(n_loads++);
+  };
+  auto store = [&](const std::string& width, const std::string& addr,
+                   const std::string& value) {
+    events.push_back({width + "[" + addr + "]=" + value, false, pos, {}});
+  };
+  auto branch = [&](const std::string& tag) {
+    MEvent e;
+    e.tag = tag;
+    e.is_branch = true;
+    e.pos = pos;
+    e.env = env.val;
+    events.push_back(std::move(e));
+  };
+
+  switch (m.op) {
+    case POp::Li:
+      env.gpr(m.rd) = imm_token(op);
+      break;
+    case POp::Lis:
+      env.gpr(m.rd) = "lis(" + imm_token(op) + ")";
+      break;
+    case POp::Ori:
+      env.gpr(m.rd) = sort2("or", env.gpr(m.ra), imm_token(op));
+      break;
+    case POp::Xori:
+      env.gpr(m.rd) = sort2("xor", env.gpr(m.ra), imm_token(op));
+      break;
+    case POp::Addi:
+      env.gpr(m.rd) = sort2("add", env.gpr(m.ra), imm_token(op));
+      break;
+    case POp::Mr:
+      env.gpr(m.rd) = env.gpr(m.ra);
+      break;
+    case POp::Add:
+      env.gpr(m.rd) = sort2("add", env.gpr(m.ra), env.gpr(m.rb));
+      break;
+    case POp::Subf:  // rd <- rb - ra
+      env.gpr(m.rd) = bin2("sub", env.gpr(m.rb), env.gpr(m.ra));
+      break;
+    case POp::Mullw:
+      env.gpr(m.rd) = sort2("mul", env.gpr(m.ra), env.gpr(m.rb));
+      break;
+    case POp::Divw:
+      env.gpr(m.rd) = bin2("div", env.gpr(m.ra), env.gpr(m.rb));
+      break;
+    case POp::And:
+      env.gpr(m.rd) = sort2("and", env.gpr(m.ra), env.gpr(m.rb));
+      break;
+    case POp::Or:
+      env.gpr(m.rd) = sort2("or", env.gpr(m.ra), env.gpr(m.rb));
+      break;
+    case POp::Xor:
+      env.gpr(m.rd) = sort2("xor", env.gpr(m.ra), env.gpr(m.rb));
+      break;
+    case POp::Nor:
+      env.gpr(m.rd) = sort2("nor", env.gpr(m.ra), env.gpr(m.rb));
+      break;
+    case POp::Neg:
+      env.gpr(m.rd) = "neg(" + env.gpr(m.ra) + ")";
+      break;
+    case POp::Slw:
+      env.gpr(m.rd) = bin2("slw", env.gpr(m.ra), env.gpr(m.rb));
+      break;
+    case POp::Sraw:
+      env.gpr(m.rd) = bin2("sraw", env.gpr(m.ra), env.gpr(m.rb));
+      break;
+    case POp::Srw:
+      env.gpr(m.rd) = bin2("srw", env.gpr(m.ra), env.gpr(m.rb));
+      break;
+    case POp::Rlwinm:
+      env.gpr(m.rd) = "rlwinm(" + env.gpr(m.ra) + "," +
+                      std::to_string(m.sh) + "," + std::to_string(m.mb) +
+                      "," + std::to_string(m.me) + ")";
+      break;
+    case POp::Cmpw:
+      env.crf(m.crf) = bin2("cmp", env.gpr(m.ra), env.gpr(m.rb));
+      break;
+    case POp::Cmpwi:  // the folded form of li rT,imm; cmpw crf,ra,rT
+      env.crf(m.crf) = bin2("cmp", env.gpr(m.ra), imm_token(op));
+      break;
+    case POp::Fcmpu:
+      env.crf(m.crf) = bin2("fcmp", env.fpr(m.ra), env.fpr(m.rb));
+      break;
+    case POp::Cror: {
+      // Writes one bit of the destination field; the rest carries over.
+      const std::string orval =
+          "bit(" + env.crf(m.crba / 4) + "," + std::to_string(m.crba % 4) +
+          ")|bit(" + env.crf(m.crbb / 4) + "," + std::to_string(m.crbb % 4) +
+          ")";
+      env.crf(m.crbd / 4) = "crins(" + env.crf(m.crbd / 4) + "," +
+                            std::to_string(m.crbd % 4) + "," + orval + ")";
+      break;
+    }
+    case POp::Mfcr: {
+      std::string v = "mfcr(";
+      for (int f = 0; f < 8; ++f) v += env.crf(f) + (f == 7 ? ")" : ",");
+      env.gpr(m.rd) = v;
+      break;
+    }
+    case POp::Fadd:
+      env.fpr(m.rd) = sort2("fadd", env.fpr(m.ra), env.fpr(m.rb));
+      break;
+    case POp::Fsub:
+      env.fpr(m.rd) = bin2("fsub", env.fpr(m.ra), env.fpr(m.rb));
+      break;
+    case POp::Fmul:
+      env.fpr(m.rd) = sort2("fmul", env.fpr(m.ra), env.fpr(m.rb));
+      break;
+    case POp::Fdiv:
+      env.fpr(m.rd) = bin2("fdiv", env.fpr(m.ra), env.fpr(m.rb));
+      break;
+    case POp::Fmadd:  // fd <- fa*fb + fc: the fused fmul;fadd pair
+      env.fpr(m.rd) = sort2(
+          "fadd", sort2("fmul", env.fpr(m.ra), env.fpr(m.rb)), env.fpr(m.rc));
+      break;
+    case POp::Fmsub:  // fd <- fa*fb - fc
+      env.fpr(m.rd) = bin2(
+          "fsub", sort2("fmul", env.fpr(m.ra), env.fpr(m.rb)), env.fpr(m.rc));
+      break;
+    case POp::Fneg:
+      env.fpr(m.rd) = "fneg(" + env.fpr(m.ra) + ")";
+      break;
+    case POp::Fabs:
+      env.fpr(m.rd) = "fabs(" + env.fpr(m.ra) + ")";
+      break;
+    case POp::Fmr:
+      env.fpr(m.rd) = env.fpr(m.ra);
+      break;
+    case POp::Fcti:
+      env.gpr(m.rd) = "fcti(" + env.fpr(m.ra) + ")";
+      break;
+    case POp::Icvf:
+      env.fpr(m.rd) = "icvf(" + env.gpr(m.ra) + ")";
+      break;
+    case POp::Lwz:
+      env.gpr(m.rd) = load("l4", mem_addr_d());
+      break;
+    case POp::Lwzx:
+      env.gpr(m.rd) = load("l4", mem_addr_x());
+      break;
+    case POp::Lfd:
+      env.fpr(m.rd) = load("l8", mem_addr_d());
+      break;
+    case POp::Lfdx:
+      env.fpr(m.rd) = load("l8", mem_addr_x());
+      break;
+    case POp::Stw:
+      store("s4", mem_addr_d(), env.gpr(m.rd));
+      break;
+    case POp::Stwx:
+      store("s4", mem_addr_x(), env.gpr(m.rd));
+      break;
+    case POp::Stfd:
+      store("s8", mem_addr_d(), env.fpr(m.rd));
+      break;
+    case POp::Stfdx:
+      store("s8", mem_addr_x(), env.fpr(m.rd));
+      break;
+    case POp::B:
+      branch("b->" + std::to_string(op.target_label));
+      break;
+    case POp::Bc:
+      branch("bc->" + std::to_string(op.target_label) + ":" +
+             std::to_string(m.crbit) + "=" + (m.expect ? "1" : "0") + ":" +
+             env.crf(m.crbit / 4));
+      break;
+    case POp::Blr:
+      branch("blr");
+      break;
+    case POp::Nop:
+      break;
+  }
+}
+
+/// Marker: a label or an annotation anchor. Identity ignores the op index
+/// (the rewrite moves anchors); same-position markers sort by identity so
+/// both sides enumerate them in the same order.
+struct Marker {
+  std::size_t pos = 0;
+  std::string id;
+};
+
+std::vector<Marker> markers_of(const AsmFunction& fn) {
+  std::vector<Marker> ms;
+  for (const auto& [label, lpos] : fn.labels)
+    ms.push_back({lpos, "L" + std::to_string(label)});
+  for (const auto& a : fn.annots) {
+    std::string id = "A" + a.format;
+    for (const auto& operand : a.operands) id += "|" + operand.to_string();
+    ms.push_back({a.addr, id});
+  }
+  std::sort(ms.begin(), ms.end(), [](const Marker& x, const Marker& y) {
+    return x.pos != y.pos ? x.pos < y.pos : x.id < y.id;
+  });
+  return ms;
+}
+
+}  // namespace
+
+CheckResult check_machine_equivalence(const AsmFunction& before,
+                                      const AsmFunction& after) {
+  if (before.name != after.name) return CheckResult::fail("name changed");
+  if (before.frame_bytes != after.frame_bytes)
+    return CheckResult::fail("frame size changed");
+
+  const std::vector<Marker> mb = markers_of(before);
+  const std::vector<Marker> ma = markers_of(after);
+  if (mb.size() != ma.size())
+    return CheckResult::fail("label/annotation markers changed");
+  for (std::size_t k = 0; k < mb.size(); ++k)
+    if (mb[k].id != ma[k].id)
+      return CheckResult::fail("marker " + std::to_string(k) +
+                               " changed identity");
+
+  const ppc::MachineLiveness live_before(before);
+
+  // Segment boundaries: start, each marker position, end.
+  auto bounds = [](const std::vector<Marker>& ms, std::size_t n) {
+    std::vector<std::size_t> b{0};
+    for (const Marker& m : ms) b.push_back(m.pos);
+    b.push_back(n);
+    return b;
+  };
+  const std::vector<std::size_t> bb = bounds(mb, before.ops.size());
+  const std::vector<std::size_t> ba = bounds(ma, after.ops.size());
+
+  for (std::size_t seg = 0; seg + 1 < bb.size(); ++seg) {
+    const std::size_t b0 = bb[seg], b1 = bb[seg + 1];
+    const std::size_t a0 = ba[seg], a1 = ba[seg + 1];
+    if (b0 > b1 || a0 > a1)
+      return CheckResult::fail("markers out of order");
+    if (b0 == b1 && a0 == a1) continue;
+    const std::string where = "segment " + std::to_string(seg);
+    if (b0 == b1)
+      return CheckResult::fail(where + ": instructions added from nothing");
+
+    SymEnv env_b(seg);
+    SymEnv env_a(seg);
+    std::vector<MEvent> ev_b, ev_a;
+    int loads_b = 0, loads_a = 0;
+    for (std::size_t i = b0; i < b1; ++i)
+      sym_step(before.ops[i], i, seg, env_b, ev_b, loads_b);
+    for (std::size_t i = a0; i < a1; ++i)
+      sym_step(after.ops[i], i, seg, env_a, ev_a, loads_a);
+
+    if (ev_b.size() != ev_a.size())
+      return CheckResult::fail(where + ": memory/branch event count differs");
+    for (std::size_t k = 0; k < ev_b.size(); ++k) {
+      if (ev_b[k].tag != ev_a[k].tag)
+        return CheckResult::fail(where + ": event " + std::to_string(k) +
+                                 " differs: " + ev_b[k].tag + " vs " +
+                                 ev_a[k].tag);
+      if (!ev_b[k].is_branch) continue;
+      // Every register that may still be read after the branch must agree.
+      const auto& live = live_before.live_after_set(ev_b[k].pos);
+      for (std::size_t r = 0; r < IssueModel::kNumResources; ++r)
+        if (live.test(r) && ev_b[k].env[r] != ev_a[k].env[r])
+          return CheckResult::fail(where + ": resource " + std::to_string(r) +
+                                   " differs at branch event " +
+                                   std::to_string(k));
+    }
+
+    // Fallthrough exit: registers live after the segment's last before-op.
+    const auto& live = live_before.live_after_set(b1 - 1);
+    for (std::size_t r = 0; r < IssueModel::kNumResources; ++r)
+      if (live.test(r) && env_b.val[r] != env_a.val[r])
+        return CheckResult::fail(where + ": live-out resource " +
+                                 std::to_string(r) + " differs at exit");
+  }
+  return CheckResult::pass();
+}
+
+// ---------------------------------------------------------------------------
+// Schedule checker
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool asm_op_equal(const AsmOp& a, const AsmOp& b) {
+  return a.ins == b.ins && a.target_label == b.target_label &&
+         a.reloc_sym == b.reloc_sym && a.reloc_addend == b.reloc_addend &&
+         a.reloc_kind == b.reloc_kind;
+}
+
+/// Validates one region: `after[begin..end)` must be a permutation of
+/// `before[begin..end)` in which every dependence edge of the before region
+/// (register/CR RAW/WAR/WAW via the shared resource model; memory ordered
+/// except load-load) keeps its direction.
+CheckResult check_region(const AsmFunction& before, const AsmFunction& after,
+                         std::size_t begin, std::size_t end) {
+  const std::size_t n = end - begin;
+  const std::string where = "region [" + std::to_string(begin) + "," +
+                            std::to_string(end) + ")";
+
+  // Match after-ops to before-ops greedily (earliest unmatched equal op;
+  // identical ops are interchangeable, so the choice cannot invalidate a
+  // genuinely dependence-respecting schedule).
+  std::vector<std::size_t> pos_after(n, n);  // before index -> after position
+  std::vector<bool> taken(n, false);
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t found = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (taken[i]) continue;
+      if (asm_op_equal(after.ops[begin + k], before.ops[begin + i])) {
+        found = i;
+        break;
+      }
+    }
+    if (found == n)
+      return CheckResult::fail(where + ": op at " + std::to_string(begin + k) +
+                               " is not a permutation of the original");
+    taken[found] = true;
+    pos_after[found] = k;
+  }
+
+  int reads[IssueModel::kMaxResourcesPerInstr];
+  int writes[IssueModel::kMaxResourcesPerInstr];
+  int n_reads = 0, n_writes = 0;
+  std::vector<std::vector<int>> rd(n), wr(n);
+  std::vector<bool> is_mem(n), is_load(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const MInstr& m = before.ops[begin + i].ins;
+    IssueModel::resources(m, reads, &n_reads, writes, &n_writes);
+    rd[i].assign(reads, reads + n_reads);
+    wr[i].assign(writes, writes + n_writes);
+    is_mem[i] = ppc::is_memory_op(m.op);
+    is_load[i] = m.op == POp::Lwz || m.op == POp::Lwzx || m.op == POp::Lfd ||
+                 m.op == POp::Lfdx;
+  }
+  auto intersects = [](const std::vector<int>& a, const std::vector<int>& b) {
+    for (int x : a)
+      for (int y : b)
+        if (x == y) return true;
+    return false;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const bool raw = intersects(wr[i], rd[j]);
+      const bool war = intersects(rd[i], wr[j]);
+      const bool waw = intersects(wr[i], wr[j]);
+      const bool mem = is_mem[i] && is_mem[j] && !(is_load[i] && is_load[j]);
+      if ((raw || war || waw || mem) && pos_after[i] >= pos_after[j])
+        return CheckResult::fail(
+            where + ": dependence " + std::to_string(begin + i) + " -> " +
+            std::to_string(begin + j) + " inverted by the schedule");
+    }
+  }
+  return CheckResult::pass();
+}
+
+}  // namespace
+
+CheckResult check_schedule(const AsmFunction& before,
+                           const AsmFunction& after) {
+  if (before.name != after.name) return CheckResult::fail("name changed");
+  if (before.frame_bytes != after.frame_bytes)
+    return CheckResult::fail("frame size changed");
+  if (before.ops.size() != after.ops.size())
+    return CheckResult::fail("op count changed");
+  if (before.labels != after.labels)
+    return CheckResult::fail("labels changed");
+  if (before.annots.size() != after.annots.size())
+    return CheckResult::fail("annotations changed");
+  for (std::size_t k = 0; k < before.annots.size(); ++k) {
+    const auto& x = before.annots[k];
+    const auto& y = after.annots[k];
+    bool same = x.addr == y.addr && x.format == y.format &&
+                x.operands.size() == y.operands.size();
+    for (std::size_t o = 0; same && o < x.operands.size(); ++o) {
+      const auto& ox = x.operands[o];
+      const auto& oy = y.operands[o];
+      same = ox.kind == oy.kind && ox.index == oy.index &&
+             ox.offset == oy.offset && ox.is_f64 == oy.is_f64;
+    }
+    if (!same) return CheckResult::fail("annotations changed");
+  }
+
+  // Region boundaries, exactly the scheduler's rule: function start/end,
+  // labels, annotation anchors, and both sides of every branch.
+  std::vector<bool> boundary(before.ops.size() + 1, false);
+  boundary[0] = true;
+  boundary[before.ops.size()] = true;
+  for (const auto& [label, lpos] : before.labels) boundary[lpos] = true;
+  for (const auto& a : before.annots) boundary[a.addr] = true;
+  for (std::size_t i = 0; i < before.ops.size(); ++i) {
+    if (ppc::is_branch(before.ops[i].ins.op) ||
+        before.ops[i].target_label >= 0) {
+      boundary[i] = true;
+      boundary[i + 1] = true;
+    }
+  }
+
+  std::size_t begin = 0;
+  for (std::size_t i = 1; i <= before.ops.size(); ++i) {
+    if (!boundary[i]) continue;
+    const CheckResult region = check_region(before, after, begin, i);
+    if (!region.ok) return region;
+    begin = i;
+  }
+  return CheckResult::pass();
+}
+
+}  // namespace vc::validate

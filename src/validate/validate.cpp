@@ -854,27 +854,55 @@ CheckResult cross_check_machine(const minic::Program& program,
 
 driver::Compiled validated_compile(const minic::Program& program,
                                    driver::Config config, int n_tests,
-                                   std::uint64_t seed) {
-  opt::PassHook hook = [&](const std::string& pass,
-                           const rtl::Function& before,
-                           const rtl::Function& after) {
-    if (pass == "lower") return;  // snapshot only; nothing to compare yet
-    if (pass == "cse" || pass == "forward") {
-      const CheckResult structural = check_structure_preserving(before, after);
-      if (!structural.ok)
-        throw ValidationError(pass, after.name + ": " + structural.message);
+                                   std::uint64_t seed,
+                                   driver::ValidateLevel level,
+                                   driver::CompileOptions base) {
+  if (level == driver::ValidateLevel::Off)
+    return driver::compile_program(program, config, std::move(base));
+
+  const bool full = level == driver::ValidateLevel::Full;
+  const pass::StepHook user_hook = std::move(base.hook);
+  base.hook = [&program, n_tests, seed, full,
+               user_hook](const pass::StepTrace& t) -> int {
+    int checks = user_hook ? user_hook(t) : 0;
+    const std::string& fn_name = t.state->name();
+    auto require = [&](const CheckResult& r) {
+      if (!r.ok) throw ValidationError(t.pass, fn_name + ": " + r.message);
+      ++checks;
+    };
+
+    if (t.level == pass::Level::Rtl) {
+      if (t.pass == "lower") return checks;  // nothing to compare yet
+      check(t.rtl_before != nullptr, "validator hook without RTL snapshot");
+      const rtl::Function& before = *t.rtl_before;
+      const rtl::Function& after = t.state->rtl;
+      if (t.pass == "cse" || t.pass == "forward")
+        require(check_structure_preserving(before, after));
+      if (t.pass == "deadstore")
+        require(check_dead_store_elimination(before, after));
+      if (t.pass == "regalloc" && full)
+        require(check_register_allocation(before, after, t.state->alloc,
+                                          t.state->k_int, t.state->k_float));
+      // Every RTL-level rewrite — spill code included — is additionally
+      // checked by bounded randomized execution.
+      require(differential_check(program, before, after, n_tests, seed));
+      return checks;
     }
-    if (pass == "deadstore") {
-      const CheckResult ds = check_dead_store_elimination(before, after);
-      if (!ds.ok)
-        throw ValidationError(pass, after.name + ": " + ds.message);
-    }
-    const CheckResult diff =
-        differential_check(program, before, after, n_tests, seed);
-    if (!diff.ok) throw ValidationError(pass, after.name + ": " + diff.message);
+
+    // Machine level. Emission itself is covered by the end-to-end machine
+    // cross-check below; the per-step machine checkers run at Full only.
+    if (!full || t.pass == "emit") return checks;
+    check(t.machine_before != nullptr,
+          "validator hook without machine snapshot");
+    if (t.pass == "selfmove" || t.pass == "peephole")
+      require(check_machine_equivalence(*t.machine_before, t.state->machine));
+    if (t.pass == "schedule")
+      require(check_schedule(*t.machine_before, t.state->machine));
+    return checks;
   };
 
-  driver::Compiled compiled = driver::compile_program(program, config, hook);
+  driver::Compiled compiled =
+      driver::compile_program(program, config, std::move(base));
 
   for (const auto& fn : program.functions) {
     const CheckResult end_to_end =

@@ -2,7 +2,18 @@
 // the paper discuss verified translation validation as the equivalent
 // guarantee obtainable at lower cost).
 //
-// Four checkers, composed by `validated_compile`:
+// Validation boundary
+// -------------------
+// At ValidateLevel::Full the boundary is the FULL pipeline: every step the
+// PassManager executes — RTL optimizations, register allocation, self-move
+// removal, peephole fusion, and list scheduling — carries its own
+// a-posteriori checker, and the result is cross-checked end to end against
+// the reference interpreter. At ValidateLevel::Rtl (the historical
+// behaviour) only the RTL passes are checked per step; the machine level
+// (regalloc placement, selfmove/peephole/schedule) is covered solely by the
+// end-to-end cross-check.
+//
+// Seven checkers, composed by `validated_compile`:
 //
 //  1. `check_structure_preserving` — a symbolic validator for rewrites that
 //     keep the CFG and instruction count intact (CSE/copy-propagation and
@@ -10,10 +21,8 @@
 //     dominator-tree preorder under hash-consed value numbering; every
 //     instruction pair must define the same destination with an equivalent
 //     value and perform identical side effects. Memory rewrites are checked
-//     against an independent must-availability analysis: a load replaced by
-//     a Mov is accepted only when the moved value provably equals the
-//     location's current content on every path. A pass accepted by this
-//     checker is semantics-preserving.
+//     against an independent must-availability analysis. A pass accepted by
+//     this checker is semantics-preserving.
 //
 //  2. `check_dead_store_elimination` — accepts removal of StoreStack /
 //     StoreGlobal instructions that an independent backward location-
@@ -25,12 +34,37 @@
 //     random inputs and global states; results, all globals, and annotation
 //     traces must agree bit-exactly (runtime traps must coincide).
 //
-//  4. `cross_check_machine` — end-to-end: the linked binary on the machine
+//  4. `check_register_allocation` — validates the allocator's spill
+//     rewriting and coloring (Rideau & Leroy's "Validating register
+//     allocation and spilling" shape): the spilled function must be the
+//     original under a reload/store discipline that round-trips every
+//     spilled value through its slot, and an independent liveness analysis
+//     must prove that no two simultaneously live same-class registers share
+//     a color — i.e. every use reads the value last assigned to its color.
+//
+//  5. `check_machine_equivalence` — validates self-move removal and the
+//     peephole fixpoint: both machine functions are segmented at their
+//     (identical) label/annotation markers and each segment is symbolically
+//     executed; memory-access event lists, branch events, and every
+//     live-out register (per machine liveness on the before function) must
+//     agree. Fused operations (fmadd/fmsub, cmpwi, addi) normalize to the
+//     expressions of their unfused forms.
+//
+//  6. `check_schedule` — validates the list scheduler: labels, annotations
+//     and region boundaries must be untouched, each region of the scheduled
+//     function must be a permutation of the original region, and the
+//     permutation must respect every dependence edge (register/CR
+//     RAW/WAR/WAW and memory order, the scheduler's own edge rule derived
+//     independently from IssueModel::resources).
+//
+//  7. `cross_check_machine` — end-to-end: the linked binary on the machine
 //     simulator against the mini-C interpreter over stateful call sequences
-//     (covers register allocation, code emission, encoding, linking).
+//     (covers code emission, encoding, linking — and whatever a per-pass
+//     checker might have missed).
 //
 // These checkers are themselves *tested* (seeded miscompilations must be
-// caught), not proved — the documented substitution for the Coq development.
+// caught — tests/machine_validate_test.cpp, tests/validate_test.cpp), not
+// proved — the documented substitution for the Coq development.
 #pragma once
 
 #include <cstdint>
@@ -38,6 +72,8 @@
 
 #include "driver/compiler.hpp"
 #include "minic/ast.hpp"
+#include "ppc/codegen.hpp"
+#include "regalloc/regalloc.hpp"
 #include "rtl/rtl.hpp"
 
 namespace vc::validate {
@@ -68,6 +104,31 @@ CheckResult differential_check(const minic::Program& program,
                                const rtl::Function& after, int n_tests,
                                std::uint64_t seed);
 
+/// Validates one register-allocation step: `after` must be `before` under
+/// the spill-everywhere discipline (uses reload from the value's slot, defs
+/// store back immediately; nothing else may touch spill slots), and
+/// `alloc`'s coloring must be interference-free on `after` under an
+/// independent liveness analysis: at every definition, no other
+/// simultaneously live register of the same class holds the same color
+/// (move sources holding the same value exempted, mirroring the allocator's
+/// coalescing rule).
+CheckResult check_register_allocation(const rtl::Function& before,
+                                      const rtl::Function& after,
+                                      const regalloc::Allocation& alloc,
+                                      int k_int, int k_float);
+
+/// Validates a machine-level rewrite that may fuse, fold, or delete
+/// instructions but not reorder across labels/annotations or change control
+/// flow (self-move removal, the peephole pass): per-segment symbolic
+/// execution as described in the header comment.
+CheckResult check_machine_equivalence(const ppc::AsmFunction& before,
+                                      const ppc::AsmFunction& after);
+
+/// Validates a scheduling step: a per-region permutation that respects the
+/// dependence DAG and preserves the per-region instruction multiset.
+CheckResult check_schedule(const ppc::AsmFunction& before,
+                           const ppc::AsmFunction& after);
+
 /// End-to-end: compiled image vs. reference interpreter on `fn_name`,
 /// over `n_tests` stateful call sequences.
 CheckResult cross_check_machine(const minic::Program& program,
@@ -75,14 +136,16 @@ CheckResult cross_check_machine(const minic::Program& program,
                                 const std::string& fn_name, int n_tests,
                                 std::uint64_t seed);
 
-/// Compiles `program` under `config` with every pass validated:
-/// `check_structure_preserving` for CSE and forwarding,
-/// `check_dead_store_elimination` for the dead-store pass,
-/// `differential_check` for every applied pass (including lowering cleanup
-/// and register allocation), and a final `cross_check_machine` per function.
-/// Throws ValidationError on the first rejected step.
-driver::Compiled validated_compile(const minic::Program& program,
-                                   driver::Config config, int n_tests = 12,
-                                   std::uint64_t seed = 1);
+/// Compiles `program` under `config` with every pass validated at `level`
+/// (see the header comment for the boundary at each level; Off simply
+/// compiles). Checker hooks are chained onto `base` — its own hook, stats,
+/// pass selection and dump attachments all still apply — and every check
+/// performed is counted into the per-pass telemetry. Throws ValidationError
+/// on the first rejected step.
+driver::Compiled validated_compile(
+    const minic::Program& program, driver::Config config, int n_tests = 12,
+    std::uint64_t seed = 1,
+    driver::ValidateLevel level = driver::ValidateLevel::Rtl,
+    driver::CompileOptions base = {});
 
 }  // namespace vc::validate

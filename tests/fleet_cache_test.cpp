@@ -237,9 +237,16 @@ TEST_F(FleetCacheTest, ReportJsonRoundTripsTheRecordArray) {
       driver::run_fleet(suite.units, cached_options(&store, 2));
 
   const json::Value doc = driver::to_json(report);
-  EXPECT_EQ(doc.at("schema").as_string(), "vcflight-fleet-report-v1");
+  EXPECT_EQ(doc.at("schema").as_string(), "vcflight-fleet-report-v2");
   EXPECT_EQ(doc.at("units").as_u64(), report.units);
   EXPECT_EQ(doc.at("cache").at("enabled").as_bool(), true);
+  // v2 carries the per-pass telemetry array (ordered by pipeline position).
+  const json::Array& passes = doc.at("pass_stats").as_array();
+  ASSERT_FALSE(passes.empty());
+  for (const json::Value& p : passes) {
+    EXPECT_FALSE(p.at("name").as_string().empty());
+    EXPECT_GE(p.at("runs").as_u64(), 0u);
+  }
   const json::Array& records = doc.at("records").as_array();
   ASSERT_EQ(records.size(), report.records.size());
   for (std::size_t i = 0; i < records.size(); ++i) {

@@ -265,7 +265,7 @@ TEST(VccBatchTest, ValidateBypassesTheCache) {
   fs::remove_all(cache);
   BatchOptions options;
   options.cache_dir = cache;
-  options.validate = true;
+  options.validate = driver::ValidateLevel::Rtl;
   const BatchResult first = run_batch(dir.path(), options);
   EXPECT_EQ(first.exit_code, 0);
   const BatchResult second = run_batch(dir.path(), options);
