@@ -43,12 +43,15 @@ const std::vector<Arm>& arms() {
   return kArms;
 }
 
-std::uint64_t wcet_of_arm(const bench::NodeBundle& bundle, const Arm& arm) {
+std::uint64_t wcet_of_arm(const bench::NodeBundle& bundle, const Arm& arm,
+                          wcet::WcetEngine engine) {
   driver::CompileOptions copts;
   copts.disable_passes = arm.disable;
   const driver::Compiled compiled =
       driver::compile_program(bundle.program, arm.config, copts);
-  return wcet::analyze_wcet(compiled.image, bundle.step_fn).wcet_cycles;
+  wcet::WcetOptions wopts;
+  wopts.engine = engine;
+  return wcet::analyze_wcet(compiled.image, bundle.step_fn, wopts).wcet_cycles;
 }
 
 }  // namespace
@@ -68,9 +71,10 @@ int main(int argc, char** argv) {
   std::map<std::string, double> ratio_sum;
   std::map<std::string, std::uint64_t> example;
   for (const auto& bundle : suite) {
-    const std::uint64_t full = wcet_of_arm(bundle, arms().front());
+    const std::uint64_t full =
+        wcet_of_arm(bundle, arms().front(), flags.wcet_engine);
     for (const Arm& arm : arms()) {
-      const std::uint64_t w = wcet_of_arm(bundle, arm);
+      const std::uint64_t w = wcet_of_arm(bundle, arm, flags.wcet_engine);
       ratio_sum[arm.label] +=
           static_cast<double>(w) / static_cast<double>(full);
       if (bundle.node.name() == "node0") example[arm.label] = w;

@@ -20,12 +20,15 @@
 
 using namespace vc;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchFlags flags =
+      bench::parse_bench_flags(argc, argv, "bench_annotations");
   std::puts("=== §3.4: annotation transport and its effect on WCET analysis "
             "===\n");
 
   // --- 1 & 2: suite coverage --------------------------------------------
-  std::vector<bench::NodeBundle> suite = bench::make_suite();
+  std::vector<bench::NodeBundle> suite =
+      bench::make_suite(flags.nodes > 0 ? flags.nodes : 40);
   std::printf("%-16s %22s %25s %28s\n", "configuration",
               "analyzable w/ annots", "analyzable w/o annots",
               "bounds derived from binary");
@@ -40,7 +43,9 @@ int main() {
           driver::compile_program(bundle.program, config);
       wcet::WcetOptions with;
       wcet::WcetOptions without;
+      with.engine = flags.wcet_engine;
       without.use_annotations = false;
+      without.engine = flags.wcet_engine;
       try {
         const wcet::WcetResult r =
             wcet::analyze_wcet(compiled.image, bundle.step_fn, with);
@@ -94,7 +99,9 @@ int main() {
     const driver::Compiled compiled = driver::compile_program(program, config);
     wcet::WcetOptions with;
     wcet::WcetOptions without;
+    with.engine = flags.wcet_engine;
     without.use_annotations = false;
+    without.engine = flags.wcet_engine;
     std::uint64_t w = 0;
     std::string wo = "analysis fails (no loop bound)";
     w = wcet::analyze_wcet(compiled.image, "scan", with).wcet_cycles;

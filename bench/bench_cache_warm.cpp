@@ -40,7 +40,10 @@ bool records_equal(const driver::FleetRecord& a, const driver::FleetRecord& b) {
          a.exec.taken_branches == b.exec.taken_branches &&
          a.observed_max_cycles == b.observed_max_cycles &&
          a.wcet_cycles == b.wcet_cycles &&
-         a.wcet_nocache_cycles == b.wcet_nocache_cycles;
+         a.wcet_nocache_cycles == b.wcet_nocache_cycles &&
+         a.wcet_ipet_cycles == b.wcet_ipet_cycles &&
+         a.wcet_ipet_capped_edges == b.wcet_ipet_capped_edges &&
+         a.wcet_ipet_certified == b.wcet_ipet_certified;
 }
 
 }  // namespace
@@ -71,6 +74,7 @@ int main(int argc, char** argv) {
   options.jobs = flags.jobs;
   options.exec_cycles = 50;
   options.wcet = true;
+  options.wcet_engine = flags.wcet_engine;
 
   const auto run_with = [&](artifact::ArtifactStore* store) {
     options.store = store;

@@ -20,6 +20,7 @@
 #include "support/rng.hpp"
 #include "support/strings.hpp"
 #include "validate/validate.hpp"
+#include "wcet/wcet.hpp"
 
 namespace vc::bench {
 
@@ -168,6 +169,9 @@ struct BenchFlags {
   // given level (bare --validate = rtl). Validated jobs bypass the artifact
   // cache so the checkers actually run.
   driver::ValidateLevel validate = driver::ValidateLevel::Off;
+  // --wcet-engine=structural|ipet|both: which WCET engine(s) the fleet runs
+  // for benches that bound WCET. Benches without a WCET phase ignore it.
+  wcet::WcetEngine wcet_engine = wcet::WcetEngine::Structural;
 };
 
 /// Parses the shared bench flags; exits 2 with a diagnostic on anything else.
@@ -193,6 +197,17 @@ inline BenchFlags parse_bench_flags(int argc, char** argv,
                      level.c_str());
         std::exit(2);
       }
+      continue;
+    }
+    if (starts_with(arg, "--wcet-engine=")) {
+      const std::string name = arg.substr(14);
+      const auto engine = wcet::parse_wcet_engine(name);
+      if (!engine) {
+        std::fprintf(stderr, "%s: unknown wcet engine '%s'\n", bench_name,
+                     name.c_str());
+        std::exit(2);
+      }
+      flags.wcet_engine = *engine;
       continue;
     }
     std::string* text_slot = nullptr;
@@ -232,7 +247,8 @@ inline BenchFlags parse_bench_flags(int argc, char** argv,
       std::fprintf(stderr,
                    "%s: bad argument '%s'\nusage: %s [--jobs=N] [--nodes=N] "
                    "[--cache-dir=DIR] [--cache-budget-mb=N] "
-                   "[--report-json=FILE] [--validate[=off|rtl|full]]\n",
+                   "[--report-json=FILE] [--validate[=off|rtl|full]] "
+                   "[--wcet-engine=structural|ipet|both]\n",
                    bench_name, arg.c_str(), bench_name);
       std::exit(2);
     }

@@ -38,6 +38,7 @@ int main(int argc, char** argv) {
   driver::FleetOptions options;
   options.jobs = flags.jobs;
   options.wcet = true;
+  options.wcet_engine = flags.wcet_engine;
   options.store = store.get();
   bench::attach_validation(&options, flags.validate);
   const driver::FleetReport report =

@@ -73,11 +73,14 @@ bool mutate(rtl::Function& fn, Rng& rng) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchFlags flags =
+      bench::parse_bench_flags(argc, argv, "bench_validation");
   std::puts("=== Translation validation: overhead and seeded-defect "
             "detection ===\n");
 
-  std::vector<bench::NodeBundle> suite = bench::make_suite(12);
+  std::vector<bench::NodeBundle> suite =
+      bench::make_suite(flags.nodes > 0 ? flags.nodes : 12);
 
   // --- overhead ------------------------------------------------------------
   for (driver::Config config :

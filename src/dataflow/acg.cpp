@@ -1,6 +1,9 @@
 #include "dataflow/acg.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <optional>
+#include <utility>
 
 #include "minic/typecheck.hpp"
 
@@ -114,6 +117,33 @@ class Generator {
 
   void assign_wire(BlockId b, ExprPtr value) {
     fn_.body.push_back(minic::assign_local(wire_name(b), std::move(value)));
+  }
+
+  /// Statically provable output range of a wire, when the producing block
+  /// pins it for *every* input: Saturate clamps into [lo, hi] (its FMin/FMax
+  /// lowering maps a NaN input to the lower bound, so the range holds
+  /// unconditionally), ConstF is a point, and Switch forwards one of its two
+  /// data arms. Everything else is unbounded as far as this helper knows.
+  std::optional<std::pair<double, double>> bounded_range(BlockId id,
+                                                         int depth = 0) const {
+    if (depth > 8) return std::nullopt;
+    const Block& b = node_.blocks()[id];
+    switch (b.kind) {
+      case SymbolKind::ConstF:
+        return std::make_pair(b.params[0], b.params[0]);
+      case SymbolKind::Saturate:
+        return std::make_pair(std::min(b.params[0], b.params[1]),
+                              std::max(b.params[0], b.params[1]));
+      case SymbolKind::Switch: {
+        const auto a = bounded_range(b.inputs[1], depth + 1);
+        const auto c = bounded_range(b.inputs[2], depth + 1);
+        if (!a || !c) return std::nullopt;
+        return std::make_pair(std::min(a->first, c->first),
+                              std::max(a->second, c->second));
+      }
+      default:
+        return std::nullopt;
+    }
   }
 
   // --- symbol patterns ------------------------------------------------------
@@ -439,14 +469,51 @@ class Generator {
         // k = clamp((i32) t, 0, n-2);  __annot("0 <= %1 <= n-2", k);
         fn_.body.push_back(
             minic::assign_local(k, minic::unary(UnOp::F2I, tl())));
-        fn_.body.push_back(minic::assign_local(
-            k, minic::select(minic::binary(BinOp::ICmpLt, kl(),
-                                           minic::int_lit(0)),
-                             minic::int_lit(0), kl())));
-        fn_.body.push_back(minic::assign_local(
-            k, minic::select(minic::binary(BinOp::ICmpGt, kl(),
-                                           minic::int_lit(n - 2)),
-                             minic::int_lit(n - 2), kl())));
+        // When the input wire is statically bounded, the raw index is too:
+        // trunc-toward-zero is monotone and, this far below the i32 limits,
+        // never saturates. Annotating the *pre-clamp* value lets the WCET
+        // value analysis prove a clamp branch one-sided, which the IPET
+        // engine turns into an excluded edge (the structural engine cannot).
+        if (const auto r = bounded_range(b.inputs[0])) {
+          const double t_a = (r->first - x0) * inv_step;
+          const double t_b = (r->second - x0) * inv_step;
+          const double t_lo = std::min(t_a, t_b);
+          const double t_hi = std::max(t_a, t_b);
+          if (std::abs(t_lo) < 2.0e9 && std::abs(t_hi) < 2.0e9) {
+            const auto k_lo = static_cast<std::int64_t>(std::trunc(t_lo));
+            const auto k_hi = static_cast<std::int64_t>(std::trunc(t_hi));
+            std::vector<minic::ExprPtr> raw_args;
+            raw_args.push_back(kl());
+            fn_.body.push_back(minic::annot_stmt(
+                std::to_string(k_lo) + " <= %1 <= " + std::to_string(k_hi),
+                std::move(raw_args)));
+          }
+        }
+        // Out-of-range lookups clamp to the table edge and latch a fault
+        // flag — the built-in-test idiom for table lookups in control
+        // software. The flag store makes the clamp arms strictly costlier
+        // than the in-range fallthrough, so when the annotation above proves
+        // them dead the exact (IPET) engine lands strictly below the
+        // structural bound.
+        const std::string oor = new_state(0.0);
+        {
+          std::vector<StmtPtr> clamp_lo;
+          clamp_lo.push_back(
+              minic::assign_global(oor, minic::float_lit(1.0)));
+          clamp_lo.push_back(minic::assign_local(k, minic::int_lit(0)));
+          fn_.body.push_back(minic::if_stmt(
+              minic::binary(BinOp::ICmpLt, kl(), minic::int_lit(0)),
+              std::move(clamp_lo)));
+        }
+        {
+          std::vector<StmtPtr> clamp_hi;
+          clamp_hi.push_back(
+              minic::assign_global(oor, minic::float_lit(1.0)));
+          clamp_hi.push_back(minic::assign_local(k, minic::int_lit(n - 2)));
+          fn_.body.push_back(minic::if_stmt(
+              minic::binary(BinOp::ICmpGt, kl(), minic::int_lit(n - 2)),
+              std::move(clamp_hi)));
+        }
         std::vector<minic::ExprPtr> annot_args;
         annot_args.push_back(kl());
         fn_.body.push_back(minic::annot_stmt(

@@ -70,7 +70,7 @@ std::string to_string(ValidateLevel level);
 /// bump it with any change that can alter generated code, annotations, or
 /// WCET analysis results, so stale cached artifacts miss instead of
 /// resurfacing output of an older toolchain.
-inline constexpr const char kCompilerVersion[] = "vcflight-4";
+inline constexpr const char kCompilerVersion[] = "vcflight-5";
 inline constexpr Config kAllConfigs[] = {Config::O0Pattern,
                                          Config::O1NoRegalloc,
                                          Config::Verified, Config::O2Full};

@@ -44,6 +44,7 @@ json::Value params_json(std::uint64_t input_seed, const FleetOptions& options) {
   p["cold_caches"] = json::Value(options.cold_caches);
   p["wcet"] = json::Value(options.wcet);
   p["wcet_nocache"] = json::Value(options.wcet_nocache);
+  p["wcet_engine"] = json::Value(wcet::to_string(options.wcet_engine));
   return p;
 }
 
@@ -53,6 +54,9 @@ bool params_match(const json::Value& p, std::uint64_t input_seed,
   if (p.at("cold_caches").as_bool() != options.cold_caches) return false;
   if (p.at("wcet").as_bool() != options.wcet) return false;
   if (p.at("wcet_nocache").as_bool() != options.wcet_nocache) return false;
+  if (p.at("wcet_engine").as_string("") !=
+      wcet::to_string(options.wcet_engine))
+    return false;
   // The input seed only shapes results when execution actually runs.
   if (options.exec_cycles > 0 && p.at("input_seed").as_u64() != input_seed)
     return false;
@@ -94,6 +98,10 @@ json::Value stanza_from_record(const FleetRecord& record,
   stanza["observed_max_cycles"] = json::Value(record.observed_max_cycles);
   stanza["wcet_cycles"] = json::Value(record.wcet_cycles);
   stanza["wcet_nocache_cycles"] = json::Value(record.wcet_nocache_cycles);
+  stanza["wcet_ipet_cycles"] = json::Value(record.wcet_ipet_cycles);
+  stanza["wcet_ipet_capped_edges"] =
+      json::Value(static_cast<std::int64_t>(record.wcet_ipet_capped_edges));
+  stanza["wcet_ipet_certified"] = json::Value(record.wcet_ipet_certified);
   return stanza;
 }
 
@@ -105,6 +113,10 @@ void record_from_stanza(const json::Value& doc, const json::Value& stanza,
   record->observed_max_cycles = stanza.at("observed_max_cycles").as_u64();
   record->wcet_cycles = stanza.at("wcet_cycles").as_u64();
   record->wcet_nocache_cycles = stanza.at("wcet_nocache_cycles").as_u64();
+  record->wcet_ipet_cycles = stanza.at("wcet_ipet_cycles").as_u64();
+  record->wcet_ipet_capped_edges =
+      static_cast<int>(stanza.at("wcet_ipet_capped_edges").as_i64());
+  record->wcet_ipet_certified = stanza.at("wcet_ipet_certified").as_bool();
 }
 
 /// Runs the execution phase against `image`, accumulating into `record`.
@@ -155,11 +167,22 @@ void run_wcet_phase(const FleetUnit& unit, const ppc::Image& image,
   const auto t_wcet = Clock::now();
   wcet::WcetOptions wopts;
   wopts.use_annotations = options.use_annotations;
-  if (options.wcet)
+  if (options.wcet) {
+    wopts.engine = options.wcet_engine;
+    const wcet::WcetResult r = wcet::analyze_wcet(image, unit.entry, wopts);
+    // wcet_cycles carries the engine the caller selected: structural when
+    // it ran (back-compatible with every existing consumer), else IPET.
     record->wcet_cycles =
-        wcet::analyze_wcet(image, unit.entry, wopts).wcet_cycles;
+        r.structural_cycles ? *r.structural_cycles : r.wcet_cycles;
+    if (r.ipet) {
+      record->wcet_ipet_cycles = r.ipet->wcet_cycles;
+      record->wcet_ipet_capped_edges = r.ipet->capped_edges;
+      record->wcet_ipet_certified = r.ipet->certificate_verified;
+    }
+  }
   if (options.wcet_nocache) {
     wopts.cache_analysis = false;
+    wopts.engine = wcet::WcetEngine::Structural;  // cache ablation only
     record->wcet_nocache_cycles =
         wcet::analyze_wcet(image, unit.entry, wopts).wcet_cycles;
   }
@@ -316,6 +339,28 @@ std::string FleetReport::throughput_summary() const {
       out += buf;
     }
   }
+  if (ipet_records > 0) {
+    std::snprintf(
+        buf, sizeof buf,
+        "\nfleet: wcet engine %s: %llu IPET bound(s), %llu certificate(s) "
+        "verified, %llu with infeasible-edge cap(s)",
+        wcet::to_string(wcet_engine).c_str(),
+        static_cast<unsigned long long>(ipet_records),
+        static_cast<unsigned long long>(ipet_certified),
+        static_cast<unsigned long long>(ipet_capped_edge_records));
+    out += buf;
+    if (wcet_engine == wcet::WcetEngine::Both) {
+      std::snprintf(
+          buf, sizeof buf,
+          "\nfleet: tightness: IPET strictly below structural on %llu/%llu, "
+          "mean tightening %.3f%%",
+          static_cast<unsigned long long>(ipet_tighter),
+          static_cast<unsigned long long>(ipet_records),
+          100.0 * ipet_tightening_sum /
+              static_cast<double>(ipet_records));
+      out += buf;
+    }
+  }
   if (cache_enabled) {
     std::snprintf(
         buf, sizeof buf,
@@ -345,6 +390,7 @@ FleetReport run_fleet(const std::vector<FleetUnit>& units,
                     : static_cast<int>(ThreadPool::default_worker_count());
   report.records.resize(units.size() * options.configs.size());
   report.cache_enabled = options.store != nullptr;
+  report.wcet_engine = options.wcet_engine;
 
   // The artifact key hashes the unit's *source text*; print each program
   // once up front (cheap, serial) instead of once per (unit, config) job.
@@ -375,6 +421,20 @@ FleetReport run_fleet(const std::vector<FleetUnit>& units,
     report.pass_stats += r.pass_stats;
     report.cache_lookup_seconds += r.cache_lookup_seconds;
     report.cache_publish_seconds += r.cache_publish_seconds;
+    if (r.ok && r.wcet_ipet_cycles > 0) {
+      ++report.ipet_records;
+      if (r.wcet_ipet_certified) ++report.ipet_certified;
+      if (r.wcet_ipet_capped_edges > 0) ++report.ipet_capped_edge_records;
+      // Tightness vs structural is only meaningful when both engines ran
+      // (engine Both leaves the structural bound in wcet_cycles).
+      if (options.wcet_engine == wcet::WcetEngine::Both &&
+          r.wcet_cycles > 0) {
+        if (r.wcet_ipet_cycles < r.wcet_cycles) ++report.ipet_tighter;
+        report.ipet_tightening_sum += (static_cast<double>(r.wcet_cycles) -
+                                       static_cast<double>(r.wcet_ipet_cycles)) /
+                                      static_cast<double>(r.wcet_cycles);
+      }
+    }
     if (report.cache_enabled) {
       if (r.cache_hit)
         ++report.cache_full_hits;

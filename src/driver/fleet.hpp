@@ -23,6 +23,7 @@
 #include "machine/machine.hpp"
 #include "minic/ast.hpp"
 #include "support/json.hpp"
+#include "wcet/wcet.hpp"
 
 namespace vc::driver {
 
@@ -51,6 +52,13 @@ struct FleetOptions {
   bool wcet = false;
   /// Additionally compute the bound with cache analysis disabled.
   bool wcet_nocache = false;
+  /// Path-analysis backend(s) for the main bound. Structural fills only
+  /// wcet_cycles; Ipet fills wcet_cycles (= the IPET bound) plus the
+  /// per-engine record fields; Both records each bound so reports can
+  /// quantify the tightness delta. The nocache ablation bound always uses
+  /// the structural engine (it isolates the cache analysis, not the path
+  /// analysis).
+  wcet::WcetEngine wcet_engine = wcet::WcetEngine::Structural;
   bool use_annotations = true;
   /// Base seed for the per-job input streams; the job for unit i draws from
   /// Rng(seed_for(suite_seed, i)) regardless of config and worker count.
@@ -88,8 +96,15 @@ struct FleetRecord {
   std::uint32_t code_bytes = 0;       // entry function code size
   machine::ExecStats exec;            // accumulated over exec_cycles
   std::uint64_t observed_max_cycles = 0;  // max single-invocation cycles
+  /// The structural bound (engine structural/both) or the IPET bound
+  /// (engine ipet) — existing consumers keep reading the engine they asked
+  /// for here.
   std::uint64_t wcet_cycles = 0;
   std::uint64_t wcet_nocache_cycles = 0;
+  /// IPET engine results; zero when the engine did not run.
+  std::uint64_t wcet_ipet_cycles = 0;
+  int wcet_ipet_capped_edges = 0;     // infeasible-edge constraints used
+  bool wcet_ipet_certified = false;   // flow certificate independently checked
 
   // Artifact-cache outcome for this job (false/false when caching is off or
   // the job was a miss). `cache_hit` = full hit, results replayed from the
@@ -122,6 +137,14 @@ struct FleetReport {
   double wcet_seconds = 0.0;
   // Aggregate per-pass pipeline telemetry summed over jobs.
   pass::PipelineStats pass_stats;
+
+  // Cross-engine WCET aggregates (engine != structural; zero otherwise).
+  wcet::WcetEngine wcet_engine = wcet::WcetEngine::Structural;
+  std::uint64_t ipet_records = 0;    // ok records carrying an IPET bound
+  std::uint64_t ipet_certified = 0;  // ... whose certificate verified
+  std::uint64_t ipet_tighter = 0;    // ... strictly below structural (Both)
+  std::uint64_t ipet_capped_edge_records = 0;  // ... with >= 1 capped edge
+  double ipet_tightening_sum = 0.0;  // sum of (structural-ipet)/structural
 
   // Artifact-cache aggregates (all zero when no store was attached).
   bool cache_enabled = false;

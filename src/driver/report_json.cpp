@@ -50,6 +50,10 @@ json::Value record_json(const FleetRecord& r) {
   v["observed_max_cycles"] = json::Value(r.observed_max_cycles);
   v["wcet_cycles"] = json::Value(r.wcet_cycles);
   v["wcet_nocache_cycles"] = json::Value(r.wcet_nocache_cycles);
+  v["wcet_ipet_cycles"] = json::Value(r.wcet_ipet_cycles);
+  v["wcet_ipet_capped_edges"] =
+      json::Value(static_cast<std::int64_t>(r.wcet_ipet_capped_edges));
+  v["wcet_ipet_certified"] = json::Value(r.wcet_ipet_certified);
   v["cache_hit"] = json::Value(r.cache_hit);
   v["cache_image_hit"] = json::Value(r.cache_image_hit);
   v["compile_seconds"] = json::Value(r.compile_seconds);
@@ -67,7 +71,9 @@ json::Value to_json(const FleetReport& report) {
   // v2: "pass_timings" (fixed six-field RTL object) became "pass_stats", an
   // ordered per-pass array with wall time, run/applied/rewrite counts,
   // IR-size delta, and validator check counts for every pipeline step.
-  doc["schema"] = json::Value("vcflight-fleet-report-v2");
+  // v3: per-record IPET fields (wcet_ipet_cycles / _capped_edges /
+  // _certified) and the header's "wcet" engine/aggregate stanza.
+  doc["schema"] = json::Value("vcflight-fleet-report-v3");
   doc["compiler_version"] = json::Value(kCompilerVersion);
   doc["units"] = json::Value(static_cast<std::uint64_t>(report.units));
   doc["configs"] = json::Value(static_cast<std::uint64_t>(report.configs));
@@ -78,6 +84,16 @@ json::Value to_json(const FleetReport& report) {
   doc["exec_seconds"] = json::Value(report.exec_seconds);
   doc["wcet_seconds"] = json::Value(report.wcet_seconds);
   doc["pass_stats"] = pass_stats_json(report.pass_stats);
+
+  json::Value wcet_doc;
+  wcet_doc["engine"] = json::Value(wcet::to_string(report.wcet_engine));
+  wcet_doc["ipet_records"] = json::Value(report.ipet_records);
+  wcet_doc["ipet_certified"] = json::Value(report.ipet_certified);
+  wcet_doc["ipet_tighter"] = json::Value(report.ipet_tighter);
+  wcet_doc["ipet_capped_edge_records"] =
+      json::Value(report.ipet_capped_edge_records);
+  wcet_doc["ipet_tightening_sum"] = json::Value(report.ipet_tightening_sum);
+  doc["wcet"] = std::move(wcet_doc);
 
   json::Value cache;
   cache["enabled"] = json::Value(report.cache_enabled);

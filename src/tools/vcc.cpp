@@ -11,6 +11,12 @@
 //     --config=<O0|O1|verified|O2>   compiler configuration (default verified)
 //     --emit-asm                     print the disassembly listing
 //     --wcet=<function>              print the WCET bound of <function>
+//     --wcet-engine=<structural|ipet|both>
+//                                    path-analysis backend for --wcet:
+//                                    structural longest-path (default), the
+//                                    LP-based IPET engine with certificate
+//                                    checking, or both (prints each bound
+//                                    and the tightness delta)
 //     --no-annotations               ignore the annotation table in WCET
 //     --run=<function>[:a,b,...]     simulate <function> with f64/i32 args
 //     --validate[=off|rtl|full]      translation-validate every pass; bare
@@ -53,7 +59,8 @@ using namespace vc;
 [[noreturn]] void usage() {
   std::fputs(
       "usage: vcc [--config=O0|O1|verified|O2] [--emit-asm]\n"
-      "           [--wcet=FN] [--no-annotations] [--run=FN[:args]]\n"
+      "           [--wcet=FN] [--wcet-engine=structural|ipet|both]\n"
+      "           [--no-annotations] [--run=FN[:args]]\n"
       "           [--validate[=off|rtl|full]] [--passes=a,b,c]\n"
       "           [--disable-pass=NAME] [--dump-after=PASS]\n"
       "           [--stats] file.mc\n"
@@ -160,6 +167,7 @@ int main(int argc, char** argv) {
   std::string cache_dir;
   std::uint64_t cache_budget_bytes = 0;
   std::string wcet_fn;
+  wcet::WcetEngine wcet_engine = wcet::WcetEngine::Structural;
   std::string run_spec;
 
   for (int i = 1; i < argc; ++i) {
@@ -205,6 +213,10 @@ int main(int argc, char** argv) {
       cache_budget_bytes = static_cast<std::uint64_t>(*parsed) * 1024 * 1024;
     } else if (starts_with(arg, "--wcet=")) {
       wcet_fn = arg.substr(7);
+    } else if (starts_with(arg, "--wcet-engine=")) {
+      const auto parsed = tools::parse_wcet_engine_name(arg.substr(14));
+      if (!parsed) die("unknown wcet engine '" + arg.substr(14) + "'");
+      wcet_engine = *parsed;
     } else if (starts_with(arg, "--run=")) {
       run_spec = arg.substr(6);
     } else if (!starts_with(arg, "--") && path.empty()) {
@@ -252,6 +264,7 @@ int main(int argc, char** argv) {
     if (!wcet_fn.empty()) {
       wcet::WcetOptions options;
       options.use_annotations = use_annotations;
+      options.engine = wcet_engine;
       const wcet::WcetResult r =
           wcet::analyze_wcet(compiled.image, wcet_fn, options);
       std::fputs(wcet::format_report(compiled.image, wcet_fn, r).c_str(),

@@ -76,6 +76,11 @@ std::optional<driver::ValidateLevel> parse_validate_level(
   return std::nullopt;
 }
 
+std::optional<wcet::WcetEngine> parse_wcet_engine_name(
+    const std::string& name) {
+  return wcet::parse_wcet_engine(name);
+}
+
 CallArgs parse_call_args(const minic::Function& fn, const std::string& spec) {
   CallArgs out;
   const std::vector<std::string> items = split_commas(spec);

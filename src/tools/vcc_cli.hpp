@@ -11,6 +11,7 @@
 #include "driver/compiler.hpp"
 #include "minic/ast.hpp"
 #include "minic/interp.hpp"
+#include "wcet/wcet.hpp"
 
 namespace vc::tools {
 
@@ -24,6 +25,12 @@ std::optional<driver::Config> parse_config_name(const std::string& name);
 /// nullopt for unknown names. A bare --validate (no value) means Rtl, but
 /// that defaulting lives in the flag loop, not here.
 std::optional<driver::ValidateLevel> parse_validate_level(
+    const std::string& name);
+
+/// Maps a --wcet-engine= name ("structural", "ipet", "both") to the engine;
+/// nullopt for unknown names. Thin wrapper over wcet::parse_wcet_engine so
+/// the value round-trips through the one kWcetEngineNames table.
+std::optional<wcet::WcetEngine> parse_wcet_engine_name(
     const std::string& name);
 
 /// Result of parsing a --run=FN[:a,b,...] argument list against a function

@@ -521,10 +521,28 @@ CheckResult check_machine_equivalence(const AsmFunction& before,
   const std::vector<Marker> ma = markers_of(after);
   if (mb.size() != ma.size())
     return CheckResult::fail("label/annotation markers changed");
-  for (std::size_t k = 0; k < mb.size(); ++k)
-    if (mb[k].id != ma[k].id)
-      return CheckResult::fail("marker " + std::to_string(k) +
+  // The rewrites this checker admits only delete or replace instructions,
+  // so marker addresses shift monotonically: distinct addresses can merge
+  // but never reorder. A merged run sorts by id, which need not match the
+  // original distinct-address order, so compare ids as a multiset over
+  // each equal-address run of the after list (its members occupy the same
+  // index range in both sorted lists).
+  for (std::size_t s = 0; s < ma.size();) {
+    std::size_t e = s + 1;
+    while (e < ma.size() && ma[e].pos == ma[s].pos) ++e;
+    std::vector<std::string> ids_b, ids_a;
+    for (std::size_t k = s; k < e; ++k) {
+      ids_b.push_back(mb[k].id);
+      ids_a.push_back(ma[k].id);
+    }
+    std::sort(ids_b.begin(), ids_b.end());
+    std::sort(ids_a.begin(), ids_a.end());
+    if (ids_b != ids_a)
+      return CheckResult::fail("marker run at op " +
+                               std::to_string(ma[s].pos) +
                                " changed identity");
+    s = e;
+  }
 
   const ppc::MachineLiveness live_before(before);
 

@@ -1,6 +1,7 @@
 #include "wcet/report.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "support/strings.hpp"
 
@@ -14,6 +15,35 @@ std::string format_report(const ppc::Image& image, const std::string& fn_name,
          hex32(image.fn_end.at(fn_name)) + "  (" +
          std::to_string(image.code_size_of(fn_name)) + " bytes)\n";
   out += "  bound: " + std::to_string(result.wcet_cycles) + " cycles\n";
+
+  // Per-engine detail when more than the default structural engine ran.
+  if (result.ipet) {
+    if (result.structural_cycles) {
+      out += "  engines: structural " +
+             std::to_string(*result.structural_cycles) + ", ipet " +
+             std::to_string(result.ipet->wcet_cycles);
+      if (*result.structural_cycles > 0) {
+        const double delta =
+            100.0 *
+            (static_cast<double>(*result.structural_cycles) -
+             static_cast<double>(result.ipet->wcet_cycles)) /
+            static_cast<double>(*result.structural_cycles);
+        char buf[48];
+        std::snprintf(buf, sizeof buf, " (%.2f%% tighter)", delta);
+        out += buf;
+      }
+      out += "\n";
+    }
+    out += "  ipet: " + std::to_string(result.ipet->lp_vars) + " flow var(s), " +
+           std::to_string(result.ipet->lp_constraints) + " constraint(s), " +
+           std::to_string(result.ipet->capped_edges) +
+           " infeasible edge(s), " +
+           std::to_string(result.ipet->simplex_pivots) + " pivot(s), " +
+           std::to_string(result.ipet->bnb_nodes) + " b&b node(s), " +
+           "certificate " +
+           (result.ipet->certificate_verified ? "verified" : "UNVERIFIED") +
+           "\n";
+  }
 
   if (!result.loops.empty()) {
     out += "  loops:\n";

@@ -8,9 +8,16 @@
 #include "wcet/annotations.hpp"
 #include "wcet/cache.hpp"
 #include "wcet/cfg.hpp"
+#include "wcet/ipet.hpp"
 #include "wcet/value_analysis.hpp"
 
 namespace vc::wcet {
+
+std::optional<WcetEngine> parse_wcet_engine(const std::string& name) {
+  for (std::size_t i = 0; i < std::size(kWcetEngineNames); ++i)
+    if (name == kWcetEngineNames[i]) return static_cast<WcetEngine>(i);
+  return std::nullopt;
+}
 
 using ppc::MInstr;
 using ppc::POp;
@@ -162,7 +169,8 @@ std::optional<std::int64_t> derive_bound(const Cfg& cfg,
 std::uint64_t block_base_cost(const MachineBlock& bb,
                               const std::vector<ILineEvent>& ilines,
                               const std::vector<const AccessClass*>& daccess,
-                              const ppc::MachineConfig& machine) {
+                              const ppc::MachineConfig& machine,
+                              bool reachable) {
   ppc::IssueModel pipe;
   pipe.reset();
   int reads[ppc::IssueModel::kMaxResourcesPerInstr];
@@ -183,10 +191,18 @@ std::uint64_t block_base_cost(const MachineBlock& bb,
     }
     std::uint32_t extra_mem = 0;
     if (ppc::is_memory_op(m.op)) {
-      check(dacc_next < daccess.size(), "data access bookkeeping mismatch");
-      if (daccess[dacc_next]->cls == CacheClass::Miss)
+      if (dacc_next < daccess.size()) {
+        if (daccess[dacc_next]->cls == CacheClass::Miss)
+          extra_mem = machine.miss_penalty;
+        ++dacc_next;
+      } else {
+        // The value analysis records no accesses for blocks it proves
+        // unreachable (e.g. an annotation-guarded error arm). Charging the
+        // full miss penalty keeps the cost sound regardless; the mismatch
+        // is only an invariant violation on reachable blocks.
+        check(!reachable, "data access bookkeeping mismatch");
         extra_mem = machine.miss_penalty;
-      ++dacc_next;
+      }
     }
     ppc::IssueModel::resources(m, reads, &n_reads, writes, &n_writes);
     pipe.issue(m, reads, n_reads, writes, n_writes, extra_mem, fetch_stall);
@@ -452,17 +468,31 @@ WcetResult analyze_wcet(const ppc::Image& image, const std::string& fn_name,
 
   for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
     block_cost[b] = block_base_cost(cfg.blocks[b], caches.ilines[b],
-                                    dacc_by_block[b], options.machine);
+                                    dacc_by_block[b], options.machine,
+                                    values.block_in[b].reachable);
     for (const ILineEvent& ev : caches.ilines[b]) charge_persistent(ev.cls);
     result.block_costs.emplace_back(cfg.blocks[b].start, block_cost[b]);
   }
   for (const AccessClass& cls : caches.daccess) charge_persistent(cls);
 
-  PathContext ctx{cfg, block_cost, loop_bound, loop_ps_charge};
-  const std::map<int, std::uint64_t> dist = longest_paths(ctx, -1, 0);
-  std::uint64_t best = 0;
-  for (const auto& [node, d] : dist) best = std::max(best, d);
-  result.wcet_cycles = best + function_ps_charge;
+  // Path analysis: both engines consume the same CFG, bounds, costs, and
+  // persistence charges — they differ only in how they maximize over paths.
+  if (options.engine != WcetEngine::Ipet) {
+    PathContext ctx{cfg, block_cost, loop_bound, loop_ps_charge};
+    const std::map<int, std::uint64_t> dist = longest_paths(ctx, -1, 0);
+    std::uint64_t best = 0;
+    for (const auto& [node, d] : dist) best = std::max(best, d);
+    result.structural_cycles = best + function_ps_charge;
+    result.wcet_cycles = *result.structural_cycles;
+  }
+  if (options.engine != WcetEngine::Structural) {
+    result.ipet = analyze_ipet(cfg, values, loop_bound, block_cost,
+                               loop_ps_charge, function_ps_charge, fn_name);
+    // The IPET bound is the selected bound whenever it ran: it is exact for
+    // the constraint system, so it is never looser than the structural
+    // over-approximation of the same system.
+    result.wcet_cycles = result.ipet->wcet_cycles;
+  }
   return result;
 }
 

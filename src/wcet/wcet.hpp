@@ -12,13 +12,36 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "ppc/program.hpp"
 #include "ppc/timing.hpp"
+#include "wcet/ipet.hpp"
 
 namespace vc::wcet {
+
+/// Which path-analysis backend computes the bound. Structural is the
+/// longest-path engine over the collapsed loop nest; Ipet phrases the same
+/// question as an ILP over edge frequencies (ipet.hpp) and can exploit
+/// infeasible-edge facts; Both runs the two independently and records each
+/// bound plus the tightness delta (the N-version cross-check).
+enum class WcetEngine { Structural, Ipet, Both };
+
+/// Canonical engine names, indexed by WcetEngine. The single source of
+/// truth for CLI parsing, report JSON, and bench footers (the kConfigNames
+/// pattern).
+inline constexpr const char* kWcetEngineNames[] = {"structural", "ipet",
+                                                   "both"};
+
+[[nodiscard]] inline std::string to_string(WcetEngine engine) {
+  return kWcetEngineNames[static_cast<int>(engine)];
+}
+
+/// Parses a canonical engine name; nullopt for anything else.
+[[nodiscard]] std::optional<WcetEngine> parse_wcet_engine(
+    const std::string& name);
 
 struct WcetOptions {
   ppc::MachineConfig machine;
@@ -28,6 +51,8 @@ struct WcetOptions {
   /// Run the cache must/persistence analysis. When disabled every access is
   /// charged as a miss (the "no cache analysis" ablation).
   bool cache_analysis = true;
+  /// Path-analysis backend(s) to run.
+  WcetEngine engine = WcetEngine::Structural;
 };
 
 struct LoopBoundInfo {
@@ -38,7 +63,13 @@ struct LoopBoundInfo {
 };
 
 struct WcetResult {
+  /// The bound of the selected engine (the IPET bound when it ran — it is
+  /// never looser than structural on systems both can express).
   std::uint64_t wcet_cycles = 0;
+  /// The structural engine's bound; set unless engine == Ipet.
+  std::optional<std::uint64_t> structural_cycles;
+  /// The IPET engine's result; set unless engine == Structural.
+  std::optional<IpetInfo> ipet;
   std::vector<LoopBoundInfo> loops;
   std::vector<std::string> warnings;
   /// Diagnostic: per-block base costs (by block start address).

@@ -13,6 +13,7 @@
 #include "minic/printer.hpp"
 #include "minic/typecheck.hpp"
 #include "support/rng.hpp"
+#include "wcet/wcet.hpp"
 
 namespace vc {
 namespace {
@@ -192,6 +193,45 @@ TEST(Dataflow, ValidationRejectsBadNodes) {
     n.add(SymbolKind::InputF);
     EXPECT_THROW(n.validate(), CompileError);
   }
+}
+
+TEST(Dataflow, BoundedLookupIndexFeedsIpet) {
+  // A Saturate into a Lookup1D whose saturation range maps strictly inside
+  // the table: the ACG emits a pre-clamp range annotation on the raw index,
+  // the WCET value analysis proves both clamp branches one-sided, and the
+  // IPET engine excludes those edges — strictly tightening the exact bound
+  // below the structural one on the optimizing configurations.
+  Node n("satlut");
+  const auto x = n.add(SymbolKind::InputF);
+  const auto sat = n.add(SymbolKind::Saturate, {x}, {-4.0, 4.0});
+  // x0=-10, x1=10, 9 entries: t = (v+10)*0.4, v in [-4,4] -> k raw in [2,5],
+  // strictly inside [0, 7] — both clamp selects are provably dead.
+  const auto lut = n.add(SymbolKind::Lookup1D, {sat}, {-10.0, 10.0},
+                         {0.0, 1.0, 4.0, 9.0, 16.0, 25.0, 16.0, 4.0, -3.0});
+  n.add(SymbolKind::Output, {lut});
+
+  minic::Program program;
+  program.name = n.name();
+  dataflow::generate_node(n, &program);
+  minic::type_check(program);
+  const std::string fn = dataflow::step_function_name(n);
+
+  for (driver::Config config :
+       {driver::Config::Verified, driver::Config::O2Full}) {
+    const driver::Compiled compiled = driver::compile_program(program, config);
+    wcet::WcetOptions engines;
+    engines.engine = wcet::WcetEngine::Both;
+    const wcet::WcetResult r = wcet::analyze_wcet(compiled.image, fn, engines);
+    ASSERT_TRUE(r.ipet.has_value());
+    EXPECT_TRUE(r.ipet->certificate_verified);
+    EXPECT_GE(r.ipet->capped_edges, 2u)
+        << "clamp edges not excluded under " << driver::to_string(config);
+    EXPECT_LT(r.ipet->wcet_cycles, *r.structural_cycles)
+        << "no strict tightening under " << driver::to_string(config);
+  }
+  // Semantics stay bit-exact with the annotation present.
+  for (driver::Config config : driver::kAllConfigs)
+    cross_check(n, config, 10, 777);
 }
 
 TEST(Dataflow, PrintedProgramRoundTrips) {

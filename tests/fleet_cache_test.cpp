@@ -237,7 +237,7 @@ TEST_F(FleetCacheTest, ReportJsonRoundTripsTheRecordArray) {
       driver::run_fleet(suite.units, cached_options(&store, 2));
 
   const json::Value doc = driver::to_json(report);
-  EXPECT_EQ(doc.at("schema").as_string(), "vcflight-fleet-report-v2");
+  EXPECT_EQ(doc.at("schema").as_string(), "vcflight-fleet-report-v3");
   EXPECT_EQ(doc.at("units").as_u64(), report.units);
   EXPECT_EQ(doc.at("cache").at("enabled").as_bool(), true);
   // v2 carries the per-pass telemetry array (ordered by pipeline position).
@@ -247,6 +247,10 @@ TEST_F(FleetCacheTest, ReportJsonRoundTripsTheRecordArray) {
     EXPECT_FALSE(p.at("name").as_string().empty());
     EXPECT_GE(p.at("runs").as_u64(), 0u);
   }
+  // v3 adds the WCET-engine stanza and per-record IPET fields.
+  EXPECT_EQ(doc.at("wcet").at("engine").as_string(),
+            wcet::to_string(report.wcet_engine));
+  EXPECT_EQ(doc.at("wcet").at("ipet_records").as_u64(), report.ipet_records);
   const json::Array& records = doc.at("records").as_array();
   ASSERT_EQ(records.size(), report.records.size());
   for (std::size_t i = 0; i < records.size(); ++i) {
@@ -254,6 +258,10 @@ TEST_F(FleetCacheTest, ReportJsonRoundTripsTheRecordArray) {
     EXPECT_EQ(r.at("name").as_string(), report.records[i].name);
     EXPECT_EQ(r.at("ok").as_bool(), report.records[i].ok);
     EXPECT_EQ(r.at("wcet_cycles").as_u64(), report.records[i].wcet_cycles);
+    EXPECT_EQ(r.at("wcet_ipet_cycles").as_u64(),
+              report.records[i].wcet_ipet_cycles);
+    EXPECT_EQ(r.at("wcet_ipet_certified").as_bool(),
+              report.records[i].wcet_ipet_certified);
     EXPECT_EQ(r.at("exec").at("cycles").as_u64(),
               report.records[i].exec.cycles);
   }

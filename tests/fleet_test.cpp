@@ -71,6 +71,9 @@ void expect_records_identical(const driver::FleetReport& a,
     EXPECT_EQ(ra.observed_max_cycles, rb.observed_max_cycles);
     EXPECT_EQ(ra.wcet_cycles, rb.wcet_cycles);
     EXPECT_EQ(ra.wcet_nocache_cycles, rb.wcet_nocache_cycles);
+    EXPECT_EQ(ra.wcet_ipet_cycles, rb.wcet_ipet_cycles);
+    EXPECT_EQ(ra.wcet_ipet_capped_edges, rb.wcet_ipet_capped_edges);
+    EXPECT_EQ(ra.wcet_ipet_certified, rb.wcet_ipet_certified);
   }
 }
 
@@ -111,6 +114,32 @@ TEST(FleetTest, RecordOrderingAndShape) {
   EXPECT_GT(report.wall_seconds, 0.0);
   EXPECT_GT(report.compile_seconds, 0.0);
   EXPECT_FALSE(report.throughput_summary().empty());
+}
+
+TEST(FleetTest, BothEnginesFillIpetFieldsAndAggregates) {
+  const Suite suite = small_suite(3);
+  driver::FleetOptions options = exec_and_wcet_options(2);
+  options.wcet_engine = wcet::WcetEngine::Both;
+  const driver::FleetReport report = driver::run_fleet(suite.units, options);
+  EXPECT_EQ(report.wcet_engine, wcet::WcetEngine::Both);
+  std::uint64_t certified = 0;
+  for (const driver::FleetRecord& r : report.records) {
+    ASSERT_TRUE(r.ok) << r.error;
+    // wcet_cycles stays the structural bound (back-compat for the deltas
+    // the fig2/tightness tables compute); the IPET bound rides alongside.
+    EXPECT_GT(r.wcet_cycles, 0u);
+    EXPECT_GT(r.wcet_ipet_cycles, 0u);
+    EXPECT_TRUE(r.wcet_ipet_certified);
+    // Both engines sound against the observed maximum.
+    EXPECT_GE(r.wcet_cycles, r.observed_max_cycles);
+    EXPECT_GE(r.wcet_ipet_cycles, r.observed_max_cycles);
+    if (r.wcet_ipet_certified) ++certified;
+  }
+  EXPECT_EQ(report.ipet_records, report.records.size());
+  EXPECT_EQ(report.ipet_certified, certified);
+  // The footer mentions the engine line when IPET ran.
+  EXPECT_NE(report.throughput_summary().find("wcet engine both"),
+            std::string::npos);
 }
 
 TEST(FleetTest, JobFailureIsIsolated) {

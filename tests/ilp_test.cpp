@@ -1,0 +1,302 @@
+// The exact-rational LP/ILP solver that backs the IPET WCET engine, with a
+// focus on its edge lanes: infeasible systems, unbounded objectives,
+// degenerate pivoting (Bland anti-cycling), rational overflow, branch and
+// bound on known small ILPs, and the independent certificate verifier's
+// rejection of corrupted assignments.
+#include <gtest/gtest.h>
+
+#include "ilp/rational.hpp"
+#include "ilp/solver.hpp"
+#include "support/rng.hpp"
+
+namespace vc::ilp {
+namespace {
+
+Constraint cons(std::vector<LinTerm> terms, Sense sense, Rat rhs,
+                std::string tag = {}) {
+  Constraint c;
+  c.terms = std::move(terms);
+  c.sense = sense;
+  c.rhs = rhs;
+  c.tag = std::move(tag);
+  return c;
+}
+
+// -------------------------------------------------------------------- Rat
+
+TEST(RatTest, ArithmeticIsExact) {
+  const Rat third = Rat::fraction(1, 3);
+  const Rat sixth = Rat::fraction(1, 6);
+  EXPECT_EQ(third + sixth, Rat::fraction(1, 2));
+  EXPECT_EQ(third - sixth, sixth);
+  EXPECT_EQ(third * Rat(6), Rat(2));
+  EXPECT_EQ(Rat(1) / Rat(3), third);
+  EXPECT_EQ((-third).to_string(), "-1/3");
+}
+
+TEST(RatTest, NormalizesSignAndGcd) {
+  EXPECT_EQ(Rat::fraction(2, -4), Rat::fraction(-1, 2));
+  EXPECT_EQ(Rat::fraction(-6, -9), Rat::fraction(2, 3));
+  EXPECT_EQ(Rat::fraction(0, -7), Rat(0));
+  EXPECT_TRUE(Rat::fraction(8, 4).is_integer());
+}
+
+TEST(RatTest, FloorCeilOnNegatives) {
+  EXPECT_EQ(Rat::fraction(7, 2).floor(), 3);
+  EXPECT_EQ(Rat::fraction(7, 2).ceil(), 4);
+  EXPECT_EQ(Rat::fraction(-7, 2).floor(), -4);
+  EXPECT_EQ(Rat::fraction(-7, 2).ceil(), -3);
+  EXPECT_EQ(Rat(5).floor(), 5);
+  EXPECT_EQ(Rat(5).ceil(), 5);
+}
+
+TEST(RatTest, ComparisonsCrossMultiply) {
+  EXPECT_LT(Rat::fraction(1, 3), Rat::fraction(1, 2));
+  EXPECT_LT(Rat::fraction(-1, 2), Rat::fraction(-1, 3));
+  EXPECT_LE(Rat::fraction(2, 4), Rat::fraction(1, 2));
+  EXPECT_GT(Rat(1), Rat::fraction(999999, 1000000));
+}
+
+TEST(RatTest, OverflowIsDetectedNotWrapped) {
+  const Rat big = Rat(INT64_MAX / 2);
+  EXPECT_THROW((void)(big * Rat(4)), InternalError);
+  EXPECT_THROW((void)(big + big + big), InternalError);
+  // Denominator blowup: 1/p + 1/q with coprime p, q near 2^32 exceeds the
+  // int64 denominator budget even though each operand is representable.
+  const Rat a = Rat::fraction(1, (1LL << 31) - 1);  // Mersenne prime 2^31-1
+  const Rat b = Rat::fraction(1, (1LL << 33) + 1);
+  EXPECT_THROW((void)(a + b), InternalError);
+  EXPECT_THROW((void)-Rat(INT64_MIN), InternalError);
+}
+
+TEST(RatTest, DivisionByZeroIsAnError) {
+  EXPECT_THROW((void)(Rat(1) / Rat(0)), InternalError);
+  EXPECT_THROW((void)Rat::fraction(1, 0), InternalError);
+}
+
+// --------------------------------------------------------------- simplex
+
+TEST(SimplexTest, SolvesTextbookMaximum) {
+  // max 3x + 5y  s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  → x=2, y=6, obj=36.
+  Problem p;
+  p.num_vars = 2;
+  p.objective = {{0, Rat(3)}, {1, Rat(5)}};
+  p.constraints = {
+      cons({{0, Rat(1)}}, Sense::Le, Rat(4), "x-cap"),
+      cons({{1, Rat(2)}}, Sense::Le, Rat(12), "y-cap"),
+      cons({{0, Rat(3)}, {1, Rat(2)}}, Sense::Le, Rat(18), "mix"),
+  };
+  const Solution s = solve_lp(p);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_EQ(s.objective, Rat(36));
+  EXPECT_EQ(s.values[0], Rat(2));
+  EXPECT_EQ(s.values[1], Rat(6));
+  EXPECT_TRUE(check_certificate(p, s.values, s.objective).empty());
+}
+
+TEST(SimplexTest, HandlesEqualityAndGeRows) {
+  // max x + y  s.t. x + y = 10, x >= 3, y <= 4  → x=6, y=4 (any split works
+  // for the objective; the equality pins the optimum at 10).
+  Problem p;
+  p.num_vars = 2;
+  p.objective = {{0, Rat(1)}, {1, Rat(1)}};
+  p.constraints = {
+      cons({{0, Rat(1)}, {1, Rat(1)}}, Sense::Eq, Rat(10), "sum"),
+      cons({{0, Rat(1)}}, Sense::Ge, Rat(3), "x-min"),
+      cons({{1, Rat(1)}}, Sense::Le, Rat(4), "y-cap"),
+  };
+  const Solution s = solve_lp(p);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_EQ(s.objective, Rat(10));
+  EXPECT_TRUE(check_certificate(p, s.values, s.objective).empty());
+}
+
+TEST(SimplexTest, NegativeRhsRowsAreNormalized) {
+  // -x <= -5 is x >= 5 in disguise; exercises the sign-flip path.
+  Problem p;
+  p.num_vars = 1;
+  p.objective = {{0, Rat(-1)}};  // maximize -x → minimize x
+  p.constraints = {cons({{0, Rat(-1)}}, Sense::Le, Rat(-5), "neg-rhs")};
+  const Solution s = solve_lp(p);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_EQ(s.values[0], Rat(5));
+  EXPECT_EQ(s.objective, Rat(-5));
+}
+
+TEST(SimplexTest, DetectsInfeasibleSystem) {
+  // x <= 2 and x >= 5 cannot both hold.
+  Problem p;
+  p.num_vars = 1;
+  p.objective = {{0, Rat(1)}};
+  p.constraints = {
+      cons({{0, Rat(1)}}, Sense::Le, Rat(2), "cap"),
+      cons({{0, Rat(1)}}, Sense::Ge, Rat(5), "floor"),
+  };
+  EXPECT_EQ(solve_lp(p).status, Status::Infeasible);
+  p.integer = true;
+  EXPECT_EQ(solve(p).status, Status::Infeasible);
+}
+
+TEST(SimplexTest, DetectsUnboundedObjective) {
+  // max x + y with only y capped: x grows without limit.
+  Problem p;
+  p.num_vars = 2;
+  p.objective = {{0, Rat(1)}, {1, Rat(1)}};
+  p.constraints = {cons({{1, Rat(1)}}, Sense::Le, Rat(3), "y-cap")};
+  EXPECT_EQ(solve_lp(p).status, Status::Unbounded);
+  p.integer = true;
+  EXPECT_EQ(solve(p).status, Status::Unbounded);
+}
+
+TEST(SimplexTest, BlandRuleEscapesDegenerateCycling) {
+  // Beale's classic cycling example: with Dantzig's most-negative rule a
+  // simplex loops forever on these degenerate pivots; Bland's rule must
+  // terminate at the optimum (objective 1/20 at x3 = 1, minimization form).
+  // Stated as: min -3/4 x0 + 150 x1 - 1/50 x2 + 6 x3  (we maximize the
+  // negation) subject to two degenerate rows and x2 <= ... (see Beale 1955 /
+  // Chvátal ch. 3).
+  Problem p;
+  p.num_vars = 4;
+  p.objective = {{0, Rat::fraction(3, 4)},
+                 {1, Rat(-150)},
+                 {2, Rat::fraction(1, 50)},
+                 {3, Rat(-6)}};
+  p.constraints = {
+      cons({{0, Rat::fraction(1, 4)},
+            {1, Rat(-60)},
+            {2, Rat::fraction(-1, 25)},
+            {3, Rat(9)}},
+           Sense::Le, Rat(0), "r0"),
+      cons({{0, Rat::fraction(1, 2)},
+            {1, Rat(-90)},
+            {2, Rat::fraction(-1, 50)},
+            {3, Rat(3)}},
+           Sense::Le, Rat(0), "r1"),
+      cons({{2, Rat(1)}}, Sense::Le, Rat(1), "r2"),
+  };
+  const Solution s = solve_lp(p);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_EQ(s.objective, Rat::fraction(1, 20));
+  EXPECT_LT(s.pivots, 50);  // terminates promptly, no cycling
+  EXPECT_TRUE(check_certificate(p, s.values, s.objective).empty());
+}
+
+TEST(SimplexTest, EmptyProblemIsTriviallyOptimal) {
+  Problem p;
+  const Solution s = solve_lp(p);
+  EXPECT_EQ(s.status, Status::Optimal);
+  EXPECT_EQ(s.objective, Rat(0));
+}
+
+// ------------------------------------------------------- branch and bound
+
+TEST(BranchAndBoundTest, RoundsAwayFractionalLpOptimum) {
+  // max x + y s.t. 2x + 3y <= 12, 2x + y <= 6.5. LP optimum is fractional;
+  // the best integral point is (1, 3) with objective 4.
+  Problem p;
+  p.num_vars = 2;
+  p.integer = true;
+  p.objective = {{0, Rat(1)}, {1, Rat(1)}};
+  p.constraints = {
+      cons({{0, Rat(2)}, {1, Rat(3)}}, Sense::Le, Rat(12), "a"),
+      cons({{0, Rat(2)}, {1, Rat(1)}}, Sense::Le, Rat::fraction(13, 2), "b"),
+  };
+  const Solution relaxed = solve_lp(p);
+  ASSERT_EQ(relaxed.status, Status::Optimal);
+  EXPECT_FALSE(relaxed.values[0].is_integer() &&
+               relaxed.values[1].is_integer());
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_EQ(s.objective, Rat(4));
+  EXPECT_TRUE(s.values[0].is_integer());
+  EXPECT_TRUE(s.values[1].is_integer());
+  EXPECT_GT(s.bnb_nodes, 1);
+  EXPECT_TRUE(check_certificate(p, s.values, s.objective).empty());
+}
+
+TEST(BranchAndBoundTest, KnapsackOptimum) {
+  // 0/1 knapsack: values {10, 13, 7}, weights {3, 4, 2}, capacity 6.
+  // Optimum picks items 1 and 3: value 20 (the greedy-by-density LP answer
+  // is fractional).
+  Problem p;
+  p.num_vars = 3;
+  p.integer = true;
+  p.objective = {{0, Rat(10)}, {1, Rat(13)}, {2, Rat(7)}};
+  p.constraints = {
+      cons({{0, Rat(3)}, {1, Rat(4)}, {2, Rat(2)}}, Sense::Le, Rat(6), "w"),
+      cons({{0, Rat(1)}}, Sense::Le, Rat(1), "x0<=1"),
+      cons({{1, Rat(1)}}, Sense::Le, Rat(1), "x1<=1"),
+      cons({{2, Rat(1)}}, Sense::Le, Rat(1), "x2<=1"),
+  };
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_EQ(s.objective, Rat(20));
+  EXPECT_EQ(s.values[0], Rat(0));
+  EXPECT_EQ(s.values[1], Rat(1));
+  EXPECT_EQ(s.values[2], Rat(1));
+}
+
+// ------------------------------------------------------------ certificate
+
+TEST(CertificateTest, AcceptsExactSolutionRejectsAnyMutation) {
+  Problem p;
+  p.num_vars = 3;
+  p.integer = true;
+  p.objective = {{0, Rat(4)}, {1, Rat(3)}, {2, Rat(2)}};
+  p.constraints = {
+      cons({{0, Rat(1)}, {1, Rat(1)}}, Sense::Le, Rat(7), "ab"),
+      cons({{1, Rat(1)}, {2, Rat(1)}}, Sense::Eq, Rat(5), "bc"),
+      cons({{0, Rat(1)}}, Sense::Ge, Rat(1), "a-min"),
+  };
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::Optimal);
+  ASSERT_TRUE(check_certificate(p, s.values, s.objective).empty());
+
+  // Seeded single-variable mutations: every perturbed assignment must be
+  // rejected (each variable is pinned by at least one tight row here, and
+  // the objective recomputation catches anything the rows miss).
+  Rng rng(20260807);
+  for (int trial = 0; trial < 64; ++trial) {
+    std::vector<Rat> mutated = s.values;
+    const std::size_t victim = rng.next_below(mutated.size());
+    const std::int64_t delta =
+        1 + static_cast<std::int64_t>(rng.next_below(5));
+    mutated[victim] += (trial % 2 == 0) ? Rat(delta) : Rat(-delta);
+    EXPECT_FALSE(check_certificate(p, mutated, s.objective).empty())
+        << "mutation of x" << victim << " by " << delta << " was accepted";
+  }
+}
+
+TEST(CertificateTest, RejectsWrongObjectiveClaim) {
+  Problem p;
+  p.num_vars = 1;
+  p.objective = {{0, Rat(2)}};
+  p.constraints = {cons({{0, Rat(1)}}, Sense::Le, Rat(3), "cap")};
+  const Solution s = solve_lp(p);
+  ASSERT_EQ(s.status, Status::Optimal);
+  const std::string err = check_certificate(p, s.values, s.objective + Rat(1));
+  EXPECT_NE(err.find("objective mismatch"), std::string::npos) << err;
+}
+
+TEST(CertificateTest, RejectsSizeAndSignErrors) {
+  Problem p;
+  p.num_vars = 2;
+  p.integer = true;
+  EXPECT_FALSE(check_certificate(p, {Rat(1)}, Rat(0)).empty());
+  EXPECT_NE(check_certificate(p, {Rat(-1), Rat(0)}, Rat(0)).find("negative"),
+            std::string::npos);
+  EXPECT_NE(check_certificate(p, {Rat::fraction(1, 2), Rat(0)}, Rat(0))
+                .find("fractional"),
+            std::string::npos);
+}
+
+TEST(CertificateTest, NamesTheViolatedConstraintTag) {
+  Problem p;
+  p.num_vars = 1;
+  p.constraints = {cons({{0, Rat(1)}}, Sense::Le, Rat(2), "loop@0x40")};
+  const std::string err = check_certificate(p, {Rat(9)}, Rat(0));
+  EXPECT_NE(err.find("loop@0x40"), std::string::npos) << err;
+}
+
+}  // namespace
+}  // namespace vc::ilp

@@ -14,6 +14,7 @@
 #include "minic/parser.hpp"
 #include "minic/typecheck.hpp"
 #include "pass/pass.hpp"
+#include "ppc/codegen.hpp"
 #include "ppc/isa.hpp"
 #include "ppc/timing.hpp"
 #include "regalloc/regalloc.hpp"
@@ -246,6 +247,45 @@ TEST(MachineValidation, EquivalenceCheckerRejectsCorruptedRewrites) {
       if (a.addr > store_at) --a.addr;
     EXPECT_FALSE(validate::check_machine_equivalence(m, bad).ok);
   }
+}
+
+TEST(MachineValidation, EquivalenceCheckerAcceptsMarkerMergeFromDeletion) {
+  // Removing a self-move can merge two marker addresses into one; the
+  // merged run sorts by id, which may invert the original distinct-address
+  // order (a generated campaign node hit exactly this shape once Lookup1D
+  // started emitting adjacent annotations). The checker must treat the
+  // merged run as the same marker set, while still rejecting an actual
+  // identity change at the merged address.
+  ppc::AsmFunction fn;
+  fn.name = "merge";
+  const auto mr = [](int rd, int ra) {
+    ppc::AsmOp op;
+    op.ins.op = ppc::POp::Mr;
+    op.ins.rd = static_cast<std::uint8_t>(rd);
+    op.ins.ra = static_cast<std::uint8_t>(ra);
+    return op;
+  };
+  fn.ops.push_back(mr(3, 4));
+  fn.ops.push_back(mr(5, 5));  // self-move between the two annotations
+  fn.ops.push_back(mr(6, 7));
+  ppc::AsmOp ret;
+  ret.ins.op = ppc::POp::Blr;
+  fn.ops.push_back(ret);
+  fn.annots.push_back({1, "zz", {}});
+  fn.annots.push_back({2, "aa", {}});  // id order inverts the address order
+
+  ppc::AsmFunction after = fn;
+  ASSERT_EQ(ppc::remove_self_moves(after), 1);
+  ASSERT_EQ(after.annots[0].addr, 1u);
+  ASSERT_EQ(after.annots[1].addr, 1u);  // merged
+  const validate::CheckResult ok =
+      validate::check_machine_equivalence(fn, after);
+  EXPECT_TRUE(ok.ok) << ok.message;
+
+  // An annotation whose identity really changed is still caught.
+  ppc::AsmFunction bad = after;
+  bad.annots[1].format = "qq";
+  EXPECT_FALSE(validate::check_machine_equivalence(fn, bad).ok);
 }
 
 TEST(MachineValidation, ScheduleCheckerRejectsIllegalReorder) {

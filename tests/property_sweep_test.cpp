@@ -9,6 +9,9 @@
 //       pipeline (no false rejections).
 //   P4 (cache-analysis monotonicity): disabling the cache analysis never
 //       produces a smaller bound.
+//   P5 (cross-engine agreement): the exact LP-based IPET engine is sound
+//       against every observed run, carries a verified certificate, and on
+//       the optimizing configurations never exceeds the structural bound.
 #include <gtest/gtest.h>
 
 #include "dataflow/acg.hpp"
@@ -45,14 +48,32 @@ TEST_P(PropertySweep, AllInvariantsHold) {
       const driver::Compiled compiled =
           driver::compile_program(program, config);
 
-      // P2 setup: static bound.
-      const wcet::WcetResult bound = wcet::analyze_wcet(compiled.image, fn);
-      // P4: cache analysis only tightens.
+      // P2 setup: static bounds from both engines (P5 needs the pair).
+      wcet::WcetOptions engines;
+      engines.engine = wcet::WcetEngine::Both;
+      const wcet::WcetResult bound =
+          wcet::analyze_wcet(compiled.image, fn, engines);
+      ASSERT_TRUE(bound.structural_cycles.has_value());
+      ASSERT_TRUE(bound.ipet.has_value());
+      const std::uint64_t structural = *bound.structural_cycles;
+      const std::uint64_t ipet = bound.ipet->wcet_cycles;
+      // P5: every IPET bound ships with an independently checked certificate,
+      // and the exact engine never loses to the structural one where the
+      // paper's optimizing configurations are concerned.
+      EXPECT_TRUE(bound.ipet->certificate_verified)
+          << node.name() << " under " << driver::to_string(config);
+      if (config == driver::Config::Verified ||
+          config == driver::Config::O2Full) {
+        EXPECT_LE(ipet, structural)
+            << "P5 violated: " << node.name() << " under "
+            << driver::to_string(config);
+      }
+      // P4: cache analysis only tightens (structural vs structural).
       wcet::WcetOptions nocache;
       nocache.cache_analysis = false;
       const wcet::WcetResult loose =
           wcet::analyze_wcet(compiled.image, fn, nocache);
-      EXPECT_GE(loose.wcet_cycles, bound.wcet_cycles);
+      EXPECT_GE(loose.wcet_cycles, structural);
 
       // P1 + P2 over a stateful sequence.
       machine::Machine m(compiled.image);
@@ -81,8 +102,11 @@ TEST_P(PropertySweep, AllInvariantsHold) {
             reference.step(f_inputs, i_inputs, io);
         m.clear_caches();
         m.call(fn, args, minic::Type::I32);
-        ASSERT_LE(m.stats().cycles, bound.wcet_cycles)
+        ASSERT_LE(m.stats().cycles, structural)
             << "P2 violated: " << node.name() << " under "
+            << driver::to_string(config);
+        ASSERT_LE(m.stats().cycles, ipet)
+            << "P5 violated (ipet unsound): " << node.name() << " under "
             << driver::to_string(config);
         for (int k = 0; k < node.output_count(); ++k) {
           ASSERT_EQ(Value::of_f64(want[static_cast<std::size_t>(k)]),

@@ -106,6 +106,18 @@ TEST(VccCliTest, ParseConfigName) {
   EXPECT_FALSE(parse_config_name("").has_value());
 }
 
+TEST(VccCliTest, ParseWcetEngineName) {
+  EXPECT_EQ(parse_wcet_engine_name("structural"), wcet::WcetEngine::Structural);
+  EXPECT_EQ(parse_wcet_engine_name("ipet"), wcet::WcetEngine::Ipet);
+  EXPECT_EQ(parse_wcet_engine_name("both"), wcet::WcetEngine::Both);
+  // Round-trip through the one name table.
+  for (const char* name : wcet::kWcetEngineNames)
+    EXPECT_EQ(wcet::to_string(*parse_wcet_engine_name(name)), name);
+  EXPECT_FALSE(parse_wcet_engine_name("exact").has_value());
+  EXPECT_FALSE(parse_wcet_engine_name("Structural").has_value());
+  EXPECT_FALSE(parse_wcet_engine_name("").has_value());
+}
+
 TEST(VccCliTest, ParseCountFlag) {
   EXPECT_EQ(parse_count_flag("8"), 8);
   EXPECT_EQ(parse_count_flag("0"), 0);

@@ -188,6 +188,146 @@ TEST(Wcet, ConfigOrderingOnSymbolChain) {
             wcet[driver::Config::O0Pattern]);
 }
 
+// ----------------------------------------------------------- cross-engine
+
+/// Runs engine=Both across all configs: both bounds must dominate every
+/// observed execution, the IPET certificate must verify, and IPET must
+/// never be looser than structural.
+void expect_cross_engine_sound(const minic::Program& program,
+                               const std::string& fn,
+                               const std::vector<std::vector<Value>>& inputs) {
+  for (driver::Config config : driver::kAllConfigs) {
+    const driver::Compiled compiled = driver::compile_program(program, config);
+    wcet::WcetOptions options;
+    options.engine = wcet::WcetEngine::Both;
+    const wcet::WcetResult r =
+        wcet::analyze_wcet(compiled.image, fn, options);
+    ASSERT_TRUE(r.structural_cycles.has_value());
+    ASSERT_TRUE(r.ipet.has_value());
+    EXPECT_TRUE(r.ipet->certificate_verified);
+    EXPECT_EQ(r.wcet_cycles, r.ipet->wcet_cycles);
+    EXPECT_LE(r.ipet->wcet_cycles, *r.structural_cycles)
+        << "IPET looser than structural for " << driver::to_string(config);
+    machine::Machine m(compiled.image);
+    const minic::Function* f = program.find_function(fn);
+    ASSERT_NE(f, nullptr);
+    for (const auto& args : inputs) {
+      m.clear_caches();
+      m.call(fn, args, f->has_return ? f->return_type : minic::Type::I32);
+      EXPECT_GE(r.ipet->wcet_cycles, m.stats().cycles)
+          << "UNSOUND IPET bound for " << driver::to_string(config);
+      EXPECT_GE(*r.structural_cycles, m.stats().cycles)
+          << "UNSOUND structural bound for " << driver::to_string(config);
+    }
+  }
+}
+
+TEST(WcetIpet, CrossEngineStraightLine) {
+  const auto program = parse(R"(
+    func f64 law(f64 a, f64 b) {
+      local f64 t;
+      t = a * b + a - b;
+      return t / (b + 2.5);
+    }
+  )");
+  expect_cross_engine_sound(program, "law",
+                            {{Value::of_f64(1.0), Value::of_f64(2.0)},
+                             {Value::of_f64(-3.5), Value::of_f64(0.25)}});
+}
+
+TEST(WcetIpet, CrossEngineBranchesAndNestedLoops) {
+  const auto program = parse(R"(
+    global f64 mat[24] = {0,1,2,3,4,5, 6,7,8,9,10,11,
+                          12,13,14,15,16,17, 18,19,20,21,22,23};
+    func f64 frob(i32 mode) {
+      local f64 acc;
+      local i32 i;
+      local i32 j;
+      acc = 0.0;
+      if (mode == 0) { acc = 100.0; }
+      for (i = 0; i < 4; i = i + 1) {
+        for (j = 0; j < 6; j = j + 1) {
+          acc = acc + mat[i * 6 + j];
+        }
+      }
+      return acc;
+    }
+  )");
+  expect_cross_engine_sound(
+      program, "frob", {{Value::of_i32(0)}, {Value::of_i32(1)}});
+}
+
+TEST(WcetIpet, InfeasibleEdgeMakesIpetStrictlyTighter) {
+  // The range annotation proves the error arm can never execute. The
+  // structural engine still pays for it (longest path has no notion of
+  // infeasibility); IPET pins the guarded edge's frequency to zero and the
+  // bound drops strictly.
+  const auto program = parse(R"(
+    func f64 guarded(i32 k, f64 x) {
+      local f64 r;
+      __annot("0 <= %1 <= 9", k);
+      r = x * 0.5;
+      if (k < 0) {
+        r = r * x + 3.25;
+        r = r * r - x;
+        r = r * r + r * x;
+        r = r * r * r;
+      }
+      return r + 1.0;
+    }
+  )");
+  for (driver::Config config :
+       {driver::Config::Verified, driver::Config::O2Full}) {
+    const auto compiled = driver::compile_program(program, config);
+    wcet::WcetOptions options;
+    options.engine = wcet::WcetEngine::Both;
+    const wcet::WcetResult r =
+        wcet::analyze_wcet(compiled.image, "guarded", options);
+    ASSERT_TRUE(r.ipet.has_value());
+    EXPECT_GE(r.ipet->capped_edges, 1) << driver::to_string(config);
+    EXPECT_LT(r.ipet->wcet_cycles, *r.structural_cycles)
+        << "IPET failed to exploit the infeasible edge under "
+        << driver::to_string(config);
+    // Still sound for every in-range input.
+    machine::Machine m(compiled.image);
+    for (int k : {0, 5, 9}) {
+      m.clear_caches();
+      m.call("guarded", {Value::of_i32(k), Value::of_f64(2.0)},
+             minic::Type::F64);
+      EXPECT_GE(r.ipet->wcet_cycles, m.stats().cycles);
+    }
+  }
+}
+
+TEST(WcetIpet, IpetOnlyEngineOmitsStructural) {
+  const auto program = parse(R"(
+    func f64 twice(f64 x) { return x + x; }
+  )");
+  const auto compiled =
+      driver::compile_program(program, driver::Config::Verified);
+  wcet::WcetOptions options;
+  options.engine = wcet::WcetEngine::Ipet;
+  const wcet::WcetResult r =
+      wcet::analyze_wcet(compiled.image, "twice", options);
+  EXPECT_FALSE(r.structural_cycles.has_value());
+  ASSERT_TRUE(r.ipet.has_value());
+  EXPECT_EQ(r.wcet_cycles, r.ipet->wcet_cycles);
+  EXPECT_GT(r.wcet_cycles, 0u);
+}
+
+TEST(WcetIpet, EngineNamesRoundTrip) {
+  using wcet::WcetEngine;
+  for (WcetEngine e : {WcetEngine::Structural, WcetEngine::Ipet,
+                       WcetEngine::Both}) {
+    const auto parsed = wcet::parse_wcet_engine(wcet::to_string(e));
+    ASSERT_TRUE(parsed.has_value()) << wcet::to_string(e);
+    EXPECT_EQ(*parsed, e);
+  }
+  EXPECT_FALSE(wcet::parse_wcet_engine("exact").has_value());
+  EXPECT_FALSE(wcet::parse_wcet_engine("").has_value());
+  EXPECT_FALSE(wcet::parse_wcet_engine("Structural").has_value());
+}
+
 TEST(Wcet, CfgReconstruction) {
   const auto program = parse(R"(
     func i32 gcd(i32 a, i32 b) {
