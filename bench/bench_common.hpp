@@ -19,6 +19,7 @@
 #include "minic/typecheck.hpp"
 #include "support/rng.hpp"
 #include "support/strings.hpp"
+#include "tools/vcc_cli.hpp"
 #include "validate/validate.hpp"
 #include "wcet/wcet.hpp"
 
@@ -172,14 +173,47 @@ struct BenchFlags {
   // --wcet-engine=structural|ipet|both: which WCET engine(s) the fleet runs
   // for benches that bound WCET. Benches without a WCET phase ignore it.
   wcet::WcetEngine wcet_engine = wcet::WcetEngine::Structural;
+  // --monitor=off|cfg|full: arm the runtime execution monitor on every fleet
+  // job (driver/fleet.hpp). Benches that run no execution phase ignore it.
+  machine::MonitorMode monitor = machine::MonitorMode::Off;
 };
 
 /// Parses the shared bench flags; exits 2 with a diagnostic on anything else.
+/// Strictness matches vcc: contradictory repeats of a flag exit 2 instead of
+/// silently letting the last occurrence win, and an explicit --jobs=0 is
+/// rejected — the "all cores" default is spelled by *omitting* the flag, so a
+/// literal 0 in a campaign script is almost always a templating bug that
+/// would silently change the measured worker count.
 inline BenchFlags parse_bench_flags(int argc, char** argv,
                                     const char* bench_name) {
   BenchFlags flags;
+  tools::FlagConflicts conflicts;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    if (const auto flag = tools::split_flag(arg)) {
+      if (const auto conflict = conflicts.note(flag->name, flag->value)) {
+        std::fprintf(stderr, "%s: %s\n", bench_name, conflict->c_str());
+        std::exit(2);
+      }
+    }
+    if (arg == "--jobs=0") {
+      std::fprintf(stderr,
+                   "%s: --jobs=0 is rejected: omit --jobs to use every "
+                   "hardware thread, or pass an explicit count >= 1\n",
+                   bench_name);
+      std::exit(2);
+    }
+    if (starts_with(arg, "--monitor=")) {
+      const std::string name = arg.substr(10);
+      const auto mode = machine::parse_monitor_mode(name);
+      if (!mode) {
+        std::fprintf(stderr, "%s: unknown monitor mode '%s'\n", bench_name,
+                     name.c_str());
+        std::exit(2);
+      }
+      flags.monitor = *mode;
+      continue;
+    }
     if (arg == "--validate") {
       flags.validate = driver::ValidateLevel::Rtl;
       continue;
@@ -248,7 +282,8 @@ inline BenchFlags parse_bench_flags(int argc, char** argv,
                    "%s: bad argument '%s'\nusage: %s [--jobs=N] [--nodes=N] "
                    "[--cache-dir=DIR] [--cache-budget-mb=N] "
                    "[--report-json=FILE] [--validate[=off|rtl|full]] "
-                   "[--wcet-engine=structural|ipet|both]\n",
+                   "[--wcet-engine=structural|ipet|both] "
+                   "[--monitor=off|cfg|full]\n",
                    bench_name, arg.c_str(), bench_name);
       std::exit(2);
     }

@@ -12,6 +12,7 @@
 #include "minic/printer.hpp"
 #include "support/rng.hpp"
 #include "support/threadpool.hpp"
+#include "wcet/monitor_spec.hpp"
 #include "wcet/wcet.hpp"
 
 namespace vc::driver {
@@ -45,6 +46,7 @@ json::Value params_json(std::uint64_t input_seed, const FleetOptions& options) {
   p["wcet"] = json::Value(options.wcet);
   p["wcet_nocache"] = json::Value(options.wcet_nocache);
   p["wcet_engine"] = json::Value(wcet::to_string(options.wcet_engine));
+  p["monitor"] = json::Value(machine::to_string(options.monitor));
   return p;
 }
 
@@ -56,6 +58,10 @@ bool params_match(const json::Value& p, std::uint64_t input_seed,
   if (p.at("wcet_nocache").as_bool() != options.wcet_nocache) return false;
   if (p.at("wcet_engine").as_string("") !=
       wcet::to_string(options.wcet_engine))
+    return false;
+  // Pre-monitor stanzas carry no "monitor" key; they only match unmonitored
+  // runs, so a monitored campaign never replays an unchecked result.
+  if (p.at("monitor").as_string("off") != machine::to_string(options.monitor))
     return false;
   // The input seed only shapes results when execution actually runs.
   if (options.exec_cycles > 0 && p.at("input_seed").as_u64() != input_seed)
@@ -102,6 +108,7 @@ json::Value stanza_from_record(const FleetRecord& record,
   stanza["wcet_ipet_capped_edges"] =
       json::Value(static_cast<std::int64_t>(record.wcet_ipet_capped_edges));
   stanza["wcet_ipet_certified"] = json::Value(record.wcet_ipet_certified);
+  stanza["monitored_steps"] = json::Value(record.monitored_steps);
   return stanza;
 }
 
@@ -117,6 +124,8 @@ void record_from_stanza(const json::Value& doc, const json::Value& stanza,
   record->wcet_ipet_capped_edges =
       static_cast<int>(stanza.at("wcet_ipet_capped_edges").as_i64());
   record->wcet_ipet_certified = stanza.at("wcet_ipet_certified").as_bool();
+  // Only ok jobs publish, so a replayed stanza is always violation-free.
+  record->monitored_steps = stanza.at("monitored_steps").as_u64(0);
 }
 
 /// Runs the execution phase against `image`, accumulating into `record`.
@@ -131,33 +140,53 @@ void run_exec_phase(const FleetUnit& unit, const ppc::Image& image,
       unit.program->find_global(dataflow::kIoBusGlobal) != nullptr;
   Rng rng(input_seed);
   machine::Machine m(image);
-  for (int c = 0; c < options.exec_cycles; ++c) {
-    if (options.cold_caches) m.clear_caches();
-    std::vector<minic::Value> args;
-    args.reserve(fn->params.size());
-    for (const auto& p : fn->params) {
-      if (p.type == minic::Type::F64)
-        args.push_back(minic::Value::of_f64(rng.next_double(-20.0, 20.0)));
-      else
-        args.push_back(minic::Value::of_i32(
-            static_cast<std::int32_t>(rng.next_range(-2, 2))));
-    }
-    if (has_io)
-      m.write_global(dataflow::kIoBusGlobal, 0,
-                     minic::Value::of_f64(rng.next_double(-3.0, 3.0)));
-    m.call(unit.entry, args, minic::Type::I32);
-    const machine::ExecStats& s = m.stats();
-    record->exec.cycles += s.cycles;
-    record->exec.instructions += s.instructions;
-    record->exec.dcache_reads += s.dcache_reads;
-    record->exec.dcache_writes += s.dcache_writes;
-    record->exec.dcache_read_misses += s.dcache_read_misses;
-    record->exec.dcache_write_misses += s.dcache_write_misses;
-    record->exec.ifetch_line_misses += s.ifetch_line_misses;
-    record->exec.taken_branches += s.taken_branches;
-    record->observed_max_cycles =
-        std::max(record->observed_max_cycles, s.cycles);
+  // The monitored fact base (CFG edges, annotation claims, loop-bound rows)
+  // is per image+function; the armed monitor checks every step below.
+  machine::MonitorSpec monitor_spec;
+  if (options.monitor != machine::MonitorMode::Off) {
+    wcet::WcetOptions wopts;
+    wopts.use_annotations = options.use_annotations;
+    monitor_spec = wcet::build_monitor_spec(image, unit.entry, options.monitor,
+                                            wopts);
+    m.arm_monitor(monitor_spec, options.monitor);
   }
+  try {
+    for (int c = 0; c < options.exec_cycles; ++c) {
+      if (options.cold_caches) m.clear_caches();
+      std::vector<minic::Value> args;
+      args.reserve(fn->params.size());
+      for (const auto& p : fn->params) {
+        if (p.type == minic::Type::F64)
+          args.push_back(minic::Value::of_f64(rng.next_double(-20.0, 20.0)));
+        else
+          args.push_back(minic::Value::of_i32(
+              static_cast<std::int32_t>(rng.next_range(-2, 2))));
+      }
+      if (has_io)
+        m.write_global(dataflow::kIoBusGlobal, 0,
+                       minic::Value::of_f64(rng.next_double(-3.0, 3.0)));
+      m.call(unit.entry, args, minic::Type::I32);
+      const machine::ExecStats& s = m.stats();
+      record->exec.cycles += s.cycles;
+      record->exec.instructions += s.instructions;
+      record->exec.dcache_reads += s.dcache_reads;
+      record->exec.dcache_writes += s.dcache_writes;
+      record->exec.dcache_read_misses += s.dcache_read_misses;
+      record->exec.dcache_write_misses += s.dcache_write_misses;
+      record->exec.ifetch_line_misses += s.ifetch_line_misses;
+      record->exec.taken_branches += s.taken_branches;
+      record->observed_max_cycles =
+          std::max(record->observed_max_cycles, s.cycles);
+    }
+  } catch (const machine::MonitorError&) {
+    // A refuted static claim: account the violation (and the steps that
+    // were checked up to it), then fail the job with the MonitorError text.
+    record->monitor_violations += 1;
+    if (m.monitor() != nullptr) record->monitored_steps = m.monitor()->steps();
+    record->exec_seconds = seconds_since(t_exec);
+    throw;
+  }
+  if (m.monitor() != nullptr) record->monitored_steps = m.monitor()->steps();
   record->exec_seconds = seconds_since(t_exec);
 }
 
@@ -288,6 +317,12 @@ void run_job(const FleetUnit& unit, Config config, std::uint64_t input_seed,
   } catch (const std::exception& e) {
     record->ok = false;
     record->error = e.what();
+    // A failed job's partially accumulated execution results are not
+    // observations: a truncated run (FuelExhausted) or an aborted one must
+    // never contribute an observed_max_cycles baseline that makes the WCET
+    // engines look sound against under-observed executions.
+    record->exec = machine::ExecStats{};
+    record->observed_max_cycles = 0;
   }
 }
 
@@ -361,6 +396,18 @@ std::string FleetReport::throughput_summary() const {
       out += buf;
     }
   }
+  if (monitor_mode != machine::MonitorMode::Off) {
+    std::snprintf(
+        buf, sizeof buf,
+        "\nfleet: monitor (%s): %llu record(s) armed, %llu step(s) checked, "
+        "%llu violation(s)%s",
+        machine::to_string(monitor_mode).c_str(),
+        static_cast<unsigned long long>(monitored_records),
+        static_cast<unsigned long long>(monitored_steps),
+        static_cast<unsigned long long>(monitor_violations),
+        monitor_violations > 0 ? " <-- STATIC CLAIM REFUTED" : "");
+    out += buf;
+  }
   if (cache_enabled) {
     std::snprintf(
         buf, sizeof buf,
@@ -391,6 +438,7 @@ FleetReport run_fleet(const std::vector<FleetUnit>& units,
   report.records.resize(units.size() * options.configs.size());
   report.cache_enabled = options.store != nullptr;
   report.wcet_engine = options.wcet_engine;
+  report.monitor_mode = options.monitor;
 
   // The artifact key hashes the unit's *source text*; print each program
   // once up front (cheap, serial) instead of once per (unit, config) job.
@@ -434,6 +482,11 @@ FleetReport run_fleet(const std::vector<FleetUnit>& units,
                                        static_cast<double>(r.wcet_ipet_cycles)) /
                                       static_cast<double>(r.wcet_cycles);
       }
+    }
+    if (options.monitor != machine::MonitorMode::Off) {
+      if (r.monitored_steps > 0) ++report.monitored_records;
+      report.monitored_steps += r.monitored_steps;
+      report.monitor_violations += r.monitor_violations;
     }
     if (report.cache_enabled) {
       if (r.cache_hit)

@@ -60,6 +60,14 @@ struct FleetOptions {
   /// analysis).
   wcet::WcetEngine wcet_engine = wcet::WcetEngine::Structural;
   bool use_annotations = true;
+  /// Arm the runtime execution monitor on every simulated run: `Cfg` checks
+  /// every control transfer against the reconstructed CFG, `Full` adds
+  /// live-value annotation checks and per-entry loop-bound counting
+  /// (machine/monitor.hpp). A violation fails the job (ok=false, the
+  /// MonitorError text in `error`, monitor_violations set) — the campaign
+  /// then carries a dynamically-refuted static claim, which reports must
+  /// surface loudly.
+  machine::MonitorMode monitor = machine::MonitorMode::Off;
   /// Base seed for the per-job input streams; the job for unit i draws from
   /// Rng(seed_for(suite_seed, i)) regardless of config and worker count.
   std::uint64_t suite_seed = 7;
@@ -106,6 +114,13 @@ struct FleetRecord {
   int wcet_ipet_capped_edges = 0;     // infeasible-edge constraints used
   bool wcet_ipet_certified = false;   // flow certificate independently checked
 
+  /// Execution-monitor outcome (zero when the monitor was off). Steps are
+  /// monitor-checked instructions summed over the job's exec cycles;
+  /// violations count MonitorErrors (a violation also fails the job, so
+  /// this is 0 or 1 per record — the first refuted fact aborts the run).
+  std::uint64_t monitored_steps = 0;
+  std::uint64_t monitor_violations = 0;
+
   // Artifact-cache outcome for this job (false/false when caching is off or
   // the job was a miss). `cache_hit` = full hit, results replayed from the
   // store; `cache_image_hit` = executable reused, results recomputed.
@@ -145,6 +160,12 @@ struct FleetReport {
   std::uint64_t ipet_tighter = 0;    // ... strictly below structural (Both)
   std::uint64_t ipet_capped_edge_records = 0;  // ... with >= 1 capped edge
   double ipet_tightening_sum = 0.0;  // sum of (structural-ipet)/structural
+
+  // Execution-monitor aggregates (mode Off => all zero).
+  machine::MonitorMode monitor_mode = machine::MonitorMode::Off;
+  std::uint64_t monitored_records = 0;  // records that ran armed
+  std::uint64_t monitored_steps = 0;    // instructions checked, summed
+  std::uint64_t monitor_violations = 0; // refuted static claims (must be 0)
 
   // Artifact-cache aggregates (all zero when no store was attached).
   bool cache_enabled = false;

@@ -54,6 +54,8 @@ json::Value record_json(const FleetRecord& r) {
   v["wcet_ipet_capped_edges"] =
       json::Value(static_cast<std::int64_t>(r.wcet_ipet_capped_edges));
   v["wcet_ipet_certified"] = json::Value(r.wcet_ipet_certified);
+  v["monitored_steps"] = json::Value(r.monitored_steps);
+  v["monitor_violations"] = json::Value(r.monitor_violations);
   v["cache_hit"] = json::Value(r.cache_hit);
   v["cache_image_hit"] = json::Value(r.cache_image_hit);
   v["compile_seconds"] = json::Value(r.compile_seconds);
@@ -73,7 +75,9 @@ json::Value to_json(const FleetReport& report) {
   // IR-size delta, and validator check counts for every pipeline step.
   // v3: per-record IPET fields (wcet_ipet_cycles / _capped_edges /
   // _certified) and the header's "wcet" engine/aggregate stanza.
-  doc["schema"] = json::Value("vcflight-fleet-report-v3");
+  // v4: per-record execution-monitor fields (monitored_steps /
+  // monitor_violations) and the header's "monitor" mode/aggregate stanza.
+  doc["schema"] = json::Value("vcflight-fleet-report-v4");
   doc["compiler_version"] = json::Value(kCompilerVersion);
   doc["units"] = json::Value(static_cast<std::uint64_t>(report.units));
   doc["configs"] = json::Value(static_cast<std::uint64_t>(report.configs));
@@ -94,6 +98,13 @@ json::Value to_json(const FleetReport& report) {
       json::Value(report.ipet_capped_edge_records);
   wcet_doc["ipet_tightening_sum"] = json::Value(report.ipet_tightening_sum);
   doc["wcet"] = std::move(wcet_doc);
+
+  json::Value monitor;
+  monitor["mode"] = json::Value(machine::to_string(report.monitor_mode));
+  monitor["records"] = json::Value(report.monitored_records);
+  monitor["steps"] = json::Value(report.monitored_steps);
+  monitor["violations"] = json::Value(report.monitor_violations);
+  doc["monitor"] = std::move(monitor);
 
   json::Value cache;
   cache["enabled"] = json::Value(report.cache_enabled);

@@ -145,7 +145,9 @@ minic::Value Machine::call(const std::string& fn_name,
   stats_.ifetch_line_misses = 0;
   stats_.taken_branches = 0;
 
-  gpr_[1] = Image::kStackTop - 64;
+  if (monitor_ != nullptr) monitor_->begin_call();
+
+  gpr_[1] = kEntryR1;
   gpr_[2] = Image::kDataBase;
   int next_gpr = 3;
   int next_fpr = 1;
@@ -172,7 +174,16 @@ void Machine::run(std::uint32_t entry) {
   std::uint32_t last_fetch_line = 0xFFFFFFFF;
 
   while (pc != Image::kStopAddr) {
-    if (++executed > fuel_) throw MachineError("machine fuel exhausted");
+    if (++executed > fuel_) {
+      // Keep the stats consistent with the work actually done before
+      // throwing, so diagnostics of a truncated run are not garbage — but
+      // the run is NOT complete and its stats are NOT observations.
+      pipe_.drain();
+      stats_.cycles = pipe_.current_cycle();
+      throw FuelExhausted("instruction budget exhausted after " +
+                          std::to_string(fuel_) +
+                          " instruction(s): execution truncated");
+    }
     const MInstr ins = image_.fetch(pc);
 
     // Instruction fetch through the I-cache, one lookup per line entered.
@@ -201,6 +212,7 @@ void Machine::run(std::uint32_t entry) {
           break;
       }
     }
+    if (monitor_ != nullptr) monitor_->before_execute(pc, *this);
     execute(ins, pc);
 
     // Micro-architectural accounting.
@@ -240,6 +252,8 @@ void Machine::run(std::uint32_t entry) {
         last_fetch_line = 0xFFFFFFFF;  // refetch after redirect
       }
     }
+    if (monitor_ != nullptr)
+      monitor_->after_step(pc, next_pc_, ppc::is_branch(ins.op));
     pc = next_pc_;
   }
   pipe_.drain();
@@ -432,6 +446,12 @@ void Machine::execute(const MInstr& ins, std::uint32_t pc) {
     case POp::Nop:
       break;
   }
+}
+
+void Machine::arm_monitor(const MonitorSpec& spec, MonitorMode mode) {
+  monitor_ = mode == MonitorMode::Off
+                 ? nullptr
+                 : std::make_unique<ExecutionMonitor>(spec, mode);
 }
 
 minic::Value Machine::read_global(const std::string& name, std::size_t index,

@@ -10,10 +10,12 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "machine/monitor.hpp"
 #include "minic/interp.hpp"
 #include "ppc/program.hpp"
 #include "ppc/timing.hpp"
@@ -24,6 +26,16 @@ class MachineError : public std::runtime_error {
  public:
   explicit MachineError(const std::string& message)
       : std::runtime_error(message) {}
+};
+
+/// The per-call instruction budget ran out. Distinct from MachineError so
+/// harnesses can tell a truncated execution from a faulting one — stats from
+/// a truncated run are NOT observations (fleet.cpp discards them wholesale);
+/// recording them would make WCET bounds look sound against an
+/// under-observed baseline.
+class FuelExhausted : public MachineError {
+ public:
+  explicit FuelExhausted(const std::string& message) : MachineError(message) {}
 };
 
 /// An N-way set-associative LRU cache model (tags only).
@@ -52,7 +64,7 @@ struct ExecStats {
   std::uint64_t taken_branches = 0;
 };
 
-class Machine {
+class Machine : private CpuView {
  public:
   Machine(const ppc::Image& image, ppc::MachineConfig config = {});
 
@@ -78,8 +90,19 @@ class Machine {
   void write_global(const std::string& name, std::size_t index,
                     minic::Value v);
 
-  /// Instruction budget per call (runaway guard).
+  /// Instruction budget per call (runaway guard). Exhaustion throws
+  /// FuelExhausted, never a plain MachineError.
   void set_fuel(std::uint64_t fuel) { fuel_ = fuel; }
+
+  /// Arms the execution monitor: every subsequent step is checked against
+  /// `spec` at the given mode (monitor.hpp). The spec must outlive the
+  /// armed machine. Violations surface as MonitorError from call().
+  void arm_monitor(const MonitorSpec& spec, MonitorMode mode);
+  void disarm_monitor() { monitor_.reset(); }
+  /// The armed monitor (step counter lives there); nullptr when off.
+  [[nodiscard]] const ExecutionMonitor* monitor() const {
+    return monitor_.get();
+  }
 
  private:
   std::uint32_t read_u32(std::uint32_t addr) const;
@@ -91,6 +114,21 @@ class Machine {
 
   void run(std::uint32_t entry);
   void execute(const ppc::MInstr& ins, std::uint32_t pc);
+
+  // CpuView: live architectural reads for the armed monitor. Stack slots are
+  // addressed from the entry r1 the calling convention pins in call().
+  [[nodiscard]] std::uint32_t gpr(int index) const override {
+    return gpr_[static_cast<std::size_t>(index)];
+  }
+  [[nodiscard]] double fpr(int index) const override {
+    return fpr_[static_cast<std::size_t>(index)];
+  }
+  [[nodiscard]] std::uint32_t stack_u32(std::int32_t offset) const override {
+    return read_u32(kEntryR1 + static_cast<std::uint32_t>(offset));
+  }
+  [[nodiscard]] std::uint64_t stack_u64(std::int32_t offset) const override {
+    return read_u64(kEntryR1 + static_cast<std::uint32_t>(offset));
+  }
 
   const ppc::Image& image_;
   ppc::MachineConfig config_;
@@ -108,8 +146,11 @@ class Machine {
   std::vector<std::uint8_t> data_;   // at Image::kDataBase
   std::vector<std::uint8_t> stack_;  // below Image::kStackTop
   static constexpr std::uint32_t kStackBytes = 1 << 16;
+  // The r1 value call() seeds; the frame base stack-slot MLocs refer to.
+  static constexpr std::uint32_t kEntryR1 = ppc::Image::kStackTop - 64;
 
   std::uint64_t fuel_ = 200'000'000;
+  std::unique_ptr<ExecutionMonitor> monitor_;
 };
 
 }  // namespace vc::machine

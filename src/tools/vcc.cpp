@@ -19,6 +19,12 @@
 //                                    and the tightness delta)
 //     --no-annotations               ignore the annotation table in WCET
 //     --run=<function>[:a,b,...]     simulate <function> with f64/i32 args
+//     --monitor=<off|cfg|full>       arm the runtime execution monitor on
+//                                    --run: cfg checks every control
+//                                    transfer against the reconstructed CFG,
+//                                    full adds live annotation-interval and
+//                                    loop-bound checks; a violation aborts
+//                                    with the refuted fact (exit 1)
 //     --validate[=off|rtl|full]      translation-validate every pass; bare
 //                                    --validate means rtl, full adds the
 //                                    machine-level checkers
@@ -49,6 +55,7 @@
 #include "support/strings.hpp"
 #include "tools/vcc_cli.hpp"
 #include "validate/validate.hpp"
+#include "wcet/monitor_spec.hpp"
 #include "wcet/report.hpp"
 #include "wcet/wcet.hpp"
 
@@ -61,6 +68,7 @@ using namespace vc;
       "usage: vcc [--config=O0|O1|verified|O2] [--emit-asm]\n"
       "           [--wcet=FN] [--wcet-engine=structural|ipet|both]\n"
       "           [--no-annotations] [--run=FN[:args]]\n"
+      "           [--monitor=off|cfg|full]\n"
       "           [--validate[=off|rtl|full]] [--passes=a,b,c]\n"
       "           [--disable-pass=NAME] [--dump-after=PASS]\n"
       "           [--stats] file.mc\n"
@@ -169,9 +177,18 @@ int main(int argc, char** argv) {
   std::string wcet_fn;
   wcet::WcetEngine wcet_engine = wcet::WcetEngine::Structural;
   std::string run_spec;
+  machine::MonitorMode monitor_mode = machine::MonitorMode::Off;
 
+  tools::FlagConflicts conflicts;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    // Contradictory repeats of single-valued flags are operator errors, not
+    // a last-one-wins shadowing. --disable-pass is the one repeatable flag.
+    if (const auto flag = tools::split_flag(arg);
+        flag && flag->name != "--disable-pass") {
+      if (const auto conflict = conflicts.note(flag->name, flag->value))
+        die(*conflict);
+    }
     if (starts_with(arg, "--config=")) {
       const auto parsed = tools::parse_config_name(arg.substr(9));
       if (!parsed) die("unknown config '" + arg.substr(9) + "'");
@@ -219,6 +236,10 @@ int main(int argc, char** argv) {
       wcet_engine = *parsed;
     } else if (starts_with(arg, "--run=")) {
       run_spec = arg.substr(6);
+    } else if (starts_with(arg, "--monitor=")) {
+      const auto parsed = machine::parse_monitor_mode(arg.substr(10));
+      if (!parsed) die("unknown monitor mode '" + arg.substr(10) + "'");
+      monitor_mode = *parsed;
     } else if (!starts_with(arg, "--") && path.empty()) {
       path = arg;
     } else {
@@ -286,7 +307,16 @@ int main(int argc, char** argv) {
       }
       const tools::CallArgs call = tools::parse_call_args(*fn, arg_spec);
       if (!call.ok()) die(call.error);
+      machine::MonitorSpec monitor_spec;  // outlives the machine's monitor
       machine::Machine m(compiled.image);
+      if (monitor_mode != machine::MonitorMode::Off) {
+        wcet::WcetOptions wopts;
+        wopts.use_annotations = use_annotations;
+        monitor_spec =
+            wcet::build_monitor_spec(compiled.image, fn_name, monitor_mode,
+                                     wopts);
+        m.arm_monitor(monitor_spec, monitor_mode);
+      }
       const minic::Value result =
           m.call(fn_name, call.values,
                  fn->has_return ? fn->return_type : minic::Type::I32);
@@ -298,6 +328,10 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(m.stats().instructions),
                   static_cast<unsigned long long>(m.stats().dcache_reads),
                   static_cast<unsigned long long>(m.stats().dcache_writes));
+      if (m.monitor() != nullptr)
+        std::printf("monitor=%s checked=%llu violations=0\n",
+                    machine::to_string(m.monitor()->mode()).c_str(),
+                    static_cast<unsigned long long>(m.monitor()->steps()));
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "vcc: %s\n", e.what());

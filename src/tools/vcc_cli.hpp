@@ -4,6 +4,7 @@
 // never silently truncated or zero-filled — vcc exits 2 on any of these.
 #pragma once
 
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -14,6 +15,48 @@
 #include "wcet/wcet.hpp"
 
 namespace vc::tools {
+
+/// Detects repeated contradictory occurrences of single-valued flags.
+/// A flag repeated with the *same* value is tolerated (harmless, common in
+/// generated command lines); a repeat with a different value is a conflict:
+/// silently letting the last occurrence win hides operator errors like
+/// `--wcet-engine=ipet ... --wcet-engine=structural`, so strict CLIs
+/// diagnose it and exit 2. Header-only so the fleet benches share the exact
+/// same policy without linking the vcc driver library.
+class FlagConflicts {
+ public:
+  /// Records `flag` (e.g. "--jobs") seen with `value`. Returns a diagnostic
+  /// if the flag was already seen with a different value, nullopt otherwise.
+  std::optional<std::string> note(const std::string& flag,
+                                  const std::string& value) {
+    const auto [it, inserted] = seen_.emplace(flag, value);
+    if (inserted || it->second == value) return std::nullopt;
+    return "conflicting values for " + flag + ": '" + it->second +
+           "' then '" + value + "' (remove one; repeated flags must agree)";
+  }
+
+ private:
+  std::map<std::string, std::string> seen_;
+};
+
+/// Splits "--name=value" into its flag name (nullopt for non-flag words).
+/// Bare boolean flags ("--emit-asm") yield an empty value. The conflict
+/// guard treats a bare `--validate` as `--validate=rtl`, its documented
+/// meaning, so `--validate --validate=rtl` is a tolerated repeat.
+struct SplitFlag {
+  std::string name;
+  std::string value;
+};
+
+inline std::optional<SplitFlag> split_flag(const std::string& arg) {
+  if (arg.size() < 3 || arg[0] != '-' || arg[1] != '-') return std::nullopt;
+  const std::size_t eq = arg.find('=');
+  SplitFlag f;
+  f.name = arg.substr(0, eq);
+  if (eq != std::string::npos) f.value = arg.substr(eq + 1);
+  if (arg == "--validate") f.value = "rtl";
+  return f;
+}
 
 /// Maps a --config= name to a configuration; nullopt for unknown names.
 /// Accepts both the cli ("O2") and full ("O2-full") spellings — this is a

@@ -1,0 +1,34 @@
+// Builds a machine::MonitorSpec — the fact base the runtime execution
+// monitor holds a simulation to — from the static artifacts of one function:
+// the reconstructed CFG (legal control transfers), the image's raw
+// annotation table (live-value interval claims), and, in Full mode, the
+// loop-bound rows the WCET path analyses consume.
+//
+// This is deliberately the *only* coupling point between the monitor and the
+// analyzer: the facts come from here (they are what is being checked), the
+// checking machinery lives entirely in src/machine/monitor.*.
+#pragma once
+
+#include <string>
+
+#include "machine/monitor.hpp"
+#include "ppc/program.hpp"
+#include "wcet/wcet.hpp"
+
+namespace vc::wcet {
+
+/// Builds the monitor fact base for `fn_name`:
+///   - Cfg and Full: the legal transfer targets of every branch instruction,
+///     straight from the reconstructed CFG's successor lists (blr maps to
+///     the stop address);
+///   - Full only: value checks from the image's annotation entries inside
+///     the function, and loop-bound rows from analyze_wcet's structural
+///     engine (exactly the rows IPET consumes). `options` controls the
+///     annotation/cache knobs of that analysis; its engine field is ignored.
+/// Throws like build_cfg / analyze_wcet on malformed code or unbounded loops.
+machine::MonitorSpec build_monitor_spec(const ppc::Image& image,
+                                        const std::string& fn_name,
+                                        machine::MonitorMode mode,
+                                        const WcetOptions& options = {});
+
+}  // namespace vc::wcet

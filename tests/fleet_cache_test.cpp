@@ -237,7 +237,7 @@ TEST_F(FleetCacheTest, ReportJsonRoundTripsTheRecordArray) {
       driver::run_fleet(suite.units, cached_options(&store, 2));
 
   const json::Value doc = driver::to_json(report);
-  EXPECT_EQ(doc.at("schema").as_string(), "vcflight-fleet-report-v3");
+  EXPECT_EQ(doc.at("schema").as_string(), "vcflight-fleet-report-v4");
   EXPECT_EQ(doc.at("units").as_u64(), report.units);
   EXPECT_EQ(doc.at("cache").at("enabled").as_bool(), true);
   // v2 carries the per-pass telemetry array (ordered by pipeline position).
@@ -251,6 +251,11 @@ TEST_F(FleetCacheTest, ReportJsonRoundTripsTheRecordArray) {
   EXPECT_EQ(doc.at("wcet").at("engine").as_string(),
             wcet::to_string(report.wcet_engine));
   EXPECT_EQ(doc.at("wcet").at("ipet_records").as_u64(), report.ipet_records);
+  // v4 adds the execution-monitor stanza and per-record monitor fields.
+  EXPECT_EQ(doc.at("monitor").at("mode").as_string(),
+            machine::to_string(report.monitor_mode));
+  EXPECT_EQ(doc.at("monitor").at("violations").as_u64(),
+            report.monitor_violations);
   const json::Array& records = doc.at("records").as_array();
   ASSERT_EQ(records.size(), report.records.size());
   for (std::size_t i = 0; i < records.size(); ++i) {

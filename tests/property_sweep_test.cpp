@@ -12,6 +12,10 @@
 //   P5 (cross-engine agreement): the exact LP-based IPET engine is sound
 //       against every observed run, carries a verified certificate, and on
 //       the optimizing configurations never exceeds the structural bound.
+//   P6 (dynamic refutation): every P1/P2 execution runs with the execution
+//       monitor fully armed — every control transfer must be an edge of the
+//       reconstructed CFG, every annotation interval must hold live, and no
+//       loop may exceed its bound row (a MonitorError fails the sweep).
 #include <gtest/gtest.h>
 
 #include "dataflow/acg.hpp"
@@ -22,6 +26,7 @@
 #include "minic/typecheck.hpp"
 #include "support/rng.hpp"
 #include "validate/validate.hpp"
+#include "wcet/monitor_spec.hpp"
 #include "wcet/wcet.hpp"
 
 namespace vc {
@@ -75,10 +80,15 @@ TEST_P(PropertySweep, AllInvariantsHold) {
           wcet::analyze_wcet(compiled.image, fn, nocache);
       EXPECT_GE(loose.wcet_cycles, structural);
 
-      // P1 + P2 over a stateful sequence.
+      // P1 + P2 over a stateful sequence, with the monitor fully armed (P6).
+      const machine::MonitorSpec mspec =
+          wcet::build_monitor_spec(compiled.image, fn,
+                                   machine::MonitorMode::Full);
       machine::Machine m(compiled.image);
+      m.arm_monitor(mspec, machine::MonitorMode::Full);
       dataflow::NodeSimulator reference(node);
       Rng rng(seed ^ 0xC0FFEE);
+      std::uint64_t executed = 0;
       for (int cycle = 0; cycle < 8; ++cycle) {
         std::vector<double> f_inputs;
         std::vector<std::int32_t> i_inputs;
@@ -102,6 +112,7 @@ TEST_P(PropertySweep, AllInvariantsHold) {
             reference.step(f_inputs, i_inputs, io);
         m.clear_caches();
         m.call(fn, args, minic::Type::I32);
+        executed += m.stats().instructions;
         ASSERT_LE(m.stats().cycles, structural)
             << "P2 violated: " << node.name() << " under "
             << driver::to_string(config);
@@ -116,6 +127,10 @@ TEST_P(PropertySweep, AllInvariantsHold) {
               << " under " << driver::to_string(config) << " cycle " << cycle;
         }
       }
+      // P6: the monitor actually ran — it checked every executed step.
+      ASSERT_NE(m.monitor(), nullptr);
+      EXPECT_EQ(m.monitor()->steps(), executed)
+          << node.name() << " under " << driver::to_string(config);
     }
 
     // P3: validated compilation accepts the genuine pipeline (run on one

@@ -128,6 +128,56 @@ TEST(VccCliTest, ParseCountFlag) {
   EXPECT_FALSE(parse_count_flag("10000001").has_value());
 }
 
+TEST(VccCliTest, SplitFlagRecognizesFlagShapes) {
+  const auto f = split_flag("--jobs=4");
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->name, "--jobs");
+  EXPECT_EQ(f->value, "4");
+
+  const auto bare = split_flag("--emit-asm");
+  ASSERT_TRUE(bare.has_value());
+  EXPECT_EQ(bare->name, "--emit-asm");
+  EXPECT_EQ(bare->value, "");
+
+  // Bare --validate means --validate=rtl; the conflict guard must see them
+  // as the same value.
+  const auto v = split_flag("--validate");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->value, "rtl");
+
+  // Non-flag words (file paths, "--") are not flags.
+  EXPECT_FALSE(split_flag("file.mc").has_value());
+  EXPECT_FALSE(split_flag("--").has_value());
+  EXPECT_FALSE(split_flag("-j4").has_value());
+}
+
+TEST(VccCliTest, FlagConflictsDiagnoseContradictoryRepeats) {
+  FlagConflicts conflicts;
+  EXPECT_FALSE(conflicts.note("--jobs", "4").has_value());
+  // Agreeing repeat: tolerated.
+  EXPECT_FALSE(conflicts.note("--jobs", "4").has_value());
+  // Contradictory repeat: diagnosed, naming both values.
+  const auto conflict = conflicts.note("--jobs", "8");
+  ASSERT_TRUE(conflict.has_value());
+  EXPECT_NE(conflict->find("--jobs"), std::string::npos) << *conflict;
+  EXPECT_NE(conflict->find("'4'"), std::string::npos) << *conflict;
+  EXPECT_NE(conflict->find("'8'"), std::string::npos) << *conflict;
+  // Distinct flags never interact.
+  EXPECT_FALSE(conflicts.note("--nodes", "8").has_value());
+
+  // The bare/= spellings of --validate agree through split_flag.
+  FlagConflicts validate;
+  EXPECT_FALSE(
+      validate.note(split_flag("--validate")->name,
+                    split_flag("--validate")->value).has_value());
+  EXPECT_FALSE(
+      validate.note(split_flag("--validate=rtl")->name,
+                    split_flag("--validate=rtl")->value).has_value());
+  EXPECT_TRUE(
+      validate.note(split_flag("--validate=full")->name,
+                    split_flag("--validate=full")->value).has_value());
+}
+
 // ---------------------------------------------------------------- --batch
 
 namespace fs = std::filesystem;
