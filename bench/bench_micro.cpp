@@ -2,9 +2,20 @@
 // per configuration, static WCET analysis, cycle-level simulation, and the
 // translation validator. These measure the *tool*, complementing the
 // paper-table benches that measure the *generated code*.
+//
+// The BM_Phase* lanes isolate the cold-campaign pipeline stages
+// (parse -> RTL+opt -> machine -> WCET structural/IPET) so a throughput
+// regression can be blamed on a stage without re-profiling the whole fleet.
+// Every lane also reports allocs/op — heap allocations per iteration from
+// the support/alloccount counters — because most past regressions here were
+// allocation regressions before they were time regressions.
 #include <benchmark/benchmark.h>
 
 #include "bench_common.hpp"
+#include "minic/parser.hpp"
+#include "minic/printer.hpp"
+#include "minic/typecheck.hpp"
+#include "support/alloccount.hpp"
 #include "validate/validate.hpp"
 #include "wcet/wcet.hpp"
 
@@ -23,42 +34,93 @@ const bench::NodeBundle& medium_node() {
   return bundle;
 }
 
+/// Adds allocs/op (heap allocations per iteration on this thread) to the
+/// lane's counters. Construct before the loop, call report() after it.
+class AllocCounter {
+ public:
+  AllocCounter() : start_(alloc::snapshot()) {}
+  void report(benchmark::State& state) const {
+    const alloc::Counters now = alloc::snapshot();
+    state.counters["allocs/op"] = benchmark::Counter(
+        static_cast<double>(now.allocations - start_.allocations),
+        benchmark::Counter::kAvgIterations);
+  }
+
+ private:
+  alloc::Counters start_;
+};
+
+void BM_PhaseParse(benchmark::State& state) {
+  const std::string source = minic::print_program(medium_node().program);
+  const AllocCounter allocs;
+  for (auto _ : state) {
+    minic::Program program = minic::parse_program(source, "micro.mc");
+    minic::type_check(program);
+    benchmark::DoNotOptimize(program);
+  }
+  allocs.report(state);
+}
+BENCHMARK(BM_PhaseParse);
+
 void BM_CompileO0(benchmark::State& state) {
+  const AllocCounter allocs;
   for (auto _ : state)
     benchmark::DoNotOptimize(driver::compile_program(
         medium_node().program, driver::Config::O0Pattern));
+  allocs.report(state);
 }
 BENCHMARK(BM_CompileO0);
 
 void BM_CompileVerified(benchmark::State& state) {
+  const AllocCounter allocs;
   for (auto _ : state)
     benchmark::DoNotOptimize(driver::compile_program(
         medium_node().program, driver::Config::Verified));
+  allocs.report(state);
 }
 BENCHMARK(BM_CompileVerified);
 
 void BM_CompileO2(benchmark::State& state) {
+  const AllocCounter allocs;
   for (auto _ : state)
     benchmark::DoNotOptimize(driver::compile_program(medium_node().program,
                                                      driver::Config::O2Full));
+  allocs.report(state);
 }
 BENCHMARK(BM_CompileO2);
 
 void BM_ValidatedCompile(benchmark::State& state) {
+  const AllocCounter allocs;
   for (auto _ : state)
     benchmark::DoNotOptimize(validate::validated_compile(
         medium_node().program, driver::Config::Verified, 4, 7));
+  allocs.report(state);
 }
 BENCHMARK(BM_ValidatedCompile);
 
 void BM_WcetAnalysis(benchmark::State& state) {
   const driver::Compiled compiled = driver::compile_program(
       medium_node().program, driver::Config::Verified);
+  const AllocCounter allocs;
   for (auto _ : state)
     benchmark::DoNotOptimize(
         wcet::analyze_wcet(compiled.image, medium_node().step_fn));
+  allocs.report(state);
 }
 BENCHMARK(BM_WcetAnalysis);
+
+void BM_WcetIpet(benchmark::State& state) {
+  const driver::Compiled compiled = driver::compile_program(
+      medium_node().program, driver::Config::Verified);
+  wcet::WcetOptions options;
+  options.engine = wcet::WcetEngine::Ipet;
+  const AllocCounter allocs;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(wcet::analyze_wcet(
+        compiled.image, medium_node().step_fn, options));
+  allocs.report(state);
+}
+BENCHMARK(BM_WcetIpet);
 
 void BM_SimulatedStep(benchmark::State& state) {
   const driver::Compiled compiled = driver::compile_program(

@@ -33,6 +33,16 @@ Rat Rat::reduce(__int128 num, __int128 den) {
     den = -den;
   }
   if (num == 0) return Rat(0);
+  // Integer fast lane: den == 1 needs no gcd, only the fit check. The
+  // simplex tableaus are predominantly integral, so this skips the two
+  // 128-bit divisions of the gcd loop on most calls.
+  if (den == 1) {
+    if (num > kMax || num < kMin) overflow("reduce");
+    Rat r;
+    r.num_ = static_cast<std::int64_t>(num);
+    r.den_ = 1;
+    return r;
+  }
   const __int128 g = gcd128(num, den);
   num /= g;
   den /= g;
@@ -59,12 +69,16 @@ std::int64_t Rat::ceil() const {
 }
 
 Rat Rat::operator+(const Rat& o) const {
+  if (den_ == 1 && o.den_ == 1)
+    return reduce(static_cast<__int128>(num_) + o.num_, 1);
   return reduce(static_cast<__int128>(num_) * o.den_ +
                     static_cast<__int128>(o.num_) * den_,
                 static_cast<__int128>(den_) * o.den_);
 }
 
 Rat Rat::operator-(const Rat& o) const {
+  if (den_ == 1 && o.den_ == 1)
+    return reduce(static_cast<__int128>(num_) - o.num_, 1);
   return reduce(static_cast<__int128>(num_) * o.den_ -
                     static_cast<__int128>(o.num_) * den_,
                 static_cast<__int128>(den_) * o.den_);

@@ -47,19 +47,33 @@ struct Problem {
 
 enum class Status { Optimal, Infeasible, Unbounded };
 
+/// Pivot-kernel selection. `Int64` is the dense fast lane: flat row-major
+/// int64 numerators with one shared denominator per row, pivoting in 128-bit
+/// intermediates with a single gcd normalization pass per touched row.
+/// `Rational` is the original per-cell Rat tableau. Both follow the same
+/// Bland pivot rule over the same exact values, so they take identical pivot
+/// sequences and return bit-identical solutions; `Auto` (the default) runs
+/// the fast lane and transparently re-solves on the rational lane when a
+/// reduced row no longer fits the int64 budget. Nothing here is trusted
+/// either way — every accepted solution still passes check_certificate.
+enum class PivotKernel { Auto, Int64, Rational };
+
 struct Solution {
   Status status = Status::Infeasible;
   Rat objective;
   std::vector<Rat> values;  ///< one per variable when status == Optimal
   std::int64_t pivots = 0;  ///< simplex pivots across all LP solves
   std::int64_t bnb_nodes = 0;  ///< branch-and-bound nodes explored (1 = pure LP)
+  std::int64_t fast_fallbacks = 0;  ///< LP solves re-run on the rational lane
 };
 
 /// Solves the LP relaxation (ignores Problem::integer).
-[[nodiscard]] Solution solve_lp(const Problem& problem);
+[[nodiscard]] Solution solve_lp(const Problem& problem,
+                                PivotKernel kernel = PivotKernel::Auto);
 
 /// Solves the problem; runs branch-and-bound when Problem::integer is set.
-[[nodiscard]] Solution solve(const Problem& problem);
+[[nodiscard]] Solution solve(const Problem& problem,
+                             PivotKernel kernel = PivotKernel::Auto);
 
 /// Independent certificate check (verify.cpp): confirms `values` is
 /// feasible for every constraint, non-negative, integral when required, and

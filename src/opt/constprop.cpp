@@ -131,7 +131,10 @@ bool constant_propagation(rtl::Function& fn) {
 
   std::vector<State> in(n_blocks, initial);
   // Entry state: everything undef (GetParam makes parameters varying).
-  const std::vector<BlockId> rpo = rtl::reverse_postorder(fn);
+  CompileWorkspace& ws = this_thread_workspace();
+  auto rpo_lease = ws.u32_pool.lease();
+  rtl::reverse_postorder(fn, ws, &*rpo_lease);
+  const std::vector<BlockId>& rpo = *rpo_lease;
   std::vector<bool> seen(n_blocks, false);
   seen[0] = true;
 

@@ -104,7 +104,10 @@ class ScopedVN {
   }
 
   bool run() {
-    const std::vector<BlockId> idom = rtl::immediate_dominators(fn_);
+    CompileWorkspace& ws = this_thread_workspace();
+    auto idom_lease = ws.u32_pool.lease();
+    rtl::immediate_dominators(fn_, ws, &*idom_lease);
+    const std::vector<BlockId>& idom = *idom_lease;
     const auto children = rtl::dominator_children(idom);
     bool changed = false;
     // Iterative preorder DFS; frame second = undo-log marks at block entry.

@@ -10,9 +10,13 @@ bool dead_code_elimination(rtl::Function& fn) {
   bool any_change = false;
   bool changed = true;
   DenseBitset live(fn.vregs.size());
+  // Pass runs once per function per round; the liveness result buffers are
+  // per-thread so their capacity carries across functions and fleet jobs.
+  CompileWorkspace& ws = this_thread_workspace();
+  thread_local rtl::Liveness lv;
   while (changed) {
     changed = false;
-    const rtl::Liveness lv = rtl::compute_liveness(fn);
+    rtl::compute_liveness(fn, ws, &lv);
     for (rtl::BlockId b = 0; b < fn.blocks.size(); ++b) {
       live = lv.live_out[b];
       auto& instrs = fn.blocks[b].instrs;

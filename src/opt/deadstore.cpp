@@ -107,7 +107,10 @@ bool transfer(const Instr& ins, const StoreLocs& locs, DenseBitset& live) {
 bool dead_store_elimination(rtl::Function& fn) {
   const StoreLocs locs(fn);
   if (locs.nlocs == 0) return false;
-  const std::vector<BlockId> rpo = rtl::reverse_postorder(fn);
+  CompileWorkspace& ws = this_thread_workspace();
+  auto rpo_lease = ws.u32_pool.lease();
+  rtl::reverse_postorder(fn, ws, &*rpo_lease);
+  const std::vector<BlockId>& rpo = *rpo_lease;
 
   std::vector<DenseBitset> live_in(fn.blocks.size(), DenseBitset(locs.nlocs));
   std::vector<DenseBitset> live_out(fn.blocks.size(), DenseBitset(locs.nlocs));

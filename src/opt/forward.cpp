@@ -82,7 +82,10 @@ class Forwarder {
   explicit Forwarder(Function& fn) : fn_(fn), locs_(fn) {}
 
   bool run() {
-    const std::vector<BlockId> rpo = rtl::reverse_postorder(fn_);
+    CompileWorkspace& ws = this_thread_workspace();
+    auto rpo_lease = ws.u32_pool.lease();
+    rtl::reverse_postorder(fn_, ws, &*rpo_lease);
+    const std::vector<BlockId>& rpo = *rpo_lease;
     out_.assign(fn_.blocks.size(), AvailState{});
 
     bool changed = true;
@@ -133,7 +136,8 @@ class Forwarder {
  private:
   /// Meet (intersection) of predecessor exit states; entry starts empty.
   AvailState entry_state(BlockId b, const std::vector<BlockId>& rpo) {
-    if (preds_.empty()) preds_ = rtl::predecessors(fn_);
+    if (preds_.empty())
+      rtl::predecessors(fn_, this_thread_workspace(), &preds_);
     AvailState in;
     if (b == rpo.front()) {
       in.top = false;

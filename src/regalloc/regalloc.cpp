@@ -33,7 +33,8 @@ Graph build_graph(const Function& fn) {
   g.use_count.assign(fn.vregs.size(), 0);
   g.present.assign(fn.vregs.size(), false);
 
-  const rtl::Liveness lv = rtl::compute_liveness(fn);
+  thread_local rtl::Liveness lv;
+  rtl::compute_liveness(fn, this_thread_workspace(), &lv);
 
   auto add_edge = [&](VReg a, VReg b) {
     if (a == b) return;

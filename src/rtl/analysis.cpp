@@ -4,119 +4,173 @@
 #include <functional>
 
 namespace vc::rtl {
+namespace {
+
+/// Rewinds a pooled vector<DenseBitset> to `count` bitsets of `universe`
+/// bits, all clear, reusing both the vector slots and each bitset's word
+/// storage.
+void reshape_bitsets(std::vector<DenseBitset>* sets, std::size_t count,
+                     std::size_t universe) {
+  sets->resize(count);
+  for (DenseBitset& bs : *sets) {
+    bs.clear();           // zero retained words first,
+    bs.resize(universe);  // then fit the universe (new words start clear)
+  }
+}
+
+}  // namespace
+
+void predecessors(const Function& fn, CompileWorkspace& ws,
+                  std::vector<std::vector<BlockId>>* out) {
+  (void)ws;  // result lists are caller-owned; nothing internal to pool
+  out->resize(fn.blocks.size());
+  for (auto& lst : *out) lst.clear();
+  for (BlockId b = 0; b < fn.blocks.size(); ++b) {
+    for (BlockId s : fn.blocks[b].successors()) (*out)[s].push_back(b);
+  }
+}
 
 std::vector<std::vector<BlockId>> predecessors(const Function& fn) {
-  std::vector<std::vector<BlockId>> preds(fn.blocks.size());
-  for (BlockId b = 0; b < fn.blocks.size(); ++b) {
-    for (BlockId s : fn.blocks[b].successors()) preds[s].push_back(b);
-  }
+  std::vector<std::vector<BlockId>> preds;
+  predecessors(fn, this_thread_workspace(), &preds);
   return preds;
 }
 
-std::vector<BlockId> reverse_postorder(const Function& fn) {
-  std::vector<bool> visited(fn.blocks.size(), false);
-  std::vector<BlockId> postorder;
-  postorder.reserve(fn.blocks.size());
+void reverse_postorder(const Function& fn, CompileWorkspace& ws,
+                       std::vector<BlockId>* out) {
+  auto visited = ws.u8_pool.lease();
+  visited->assign(fn.blocks.size(), 0);
+  out->clear();
+  out->reserve(fn.blocks.size());
   // Iterative DFS to avoid deep recursion on long block chains.
-  std::vector<std::pair<BlockId, std::size_t>> stack;
-  stack.emplace_back(0, 0);
-  visited[0] = true;
-  while (!stack.empty()) {
-    auto& [block, next_succ] = stack.back();
+  auto stack = ws.pair_pool.lease();  // (block, next successor index)
+  stack->emplace_back(0, 0);
+  (*visited)[0] = 1;
+  while (!stack->empty()) {
+    auto& [block, next_succ] = stack->back();
     const std::vector<BlockId> succs = fn.blocks[block].successors();
     if (next_succ < succs.size()) {
       const BlockId s = succs[next_succ++];
-      if (!visited[s]) {
-        visited[s] = true;
-        stack.emplace_back(s, 0);
+      if (!(*visited)[s]) {
+        (*visited)[s] = 1;
+        stack->emplace_back(s, 0);
       }
     } else {
-      postorder.push_back(block);
-      stack.pop_back();
+      out->push_back(block);
+      stack->pop_back();
     }
   }
-  std::reverse(postorder.begin(), postorder.end());
-  return postorder;
+  std::reverse(out->begin(), out->end());
 }
 
-Liveness compute_liveness(const Function& fn) {
+std::vector<BlockId> reverse_postorder(const Function& fn) {
+  std::vector<BlockId> rpo;
+  reverse_postorder(fn, this_thread_workspace(), &rpo);
+  return rpo;
+}
+
+void compute_liveness(const Function& fn, CompileWorkspace& ws,
+                      Liveness* out) {
   const std::size_t nblocks = fn.blocks.size();
   const std::size_t nvregs = fn.vregs.size();
-  Liveness lv;
-  lv.live_in.assign(nblocks, DenseBitset(nvregs));
-  lv.live_out.assign(nblocks, DenseBitset(nvregs));
+  reshape_bitsets(&out->live_in, nblocks, nvregs);
+  reshape_bitsets(&out->live_out, nblocks, nvregs);
 
   // Per-block gen (upward-exposed uses) and kill (defs).
-  std::vector<DenseBitset> gen(nblocks, DenseBitset(nvregs));
-  std::vector<DenseBitset> kill(nblocks, DenseBitset(nvregs));
+  auto gen = ws.bitset_vec_pool.lease();
+  auto kill = ws.bitset_vec_pool.lease();
+  reshape_bitsets(&*gen, nblocks, nvregs);
+  reshape_bitsets(&*kill, nblocks, nvregs);
   for (BlockId b = 0; b < nblocks; ++b) {
     for (const Instr& ins : fn.blocks[b].instrs) {
       for (VReg u : ins.uses())
-        if (!kill[b].test(u)) gen[b].set(u);
-      if (auto d = ins.def()) kill[b].set(*d);
+        if (!(*kill)[b].test(u)) (*gen)[b].set(u);
+      if (auto d = ins.def()) (*kill)[b].set(*d);
     }
   }
 
-  const auto preds = predecessors(fn);
+  auto preds_lease = ws.u32_lists_pool.lease();
+  predecessors(fn, ws, &*preds_lease);
+  const auto& preds = *preds_lease;
 
   // Backward worklist fixpoint, seeded in postorder so most blocks settle on
   // the first visit; a block re-enters the list only when a successor's
   // live-in grows.
-  std::vector<BlockId> worklist;
-  std::vector<bool> queued(nblocks, false);
+  auto worklist = ws.u32_pool.lease();
+  auto queued = ws.u8_pool.lease();
+  queued->assign(nblocks, 0);
   {
-    std::vector<BlockId> rpo = reverse_postorder(fn);
-    for (std::size_t i = rpo.size(); i-- > 0;) {
-      worklist.push_back(rpo[i]);
-      queued[rpo[i]] = true;
+    auto rpo = ws.u32_pool.lease();
+    reverse_postorder(fn, ws, &*rpo);
+    for (std::size_t i = rpo->size(); i-- > 0;) {
+      worklist->push_back((*rpo)[i]);
+      (*queued)[(*rpo)[i]] = 1;
     }
     // Unreachable blocks still get live sets (some callers iterate all
     // blocks); one visit each suffices since nothing feeds back into them.
     for (BlockId b = 0; b < nblocks; ++b)
-      if (!queued[b]) {
-        worklist.push_back(b);
-        queued[b] = true;
+      if (!(*queued)[b]) {
+        worklist->push_back(b);
+        (*queued)[b] = 1;
       }
   }
 
-  DenseBitset in(nvregs);
-  while (!worklist.empty()) {
-    const BlockId b = worklist.back();
-    worklist.pop_back();
-    queued[b] = false;
+  auto in_lease = ws.bitset_pool.lease();
+  DenseBitset& in = *in_lease;
+  in.clear();
+  in.resize(nvregs);
+  while (!worklist->empty()) {
+    const BlockId b = worklist->back();
+    worklist->pop_back();
+    (*queued)[b] = 0;
 
-    DenseBitset& out = lv.live_out[b];
-    for (BlockId s : fn.blocks[b].successors()) out.union_with(lv.live_in[s]);
+    DenseBitset& bout = out->live_out[b];
+    for (BlockId s : fn.blocks[b].successors())
+      bout.union_with(out->live_in[s]);
 
-    in = out;
-    in.subtract(kill[b]);
-    in.union_with(gen[b]);
-    if (in != lv.live_in[b]) {
-      lv.live_in[b] = in;
+    in = bout;
+    in.subtract((*kill)[b]);
+    in.union_with((*gen)[b]);
+    if (in != out->live_in[b]) {
+      out->live_in[b] = in;
       for (BlockId p : preds[b])
-        if (!queued[p]) {
-          queued[p] = true;
-          worklist.push_back(p);
+        if (!(*queued)[p]) {
+          (*queued)[p] = 1;
+          worklist->push_back(p);
         }
     }
   }
+}
+
+Liveness compute_liveness(const Function& fn) {
+  Liveness lv;
+  compute_liveness(fn, this_thread_workspace(), &lv);
   return lv;
 }
 
-std::vector<BlockId> immediate_dominators(const Function& fn) {
+void immediate_dominators(const Function& fn, CompileWorkspace& ws,
+                          std::vector<BlockId>* out) {
   // Cooper-Harvey-Kennedy iterative algorithm over reverse postorder.
-  const std::vector<BlockId> rpo = reverse_postorder(fn);
-  std::vector<std::size_t> rpo_index(fn.blocks.size(), SIZE_MAX);
-  for (std::size_t i = 0; i < rpo.size(); ++i) rpo_index[rpo[i]] = i;
+  auto rpo_lease = ws.u32_pool.lease();
+  reverse_postorder(fn, ws, &*rpo_lease);
+  const auto& rpo = *rpo_lease;
+  auto rpo_index = ws.u32_pool.lease();
+  constexpr std::uint32_t kNoIndex = 0xFFFFFFFF;
+  rpo_index->assign(fn.blocks.size(), kNoIndex);
+  for (std::size_t i = 0; i < rpo.size(); ++i)
+    (*rpo_index)[rpo[i]] = static_cast<std::uint32_t>(i);
 
-  const auto preds = predecessors(fn);
-  std::vector<BlockId> idom(fn.blocks.size(), kNoBlock);
+  auto preds_lease = ws.u32_lists_pool.lease();
+  predecessors(fn, ws, &*preds_lease);
+  const auto& preds = *preds_lease;
+  std::vector<BlockId>& idom = *out;
+  idom.assign(fn.blocks.size(), kNoBlock);
   idom[0] = 0;
 
   auto intersect = [&](BlockId a, BlockId b) {
     while (a != b) {
-      while (rpo_index[a] > rpo_index[b]) a = idom[a];
-      while (rpo_index[b] > rpo_index[a]) b = idom[b];
+      while ((*rpo_index)[a] > (*rpo_index)[b]) a = idom[a];
+      while ((*rpo_index)[b] > (*rpo_index)[a]) b = idom[b];
     }
     return a;
   };
@@ -128,7 +182,7 @@ std::vector<BlockId> immediate_dominators(const Function& fn) {
       if (b == 0) continue;
       BlockId new_idom = kNoBlock;
       for (BlockId p : preds[b]) {
-        if (rpo_index[p] == SIZE_MAX || idom[p] == kNoBlock) continue;
+        if ((*rpo_index)[p] == kNoIndex || idom[p] == kNoBlock) continue;
         new_idom = new_idom == kNoBlock ? p : intersect(p, new_idom);
       }
       if (new_idom != kNoBlock && idom[b] != new_idom) {
@@ -137,6 +191,11 @@ std::vector<BlockId> immediate_dominators(const Function& fn) {
       }
     }
   }
+}
+
+std::vector<BlockId> immediate_dominators(const Function& fn) {
+  std::vector<BlockId> idom;
+  immediate_dominators(fn, this_thread_workspace(), &idom);
   return idom;
 }
 
@@ -162,25 +221,29 @@ std::vector<std::vector<BlockId>> dominator_children(
 }
 
 void remove_unreachable_blocks(Function& fn) {
-  std::vector<bool> reachable(fn.blocks.size(), false);
-  std::vector<BlockId> worklist{0};
-  reachable[0] = true;
-  while (!worklist.empty()) {
-    const BlockId b = worklist.back();
-    worklist.pop_back();
+  CompileWorkspace& ws = this_thread_workspace();
+  auto reachable = ws.u8_pool.lease();
+  reachable->assign(fn.blocks.size(), 0);
+  auto worklist = ws.u32_pool.lease();
+  worklist->push_back(0);
+  (*reachable)[0] = 1;
+  while (!worklist->empty()) {
+    const BlockId b = worklist->back();
+    worklist->pop_back();
     for (BlockId s : fn.blocks[b].successors()) {
-      if (!reachable[s]) {
-        reachable[s] = true;
-        worklist.push_back(s);
+      if (!(*reachable)[s]) {
+        (*reachable)[s] = 1;
+        worklist->push_back(s);
       }
     }
   }
 
-  std::vector<BlockId> remap(fn.blocks.size(), kNoBlock);
+  auto remap = ws.u32_pool.lease();
+  remap->assign(fn.blocks.size(), kNoBlock);
   std::vector<BasicBlock> kept;
   for (BlockId b = 0; b < fn.blocks.size(); ++b) {
-    if (reachable[b]) {
-      remap[b] = static_cast<BlockId>(kept.size());
+    if ((*reachable)[b]) {
+      (*remap)[b] = static_cast<BlockId>(kept.size());
       kept.push_back(std::move(fn.blocks[b]));
     }
   }
@@ -188,8 +251,8 @@ void remove_unreachable_blocks(Function& fn) {
     Instr& t = bb.instrs.back();
     if (t.op == Opcode::Jump || t.op == Opcode::Branch ||
         t.op == Opcode::BranchCmp) {
-      t.target = remap[t.target];
-      if (t.op != Opcode::Jump) t.target2 = remap[t.target2];
+      t.target = (*remap)[t.target];
+      if (t.op != Opcode::Jump) t.target2 = (*remap)[t.target2];
     }
   }
   fn.blocks = std::move(kept);

@@ -1,15 +1,19 @@
 #include "rtl/exec.hpp"
 
+#include "support/workspace.hpp"
+
 namespace vc::rtl {
 
 using minic::Value;
 
 Executor::Executor(const minic::Program& program) : program_(program) {
+  // Dense ids in declaration order; ids never change for this executor.
+  for (const auto& g : program_.globals) global_syms_.intern(g.name);
   reset_globals();
 }
 
 void Executor::reset_globals() {
-  globals_.clear();
+  globals_.assign(global_syms_.size(), {});
   for (const auto& g : program_.globals) {
     std::vector<Value> cells(
         g.count, g.type == minic::Type::I32 ? Value::of_i32(0)
@@ -19,27 +23,44 @@ void Executor::reset_globals() {
                      ? Value::of_i32(static_cast<std::int32_t>(g.init[i]))
                      : Value::of_f64(g.init[i]);
     }
-    globals_.emplace(g.name, std::move(cells));
+    globals_[static_cast<std::size_t>(global_syms_.find(g.name))] =
+        std::move(cells);
   }
 }
 
+Value Executor::read_cell(SymbolId sym, std::size_t index) const {
+  if (sym == kNoSymbol)
+    throw minic::EvalError("unknown global in RTL exec");
+  const auto& cells = globals_[static_cast<std::size_t>(sym)];
+  if (index >= cells.size())
+    throw minic::EvalError("global index out of range for '" +
+                           global_syms_.name(sym) + "'");
+  return cells[index];
+}
+
+void Executor::write_cell(SymbolId sym, std::size_t index, Value v) {
+  if (sym == kNoSymbol)
+    throw minic::EvalError("unknown global in RTL exec");
+  auto& cells = globals_[static_cast<std::size_t>(sym)];
+  if (index >= cells.size())
+    throw minic::EvalError("global index out of range for '" +
+                           global_syms_.name(sym) + "'");
+  cells[index] = v;
+}
+
 Value Executor::read_global(const std::string& name, std::size_t index) const {
-  auto it = globals_.find(name);
-  if (it == globals_.end())
+  const SymbolId sym = global_syms_.find(name);
+  if (sym == kNoSymbol)
     throw minic::EvalError("unknown global '" + name + "'");
-  if (index >= it->second.size())
-    throw minic::EvalError("global index out of range for '" + name + "'");
-  return it->second[index];
+  return read_cell(sym, index);
 }
 
 void Executor::write_global(const std::string& name, std::size_t index,
                             Value v) {
-  auto it = globals_.find(name);
-  if (it == globals_.end())
+  const SymbolId sym = global_syms_.find(name);
+  if (sym == kNoSymbol)
     throw minic::EvalError("unknown global '" + name + "'");
-  if (index >= it->second.size())
-    throw minic::EvalError("global index out of range for '" + name + "'");
-  it->second[index] = v;
+  write_cell(sym, index, v);
 }
 
 Value Executor::call(const Function& fn, const std::vector<Value>& args) {
@@ -57,6 +78,33 @@ Value Executor::call(const Function& fn, const std::vector<Value>& args) {
   for (std::size_t i = 0; i < fn.slots.size(); ++i)
     slots[i] = fn.slots[i] == RegClass::I32 ? Value::of_i32(0)
                                             : Value::of_f64(0.0);
+
+  // Resolve each instruction's global symbol once per call: loops execute
+  // the same static instruction many times, and a name lookup per executed
+  // load/store dominated this interpreter's profile. Unknown names stay
+  // kNoSymbol and only fault if actually executed (matching the old
+  // execute-time map lookup). Scratch comes from the per-thread workspace.
+  CompileWorkspace& ws = this_thread_workspace();
+  auto block_base = ws.u32_pool.lease();   // first flat index of each block
+  auto flat_syms = ws.u32_pool.lease();    // SymbolId + 1 per instruction
+  block_base->reserve(fn.blocks.size());
+  for (const BasicBlock& bb : fn.blocks) {
+    block_base->push_back(static_cast<std::uint32_t>(flat_syms->size()));
+    for (const Instr& ins : bb.instrs) {
+      std::uint32_t id = 0;  // 0 = no symbol / unknown
+      if (ins.op == Opcode::LoadGlobal || ins.op == Opcode::StoreGlobal ||
+          ins.op == Opcode::LoadGlobalIdx ||
+          ins.op == Opcode::StoreGlobalIdx) {
+        const SymbolId sym = global_syms_.find(ins.sym);
+        if (sym != kNoSymbol) id = static_cast<std::uint32_t>(sym) + 1;
+      }
+      flat_syms->push_back(id);
+    }
+  }
+  const auto sym_at = [&](BlockId bb, std::size_t ip) {
+    const std::uint32_t id = (*flat_syms)[(*block_base)[bb] + ip];
+    return id == 0 ? kNoSymbol : static_cast<SymbolId>(id - 1);
+  };
 
   BlockId bb = 0;
   std::size_t ip = 0;
@@ -89,22 +137,25 @@ Value Executor::call(const Function& fn, const std::vector<Value>& args) {
         break;
       }
       case Opcode::LoadGlobal:
-        regs[ins.dst] = read_global(ins.sym, static_cast<std::size_t>(ins.elem));
+        regs[ins.dst] =
+            read_cell(sym_at(bb, ip - 1), static_cast<std::size_t>(ins.elem));
         break;
       case Opcode::StoreGlobal:
-        write_global(ins.sym, static_cast<std::size_t>(ins.elem),
-                     regs[ins.src1]);
+        write_cell(sym_at(bb, ip - 1), static_cast<std::size_t>(ins.elem),
+                   regs[ins.src1]);
         break;
       case Opcode::LoadGlobalIdx: {
         const std::int32_t idx = regs[ins.src1].i;
         if (idx < 0) throw minic::EvalError("negative index in RTL exec");
-        regs[ins.dst] = read_global(ins.sym, static_cast<std::size_t>(idx));
+        regs[ins.dst] =
+            read_cell(sym_at(bb, ip - 1), static_cast<std::size_t>(idx));
         break;
       }
       case Opcode::StoreGlobalIdx: {
         const std::int32_t idx = regs[ins.src2].i;
         if (idx < 0) throw minic::EvalError("negative index in RTL exec");
-        write_global(ins.sym, static_cast<std::size_t>(idx), regs[ins.src1]);
+        write_cell(sym_at(bb, ip - 1), static_cast<std::size_t>(idx),
+                   regs[ins.src1]);
         break;
       }
       case Opcode::LoadStack:

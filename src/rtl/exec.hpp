@@ -4,15 +4,21 @@
 // mini-C interpreter. Used by tests to localize miscompilations: if
 // interpreter == RTL but RTL != machine, the bug is in the backend; if
 // interpreter != RTL, it is in lowering or an optimization pass.
+//
+// Globals are interned: the constructor assigns each global a dense
+// SymbolId and call() resolves every global-accessing instruction's name to
+// its id once per call, so the execution loop indexes a dense
+// vector<vector<Value>> instead of probing a map<string, ...> per executed
+// load/store (the fleet's exec phase runs millions of those).
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <string>
 #include <vector>
 
 #include "minic/interp.hpp"
 #include "rtl/rtl.hpp"
+#include "support/symtab.hpp"
 
 namespace vc::rtl {
 
@@ -40,8 +46,12 @@ class Executor {
   [[nodiscard]] std::uint64_t steps() const { return steps_; }
 
  private:
+  [[nodiscard]] minic::Value read_cell(SymbolId sym, std::size_t index) const;
+  void write_cell(SymbolId sym, std::size_t index, minic::Value v);
+
   const minic::Program& program_;
-  std::map<std::string, std::vector<minic::Value>> globals_;
+  SymbolTable global_syms_;                         // name -> dense id
+  std::vector<std::vector<minic::Value>> globals_;  // indexed by SymbolId
   std::vector<minic::AnnotEvent> annotations_;
   std::uint64_t steps_ = 0;
   std::uint64_t fuel_ = 100'000'000;

@@ -1,0 +1,87 @@
+#include "support/alloccount.hpp"
+
+#include <cstdlib>
+#include <new>
+
+namespace vc::alloc {
+namespace {
+
+// Plain thread_local PODs: zero-initialized per thread, no guards, and the
+// accounting adds two increments to each allocation.
+thread_local std::uint64_t t_allocations = 0;
+thread_local std::uint64_t t_bytes = 0;
+
+void* counted_alloc(std::size_t size) {
+  ++t_allocations;
+  t_bytes += size;
+  return std::malloc(size ? size : 1);
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t align) {
+  ++t_allocations;
+  t_bytes += size;
+  // aligned_alloc requires size to be a multiple of alignment.
+  const std::size_t padded = (size + align - 1) / align * align;
+  return std::aligned_alloc(align, padded ? padded : align);
+}
+
+}  // namespace
+
+Counters snapshot() { return {t_allocations, t_bytes}; }
+
+}  // namespace vc::alloc
+
+// Replacement global allocation functions ([new.delete.single]): counting
+// shims over malloc/free. Defined once in vc_support and linked into every
+// binary. ASan still intercepts the malloc underneath, so leak and overflow
+// detection are unaffected.
+void* operator new(std::size_t size) {
+  void* p = vc::alloc::counted_alloc(size);
+  if (!p) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = vc::alloc::counted_alloc(size);
+  if (!p) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return vc::alloc::counted_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return vc::alloc::counted_alloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = vc::alloc::counted_aligned_alloc(
+      size, static_cast<std::size_t>(align));
+  if (!p) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  void* p = vc::alloc::counted_aligned_alloc(
+      size, static_cast<std::size_t>(align));
+  if (!p) throw std::bad_alloc();
+  return p;
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}

@@ -1,0 +1,43 @@
+// Heap-allocation counters for profiling and regression tests.
+//
+// The replacement global operator new/delete in alloccount.cpp bump a pair
+// of thread-local counters (call count + bytes) before deferring to malloc.
+// That makes "how many heap allocations did this phase perform" a first-class
+// measurement: `vcc --profile` prints it per compile, bench_micro reports it
+// per lane, and a quick-label test pins the per-job allocation count of a
+// fleet campaign so an accidental copy-by-value or dropped reserve() shows
+// up as a failed assertion instead of a silent throughput regression.
+//
+// Counters are thread-local: a worker measures only its own traffic, so the
+// numbers are deterministic under any --jobs value. Under AddressSanitizer
+// the counts still tick (ASan intercepts malloc underneath operator new);
+// the regression test only asserts on the default preset regardless, since
+// sanitizer runtimes may allocate on their own schedule.
+#pragma once
+
+#include <cstdint>
+
+namespace vc::alloc {
+
+struct Counters {
+  std::uint64_t allocations = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Snapshot of the calling thread's counters (monotonic since thread start).
+[[nodiscard]] Counters snapshot();
+
+/// Measures heap traffic on this thread between construction and the call.
+class Scope {
+ public:
+  Scope() : start_(snapshot()) {}
+  [[nodiscard]] Counters delta() const {
+    const Counters now = snapshot();
+    return {now.allocations - start_.allocations, now.bytes - start_.bytes};
+  }
+
+ private:
+  Counters start_;
+};
+
+}  // namespace vc::alloc

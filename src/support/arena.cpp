@@ -1,0 +1,104 @@
+#include "support/arena.hpp"
+
+#include "support/diagnostics.hpp"
+
+// ASan interface: poison the unused tail of every chunk so off-the-end reads
+// of arena arrays fault like heap overflows. No-ops outside sanitized builds.
+#if defined(__SANITIZE_ADDRESS__)
+#define VC_ARENA_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define VC_ARENA_ASAN 1
+#endif
+#endif
+
+#ifdef VC_ARENA_ASAN
+extern "C" {
+void __asan_poison_memory_region(const void* addr, std::size_t size);
+void __asan_unpoison_memory_region(const void* addr, std::size_t size);
+}
+#define VC_POISON(addr, size) __asan_poison_memory_region((addr), (size))
+#define VC_UNPOISON(addr, size) __asan_unpoison_memory_region((addr), (size))
+#else
+#define VC_POISON(addr, size) ((void)0)
+#define VC_UNPOISON(addr, size) ((void)0)
+#endif
+
+namespace vc {
+
+Arena::Arena(std::size_t chunk_bytes) : chunk_bytes_(chunk_bytes) {
+  check(chunk_bytes_ >= 256, "arena: chunk size too small to be useful");
+  Chunk first;
+  first.data = std::make_unique<unsigned char[]>(chunk_bytes_);
+  first.capacity = chunk_bytes_;
+  VC_POISON(first.data.get(), first.capacity);
+  chunks_.push_back(std::move(first));
+}
+
+Arena::~Arena() {
+  // Unpoison before the unique_ptrs release the memory back to the heap
+  // allocator (ASan would otherwise flag the allocator's own bookkeeping).
+  for (Chunk& c : chunks_) {
+    VC_UNPOISON(c.data.get(), c.capacity);
+    (void)c;
+  }
+}
+
+void* Arena::allocate(std::size_t size, std::size_t align) {
+  check(align != 0 && (align & (align - 1)) == 0 &&
+            align <= alignof(std::max_align_t),
+        "arena: alignment must be a power of two within max_align_t");
+  if (size == 0) size = 1;  // distinct non-null pointers, keeps counters honest
+  Chunk& c = chunks_[current_];
+  const std::size_t aligned = (c.used + align - 1) & ~(align - 1);
+  if (aligned + size <= c.capacity) {
+    void* p = c.data.get() + aligned;
+    VC_UNPOISON(p, size);
+    c.used = aligned + size;
+    ++allocations_;
+    bytes_ += size;
+    live_bytes_ += size;
+    if (live_bytes_ > peak_bytes_) peak_bytes_ = live_bytes_;
+    return p;
+  }
+  return allocate_slow(size, align);
+}
+
+void* Arena::allocate_slow(std::size_t size, std::size_t align) {
+  ++allocations_;
+  bytes_ += size;
+  live_bytes_ += size;
+  if (live_bytes_ > peak_bytes_) peak_bytes_ = live_bytes_;
+  if (size > chunk_bytes_ / 2) {
+    // Dedicated block: a single outsized table must not trigger a chain of
+    // ever-larger half-empty chunks. max_align_t alignment comes from new[].
+    oversized_.push_back(std::make_unique<unsigned char[]>(size));
+    return oversized_.back().get();
+  }
+  // Reuse an already-reserved later chunk (post-reset) or grow by one.
+  if (++current_ == chunks_.size()) {
+    Chunk next;
+    next.data = std::make_unique<unsigned char[]>(chunk_bytes_);
+    next.capacity = chunk_bytes_;
+    VC_POISON(next.data.get(), next.capacity);
+    chunks_.push_back(std::move(next));
+  }
+  Chunk& c = chunks_[current_];
+  const std::size_t aligned = (0 + align - 1) & ~(align - 1);
+  void* p = c.data.get() + aligned;
+  VC_UNPOISON(p, size);
+  c.used = aligned + size;
+  return p;
+}
+
+void Arena::reset() {
+  for (Chunk& c : chunks_) {
+    VC_POISON(c.data.get(), c.capacity);
+    c.used = 0;
+  }
+  current_ = 0;
+  oversized_.clear();
+  live_bytes_ = 0;
+}
+
+}  // namespace vc

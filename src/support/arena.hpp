@@ -1,0 +1,87 @@
+// Bump-pointer arena for per-job scratch memory.
+//
+// The fleet runner compiles and analyzes thousands of units per campaign;
+// most intermediate allocations (analysis tables, worklists, IPET rows) are
+// dead the moment the job's record is published. An arena turns each of
+// those into a pointer bump inside a reusable chunk: `reset()` rewinds every
+// chunk instead of returning memory to the allocator, so a long-lived
+// workspace (one per fleet worker) reaches a steady state where a whole job
+// runs without touching malloc.
+//
+// Only trivially-destructible types may live in an arena — reset() never
+// runs destructors. Oversized requests (> half a chunk) get their own
+// dedicated block so a single big table cannot poison chunk utilization;
+// dedicated blocks ARE freed on reset, since keeping worst-case outliers
+// resident forever would defeat the point of pooling.
+//
+// Under AddressSanitizer the free space of every chunk is poisoned, so a
+// read past the end of an arena array is caught exactly like a heap
+// overflow. Counters (allocations / bytes / peak) feed `vcc --profile` and
+// the allocation-regression test.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace vc {
+
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultChunkBytes = 64 * 1024;
+
+  explicit Arena(std::size_t chunk_bytes = kDefaultChunkBytes);
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Raw allocation, aligned to `align` (a power of two <= alignof(max_align_t)).
+  void* allocate(std::size_t size, std::size_t align);
+
+  /// Array of `count` default-initialized T. T must be trivially
+  /// destructible (reset() runs no destructors).
+  template <typename T>
+  T* alloc_array(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is reclaimed without running destructors");
+    auto* p = static_cast<T*>(allocate(count * sizeof(T), alignof(T)));
+    for (std::size_t i = 0; i < count; ++i) new (p + i) T();
+    return p;
+  }
+
+  /// Rewinds every chunk to empty and frees oversized dedicated blocks.
+  /// Chunk capacity is retained, so a workspace reset between fleet jobs
+  /// costs O(chunks), not O(bytes).
+  void reset();
+
+  // -- telemetry ------------------------------------------------------------
+  [[nodiscard]] std::uint64_t allocations() const { return allocations_; }
+  /// Bytes handed out since construction (monotonic; reset() does not rewind it).
+  [[nodiscard]] std::uint64_t bytes_allocated() const { return bytes_; }
+  /// High-water mark of live bytes within one reset() epoch.
+  [[nodiscard]] std::uint64_t peak_bytes() const { return peak_bytes_; }
+  [[nodiscard]] std::size_t chunk_count() const { return chunks_.size(); }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<unsigned char[]> data;
+    std::size_t capacity = 0;
+    std::size_t used = 0;
+  };
+
+  void* allocate_slow(std::size_t size, std::size_t align);
+
+  std::size_t chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  std::size_t current_ = 0;  // chunk being bumped (chunks_ is never empty)
+  std::vector<std::unique_ptr<unsigned char[]>> oversized_;
+  std::uint64_t allocations_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t live_bytes_ = 0;
+  std::uint64_t peak_bytes_ = 0;
+};
+
+}  // namespace vc

@@ -22,4 +22,8 @@ void check(bool condition, const std::string& message) {
   if (!condition) throw InternalError(message);
 }
 
+void check(bool condition, const char* message) {
+  if (!condition) throw InternalError(message);
+}
+
 }  // namespace vc

@@ -50,4 +50,9 @@ class ValidationError : public std::runtime_error {
 /// Throws InternalError with `message` if `condition` is false.
 void check(bool condition, const std::string& message);
 
+/// Literal-message overload: overload resolution prefers it for string
+/// literals, so hot paths (the ILP pivot kernel calls check() per arithmetic
+/// operation) pay no std::string construction on the non-throwing branch.
+void check(bool condition, const char* message);
+
 }  // namespace vc

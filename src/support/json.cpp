@@ -84,6 +84,13 @@ const Object& Value::as_object() const {
   return kind_ == Kind::Object ? object_ : kEmptyObject;
 }
 
+Array& Value::as_array_mut() {
+  if (kind_ != Kind::Array) {
+    *this = Value(Array{});
+  }
+  return array_;
+}
+
 const Value& Value::at(const std::string& key) const {
   if (kind_ == Kind::Object) {
     const auto it = object_.find(key);

@@ -56,6 +56,12 @@ class Value {
   [[nodiscard]] const Array& as_array() const;    // empty if not an array
   [[nodiscard]] const Object& as_object() const;  // empty if not an object
 
+  /// Mutable array access: appends happen in place instead of copying the
+  /// array out and re-assigning it (the fleet's cached-stats update path
+  /// grows multi-thousand-stanza arrays). Null becomes an empty array;
+  /// any other kind is replaced by one (mirrors operator[] on objects).
+  [[nodiscard]] Array& as_array_mut();
+
   /// Object field access; returns a shared Null value when absent.
   [[nodiscard]] const Value& at(const std::string& key) const;
 

@@ -1,0 +1,78 @@
+// String interning: map each distinct name to a dense non-negative id.
+//
+// Hot loops that key tables by global or function *name* pay a string hash
+// plus a character-wise compare per lookup (and a tree walk for std::map).
+// Interning once at setup turns every later lookup into an array index: the
+// RTL executor resolves LoadGlobal/StoreGlobal against a dense
+// vector<vector<Value>> indexed by SymbolId instead of a
+// map<string, vector<Value>> probed per executed instruction.
+//
+// Ids are assigned in first-intern order, so tables built by iterating a
+// program deterministically get deterministic ids.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "support/diagnostics.hpp"
+
+namespace vc {
+
+using SymbolId = std::int32_t;
+constexpr SymbolId kNoSymbol = -1;
+
+class SymbolTable {
+ public:
+  /// Id for `name`, assigning the next dense id on first sight.
+  SymbolId intern(std::string_view name) {
+    auto it = ids_.find(name);
+    if (it != ids_.end()) return it->second;
+    const auto id = static_cast<SymbolId>(names_.size());
+    names_.emplace_back(name);
+    ids_.emplace(names_.back(), id);  // map owns its own string copy
+    return id;
+  }
+
+  /// Id for `name`, or kNoSymbol if it was never interned. Never allocates.
+  [[nodiscard]] SymbolId find(std::string_view name) const {
+    auto it = ids_.find(name);
+    return it == ids_.end() ? kNoSymbol : it->second;
+  }
+
+  [[nodiscard]] const std::string& name(SymbolId id) const {
+    check(id >= 0 && static_cast<std::size_t>(id) < names_.size(),
+          "symtab: id out of range");
+    return names_[static_cast<std::size_t>(id)];
+  }
+
+  [[nodiscard]] std::size_t size() const { return names_.size(); }
+
+  void clear() {
+    ids_.clear();
+    names_.clear();
+  }
+
+ private:
+  // Heterogeneous lookup so find()/intern() accept string_view without a
+  // temporary std::string.
+  struct Hash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct Eq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const {
+      return a == b;
+    }
+  };
+
+  std::unordered_map<std::string, SymbolId, Hash, Eq> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace vc

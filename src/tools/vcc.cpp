@@ -32,6 +32,10 @@
 //     --disable-pass=NAME            drop one pass (repeatable)
 //     --dump-after=PASS              print the IR after every applied run
 //     --stats                        print per-function code sizes
+//     --profile                      print the per-phase breakdown (compile /
+//                                    wcet / exec wall time with heap
+//                                    allocation counts) and the per-pass
+//                                    telemetry table after the run
 //     --batch                        compile every .mc file under <dir>
 //     --jobs=N                       batch worker threads (0 = all cores)
 //     --cache-dir=DIR                batch: content-addressed artifact cache
@@ -39,6 +43,7 @@
 //
 // Batch mode exits non-zero if any file fails, and lists the failing files
 // in a per-file pass/fail summary on stderr.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -47,12 +52,14 @@
 #include <vector>
 
 #include "driver/compiler.hpp"
+#include "support/alloccount.hpp"
 #include "machine/machine.hpp"
 #include "minic/parser.hpp"
 #include "minic/typecheck.hpp"
 #include "ppc/isa.hpp"
 #include "rtl/rtl.hpp"
 #include "support/strings.hpp"
+#include "support/workspace.hpp"
 #include "tools/vcc_cli.hpp"
 #include "validate/validate.hpp"
 #include "wcet/monitor_spec.hpp"
@@ -71,7 +78,7 @@ using namespace vc;
       "           [--monitor=off|cfg|full]\n"
       "           [--validate[=off|rtl|full]] [--passes=a,b,c]\n"
       "           [--disable-pass=NAME] [--dump-after=PASS]\n"
-      "           [--stats] file.mc\n"
+      "           [--stats] [--profile] file.mc\n"
       "       vcc [--config=...] [--validate[=off|rtl|full]] [--jobs=N]\n"
       "           [--cache-dir=DIR] [--cache-budget-mb=N] --batch dir\n",
       stderr);
@@ -169,6 +176,7 @@ int main(int argc, char** argv) {
   driver::ValidateLevel validate_level = driver::ValidateLevel::Off;
   driver::CompileOptions copts;
   bool stats = false;
+  bool profile = false;
   bool use_annotations = true;
   bool batch = false;
   int jobs = 0;
@@ -213,6 +221,8 @@ int main(int argc, char** argv) {
       copts.dump = dump_state;
     } else if (arg == "--stats") {
       stats = true;
+    } else if (arg == "--profile") {
+      profile = true;
     } else if (arg == "--no-annotations") {
       use_annotations = false;
     } else if (arg == "--batch") {
@@ -261,9 +271,37 @@ int main(int argc, char** argv) {
   const std::string source = read_file_or_die(path);
 
   try {
+    // --profile instrumentation: wall time + this thread's heap traffic per
+    // phase, and the pass manager's per-pass telemetry for the compile.
+    pass::PipelineStats pipeline_stats;
+    std::vector<tools::ProfilePhase> phases;
+    const auto measure = [&](const char* name, auto&& body) {
+      if (!profile) {
+        body();
+        return;
+      }
+      const vc::alloc::Scope scope;
+      const auto start = std::chrono::steady_clock::now();
+      body();
+      tools::ProfilePhase phase;
+      phase.name = name;
+      phase.seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      const vc::alloc::Counters delta = scope.delta();
+      phase.allocations = delta.allocations;
+      phase.alloc_bytes = delta.bytes;
+      phases.push_back(std::move(phase));
+    };
+    if (profile) copts.stats = &pipeline_stats;
+
     minic::Program program;
-    const driver::Compiled compiled = compile_source(
-        source, path, config, validate_level, std::move(copts), &program);
+    driver::Compiled compiled;
+    measure("compile", [&] {
+      compiled = compile_source(source, path, config, validate_level,
+                                std::move(copts), &program);
+    });
     std::fprintf(
         stderr, "vcc: compiled %zu function(s) under %s%s\n",
         program.functions.size(), driver::to_string(config).c_str(),
@@ -286,8 +324,10 @@ int main(int argc, char** argv) {
       wcet::WcetOptions options;
       options.use_annotations = use_annotations;
       options.engine = wcet_engine;
-      const wcet::WcetResult r =
-          wcet::analyze_wcet(compiled.image, wcet_fn, options);
+      wcet::WcetResult r;
+      measure("wcet", [&] {
+        r = wcet::analyze_wcet(compiled.image, wcet_fn, options);
+      });
       std::fputs(wcet::format_report(compiled.image, wcet_fn, r).c_str(),
                  stdout);
     }
@@ -317,9 +357,11 @@ int main(int argc, char** argv) {
                                      wopts);
         m.arm_monitor(monitor_spec, monitor_mode);
       }
-      const minic::Value result =
-          m.call(fn_name, call.values,
-                 fn->has_return ? fn->return_type : minic::Type::I32);
+      minic::Value result;
+      measure("exec", [&] {
+        result = m.call(fn_name, call.values,
+                        fn->has_return ? fn->return_type : minic::Type::I32);
+      });
       if (fn->has_return)
         std::printf("%s(...) = %s\n", fn_name.c_str(),
                     result.to_string().c_str());
@@ -332,6 +374,20 @@ int main(int argc, char** argv) {
         std::printf("monitor=%s checked=%llu violations=0\n",
                     machine::to_string(m.monitor()->mode()).c_str(),
                     static_cast<unsigned long long>(m.monitor()->steps()));
+    }
+
+    if (profile) {
+      std::fputs(tools::format_profile(phases, pipeline_stats).c_str(),
+                 stdout);
+      // The workspace arena the pipeline's pooled scratch bumps into —
+      // peak is the high-water mark of live arena bytes for this job.
+      const CompileWorkspace& ws = this_thread_workspace();
+      std::printf("%-12s %12s %12llu %14llu (peak %llu, %zu chunk(s))\n",
+                  "(arena)", "-",
+                  static_cast<unsigned long long>(ws.arena.allocations()),
+                  static_cast<unsigned long long>(ws.arena.bytes_allocated()),
+                  static_cast<unsigned long long>(ws.arena.peak_bytes()),
+                  ws.arena.chunk_count());
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "vcc: %s\n", e.what());

@@ -260,4 +260,47 @@ std::optional<int> parse_count_flag(const std::string& text) {
   return static_cast<int>(v);
 }
 
+std::string format_profile(const std::vector<ProfilePhase>& phases,
+                           const pass::PipelineStats& passes) {
+  std::string out = "== profile ==\n";
+  char buf[256];
+  std::snprintf(buf, sizeof buf, "%-12s %12s %12s %14s\n", "phase",
+                "seconds", "allocs", "bytes");
+  out += buf;
+  double total_s = 0.0;
+  std::uint64_t total_a = 0;
+  std::uint64_t total_b = 0;
+  for (const ProfilePhase& p : phases) {
+    std::snprintf(buf, sizeof buf, "%-12s %12.6f %12llu %14llu\n",
+                  p.name.c_str(), p.seconds,
+                  static_cast<unsigned long long>(p.allocations),
+                  static_cast<unsigned long long>(p.alloc_bytes));
+    out += buf;
+    total_s += p.seconds;
+    total_a += p.allocations;
+    total_b += p.alloc_bytes;
+  }
+  std::snprintf(buf, sizeof buf, "%-12s %12.6f %12llu %14llu\n", "(total)",
+                total_s, static_cast<unsigned long long>(total_a),
+                static_cast<unsigned long long>(total_b));
+  out += buf;
+  if (passes.passes.empty()) return out;
+  std::snprintf(buf, sizeof buf, "%-12s %12s %8s %8s %10s %8s\n", "pass",
+                "seconds", "runs", "applied", "rewrites", "checks");
+  out += buf;
+  for (const pass::PassStat& s : passes.passes) {
+    std::snprintf(buf, sizeof buf,
+                  "%-12s %12.6f %8llu %8llu %10lld %8llu\n", s.name.c_str(),
+                  s.seconds, static_cast<unsigned long long>(s.runs),
+                  static_cast<unsigned long long>(s.applied),
+                  static_cast<long long>(s.rewrites),
+                  static_cast<unsigned long long>(s.checks));
+    out += buf;
+  }
+  std::snprintf(buf, sizeof buf, "%-12s %12.6f\n", "(passes)",
+                passes.total_seconds());
+  out += buf;
+  return out;
+}
+
 }  // namespace vc::tools

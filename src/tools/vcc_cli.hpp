@@ -12,6 +12,7 @@
 #include "driver/compiler.hpp"
 #include "minic/ast.hpp"
 #include "minic/interp.hpp"
+#include "pass/pass.hpp"
 #include "wcet/wcet.hpp"
 
 namespace vc::tools {
@@ -95,6 +96,25 @@ CallArgs parse_call_args(const minic::Function& fn, const std::string& spec);
 /// malformed input or values outside [0, 1000000]. Negative values are
 /// malformed by policy: they must never reach the thread pool.
 std::optional<int> parse_count_flag(const std::string& text);
+
+/// One measured phase of a vcc invocation (compile / wcet / exec): wall time
+/// plus the heap traffic the phase performed on the calling thread
+/// (support/alloccount counters).
+struct ProfilePhase {
+  std::string name;
+  double seconds = 0.0;
+  std::uint64_t allocations = 0;
+  std::uint64_t alloc_bytes = 0;
+};
+
+/// Renders the --profile report: a phase table (seconds, allocations,
+/// bytes) followed by the per-pass breakdown from the pass-manager
+/// telemetry (omitted when `passes` is empty — e.g. a cache-served
+/// compile). Pure string formatting, so the exact layout is unit-testable
+/// without spawning the vcc binary.
+[[nodiscard]] std::string format_profile(
+    const std::vector<ProfilePhase>& phases,
+    const pass::PipelineStats& passes);
 
 /// Batch compilation (vcc --batch): every .mc file under a directory,
 /// compiled in parallel, with optional artifact caching. Lives here (not in

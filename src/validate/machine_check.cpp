@@ -210,7 +210,8 @@ CheckResult check_register_allocation(const rtl::Function& before,
                                " colored out of range");
   }
 
-  const rtl::Liveness lv = rtl::compute_liveness(after);
+  thread_local rtl::Liveness lv;
+  rtl::compute_liveness(after, this_thread_workspace(), &lv);
   DenseBitset live(after.vregs.size());
   for (BlockId b = 0; b < after.blocks.size(); ++b) {
     live = lv.live_out[b];

@@ -6,6 +6,7 @@
 
 #include "ilp/solver.hpp"
 #include "support/strings.hpp"
+#include "support/workspace.hpp"
 #include "wcet/wcet.hpp"
 
 namespace vc::wcet {
@@ -38,28 +39,37 @@ IpetInfo analyze_ipet(const Cfg& cfg, const ValueAnalysisResult& values,
         "ipet: input vectors not aligned with the CFG");
 
   // ---- Variables: one per edge (real + virtual). -------------------------
-  std::vector<FlowEdge> edges;
+  // The edge table is dead the moment the LP is built, so it lives in the
+  // per-job workspace arena (bumped, rewound at the next job reset) rather
+  // than the heap: one row buffer per record of a both-engine campaign.
+  std::size_t n_edges = 1;  // the virtual entry edge
+  for (const MachineBlock& b : cfg.blocks)
+    n_edges += std::max<std::size_t>(b.succs.size(), 1);
+  Arena& arena = this_thread_workspace().arena;
+  FlowEdge* edges = arena.alloc_array<FlowEdge>(n_edges);
+  std::size_t n_built = 0;
   std::vector<std::vector<int>> out_vars(cfg.blocks.size());
   std::vector<std::vector<int>> in_vars(cfg.blocks.size());
   const int entry_var = 0;
-  edges.push_back({-1, 0});
+  edges[n_built++] = {-1, 0};
   in_vars[0].push_back(entry_var);
   for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
     for (int s : cfg.blocks[b].succs) {
-      const int v = static_cast<int>(edges.size());
-      edges.push_back({static_cast<int>(b), s});
+      const int v = static_cast<int>(n_built);
+      edges[n_built++] = {static_cast<int>(b), s};
       out_vars[b].push_back(v);
       in_vars[static_cast<std::size_t>(s)].push_back(v);
     }
     if (cfg.blocks[b].succs.empty()) {
-      const int v = static_cast<int>(edges.size());
-      edges.push_back({static_cast<int>(b), -1});
+      const int v = static_cast<int>(n_built);
+      edges[n_built++] = {static_cast<int>(b), -1};
       out_vars[b].push_back(v);
     }
   }
+  check(n_built == n_edges, "ipet: edge count mismatch");
 
   ilp::Problem problem;
-  problem.num_vars = static_cast<int>(edges.size());
+  problem.num_vars = static_cast<int>(n_edges);
   problem.integer = true;
 
   // ---- Objective: each edge pays the cost of the block it enters. --------
@@ -81,7 +91,7 @@ IpetInfo analyze_ipet(const Cfg& cfg, const ValueAnalysisResult& values,
     }
     return charge;
   };
-  for (std::size_t v = 0; v < edges.size(); ++v) {
+  for (std::size_t v = 0; v < n_edges; ++v) {
     const FlowEdge& e = edges[v];
     if (e.to < 0) continue;  // virtual exit edges are free
     const std::uint64_t cost =
@@ -139,7 +149,7 @@ IpetInfo analyze_ipet(const Cfg& cfg, const ValueAnalysisResult& values,
   // pinned to zero. This is the flow information the structural engine has
   // no way to use.
   IpetInfo info;
-  for (std::size_t v = 0; v < edges.size(); ++v) {
+  for (std::size_t v = 0; v < n_edges; ++v) {
     const FlowEdge& e = edges[v];
     if (e.from < 0 || e.to < 0) continue;
     const auto it = values.edge_out.find({e.from, e.to});

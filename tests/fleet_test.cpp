@@ -9,6 +9,7 @@
 #include "driver/fleet.hpp"
 #include "minic/typecheck.hpp"
 #include "support/threadpool.hpp"
+#include "validate/validate.hpp"
 
 namespace vc {
 namespace {
@@ -86,6 +87,35 @@ TEST(FleetTest, ThreadCountInvariance) {
   EXPECT_EQ(serial.jobs, 1);
   EXPECT_EQ(parallel8.jobs, 8);
   expect_records_identical(serial, parallel8);
+}
+
+TEST(FleetTest, ThreadCountInvarianceWithWorkspaceReuse) {
+  // The campaign configuration the acceptance run uses: both WCET engines,
+  // full translation validation, and the execution monitor armed. Every
+  // worker reuses its thread-local CompileWorkspace across jobs, so this is
+  // the determinism contract for the pooled-scratch paths specifically: a
+  // stale bitset or worklist surviving a reset() would show up here as a
+  // jobs=1 vs jobs=8 record divergence.
+  const Suite suite = small_suite(5);
+  driver::FleetOptions options = exec_and_wcet_options(1);
+  options.wcet_engine = wcet::WcetEngine::Both;
+  options.monitor = machine::MonitorMode::Full;
+  options.compile_override = [](const minic::Program& program,
+                                driver::Config config,
+                                const driver::CompileOptions& copts) {
+    return validate::validated_compile(program, config, /*n_tests=*/4,
+                                       /*seed=*/1,
+                                       driver::ValidateLevel::Full, copts);
+  };
+  const driver::FleetReport serial = driver::run_fleet(suite.units, options);
+  options.jobs = 8;
+  const driver::FleetReport parallel8 =
+      driver::run_fleet(suite.units, options);
+  expect_records_identical(serial, parallel8);
+  for (const driver::FleetRecord& r : serial.records) {
+    EXPECT_TRUE(r.ok) << r.name << ": " << r.error;
+    EXPECT_EQ(r.monitor_violations, 0u) << r.name;
+  }
 }
 
 TEST(FleetTest, RecordOrderingAndShape) {

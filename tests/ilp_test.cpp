@@ -7,6 +7,7 @@
 
 #include "ilp/rational.hpp"
 #include "ilp/solver.hpp"
+#include "support/diagnostics.hpp"
 #include "support/rng.hpp"
 
 namespace vc::ilp {
@@ -296,6 +297,226 @@ TEST(CertificateTest, NamesTheViolatedConstraintTag) {
   p.constraints = {cons({{0, Rat(1)}}, Sense::Le, Rat(2), "loop@0x40")};
   const std::string err = check_certificate(p, {Rat(9)}, Rat(0));
   EXPECT_NE(err.find("loop@0x40"), std::string::npos) << err;
+}
+
+// ----------------------------------------------------- pivot-kernel parity
+//
+// The int64 fast lane and the rational lane follow the same Bland rule over
+// the same exact values, so on any problem where the fast lane fits they
+// must return bit-identical solutions — same status, same objective, same
+// assignment, same pivot/node counts. `Auto` must match both (it IS the
+// fast lane, with a transparent rational re-solve on overflow).
+
+/// Both forced kernels and Auto agree exactly on `p`.
+void expect_kernels_agree(const Problem& p, const char* label) {
+  SCOPED_TRACE(label);
+  const Solution rational = solve(p, PivotKernel::Rational);
+  const Solution fast = solve(p, PivotKernel::Int64);
+  const Solution chosen = solve(p);  // Auto
+  for (const Solution* s : {&fast, &chosen}) {
+    EXPECT_EQ(s->status, rational.status);
+    EXPECT_EQ(s->objective, rational.objective);
+    ASSERT_EQ(s->values.size(), rational.values.size());
+    for (std::size_t i = 0; i < rational.values.size(); ++i)
+      EXPECT_EQ(s->values[i], rational.values[i]) << "x" << i;
+    EXPECT_EQ(s->pivots, rational.pivots);
+    EXPECT_EQ(s->bnb_nodes, rational.bnb_nodes);
+  }
+  EXPECT_EQ(fast.fast_fallbacks, 0);
+  EXPECT_EQ(chosen.fast_fallbacks, 0);
+  if (rational.status == Status::Optimal) {
+    EXPECT_TRUE(
+        check_certificate(p, rational.values, rational.objective).empty());
+  }
+}
+
+TEST(KernelParityTest, AgreesOnEveryHandWrittenLane) {
+  // The same problem shapes the solver lanes above exercise: textbook
+  // maximum, equality/>= rows (phase-1 artificials), negative rhs
+  // normalization, infeasible, unbounded, degenerate Bland cycling, a
+  // fractional LP optimum driven through branch and bound, and a knapsack.
+  {
+    Problem p;
+    p.num_vars = 2;
+    p.objective = {{0, Rat(3)}, {1, Rat(5)}};
+    p.constraints = {
+        cons({{0, Rat(1)}}, Sense::Le, Rat(4), "x<=4"),
+        cons({{1, Rat(2)}}, Sense::Le, Rat(12), "2y<=12"),
+        cons({{0, Rat(3)}, {1, Rat(2)}}, Sense::Le, Rat(18), "mix"),
+    };
+    expect_kernels_agree(p, "textbook-max");
+  }
+  {
+    Problem p;
+    p.num_vars = 2;
+    p.objective = {{0, Rat(2)}, {1, Rat(1)}};
+    p.constraints = {
+        cons({{0, Rat(1)}, {1, Rat(1)}}, Sense::Eq, Rat(4), "eq"),
+        cons({{0, Rat(1)}}, Sense::Ge, Rat(1), "ge"),
+        cons({{1, Rat(1)}}, Sense::Le, Rat(3), "le"),
+    };
+    expect_kernels_agree(p, "eq-and-ge");
+  }
+  {
+    Problem p;
+    p.num_vars = 2;
+    p.objective = {{0, Rat(1)}, {1, Rat(1)}};
+    p.constraints = {
+        cons({{0, Rat(-1)}, {1, Rat(-1)}}, Sense::Le, Rat(-2), "neg-rhs"),
+        cons({{0, Rat(1)}, {1, Rat(1)}}, Sense::Le, Rat(10), "cap"),
+    };
+    expect_kernels_agree(p, "negative-rhs");
+  }
+  {
+    Problem p;
+    p.num_vars = 1;
+    p.objective = {{0, Rat(1)}};
+    p.constraints = {
+        cons({{0, Rat(1)}}, Sense::Ge, Rat(5), "lo"),
+        cons({{0, Rat(1)}}, Sense::Le, Rat(3), "hi"),
+    };
+    expect_kernels_agree(p, "infeasible");
+  }
+  {
+    Problem p;
+    p.num_vars = 2;
+    p.objective = {{0, Rat(1)}, {1, Rat(1)}};
+    p.constraints = {cons({{0, Rat(1)}, {1, Rat(-1)}}, Sense::Le, Rat(1),
+                          "one-sided")};
+    expect_kernels_agree(p, "unbounded");
+  }
+  {
+    // Beale's cycling example — fractional coefficients, so the fast lane
+    // exercises its per-row denominator handling, and Bland's rule its
+    // anti-cycling guarantee.
+    Problem p;
+    p.num_vars = 4;
+    p.objective = {{0, Rat::fraction(3, 4)},
+                   {1, Rat(-150)},
+                   {2, Rat::fraction(1, 50)},
+                   {3, Rat(-6)}};
+    p.constraints = {
+        cons({{0, Rat::fraction(1, 4)},
+              {1, Rat(-60)},
+              {2, Rat::fraction(-1, 25)},
+              {3, Rat(9)}},
+             Sense::Le, Rat(0), "r0"),
+        cons({{0, Rat::fraction(1, 2)},
+              {1, Rat(-90)},
+              {2, Rat::fraction(-1, 50)},
+              {3, Rat(3)}},
+             Sense::Le, Rat(0), "r1"),
+        cons({{2, Rat(1)}}, Sense::Le, Rat(1), "r2"),
+    };
+    expect_kernels_agree(p, "beale-degenerate");
+  }
+  {
+    Problem p;
+    p.num_vars = 2;
+    p.integer = true;
+    p.objective = {{0, Rat(1)}, {1, Rat(1)}};
+    p.constraints = {
+        cons({{0, Rat(2)}, {1, Rat(3)}}, Sense::Le, Rat(12), "a"),
+        cons({{0, Rat(2)}, {1, Rat(1)}}, Sense::Le, Rat::fraction(13, 2),
+             "b"),
+    };
+    expect_kernels_agree(p, "fractional-bnb");
+  }
+  {
+    Problem p;
+    p.num_vars = 3;
+    p.integer = true;
+    p.objective = {{0, Rat(10)}, {1, Rat(13)}, {2, Rat(7)}};
+    p.constraints = {
+        cons({{0, Rat(3)}, {1, Rat(4)}, {2, Rat(2)}}, Sense::Le, Rat(6),
+             "w"),
+        cons({{0, Rat(1)}}, Sense::Le, Rat(1), "x0<=1"),
+        cons({{1, Rat(1)}}, Sense::Le, Rat(1), "x1<=1"),
+        cons({{2, Rat(1)}}, Sense::Le, Rat(1), "x2<=1"),
+    };
+    expect_kernels_agree(p, "knapsack");
+  }
+}
+
+TEST(KernelParityTest, AgreesOnSeededRandomProblems) {
+  // 48 seeded random problems over small fractional coefficients and mixed
+  // senses — enough variety to hit phase-1, degenerate, infeasible, and
+  // unbounded paths in both lanes. Integer trials are generated so x = 0 is
+  // always feasible and every variable is explicitly bounded: the solver
+  // treats "feasible relaxation but no integral point" as an internal error
+  // (IPET systems always contain one), so parity trials must stay inside
+  // that contract.
+  Rng rng(0xF1A7C0DE);
+  for (int trial = 0; trial < 48; ++trial) {
+    Problem p;
+    p.num_vars = static_cast<int>(2 + rng.next_below(4));
+    p.integer = rng.next_below(2) == 0;
+    for (int v = 0; v < p.num_vars; ++v)
+      p.objective.push_back(
+          {v, Rat::fraction(rng.next_range(-5, 6),
+                            1 + static_cast<std::int64_t>(
+                                    rng.next_below(3)))});
+    const std::size_t rows = 2 + rng.next_below(4);
+    for (std::size_t r = 0; r < rows; ++r) {
+      Constraint c;
+      for (int v = 0; v < p.num_vars; ++v) {
+        const std::int64_t num = p.integer ? rng.next_range(0, 6)
+                                           : rng.next_range(-4, 6);
+        if (num != 0) c.terms.push_back({v, Rat(num)});
+      }
+      if (c.terms.empty()) c.terms.push_back({0, Rat(1)});
+      const std::uint64_t pick = p.integer ? 3 : rng.next_below(4);
+      c.sense = pick == 0 ? Sense::Ge : pick == 1 ? Sense::Eq : Sense::Le;
+      c.rhs = Rat(p.integer ? rng.next_range(0, 20)
+                            : rng.next_range(-8, 20));
+      c.tag = "r" + std::to_string(r);
+      p.constraints.push_back(std::move(c));
+    }
+    if (p.integer)
+      for (int v = 0; v < p.num_vars; ++v)
+        p.constraints.push_back(cons({{v, Rat(1)}}, Sense::Le,
+                                     Rat(rng.next_range(0, 8)),
+                                     "bound-x" + std::to_string(v)));
+    expect_kernels_agree(p, ("seeded-trial-" + std::to_string(trial)).c_str());
+  }
+}
+
+TEST(KernelParityTest, OverflowFallsBackTransparently) {
+  // One row whose coefficient denominators are eight large primes: each Rat
+  // cell is tiny (1/p), so the rational lane is comfortable, but the fast
+  // lane stores rows over a single shared denominator — the lcm, here the
+  // product of the primes, ~9.7e23 — which cannot fit the int64 budget.
+  // Auto must re-solve on the rational lane (counted in fast_fallbacks) and
+  // match it exactly; a forced Int64 kernel must refuse loudly instead of
+  // wrapping.
+  const std::int64_t primes[] = {947, 953, 967, 971, 977, 983, 991, 997};
+  Problem p;
+  p.num_vars = 9;
+  // Only x8 carries objective weight; the prime row constrains x0..x7,
+  // which stay nonbasic at zero, so the rational lane never pivots on it
+  // and its per-cell fractions stay tiny. The fast lane, however, scales
+  // the whole row to its lcm denominator at build time and must bail.
+  p.objective = {{8, Rat(1)}};
+  Constraint mixed;
+  for (int v = 0; v < 8; ++v)
+    mixed.terms.push_back({v, Rat::fraction(1, primes[v])});
+  mixed.sense = Sense::Le;
+  mixed.rhs = Rat(1);
+  mixed.tag = "prime-row";
+  p.constraints.push_back(std::move(mixed));
+  p.constraints.push_back(cons({{8, Rat(1)}}, Sense::Le, Rat(2), "cap-x8"));
+
+  const Solution rational = solve_lp(p, PivotKernel::Rational);
+  const Solution chosen = solve_lp(p);  // Auto
+  ASSERT_EQ(rational.status, Status::Optimal);
+  EXPECT_EQ(rational.objective, Rat(2));  // cap-x8 binds; prime row slack
+  EXPECT_EQ(chosen.status, rational.status);
+  EXPECT_EQ(chosen.objective, rational.objective);
+  ASSERT_EQ(chosen.values.size(), rational.values.size());
+  for (std::size_t i = 0; i < rational.values.size(); ++i)
+    EXPECT_EQ(chosen.values[i], rational.values[i]) << "x" << i;
+  EXPECT_GT(chosen.fast_fallbacks, 0);
+  EXPECT_THROW((void)solve_lp(p, PivotKernel::Int64), InternalError);
 }
 
 }  // namespace

@@ -178,6 +178,61 @@ TEST(VccCliTest, FlagConflictsDiagnoseContradictoryRepeats) {
                     split_flag("--validate=full")->value).has_value());
 }
 
+// -------------------------------------------------------------- --profile
+
+TEST(VccProfileTest, FormatsPhaseTableWithTotals) {
+  std::vector<ProfilePhase> phases;
+  phases.push_back({"compile", 0.25, 1000, 64000});
+  phases.push_back({"wcet", 0.5, 200, 8192});
+  const pass::PipelineStats no_passes;
+  const std::string out = format_profile(phases, no_passes);
+  EXPECT_NE(out.find("== profile =="), std::string::npos) << out;
+  EXPECT_NE(out.find("compile"), std::string::npos);
+  EXPECT_NE(out.find("wcet"), std::string::npos);
+  EXPECT_NE(out.find("0.250000"), std::string::npos) << out;
+  EXPECT_NE(out.find("64000"), std::string::npos) << out;
+  // The (total) row sums the phases: 0.75s, 1200 allocations, 72192 bytes.
+  EXPECT_NE(out.find("(total)"), std::string::npos);
+  EXPECT_NE(out.find("0.750000"), std::string::npos) << out;
+  EXPECT_NE(out.find("1200"), std::string::npos) << out;
+  EXPECT_NE(out.find("72192"), std::string::npos) << out;
+  // No pass telemetry -> no pass table (a cache-served compile runs none).
+  EXPECT_EQ(out.find("(passes)"), std::string::npos) << out;
+}
+
+TEST(VccProfileTest, AppendsPassTableWhenTelemetryPresent) {
+  std::vector<ProfilePhase> phases;
+  phases.push_back({"compile", 0.1, 10, 100});
+  pass::PipelineStats stats;
+  pass::PassStat cse;
+  cse.name = "cse";
+  cse.seconds = 0.025;
+  cse.runs = 3;
+  cse.applied = 2;
+  cse.rewrites = 17;
+  cse.checks = 5;
+  stats.passes.push_back(cse);
+  const std::string out = format_profile(phases, stats);
+  EXPECT_NE(out.find("cse"), std::string::npos) << out;
+  EXPECT_NE(out.find("0.025000"), std::string::npos) << out;
+  EXPECT_NE(out.find("17"), std::string::npos) << out;
+  EXPECT_NE(out.find("(passes)"), std::string::npos) << out;
+}
+
+TEST(VccProfileTest, SplitFlagKeepsProfileBare) {
+  // `--profile` is a bare boolean: the valued spelling is a distinct name
+  // ("--profile=x" splits to name "--profile", value "x") which the vcc
+  // flag loop rejects with exit 2 (covered by the vcc_profile_cli ctest).
+  const auto bare = split_flag("--profile");
+  ASSERT_TRUE(bare.has_value());
+  EXPECT_EQ(bare->name, "--profile");
+  EXPECT_TRUE(bare->value.empty());
+  const auto valued = split_flag("--profile=x");
+  ASSERT_TRUE(valued.has_value());
+  EXPECT_EQ(valued->name, "--profile");
+  EXPECT_EQ(valued->value, "x");
+}
+
 // ---------------------------------------------------------------- --batch
 
 namespace fs = std::filesystem;

@@ -1,0 +1,47 @@
+# Binary-level checks for the vcc --profile flag, driven by ctest:
+#   cmake -DVCC=<path to vcc> -DSRC=<path to a .mc program> -P this-file
+#
+# 1. `--profile=x` must exit 2: --profile is a bare boolean, and the strict
+#    CLI policy diagnoses a valued spelling instead of silently ignoring it.
+# 2. A profiled run must exit 0 and actually print the phase table — the
+#    flag silently doing nothing would be the worst failure mode.
+
+execute_process(
+  COMMAND ${VCC} --profile=x ${SRC}
+  RESULT_VARIABLE bad_exit
+  OUTPUT_VARIABLE bad_out
+  ERROR_VARIABLE bad_err)
+if(NOT bad_exit EQUAL 2)
+  message(FATAL_ERROR
+      "vcc --profile=x: expected exit 2 (strict CLI), got ${bad_exit}")
+endif()
+
+execute_process(
+  COMMAND ${VCC} --profile --config=verified --wcet=lowpass
+          --run=lowpass:1.5 ${SRC}
+  RESULT_VARIABLE good_exit
+  OUTPUT_VARIABLE good_out
+  ERROR_VARIABLE good_err)
+if(NOT good_exit EQUAL 0)
+  message(FATAL_ERROR
+      "vcc --profile run failed (exit ${good_exit}): ${good_err}")
+endif()
+foreach(needle "== profile ==" "compile" "wcet" "exec" "(total)")
+  string(FIND "${good_out}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR
+        "vcc --profile output is missing '${needle}':\n${good_out}")
+  endif()
+endforeach()
+
+# Repeating the bare flag is a tolerated (agreeing) repeat, not a conflict.
+execute_process(
+  COMMAND ${VCC} --profile --profile --config=verified ${SRC}
+  RESULT_VARIABLE repeat_exit
+  OUTPUT_VARIABLE repeat_out
+  ERROR_VARIABLE repeat_err)
+if(NOT repeat_exit EQUAL 0)
+  message(FATAL_ERROR
+      "repeated --profile should be tolerated, got exit ${repeat_exit}: "
+      "${repeat_err}")
+endif()
