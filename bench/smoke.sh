@@ -25,6 +25,10 @@ for b in "$dir"/bench_*; do
     bench_micro)
       # google-benchmark binary: rejects foreign flags; cap iteration time.
       flags="--benchmark_min_time=0.05" ;;
+    bench_service)
+      # Spawns real vccd daemons (cold/warm/restart/kill-one-shard arms);
+      # keep the client/shard fan-out tiny for the smoke workload.
+      flags="--nodes=4 --jobs=2 --clients=2 --shards=2 $extra" ;;
     *)
       flags="--nodes=4 --jobs=2 $extra" ;;
   esac

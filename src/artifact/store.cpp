@@ -130,22 +130,55 @@ void ArtifactStore::index_existing() {
     for (const fs::directory_entry& entry :
          fs::directory_iterator(shard_dir.path(), inner_ec)) {
       const std::string rest = entry.path().filename().string();
-      if (!entry.is_directory()) continue;
-      if (rest.size() != 30 || !is_hex(rest)) {
-        // Leftover tmp dirs from a crashed publication are garbage-collected
-        // here; atomic rename guarantees they were never visible as entries.
+      if (rest.size() != 30 || !is_hex(rest) || !entry.is_directory()) {
+        // Crash debris: tmp dirs/files from a publication or stats update
+        // that was killed mid-write. Atomic rename guarantees none of it was
+        // ever visible as an entry; drop it and account it so a restart
+        // after a crash is observable in the corruption counter.
         fs::remove_all(entry.path(), inner_ec);
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.corrupt_dropped;
         continue;
       }
       const std::string hex = prefix + rest;
       bool valid = false;
       std::uint64_t bytes = 0;
+      json::Value meta_doc;
       if (const auto meta_text = read_file(entry.path() / "meta")) {
-        const json::Parsed meta = json::parse(*meta_text);
+        json::Parsed meta = json::parse(*meta_text);
         if (meta.ok() && meta.value.at("format").as_i64() == kMetaFormat &&
             meta.value.at("key").as_string() == hex) {
           bytes = meta_total_bytes(meta.value, meta_text->size());
+          meta_doc = std::move(meta.value);
           valid = true;
+        }
+      }
+      // Stray "<name>.tmp" files inside an entry (a crashed write_file_atomic)
+      // are not referenced by meta; garbage-collect and count them so a kill
+      // mid-write is observable in the corruption counter.
+      for (const fs::directory_entry& inner :
+           fs::directory_iterator(entry.path(), inner_ec)) {
+        if (inner.path().extension() == ".tmp") {
+          fs::remove(inner.path(), inner_ec);
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          ++stats_.corrupt_dropped;
+        }
+      }
+      // Crash-consistency: an entry is only indexed when every payload file
+      // is present with exactly the byte count meta recorded — a truncated
+      // image from a kill mid-write must never be re-served. (Lookups
+      // re-hash payloads anyway; this catches the damage at restart, before
+      // anything can be handed out.)
+      if (valid) {
+        for (const char* name : kPayloadFiles) {
+          std::error_code size_ec;
+          const std::uint64_t on_disk =
+              fs::file_size(entry.path() / name, size_ec);
+          if (size_ec ||
+              on_disk != meta_doc.at("files").at(name).at("bytes").as_u64()) {
+            valid = false;
+            break;
+          }
         }
       }
       if (!valid) {

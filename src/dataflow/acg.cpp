@@ -5,6 +5,7 @@
 #include <optional>
 #include <utility>
 
+#include "minic/lexer.hpp"
 #include "minic/typecheck.hpp"
 
 namespace vc::dataflow {
@@ -18,6 +19,17 @@ using minic::UnOp;
 namespace {
 
 std::string wire_name(BlockId b) { return "w" + std::to_string(b); }
+
+/// Prefix + block id, dodging mini-C keywords: "f" + block 64 would spell
+/// the type keyword `f64`, and the printed program would not re-parse
+/// (the vccd service compiles from printed source, so every generated
+/// program must round-trip). No synthesized name ends in '_', so the
+/// suffixed form cannot collide with anything else.
+std::string temp_name(const char* prefix, BlockId b) {
+  std::string name = prefix + std::to_string(b);
+  if (minic::is_keyword(name)) name += '_';
+  return name;
+}
 
 class Generator {
  public:
@@ -312,7 +324,7 @@ class Generator {
       }
       case SymbolKind::RateLimiter: {
         const std::string st = new_state(0.0);
-        const std::string d = "d" + std::to_string(id);
+        const std::string d = temp_name("d", id);
         declare_local(d, Type::F64);
         // d = clamp(x - st, -down, up); st = st + d; w = st;
         fn_.body.push_back(minic::assign_local(
@@ -452,9 +464,9 @@ class Generator {
         const double x0 = b.params[0];
         const double x1 = b.params[1];
         const double inv_step = (n - 1) / (x1 - x0);
-        const std::string t = "t" + std::to_string(id);
-        const std::string k = "k" + std::to_string(id);
-        const std::string f = "f" + std::to_string(id);
+        const std::string t = temp_name("t", id);
+        const std::string k = temp_name("k", id);
+        const std::string f = temp_name("f", id);
         declare_local(t, Type::F64);
         declare_local(k, Type::I32);
         declare_local(f, Type::F64);

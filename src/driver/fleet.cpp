@@ -284,7 +284,11 @@ void run_job(const FleetUnit& unit, Config config, std::uint64_t input_seed,
       record->compile_seconds = seconds_since(t_compile);
     }
     const ppc::Image& image = have_image ? cached_image : compiled.image;
-    record->code_bytes = image.code_size_of(unit.entry);
+    // Compile-only units may carry no entry; the whole image size is the
+    // meaningful code metric then.
+    record->code_bytes =
+        unit.entry.empty() ? image.code_size_bytes()
+                           : image.code_size_of(unit.entry);
 
     if (options.exec_cycles > 0)
       run_exec_phase(unit, image, input_seed, options, record);
@@ -463,8 +467,11 @@ FleetReport run_fleet(const std::vector<FleetUnit>& units,
                [&](std::size_t j) {
                  const std::size_t u = j / options.configs.size();
                  const std::size_t c = j % options.configs.size();
-                 run_job(units[u], options.configs[c],
-                         fleet_job_seed(options.suite_seed, u), options,
+                 const std::uint64_t seed =
+                     units[u].input_seed
+                         ? *units[u].input_seed
+                         : fleet_job_seed(options.suite_seed, u);
+                 run_job(units[u], options.configs[c], seed, options,
                          sources.empty() ? nullptr : &sources[u],
                          &report.records[j]);
                });

@@ -15,6 +15,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -35,6 +36,12 @@ struct FleetUnit {
   std::string name;
   const minic::Program* program = nullptr;
   std::string entry;
+  /// Explicit input-stream seed for this unit. When unset, the job draws
+  /// from fleet_job_seed(suite_seed, unit_index) — position-dependent, which
+  /// is right for generated suites but wrong for a service batching jobs
+  /// from many clients in arrival order: there the caller pins each job's
+  /// seed so batching/sharding order can never change results.
+  std::optional<std::uint64_t> input_seed;
 };
 
 struct FleetOptions {
@@ -176,6 +183,19 @@ struct FleetReport {
   double cache_publish_seconds = 0.0;
   artifact::StoreStats store_stats;  // store-lifetime counters snapshot
 
+  /// Service-layer counters (vccd): zero/disabled for plain in-process
+  /// campaigns. A report assembled from daemon replies sets `enabled` and
+  /// the serving-side stats, which land in the schema-v5 "service" stanza.
+  struct ServiceStats {
+    bool enabled = false;
+    int shards = 0;                      // 0 = single-process daemon
+    std::uint64_t requests = 0;          // job requests served
+    std::uint64_t incremental_hits = 0;  // in-memory dependency-hash hits
+    std::uint64_t queue_peak = 0;        // deepest queue observed
+    std::uint64_t shard_restarts = 0;    // dead shards respawned
+  };
+  ServiceStats service;
+
   [[nodiscard]] const FleetRecord& at(std::size_t unit,
                                       std::size_t config) const {
     return records[unit * configs + config];
@@ -196,6 +216,14 @@ FleetReport run_fleet(const std::vector<FleetUnit>& units,
 /// array plus the aggregate header, as a JSON document. BENCH_*.json
 /// trajectories come from this instead of scraped stdout.
 json::Value to_json(const FleetReport& report);
+
+/// The semantic (determinism-relevant) fields of one record as JSON: name,
+/// config, outcome, code size, execution stats, bounds, monitor counters —
+/// everything except wall-time and cache-provenance fields. Two runs of the
+/// same job must dump byte-identical documents regardless of worker count,
+/// batching, caching, or which daemon shard served them; the service reply
+/// protocol and the determinism soaks compare exactly this.
+json::Value record_core_json(const FleetRecord& record);
 
 /// Serializes to_json(report) to `path` (pretty-printed, trailing newline).
 /// Returns false if the file cannot be written.

@@ -40,6 +40,22 @@ json::Value exec_json(const machine::ExecStats& s) {
 }
 
 json::Value record_json(const FleetRecord& r) {
+  // Semantic core first, then the provenance/timing overlay — the overlay
+  // is exactly what the determinism diffs strip.
+  json::Value v = record_core_json(r);
+  v["cache_hit"] = json::Value(r.cache_hit);
+  v["cache_image_hit"] = json::Value(r.cache_image_hit);
+  v["compile_seconds"] = json::Value(r.compile_seconds);
+  v["exec_seconds"] = json::Value(r.exec_seconds);
+  v["wcet_seconds"] = json::Value(r.wcet_seconds);
+  v["cache_lookup_seconds"] = json::Value(r.cache_lookup_seconds);
+  v["cache_publish_seconds"] = json::Value(r.cache_publish_seconds);
+  return v;
+}
+
+}  // namespace
+
+json::Value record_core_json(const FleetRecord& r) {
   json::Value v;
   v["name"] = json::Value(r.name);
   v["config"] = json::Value(to_string(r.config));
@@ -56,17 +72,8 @@ json::Value record_json(const FleetRecord& r) {
   v["wcet_ipet_certified"] = json::Value(r.wcet_ipet_certified);
   v["monitored_steps"] = json::Value(r.monitored_steps);
   v["monitor_violations"] = json::Value(r.monitor_violations);
-  v["cache_hit"] = json::Value(r.cache_hit);
-  v["cache_image_hit"] = json::Value(r.cache_image_hit);
-  v["compile_seconds"] = json::Value(r.compile_seconds);
-  v["exec_seconds"] = json::Value(r.exec_seconds);
-  v["wcet_seconds"] = json::Value(r.wcet_seconds);
-  v["cache_lookup_seconds"] = json::Value(r.cache_lookup_seconds);
-  v["cache_publish_seconds"] = json::Value(r.cache_publish_seconds);
   return v;
 }
-
-}  // namespace
 
 json::Value to_json(const FleetReport& report) {
   json::Value doc;
@@ -77,7 +84,9 @@ json::Value to_json(const FleetReport& report) {
   // _certified) and the header's "wcet" engine/aggregate stanza.
   // v4: per-record execution-monitor fields (monitored_steps /
   // monitor_violations) and the header's "monitor" mode/aggregate stanza.
-  doc["schema"] = json::Value("vcflight-fleet-report-v4");
+  // v5: the header's "service" stanza (vccd daemon campaigns: shard count,
+  // request/queue counters, incremental-recompilation hits).
+  doc["schema"] = json::Value("vcflight-fleet-report-v5");
   doc["compiler_version"] = json::Value(kCompilerVersion);
   doc["units"] = json::Value(static_cast<std::uint64_t>(report.units));
   doc["configs"] = json::Value(static_cast<std::uint64_t>(report.configs));
@@ -129,6 +138,18 @@ json::Value to_json(const FleetReport& report) {
     cache["store"] = std::move(store);
   }
   doc["cache"] = std::move(cache);
+
+  json::Value service;
+  service["enabled"] = json::Value(report.service.enabled);
+  if (report.service.enabled) {
+    service["shards"] =
+        json::Value(static_cast<std::int64_t>(report.service.shards));
+    service["requests"] = json::Value(report.service.requests);
+    service["incremental_hits"] = json::Value(report.service.incremental_hits);
+    service["queue_peak"] = json::Value(report.service.queue_peak);
+    service["shard_restarts"] = json::Value(report.service.shard_restarts);
+  }
+  doc["service"] = std::move(service);
 
   json::Array records;
   records.reserve(report.records.size());

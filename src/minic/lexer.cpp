@@ -190,4 +190,8 @@ class Lexer {
 
 std::vector<Token> lex(const std::string& source) { return Lexer(source).run(); }
 
+bool is_keyword(const std::string& word) {
+  return keywords().count(word) != 0;
+}
+
 }  // namespace vc::minic

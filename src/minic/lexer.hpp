@@ -33,4 +33,9 @@ struct Token {
 /// `//` line comments and `/* */` block comments are skipped.
 std::vector<Token> lex(const std::string& source);
 
+/// True when `word` is a reserved keyword — i.e. not usable as an
+/// identifier. Code generators that synthesize identifier names must
+/// check this, or the printed program will not re-parse.
+bool is_keyword(const std::string& word);
+
 }  // namespace vc::minic

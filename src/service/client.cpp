@@ -1,0 +1,115 @@
+#include "service/client.hpp"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace vc::service {
+
+ServiceClient::~ServiceClient() { close(); }
+
+ServiceClient::ServiceClient(ServiceClient&& o) noexcept
+    : fd_(std::exchange(o.fd_, -1)) {}
+
+bool ServiceClient::connect(const std::string& socket_path) {
+  close();
+  fd_ = connect_unix(socket_path);
+  return fd_ >= 0;
+}
+
+void ServiceClient::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+bool ServiceClient::send(const json::Value& request) {
+  if (fd_ < 0) return false;
+  if (write_frame(fd_, request.dump())) return true;
+  close();
+  return false;
+}
+
+std::optional<json::Value> ServiceClient::recv() {
+  if (fd_ < 0) return std::nullopt;
+  Frame frame = read_frame(fd_);
+  if (frame.status != Frame::Status::Ok) {
+    close();
+    return std::nullopt;
+  }
+  json::Parsed parsed = json::parse(frame.payload);
+  if (!parsed.ok()) {
+    close();
+    return std::nullopt;
+  }
+  return std::move(parsed.value);
+}
+
+std::optional<json::Value> ServiceClient::call(const json::Value& request) {
+  if (!send(request)) return std::nullopt;
+  return recv();
+}
+
+pid_t spawn_daemon(const std::string& vccd_path,
+                   const std::vector<std::string>& args) {
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 2);
+  std::vector<std::string> storage;
+  storage.reserve(args.size() + 1);
+  storage.push_back(vccd_path);
+  for (const std::string& a : args) storage.push_back(a);
+  for (std::string& s : storage) argv.push_back(s.data());
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) return -1;
+  if (pid == 0) {
+    ::execv(vccd_path.c_str(), argv.data());
+    ::_exit(127);  // exec failed
+  }
+  return pid;
+}
+
+bool wait_until_ready(const std::string& socket_path,
+                      double timeout_seconds) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_seconds);
+  json::Value ping;
+  ping["op"] = json::Value("ping");
+  while (std::chrono::steady_clock::now() < deadline) {
+    ServiceClient client;
+    if (client.connect(socket_path)) {
+      const auto reply = client.call(ping);
+      if (reply && reply->at("ok").as_bool()) return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return false;
+}
+
+int terminate_daemon(pid_t pid, double timeout_seconds) {
+  if (pid <= 0) return -1;
+  ::kill(pid, SIGTERM);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_seconds);
+  for (;;) {
+    int status = 0;
+    const pid_t got = ::waitpid(pid, &status, WNOHANG);
+    if (got == pid) {
+      if (WIFEXITED(status)) return WEXITSTATUS(status);
+      return -1;
+    }
+    if (got < 0) return -1;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, &status, 0);
+      return -1;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+}  // namespace vc::service

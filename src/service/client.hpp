@@ -1,0 +1,59 @@
+// Client side of the vccd protocol: a blocking framed connection plus the
+// process helpers the benches/tests/CLI use to spawn and supervise a
+// daemon. One ServiceClient per thread; requests may be pipelined (send N,
+// then collect N replies — replies carry the request "id" and may arrive
+// out of submission order).
+#pragma once
+
+#include <sys/types.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "service/protocol.hpp"
+#include "support/json.hpp"
+
+namespace vc::service {
+
+class ServiceClient {
+ public:
+  ServiceClient() = default;
+  ~ServiceClient();
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+  ServiceClient(ServiceClient&& o) noexcept;
+
+  /// Connects to the daemon socket; false if nothing listens there.
+  bool connect(const std::string& socket_path);
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// Sends one request frame. False on a dead connection.
+  bool send(const json::Value& request);
+
+  /// Receives one reply frame (blocking). nullopt on EOF/dead connection
+  /// or a malformed reply.
+  std::optional<json::Value> recv();
+
+  /// send + recv convenience for the serial ops (ping/status/shutdown).
+  std::optional<json::Value> call(const json::Value& request);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Spawns `vccd_path` with `args` (fork/exec; argv[0] is set for you).
+/// Returns the child pid, or -1.
+pid_t spawn_daemon(const std::string& vccd_path,
+                   const std::vector<std::string>& args);
+
+/// Polls the daemon socket until a ping round-trips (true) or
+/// `timeout_seconds` elapses (false).
+bool wait_until_ready(const std::string& socket_path, double timeout_seconds);
+
+/// SIGTERMs `pid` and waits for it; returns the exit code (-1 on signal
+/// death or wait failure). The drain contract: a healthy daemon exits 0.
+int terminate_daemon(pid_t pid, double timeout_seconds);
+
+}  // namespace vc::service

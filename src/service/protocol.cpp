@@ -1,0 +1,354 @@
+#include "service/protocol.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace vc::service {
+
+namespace {
+
+/// read() the exact byte count, retrying on EINTR. Returns bytes read
+/// (== size on success; 0 on immediate EOF; -1 on error; a short count
+/// means EOF mid-buffer).
+ssize_t read_exact(int fd, void* buf, std::size_t size) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n =
+        ::read(fd, static_cast<char*>(buf) + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (n == 0) break;  // EOF
+    done += static_cast<std::size_t>(n);
+  }
+  return static_cast<ssize_t>(done);
+}
+
+}  // namespace
+
+Frame read_frame(int fd) {
+  Frame frame;
+  std::uint8_t header[4];
+  const ssize_t got = read_exact(fd, header, sizeof header);
+  if (got == 0) {
+    frame.status = Frame::Status::Eof;
+    return frame;
+  }
+  if (got != sizeof header) {
+    frame.error = "connection died mid-header";
+    return frame;
+  }
+  const std::uint32_t length = static_cast<std::uint32_t>(header[0]) |
+                               static_cast<std::uint32_t>(header[1]) << 8 |
+                               static_cast<std::uint32_t>(header[2]) << 16 |
+                               static_cast<std::uint32_t>(header[3]) << 24;
+  if (length == 0 || length > kMaxFrameBytes) {
+    frame.error = "invalid frame length " + std::to_string(length) +
+                  " (must be 1.." + std::to_string(kMaxFrameBytes) + ")";
+    return frame;
+  }
+  frame.payload.resize(length);
+  if (read_exact(fd, frame.payload.data(), length) !=
+      static_cast<ssize_t>(length)) {
+    frame.payload.clear();
+    frame.error = "connection died mid-payload";
+    return frame;
+  }
+  frame.status = Frame::Status::Ok;
+  return frame;
+}
+
+bool write_frame(int fd, std::string_view payload) {
+  if (payload.empty() || payload.size() > kMaxFrameBytes) return false;
+  const std::uint32_t length = static_cast<std::uint32_t>(payload.size());
+  std::string buffer;
+  buffer.reserve(4 + payload.size());
+  buffer.push_back(static_cast<char>(length & 0xFF));
+  buffer.push_back(static_cast<char>((length >> 8) & 0xFF));
+  buffer.push_back(static_cast<char>((length >> 16) & 0xFF));
+  buffer.push_back(static_cast<char>((length >> 24) & 0xFF));
+  buffer.append(payload);
+  std::size_t done = 0;
+  while (done < buffer.size()) {
+    // MSG_NOSIGNAL: a client that vanished must surface as EPIPE, never as
+    // a process-killing SIGPIPE.
+    const ssize_t n = ::send(fd, buffer.data() + done, buffer.size() - done,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+int listen_unix(const std::string& path, std::string* error) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    *error = "socket path too long: " + path;
+    return -1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  ::unlink(path.c_str());  // stale socket from a previous run
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(fd, 128) < 0) {
+    *error = "cannot listen on " + path + ": " + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) return -1;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+std::string JobRequest::class_key() const {
+  std::string key = driver::to_string(config);
+  key += '|';
+  key += std::to_string(exec_cycles);
+  key += cold_caches ? "|cold" : "|warm";
+  key += wcet ? "|wcet" : "|-";
+  key += wcet_nocache ? "|nocache" : "|-";
+  key += '|';
+  key += wcet::to_string(wcet_engine);
+  key += use_annotations ? "|annot" : "|-";
+  key += '|';
+  key += machine::to_string(monitor);
+  key += '|';
+  key += driver::to_string(validate);
+  return key;
+}
+
+std::string JobRequest::job_class() const {
+  return driver::kConfigNames[static_cast<int>(config)].cli;
+}
+
+Hash128 JobRequest::request_hash() const {
+  Fnv128 h;
+  // Length-framed fields, exactly like the artifact-store key: no two
+  // distinct requests may collide by concatenation.
+  h.update_sized("vccd-incremental-1");
+  h.update_sized(driver::kCompilerVersion);  // pass-pipeline identity
+  h.update_sized(source);
+  h.update_sized(entry);
+  h.update_sized(name);
+  h.update_sized(driver::to_string(config));
+  h.update_u64(static_cast<std::uint64_t>(exec_cycles));
+  h.update_bool(cold_caches);
+  h.update_bool(wcet);
+  h.update_bool(wcet_nocache);
+  h.update_sized(wcet::to_string(wcet_engine));
+  h.update_bool(use_annotations);
+  h.update_sized(machine::to_string(monitor));
+  h.update_sized(driver::to_string(validate));
+  h.update_u64(input_seed);
+  return h.digest();
+}
+
+namespace {
+
+/// Field accessor that distinguishes "absent" from "ill-typed": absent is
+/// fine (defaults apply), ill-typed is a protocol error.
+template <typename T>
+bool read_field(const json::Value& doc, const char* key, json::Value::Kind a,
+                json::Value::Kind b, T convert, std::string* error) {
+  const json::Value& v = doc.at(key);
+  if (v.is_null()) return true;
+  if (v.kind() != a && v.kind() != b) {
+    *error = std::string("field '") + key + "' has the wrong type";
+    return false;
+  }
+  convert(v);
+  return true;
+}
+
+}  // namespace
+
+ParsedRequest parse_request(const std::string& payload) {
+  ParsedRequest out;
+  json::Parsed parsed = json::parse(payload);
+  if (!parsed.ok()) {
+    out.error = "malformed JSON: " + parsed.error;
+    return out;
+  }
+  const json::Value& doc = parsed.value;
+  if (!doc.is_object()) {
+    out.error = "request must be a JSON object";
+    return out;
+  }
+  if (doc.at("id").kind() == json::Value::Kind::Int ||
+      doc.at("id").kind() == json::Value::Kind::UInt)
+    out.id = doc.at("id").as_i64();
+  if (doc.at("op").kind() != json::Value::Kind::String) {
+    out.error = "missing or non-string 'op'";
+    return out;
+  }
+  out.op = doc.at("op").as_string();
+  if (out.op == "ping" || out.op == "status" || out.op == "shutdown")
+    return out;
+  if (out.op != "job") {
+    out.error = "unknown op '" + out.op + "'";
+    return out;
+  }
+
+  JobRequest job;
+  if (!out.id) {
+    out.error = "job request needs an integer 'id'";
+    return out;
+  }
+  job.id = *out.id;
+  if (doc.at("source").kind() != json::Value::Kind::String ||
+      doc.at("source").as_string().empty()) {
+    out.error = "job request needs a non-empty string 'source'";
+    return out;
+  }
+  job.source = doc.at("source").as_string();
+
+  std::string err;
+  const auto str = json::Value::Kind::String;
+  const auto b = json::Value::Kind::Bool;
+  const auto i = json::Value::Kind::Int;
+  const auto u = json::Value::Kind::UInt;
+  const bool ok =
+      read_field(doc, "name", str, str,
+                 [&](const json::Value& v) { job.name = v.as_string(); },
+                 &err) &&
+      read_field(doc, "entry", str, str,
+                 [&](const json::Value& v) { job.entry = v.as_string(); },
+                 &err) &&
+      read_field(doc, "config", str, str,
+                 [&](const json::Value& v) {
+                   const auto c = driver::parse_config(v.as_string());
+                   if (c)
+                     job.config = *c;
+                   else
+                     err = "unknown config '" + v.as_string() + "'";
+                 },
+                 &err) &&
+      err.empty() &&
+      read_field(doc, "exec_cycles", i, u,
+                 [&](const json::Value& v) {
+                   const std::int64_t n = v.as_i64();
+                   if (n < 0 || n > 1000000)
+                     err = "exec_cycles out of range";
+                   else
+                     job.exec_cycles = static_cast<int>(n);
+                 },
+                 &err) &&
+      err.empty() &&
+      read_field(doc, "cold_caches", b, b,
+                 [&](const json::Value& v) { job.cold_caches = v.as_bool(); },
+                 &err) &&
+      read_field(doc, "wcet", b, b,
+                 [&](const json::Value& v) { job.wcet = v.as_bool(); },
+                 &err) &&
+      read_field(doc, "wcet_nocache", b, b,
+                 [&](const json::Value& v) {
+                   job.wcet_nocache = v.as_bool();
+                 },
+                 &err) &&
+      read_field(doc, "wcet_engine", str, str,
+                 [&](const json::Value& v) {
+                   const auto e = wcet::parse_wcet_engine(v.as_string());
+                   if (e)
+                     job.wcet_engine = *e;
+                   else
+                     err = "unknown wcet_engine '" + v.as_string() + "'";
+                 },
+                 &err) &&
+      err.empty() &&
+      read_field(doc, "use_annotations", b, b,
+                 [&](const json::Value& v) {
+                   job.use_annotations = v.as_bool();
+                 },
+                 &err) &&
+      read_field(doc, "monitor", str, str,
+                 [&](const json::Value& v) {
+                   const auto m = machine::parse_monitor_mode(v.as_string());
+                   if (m)
+                     job.monitor = *m;
+                   else
+                     err = "unknown monitor mode '" + v.as_string() + "'";
+                 },
+                 &err) &&
+      err.empty() &&
+      read_field(doc, "validate", str, str,
+                 [&](const json::Value& v) {
+                   const std::string s = v.as_string();
+                   if (s == "off")
+                     job.validate = driver::ValidateLevel::Off;
+                   else if (s == "rtl")
+                     job.validate = driver::ValidateLevel::Rtl;
+                   else if (s == "full")
+                     job.validate = driver::ValidateLevel::Full;
+                   else
+                     err = "unknown validate level '" + s + "'";
+                 },
+                 &err) &&
+      err.empty() &&
+      read_field(doc, "input_seed", u, i,
+                 [&](const json::Value& v) { job.input_seed = v.as_u64(); },
+                 &err);
+  if (!ok || !err.empty()) {
+    out.error = err.empty() ? "ill-typed job field" : err;
+    return out;
+  }
+  if (job.name.empty()) job.name = "job" + std::to_string(job.id);
+  out.job = std::move(job);
+  return out;
+}
+
+json::Value job_to_json(const JobRequest& job) {
+  json::Value doc;
+  doc["op"] = json::Value("job");
+  doc["id"] = json::Value(job.id);
+  doc["name"] = json::Value(job.name);
+  doc["source"] = json::Value(job.source);
+  doc["entry"] = json::Value(job.entry);
+  doc["config"] = json::Value(driver::to_string(job.config));
+  doc["exec_cycles"] = json::Value(static_cast<std::int64_t>(job.exec_cycles));
+  doc["cold_caches"] = json::Value(job.cold_caches);
+  doc["wcet"] = json::Value(job.wcet);
+  doc["wcet_nocache"] = json::Value(job.wcet_nocache);
+  doc["wcet_engine"] = json::Value(wcet::to_string(job.wcet_engine));
+  doc["use_annotations"] = json::Value(job.use_annotations);
+  doc["monitor"] = json::Value(machine::to_string(job.monitor));
+  doc["validate"] = json::Value(driver::to_string(job.validate));
+  doc["input_seed"] = json::Value(job.input_seed);
+  return doc;
+}
+
+std::string error_reply(const std::string& message,
+                        std::optional<std::int64_t> id) {
+  json::Value doc;
+  doc["ok"] = json::Value(false);
+  doc["error"] = json::Value(message);
+  if (id) doc["id"] = json::Value(*id);
+  return doc.dump();
+}
+
+}  // namespace vc::service

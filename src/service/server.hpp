@@ -1,0 +1,151 @@
+// The vccd single-process daemon: accepts framed requests over a local
+// Unix-domain socket (service/protocol.hpp), batches queued compile/
+// execute/WCET jobs through the fleet runner, and keeps two hot layers of
+// state resident across requests:
+//
+//   1. the in-memory incremental-recompilation memo — a dependency hash
+//      over (source, entry, config, pass-pipeline identity, every run
+//      parameter, input seed) mapped to the finished record, so an
+//      identical re-submission is answered without touching the disk or
+//      the compiler at all;
+//   2. the content-addressed artifact store (optional, --cache-dir), whose
+//      in-memory index persists across batches exactly as it does across
+//      fleet runs.
+//
+// Trust boundary: the daemon is UNTRUSTED serving machinery. Every record
+// it produces comes out of the same run_fleet path the offline campaigns
+// use — translation validators, IPET certificate checker, and execution
+// monitor included — and the determinism soak holds it to byte-identical
+// records against the serial in-process reference.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "artifact/store.hpp"
+#include "service/protocol.hpp"
+#include "support/json.hpp"
+
+namespace vc::service {
+
+struct ServerOptions {
+  std::string socket_path;
+  /// Fleet workers per batch; 0 = one per hardware thread.
+  int jobs = 0;
+  /// Artifact-store directory (empty = no on-disk cache).
+  std::string cache_dir;
+  std::uint64_t cache_budget_bytes = 0;
+  /// >= 0 when this server is one shard of a supervised group (labels the
+  /// status report; shards are otherwise ordinary servers).
+  int shard_index = -1;
+};
+
+class ServiceServer {
+ public:
+  explicit ServiceServer(ServerOptions options);
+  ~ServiceServer();
+
+  ServiceServer(const ServiceServer&) = delete;
+  ServiceServer& operator=(const ServiceServer&) = delete;
+
+  /// Binds the socket and launches the batch worker. False (with *error
+  /// set) if the socket cannot be bound.
+  bool start(std::string* error);
+
+  /// Accept loop. Returns the process exit code after a drain request
+  /// (graceful: in-flight and queued jobs finish, stats flush) — 0 on a
+  /// clean drain.
+  int serve();
+
+  /// Async-signal-safe drain trigger (writes one byte to the wake pipe);
+  /// install it from SIGTERM/SIGINT handlers via a global.
+  void request_drain();
+
+  /// One-line final stats (printed by serve() on drain; exposed for tests).
+  [[nodiscard]] std::string stats_summary();
+
+  /// The status document served to "status" requests.
+  [[nodiscard]] json::Value status_json();
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::mutex write_mutex;
+    std::thread reader;
+    std::atomic<bool> done{false};
+  };
+
+  struct Queued {
+    JobRequest job;
+    std::shared_ptr<Connection> conn;
+    std::chrono::steady_clock::time_point enqueued;
+    /// Set when the reader resolved the job from the incremental memo: the
+    /// batcher just sends this record (cache "incremental") without
+    /// compiling. Replies must never happen on the reader thread — a
+    /// pipelining client that has not started draining replies yet would
+    /// wedge the read loop in send() and deadlock the whole daemon.
+    bool memo_hit = false;
+    json::Value memo_record;
+  };
+
+  void connection_loop(std::shared_ptr<Connection> conn);
+  void handle_job(const std::shared_ptr<Connection>& conn, JobRequest job);
+  void batch_loop();
+  void process_batch(std::vector<Queued> batch);
+  void reply(const std::shared_ptr<Connection>& conn,
+             const std::string& payload);
+  void reply_record(const Queued& queued, const json::Value& record,
+                    const char* cache_kind);
+  void note_latency(const std::string& job_class, double seconds);
+
+  ServerOptions options_;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  std::atomic<bool> draining_{false};
+
+  std::unique_ptr<artifact::ArtifactStore> store_;
+
+  std::mutex conns_mutex_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;   // batcher wakeups
+  std::condition_variable idle_cv_;    // drain waits for empty+idle
+  std::deque<Queued> queue_;
+  std::size_t in_flight_ = 0;
+  bool stop_batcher_ = false;
+  std::thread batcher_;
+
+  /// Incremental memo: request hash (hex) -> finished record document.
+  std::mutex memo_mutex_;
+  std::unordered_map<std::string, json::Value> memo_;
+
+  /// Counters + latency reservoirs (guarded by stats_mutex_).
+  std::mutex stats_mutex_;
+  std::uint64_t requests_ = 0;
+  std::uint64_t job_requests_ = 0;
+  std::uint64_t jobs_completed_ = 0;
+  std::uint64_t incremental_hits_ = 0;
+  std::uint64_t full_hits_ = 0;
+  std::uint64_t image_hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t queue_peak_ = 0;
+  std::uint64_t validator_checks_ = 0;
+  std::uint64_t monitored_steps_ = 0;
+  std::uint64_t monitor_violations_ = 0;
+  std::uint64_t batches_ = 0;
+  std::map<std::string, std::vector<double>> latency_;  // per job class
+  std::chrono::steady_clock::time_point started_;
+};
+
+}  // namespace vc::service

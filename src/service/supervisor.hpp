@@ -1,0 +1,144 @@
+// Shard mode (`vccd --shards=N`): a tiny supervisor process that owns the
+// public socket, spawns N single-process vccd shards on private sockets
+// (`<sock>.s0` .. `<sock>.sN-1`, all over ONE artifact store directory),
+// round-robins first-seen job requests across them (a resubmission returns
+// to the shard whose memo already holds it), and restarts a dead shard
+// without losing queued work.
+//
+// Exactly-once delivery: every forwarded job stays in the owning shard's
+// pending table (keyed by a supervisor-stamped internal id) until its reply
+// has been routed back to the client. A shard that dies — crash, SIGKILL,
+// OOM — takes no state with it that matters: the supervisor respawns it,
+// waits for its ping, and resubmits every pending request verbatim. Replies
+// are keyed by id, so a client can never observe a duplicate, and
+// determinism makes the re-run record identical to what the dead shard
+// would have sent.
+#pragma once
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "service/protocol.hpp"
+#include "support/json.hpp"
+
+namespace vc::service {
+
+struct SupervisorOptions {
+  std::string socket_path;
+  int shards = 2;
+  /// Executable to spawn shards from (normally /proc/self/exe).
+  std::string vccd_path;
+  /// Flags forwarded verbatim to every shard (--jobs, --cache-dir, ...).
+  std::vector<std::string> shard_args;
+};
+
+class ShardSupervisor {
+ public:
+  explicit ShardSupervisor(SupervisorOptions options);
+  ~ShardSupervisor();
+  ShardSupervisor(const ShardSupervisor&) = delete;
+  ShardSupervisor& operator=(const ShardSupervisor&) = delete;
+
+  /// Binds the public socket and launches the shard channels.
+  bool start(std::string* error);
+
+  /// Accept loop; returns the exit code after a graceful drain.
+  int serve();
+
+  /// Async-signal-safe drain trigger.
+  void request_drain();
+
+  [[nodiscard]] json::Value status_json();
+
+  /// One-line final stats (printed by serve() on drain).
+  [[nodiscard]] std::string stats_summary();
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::mutex write_mutex;
+    std::thread reader;
+    std::atomic<bool> done{false};
+  };
+
+  struct Pending {
+    std::string payload;  // forwarded frame (internal id already stamped)
+    std::shared_ptr<Connection> conn;
+    std::int64_t client_id = 0;
+    std::string job_class;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  struct Shard {
+    int index = 0;
+    std::string socket;
+    pid_t pid = -1;
+    int fd = -1;                 // channel to the shard (guarded below)
+    std::mutex channel_mutex;    // guards fd and writes on it
+    std::thread thread;          // spawn / read / respawn loop
+    std::mutex pending_mutex;
+    std::map<std::uint64_t, Pending> pending;
+    std::atomic<std::uint64_t> restarts{0};
+    std::atomic<bool> up{false};
+    std::atomic<bool> exited{false};  // channel thread has returned
+  };
+
+  void connection_loop(std::shared_ptr<Connection> conn);
+  void handle_job(const std::shared_ptr<Connection>& conn, JobRequest job);
+  void shard_loop(Shard* shard);
+  bool spawn_and_connect(Shard* shard);
+  void resubmit_pending(Shard* shard);
+  void fail_pending(Shard* shard, const std::string& reason);
+  void route_reply(Shard* shard, const std::string& payload);
+  void reply(const std::shared_ptr<Connection>& conn,
+             const std::string& payload);
+  [[nodiscard]] std::size_t pending_total();
+  /// Joins every shard channel thread, then terminates the worker
+  /// processes. Returns false if any worker failed to drain-exit 0.
+  bool stop_shards();
+
+  SupervisorOptions options_;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  std::atomic<bool> stopping_{false};
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> next_internal_{1};
+  std::atomic<std::uint64_t> round_robin_{0};
+
+  /// Dependency hash -> owning shard: resubmissions return to the shard
+  /// whose memo already holds the record (the supervisor itself never
+  /// answers jobs — see handle_job on why its readers must not send).
+  std::mutex placement_mutex_;
+  std::unordered_map<std::string, std::size_t> placement_;
+
+  std::mutex conns_mutex_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+
+  std::mutex drain_mutex_;
+  std::condition_variable drain_cv_;  // fires when a pending empties
+
+  std::mutex stats_mutex_;
+  std::uint64_t requests_ = 0;
+  std::uint64_t jobs_completed_ = 0;
+  std::uint64_t incremental_hits_ = 0;
+  std::uint64_t full_hits_ = 0;
+  std::uint64_t image_hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t queue_peak_ = 0;
+  std::map<std::string, std::vector<double>> latency_;
+  std::chrono::steady_clock::time_point started_;
+};
+
+}  // namespace vc::service

@@ -29,6 +29,14 @@
 
 namespace vc {
 
+/// Folds `bytes` into the process-wide arena high-water mark (atomic max).
+void note_arena_peak(std::uint64_t bytes);
+
+/// The largest per-job arena footprint any worker thread has reported so
+/// far, across all threads that ever lived in this process. Monotone;
+/// observability only (vccd status, bench footers).
+[[nodiscard]] std::uint64_t global_arena_peak_bytes();
+
 /// A pool of reusable T (T must be cheap to `clear()`). lease() prefers the
 /// most recently returned object — the one whose buffers are warmest.
 template <typename T>
@@ -93,8 +101,12 @@ class CompileWorkspace {
 
   /// End-of-job rewind: reclaims arena memory (keeping chunks) and bumps the
   /// job counter. Pooled vectors are already back in their pools when the
-  /// job's leases unwound; their capacity is the asset being kept.
+  /// job's leases unwound; their capacity is the asset being kept. The
+  /// arena's high-water mark is folded into the process-wide peak here —
+  /// fleet worker threads die with their parallel_for call, so a long-lived
+  /// observer (the vccd status endpoint) needs the cross-thread maximum.
   void reset() {
+    note_arena_peak(arena.peak_bytes());
     arena.reset();
     ++jobs_reset_;
   }

@@ -40,18 +40,32 @@
 //     --jobs=N                       batch worker threads (0 = all cores)
 //     --cache-dir=DIR                batch: content-addressed artifact cache
 //     --cache-budget-mb=N            batch: cache LRU budget (0 = unlimited)
+//     --connect=SOCK                 submit to a running vccd daemon on the
+//                                    Unix socket SOCK instead of compiling
+//                                    in-process (single file or --batch);
+//                                    --wcet=auto resolves the entry on the
+//                                    daemon, --exec-cycles=N steps the entry
+//                                    with pseudo-random inputs, and --run is
+//                                    local-only (rejected)
+//     --exec-cycles=N                connect mode: step invocations per job
+//                                    with pseudo-random inputs (0 = skip)
 //
 // Batch mode exits non-zero if any file fails, and lists the failing files
 // in a per-file pass/fail summary on stderr.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "driver/compiler.hpp"
+#include "driver/fleet.hpp"
+#include "service/client.hpp"
 #include "support/alloccount.hpp"
 #include "machine/machine.hpp"
 #include "minic/parser.hpp"
@@ -80,7 +94,10 @@ using namespace vc;
       "           [--disable-pass=NAME] [--dump-after=PASS]\n"
       "           [--stats] [--profile] file.mc\n"
       "       vcc [--config=...] [--validate[=off|rtl|full]] [--jobs=N]\n"
-      "           [--cache-dir=DIR] [--cache-budget-mb=N] --batch dir\n",
+      "           [--cache-dir=DIR] [--cache-budget-mb=N] --batch dir\n"
+      "       vcc --connect=SOCK [--config=...] [--wcet=FN|auto]\n"
+      "           [--wcet-engine=...] [--validate[=...]] [--monitor=...]\n"
+      "           [--exec-cycles=N] (file.mc | --batch dir)\n",
       stderr);
   std::exit(2);
 }
@@ -167,6 +184,115 @@ int run_batch_cli(const std::string& dir, const tools::BatchOptions& options) {
   return result.exit_code;
 }
 
+/// Everything one daemon-submitted job inherits from the command line.
+struct ConnectParams {
+  driver::Config config = driver::Config::Verified;
+  driver::ValidateLevel validate = driver::ValidateLevel::Off;
+  std::string wcet_fn;  // empty = no WCET phase; "auto" resolves remotely
+  wcet::WcetEngine wcet_engine = wcet::WcetEngine::Structural;
+  bool use_annotations = true;
+  machine::MonitorMode monitor = machine::MonitorMode::Off;
+  int exec_cycles = 0;
+};
+
+/// --connect mode: pipeline every file as one "job" request over the daemon
+/// socket, then collect the replies (which may arrive out of order) and
+/// print a per-file summary. Exit 0 = all ok, 1 = a job failed or the
+/// daemon dropped us, 2 = usage/environment.
+int run_connect(const std::string& socket_path, const std::string& path,
+                bool batch, const ConnectParams& params) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  if (batch) {
+    std::error_code ec;
+    if (!fs::is_directory(fs::status(path, ec))) {
+      std::fprintf(stderr, "vcc: not a directory: %s\n", path.c_str());
+      return 2;
+    }
+    for (const auto& entry : fs::directory_iterator(path, ec)) {
+      if (entry.is_regular_file() && entry.path().extension() == ".mc")
+        files.push_back(entry.path().string());
+    }
+    std::sort(files.begin(), files.end());
+    if (files.empty()) {
+      std::fprintf(stderr, "vcc: no .mc files under %s\n", path.c_str());
+      return 0;
+    }
+  } else {
+    files.push_back(path);
+  }
+
+  service::ServiceClient client;
+  if (!client.connect(socket_path)) {
+    std::fprintf(stderr, "vcc: cannot connect to daemon socket %s\n",
+                 socket_path.c_str());
+    return 2;
+  }
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    service::JobRequest job;
+    job.id = static_cast<std::int64_t>(i);
+    job.name = fs::path(files[i]).stem().string();
+    job.source = read_file_or_die(files[i], /*exit_code=*/2);
+    job.entry = params.wcet_fn.empty() ? "auto" : params.wcet_fn;
+    job.config = params.config;
+    job.validate = params.validate;
+    job.wcet = !params.wcet_fn.empty();
+    job.wcet_engine = params.wcet_engine;
+    job.use_annotations = params.use_annotations;
+    job.monitor = params.monitor;
+    job.exec_cycles = params.exec_cycles;
+    // Deterministic per-file seed, independent of reply order and shard
+    // placement: the same derivation the fleet uses, keyed by sorted index.
+    job.input_seed = driver::fleet_job_seed(7, i);
+    if (!client.send(service::job_to_json(job))) {
+      std::fprintf(stderr, "vcc: daemon connection died mid-submit\n");
+      return 1;
+    }
+  }
+
+  std::map<std::int64_t, json::Value> replies;
+  while (replies.size() < files.size()) {
+    const auto reply = client.recv();
+    if (!reply) {
+      std::fprintf(stderr, "vcc: daemon connection died (%zu/%zu replies)\n",
+                   replies.size(), files.size());
+      return 1;
+    }
+    replies[reply->at("id").as_i64(-1)] = *reply;
+  }
+
+  int failures = 0;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    const auto it = replies.find(static_cast<std::int64_t>(i));
+    if (it == replies.end()) {
+      std::fprintf(stderr, "vcc: FAILED: %s (no reply)\n", files[i].c_str());
+      ++failures;
+      continue;
+    }
+    const json::Value& doc = it->second;
+    if (!doc.at("ok").as_bool(false)) {
+      std::fprintf(stderr, "vcc: FAILED: %s (%s)\n", files[i].c_str(),
+                   doc.at("error").as_string("unknown error").c_str());
+      ++failures;
+      continue;
+    }
+    const json::Value& record = doc.at("record");
+    std::string line = files[i] + ": ok";
+    line += " cache=" + doc.at("cache").as_string("miss");
+    line += " bytes=" + std::to_string(record.at("code_bytes").as_u64());
+    if (!record.at("wcet_cycles").is_null())
+      line += " wcet=" + std::to_string(record.at("wcet_cycles").as_u64());
+    if (record.at("wcet_ipet_cycles").as_u64() > 0)
+      line +=
+          " ipet=" + std::to_string(record.at("wcet_ipet_cycles").as_u64());
+    std::puts(line.c_str());
+  }
+  if (failures > 0)
+    std::fprintf(stderr, "vcc: %d of %zu daemon job(s) failed\n", failures,
+                 files.size());
+  return failures > 0 ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -186,6 +312,8 @@ int main(int argc, char** argv) {
   wcet::WcetEngine wcet_engine = wcet::WcetEngine::Structural;
   std::string run_spec;
   machine::MonitorMode monitor_mode = machine::MonitorMode::Off;
+  std::string connect_sock;
+  int exec_cycles = 0;
 
   tools::FlagConflicts conflicts;
   for (int i = 1; i < argc; ++i) {
@@ -250,6 +378,13 @@ int main(int argc, char** argv) {
       const auto parsed = machine::parse_monitor_mode(arg.substr(10));
       if (!parsed) die("unknown monitor mode '" + arg.substr(10) + "'");
       monitor_mode = *parsed;
+    } else if (starts_with(arg, "--connect=")) {
+      connect_sock = arg.substr(10);
+      if (connect_sock.empty()) die("empty --connect value");
+    } else if (starts_with(arg, "--exec-cycles=")) {
+      const auto parsed = tools::parse_count_flag(arg.substr(14));
+      if (!parsed) die("bad --exec-cycles value '" + arg.substr(14) + "'");
+      exec_cycles = *parsed;
     } else if (!starts_with(arg, "--") && path.empty()) {
       path = arg;
     } else {
@@ -257,6 +392,20 @@ int main(int argc, char** argv) {
     }
   }
   if (path.empty()) usage();
+
+  if (!connect_sock.empty()) {
+    if (!run_spec.empty())
+      die("--run is local-only; use --exec-cycles=N with --connect");
+    ConnectParams params;
+    params.config = config;
+    params.validate = validate_level;
+    params.wcet_fn = wcet_fn;
+    params.wcet_engine = wcet_engine;
+    params.use_annotations = use_annotations;
+    params.monitor = monitor_mode;
+    params.exec_cycles = exec_cycles;
+    return run_connect(connect_sock, path, batch, params);
+  }
 
   if (batch) {
     tools::BatchOptions batch_options;

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <limits>
@@ -62,6 +63,20 @@ bool parse_i32(const std::string& text, std::int32_t* out) {
   return true;
 }
 
+/// Human name for what a path turned out to be, for "not a directory"
+/// diagnostics.
+const char* file_type_name(std::filesystem::file_type t) {
+  switch (t) {
+    case std::filesystem::file_type::regular: return "regular file";
+    case std::filesystem::file_type::symlink: return "symlink";
+    case std::filesystem::file_type::block: return "block device";
+    case std::filesystem::file_type::character: return "character device";
+    case std::filesystem::file_type::fifo: return "fifo";
+    case std::filesystem::file_type::socket: return "socket";
+    default: return "non-directory";
+  }
+}
+
 }  // namespace
 
 std::optional<driver::Config> parse_config_name(const std::string& name) {
@@ -116,12 +131,25 @@ CallArgs parse_call_args(const minic::Function& fn, const std::string& spec) {
 BatchResult run_batch(const std::string& dir, const BatchOptions& options) {
   namespace fs = std::filesystem;
   BatchResult result;
+  // Path-class problems are usage errors (exit 2), and the diagnostic names
+  // the path plus the precise reason: "exists but is a regular file" is a
+  // different operator mistake than "does not exist".
   std::error_code ec;
-  if (!fs::is_directory(dir, ec)) {
-    result.summary = "not a directory: " + dir;
+  const fs::file_status st = fs::status(dir, ec);
+  if (ec || st.type() == fs::file_type::not_found) {
+    result.exit_code = 2;
+    result.summary = "not a directory: " + dir + " (" +
+                     (ec ? ec.message() : "no such file or directory") + ")";
+    return result;
+  }
+  if (st.type() != fs::file_type::directory) {
+    result.exit_code = 2;
+    result.summary = "not a directory: " + dir + " (exists but is a " +
+                     file_type_name(st.type()) + ")";
     return result;
   }
   if (options.jobs < 0) {
+    result.exit_code = 2;
     result.summary = "--jobs must be >= 0, got " +
                      std::to_string(options.jobs);
     return result;
@@ -149,6 +177,7 @@ BatchResult run_batch(const std::string& dir, const BatchOptions& options) {
   struct FileResult {
     bool ok = false;
     bool cached = false;
+    bool io_error = false;
     std::string line;
   };
   std::vector<FileResult> results(files.size());
@@ -163,7 +192,16 @@ BatchResult run_batch(const std::string& dir, const BatchOptions& options) {
         char buf[512];
         try {
           std::ifstream in(files[i]);
-          if (!in) throw std::runtime_error("cannot open file");
+          if (!in) {
+            // An unreadable file is an environment problem, not a compile
+            // failure: name the file and the errno reason, and classify it
+            // so the batch exits 2 rather than 1.
+            std::snprintf(buf, sizeof buf, "%s: error: cannot open file (%s)",
+                          files[i].c_str(), std::strerror(errno));
+            r.io_error = true;
+            r.line = buf;
+            return;
+          }
           std::stringstream buffer;
           buffer << in.rdbuf();
           const std::string source = buffer.str();
@@ -233,6 +271,7 @@ BatchResult run_batch(const std::string& dir, const BatchOptions& options) {
       if (results[i].cached) ++result.cache_hits;
     } else {
       result.failures.push_back(files[i]);
+      if (results[i].io_error) ++result.io_errors;
     }
   }
 
@@ -245,7 +284,8 @@ BatchResult run_batch(const std::string& dir, const BatchOptions& options) {
                 wall > 0.0 ? static_cast<double>(result.total) / wall : 0.0);
   result.summary = buf;
   if (store != nullptr) result.summary += "\n" + store->stats().summary();
-  result.exit_code = result.failures.empty() ? 0 : 1;
+  result.exit_code =
+      result.io_errors > 0 ? 2 : (result.failures.empty() ? 0 : 1);
   return result;
 }
 

@@ -133,11 +133,16 @@ struct BatchOptions {
   std::uint64_t cache_budget_bytes = 0;  // 0 = unlimited
 };
 
+/// Exit-code policy: 0 = every file compiled; 1 = at least one compile
+/// failed; 2 = usage/environment error (path missing or not a directory,
+/// bad --jobs, or an unreadable file) — the diagnostic always names the
+/// offending path and the reason.
 struct BatchResult {
   int exit_code = 1;               // 0 only when every file compiled
   std::size_t total = 0;
   std::size_t compiled = 0;
   std::size_t cache_hits = 0;
+  std::size_t io_errors = 0;          // unreadable files (exit-2 class)
   std::vector<std::string> lines;     // per-file results, sorted-path order
   std::vector<std::string> failures;  // paths of the files that failed
   std::string summary;                // human footer (throughput + cache)

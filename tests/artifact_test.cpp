@@ -403,6 +403,51 @@ TEST_F(StoreTest, LeftoverTmpDirsAreGarbageCollectedOnRestart) {
   EXPECT_TRUE(restarted.lookup(key_of("survivor")).has_value());
 }
 
+TEST_F(StoreTest, KillMidPublishDebrisIsDroppedAndCountedOnRestart) {
+  {
+    artifact::ArtifactStore store({dir_, 0});
+    publish_tagged(store, "survivor");
+    publish_tagged(store, "torn");
+  }
+  // Simulate a process killed mid-publish: a stray temp file next to a
+  // published entry's payloads (crashed write_file_atomic)...
+  const fs::path stray =
+      payload_path("survivor", "meta").parent_path() / "stats.json.tmp";
+  { std::ofstream f(stray); f << "{ half a stats doc"; }
+  // ...and an entry whose image was torn mid-write: meta says 64 bytes but
+  // only 7 landed on disk.
+  fs::resize_file(payload_path("torn", "image.bin"), 7);
+
+  artifact::ArtifactStore restarted({dir_, 0});
+  // Both pieces of damage are dropped at re-index and accounted.
+  EXPECT_FALSE(fs::exists(stray));
+  EXPECT_FALSE(fs::exists(payload_path("torn", "meta")));
+  EXPECT_EQ(restarted.stats().corrupt_dropped, 2u);
+  // The partial image is never served; the intact neighbor still is.
+  EXPECT_EQ(restarted.stats().resident_entries, 1u);
+  EXPECT_FALSE(restarted.lookup(key_of("torn")).has_value());
+  const auto loaded = restarted.lookup(key_of("survivor"));
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->image_bytes.size(), 64u);
+}
+
+TEST_F(StoreTest, ShardLevelTmpFileIsDroppedAndCountedOnRestart) {
+  {
+    artifact::ArtifactStore store({dir_, 0});
+    publish_tagged(store, "survivor");
+  }
+  // A crash can also leave a non-directory stray at the shard level.
+  const std::string hex = key_of("survivor").hex();
+  const fs::path stray = fs::path(dir_) / hex.substr(0, 2) / ".tmp-dead-9-9";
+  { std::ofstream f(stray); f << "partial"; }
+
+  artifact::ArtifactStore restarted({dir_, 0});
+  EXPECT_FALSE(fs::exists(stray));
+  EXPECT_EQ(restarted.stats().corrupt_dropped, 1u);
+  EXPECT_EQ(restarted.stats().resident_entries, 1u);
+  EXPECT_TRUE(restarted.lookup(key_of("survivor")).has_value());
+}
+
 TEST_F(StoreTest, InvalidateDropsAndCountsOnce) {
   artifact::ArtifactStore store({dir_, 0});
   publish_tagged(store, "bad-image");

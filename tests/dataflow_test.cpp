@@ -244,5 +244,29 @@ TEST(Dataflow, PrintedProgramRoundTrips) {
   EXPECT_EQ(minic::print_program(reparsed), text);
 }
 
+// Every node of the full campaign suite must print to source that
+// re-parses to the same printed form — the vccd service compiles from
+// printed text, so an unprintable program silently diverges from the
+// in-memory reference. Regression: synthesized temp "f" + block 64 spelt
+// the keyword `f64` (campaign nodes 234 and 1371), which parsed in no
+// program at all.
+TEST(Dataflow, CampaignSuitePrintParseFixedPoint) {
+  const std::vector<Node> nodes = dataflow::generate_suite(20110318, 2500);
+  std::size_t checked = 0;
+  for (const Node& node : nodes) {
+    minic::Program program;
+    dataflow::generate_node(node, &program);
+    minic::type_check(program);
+    const std::string once = minic::print_program(program);
+    ASSERT_NO_THROW({
+      minic::Program reparsed = minic::parse_program(once, node.name());
+      minic::type_check(reparsed);
+      ASSERT_EQ(minic::print_program(reparsed), once) << node.name();
+    }) << node.name();
+    ++checked;
+  }
+  EXPECT_EQ(checked, nodes.size());
+}
+
 }  // namespace
 }  // namespace vc

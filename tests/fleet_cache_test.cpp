@@ -237,7 +237,7 @@ TEST_F(FleetCacheTest, ReportJsonRoundTripsTheRecordArray) {
       driver::run_fleet(suite.units, cached_options(&store, 2));
 
   const json::Value doc = driver::to_json(report);
-  EXPECT_EQ(doc.at("schema").as_string(), "vcflight-fleet-report-v4");
+  EXPECT_EQ(doc.at("schema").as_string(), "vcflight-fleet-report-v5");
   EXPECT_EQ(doc.at("units").as_u64(), report.units);
   EXPECT_EQ(doc.at("cache").at("enabled").as_bool(), true);
   // v2 carries the per-pass telemetry array (ordered by pipeline position).
@@ -256,6 +256,10 @@ TEST_F(FleetCacheTest, ReportJsonRoundTripsTheRecordArray) {
             machine::to_string(report.monitor_mode));
   EXPECT_EQ(doc.at("monitor").at("violations").as_u64(),
             report.monitor_violations);
+  // v5 adds the vccd service stanza: disabled (and bare) for offline
+  // campaigns like this one, populated by the daemon's report path.
+  EXPECT_FALSE(doc.at("service").at("enabled").as_bool(true));
+  EXPECT_TRUE(doc.at("service").at("shards").is_null());
   const json::Array& records = doc.at("records").as_array();
   ASSERT_EQ(records.size(), report.records.size());
   for (std::size_t i = 0; i < records.size(); ++i) {
@@ -281,6 +285,25 @@ TEST_F(FleetCacheTest, ReportJsonRoundTripsTheRecordArray) {
   ASSERT_TRUE(parsed.ok()) << parsed.error;
   EXPECT_EQ(parsed.value.dump(), doc.dump());
   fs::remove(path);
+}
+
+TEST(FleetReportServiceStanzaTest, RoundTripsWhenEnabled) {
+  driver::FleetReport report;
+  report.service.enabled = true;
+  report.service.shards = 4;
+  report.service.requests = 123;
+  report.service.incremental_hits = 45;
+  report.service.queue_peak = 9;
+  report.service.shard_restarts = 1;
+  const json::Value doc = driver::to_json(report);
+  EXPECT_EQ(doc.at("schema").as_string(), "vcflight-fleet-report-v5");
+  const json::Value& service = doc.at("service");
+  EXPECT_TRUE(service.at("enabled").as_bool(false));
+  EXPECT_EQ(service.at("shards").as_i64(), 4);
+  EXPECT_EQ(service.at("requests").as_u64(), 123u);
+  EXPECT_EQ(service.at("incremental_hits").as_u64(), 45u);
+  EXPECT_EQ(service.at("queue_peak").as_u64(), 9u);
+  EXPECT_EQ(service.at("shard_restarts").as_u64(), 1u);
 }
 
 }  // namespace

@@ -192,6 +192,15 @@ TEST(FleetTest, JobSeedIsPureFunctionOfSuiteSeedAndIndex) {
   EXPECT_NE(driver::fleet_job_seed(7, 0), driver::fleet_job_seed(8, 0));
 }
 
+// The report schema version is a contract with the CI distillers and the
+// trajectory tooling; v5 added the vccd service stanza (disabled for
+// plain in-process campaigns).
+TEST(FleetTest, ReportSchemaIsV5WithServiceStanza) {
+  const json::Value doc = driver::to_json(driver::FleetReport{});
+  EXPECT_EQ(doc.at("schema").as_string(), "vcflight-fleet-report-v5");
+  EXPECT_FALSE(doc.at("service").at("enabled").as_bool(true));
+}
+
 TEST(ThreadPoolTest, RunsEveryJobExactlyOnce) {
   std::atomic<int> count{0};
   {

@@ -326,7 +326,7 @@ TEST(VccBatchTest, NegativeJobsIsDiagnosed) {
   BatchOptions options;
   options.jobs = -3;
   const BatchResult result = run_batch(dir.path(), options);
-  EXPECT_NE(result.exit_code, 0);
+  EXPECT_EQ(result.exit_code, 2);  // usage error, not a compile failure
   EXPECT_EQ(result.total, 0u);  // rejected before any file was touched
   EXPECT_NE(result.summary.find("--jobs must be >= 0"), std::string::npos)
       << result.summary;
@@ -336,8 +336,53 @@ TEST(VccBatchTest, NegativeJobsIsDiagnosed) {
 TEST(VccBatchTest, MissingDirectoryIsDiagnosed) {
   const BatchResult result =
       run_batch("/nonexistent/vcc-batch-dir", BatchOptions{});
-  EXPECT_NE(result.exit_code, 0);
-  EXPECT_NE(result.summary.find("not a directory"), std::string::npos);
+  EXPECT_EQ(result.exit_code, 2);
+  // Diagnostic names the path and the reason.
+  EXPECT_NE(result.summary.find("not a directory"), std::string::npos)
+      << result.summary;
+  EXPECT_NE(result.summary.find("/nonexistent/vcc-batch-dir"),
+            std::string::npos)
+      << result.summary;
+}
+
+TEST(VccBatchTest, PathThatIsARegularFileIsDiagnosedWithReason) {
+  const BatchDir dir("not-a-dir");
+  dir.add("plain.mc", kGoodSource);
+  const std::string file = (fs::path(dir.path()) / "plain.mc").string();
+  const BatchResult result = run_batch(file, BatchOptions{});
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_EQ(result.total, 0u);
+  EXPECT_NE(result.summary.find("not a directory"), std::string::npos)
+      << result.summary;
+  EXPECT_NE(result.summary.find(file), std::string::npos) << result.summary;
+  EXPECT_NE(result.summary.find("regular file"), std::string::npos)
+      << result.summary;
+}
+
+TEST(VccBatchTest, UnreadableFileIsNamedWithReasonAndExits2) {
+  const BatchDir dir("unreadable");
+  dir.add("good.mc", kGoodSource);
+  dir.add("locked.mc", kGoodSource);
+  const fs::path locked = fs::path(dir.path()) / "locked.mc";
+  fs::permissions(locked, fs::perms::none);
+  // Root ignores permission bits; only assert the diagnostic when the file
+  // is actually unreadable in this environment.
+  if (std::ifstream(locked).good()) {
+    fs::permissions(locked, fs::perms::owner_all);
+    GTEST_SKIP() << "cannot make a file unreadable here (running as root)";
+  }
+  const BatchResult result = run_batch(dir.path(), BatchOptions{});
+  fs::permissions(locked, fs::perms::owner_all);
+  EXPECT_EQ(result.exit_code, 2);  // environment error, not a compile error
+  EXPECT_EQ(result.io_errors, 1u);
+  EXPECT_EQ(result.compiled, 1u);
+  bool saw = false;
+  for (const std::string& line : result.lines)
+    if (line.find("locked.mc") != std::string::npos &&
+        line.find("cannot open file") != std::string::npos &&
+        line.find("(") != std::string::npos)
+      saw = true;  // path + strerror reason on one line
+  EXPECT_TRUE(saw);
 }
 
 TEST(VccBatchTest, EmptyDirectoryIsDiagnosed) {
