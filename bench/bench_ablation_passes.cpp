@@ -44,8 +44,9 @@ const std::vector<Arm>& arms() {
 }
 
 std::uint64_t wcet_of_arm(const bench::NodeBundle& bundle, const Arm& arm,
-                          wcet::WcetEngine engine) {
+                          const std::string& target, wcet::WcetEngine engine) {
   driver::CompileOptions copts;
+  copts.target = target;
   copts.disable_passes = arm.disable;
   const driver::Compiled compiled =
       driver::compile_program(bundle.program, arm.config, copts);
@@ -72,9 +73,10 @@ int main(int argc, char** argv) {
   std::map<std::string, std::uint64_t> example;
   for (const auto& bundle : suite) {
     const std::uint64_t full =
-        wcet_of_arm(bundle, arms().front(), flags.wcet_engine);
+        wcet_of_arm(bundle, arms().front(), flags.target, flags.wcet_engine);
     for (const Arm& arm : arms()) {
-      const std::uint64_t w = wcet_of_arm(bundle, arm, flags.wcet_engine);
+      const std::uint64_t w =
+          wcet_of_arm(bundle, arm, flags.target, flags.wcet_engine);
       ratio_sum[arm.label] +=
           static_cast<double>(w) / static_cast<double>(full);
       if (bundle.node.name() == "node0") example[arm.label] = w;

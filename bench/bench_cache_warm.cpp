@@ -71,6 +71,7 @@ int main(int argc, char** argv) {
   const std::vector<driver::FleetUnit> units = bench::to_fleet_units(suite);
 
   driver::FleetOptions options;
+  options.target = flags.target;
   options.jobs = flags.jobs;
   options.exec_cycles = 50;
   options.wcet = true;

@@ -161,6 +161,10 @@ inline std::string fmt_pct(double pct, int width = 8) {
 
 /// Command-line flags shared by the fleet-driven bench binaries.
 struct BenchFlags {
+  // --target=ppc|rv32: target ISA for every fleet compile. Strict: an
+  // unknown or empty name exits 2 — a campaign silently measuring the wrong
+  // ISA would poison every cross-target table built from its report.
+  std::string target = "ppc";
   int jobs = 0;   // --jobs=N  worker threads (0 = hardware concurrency)
   int nodes = 0;  // --nodes=N suite size (0 = the binary's default)
   int cache_budget_mb = 0;  // --cache-budget-mb=N LRU budget (0 = unlimited)
@@ -202,6 +206,17 @@ inline BenchFlags parse_bench_flags(int argc, char** argv,
                    "hardware thread, or pass an explicit count >= 1\n",
                    bench_name);
       std::exit(2);
+    }
+    if (starts_with(arg, "--target=")) {
+      const std::string name = arg.substr(9);
+      const auto target = tools::parse_target_name(name);
+      if (!target) {
+        std::fprintf(stderr, "%s: unknown target '%s'\n", bench_name,
+                     name.c_str());
+        std::exit(2);
+      }
+      flags.target = *target;
+      continue;
     }
     if (starts_with(arg, "--monitor=")) {
       const std::string name = arg.substr(10);
@@ -279,7 +294,8 @@ inline BenchFlags parse_bench_flags(int argc, char** argv,
     if (slot == nullptr || rest.empty() || *end != '\0' || v < 0 ||
         v > 1000000) {
       std::fprintf(stderr,
-                   "%s: bad argument '%s'\nusage: %s [--jobs=N] [--nodes=N] "
+                   "%s: bad argument '%s'\nusage: %s [--target=ppc|rv32] "
+                   "[--jobs=N] [--nodes=N] "
                    "[--cache-dir=DIR] [--cache-budget-mb=N] "
                    "[--report-json=FILE] [--validate[=off|rtl|full]] "
                    "[--wcet-engine=structural|ipet|both] "

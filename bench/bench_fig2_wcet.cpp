@@ -36,6 +36,7 @@ int main(int argc, char** argv) {
 
   const auto store = bench::open_bench_store(flags);
   driver::FleetOptions options;
+  options.target = flags.target;
   options.jobs = flags.jobs;
   options.wcet = true;
   options.wcet_engine = flags.wcet_engine;

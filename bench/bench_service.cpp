@@ -102,6 +102,7 @@ ArmResult run_arm(const std::string& arm, const std::string& socket_path,
         job.source = jobs[i].source;
         job.entry = jobs[i].entry;
         job.config = driver::Config::Verified;
+        job.target = flags.target;
         job.exec_cycles = 50;
         job.wcet = true;
         job.wcet_engine = flags.wcet_engine;
@@ -243,6 +244,7 @@ int main(int argc, char** argv) {
     units.push_back(std::move(unit));
   }
   driver::FleetOptions ref_options;
+  ref_options.target = flags.target;
   ref_options.jobs = 1;
   ref_options.configs = {driver::Config::Verified};
   ref_options.exec_cycles = 50;

@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
 
   const auto store = bench::open_bench_store(flags);
   driver::FleetOptions options;
+  options.target = flags.target;
   options.jobs = flags.jobs;
   options.exec_cycles = 30;
   options.cold_caches = true;  // unknown initial cache state, like the analysis

@@ -38,4 +38,25 @@ for b in "$dir"/bench_*; do
     status=1
   fi
 done
+
+# The rv32 stanza: every fleet bench once more on the second target, so a
+# backend regression cannot hide behind the ppc default. bench_micro rejects
+# foreign flags and bench_crosstarget already iterates every registered
+# target, so both are skipped here.
+for b in "$dir"/bench_*; do
+  [ -x "$b" ] || continue
+  case "$(basename "$b")" in
+    bench_micro|bench_crosstarget) continue ;;
+    bench_service)
+      flags="--nodes=4 --jobs=2 --clients=2 --shards=2 --target=rv32 $extra" ;;
+    *)
+      flags="--nodes=4 --jobs=2 --target=rv32 $extra" ;;
+  esac
+  echo "=== smoke (rv32): $(basename "$b") ==="
+  # shellcheck disable=SC2086
+  if ! "$b" $flags > /dev/null; then
+    echo "smoke.sh: $(basename "$b") --target=rv32 FAILED" >&2
+    status=1
+  fi
+done
 exit $status

@@ -106,10 +106,11 @@ bool read_sym_map(Reader* r, std::map<std::string, std::uint32_t>* m) {
 
 }  // namespace
 
-std::vector<std::uint8_t> serialize_image(const ppc::Image& image) {
+std::vector<std::uint8_t> serialize_image(const mach::Image& image) {
   Writer w;
   w.u32(kMagic);
   w.u32(kImageFormatVersion);
+  w.str(image.target);
 
   w.u32(static_cast<std::uint32_t>(image.words.size()));
   for (const std::uint32_t word : image.words) w.u32(word);
@@ -119,11 +120,11 @@ std::vector<std::uint8_t> serialize_image(const ppc::Image& image) {
   write_sym_map(&w, image.global_addr);
 
   w.u32(static_cast<std::uint32_t>(image.annotations.size()));
-  for (const ppc::AnnotEntry& a : image.annotations) {
+  for (const mach::AnnotEntry& a : image.annotations) {
     w.u32(a.addr);
     w.str(a.format);
     w.u32(static_cast<std::uint32_t>(a.operands.size()));
-    for (const ppc::MLoc& op : a.operands) {
+    for (const mach::MLoc& op : a.operands) {
       w.u8(static_cast<std::uint8_t>(op.kind));
       w.i32(op.index);
       w.i32(op.offset);
@@ -144,6 +145,10 @@ ImageParse deserialize_image(const std::vector<std::uint8_t>& bytes) {
   }
   if (!r.u32(&version) || version != kImageFormatVersion) {
     out.error = "unsupported image format version";
+    return out;
+  }
+  if (!r.str(&out.image.target)) {
+    out.error = "bad target name";
     return out;
   }
 
@@ -185,7 +190,7 @@ ImageParse deserialize_image(const std::vector<std::uint8_t>& bytes) {
   }
   out.image.annotations.resize(annot_count);
   for (std::uint32_t i = 0; i < annot_count; ++i) {
-    ppc::AnnotEntry& a = out.image.annotations[i];
+    mach::AnnotEntry& a = out.image.annotations[i];
     std::uint32_t op_count = 0;
     if (!r.u32(&a.addr) || !r.str(&a.format) || !r.u32(&op_count) ||
         op_count > kMaxElems) {
@@ -194,7 +199,7 @@ ImageParse deserialize_image(const std::vector<std::uint8_t>& bytes) {
     }
     a.operands.resize(op_count);
     for (std::uint32_t j = 0; j < op_count; ++j) {
-      ppc::MLoc& op = a.operands[j];
+      mach::MLoc& op = a.operands[j];
       std::uint8_t kind = 0;
       std::uint8_t is_f64 = 0;
       if (!r.u8(&kind) || kind > 2 || !r.i32(&op.index) || !r.i32(&op.offset) ||
@@ -202,7 +207,7 @@ ImageParse deserialize_image(const std::vector<std::uint8_t>& bytes) {
         out.error = "bad annotation operand";
         return out;
       }
-      op.kind = static_cast<ppc::MLoc::Kind>(kind);
+      op.kind = static_cast<mach::MLoc::Kind>(kind);
       op.is_f64 = is_f64 != 0;
     }
   }
@@ -214,13 +219,13 @@ ImageParse deserialize_image(const std::vector<std::uint8_t>& bytes) {
   return out;
 }
 
-std::string annotation_text(const ppc::Image& image) {
+std::string annotation_text(const mach::Image& image) {
   std::string out;
-  for (const ppc::AnnotEntry& a : image.annotations) {
+  for (const mach::AnnotEntry& a : image.annotations) {
     out += hex32(a.addr);
     out += "  ";
     out += a.format;
-    for (const ppc::MLoc& op : a.operands) {
+    for (const mach::MLoc& op : a.operands) {
       out += "  ";
       out += op.to_string();
     }

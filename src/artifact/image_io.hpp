@@ -1,4 +1,4 @@
-// Binary serialization of linked images (ppc::Image) for the artifact store:
+// Binary serialization of linked images (mach::Image) for the artifact store:
 // a cached compile is only useful if the *executable* — code words, initial
 // data, symbol tables, and the annotation table the WCET analyzer consumes —
 // round-trips exactly. The format is explicit little-endian with a magic and
@@ -11,21 +11,21 @@
 #include <string>
 #include <vector>
 
-#include "ppc/program.hpp"
+#include "mach/program.hpp"
 
 namespace vc::artifact {
 
 /// Current serialization format version; bump on any layout change so old
 /// store entries miss instead of mis-parse.
-inline constexpr std::uint32_t kImageFormatVersion = 1;
+inline constexpr std::uint32_t kImageFormatVersion = 2;
 
 /// Serializes `image` to the versioned binary format.
-std::vector<std::uint8_t> serialize_image(const ppc::Image& image);
+std::vector<std::uint8_t> serialize_image(const mach::Image& image);
 
 /// Deserialization outcome: the image, or a diagnostic. Never throws —
 /// malformed cache bytes are expected input for the store's fallback path.
 struct ImageParse {
-  ppc::Image image;
+  mach::Image image;
   std::string error;  // empty on success
   [[nodiscard]] bool ok() const { return error.empty(); }
 };
@@ -36,6 +36,6 @@ ImageParse deserialize_image(const std::vector<std::uint8_t>& bytes);
 /// file" of the paper's §3.4 flow (one line per entry: address, format,
 /// operand locations). Stored next to image.bin for debuggability; the
 /// authoritative copy the analyzer consumes lives inside image.bin.
-std::string annotation_text(const ppc::Image& image);
+std::string annotation_text(const mach::Image& image);
 
 }  // namespace vc::artifact

@@ -80,7 +80,8 @@ class ArtifactStore {
   /// fields are length-framed, so no two distinct tuples share a digest by
   /// concatenation.
   static Hash128 make_key(std::string_view source, std::string_view entry,
-                          std::string_view config, bool annotations,
+                          std::string_view config, std::string_view target,
+                          bool annotations,
                           std::string_view compiler_version);
 
   struct Loaded {

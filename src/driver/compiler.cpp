@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "mach/target.hpp"
 #include "rtl/lower.hpp"
 #include "support/diagnostics.hpp"
 
@@ -94,9 +95,10 @@ Compiled compile_program(const minic::Program& program, Config config,
       config == Config::O0Pattern || config == Config::O1NoRegalloc;
   const pass::Registry registry = pass::Registry::builtin();
   const std::vector<std::string> names = resolve_pipeline(config, options);
+  const mach::TargetDesc& target = mach::target_by_name(options.target);
 
-  ppc::DataLayout layout(program);
-  std::vector<ppc::MachineFunction> machine_fns;
+  mach::DataLayout layout(program);
+  std::vector<mach::MachineFunction> machine_fns;
 
   for (const auto& src_fn : program.functions) {
     FunctionArtifact art;
@@ -113,6 +115,7 @@ Compiled compile_program(const minic::Program& program, Config config,
     // O2-full allocates scheduling-aware (spread colors so the list
     // scheduler is not fenced in by recycled registers).
     state.spread_colors = config == Config::O2Full;
+    state.target = &target;
 
     pass::ManagerOptions manager_options;
     manager_options.stats = options.stats;
@@ -139,11 +142,12 @@ Compiled compile_program(const minic::Program& program, Config config,
                                     std::move(manager_options));
     manager.run(state);
 
-    machine_fns.push_back(ppc::finalize(state.machine));
+    machine_fns.push_back(mach::finalize(state.machine));
     out.artifacts.emplace(src_fn.name, std::move(art));
   }
 
-  out.image = ppc::link(machine_fns, layout);
+  out.image = mach::link(machine_fns, layout);
+  out.image.target = target.name;
   return out;
 }
 

@@ -27,8 +27,8 @@
 
 #include "minic/ast.hpp"
 #include "pass/pass.hpp"
-#include "ppc/codegen.hpp"
-#include "ppc/program.hpp"
+#include "mach/codegen.hpp"
+#include "mach/program.hpp"
 #include "rtl/rtl.hpp"
 
 namespace vc::driver {
@@ -70,7 +70,7 @@ std::string to_string(ValidateLevel level);
 /// bump it with any change that can alter generated code, annotations, or
 /// WCET analysis results, so stale cached artifacts miss instead of
 /// resurfacing output of an older toolchain.
-inline constexpr const char kCompilerVersion[] = "vcflight-5";
+inline constexpr const char kCompilerVersion[] = "vcflight-6";
 inline constexpr Config kAllConfigs[] = {Config::O0Pattern,
                                          Config::O1NoRegalloc,
                                          Config::Verified, Config::O2Full};
@@ -91,12 +91,15 @@ struct FunctionArtifact {
 
 struct Compiled {
   Config config{};
-  ppc::Image image;
+  mach::Image image;
   std::map<std::string, FunctionArtifact> artifacts;
 };
 
 /// The pipeline surface of one compilation.
 struct CompileOptions {
+  /// Target to compile for (resolved against the registry in src/targets;
+  /// CompileError on unknown names). The produced image is tagged with it.
+  std::string target = "ppc";
   /// Fired after every applied step with before/after IR snapshots; the
   /// attachment point for the translation validator (src/validate). Returns
   /// the number of checks performed; may throw ValidationError.

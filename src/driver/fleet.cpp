@@ -130,7 +130,7 @@ void record_from_stanza(const json::Value& doc, const json::Value& stanza,
 }
 
 /// Runs the execution phase against `image`, accumulating into `record`.
-void run_exec_phase(const FleetUnit& unit, const ppc::Image& image,
+void run_exec_phase(const FleetUnit& unit, const mach::Image& image,
                     std::uint64_t input_seed, const FleetOptions& options,
                     FleetRecord* record) {
   const auto t_exec = Clock::now();
@@ -193,7 +193,7 @@ void run_exec_phase(const FleetUnit& unit, const ppc::Image& image,
 }
 
 /// Runs the WCET phase against `image`, filling `record`'s bound fields.
-void run_wcet_phase(const FleetUnit& unit, const ppc::Image& image,
+void run_wcet_phase(const FleetUnit& unit, const mach::Image& image,
                     const FleetOptions& options, FleetRecord* record) {
   const auto t_wcet = Clock::now();
   wcet::WcetOptions wopts;
@@ -238,12 +238,13 @@ void run_job(const FleetUnit& unit, Config config, std::uint64_t input_seed,
         options.compile_override ? nullptr : options.store;
     Hash128 key;
     json::Value cached_doc;
-    ppc::Image cached_image;
+    mach::Image cached_image;
     bool have_image = false;
 
     if (store != nullptr) {
       key = artifact::ArtifactStore::make_key(*source, unit.entry,
                                               to_string(config),
+                                              options.target,
                                               options.use_annotations,
                                               kCompilerVersion);
       const auto t_lookup = Clock::now();
@@ -277,13 +278,14 @@ void run_job(const FleetUnit& unit, Config config, std::uint64_t input_seed,
     if (!have_image) {
       const auto t_compile = Clock::now();
       CompileOptions copts;
+      copts.target = options.target;
       copts.stats = &record->pass_stats;
       compiled = options.compile_override
                      ? options.compile_override(*unit.program, config, copts)
                      : compile_program(*unit.program, config, copts);
       record->compile_seconds = seconds_since(t_compile);
     }
-    const ppc::Image& image = have_image ? cached_image : compiled.image;
+    const mach::Image& image = have_image ? cached_image : compiled.image;
     // Compile-only units may carry no entry; the whole image size is the
     // meaningful code metric then.
     record->code_bytes =
@@ -317,6 +319,7 @@ void run_job(const FleetUnit& unit, Config config, std::uint64_t input_seed,
         json::Value info;
         info["unit"] = json::Value(unit.name);
         info["config"] = json::Value(to_string(config));
+        info["target"] = json::Value(options.target);
         info["annotations"] = json::Value(options.use_annotations);
         info["compiler_version"] = json::Value(kCompilerVersion);
         info["source_bytes"] =
@@ -449,6 +452,7 @@ FleetReport run_fleet(const std::vector<FleetUnit>& units,
                     : static_cast<int>(ThreadPool::default_worker_count());
   report.records.resize(units.size() * options.configs.size());
   report.cache_enabled = options.store != nullptr;
+  report.target = options.target;
   report.wcet_engine = options.wcet_engine;
   report.monitor_mode = options.monitor;
 

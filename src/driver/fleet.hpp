@@ -45,6 +45,9 @@ struct FleetUnit {
 };
 
 struct FleetOptions {
+  /// Target ISA every job compiles for (resolved against src/targets;
+  /// CompileError on unknown names, recorded per job).
+  std::string target = "ppc";
   /// Worker threads; 0 = one per hardware thread, 1 = serial on the caller.
   /// Negative values are rejected by run_fleet (std::invalid_argument).
   int jobs = 0;
@@ -79,7 +82,8 @@ struct FleetOptions {
   /// Rng(seed_for(suite_seed, i)) regardless of config and worker count.
   std::uint64_t suite_seed = 7;
   /// Optional content-addressed artifact store. When set, every job first
-  /// looks up its (source, entry, config, annotations, compiler-version)
+  /// looks up its (source, entry, config, target, annotations,
+  /// compiler-version)
   /// key: a full hit replays the cached results without compiling; an
   /// image-only hit (same compile, different run parameters) reuses the
   /// cached executable and recomputes just execution/WCET; a miss compiles
@@ -149,6 +153,7 @@ struct FleetReport {
   /// units.size() * configs.size() records, unit-major then config, in the
   /// order given to run_fleet.
   std::vector<FleetRecord> records;
+  std::string target;  // the campaign's target ISA
   std::size_t units = 0;
   std::size_t configs = 0;
   int jobs = 0;             // worker count actually used
@@ -185,7 +190,7 @@ struct FleetReport {
 
   /// Service-layer counters (vccd): zero/disabled for plain in-process
   /// campaigns. A report assembled from daemon replies sets `enabled` and
-  /// the serving-side stats, which land in the schema-v5 "service" stanza.
+  /// the serving-side stats, which land in the schema-v6 "service" stanza.
   struct ServiceStats {
     bool enabled = false;
     int shards = 0;                      // 0 = single-process daemon

@@ -86,8 +86,10 @@ json::Value to_json(const FleetReport& report) {
   // monitor_violations) and the header's "monitor" mode/aggregate stanza.
   // v5: the header's "service" stanza (vccd daemon campaigns: shard count,
   // request/queue counters, incremental-recompilation hits).
-  doc["schema"] = json::Value("vcflight-fleet-report-v5");
+  // v6: the header's "target" field (the campaign's target ISA).
+  doc["schema"] = json::Value("vcflight-fleet-report-v6");
   doc["compiler_version"] = json::Value(kCompilerVersion);
+  doc["target"] = json::Value(report.target);
   doc["units"] = json::Value(static_cast<std::uint64_t>(report.units));
   doc["configs"] = json::Value(static_cast<std::uint64_t>(report.configs));
   doc["jobs"] = json::Value(static_cast<std::int64_t>(report.jobs));

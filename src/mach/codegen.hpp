@@ -1,51 +1,38 @@
-// RTL -> machine code generation.
+// RTL -> machine code generation, target-neutral half.
 //
-// Emission produces an AsmFunction: machine instructions with symbolic branch
+// Lowering produces an AsmFunction: machine instructions with symbolic branch
 // labels and data relocations still attached, so that the optional machine
 // level passes (peephole fusion, list scheduling — the O2-full extras) can
 // transform the code before displacements are resolved. `finalize` turns an
 // AsmFunction into a linkable MachineFunction.
 //
-// Register convention (see isa.hpp): colors map to r14..r31 / f14..f31;
-// r11/r12 and f12/f13 are emission scratch; r3../f1.. carry arguments;
-// results return in r3 / f1; r1 is the stack pointer, r2 the data base.
+// The instruction selection itself is per-target: `emit_function` dispatches
+// to the descriptor's lowering hook (src/targets/<name>/lower.cpp), which
+// maps allocator colors to machine registers and RTL operations to the
+// target's legal subset of the universal op set.
 #pragma once
 
-#include "ppc/program.hpp"
+#include "mach/program.hpp"
+#include "mach/target.hpp"
 #include "regalloc/regalloc.hpp"
 #include "rtl/rtl.hpp"
 
-namespace vc::ppc {
-
-constexpr int kFirstAllocGpr = 14;
-constexpr int kFirstAllocFpr = 14;
-constexpr int kAllocatableGprs = 18;  // r14..r31
-constexpr int kAllocatableFprs = 18;  // f14..f31
-constexpr int kScratchGpr0 = 11;
-constexpr int kScratchGpr1 = 12;
-constexpr int kScratchFpr0 = 12;
-constexpr int kScratchFpr1 = 13;
-constexpr int kStackPtr = 1;
-constexpr int kDataBasePtr = 2;
-constexpr int kFirstArgGpr = 3;   // r3..r10
-constexpr int kFirstArgFpr = 1;   // f1..f8
-constexpr int kRetGpr = 3;
-constexpr int kRetFpr = 1;
+namespace vc::mach {
 
 /// One assembly-level operation with link-time attachments.
 struct AsmOp {
   MInstr ins;
-  int target_label = -1;    // B/Bc: symbolic target (block id)
+  int target_label = -1;    // branches: symbolic target (block id)
   std::string reloc_sym;    // non-empty: imm patched with sym+addend at link
   std::int32_t reloc_addend = 0;
   RelocKind reloc_kind = RelocKind::DataDisp;
 };
 
 /// Addressing discipline for globals and the constant pool.
-/// The default compiler (all three configurations) uses r2-based small-data
+/// The default compiler (all three configurations) uses small-data base
 /// addressing; the verified configuration does not (paper §3.3: "CompCert's
 /// recent support for small data areas was not used in the evaluation, while
-/// it is used by the default compiler") and pays a lis/@ha + @l pair per
+/// it is used by the default compiler") and pays an absolute hi/lo pair per
 /// access instead.
 struct EmitOptions {
   bool small_data_area = true;
@@ -63,11 +50,12 @@ struct AsmFunction {
   [[nodiscard]] std::size_t label_pos(int label) const;
 };
 
-/// Emits machine code for an allocated RTL function. Constant-pool doubles
-/// are registered in `layout`.
+/// Emits machine code for an allocated RTL function by dispatching to the
+/// target's lowering hook. Constant-pool doubles are registered in `layout`.
 AsmFunction emit_function(const rtl::Function& fn,
                           const regalloc::Allocation& alloc,
-                          DataLayout& layout, EmitOptions options = {});
+                          DataLayout& layout, const TargetDesc& desc,
+                          const EmitOptions& options = {});
 
 /// Resolves branch displacements and produces a linkable MachineFunction.
 MachineFunction finalize(const AsmFunction& asm_fn);
@@ -76,13 +64,13 @@ MachineFunction finalize(const AsmFunction& asm_fn);
 /// (an assembler-level cleanup). Returns number removed.
 int remove_self_moves(AsmFunction& fn);
 
-/// O2-full peepholes: fmadd/fmsub fusion, li+cmpw -> cmpwi, li+add -> addi.
-/// Returns the number of rewrites.
-int peephole(AsmFunction& fn);
+/// O2-full peepholes, gated by the descriptor's rule set: multiply-add
+/// fusion, li+cmpw -> cmpwi, li+add -> addi. Returns the number of rewrites.
+int peephole(AsmFunction& fn, const TargetDesc& desc);
 
 /// O2-full list scheduler: reorders instructions within branch/label-free
-/// regions to hide latencies, using the shared timing model. Returns the
-/// number of ops whose position changed.
-int schedule(AsmFunction& fn);
+/// regions to hide latencies, using the descriptor's timing model. Returns
+/// the number of ops whose position changed.
+int schedule(AsmFunction& fn, const TargetDesc& desc);
 
-}  // namespace vc::ppc
+}  // namespace vc::mach

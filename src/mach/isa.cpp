@@ -1,64 +1,74 @@
-#include "ppc/isa.hpp"
+#include "mach/isa.hpp"
 
 #include <array>
 
 #include "support/strings.hpp"
 
-namespace vc::ppc {
+namespace vc::mach {
 namespace {
 
 enum class Format {
-  Reg3,    // rd, ra, rb, rc
-  RegImm,  // rd, ra, imm16
-  Rlwinm,  // rd, ra, sh, mb, me
-  Cmp,     // crf, ra, rb
-  CmpImm,  // crf, ra, imm16
-  Cror,    // crbd, crba, crbb
-  Mfcr,    // rd
-  B,       // disp26
-  Bc,      // crbit, expect, disp16
-  None,    // blr, nop
+  Reg3,        // rd, ra, rb, rc
+  RegImm,      // rd, ra, imm16
+  RegImmWide,  // rd, imm21 (lui's simm20 fits with a sign bit to spare)
+  Rlwinm,      // rd, ra, sh, mb, me
+  Cmp,         // crf, ra, rb
+  CmpImm,      // crf, ra, imm16
+  CmpBranch,   // ra, rb, disp16 (fused compare-and-branch)
+  Cror,        // crbd, crba, crbb
+  Mfcr,        // rd
+  B,           // disp26
+  Bc,          // crbit, expect, disp16
+  None,        // blr, nop
 };
 
-Format format_of(POp op) {
+Format format_of(MOp op) {
   switch (op) {
-    case POp::Li: case POp::Lis: case POp::Ori: case POp::Xori:
-    case POp::Addi: case POp::Mr:
-    case POp::Lwz: case POp::Stw: case POp::Lfd: case POp::Stfd:
+    case MOp::Li: case MOp::Lis: case MOp::Ori: case MOp::Xori:
+    case MOp::Addi: case MOp::Mr:
+    case MOp::Lwz: case MOp::Stw: case MOp::Lfd: case MOp::Stfd:
+    case MOp::Slli: case MOp::Sltiu:
       return Format::RegImm;
-    case POp::Add: case POp::Subf: case POp::Mullw: case POp::Divw:
-    case POp::And: case POp::Or: case POp::Xor: case POp::Nor:
-    case POp::Neg: case POp::Slw: case POp::Sraw: case POp::Srw:
-    case POp::Fadd: case POp::Fsub: case POp::Fmul: case POp::Fdiv:
-    case POp::Fmadd: case POp::Fmsub:
-    case POp::Fneg: case POp::Fabs: case POp::Fmr:
-    case POp::Fcti: case POp::Icvf:
-    case POp::Lwzx: case POp::Stwx: case POp::Lfdx: case POp::Stfdx:
+    case MOp::Lui:
+      return Format::RegImmWide;
+    case MOp::Add: case MOp::Subf: case MOp::Mullw: case MOp::Divw:
+    case MOp::And: case MOp::Or: case MOp::Xor: case MOp::Nor:
+    case MOp::Neg: case MOp::Slw: case MOp::Sraw: case MOp::Srw:
+    case MOp::Fadd: case MOp::Fsub: case MOp::Fmul: case MOp::Fdiv:
+    case MOp::Fmadd: case MOp::Fmsub:
+    case MOp::Fneg: case MOp::Fabs: case MOp::Fmr:
+    case MOp::Fcti: case MOp::Icvf:
+    case MOp::Lwzx: case MOp::Stwx: case MOp::Lfdx: case MOp::Stfdx:
+    case MOp::Sll: case MOp::Srl: case MOp::Sra:
+    case MOp::Slt: case MOp::Sltu: case MOp::Rem:
+    case MOp::Feq: case MOp::Flt: case MOp::Fle:
       return Format::Reg3;
-    case POp::Rlwinm:
+    case MOp::Rlwinm:
       return Format::Rlwinm;
-    case POp::Cmpw: case POp::Fcmpu:
+    case MOp::Cmpw: case MOp::Fcmpu:
       return Format::Cmp;
-    case POp::Cmpwi:
+    case MOp::Cmpwi:
       return Format::CmpImm;
-    case POp::Cror:
+    case MOp::Cror:
       return Format::Cror;
-    case POp::Mfcr:
+    case MOp::Mfcr:
       return Format::Mfcr;
-    case POp::B:
+    case MOp::B:
       return Format::B;
-    case POp::Bc:
+    case MOp::Bc:
       return Format::Bc;
-    case POp::Blr: case POp::Nop:
+    case MOp::Beq: case MOp::Bne: case MOp::Blt: case MOp::Bge:
+      return Format::CmpBranch;
+    case MOp::Blr: case MOp::Nop:
       return Format::None;
   }
-  throw InternalError("bad POp");
+  throw InternalError("bad MOp");
 }
 
-bool imm_is_signed(POp op) {
+bool imm_is_signed(MOp op) {
   switch (op) {
-    case POp::Ori:
-    case POp::Xori:
+    case MOp::Ori:
+    case MOp::Xori:
       return false;
     default:
       return true;
@@ -80,85 +90,101 @@ bool MInstr::operator==(const MInstr& o) const {
          crbit == o.crbit && expect == o.expect && disp == o.disp;
 }
 
-std::string mnemonic(POp op) {
+std::string mnemonic(MOp op) {
   switch (op) {
-    case POp::Li: return "li";
-    case POp::Lis: return "lis";
-    case POp::Ori: return "ori";
-    case POp::Xori: return "xori";
-    case POp::Addi: return "addi";
-    case POp::Mr: return "mr";
-    case POp::Add: return "add";
-    case POp::Subf: return "subf";
-    case POp::Mullw: return "mullw";
-    case POp::Divw: return "divw";
-    case POp::And: return "and";
-    case POp::Or: return "or";
-    case POp::Xor: return "xor";
-    case POp::Nor: return "nor";
-    case POp::Neg: return "neg";
-    case POp::Slw: return "slw";
-    case POp::Sraw: return "sraw";
-    case POp::Srw: return "srw";
-    case POp::Rlwinm: return "rlwinm";
-    case POp::Cmpw: return "cmpw";
-    case POp::Cmpwi: return "cmpwi";
-    case POp::Fcmpu: return "fcmpu";
-    case POp::Cror: return "cror";
-    case POp::Mfcr: return "mfcr";
-    case POp::Fadd: return "fadd";
-    case POp::Fsub: return "fsub";
-    case POp::Fmul: return "fmul";
-    case POp::Fdiv: return "fdiv";
-    case POp::Fmadd: return "fmadd";
-    case POp::Fmsub: return "fmsub";
-    case POp::Fneg: return "fneg";
-    case POp::Fabs: return "fabs";
-    case POp::Fmr: return "fmr";
-    case POp::Fcti: return "fcti";
-    case POp::Icvf: return "icvf";
-    case POp::Lwz: return "lwz";
-    case POp::Stw: return "stw";
-    case POp::Lwzx: return "lwzx";
-    case POp::Stwx: return "stwx";
-    case POp::Lfd: return "lfd";
-    case POp::Stfd: return "stfd";
-    case POp::Lfdx: return "lfdx";
-    case POp::Stfdx: return "stfdx";
-    case POp::B: return "b";
-    case POp::Bc: return "bc";
-    case POp::Blr: return "blr";
-    case POp::Nop: return "nop";
+    case MOp::Li: return "li";
+    case MOp::Lis: return "lis";
+    case MOp::Ori: return "ori";
+    case MOp::Xori: return "xori";
+    case MOp::Addi: return "addi";
+    case MOp::Mr: return "mr";
+    case MOp::Add: return "add";
+    case MOp::Subf: return "subf";
+    case MOp::Mullw: return "mullw";
+    case MOp::Divw: return "divw";
+    case MOp::And: return "and";
+    case MOp::Or: return "or";
+    case MOp::Xor: return "xor";
+    case MOp::Nor: return "nor";
+    case MOp::Neg: return "neg";
+    case MOp::Slw: return "slw";
+    case MOp::Sraw: return "sraw";
+    case MOp::Srw: return "srw";
+    case MOp::Rlwinm: return "rlwinm";
+    case MOp::Cmpw: return "cmpw";
+    case MOp::Cmpwi: return "cmpwi";
+    case MOp::Fcmpu: return "fcmpu";
+    case MOp::Cror: return "cror";
+    case MOp::Mfcr: return "mfcr";
+    case MOp::Fadd: return "fadd";
+    case MOp::Fsub: return "fsub";
+    case MOp::Fmul: return "fmul";
+    case MOp::Fdiv: return "fdiv";
+    case MOp::Fmadd: return "fmadd";
+    case MOp::Fmsub: return "fmsub";
+    case MOp::Fneg: return "fneg";
+    case MOp::Fabs: return "fabs";
+    case MOp::Fmr: return "fmr";
+    case MOp::Fcti: return "fcti";
+    case MOp::Icvf: return "icvf";
+    case MOp::Lwz: return "lwz";
+    case MOp::Stw: return "stw";
+    case MOp::Lwzx: return "lwzx";
+    case MOp::Stwx: return "stwx";
+    case MOp::Lfd: return "lfd";
+    case MOp::Stfd: return "stfd";
+    case MOp::Lfdx: return "lfdx";
+    case MOp::Stfdx: return "stfdx";
+    case MOp::B: return "b";
+    case MOp::Bc: return "bc";
+    case MOp::Blr: return "blr";
+    case MOp::Nop: return "nop";
+    case MOp::Lui: return "lui";
+    case MOp::Sll: return "sll";
+    case MOp::Srl: return "srl";
+    case MOp::Sra: return "sra";
+    case MOp::Slli: return "slli";
+    case MOp::Slt: return "slt";
+    case MOp::Sltu: return "sltu";
+    case MOp::Sltiu: return "sltiu";
+    case MOp::Rem: return "rem";
+    case MOp::Feq: return "feq.d";
+    case MOp::Flt: return "flt.d";
+    case MOp::Fle: return "fle.d";
+    case MOp::Beq: return "beq";
+    case MOp::Bne: return "bne";
+    case MOp::Blt: return "blt";
+    case MOp::Bge: return "bge";
   }
-  throw InternalError("bad POp");
+  throw InternalError("bad MOp");
 }
 
 std::string format_instr(const MInstr& ins, std::uint32_t addr) {
   const std::string m = mnemonic(ins.op);
   auto gpr = [](int r) { return "r" + std::to_string(r); };
   auto fpr = [](int r) { return "f" + std::to_string(r); };
-  const bool fp = (ins.op >= POp::Fadd && ins.op <= POp::Fmr) ||
-                  ins.op == POp::Fcmpu;
+  const bool fp = (ins.op >= MOp::Fadd && ins.op <= MOp::Fmr) ||
+                  ins.op == MOp::Fcmpu;
   auto reg = [&](int r) { return fp ? fpr(r) : gpr(r); };
 
   switch (format_of(ins.op)) {
     case Format::RegImm:
       switch (ins.op) {
-        case POp::Li:
-        case POp::Lis:
+        case MOp::Li:
+        case MOp::Lis:
           return m + " " + gpr(ins.rd) + ", " + std::to_string(ins.imm);
-        case POp::Mr:
+        case MOp::Mr:
           return m + " " + gpr(ins.rd) + ", " + gpr(ins.ra);
-        case POp::Lwz:
+        case MOp::Lwz:
           return m + " " + gpr(ins.rd) + ", " + std::to_string(ins.imm) + "(" +
                  gpr(ins.ra) + ")";
-        case POp::Lfd:
+        case MOp::Lfd:
           return m + " " + fpr(ins.rd) + ", " + std::to_string(ins.imm) + "(" +
                  gpr(ins.ra) + ")";
-        case POp::Stw:
+        case MOp::Stw:
           return m + " " + gpr(ins.rd) + ", " + std::to_string(ins.imm) + "(" +
                  gpr(ins.ra) + ")";
-        case POp::Stfd:
+        case MOp::Stfd:
           return m + " " + fpr(ins.rd) + ", " + std::to_string(ins.imm) + "(" +
                  gpr(ins.ra) + ")";
         default:
@@ -167,26 +193,33 @@ std::string format_instr(const MInstr& ins, std::uint32_t addr) {
       }
     case Format::Reg3:
       switch (ins.op) {
-        case POp::Neg: case POp::Fneg: case POp::Fabs: case POp::Fmr:
+        case MOp::Neg: case MOp::Fneg: case MOp::Fabs: case MOp::Fmr:
           return m + " " + reg(ins.rd) + ", " + reg(ins.ra);
-        case POp::Fcti:
+        case MOp::Fcti:
           return m + " " + gpr(ins.rd) + ", " + fpr(ins.ra);
-        case POp::Icvf:
+        case MOp::Icvf:
           return m + " " + fpr(ins.rd) + ", " + gpr(ins.ra);
-        case POp::Fmadd: case POp::Fmsub:
+        case MOp::Fmadd: case MOp::Fmsub:
           return m + " " + fpr(ins.rd) + ", " + fpr(ins.ra) + ", " +
                  fpr(ins.rb) + ", " + fpr(ins.rc);
-        case POp::Lwzx: case POp::Stwx:
+        case MOp::Lwzx: case MOp::Stwx:
           return m + " " + gpr(ins.rd) + ", " + gpr(ins.ra) + ", " + gpr(ins.rb);
-        case POp::Lfdx: case POp::Stfdx:
+        case MOp::Feq: case MOp::Flt: case MOp::Fle:
+          return m + " " + gpr(ins.rd) + ", " + fpr(ins.ra) + ", " + fpr(ins.rb);
+        case MOp::Lfdx: case MOp::Stfdx:
           return m + " " + fpr(ins.rd) + ", " + gpr(ins.ra) + ", " + gpr(ins.rb);
         default:
           return m + " " + reg(ins.rd) + ", " + reg(ins.ra) + ", " + reg(ins.rb);
       }
+    case Format::RegImmWide:
+      return m + " " + gpr(ins.rd) + ", " + std::to_string(ins.imm);
     case Format::Rlwinm:
       return m + " " + gpr(ins.rd) + ", " + gpr(ins.ra) + ", " +
              std::to_string(ins.sh) + ", " + std::to_string(ins.mb) + ", " +
              std::to_string(ins.me);
+    case Format::CmpBranch:
+      return m + " " + gpr(ins.ra) + ", " + gpr(ins.rb) + ", " +
+             hex32(addr + static_cast<std::uint32_t>(ins.disp) * 4);
     case Format::Cmp:
       return m + " cr" + std::to_string(ins.crf) + ", " + reg(ins.ra) + ", " +
              reg(ins.rb);
@@ -239,12 +272,23 @@ std::uint32_t encode(const MInstr& ins) {
       r5(ins.rb, 11, "rb");
       r5(ins.rc, 6, "rc");
       break;
+    case Format::RegImmWide:
+      r5(ins.rd, 21, "rd");
+      require_fits(ins.imm >= -(1 << 19) && ins.imm < (1 << 19), "simm20");
+      w |= static_cast<std::uint32_t>(ins.imm) & 0x001FFFFF;
+      break;
     case Format::Rlwinm:
       r5(ins.rd, 21, "rd");
       r5(ins.ra, 16, "ra");
       r5(ins.sh, 11, "sh");
       r5(ins.mb, 6, "mb");
       r5(ins.me, 1, "me");
+      break;
+    case Format::CmpBranch:
+      r5(ins.ra, 21, "ra");
+      r5(ins.rb, 16, "rb");
+      require_fits(ins.disp >= -32768 && ins.disp <= 32767, "disp16");
+      w |= static_cast<std::uint32_t>(ins.disp) & 0xFFFF;
       break;
     case Format::Cmp:
       require_fits(ins.crf < 8, "crf");
@@ -285,10 +329,10 @@ std::uint32_t encode(const MInstr& ins) {
 
 MInstr decode(std::uint32_t word) {
   const std::uint32_t opbits = word >> kOpShift;
-  if (opbits > static_cast<std::uint32_t>(POp::Nop))
+  if (opbits >= kNumOps)
     throw CompileError("invalid opcode in instruction word " + hex32(word));
   MInstr ins;
-  ins.op = static_cast<POp>(opbits);
+  ins.op = static_cast<MOp>(opbits);
   auto sext16 = [](std::uint32_t v) {
     return static_cast<std::int32_t>(static_cast<std::int16_t>(v & 0xFFFF));
   };
@@ -305,12 +349,24 @@ MInstr decode(std::uint32_t word) {
       ins.rb = (word >> 11) & 31;
       ins.rc = (word >> 6) & 31;
       break;
+    case Format::RegImmWide: {
+      ins.rd = (word >> 21) & 31;
+      std::uint32_t v = word & 0x001FFFFF;
+      if (v & 0x00100000) v |= 0xFFE00000;  // sign-extend 21 bits
+      ins.imm = static_cast<std::int32_t>(v);
+      break;
+    }
     case Format::Rlwinm:
       ins.rd = (word >> 21) & 31;
       ins.ra = (word >> 16) & 31;
       ins.sh = (word >> 11) & 31;
       ins.mb = (word >> 6) & 31;
       ins.me = (word >> 1) & 31;
+      break;
+    case Format::CmpBranch:
+      ins.ra = (word >> 21) & 31;
+      ins.rb = (word >> 16) & 31;
+      ins.disp = sext16(word);
       break;
     case Format::Cmp:
       ins.crf = (word >> 23) & 7;
@@ -347,18 +403,45 @@ MInstr decode(std::uint32_t word) {
   return ins;
 }
 
-bool is_memory_op(POp op) {
+bool is_memory_op(MOp op) {
   switch (op) {
-    case POp::Lwz: case POp::Stw: case POp::Lwzx: case POp::Stwx:
-    case POp::Lfd: case POp::Stfd: case POp::Lfdx: case POp::Stfdx:
+    case MOp::Lwz: case MOp::Stw: case MOp::Lwzx: case MOp::Stwx:
+    case MOp::Lfd: case MOp::Stfd: case MOp::Lfdx: case MOp::Stfdx:
       return true;
     default:
       return false;
   }
 }
 
-bool is_branch(POp op) {
-  return op == POp::B || op == POp::Bc || op == POp::Blr;
+bool is_branch(MOp op) {
+  return op == MOp::B || op == MOp::Blr || is_cond_branch(op);
 }
 
-}  // namespace vc::ppc
+bool is_cond_branch(MOp op) {
+  switch (op) {
+    case MOp::Bc:
+    case MOp::Beq: case MOp::Bne: case MOp::Blt: case MOp::Bge:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::optional<BranchCond> branch_condition(const MInstr& ins) {
+  switch (ins.op) {
+    case MOp::Bc:
+      return BranchCond{ins.crbit % 4, ins.expect, false};
+    case MOp::Beq:
+      return BranchCond{kEq, true, true};
+    case MOp::Bne:
+      return BranchCond{kEq, false, true};
+    case MOp::Blt:
+      return BranchCond{kLt, true, true};
+    case MOp::Bge:
+      return BranchCond{kLt, false, true};
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace vc::mach

@@ -1,0 +1,151 @@
+// The universal machine instruction set: one op enumeration covering every
+// operation any supported target can execute. Which subset is legal, and
+// with what latencies, units, and registers, is a per-target fact carried by
+// mach::TargetDesc (mach/target.hpp) — shared subsystems (simulator,
+// validators, liveness, scheduling, WCET) switch over the universal op and
+// never over a target name.
+//
+// The first block of ops models the paper's MPC755 (a PowerPC-G3-like
+// 32-bit RISC with an 8-field condition register), with two documented
+// substitutions (DESIGN.md §6): `fcti`/`icvf` perform f64<->i32 conversion
+// directly, and encodings are vcflight's own fixed 32-bit formats (1:1 with
+// the assembly, round-trip tested) rather than bit-exact PowerPC. The
+// second block adds the RV32IMF-flavored operations (compare-and-branch,
+// set-less-than, single-result FP compares writing a GPR) that have no
+// CR-file counterpart. Universal op values are stable: the first block's
+// values predate the multi-target refactor, so images and artifact-store
+// payloads produced for the original target are byte-identical.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/diagnostics.hpp"
+
+namespace vc::mach {
+
+/// Condition-register bit positions within a CR field (PowerPC numbering:
+/// bit 0 of the field is LT). Bit index in the whole CR is crf*4 + bit.
+enum CrBit : int { kLt = 0, kGt = 1, kEq = 2, kSo = 3 };  // kSo = FU for fcmpu
+
+enum class MOp : std::uint8_t {
+  // Integer immediates and moves
+  Li,      // rd <- simm16 (sign-extended)
+  Lis,     // rd <- simm16 << 16
+  Ori,     // rd <- ra | uimm16
+  Xori,    // rd <- ra ^ uimm16
+  Addi,    // rd <- ra + simm16
+  Mr,      // rd <- ra
+
+  // Integer arithmetic / logic (register forms)
+  Add, Subf,  // Subf: rd <- rb - ra (PowerPC convention)
+  Mullw, Divw,
+  And, Or, Xor, Nor,
+  Neg,
+  Slw, Sraw, Srw,
+  Rlwinm,  // rd <- rotl32(ra, sh) & mask(mb, me)
+
+  // Compares and CR manipulation
+  Cmpw,    // crf <- compare(ra, rb) signed
+  Cmpwi,   // crf <- compare(ra, simm16) signed
+  Fcmpu,   // crf <- compare(fa, fb); FU (kSo) set if unordered
+  Cror,    // CR[crbd] <- CR[crba] | CR[crbb]
+  Mfcr,    // rd <- CR (bit 0 of CR is the MSB of rd)
+
+  // Floating point
+  Fadd, Fsub, Fmul, Fdiv,
+  Fmadd,   // fd <- fa * fb + fc   (O2-full only)
+  Fmsub,   // fd <- fa * fb - fc   (O2-full only)
+  Fneg, Fabs, Fmr,
+  Fcti,    // rd(GPR)  <- trunc-to-i32(fa), saturating (substitution)
+  Icvf,    // fd(FPR)  <- (f64) ra(GPR)                (substitution)
+
+  // Memory (d-form: displacement(base); x-form: base + index)
+  Lwz, Stw, Lwzx, Stwx,    // 32-bit GPR loads/stores
+  Lfd, Stfd, Lfdx, Stfdx,  // 64-bit FPR loads/stores
+
+  // Control flow
+  B,    // unconditional, pc-relative word displacement
+  Bc,   // conditional on CR bit: branch if CR[crbit] == expect
+  Blr,  // return (jump to link register; the harness seeds LR)
+
+  Nop,
+
+  // --- RV32IMF-flavored block (no CR file; boolean results land in GPRs,
+  // --- conditional control flow is fused compare-and-branch) --------------
+  Lui,    // rd <- simm20 << 12
+  Sll,    // rd <- ra << (rb & 31)
+  Srl,    // rd <- (u32)ra >> (rb & 31)
+  Sra,    // rd <- (i32)ra >> (rb & 31)
+  Slli,   // rd <- ra << uimm5
+  Slt,    // rd <- (i32)ra < (i32)rb ? 1 : 0
+  Sltu,   // rd <- (u32)ra < (u32)rb ? 1 : 0
+  Sltiu,  // rd <- (u32)ra < (u32)sext(simm) ? 1 : 0
+  Rem,    // rd <- ra rem rb (signed, sign of dividend)
+  Feq,    // rd(GPR) <- fa == fb ? 1 : 0  (0 when unordered)
+  Flt,    // rd(GPR) <- fa <  fb ? 1 : 0  (0 when unordered)
+  Fle,    // rd(GPR) <- fa <= fb ? 1 : 0  (0 when unordered)
+  Beq,    // branch if ra == rb
+  Bne,    // branch if ra != rb
+  Blt,    // branch if (i32)ra < (i32)rb
+  Bge,    // branch if (i32)ra >= (i32)rb
+};
+
+/// Number of universal ops (array-table size for per-target op info).
+inline constexpr std::size_t kNumOps = static_cast<std::size_t>(MOp::Bge) + 1;
+
+std::string mnemonic(MOp op);
+
+/// One machine instruction. Fields are used according to the opcode; unused
+/// fields are zero. `rd/ra/rb` index GPRs or FPRs depending on the opcode.
+struct MInstr {
+  MOp op = MOp::Nop;
+  std::uint8_t rd = 0;
+  std::uint8_t ra = 0;
+  std::uint8_t rb = 0;
+  std::uint8_t rc = 0;        // fmadd/fmsub third operand
+  std::int32_t imm = 0;       // simm16/uimm16/displacement
+  std::uint8_t sh = 0, mb = 0, me = 0;  // rlwinm
+  std::uint8_t crf = 0;       // cmpw/cmpwi/fcmpu
+  std::uint8_t crbd = 0, crba = 0, crbb = 0;  // cror
+  std::uint8_t crbit = 0;     // bc: absolute CR bit index 0..31
+  bool expect = false;        // bc: branch when CR[crbit] == expect
+  std::int32_t disp = 0;      // b/bc: signed word displacement from this instr
+
+  bool operator==(const MInstr& o) const;
+};
+
+/// Assembly text for one instruction at `addr` (used in listings).
+std::string format_instr(const MInstr& ins, std::uint32_t addr);
+
+/// Encodes to the fixed 32-bit vcflight format. Throws InternalError if a
+/// field does not fit (the code generator respects all field widths).
+std::uint32_t encode(const MInstr& ins);
+
+/// Decodes one word. Throws CompileError on an invalid encoding.
+MInstr decode(std::uint32_t word);
+
+/// True if the instruction reads or writes memory.
+bool is_memory_op(MOp op);
+/// True for any control-transfer instruction (b/bc/blr and the
+/// compare-and-branch block).
+bool is_branch(MOp op);
+/// True for conditional branches only (bc, beq/bne/blt/bge).
+bool is_cond_branch(MOp op);
+
+/// The integer relation a conditional branch tests. `rel` is kLt/kGt/kEq;
+/// the branch is taken exactly when (relation holds) == `when_true`. For Bc
+/// the relation refers to the CR field written by the preceding compare (the
+/// caller tracks that compare's operands); for the compare-and-branch ops it
+/// refers to (ra, rb) directly, signalled by `has_operands`.
+struct BranchCond {
+  int rel = kEq;
+  bool when_true = true;
+  bool has_operands = false;
+};
+std::optional<BranchCond> branch_condition(const MInstr& ins);
+
+}  // namespace vc::mach

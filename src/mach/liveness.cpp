@@ -1,20 +1,22 @@
-#include "ppc/liveness.hpp"
+#include "mach/liveness.hpp"
 
 #include <algorithm>
 #include <map>
 
-namespace vc::ppc {
+namespace vc::mach {
 
-MachineLiveness::LiveSet MachineLiveness::abi_escape() {
+MachineLiveness::LiveSet MachineLiveness::abi_escape(const TargetDesc& desc) {
   LiveSet escape;
-  escape.set(1);       // r1 (stack pointer)
-  escape.set(2);       // r2 (data base)
-  escape.set(3);       // r3 (int result)
-  escape.set(32 + 1);  // f1 (float result)
+  escape.set(static_cast<std::size_t>(desc.stack_ptr));
+  escape.set(static_cast<std::size_t>(desc.data_base));
+  escape.set(static_cast<std::size_t>(desc.ret_gpr));
+  escape.set(static_cast<std::size_t>(32 + desc.ret_fpr));
+  if (desc.zero_gpr >= 0) escape.set(static_cast<std::size_t>(desc.zero_gpr));
   return escape;
 }
 
-MachineLiveness::MachineLiveness(const AsmFunction& fn) {
+MachineLiveness::MachineLiveness(const AsmFunction& fn,
+                                 const TargetDesc& desc) {
   const std::size_t n = fn.ops.size();
   live_after_.assign(n, LiveSet());
 
@@ -39,14 +41,14 @@ MachineLiveness::MachineLiveness(const AsmFunction& fn) {
   for (std::size_t b = 0; b < leaders.size(); ++b) {
     const std::size_t last = block_end(b) - 1;
     const AsmOp& op = fn.ops[last];
-    if (op.ins.op == POp::Blr) continue;
+    if (op.ins.op == MOp::Blr) continue;
     if (op.target_label >= 0)
       succs[b].push_back(block_of_leader.at(fn.label_pos(op.target_label)));
-    if (op.ins.op != POp::B && block_end(b) < n)
+    if (op.ins.op != MOp::B && block_end(b) < n)
       succs[b].push_back(block_of_leader.at(block_end(b)));
   }
 
-  const LiveSet escape = abi_escape();
+  const LiveSet escape = abi_escape(desc);
   std::vector<LiveSet> live_in(leaders.size());
   int reads[IssueModel::kMaxResourcesPerInstr];
   int writes[IssueModel::kMaxResourcesPerInstr];
@@ -58,7 +60,7 @@ MachineLiveness::MachineLiveness(const AsmFunction& fn) {
     for (std::size_t b = leaders.size(); b-- > 0;) {
       LiveSet live;
       const std::size_t last = block_end(b) - 1;
-      if (fn.ops[last].ins.op == POp::Blr) live = escape;
+      if (fn.ops[last].ins.op == MOp::Blr) live = escape;
       for (std::size_t s : succs[b]) live |= live_in[s];
       for (std::size_t i = block_end(b); i-- > leaders[b];) {
         live_after_[i] = live;
@@ -77,4 +79,4 @@ MachineLiveness::MachineLiveness(const AsmFunction& fn) {
   }
 }
 
-}  // namespace vc::ppc
+}  // namespace vc::mach

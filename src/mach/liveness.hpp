@@ -1,7 +1,8 @@
 // Machine-level liveness over the AsmFunction CFG (blocks delimited by
 // labels and branches), at the granularity of the shared IssueModel resource
-// indices (GPRs, FPRs, CR fields). At `blr`, only the ABI-escaping registers
-// are live-out: r1 (stack), r2 (data base), r3 and f1 (results).
+// indices (GPRs, FPRs, CR fields). At a return, only the ABI-escaping
+// registers are live-out: the stack pointer, the small-data base, and the
+// two result registers — all read from the target descriptor.
 //
 // Shared by the peephole pass (is the intermediate register of a fused pair
 // dead afterwards?) and the machine-level translation validators in
@@ -12,16 +13,17 @@
 #include <cstddef>
 #include <vector>
 
-#include "ppc/codegen.hpp"
-#include "ppc/timing.hpp"
+#include "mach/codegen.hpp"
+#include "mach/target.hpp"
+#include "mach/timing.hpp"
 
-namespace vc::ppc {
+namespace vc::mach {
 
 class MachineLiveness {
  public:
   using LiveSet = std::bitset<IssueModel::kNumResources>;
 
-  explicit MachineLiveness(const AsmFunction& fn);
+  MachineLiveness(const AsmFunction& fn, const TargetDesc& desc);
 
   /// True if `resource` may be read after executing op `pos`.
   [[nodiscard]] bool live_after(std::size_t pos, int resource) const {
@@ -33,11 +35,12 @@ class MachineLiveness {
     return live_after_[pos];
   }
 
-  /// The registers live across a `blr`: r1, r2, r3, f1.
-  static LiveSet abi_escape();
+  /// The registers live across a return: stack pointer, small-data base,
+  /// and the int/float result registers of `desc`.
+  static LiveSet abi_escape(const TargetDesc& desc);
 
  private:
   std::vector<LiveSet> live_after_;
 };
 
-}  // namespace vc::ppc
+}  // namespace vc::mach

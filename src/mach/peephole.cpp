@@ -5,11 +5,11 @@
 #include <algorithm>
 #include <vector>
 
-#include "ppc/codegen.hpp"
-#include "ppc/liveness.hpp"
-#include "ppc/timing.hpp"
+#include "mach/codegen.hpp"
+#include "mach/liveness.hpp"
+#include "mach/timing.hpp"
 
-namespace vc::ppc {
+namespace vc::mach {
 namespace {
 
 /// Replaces fn.ops[i] with nothing by compacting, preserving labels/annots.
@@ -29,12 +29,12 @@ void compact(AsmFunction& fn, const std::vector<bool>& dead) {
 
 }  // namespace
 
-int peephole(AsmFunction& fn) {
+int peephole(AsmFunction& fn, const TargetDesc& desc) {
   int rewrites = 0;
   std::vector<bool> dead(fn.ops.size(), false);
   // Liveness is computed once per pass; rewrites only remove register reads,
   // so the (then stale) solution stays conservative for later sites.
-  const MachineLiveness live(fn);
+  const MachineLiveness live(fn, desc);
   // "The value in `reg` produced by op i is dead once op i+1 executed":
   // either op i+1 overwrites reg, or reg is not live after op i+1.
   auto value_dead_after_pair = [&](std::size_t i, int reg, bool fpr,
@@ -65,11 +65,12 @@ int peephole(AsmFunction& fn) {
     if (!fn.ops[i].reloc_sym.empty()) continue;
 
     // fmul fT,x,y ; fadd/fsub fD,fT,c  ->  fmadd/fmsub fD,x,y,c.
-    if (a.op == POp::Fmul && (b.op == POp::Fadd || b.op == POp::Fsub) &&
+    if (desc.peephole.fuse_multiply_add &&
+        a.op == MOp::Fmul && (b.op == MOp::Fadd || b.op == MOp::Fsub) &&
         b.ra == a.rd && b.rb != a.rd &&
         value_dead_after_pair(i, a.rd, true, b.rd)) {
       MInstr fused;
-      fused.op = b.op == POp::Fadd ? POp::Fmadd : POp::Fmsub;
+      fused.op = b.op == MOp::Fadd ? MOp::Fmadd : MOp::Fmsub;
       fused.rd = b.rd;
       fused.ra = a.ra;
       fused.rb = a.rb;
@@ -80,10 +81,11 @@ int peephole(AsmFunction& fn) {
       continue;
     }
     // fmul fT,x,y ; fadd fD,c,fT  ->  fmadd fD,x,y,c (addition commutes).
-    if (a.op == POp::Fmul && b.op == POp::Fadd && b.rb == a.rd &&
+    if (desc.peephole.fuse_multiply_add &&
+        a.op == MOp::Fmul && b.op == MOp::Fadd && b.rb == a.rd &&
         b.ra != a.rd && value_dead_after_pair(i, a.rd, true, b.rd)) {
       MInstr fused;
-      fused.op = POp::Fmadd;
+      fused.op = MOp::Fmadd;
       fused.rd = b.rd;
       fused.ra = a.ra;
       fused.rb = a.rb;
@@ -94,10 +96,11 @@ int peephole(AsmFunction& fn) {
       continue;
     }
     // li rT,imm ; cmpw cr,rA,rT  ->  cmpwi cr,rA,imm.
-    if (a.op == POp::Li && b.op == POp::Cmpw && b.rb == a.rd &&
+    if (desc.peephole.fold_cmp_imm &&
+        a.op == MOp::Li && b.op == MOp::Cmpw && b.rb == a.rd &&
         b.ra != a.rd && value_dead_after_pair(i, a.rd, false, -1)) {
       MInstr c;
-      c.op = POp::Cmpwi;
+      c.op = MOp::Cmpwi;
       c.crf = b.crf;
       c.ra = b.ra;
       c.imm = a.imm;
@@ -107,12 +110,14 @@ int peephole(AsmFunction& fn) {
       continue;
     }
     // li rT,imm ; add rD,rA,rT (or rT,rA)  ->  addi rD,rA,imm.
-    if (a.op == POp::Li && b.op == POp::Add &&
+    if (desc.peephole.fold_add_imm &&
+        a.op == MOp::Li && b.op == MOp::Add &&
         (b.rb == a.rd || b.ra == a.rd) && !(b.ra == a.rd && b.rb == a.rd) &&
+        a.imm >= desc.imm_min && a.imm <= desc.imm_max &&
         value_dead_after_pair(i, a.rd, false, b.rd)) {
       const std::uint8_t other = b.rb == a.rd ? b.ra : b.rb;
       MInstr c;
-      c.op = POp::Addi;
+      c.op = MOp::Addi;
       c.rd = b.rd;
       c.ra = other;
       c.imm = a.imm;
@@ -127,4 +132,4 @@ int peephole(AsmFunction& fn) {
   return rewrites;
 }
 
-}  // namespace vc::ppc
+}  // namespace vc::mach

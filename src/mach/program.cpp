@@ -1,11 +1,11 @@
-#include "ppc/program.hpp"
+#include "mach/program.hpp"
 
 #include <bit>
 #include <cstring>
 
 #include "support/strings.hpp"
 
-namespace vc::ppc {
+namespace vc::mach {
 
 std::string MLoc::to_string() const {
   switch (kind) {
@@ -182,6 +182,20 @@ Image link(const std::vector<MachineFunction>& fns, const DataLayout& layout) {
               static_cast<std::int16_t>(addr & 0xFFFF));
           break;
         }
+        case RelocKind::AbsHi20: {
+          const std::uint32_t addr = Image::kDataBase + off;
+          code[r.instr_index].imm =
+              static_cast<std::int32_t>((addr + 0x800) >> 12);
+          break;
+        }
+        case RelocKind::AbsLo12: {
+          const std::uint32_t addr = Image::kDataBase + off;
+          // Sign-extended low 12 bits; the %hi part above compensates.
+          std::int32_t lo = static_cast<std::int32_t>(addr & 0xFFF);
+          if (lo >= 0x800) lo -= 0x1000;
+          code[r.instr_index].imm = lo;
+          break;
+        }
       }
     }
     for (const MInstr& ins : code) image.words.push_back(encode(ins));
@@ -198,4 +212,4 @@ Image link(const std::vector<MachineFunction>& fns, const DataLayout& layout) {
   return image;
 }
 
-}  // namespace vc::ppc
+}  // namespace vc::mach

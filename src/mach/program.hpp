@@ -18,9 +18,9 @@
 #include <vector>
 
 #include "minic/ast.hpp"
-#include "ppc/isa.hpp"
+#include "mach/isa.hpp"
 
-namespace vc::ppc {
+namespace vc::mach {
 
 /// Final location of an annotation operand (paper §3.4: "machine register,
 /// stack slot or global symbol").
@@ -45,11 +45,14 @@ struct AnnotEntry {
 
 /// A fixup against the final address of `sym` plus `addend` bytes
 /// (sym == "$cpool" refers to the constant pool):
-///   DataDisp — imm := data-segment offset (r2/small-data addressing);
+///   DataDisp — imm := data-segment offset (small-data base addressing);
 ///   AbsHa    — imm := high half of the absolute address, adjusted so that a
 ///              following sign-extended low half reconstructs it (@ha);
-///   AbsLo    — imm := signed low half of the absolute address (@l).
-enum class RelocKind { DataDisp, AbsHa, AbsLo };
+///   AbsLo    — imm := signed low half of the absolute address (@l);
+///   AbsHi20  — imm := upper 20 bits, adjusted for a sign-extended 12-bit
+///              low part (lui %hi);
+///   AbsLo12  — imm := signed low 12 bits of the absolute address (%lo).
+enum class RelocKind { DataDisp, AbsHa, AbsLo, AbsHi20, AbsLo12 };
 
 struct Reloc {
   std::size_t instr_index = 0;
@@ -112,6 +115,11 @@ struct Image {
   static constexpr std::uint32_t kStackTop = 0x00200000;
   static constexpr std::uint32_t kStopAddr = 0xDEAD0000;
 
+  /// Name of the target the image was compiled for (self-describing: the
+  /// simulator and WCET analyzer resolve their descriptor from it). Empty
+  /// means the registry's default target (pre-tag images).
+  std::string target;
+
   std::vector<std::uint32_t> words;       // encoded code at kCodeBase
   std::vector<std::uint8_t> data_init;    // initial data segment
   std::map<std::string, std::uint32_t> fn_entry;   // function entry addresses
@@ -136,4 +144,4 @@ struct Image {
 /// range or a symbol is undefined.
 Image link(const std::vector<MachineFunction>& fns, const DataLayout& layout);
 
-}  // namespace vc::ppc
+}  // namespace vc::mach

@@ -6,10 +6,11 @@
 #include <algorithm>
 #include <vector>
 
-#include "ppc/codegen.hpp"
-#include "ppc/timing.hpp"
+#include "mach/codegen.hpp"
+#include "mach/target.hpp"
+#include "mach/timing.hpp"
 
-namespace vc::ppc {
+namespace vc::mach {
 namespace {
 
 struct Node {
@@ -20,7 +21,7 @@ struct Node {
 };
 
 int schedule_region(std::vector<AsmOp>& ops, std::size_t begin,
-                    std::size_t end) {
+                    std::size_t end, const TargetDesc& desc) {
   const std::size_t n = end - begin;
   if (n < 2) return 0;
 
@@ -42,8 +43,8 @@ int schedule_region(std::vector<AsmOp>& ops, std::size_t begin,
     rd[i].assign(reads, reads + n_reads);
     wr[i].assign(writes, writes + n_writes);
     is_mem[i] = is_memory_op(m.op);
-    is_load[i] = m.op == POp::Lwz || m.op == POp::Lwzx || m.op == POp::Lfd ||
-                 m.op == POp::Lfdx;
+    is_load[i] = m.op == MOp::Lwz || m.op == MOp::Lwzx || m.op == MOp::Lfd ||
+                 m.op == MOp::Lfdx;
   }
   auto intersects = [](const std::vector<int>& a, const std::vector<int>& b) {
     for (int x : a)
@@ -69,7 +70,7 @@ int schedule_region(std::vector<AsmOp>& ops, std::size_t begin,
     std::uint32_t best = 0;
     for (std::size_t s : nodes[i].succs)
       best = std::max(best, nodes[s].priority);
-    nodes[i].priority = best + latency_of(ops[begin + i].ins.op);
+    nodes[i].priority = best + desc.latency(ops[begin + i].ins.op);
   }
 
   // Greedy topological order by priority (original index breaks ties, which
@@ -104,7 +105,7 @@ int schedule_region(std::vector<AsmOp>& ops, std::size_t begin,
 
 }  // namespace
 
-int schedule(AsmFunction& fn) {
+int schedule(AsmFunction& fn, const TargetDesc& desc) {
   std::vector<bool> boundary(fn.ops.size() + 1, false);
   boundary[0] = true;
   boundary[fn.ops.size()] = true;
@@ -124,11 +125,11 @@ int schedule(AsmFunction& fn) {
   std::size_t begin = 0;
   for (std::size_t i = 1; i <= fn.ops.size(); ++i) {
     if (boundary[i]) {
-      moved += schedule_region(fn.ops, begin, i);
+      moved += schedule_region(fn.ops, begin, i, desc);
       begin = i;
     }
   }
   return moved;
 }
 
-}  // namespace vc::ppc
+}  // namespace vc::mach

@@ -1,50 +1,11 @@
-#include "ppc/timing.hpp"
+#include "mach/timing.hpp"
 
 #include <algorithm>
 
+#include "mach/target.hpp"
 #include "support/diagnostics.hpp"
 
-namespace vc::ppc {
-
-Unit unit_of(POp op) {
-  if (is_memory_op(op)) return Unit::LSU;
-  if (is_branch(op)) return Unit::BPU;
-  switch (op) {
-    case POp::Fadd: case POp::Fsub: case POp::Fmul: case POp::Fdiv:
-    case POp::Fmadd: case POp::Fmsub: case POp::Fneg: case POp::Fabs:
-    case POp::Fmr: case POp::Fcmpu: case POp::Fcti: case POp::Icvf:
-      return Unit::FPU;
-    case POp::Cror:
-      return Unit::BPU;  // CR logical unit shares the branch unit
-    default:
-      return Unit::IU;
-  }
-}
-
-std::uint32_t latency_of(POp op) {
-  switch (op) {
-    case POp::Mullw: return 3;
-    case POp::Divw: return 19;
-    case POp::Mfcr: return 2;
-    case POp::Fadd: case POp::Fsub: case POp::Fmul: return 4;
-    case POp::Fmadd: case POp::Fmsub: return 4;
-    case POp::Fdiv: return 31;
-    case POp::Fcmpu: return 4;
-    case POp::Fcti: case POp::Icvf: return 4;
-    case POp::Fneg: case POp::Fabs: case POp::Fmr: return 2;
-    // L1 hits are single-cycle: the 755 overlaps load-to-use latency with
-    // its store queue and forwarding; our in-order model compensates by a
-    // cheap hit so that stack traffic is not over-weighted (calibration,
-    // see EXPERIMENTS.md).
-    case POp::Lwz: case POp::Lwzx: case POp::Lfd: case POp::Lfdx: return 1;
-    case POp::Stw: case POp::Stwx: case POp::Stfd: case POp::Stfdx: return 1;
-    default: return 1;
-  }
-}
-
-bool is_complex_iu(POp op) {
-  return op == POp::Mullw || op == POp::Divw || op == POp::Mfcr;
-}
+namespace vc::mach {
 
 void IssueModel::reset() {
   cycle_ = 0;
@@ -70,111 +31,133 @@ void IssueModel::resources(const MInstr& ins, int* reads, int* n_reads,
   };
   constexpr int kFpr = 32;
   switch (ins.op) {
-    case POp::Li: case POp::Lis:
+    case MOp::Li: case MOp::Lis:
       W(ins.rd);
       break;
-    case POp::Ori: case POp::Xori: case POp::Addi: case POp::Mr:
-    case POp::Neg:
+    case MOp::Ori: case MOp::Xori: case MOp::Addi: case MOp::Mr:
+    case MOp::Neg:
       R(ins.ra);
       W(ins.rd);
       break;
-    case POp::Add: case POp::Subf: case POp::Mullw: case POp::Divw:
-    case POp::And: case POp::Or: case POp::Xor: case POp::Nor:
-    case POp::Slw: case POp::Sraw: case POp::Srw:
+    case MOp::Add: case MOp::Subf: case MOp::Mullw: case MOp::Divw:
+    case MOp::And: case MOp::Or: case MOp::Xor: case MOp::Nor:
+    case MOp::Slw: case MOp::Sraw: case MOp::Srw:
       R(ins.ra);
       R(ins.rb);
       W(ins.rd);
       break;
-    case POp::Rlwinm:
+    case MOp::Rlwinm:
       R(ins.ra);
       W(ins.rd);
       break;
-    case POp::Cmpw:
+    case MOp::Cmpw:
       R(ins.ra);
       R(ins.rb);
       W(kCrBase + ins.crf);
       break;
-    case POp::Cmpwi:
+    case MOp::Cmpwi:
       R(ins.ra);
       W(kCrBase + ins.crf);
       break;
-    case POp::Fcmpu:
+    case MOp::Fcmpu:
       R(kFpr + ins.ra);
       R(kFpr + ins.rb);
       W(kCrBase + ins.crf);
       break;
-    case POp::Cror:
+    case MOp::Cror:
       R(kCrBase + ins.crba / 4);
       R(kCrBase + ins.crbb / 4);
       W(kCrBase + ins.crbd / 4);
       break;
-    case POp::Mfcr:
+    case MOp::Mfcr:
       for (int f = 0; f < 8; ++f) R(kCrBase + f);
       W(ins.rd);
       break;
-    case POp::Fadd: case POp::Fsub: case POp::Fmul: case POp::Fdiv:
+    case MOp::Fadd: case MOp::Fsub: case MOp::Fmul: case MOp::Fdiv:
       R(kFpr + ins.ra);
       R(kFpr + ins.rb);
       W(kFpr + ins.rd);
       break;
-    case POp::Fmadd: case POp::Fmsub:
+    case MOp::Fmadd: case MOp::Fmsub:
       R(kFpr + ins.ra);
       R(kFpr + ins.rb);
       R(kFpr + ins.rc);
       W(kFpr + ins.rd);
       break;
-    case POp::Fneg: case POp::Fabs: case POp::Fmr:
+    case MOp::Fneg: case MOp::Fabs: case MOp::Fmr:
       R(kFpr + ins.ra);
       W(kFpr + ins.rd);
       break;
-    case POp::Fcti:
+    case MOp::Fcti:
       R(kFpr + ins.ra);
       W(ins.rd);
       break;
-    case POp::Icvf:
+    case MOp::Icvf:
       R(ins.ra);
       W(kFpr + ins.rd);
       break;
-    case POp::Lwz:
+    case MOp::Lwz:
       R(ins.ra);
       W(ins.rd);
       break;
-    case POp::Stw:
+    case MOp::Stw:
       R(ins.ra);
       R(ins.rd);
       break;
-    case POp::Lwzx:
+    case MOp::Lwzx:
       R(ins.ra);
       R(ins.rb);
       W(ins.rd);
       break;
-    case POp::Stwx:
+    case MOp::Stwx:
       R(ins.ra);
       R(ins.rb);
       R(ins.rd);
       break;
-    case POp::Lfd:
+    case MOp::Lfd:
       R(ins.ra);
       W(kFpr + ins.rd);
       break;
-    case POp::Stfd:
+    case MOp::Stfd:
       R(ins.ra);
       R(kFpr + ins.rd);
       break;
-    case POp::Lfdx:
+    case MOp::Lfdx:
       R(ins.ra);
       R(ins.rb);
       W(kFpr + ins.rd);
       break;
-    case POp::Stfdx:
+    case MOp::Stfdx:
       R(ins.ra);
       R(ins.rb);
       R(kFpr + ins.rd);
       break;
-    case POp::B: case POp::Blr: case POp::Nop:
+    case MOp::B: case MOp::Blr: case MOp::Nop:
       break;
-    case POp::Bc:
+    case MOp::Bc:
       R(kCrBase + ins.crbit / 4);
+      break;
+    case MOp::Lui:
+      W(ins.rd);
+      break;
+    case MOp::Slli: case MOp::Sltiu:
+      R(ins.ra);
+      W(ins.rd);
+      break;
+    case MOp::Sll: case MOp::Srl: case MOp::Sra:
+    case MOp::Slt: case MOp::Sltu: case MOp::Rem:
+      R(ins.ra);
+      R(ins.rb);
+      W(ins.rd);
+      break;
+    case MOp::Feq: case MOp::Flt: case MOp::Fle:
+      R(kFpr + ins.ra);
+      R(kFpr + ins.rb);
+      W(ins.rd);
+      break;
+    case MOp::Beq: case MOp::Bne: case MOp::Blt: case MOp::Bge:
+      R(ins.ra);
+      R(ins.rb);
       break;
   }
 }
@@ -183,7 +166,7 @@ std::uint64_t IssueModel::issue(const MInstr& ins, const int* reads,
                                 int n_reads, const int* writes, int n_writes,
                                 std::uint32_t extra_mem_cycles,
                                 std::uint32_t fetch_stall) {
-  const Unit unit = unit_of(ins.op);
+  const Unit unit = desc_->unit(ins.op);
   const int u = static_cast<int>(unit);
 
   // Earliest cycle the instruction may issue: after the current in-order
@@ -200,15 +183,17 @@ std::uint64_t IssueModel::issue(const MInstr& ins, const int* reads,
       second_iu_used_ = false;
       std::fill(std::begin(unit_used_), std::end(unit_used_), false);
     }
-    if (slots_used_ >= 2) {
+    if (slots_used_ >= desc_->issue_width) {
       ++t;
       continue;
     }
     if (unit == Unit::IU) {
-      // Two IU instructions may pair if the second one is simple.
+      // Two IU instructions may pair if the target allows pairing and the
+      // second one is simple.
       const bool first_iu = !unit_used_[u] && !second_iu_used_;
-      const bool can_second =
-          unit_used_[u] && !second_iu_used_ && !is_complex_iu(ins.op);
+      const bool can_second = unit_used_[u] && !second_iu_used_ &&
+                              desc_->iu_pairing &&
+                              !desc_->is_complex(ins.op);
       if (!first_iu && !can_second) {
         ++t;
         continue;
@@ -226,12 +211,11 @@ std::uint64_t IssueModel::issue(const MInstr& ins, const int* reads,
     break;
   }
 
-  const std::uint32_t lat = latency_of(ins.op) + extra_mem_cycles;
+  const std::uint32_t lat = desc_->latency(ins.op) + extra_mem_cycles;
   for (int i = 0; i < n_writes; ++i) ready_[writes[i]] = t + lat;
 
-  // Dividers block their unit until the result is ready.
-  if (ins.op == POp::Divw || ins.op == POp::Fdiv)
-    unit_busy_until_[u] = t + lat;
+  // Blocking ops (the dividers) occupy their unit until the result is ready.
+  if (desc_->is_blocking(ins.op)) unit_busy_until_[u] = t + lat;
 
   cycle_ = t;  // in-order issue point
   return t;
@@ -250,4 +234,4 @@ void IssueModel::add_stall(std::uint32_t cycles) {
   slot_cycle_ = ~0ull;
 }
 
-}  // namespace vc::ppc
+}  // namespace vc::mach

@@ -2,11 +2,11 @@
 // cycle-level simulator (src/machine) and the static WCET analyzer
 // (src/wcet), so that both sides agree on the issue rules by construction.
 //
-// The model is an MPC755-flavoured in-order dual-issue pipeline:
-//   - up to two instructions issue per cycle, in program order;
+// The model is an in-order pipeline parameterized by the target descriptor:
+//   - up to `issue_width` instructions issue per cycle, in program order;
 //   - at most one LSU (memory), one FPU, one BPU (branch/CR) instruction per
-//     cycle; two IU instructions may pair only if the second is simple
-//     (single-cycle);
+//     cycle; two IU instructions may pair only if the descriptor allows
+//     pairing and the second is simple (single-cycle);
 //   - results become available `latency` cycles after issue; consumers stall;
 //   - all units are pipelined except the dividers (divw, fdiv block their
 //     unit until complete);
@@ -25,9 +25,11 @@
 #include <array>
 #include <cstdint>
 
-#include "ppc/isa.hpp"
+#include "mach/isa.hpp"
 
-namespace vc::ppc {
+namespace vc::mach {
+
+struct TargetDesc;
 
 /// L1 cache geometry (the MPC755 L1: 32 KiB, 8-way, 32-byte lines). The
 /// replacement policy is LRU (documented substitution for the 755's PLRU).
@@ -61,18 +63,11 @@ struct MachineConfig {
 
 enum class Unit : std::uint8_t { IU, LSU, FPU, BPU };
 
-Unit unit_of(POp op);
-
-/// Result latency in cycles (for memory ops: the L1-hit latency).
-std::uint32_t latency_of(POp op);
-
-/// True for multi-cycle IU ops that cannot pair as the second IU instruction.
-bool is_complex_iu(POp op);
-
-/// In-order dual-issue bookkeeping. Feed instructions in program order via
-/// `issue`; query `current_cycle` at any time. The same code runs in the
-/// simulator (with dynamically observed cache outcomes) and in the WCET block
-/// timer (with statically classified worst-case outcomes).
+/// In-order issue bookkeeping over the descriptor's op table. Feed
+/// instructions in program order via `issue`; query `current_cycle` at any
+/// time. The same code runs in the simulator (with dynamically observed
+/// cache outcomes) and in the WCET block timer (with statically classified
+/// worst-case outcomes).
 class IssueModel {
  public:
   /// Registers: 0..31 GPR, 32..63 FPR, 64..71 CR fields, 72 whole-CR.
@@ -83,6 +78,8 @@ class IssueModel {
   /// The current maximum is Mfcr (8 CR-field reads + 1 GPR write); callers
   /// size their stack buffers with this constant and `resources` asserts it.
   static constexpr int kMaxResourcesPerInstr = 9;
+
+  explicit IssueModel(const TargetDesc& desc) : desc_(&desc) {}
 
   void reset();
 
@@ -110,6 +107,7 @@ class IssueModel {
                         int* writes, int* n_writes);
 
  private:
+  const TargetDesc* desc_;
   std::uint64_t cycle_ = 0;
   std::array<std::uint64_t, kNumResources> ready_{};
   // Issue-slot state for the cycle `slot_cycle_`.
@@ -120,4 +118,4 @@ class IssueModel {
   std::uint64_t unit_busy_until_[4] = {0, 0, 0, 0};  // divider blocking
 };
 
-}  // namespace vc::ppc
+}  // namespace vc::mach

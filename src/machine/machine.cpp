@@ -9,9 +9,9 @@
 
 namespace vc::machine {
 
-using ppc::Image;
-using ppc::MInstr;
-using ppc::POp;
+using mach::Image;
+using mach::MInstr;
+using mach::MOp;
 
 namespace {
 
@@ -20,9 +20,9 @@ std::uint32_t rotl32(std::uint32_t v, unsigned n) {
   return n == 0 ? v : (v << n) | (v >> (32 - n));
 }
 
-/// PowerPC rlwinm mask: bits mb..me inclusive in PPC numbering (0 = MSB),
+/// rlwinm mask: bits mb..me inclusive in big-endian bit numbering (0 = MSB),
 /// wrapping when mb > me.
-std::uint32_t ppc_mask(unsigned mb, unsigned me) {
+std::uint32_t rlwinm_mask(unsigned mb, unsigned me) {
   const std::uint32_t x = 0xFFFFFFFFu >> mb;
   const std::uint32_t y =
       me == 31 ? 0xFFFFFFFFu : ~(0xFFFFFFFFu >> (me + 1));
@@ -41,9 +41,17 @@ double double_of(std::uint64_t b) {
   return d;
 }
 
+/// The descriptor the image was compiled for (registry default when the
+/// image predates target tags).
+const mach::TargetDesc& desc_of(const mach::Image& image) {
+  return mach::target_by_name(image.target.empty()
+                                  ? mach::default_target_name()
+                                  : image.target);
+}
+
 }  // namespace
 
-Cache::Cache(ppc::CacheConfig cfg) : cfg_(cfg) { clear(); }
+Cache::Cache(mach::CacheConfig cfg) : cfg_(cfg) { clear(); }
 
 void Cache::clear() {
   ways_.assign(cfg_.sets, std::vector<std::uint32_t>());
@@ -64,11 +72,16 @@ bool Cache::access(std::uint32_t addr) {
   return false;
 }
 
-Machine::Machine(const ppc::Image& image, ppc::MachineConfig config)
+Machine::Machine(const mach::Image& image)
+    : Machine(image, desc_of(image).machine) {}
+
+Machine::Machine(const mach::Image& image, mach::MachineConfig config)
     : image_(image),
+      desc_(&desc_of(image)),
       config_(config),
       icache_(config.icache),
-      dcache_(config.dcache) {
+      dcache_(config.dcache),
+      pipe_(*desc_) {
   reset();
 }
 
@@ -147,16 +160,18 @@ minic::Value Machine::call(const std::string& fn_name,
 
   if (monitor_ != nullptr) monitor_->begin_call();
 
-  gpr_[1] = kEntryR1;
-  gpr_[2] = Image::kDataBase;
-  int next_gpr = 3;
-  int next_fpr = 1;
+  gpr_[desc_->stack_ptr] = kEntryR1;
+  gpr_[desc_->data_base] = Image::kDataBase;
+  int next_gpr = desc_->first_arg_gpr;
+  int next_fpr = desc_->first_arg_fpr;
   for (const auto& a : args) {
     if (a.type == minic::Type::I32) {
-      if (next_gpr > 10) throw MachineError("too many integer arguments");
+      if (next_gpr >= desc_->first_arg_gpr + desc_->n_arg_gprs)
+        throw MachineError("too many integer arguments");
       gpr_[next_gpr++] = static_cast<std::uint32_t>(a.i);
     } else {
-      if (next_fpr > 8) throw MachineError("too many float arguments");
+      if (next_fpr >= desc_->first_arg_fpr + desc_->n_arg_fprs)
+        throw MachineError("too many float arguments");
       fpr_[next_fpr++] = a.f;
     }
   }
@@ -164,8 +179,9 @@ minic::Value Machine::call(const std::string& fn_name,
   run(it->second);
 
   if (ret_type == minic::Type::I32)
-    return minic::Value::of_i32(static_cast<std::int32_t>(gpr_[3]));
-  return minic::Value::of_f64(fpr_[1]);
+    return minic::Value::of_i32(
+        static_cast<std::int32_t>(gpr_[desc_->ret_gpr]));
+  return minic::Value::of_f64(fpr_[desc_->ret_fpr]);
 }
 
 void Machine::run(std::uint32_t entry) {
@@ -201,10 +217,10 @@ void Machine::run(std::uint32_t entry) {
     next_pc_ = pc + 4;
     branch_taken_ = false;
     std::uint32_t mem_addr = 0;
-    bool has_mem = ppc::is_memory_op(ins.op);
+    bool has_mem = mach::is_memory_op(ins.op);
     if (has_mem) {
       switch (ins.op) {
-        case POp::Lwz: case POp::Stw: case POp::Lfd: case POp::Stfd:
+        case MOp::Lwz: case MOp::Stw: case MOp::Lfd: case MOp::Stfd:
           mem_addr = gpr_[ins.ra] + static_cast<std::uint32_t>(ins.imm);
           break;
         default:  // x-form
@@ -218,8 +234,8 @@ void Machine::run(std::uint32_t entry) {
     // Micro-architectural accounting.
     std::uint32_t extra_mem = 0;
     if (has_mem) {
-      const bool is_store = ins.op == POp::Stw || ins.op == POp::Stwx ||
-                            ins.op == POp::Stfd || ins.op == POp::Stfdx;
+      const bool is_store = ins.op == MOp::Stw || ins.op == MOp::Stwx ||
+                            ins.op == MOp::Stfd || ins.op == MOp::Stfdx;
       const bool hit = dcache_.access(mem_addr);
       if (is_store) {
         ++stats_.dcache_writes;
@@ -236,15 +252,15 @@ void Machine::run(std::uint32_t entry) {
       }
     }
 
-    int reads[ppc::IssueModel::kMaxResourcesPerInstr];
-    int writes[ppc::IssueModel::kMaxResourcesPerInstr];
+    int reads[mach::IssueModel::kMaxResourcesPerInstr];
+    int writes[mach::IssueModel::kMaxResourcesPerInstr];
     int n_reads = 0;
     int n_writes = 0;
-    ppc::IssueModel::resources(ins, reads, &n_reads, writes, &n_writes);
+    mach::IssueModel::resources(ins, reads, &n_reads, writes, &n_writes);
     pipe_.issue(ins, reads, n_reads, writes, n_writes, extra_mem, fetch_stall);
     ++stats_.instructions;
 
-    if (ppc::is_branch(ins.op)) {
+    if (mach::is_branch(ins.op)) {
       pipe_.drain();
       if (branch_taken_) {
         pipe_.add_stall(config_.taken_branch_penalty);
@@ -253,7 +269,7 @@ void Machine::run(std::uint32_t entry) {
       }
     }
     if (monitor_ != nullptr)
-      monitor_->after_step(pc, next_pc_, ppc::is_branch(ins.op));
+      monitor_->after_step(pc, next_pc_, mach::is_branch(ins.op));
     pc = next_pc_;
   }
   pipe_.drain();
@@ -277,34 +293,34 @@ void Machine::execute(const MInstr& ins, std::uint32_t pc) {
   const auto rb = gpr_[ins.rb];
 
   switch (ins.op) {
-    case POp::Li:
+    case MOp::Li:
       gpr_[ins.rd] = static_cast<std::uint32_t>(ins.imm);
       break;
-    case POp::Lis:
+    case MOp::Lis:
       gpr_[ins.rd] = static_cast<std::uint32_t>(ins.imm) << 16;
       break;
-    case POp::Ori:
+    case MOp::Ori:
       gpr_[ins.rd] = ra | static_cast<std::uint32_t>(ins.imm);
       break;
-    case POp::Xori:
+    case MOp::Xori:
       gpr_[ins.rd] = ra ^ static_cast<std::uint32_t>(ins.imm);
       break;
-    case POp::Addi:
+    case MOp::Addi:
       gpr_[ins.rd] = ra + static_cast<std::uint32_t>(ins.imm);
       break;
-    case POp::Mr:
+    case MOp::Mr:
       gpr_[ins.rd] = ra;
       break;
-    case POp::Add:
+    case MOp::Add:
       gpr_[ins.rd] = ra + rb;
       break;
-    case POp::Subf:
+    case MOp::Subf:
       gpr_[ins.rd] = rb - ra;
       break;
-    case POp::Mullw:
+    case MOp::Mullw:
       gpr_[ins.rd] = ra * rb;
       break;
-    case POp::Divw: {
+    case MOp::Divw: {
       const auto a = static_cast<std::int32_t>(ra);
       const auto b = static_cast<std::int32_t>(rb);
       if (b == 0) throw MachineError("divw by zero at " + hex32(pc));
@@ -314,17 +330,17 @@ void Machine::execute(const MInstr& ins, std::uint32_t pc) {
         gpr_[ins.rd] = static_cast<std::uint32_t>(a / b);
       break;
     }
-    case POp::And: gpr_[ins.rd] = ra & rb; break;
-    case POp::Or: gpr_[ins.rd] = ra | rb; break;
-    case POp::Xor: gpr_[ins.rd] = ra ^ rb; break;
-    case POp::Nor: gpr_[ins.rd] = ~(ra | rb); break;
-    case POp::Neg: gpr_[ins.rd] = 0u - ra; break;
-    case POp::Slw: {
+    case MOp::And: gpr_[ins.rd] = ra & rb; break;
+    case MOp::Or: gpr_[ins.rd] = ra | rb; break;
+    case MOp::Xor: gpr_[ins.rd] = ra ^ rb; break;
+    case MOp::Nor: gpr_[ins.rd] = ~(ra | rb); break;
+    case MOp::Neg: gpr_[ins.rd] = 0u - ra; break;
+    case MOp::Slw: {
       const std::uint32_t sh = rb & 0x3F;
       gpr_[ins.rd] = sh >= 32 ? 0 : ra << sh;
       break;
     }
-    case POp::Sraw: {
+    case MOp::Sraw: {
       const std::uint32_t sh = rb & 0x3F;
       const auto a = static_cast<std::int32_t>(ra);
       if (sh >= 32)
@@ -333,26 +349,26 @@ void Machine::execute(const MInstr& ins, std::uint32_t pc) {
         gpr_[ins.rd] = static_cast<std::uint32_t>(a >> sh);
       break;
     }
-    case POp::Srw: {
+    case MOp::Srw: {
       const std::uint32_t sh = rb & 0x3F;
       gpr_[ins.rd] = sh >= 32 ? 0 : ra >> sh;
       break;
     }
-    case POp::Rlwinm:
-      gpr_[ins.rd] = rotl32(ra, ins.sh) & ppc_mask(ins.mb, ins.me);
+    case MOp::Rlwinm:
+      gpr_[ins.rd] = rotl32(ra, ins.sh) & rlwinm_mask(ins.mb, ins.me);
       break;
-    case POp::Cmpw: {
+    case MOp::Cmpw: {
       const auto a = static_cast<std::int32_t>(ra);
       const auto b = static_cast<std::int32_t>(rb);
       set_cr_field(ins.crf, a < b, a > b, a == b, false);
       break;
     }
-    case POp::Cmpwi: {
+    case MOp::Cmpwi: {
       const auto a = static_cast<std::int32_t>(ra);
       set_cr_field(ins.crf, a < ins.imm, a > ins.imm, a == ins.imm, false);
       break;
     }
-    case POp::Fcmpu: {
+    case MOp::Fcmpu: {
       const double a = fpr_[ins.ra];
       const double b = fpr_[ins.rb];
       if (std::isnan(a) || std::isnan(b))
@@ -361,19 +377,19 @@ void Machine::execute(const MInstr& ins, std::uint32_t pc) {
         set_cr_field(ins.crf, a < b, a > b, a == b, false);
       break;
     }
-    case POp::Cror: {
+    case MOp::Cror: {
       const std::uint32_t v = cr_bit(ins.crba) | cr_bit(ins.crbb);
       cr_ = (cr_ & ~(1u << (31 - ins.crbd))) | (v << (31 - ins.crbd));
       break;
     }
-    case POp::Mfcr:
+    case MOp::Mfcr:
       gpr_[ins.rd] = cr_;
       break;
-    case POp::Fadd: fpr_[ins.rd] = fpr_[ins.ra] + fpr_[ins.rb]; break;
-    case POp::Fsub: fpr_[ins.rd] = fpr_[ins.ra] - fpr_[ins.rb]; break;
-    case POp::Fmul: fpr_[ins.rd] = fpr_[ins.ra] * fpr_[ins.rb]; break;
-    case POp::Fdiv: fpr_[ins.rd] = fpr_[ins.ra] / fpr_[ins.rb]; break;
-    case POp::Fmadd: {
+    case MOp::Fadd: fpr_[ins.rd] = fpr_[ins.ra] + fpr_[ins.rb]; break;
+    case MOp::Fsub: fpr_[ins.rd] = fpr_[ins.ra] - fpr_[ins.rb]; break;
+    case MOp::Fmul: fpr_[ins.rd] = fpr_[ins.ra] * fpr_[ins.rb]; break;
+    case MOp::Fdiv: fpr_[ins.rd] = fpr_[ins.ra] / fpr_[ins.rb]; break;
+    case MOp::Fmadd: {
       // Non-fused semantics: fmadd here computes (a*b)+c in two IEEE
       // rounding steps, exactly like the separate fmul/fadd pair the O2
       // peephole replaced, so fusion is result-preserving by construction.
@@ -382,54 +398,54 @@ void Machine::execute(const MInstr& ins, std::uint32_t pc) {
       fpr_[ins.rd] = product + fpr_[ins.rc];
       break;
     }
-    case POp::Fmsub: {
+    case MOp::Fmsub: {
       const double product = fpr_[ins.ra] * fpr_[ins.rb];
       fpr_[ins.rd] = product - fpr_[ins.rc];
       break;
     }
-    case POp::Fneg: fpr_[ins.rd] = -fpr_[ins.ra]; break;
-    case POp::Fabs: fpr_[ins.rd] = std::fabs(fpr_[ins.ra]); break;
-    case POp::Fmr: fpr_[ins.rd] = fpr_[ins.ra]; break;
-    case POp::Fcti: {
+    case MOp::Fneg: fpr_[ins.rd] = -fpr_[ins.ra]; break;
+    case MOp::Fabs: fpr_[ins.rd] = std::fabs(fpr_[ins.ra]); break;
+    case MOp::Fmr: fpr_[ins.rd] = fpr_[ins.ra]; break;
+    case MOp::Fcti: {
       const minic::Value v =
           minic::eval_unop(minic::UnOp::F2I, minic::Value::of_f64(fpr_[ins.ra]));
       gpr_[ins.rd] = static_cast<std::uint32_t>(v.i);
       break;
     }
-    case POp::Icvf:
+    case MOp::Icvf:
       fpr_[ins.rd] = static_cast<double>(static_cast<std::int32_t>(ra));
       break;
-    case POp::Lwz:
+    case MOp::Lwz:
       gpr_[ins.rd] = read_u32(ra + static_cast<std::uint32_t>(ins.imm));
       break;
-    case POp::Stw:
+    case MOp::Stw:
       write_u32(ra + static_cast<std::uint32_t>(ins.imm), gpr_[ins.rd]);
       break;
-    case POp::Lwzx:
+    case MOp::Lwzx:
       gpr_[ins.rd] = read_u32(ra + rb);
       break;
-    case POp::Stwx:
+    case MOp::Stwx:
       write_u32(ra + rb, gpr_[ins.rd]);
       break;
-    case POp::Lfd:
+    case MOp::Lfd:
       fpr_[ins.rd] =
           double_of(read_u64(ra + static_cast<std::uint32_t>(ins.imm)));
       break;
-    case POp::Stfd:
+    case MOp::Stfd:
       write_u64(ra + static_cast<std::uint32_t>(ins.imm),
                 bits_of(fpr_[ins.rd]));
       break;
-    case POp::Lfdx:
+    case MOp::Lfdx:
       fpr_[ins.rd] = double_of(read_u64(ra + rb));
       break;
-    case POp::Stfdx:
+    case MOp::Stfdx:
       write_u64(ra + rb, bits_of(fpr_[ins.rd]));
       break;
-    case POp::B:
+    case MOp::B:
       next_pc_ = pc + static_cast<std::uint32_t>(ins.disp) * 4;
       branch_taken_ = true;
       break;
-    case POp::Bc: {
+    case MOp::Bc: {
       const bool cond = cr_bit(ins.crbit) == (ins.expect ? 1u : 0u);
       if (cond) {
         next_pc_ = pc + static_cast<std::uint32_t>(ins.disp) * 4;
@@ -437,15 +453,89 @@ void Machine::execute(const MInstr& ins, std::uint32_t pc) {
       }
       break;
     }
-    case POp::Blr:
+    case MOp::Blr:
       // The harness runs single functions; returning from the outermost
       // frame jumps to the stop address.
       next_pc_ = Image::kStopAddr;
       branch_taken_ = true;
       break;
-    case POp::Nop:
+    case MOp::Nop:
+      break;
+    case MOp::Lui:
+      gpr_[ins.rd] = static_cast<std::uint32_t>(ins.imm) << 12;
+      break;
+    case MOp::Slli:
+      gpr_[ins.rd] = ra << (static_cast<std::uint32_t>(ins.imm) & 31);
+      break;
+    case MOp::Sll:
+      gpr_[ins.rd] = ra << (rb & 31);
+      break;
+    case MOp::Srl:
+      gpr_[ins.rd] = ra >> (rb & 31);
+      break;
+    case MOp::Sra:
+      gpr_[ins.rd] = static_cast<std::uint32_t>(
+          static_cast<std::int32_t>(ra) >> (rb & 31));
+      break;
+    case MOp::Slt:
+      gpr_[ins.rd] = static_cast<std::int32_t>(ra) <
+                             static_cast<std::int32_t>(rb)
+                         ? 1u
+                         : 0u;
+      break;
+    case MOp::Sltu:
+      gpr_[ins.rd] = ra < rb ? 1u : 0u;
+      break;
+    case MOp::Sltiu:
+      gpr_[ins.rd] = ra < static_cast<std::uint32_t>(ins.imm) ? 1u : 0u;
+      break;
+    case MOp::Rem: {
+      const auto a = static_cast<std::int32_t>(ra);
+      const auto b = static_cast<std::int32_t>(rb);
+      if (b == 0) throw MachineError("rem by zero at " + hex32(pc));
+      if (a == std::numeric_limits<std::int32_t>::min() && b == -1)
+        gpr_[ins.rd] = 0;  // overflow case: remainder 0
+      else
+        gpr_[ins.rd] = static_cast<std::uint32_t>(a % b);
+      break;
+    }
+    case MOp::Feq:
+      gpr_[ins.rd] = fpr_[ins.ra] == fpr_[ins.rb] ? 1u : 0u;
+      break;
+    case MOp::Flt:
+      gpr_[ins.rd] = fpr_[ins.ra] < fpr_[ins.rb] ? 1u : 0u;
+      break;
+    case MOp::Fle:
+      gpr_[ins.rd] = fpr_[ins.ra] <= fpr_[ins.rb] ? 1u : 0u;
+      break;
+    case MOp::Beq:
+      if (ra == rb) {
+        next_pc_ = pc + static_cast<std::uint32_t>(ins.disp) * 4;
+        branch_taken_ = true;
+      }
+      break;
+    case MOp::Bne:
+      if (ra != rb) {
+        next_pc_ = pc + static_cast<std::uint32_t>(ins.disp) * 4;
+        branch_taken_ = true;
+      }
+      break;
+    case MOp::Blt:
+      if (static_cast<std::int32_t>(ra) < static_cast<std::int32_t>(rb)) {
+        next_pc_ = pc + static_cast<std::uint32_t>(ins.disp) * 4;
+        branch_taken_ = true;
+      }
+      break;
+    case MOp::Bge:
+      if (static_cast<std::int32_t>(ra) >= static_cast<std::int32_t>(rb)) {
+        next_pc_ = pc + static_cast<std::uint32_t>(ins.disp) * 4;
+        branch_taken_ = true;
+      }
       break;
   }
+  // The hardwired zero register (when the target has one) absorbs writes.
+  if (desc_->zero_gpr >= 0)
+    gpr_[static_cast<std::size_t>(desc_->zero_gpr)] = 0;
 }
 
 void Machine::arm_monitor(const MonitorSpec& spec, MonitorMode mode) {

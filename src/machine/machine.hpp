@@ -1,10 +1,12 @@
-// Cycle-level simulator of the target machine (the MPC755 stand-in).
+// Cycle-level simulator of the target machine.
 //
 // Executes linked images instruction by instruction with big-endian memory,
-// L1 instruction/data caches (LRU), and the shared dual-issue timing model
-// (ppc/timing.hpp). Produces both architectural results (registers, memory)
-// and micro-architectural statistics (cycles, cache reads/writes/misses) —
-// the raw material for the paper's Table 1 and the "observed execution time"
+// L1 instruction/data caches (LRU), and the shared issue-model timing
+// (mach/timing.hpp), all parameterized by the target descriptor the image
+// names (mach/target.hpp) — the same simulator runs PPC and RV32 code.
+// Produces both architectural results (registers, memory) and
+// micro-architectural statistics (cycles, cache reads/writes/misses) — the
+// raw material for the paper's Table 1 and the "observed execution time"
 // side of the WCET soundness property tests.
 #pragma once
 
@@ -17,8 +19,9 @@
 
 #include "machine/monitor.hpp"
 #include "minic/interp.hpp"
-#include "ppc/program.hpp"
-#include "ppc/timing.hpp"
+#include "mach/program.hpp"
+#include "mach/target.hpp"
+#include "mach/timing.hpp"
 
 namespace vc::machine {
 
@@ -41,14 +44,14 @@ class FuelExhausted : public MachineError {
 /// An N-way set-associative LRU cache model (tags only).
 class Cache {
  public:
-  explicit Cache(ppc::CacheConfig cfg);
+  explicit Cache(mach::CacheConfig cfg);
 
   void clear();
   /// True on hit; updates LRU state either way (misses allocate).
   bool access(std::uint32_t addr);
 
  private:
-  ppc::CacheConfig cfg_;
+  mach::CacheConfig cfg_;
   // ways_[set] is ordered most-recently-used first; empty slots hold ~0.
   std::vector<std::vector<std::uint32_t>> ways_;
 };
@@ -66,7 +69,12 @@ struct ExecStats {
 
 class Machine : private CpuView {
  public:
-  Machine(const ppc::Image& image, ppc::MachineConfig config = {});
+  /// Runs with the machine configuration (caches, penalties) of the image's
+  /// target descriptor.
+  explicit Machine(const mach::Image& image);
+  /// Same, but with an explicit machine-configuration override (cache
+  /// ablations, WCET nocache experiments).
+  Machine(const mach::Image& image, mach::MachineConfig config);
 
   /// Reinitializes data memory from the image, clears registers and caches.
   void reset();
@@ -75,8 +83,8 @@ class Machine : private CpuView {
   /// runs without losing global data — used by WCET soundness tests).
   void clear_caches();
 
-  /// Runs `fn_name` with `args` marshalled per the calling convention.
-  /// Returns the function result read from r3/f1 according to `ret_type`.
+  /// Runs `fn_name` with `args` marshalled per the target's calling
+  /// convention. Returns the result read from the return registers.
   minic::Value call(const std::string& fn_name,
                     const std::vector<minic::Value>& args,
                     minic::Type ret_type);
@@ -113,7 +121,7 @@ class Machine : private CpuView {
   std::uint8_t* mem_at_mut(std::uint32_t addr, std::uint32_t size);
 
   void run(std::uint32_t entry);
-  void execute(const ppc::MInstr& ins, std::uint32_t pc);
+  void execute(const mach::MInstr& ins, std::uint32_t pc);
 
   // CpuView: live architectural reads for the armed monitor. Stack slots are
   // addressed from the entry r1 the calling convention pins in call().
@@ -130,11 +138,12 @@ class Machine : private CpuView {
     return read_u64(kEntryR1 + static_cast<std::uint32_t>(offset));
   }
 
-  const ppc::Image& image_;
-  ppc::MachineConfig config_;
+  const mach::Image& image_;
+  const mach::TargetDesc* desc_;
+  mach::MachineConfig config_;
   Cache icache_;
   Cache dcache_;
-  ppc::IssueModel pipe_;
+  mach::IssueModel pipe_;
   ExecStats stats_;
 
   std::array<std::uint32_t, 32> gpr_{};
@@ -147,7 +156,7 @@ class Machine : private CpuView {
   std::vector<std::uint8_t> stack_;  // below Image::kStackTop
   static constexpr std::uint32_t kStackBytes = 1 << 16;
   // The r1 value call() seeds; the frame base stack-slot MLocs refer to.
-  static constexpr std::uint32_t kEntryR1 = ppc::Image::kStackTop - 64;
+  static constexpr std::uint32_t kEntryR1 = mach::Image::kStackTop - 64;
 
   std::uint64_t fuel_ = 200'000'000;
   std::unique_ptr<ExecutionMonitor> monitor_;

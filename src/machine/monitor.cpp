@@ -116,16 +116,16 @@ std::optional<std::vector<ChainBound>> monitor_parse_chain(
   return out;
 }
 
-bool MonitorSpec::add_annotation(const ppc::AnnotEntry& entry) {
+bool MonitorSpec::add_annotation(const mach::AnnotEntry& entry) {
   const auto bounds = monitor_parse_chain(entry.format);
   if (!bounds) return false;
   bool added = false;
   for (const ChainBound& b : *bounds) {
     if (b.operand > static_cast<int>(entry.operands.size())) continue;
-    const ppc::MLoc& loc =
+    const mach::MLoc& loc =
         entry.operands[static_cast<std::size_t>(b.operand - 1)];
-    if (loc.kind == ppc::MLoc::Kind::Fpr) continue;
-    if (loc.kind == ppc::MLoc::Kind::StackSlot && loc.is_f64) continue;
+    if (loc.kind == mach::MLoc::Kind::Fpr) continue;
+    if (loc.kind == mach::MLoc::Kind::StackSlot && loc.is_f64) continue;
     value_checks.push_back(
         MonitorValueCheck{entry.addr, loc, b.lo, b.hi, entry.format});
     added = true;
@@ -158,7 +158,7 @@ void ExecutionMonitor::before_execute(std::uint32_t pc, const CpuView& cpu) {
   for (const std::size_t idx : it->second) {
     const MonitorValueCheck& check = spec_.value_checks[idx];
     switch (check.loc.kind) {
-      case ppc::MLoc::Kind::Gpr: {
+      case mach::MLoc::Kind::Gpr: {
         const auto v = static_cast<std::int64_t>(
             static_cast<std::int32_t>(cpu.gpr(check.loc.index)));
         if (v < check.lo || v > check.hi)
@@ -169,7 +169,7 @@ void ExecutionMonitor::before_execute(std::uint32_t pc, const CpuView& cpu) {
                             std::to_string(check.hi) + "]");
         break;
       }
-      case ppc::MLoc::Kind::StackSlot: {
+      case mach::MLoc::Kind::StackSlot: {
         const auto v = static_cast<std::int64_t>(static_cast<std::int32_t>(
             cpu.stack_u32(check.loc.offset)));
         if (v < check.lo || v > check.hi)
@@ -180,7 +180,7 @@ void ExecutionMonitor::before_execute(std::uint32_t pc, const CpuView& cpu) {
                             std::to_string(check.hi) + "]");
         break;
       }
-      case ppc::MLoc::Kind::Fpr: {
+      case mach::MLoc::Kind::Fpr: {
         // Float operands are filtered out at spec-build time; checked here
         // defensively for hand-built specs.
         const double v = cpu.fpr(check.loc.index);

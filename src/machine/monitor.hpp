@@ -30,7 +30,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "ppc/program.hpp"
+#include "mach/program.hpp"
 
 namespace vc::machine {
 
@@ -97,7 +97,7 @@ struct ChainBound {
 /// of `loc` must lie in [lo, hi].
 struct MonitorValueCheck {
   std::uint32_t pc = 0;
-  ppc::MLoc loc;
+  mach::MLoc loc;
   std::int64_t lo = 0;
   std::int64_t hi = 0;
   std::string text;  // the original annotation text (diagnostics)
@@ -139,7 +139,7 @@ struct MonitorSpec {
   /// out-of-range operands, and float operands (mirroring what the static
   /// value analysis consumes; float claims are not part of the trusted
   /// fact base).
-  bool add_annotation(const ppc::AnnotEntry& entry);
+  bool add_annotation(const mach::AnnotEntry& entry);
 };
 
 /// The armed checker. Holds a reference to the spec (caller keeps it alive)

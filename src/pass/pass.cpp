@@ -95,6 +95,11 @@ Registry Registry::builtin() {
   regalloc.structural = true;
   regalloc.run = [](FunctionState& s) {
     s.rtl_pre_regalloc = s.rtl;
+    check(s.target != nullptr, "no target descriptor in pipeline state");
+    // Resolve the class sizes against the target so downstream consumers
+    // (the register-allocation checker) see the actual bounds used.
+    if (s.k_int <= 0) s.k_int = s.target->n_int_colors();
+    if (s.k_float <= 0) s.k_float = s.target->n_float_colors();
     s.alloc = regalloc::allocate_registers(s.rtl, s.k_int, s.k_float,
                                            s.spread_colors);
     return s.alloc.spill_count;
@@ -106,9 +111,11 @@ Registry Registry::builtin() {
   emit.level = Level::Machine;
   emit.structural = true;
   emit.run = [](FunctionState& s) {
-    ppc::EmitOptions options;
+    mach::EmitOptions options;
     options.small_data_area = s.small_data_area;
-    s.machine = ppc::emit_function(s.rtl, s.alloc, *s.layout, options);
+    check(s.target != nullptr, "no target descriptor in pipeline state");
+    s.machine =
+        mach::emit_function(s.rtl, s.alloc, *s.layout, *s.target, options);
     s.emitted = true;
     return 0;
   };
@@ -118,7 +125,7 @@ Registry Registry::builtin() {
   selfmove.name = "selfmove";
   selfmove.level = Level::Machine;
   selfmove.run = [](FunctionState& s) {
-    return ppc::remove_self_moves(s.machine);
+    return mach::remove_self_moves(s.machine);
   };
   r.add(std::move(selfmove));
 
@@ -126,13 +133,17 @@ Registry Registry::builtin() {
   peephole.name = "peephole";
   peephole.level = Level::Machine;
   peephole.fixpoint = true;
-  peephole.run = [](FunctionState& s) { return ppc::peephole(s.machine); };
+  peephole.run = [](FunctionState& s) {
+    return mach::peephole(s.machine, *s.target);
+  };
   r.add(std::move(peephole));
 
   StepDef schedule;
   schedule.name = "schedule";
   schedule.level = Level::Machine;
-  schedule.run = [](FunctionState& s) { return ppc::schedule(s.machine); };
+  schedule.run = [](FunctionState& s) {
+    return mach::schedule(s.machine, *s.target);
+  };
   r.add(std::move(schedule));
 
   return r;
@@ -206,7 +217,7 @@ void PassManager::run_step(FunctionState& state, const StepDef& def) const {
 
 int PassManager::execute(FunctionState& state, const StepDef& def) const {
   rtl::Function rtl_before;
-  ppc::AsmFunction machine_before;
+  mach::AsmFunction machine_before;
   const bool snapshot = options_.hook && options_.snapshots;
   if (snapshot) {
     if (def.level == Level::Rtl)

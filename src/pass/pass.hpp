@@ -1,7 +1,7 @@
 // The pass framework: the compile path as data instead of a call sequence.
 //
 // A `PassManager` owns an ordered pipeline of named steps over both IR
-// levels — RTL function passes (constprop, cse, ...) and PPC machine passes
+// levels — RTL function passes (constprop, cse, ...) and machine passes
 // (selfmove, peephole, schedule) — plus the structural skeleton steps that
 // change representation (lower, regalloc, emit). The driver builds one
 // pipeline per `driver::Config` from the step `Registry`; nothing in
@@ -38,8 +38,8 @@
 #include <vector>
 
 #include "minic/ast.hpp"
-#include "ppc/codegen.hpp"
-#include "ppc/program.hpp"
+#include "mach/codegen.hpp"
+#include "mach/program.hpp"
 #include "regalloc/regalloc.hpp"
 #include "rtl/lower.hpp"
 #include "rtl/rtl.hpp"
@@ -58,7 +58,7 @@ std::string to_string(Level level);
 struct FunctionState {
   const minic::Program* program = nullptr;
   const minic::Function* source = nullptr;
-  ppc::DataLayout* layout = nullptr;
+  mach::DataLayout* layout = nullptr;
 
   rtl::Function rtl;
   /// Snapshot taken by the regalloc step just before allocation — the
@@ -66,15 +66,20 @@ struct FunctionState {
   /// rtl_optimized without forcing per-pass snapshots on).
   rtl::Function rtl_pre_regalloc;
   regalloc::Allocation alloc;
-  ppc::AsmFunction machine;
+  mach::AsmFunction machine;
   bool emitted = false;  // `machine` holds valid code
 
   // Per-configuration knobs consumed by the structural steps.
   rtl::LowerMode lower_mode = rtl::LowerMode::Value;
   bool small_data_area = true;
   bool spread_colors = false;
-  int k_int = ppc::kAllocatableGprs;
-  int k_float = ppc::kAllocatableFprs;
+  /// The target being compiled for; the driver sets it before running any
+  /// pipeline (regalloc reads register-class sizes from it, emit/peephole/
+  /// schedule pass it to the machine layer).
+  const mach::TargetDesc* target = nullptr;
+  /// Register-class sizes for the allocator; 0 = take them from `target`.
+  int k_int = 0;
+  int k_float = 0;
 
   [[nodiscard]] const std::string& name() const { return source->name; }
 };
@@ -102,7 +107,7 @@ struct StepTrace {
   Level level = Level::Rtl;
   const FunctionState* state = nullptr;           // after the step
   const rtl::Function* rtl_before = nullptr;      // Level::Rtl steps
-  const ppc::AsmFunction* machine_before = nullptr;  // Level::Machine steps
+  const mach::AsmFunction* machine_before = nullptr;  // Level::Machine steps
   int rewrites = 0;
 };
 

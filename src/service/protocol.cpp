@@ -4,8 +4,11 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+
+#include "mach/target.hpp"
 
 namespace vc::service {
 
@@ -129,6 +132,8 @@ int connect_unix(const std::string& path) {
 std::string JobRequest::class_key() const {
   std::string key = driver::to_string(config);
   key += '|';
+  key += target;
+  key += '|';
   key += std::to_string(exec_cycles);
   key += cold_caches ? "|cold" : "|warm";
   key += wcet ? "|wcet" : "|-";
@@ -151,12 +156,13 @@ Hash128 JobRequest::request_hash() const {
   Fnv128 h;
   // Length-framed fields, exactly like the artifact-store key: no two
   // distinct requests may collide by concatenation.
-  h.update_sized("vccd-incremental-1");
+  h.update_sized("vccd-incremental-2");
   h.update_sized(driver::kCompilerVersion);  // pass-pipeline identity
   h.update_sized(source);
   h.update_sized(entry);
   h.update_sized(name);
   h.update_sized(driver::to_string(config));
+  h.update_sized(target);
   h.update_u64(static_cast<std::uint64_t>(exec_cycles));
   h.update_bool(cold_caches);
   h.update_bool(wcet);
@@ -250,6 +256,17 @@ ParsedRequest parse_request(const std::string& payload) {
                  },
                  &err) &&
       err.empty() &&
+      read_field(doc, "target", str, str,
+                 [&](const json::Value& v) {
+                   const auto& known = mach::target_names();
+                   if (std::find(known.begin(), known.end(), v.as_string()) !=
+                       known.end())
+                     job.target = v.as_string();
+                   else
+                     err = "unknown target '" + v.as_string() + "'";
+                 },
+                 &err) &&
+      err.empty() &&
       read_field(doc, "exec_cycles", i, u,
                  [&](const json::Value& v) {
                    const std::int64_t n = v.as_i64();
@@ -330,6 +347,7 @@ json::Value job_to_json(const JobRequest& job) {
   doc["source"] = json::Value(job.source);
   doc["entry"] = json::Value(job.entry);
   doc["config"] = json::Value(driver::to_string(job.config));
+  doc["target"] = json::Value(job.target);
   doc["exec_cycles"] = json::Value(static_cast<std::int64_t>(job.exec_cycles));
   doc["cold_caches"] = json::Value(job.cold_caches);
   doc["wcet"] = json::Value(job.wcet);

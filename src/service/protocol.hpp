@@ -77,6 +77,7 @@ struct JobRequest {
   std::string source;        // full mini-C program text
   std::string entry;         // entry function; "auto" = the sole function
   driver::Config config = driver::Config::Verified;
+  std::string target = "ppc";  // target ISA (validated against src/targets)
   int exec_cycles = 0;
   bool cold_caches = false;
   bool wcet = false;

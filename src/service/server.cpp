@@ -383,6 +383,7 @@ void ServiceServer::process_batch(std::vector<Queued> batch) {
 
     driver::FleetOptions fleet;
     fleet.jobs = options_.jobs;
+    fleet.target = head.target;
     fleet.configs = {head.config};
     fleet.exec_cycles = head.exec_cycles;
     fleet.cold_caches = head.cold_caches;

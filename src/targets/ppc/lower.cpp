@@ -1,10 +1,19 @@
-#include "ppc/codegen.hpp"
+// PPC RTL lowering: allocator colors map to r14../f14.., compares go
+// through the condition register (cmpw/fcmpu + bc / mfcr+rlwinm), globals
+// are d-form accesses off r2 (small-data) or lis @ha / @l pairs.
+#include "targets/ppc/target.hpp"
 
-#include <algorithm>
-
-namespace vc::ppc {
+namespace vc::targets {
 namespace {
 
+using mach::AsmFunction;
+using mach::AsmOp;
+using mach::DataLayout;
+using mach::EmitOptions;
+using mach::MInstr;
+using mach::MOp;
+using mach::RelocKind;
+using mach::TargetDesc;
 using minic::BinOp;
 using minic::UnOp;
 using rtl::Opcode;
@@ -48,7 +57,7 @@ CmpPlan plan_compare(BinOp op) {
       p.bit = kCr1Scratch; p.expect = true;
       break;
     default:
-      throw InternalError("plan_compare on non-comparison");
+      throw vc::InternalError("plan_compare on non-comparison");
   }
   return p;
 }
@@ -56,8 +65,10 @@ CmpPlan plan_compare(BinOp op) {
 class Emitter {
  public:
   Emitter(const rtl::Function& fn, const regalloc::Allocation& alloc,
-          DataLayout& layout, EmitOptions options)
-      : fn_(fn), alloc_(alloc), layout_(layout), options_(options) {}
+          DataLayout& layout, const TargetDesc& desc,
+          const EmitOptions& options)
+      : fn_(fn), alloc_(alloc), layout_(layout), desc_(desc),
+        options_(options) {}
 
   AsmFunction run() {
     out_.name = fn_.name;
@@ -69,7 +80,7 @@ class Emitter {
 
     // Prologue.
     if (out_.frame_bytes != 0)
-      push(make_regimm(POp::Addi, kStackPtr, kStackPtr,
+      push(make_regimm(MOp::Addi, desc_.stack_ptr, desc_.stack_ptr,
                        -static_cast<std::int32_t>(out_.frame_bytes)));
 
     for (rtl::BlockId b = 0; b < fn_.blocks.size(); ++b) {
@@ -84,29 +95,25 @@ class Emitter {
 
   [[nodiscard]] int gpr_of(VReg v) const {
     const auto& loc = alloc_.locs[v];
-    check(loc.in_reg && fn_.vregs[v] == RegClass::I32,
-          "expected an allocated GPR vreg");
-    check(loc.color < kAllocatableGprs, "GPR color out of range");
-    return kFirstAllocGpr + loc.color;
+    vc::check(loc.in_reg && fn_.vregs[v] == RegClass::I32,
+              "expected an allocated GPR vreg");
+    vc::check(loc.color < desc_.n_int_colors(), "GPR color out of range");
+    return desc_.alloc_gprs[static_cast<std::size_t>(loc.color)];
   }
 
   [[nodiscard]] int fpr_of(VReg v) const {
     const auto& loc = alloc_.locs[v];
-    check(loc.in_reg && fn_.vregs[v] == RegClass::F64,
-          "expected an allocated FPR vreg");
-    check(loc.color < kAllocatableFprs, "FPR color out of range");
-    return kFirstAllocFpr + loc.color;
-  }
-
-  [[nodiscard]] int reg_of(VReg v) const {
-    return fn_.vregs[v] == RegClass::I32 ? gpr_of(v) : fpr_of(v);
+    vc::check(loc.in_reg && fn_.vregs[v] == RegClass::F64,
+              "expected an allocated FPR vreg");
+    vc::check(loc.color < desc_.n_float_colors(), "FPR color out of range");
+    return desc_.alloc_fprs[static_cast<std::size_t>(loc.color)];
   }
 
   [[nodiscard]] std::int32_t slot_offset(rtl::Slot s) const {
     return 8 + 8 * static_cast<std::int32_t>(s);
   }
 
-  static MInstr make_regimm(POp op, int rd, int ra, std::int32_t imm) {
+  static MInstr make_regimm(MOp op, int rd, int ra, std::int32_t imm) {
     MInstr m;
     m.op = op;
     m.rd = static_cast<std::uint8_t>(rd);
@@ -115,7 +122,7 @@ class Emitter {
     return m;
   }
 
-  static MInstr make_reg3(POp op, int rd, int ra, int rb, int rc = 0) {
+  static MInstr make_reg3(MOp op, int rd, int ra, int rb, int rc = 0) {
     MInstr m;
     m.op = op;
     m.rd = static_cast<std::uint8_t>(rd);
@@ -144,27 +151,28 @@ class Emitter {
   /// Emits a d-form global/constant-pool access. With small-data addressing
   /// this is one instruction off r2; without it, a lis @ha / d-form @l pair
   /// through the scratch register.
-  void access_global(POp dform, int value_reg, const std::string& sym,
+  void access_global(MOp dform, int value_reg, const std::string& sym,
                      std::int32_t addend) {
     if (options_.small_data_area) {
-      push_reloc(make_regimm(dform, value_reg, kDataBasePtr, 0), sym, addend);
+      push_reloc(make_regimm(dform, value_reg, desc_.data_base, 0), sym,
+                 addend);
       return;
     }
-    push_reloc(make_regimm(POp::Lis, kScratchGpr0, 0, 0), sym, addend,
+    push_reloc(make_regimm(MOp::Lis, desc_.scratch_gpr0, 0, 0), sym, addend,
                RelocKind::AbsHa);
-    push_reloc(make_regimm(dform, value_reg, kScratchGpr0, 0), sym, addend,
-               RelocKind::AbsLo);
+    push_reloc(make_regimm(dform, value_reg, desc_.scratch_gpr0, 0), sym,
+               addend, RelocKind::AbsLo);
   }
 
   /// Materializes the address of sym+addend into `reg`.
   void load_global_address(int reg, const std::string& sym,
                            std::int32_t addend) {
     if (options_.small_data_area) {
-      push_reloc(make_regimm(POp::Addi, reg, kDataBasePtr, 0), sym, addend);
+      push_reloc(make_regimm(MOp::Addi, reg, desc_.data_base, 0), sym, addend);
       return;
     }
-    push_reloc(make_regimm(POp::Lis, reg, 0, 0), sym, addend, RelocKind::AbsHa);
-    push_reloc(make_regimm(POp::Addi, reg, reg, 0), sym, addend,
+    push_reloc(make_regimm(MOp::Lis, reg, 0, 0), sym, addend, RelocKind::AbsHa);
+    push_reloc(make_regimm(MOp::Addi, reg, reg, 0), sym, addend,
                RelocKind::AbsLo);
   }
 
@@ -176,12 +184,12 @@ class Emitter {
   }
 
   void load_imm(int rd, std::int32_t value) {
-    if (value >= -32768 && value <= 32767) {
-      push(make_regimm(POp::Li, rd, 0, value));
+    if (value >= desc_.imm_min && value <= desc_.imm_max) {
+      push(make_regimm(MOp::Li, rd, 0, value));
     } else {
-      push(make_regimm(POp::Lis, rd, 0, value >> 16));
+      push(make_regimm(MOp::Lis, rd, 0, value >> 16));
       const std::int32_t lo = value & 0xFFFF;
-      if (lo != 0) push(make_regimm(POp::Ori, rd, rd, lo));
+      if (lo != 0) push(make_regimm(MOp::Ori, rd, rd, lo));
     }
   }
 
@@ -190,14 +198,14 @@ class Emitter {
     const CmpPlan p = plan_compare(op);
     if (p.is_float) {
       MInstr c;
-      c.op = POp::Fcmpu;
+      c.op = MOp::Fcmpu;
       c.crf = 1;
       c.ra = static_cast<std::uint8_t>(fpr_of(a));
       c.rb = static_cast<std::uint8_t>(fpr_of(b));
       push(c);
       if (p.need_cror) {
         MInstr r;
-        r.op = POp::Cror;
+        r.op = MOp::Cror;
         r.crbd = kCr1Scratch;
         r.crba = static_cast<std::uint8_t>(p.cror_a);
         r.crbb = static_cast<std::uint8_t>(p.cror_b);
@@ -205,7 +213,7 @@ class Emitter {
       }
     } else {
       MInstr c;
-      c.op = POp::Cmpw;
+      c.op = MOp::Cmpw;
       c.crf = 0;
       c.ra = static_cast<std::uint8_t>(gpr_of(a));
       c.rb = static_cast<std::uint8_t>(gpr_of(b));
@@ -216,22 +224,22 @@ class Emitter {
 
   /// Materializes CR[bit]==expect into rd as 0/1 (mfcr + rlwinm [+ xori]).
   void materialize_crbit(int rd, int bit, bool expect) {
-    push(make_regimm(POp::Mfcr, kScratchGpr0, 0, 0));
+    push(make_regimm(MOp::Mfcr, desc_.scratch_gpr0, 0, 0));
     MInstr rl;
-    rl.op = POp::Rlwinm;
+    rl.op = MOp::Rlwinm;
     rl.rd = static_cast<std::uint8_t>(rd);
-    rl.ra = kScratchGpr0;
+    rl.ra = static_cast<std::uint8_t>(desc_.scratch_gpr0);
     rl.sh = static_cast<std::uint8_t>(bit + 1);
     rl.mb = 31;
     rl.me = 31;
     push(rl);
-    if (!expect) push(make_regimm(POp::Xori, rd, rd, 1));
+    if (!expect) push(make_regimm(MOp::Xori, rd, rd, 1));
   }
 
   [[nodiscard]] int param_reg(int index) const {
     // The index-th parameter gets the next argument register of its class.
-    int gpr = kFirstArgGpr;
-    int fpr = kFirstArgFpr;
+    int gpr = desc_.first_arg_gpr;
+    int fpr = desc_.first_arg_fpr;
     for (int i = 0; i < index; ++i) {
       if (fn_.params[static_cast<std::size_t>(i)].cls == RegClass::I32)
         ++gpr;
@@ -241,7 +249,9 @@ class Emitter {
     const bool is_int =
         fn_.params[static_cast<std::size_t>(index)].cls == RegClass::I32;
     const int reg = is_int ? gpr : fpr;
-    check(is_int ? reg <= 10 : reg <= 8, "too many parameters for registers");
+    vc::check(is_int ? reg < desc_.first_arg_gpr + desc_.n_arg_gprs
+                     : reg < desc_.first_arg_fpr + desc_.n_arg_fprs,
+              "too many parameters for registers");
     return reg;
   }
 
@@ -254,15 +264,15 @@ class Emitter {
         return;
       case Opcode::LdF: {
         const std::uint32_t off = layout_.add_const(ins.f64_imm);
-        access_global(POp::Lfd, fpr_of(ins.dst), "$cpool",
+        access_global(MOp::Lfd, fpr_of(ins.dst), "$cpool",
                       static_cast<std::int32_t>(off));
         return;
       }
       case Opcode::Mov: {
         if (fn_.vregs[ins.dst] == RegClass::I32)
-          push(make_regimm(POp::Mr, gpr_of(ins.dst), gpr_of(ins.src1), 0));
+          push(make_regimm(MOp::Mr, gpr_of(ins.dst), gpr_of(ins.src1), 0));
         else
-          push(make_reg3(POp::Fmr, fpr_of(ins.dst), fpr_of(ins.src1), 0));
+          push(make_reg3(MOp::Fmr, fpr_of(ins.dst), fpr_of(ins.src1), 0));
         return;
       }
       case Opcode::Un:
@@ -275,18 +285,18 @@ class Emitter {
         const std::uint32_t esz = layout_.elem_size(ins.sym);
         const std::int32_t addend = static_cast<std::int32_t>(esz) * ins.elem;
         if (esz == 8)
-          access_global(POp::Lfd, fpr_of(ins.dst), ins.sym, addend);
+          access_global(MOp::Lfd, fpr_of(ins.dst), ins.sym, addend);
         else
-          access_global(POp::Lwz, gpr_of(ins.dst), ins.sym, addend);
+          access_global(MOp::Lwz, gpr_of(ins.dst), ins.sym, addend);
         return;
       }
       case Opcode::StoreGlobal: {
         const std::uint32_t esz = layout_.elem_size(ins.sym);
         const std::int32_t addend = static_cast<std::int32_t>(esz) * ins.elem;
         if (esz == 8)
-          access_global(POp::Stfd, fpr_of(ins.src1), ins.sym, addend);
+          access_global(MOp::Stfd, fpr_of(ins.src1), ins.sym, addend);
         else
-          access_global(POp::Stw, gpr_of(ins.src1), ins.sym, addend);
+          access_global(MOp::Stw, gpr_of(ins.src1), ins.sym, addend);
         return;
       }
       case Opcode::LoadGlobalIdx:
@@ -294,10 +304,10 @@ class Emitter {
         const bool is_store = ins.op == Opcode::StoreGlobalIdx;
         const VReg idx = is_store ? ins.src2 : ins.src1;
         const std::uint32_t esz = layout_.elem_size(ins.sym);
-        // r11 <- idx * esz, then an x-form access against the array base.
+        // scratch <- idx * esz, then an x-form access against the array base.
         MInstr sl;
-        sl.op = POp::Rlwinm;
-        sl.rd = kScratchGpr0;
+        sl.op = MOp::Rlwinm;
+        sl.rd = static_cast<std::uint8_t>(desc_.scratch_gpr0);
         sl.ra = static_cast<std::uint8_t>(gpr_of(idx));
         sl.sh = esz == 8 ? 3 : 2;
         sl.mb = 0;
@@ -306,122 +316,123 @@ class Emitter {
         int base_reg;
         if (options_.small_data_area) {
           // Fold the array offset into the index register, base off r2.
-          push_reloc(make_regimm(POp::Addi, kScratchGpr0, kScratchGpr0, 0),
+          push_reloc(make_regimm(MOp::Addi, desc_.scratch_gpr0,
+                                 desc_.scratch_gpr0, 0),
                      ins.sym, 0);
-          base_reg = kDataBasePtr;
+          base_reg = desc_.data_base;
         } else {
-          load_global_address(kScratchGpr1, ins.sym, 0);
-          base_reg = kScratchGpr1;
+          load_global_address(desc_.scratch_gpr1, ins.sym, 0);
+          base_reg = desc_.scratch_gpr1;
         }
         if (is_store) {
           if (esz == 8)
-            push(make_reg3(POp::Stfdx, fpr_of(ins.src1), base_reg,
-                           kScratchGpr0));
+            push(make_reg3(MOp::Stfdx, fpr_of(ins.src1), base_reg,
+                           desc_.scratch_gpr0));
           else
-            push(make_reg3(POp::Stwx, gpr_of(ins.src1), base_reg,
-                           kScratchGpr0));
+            push(make_reg3(MOp::Stwx, gpr_of(ins.src1), base_reg,
+                           desc_.scratch_gpr0));
         } else {
           if (esz == 8)
-            push(make_reg3(POp::Lfdx, fpr_of(ins.dst), base_reg,
-                           kScratchGpr0));
+            push(make_reg3(MOp::Lfdx, fpr_of(ins.dst), base_reg,
+                           desc_.scratch_gpr0));
           else
-            push(make_reg3(POp::Lwzx, gpr_of(ins.dst), base_reg,
-                           kScratchGpr0));
+            push(make_reg3(MOp::Lwzx, gpr_of(ins.dst), base_reg,
+                           desc_.scratch_gpr0));
         }
         return;
       }
       case Opcode::LoadStack: {
         const std::int32_t off = slot_offset(ins.slot);
         if (fn_.slots[ins.slot] == RegClass::F64)
-          push(make_regimm(POp::Lfd, fpr_of(ins.dst), kStackPtr, off));
+          push(make_regimm(MOp::Lfd, fpr_of(ins.dst), desc_.stack_ptr, off));
         else
-          push(make_regimm(POp::Lwz, gpr_of(ins.dst), kStackPtr, off));
+          push(make_regimm(MOp::Lwz, gpr_of(ins.dst), desc_.stack_ptr, off));
         return;
       }
       case Opcode::StoreStack: {
         const std::int32_t off = slot_offset(ins.slot);
         if (fn_.slots[ins.slot] == RegClass::F64)
-          push(make_regimm(POp::Stfd, fpr_of(ins.src1), kStackPtr, off));
+          push(make_regimm(MOp::Stfd, fpr_of(ins.src1), desc_.stack_ptr, off));
         else
-          push(make_regimm(POp::Stw, gpr_of(ins.src1), kStackPtr, off));
+          push(make_regimm(MOp::Stw, gpr_of(ins.src1), desc_.stack_ptr, off));
         return;
       }
       case Opcode::GetParam: {
         const int src = param_reg(ins.param_index);
         if (fn_.vregs[ins.dst] == RegClass::I32)
-          push(make_regimm(POp::Mr, gpr_of(ins.dst), src, 0));
+          push(make_regimm(MOp::Mr, gpr_of(ins.dst), src, 0));
         else
-          push(make_reg3(POp::Fmr, fpr_of(ins.dst), src, 0));
+          push(make_reg3(MOp::Fmr, fpr_of(ins.dst), src, 0));
         return;
       }
       case Opcode::Jump: {
         MInstr b;
-        b.op = POp::B;
+        b.op = MOp::B;
         push_branch(b, static_cast<int>(ins.target));
         return;
       }
       case Opcode::Branch: {
         MInstr c;
-        c.op = POp::Cmpwi;
+        c.op = MOp::Cmpwi;
         c.crf = 0;
         c.ra = static_cast<std::uint8_t>(gpr_of(ins.src1));
         c.imm = 0;
         push(c);
         MInstr bc;
-        bc.op = POp::Bc;
+        bc.op = MOp::Bc;
         bc.crbit = kCr0Eq;
         bc.expect = false;  // branch if src != 0
         push_branch(bc, static_cast<int>(ins.target));
         MInstr b;
-        b.op = POp::B;
+        b.op = MOp::B;
         push_branch(b, static_cast<int>(ins.target2));
         return;
       }
       case Opcode::BranchCmp: {
         const CmpPlan p = emit_compare(ins.bin_op, ins.src1, ins.src2);
         MInstr bc;
-        bc.op = POp::Bc;
+        bc.op = MOp::Bc;
         bc.crbit = static_cast<std::uint8_t>(p.bit);
         bc.expect = p.expect;
         push_branch(bc, static_cast<int>(ins.target));
         MInstr b;
-        b.op = POp::B;
+        b.op = MOp::B;
         push_branch(b, static_cast<int>(ins.target2));
         return;
       }
       case Opcode::Ret: {
         if (ins.src1 != rtl::kNoVReg) {
           if (fn_.vregs[ins.src1] == RegClass::I32) {
-            if (gpr_of(ins.src1) != kRetGpr)
-              push(make_regimm(POp::Mr, kRetGpr, gpr_of(ins.src1), 0));
-          } else if (fpr_of(ins.src1) != kRetFpr) {
-            push(make_reg3(POp::Fmr, kRetFpr, fpr_of(ins.src1), 0));
+            if (gpr_of(ins.src1) != desc_.ret_gpr)
+              push(make_regimm(MOp::Mr, desc_.ret_gpr, gpr_of(ins.src1), 0));
+          } else if (fpr_of(ins.src1) != desc_.ret_fpr) {
+            push(make_reg3(MOp::Fmr, desc_.ret_fpr, fpr_of(ins.src1), 0));
           }
         }
         if (out_.frame_bytes != 0)
-          push(make_regimm(POp::Addi, kStackPtr, kStackPtr,
+          push(make_regimm(MOp::Addi, desc_.stack_ptr, desc_.stack_ptr,
                            static_cast<std::int32_t>(out_.frame_bytes)));
         MInstr blr;
-        blr.op = POp::Blr;
+        blr.op = MOp::Blr;
         push(blr);
         return;
       }
       case Opcode::Annot: {
-        AnnotEntry entry;
+        mach::AnnotEntry entry;
         entry.addr = static_cast<std::uint32_t>(out_.ops.size());
         entry.format = ins.annot_format;
         for (const rtl::AnnotOperand& a : ins.annot_args) {
-          MLoc loc;
+          mach::MLoc loc;
           if (a.is_slot) {
-            loc.kind = MLoc::Kind::StackSlot;
+            loc.kind = mach::MLoc::Kind::StackSlot;
             loc.offset = slot_offset(a.slot) -
                          static_cast<std::int32_t>(out_.frame_bytes);
             loc.is_f64 = fn_.slots[a.slot] == RegClass::F64;
           } else if (fn_.vregs[a.vreg] == RegClass::I32) {
-            loc.kind = MLoc::Kind::Gpr;
+            loc.kind = mach::MLoc::Kind::Gpr;
             loc.index = gpr_of(a.vreg);
           } else {
-            loc.kind = MLoc::Kind::Fpr;
+            loc.kind = mach::MLoc::Kind::Fpr;
             loc.index = fpr_of(a.vreg);
           }
           entry.operands.push_back(loc);
@@ -430,98 +441,98 @@ class Emitter {
         return;
       }
     }
-    throw InternalError("bad RTL opcode in codegen");
+    throw vc::InternalError("bad RTL opcode in codegen");
   }
 
   void emit_unary(const rtl::Instr& ins) {
     switch (ins.un_op) {
       case UnOp::INeg:
-        push(make_regimm(POp::Neg, gpr_of(ins.dst), gpr_of(ins.src1), 0));
+        push(make_regimm(MOp::Neg, gpr_of(ins.dst), gpr_of(ins.src1), 0));
         return;
       case UnOp::INot:
-        push(make_reg3(POp::Nor, gpr_of(ins.dst), gpr_of(ins.src1),
+        push(make_reg3(MOp::Nor, gpr_of(ins.dst), gpr_of(ins.src1),
                        gpr_of(ins.src1)));
         return;
       case UnOp::FNeg:
-        push(make_reg3(POp::Fneg, fpr_of(ins.dst), fpr_of(ins.src1), 0));
+        push(make_reg3(MOp::Fneg, fpr_of(ins.dst), fpr_of(ins.src1), 0));
         return;
       case UnOp::FAbs:
-        push(make_reg3(POp::Fabs, fpr_of(ins.dst), fpr_of(ins.src1), 0));
+        push(make_reg3(MOp::Fabs, fpr_of(ins.dst), fpr_of(ins.src1), 0));
         return;
       case UnOp::I2F:
-        push(make_reg3(POp::Icvf, fpr_of(ins.dst), gpr_of(ins.src1), 0));
+        push(make_reg3(MOp::Icvf, fpr_of(ins.dst), gpr_of(ins.src1), 0));
         return;
       case UnOp::F2I:
-        push(make_reg3(POp::Fcti, gpr_of(ins.dst), fpr_of(ins.src1), 0));
+        push(make_reg3(MOp::Fcti, gpr_of(ins.dst), fpr_of(ins.src1), 0));
         return;
       case UnOp::LNot:
-        throw InternalError("LNot must be expanded during lowering");
+        throw vc::InternalError("LNot must be expanded during lowering");
     }
-    throw InternalError("bad UnOp in codegen");
+    throw vc::InternalError("bad UnOp in codegen");
   }
 
   void emit_binary(const rtl::Instr& ins) {
     switch (ins.bin_op) {
       case BinOp::IAdd:
-        push(make_reg3(POp::Add, gpr_of(ins.dst), gpr_of(ins.src1),
+        push(make_reg3(MOp::Add, gpr_of(ins.dst), gpr_of(ins.src1),
                        gpr_of(ins.src2)));
         return;
       case BinOp::ISub:
         // subf rd, ra, rb computes rb - ra.
-        push(make_reg3(POp::Subf, gpr_of(ins.dst), gpr_of(ins.src2),
+        push(make_reg3(MOp::Subf, gpr_of(ins.dst), gpr_of(ins.src2),
                        gpr_of(ins.src1)));
         return;
       case BinOp::IMul:
-        push(make_reg3(POp::Mullw, gpr_of(ins.dst), gpr_of(ins.src1),
+        push(make_reg3(MOp::Mullw, gpr_of(ins.dst), gpr_of(ins.src1),
                        gpr_of(ins.src2)));
         return;
       case BinOp::IDiv:
-        push(make_reg3(POp::Divw, gpr_of(ins.dst), gpr_of(ins.src1),
+        push(make_reg3(MOp::Divw, gpr_of(ins.dst), gpr_of(ins.src1),
                        gpr_of(ins.src2)));
         return;
       case BinOp::IRem: {
-        // r11 = a / b ; r11 = r11 * b ; rd = a - r11.
+        // scratch = a / b ; scratch = scratch * b ; rd = a - scratch.
         const int a = gpr_of(ins.src1);
         const int b = gpr_of(ins.src2);
-        push(make_reg3(POp::Divw, kScratchGpr0, a, b));
-        push(make_reg3(POp::Mullw, kScratchGpr0, kScratchGpr0, b));
-        push(make_reg3(POp::Subf, gpr_of(ins.dst), kScratchGpr0, a));
+        push(make_reg3(MOp::Divw, desc_.scratch_gpr0, a, b));
+        push(make_reg3(MOp::Mullw, desc_.scratch_gpr0, desc_.scratch_gpr0, b));
+        push(make_reg3(MOp::Subf, gpr_of(ins.dst), desc_.scratch_gpr0, a));
         return;
       }
       case BinOp::IAnd:
-        push(make_reg3(POp::And, gpr_of(ins.dst), gpr_of(ins.src1),
+        push(make_reg3(MOp::And, gpr_of(ins.dst), gpr_of(ins.src1),
                        gpr_of(ins.src2)));
         return;
       case BinOp::IOr:
-        push(make_reg3(POp::Or, gpr_of(ins.dst), gpr_of(ins.src1),
+        push(make_reg3(MOp::Or, gpr_of(ins.dst), gpr_of(ins.src1),
                        gpr_of(ins.src2)));
         return;
       case BinOp::IXor:
-        push(make_reg3(POp::Xor, gpr_of(ins.dst), gpr_of(ins.src1),
+        push(make_reg3(MOp::Xor, gpr_of(ins.dst), gpr_of(ins.src1),
                        gpr_of(ins.src2)));
         return;
       case BinOp::IShl:
-        push(make_reg3(POp::Slw, gpr_of(ins.dst), gpr_of(ins.src1),
+        push(make_reg3(MOp::Slw, gpr_of(ins.dst), gpr_of(ins.src1),
                        gpr_of(ins.src2)));
         return;
       case BinOp::IShr:
-        push(make_reg3(POp::Sraw, gpr_of(ins.dst), gpr_of(ins.src1),
+        push(make_reg3(MOp::Sraw, gpr_of(ins.dst), gpr_of(ins.src1),
                        gpr_of(ins.src2)));
         return;
       case BinOp::FAdd:
-        push(make_reg3(POp::Fadd, fpr_of(ins.dst), fpr_of(ins.src1),
+        push(make_reg3(MOp::Fadd, fpr_of(ins.dst), fpr_of(ins.src1),
                        fpr_of(ins.src2)));
         return;
       case BinOp::FSub:
-        push(make_reg3(POp::Fsub, fpr_of(ins.dst), fpr_of(ins.src1),
+        push(make_reg3(MOp::Fsub, fpr_of(ins.dst), fpr_of(ins.src1),
                        fpr_of(ins.src2)));
         return;
       case BinOp::FMul:
-        push(make_reg3(POp::Fmul, fpr_of(ins.dst), fpr_of(ins.src1),
+        push(make_reg3(MOp::Fmul, fpr_of(ins.dst), fpr_of(ins.src1),
                        fpr_of(ins.src2)));
         return;
       case BinOp::FDiv:
-        push(make_reg3(POp::Fdiv, fpr_of(ins.dst), fpr_of(ins.src1),
+        push(make_reg3(MOp::Fdiv, fpr_of(ins.dst), fpr_of(ins.src1),
                        fpr_of(ins.src2)));
         return;
       case BinOp::ICmpEq: case BinOp::ICmpNe: case BinOp::ICmpLt:
@@ -534,81 +545,27 @@ class Emitter {
       }
       case BinOp::FMin:
       case BinOp::FMax:
-        throw InternalError("fmin/fmax must be expanded during lowering");
+        throw vc::InternalError("fmin/fmax must be expanded during lowering");
     }
-    throw InternalError("bad BinOp in codegen");
+    throw vc::InternalError("bad BinOp in codegen");
   }
 
   const rtl::Function& fn_;
   const regalloc::Allocation& alloc_;
   DataLayout& layout_;
+  const TargetDesc& desc_;
   EmitOptions options_;
   AsmFunction out_;
 };
 
 }  // namespace
 
-std::size_t AsmFunction::label_pos(int label) const {
-  for (const auto& [l, pos] : labels)
-    if (l == label) return pos;
-  throw InternalError("unknown label");
+mach::AsmFunction ppc_lower(const rtl::Function& fn,
+                            const regalloc::Allocation& alloc,
+                            mach::DataLayout& layout,
+                            const mach::TargetDesc& desc,
+                            const mach::EmitOptions& options) {
+  return Emitter(fn, alloc, layout, desc, options).run();
 }
 
-AsmFunction emit_function(const rtl::Function& fn,
-                          const regalloc::Allocation& alloc,
-                          DataLayout& layout, EmitOptions options) {
-  return Emitter(fn, alloc, layout, options).run();
-}
-
-MachineFunction finalize(const AsmFunction& asm_fn) {
-  MachineFunction out;
-  out.name = asm_fn.name;
-  out.frame_bytes = asm_fn.frame_bytes;
-  out.code.reserve(asm_fn.ops.size());
-  for (std::size_t i = 0; i < asm_fn.ops.size(); ++i) {
-    const AsmOp& op = asm_fn.ops[i];
-    MInstr ins = op.ins;
-    if (op.target_label >= 0) {
-      const std::size_t target = asm_fn.label_pos(op.target_label);
-      ins.disp = static_cast<std::int32_t>(target) -
-                 static_cast<std::int32_t>(i);
-    }
-    if (!op.reloc_sym.empty())
-      out.relocs.push_back(
-          Reloc{i, op.reloc_sym, op.reloc_addend, op.reloc_kind});
-    out.code.push_back(ins);
-  }
-  for (const AnnotEntry& a : asm_fn.annots) {
-    AnnotEntry e = a;
-    // Clamp annotations that fall at the very end of the function.
-    if (e.addr >= out.code.size() && !out.code.empty())
-      e.addr = static_cast<std::uint32_t>(out.code.size() - 1);
-    out.annots.push_back(std::move(e));
-  }
-  return out;
-}
-
-int remove_self_moves(AsmFunction& fn) {
-  std::vector<AsmOp> kept;
-  std::vector<std::size_t> new_index(fn.ops.size() + 1, 0);
-  int removed = 0;
-  for (std::size_t i = 0; i < fn.ops.size(); ++i) {
-    new_index[i] = kept.size();
-    const MInstr& m = fn.ops[i].ins;
-    const bool self_move = (m.op == POp::Mr || m.op == POp::Fmr) &&
-                           m.rd == m.ra && fn.ops[i].target_label < 0;
-    if (self_move) {
-      ++removed;
-      continue;
-    }
-    kept.push_back(fn.ops[i]);
-  }
-  new_index[fn.ops.size()] = kept.size();
-  if (removed == 0) return 0;
-  for (auto& [label, pos] : fn.labels) pos = new_index[pos];
-  for (auto& a : fn.annots) a.addr = static_cast<std::uint32_t>(new_index[a.addr]);
-  fn.ops = std::move(kept);
-  return removed;
-}
-
-}  // namespace vc::ppc
+}  // namespace vc::targets

@@ -1,0 +1,42 @@
+// The target registry: the one place that maps --target names to
+// descriptors. Declared in src/mach/target.hpp but defined here so the
+// target-neutral layers never name a concrete target.
+#include <vector>
+
+#include "mach/target.hpp"
+#include "support/diagnostics.hpp"
+#include "targets/ppc/target.hpp"
+#include "targets/rv32/target.hpp"
+
+namespace vc::mach {
+namespace {
+
+std::vector<const TargetDesc*> registry() {
+  return {&targets::ppc_target(), &targets::rv32_target()};
+}
+
+}  // namespace
+
+const TargetDesc& target_by_name(const std::string& name) {
+  for (const TargetDesc* t : registry())
+    if (t->name == name) return *t;
+  std::string known;
+  for (const TargetDesc* t : registry()) {
+    if (!known.empty()) known += ", ";
+    known += t->name;
+  }
+  throw CompileError("unknown target '" + name + "' (known targets: " + known +
+                     ")");
+}
+
+std::vector<std::string> target_names() {
+  std::vector<std::string> names;
+  for (const TargetDesc* t : registry()) names.push_back(t->name);
+  return names;
+}
+
+const std::string& default_target_name() {
+  return registry().front()->name;
+}
+
+}  // namespace vc::mach

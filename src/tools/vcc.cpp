@@ -9,6 +9,8 @@
 //   vcc [options] file.mc
 //   vcc [options] --batch dir
 //     --config=<O0|O1|verified|O2>   compiler configuration (default verified)
+//     --target=<ppc|rv32>            target ISA (default ppc); strict: an
+//                                    unknown or empty name is a usage error
 //     --emit-asm                     print the disassembly listing
 //     --wcet=<function>              print the WCET bound of <function>
 //     --wcet-engine=<structural|ipet|both>
@@ -70,7 +72,7 @@
 #include "machine/machine.hpp"
 #include "minic/parser.hpp"
 #include "minic/typecheck.hpp"
-#include "ppc/isa.hpp"
+#include "mach/isa.hpp"
 #include "rtl/rtl.hpp"
 #include "support/strings.hpp"
 #include "support/workspace.hpp"
@@ -86,7 +88,8 @@ using namespace vc;
 
 [[noreturn]] void usage() {
   std::fputs(
-      "usage: vcc [--config=O0|O1|verified|O2] [--emit-asm]\n"
+      "usage: vcc [--config=O0|O1|verified|O2] [--target=ppc|rv32]\n"
+      "           [--emit-asm]\n"
       "           [--wcet=FN] [--wcet-engine=structural|ipet|both]\n"
       "           [--no-annotations] [--run=FN[:args]]\n"
       "           [--monitor=off|cfg|full]\n"
@@ -137,7 +140,7 @@ void dump_state(const std::string& pass, const pass::FunctionState& s) {
     for (const auto& [label, pos] : s.machine.labels)
       if (pos == i) std::printf("L%d:\n", label);
     std::printf("  %s\n",
-                ppc::format_instr(s.machine.ops[i].ins,
+                mach::format_instr(s.machine.ops[i].ins,
                                   static_cast<std::uint32_t>(i * 4))
                     .c_str());
   }
@@ -187,6 +190,7 @@ int run_batch_cli(const std::string& dir, const tools::BatchOptions& options) {
 /// Everything one daemon-submitted job inherits from the command line.
 struct ConnectParams {
   driver::Config config = driver::Config::Verified;
+  std::string target = "ppc";
   driver::ValidateLevel validate = driver::ValidateLevel::Off;
   std::string wcet_fn;  // empty = no WCET phase; "auto" resolves remotely
   wcet::WcetEngine wcet_engine = wcet::WcetEngine::Structural;
@@ -235,6 +239,7 @@ int run_connect(const std::string& socket_path, const std::string& path,
     job.source = read_file_or_die(files[i], /*exit_code=*/2);
     job.entry = params.wcet_fn.empty() ? "auto" : params.wcet_fn;
     job.config = params.config;
+    job.target = params.target;
     job.validate = params.validate;
     job.wcet = !params.wcet_fn.empty();
     job.wcet_engine = params.wcet_engine;
@@ -329,6 +334,10 @@ int main(int argc, char** argv) {
       const auto parsed = tools::parse_config_name(arg.substr(9));
       if (!parsed) die("unknown config '" + arg.substr(9) + "'");
       config = *parsed;
+    } else if (starts_with(arg, "--target=")) {
+      const auto parsed = tools::parse_target_name(arg.substr(9));
+      if (!parsed) die("unknown target '" + arg.substr(9) + "'");
+      copts.target = *parsed;
     } else if (arg == "--emit-asm") {
       emit_asm = true;
     } else if (arg == "--validate") {
@@ -398,6 +407,7 @@ int main(int argc, char** argv) {
       die("--run is local-only; use --exec-cycles=N with --connect");
     ConnectParams params;
     params.config = config;
+    params.target = copts.target;
     params.validate = validate_level;
     params.wcet_fn = wcet_fn;
     params.wcet_engine = wcet_engine;
@@ -410,6 +420,7 @@ int main(int argc, char** argv) {
   if (batch) {
     tools::BatchOptions batch_options;
     batch_options.config = config;
+    batch_options.target = copts.target;
     batch_options.validate = validate_level;
     batch_options.jobs = jobs;
     batch_options.cache_dir = cache_dir;

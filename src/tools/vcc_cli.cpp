@@ -14,6 +14,7 @@
 
 #include "artifact/image_io.hpp"
 #include "artifact/store.hpp"
+#include "mach/target.hpp"
 #include "minic/parser.hpp"
 #include "minic/typecheck.hpp"
 #include "support/threadpool.hpp"
@@ -81,6 +82,12 @@ const char* file_type_name(std::filesystem::file_type t) {
 
 std::optional<driver::Config> parse_config_name(const std::string& name) {
   return driver::parse_config(name);
+}
+
+std::optional<std::string> parse_target_name(const std::string& name) {
+  const std::vector<std::string> known = mach::target_names();
+  if (std::find(known.begin(), known.end(), name) != known.end()) return name;
+  return std::nullopt;
 }
 
 std::optional<driver::ValidateLevel> parse_validate_level(
@@ -210,7 +217,7 @@ BatchResult run_batch(const std::string& dir, const BatchOptions& options) {
           Hash128 key;
           if (store != nullptr) {
             key = artifact::ArtifactStore::make_key(
-                source, "", driver::to_string(options.config),
+                source, "", driver::to_string(options.config), options.target,
                 /*annotations=*/true, driver::kCompilerVersion);
             if (const auto loaded = store->lookup(key)) {
               std::snprintf(buf, sizeof buf,
@@ -229,12 +236,14 @@ BatchResult run_batch(const std::string& dir, const BatchOptions& options) {
 
           minic::Program program = minic::parse_program(source, files[i]);
           minic::type_check(program);
+          driver::CompileOptions copts;
+          copts.target = options.target;
           const driver::Compiled compiled =
               options.validate != driver::ValidateLevel::Off
                   ? validate::validated_compile(program, options.config,
                                                 /*n_tests=*/12, /*seed=*/1,
-                                                options.validate)
-                  : driver::compile_program(program, options.config);
+                                                options.validate, copts)
+                  : driver::compile_program(program, options.config, copts);
           if (store != nullptr) {
             json::Value doc;
             doc["functions"] = json::Value(
@@ -245,6 +254,7 @@ BatchResult run_batch(const std::string& dir, const BatchOptions& options) {
             json::Value info;
             info["file"] = json::Value(files[i]);
             info["config"] = json::Value(driver::to_string(options.config));
+            info["target"] = json::Value(options.target);
             info["compiler_version"] = json::Value(driver::kCompilerVersion);
             store->publish(key, artifact::serialize_image(compiled.image),
                            artifact::annotation_text(compiled.image), doc,

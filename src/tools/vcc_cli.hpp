@@ -65,6 +65,11 @@ inline std::optional<SplitFlag> split_flag(const std::string& arg) {
 /// unit-testable in one place.
 std::optional<driver::Config> parse_config_name(const std::string& name);
 
+/// Maps a --target= name to a registered target name ("ppc", "rv32");
+/// nullopt for unknown or empty names — strict CLIs diagnose and exit 2
+/// instead of silently compiling for the default ISA.
+std::optional<std::string> parse_target_name(const std::string& name);
+
 /// Maps a --validate= level name ("off", "rtl", "full") to the level;
 /// nullopt for unknown names. A bare --validate (no value) means Rtl, but
 /// that defaulting lives in the flag loop, not here.
@@ -124,6 +129,8 @@ struct ProfilePhase {
 /// the scrollback".
 struct BatchOptions {
   driver::Config config = driver::Config::Verified;
+  /// Target ISA every file compiles for (a registered src/targets name).
+  std::string target = "ppc";
   /// Translation-validation level (off / rtl / full). Validated runs bypass
   /// the artifact cache: re-checking the compilation is the point of the run.
   driver::ValidateLevel validate = driver::ValidateLevel::Off;

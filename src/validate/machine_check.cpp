@@ -11,19 +11,19 @@
 #include <string>
 #include <vector>
 
-#include "ppc/liveness.hpp"
-#include "ppc/timing.hpp"
+#include "mach/liveness.hpp"
+#include "mach/timing.hpp"
 #include "rtl/analysis.hpp"
 #include "support/bitset.hpp"
 #include "validate/validate.hpp"
 
 namespace vc::validate {
 
-using ppc::AsmFunction;
-using ppc::AsmOp;
-using ppc::IssueModel;
-using ppc::MInstr;
-using ppc::POp;
+using mach::AsmFunction;
+using mach::AsmOp;
+using mach::IssueModel;
+using mach::MInstr;
+using mach::MOp;
 using rtl::BlockId;
 using rtl::Instr;
 using rtl::Opcode;
@@ -328,75 +328,75 @@ void sym_step(const AsmOp& op, std::size_t pos, std::size_t segment,
   };
 
   switch (m.op) {
-    case POp::Li:
+    case MOp::Li:
       env.gpr(m.rd) = imm_token(op);
       break;
-    case POp::Lis:
+    case MOp::Lis:
       env.gpr(m.rd) = "lis(" + imm_token(op) + ")";
       break;
-    case POp::Ori:
+    case MOp::Ori:
       env.gpr(m.rd) = sort2("or", env.gpr(m.ra), imm_token(op));
       break;
-    case POp::Xori:
+    case MOp::Xori:
       env.gpr(m.rd) = sort2("xor", env.gpr(m.ra), imm_token(op));
       break;
-    case POp::Addi:
+    case MOp::Addi:
       env.gpr(m.rd) = sort2("add", env.gpr(m.ra), imm_token(op));
       break;
-    case POp::Mr:
+    case MOp::Mr:
       env.gpr(m.rd) = env.gpr(m.ra);
       break;
-    case POp::Add:
+    case MOp::Add:
       env.gpr(m.rd) = sort2("add", env.gpr(m.ra), env.gpr(m.rb));
       break;
-    case POp::Subf:  // rd <- rb - ra
+    case MOp::Subf:  // rd <- rb - ra
       env.gpr(m.rd) = bin2("sub", env.gpr(m.rb), env.gpr(m.ra));
       break;
-    case POp::Mullw:
+    case MOp::Mullw:
       env.gpr(m.rd) = sort2("mul", env.gpr(m.ra), env.gpr(m.rb));
       break;
-    case POp::Divw:
+    case MOp::Divw:
       env.gpr(m.rd) = bin2("div", env.gpr(m.ra), env.gpr(m.rb));
       break;
-    case POp::And:
+    case MOp::And:
       env.gpr(m.rd) = sort2("and", env.gpr(m.ra), env.gpr(m.rb));
       break;
-    case POp::Or:
+    case MOp::Or:
       env.gpr(m.rd) = sort2("or", env.gpr(m.ra), env.gpr(m.rb));
       break;
-    case POp::Xor:
+    case MOp::Xor:
       env.gpr(m.rd) = sort2("xor", env.gpr(m.ra), env.gpr(m.rb));
       break;
-    case POp::Nor:
+    case MOp::Nor:
       env.gpr(m.rd) = sort2("nor", env.gpr(m.ra), env.gpr(m.rb));
       break;
-    case POp::Neg:
+    case MOp::Neg:
       env.gpr(m.rd) = "neg(" + env.gpr(m.ra) + ")";
       break;
-    case POp::Slw:
+    case MOp::Slw:
       env.gpr(m.rd) = bin2("slw", env.gpr(m.ra), env.gpr(m.rb));
       break;
-    case POp::Sraw:
+    case MOp::Sraw:
       env.gpr(m.rd) = bin2("sraw", env.gpr(m.ra), env.gpr(m.rb));
       break;
-    case POp::Srw:
+    case MOp::Srw:
       env.gpr(m.rd) = bin2("srw", env.gpr(m.ra), env.gpr(m.rb));
       break;
-    case POp::Rlwinm:
+    case MOp::Rlwinm:
       env.gpr(m.rd) = "rlwinm(" + env.gpr(m.ra) + "," +
                       std::to_string(m.sh) + "," + std::to_string(m.mb) +
                       "," + std::to_string(m.me) + ")";
       break;
-    case POp::Cmpw:
+    case MOp::Cmpw:
       env.crf(m.crf) = bin2("cmp", env.gpr(m.ra), env.gpr(m.rb));
       break;
-    case POp::Cmpwi:  // the folded form of li rT,imm; cmpw crf,ra,rT
+    case MOp::Cmpwi:  // the folded form of li rT,imm; cmpw crf,ra,rT
       env.crf(m.crf) = bin2("cmp", env.gpr(m.ra), imm_token(op));
       break;
-    case POp::Fcmpu:
+    case MOp::Fcmpu:
       env.crf(m.crf) = bin2("fcmp", env.fpr(m.ra), env.fpr(m.rb));
       break;
-    case POp::Cror: {
+    case MOp::Cror: {
       // Writes one bit of the destination field; the rest carries over.
       const std::string orval =
           "bit(" + env.crf(m.crba / 4) + "," + std::to_string(m.crba % 4) +
@@ -406,83 +406,129 @@ void sym_step(const AsmOp& op, std::size_t pos, std::size_t segment,
                             std::to_string(m.crbd % 4) + "," + orval + ")";
       break;
     }
-    case POp::Mfcr: {
+    case MOp::Mfcr: {
       std::string v = "mfcr(";
       for (int f = 0; f < 8; ++f) v += env.crf(f) + (f == 7 ? ")" : ",");
       env.gpr(m.rd) = v;
       break;
     }
-    case POp::Fadd:
+    case MOp::Fadd:
       env.fpr(m.rd) = sort2("fadd", env.fpr(m.ra), env.fpr(m.rb));
       break;
-    case POp::Fsub:
+    case MOp::Fsub:
       env.fpr(m.rd) = bin2("fsub", env.fpr(m.ra), env.fpr(m.rb));
       break;
-    case POp::Fmul:
+    case MOp::Fmul:
       env.fpr(m.rd) = sort2("fmul", env.fpr(m.ra), env.fpr(m.rb));
       break;
-    case POp::Fdiv:
+    case MOp::Fdiv:
       env.fpr(m.rd) = bin2("fdiv", env.fpr(m.ra), env.fpr(m.rb));
       break;
-    case POp::Fmadd:  // fd <- fa*fb + fc: the fused fmul;fadd pair
+    case MOp::Fmadd:  // fd <- fa*fb + fc: the fused fmul;fadd pair
       env.fpr(m.rd) = sort2(
           "fadd", sort2("fmul", env.fpr(m.ra), env.fpr(m.rb)), env.fpr(m.rc));
       break;
-    case POp::Fmsub:  // fd <- fa*fb - fc
+    case MOp::Fmsub:  // fd <- fa*fb - fc
       env.fpr(m.rd) = bin2(
           "fsub", sort2("fmul", env.fpr(m.ra), env.fpr(m.rb)), env.fpr(m.rc));
       break;
-    case POp::Fneg:
+    case MOp::Fneg:
       env.fpr(m.rd) = "fneg(" + env.fpr(m.ra) + ")";
       break;
-    case POp::Fabs:
+    case MOp::Fabs:
       env.fpr(m.rd) = "fabs(" + env.fpr(m.ra) + ")";
       break;
-    case POp::Fmr:
+    case MOp::Fmr:
       env.fpr(m.rd) = env.fpr(m.ra);
       break;
-    case POp::Fcti:
+    case MOp::Fcti:
       env.gpr(m.rd) = "fcti(" + env.fpr(m.ra) + ")";
       break;
-    case POp::Icvf:
+    case MOp::Icvf:
       env.fpr(m.rd) = "icvf(" + env.gpr(m.ra) + ")";
       break;
-    case POp::Lwz:
+    case MOp::Lwz:
       env.gpr(m.rd) = load("l4", mem_addr_d());
       break;
-    case POp::Lwzx:
+    case MOp::Lwzx:
       env.gpr(m.rd) = load("l4", mem_addr_x());
       break;
-    case POp::Lfd:
+    case MOp::Lfd:
       env.fpr(m.rd) = load("l8", mem_addr_d());
       break;
-    case POp::Lfdx:
+    case MOp::Lfdx:
       env.fpr(m.rd) = load("l8", mem_addr_x());
       break;
-    case POp::Stw:
+    case MOp::Stw:
       store("s4", mem_addr_d(), env.gpr(m.rd));
       break;
-    case POp::Stwx:
+    case MOp::Stwx:
       store("s4", mem_addr_x(), env.gpr(m.rd));
       break;
-    case POp::Stfd:
+    case MOp::Stfd:
       store("s8", mem_addr_d(), env.fpr(m.rd));
       break;
-    case POp::Stfdx:
+    case MOp::Stfdx:
       store("s8", mem_addr_x(), env.fpr(m.rd));
       break;
-    case POp::B:
+    case MOp::B:
       branch("b->" + std::to_string(op.target_label));
       break;
-    case POp::Bc:
+    case MOp::Bc:
       branch("bc->" + std::to_string(op.target_label) + ":" +
              std::to_string(m.crbit) + "=" + (m.expect ? "1" : "0") + ":" +
              env.crf(m.crbit / 4));
       break;
-    case POp::Blr:
+    case MOp::Blr:
       branch("blr");
       break;
-    case POp::Nop:
+    case MOp::Nop:
+      break;
+    case MOp::Lui:
+      env.gpr(m.rd) = "lui(" + imm_token(op) + ")";
+      break;
+    case MOp::Sll:
+      env.gpr(m.rd) = bin2("sll", env.gpr(m.ra), env.gpr(m.rb));
+      break;
+    case MOp::Srl:
+      env.gpr(m.rd) = bin2("srl", env.gpr(m.ra), env.gpr(m.rb));
+      break;
+    case MOp::Sra:
+      env.gpr(m.rd) = bin2("sra", env.gpr(m.ra), env.gpr(m.rb));
+      break;
+    case MOp::Slli:
+      env.gpr(m.rd) = bin2("sll", env.gpr(m.ra), imm_token(op));
+      break;
+    case MOp::Slt:
+      env.gpr(m.rd) = bin2("slt", env.gpr(m.ra), env.gpr(m.rb));
+      break;
+    case MOp::Sltu:
+      env.gpr(m.rd) = bin2("sltu", env.gpr(m.ra), env.gpr(m.rb));
+      break;
+    case MOp::Sltiu:
+      env.gpr(m.rd) = bin2("sltu", env.gpr(m.ra), imm_token(op));
+      break;
+    case MOp::Rem:
+      env.gpr(m.rd) = bin2("rem", env.gpr(m.ra), env.gpr(m.rb));
+      break;
+    case MOp::Feq:
+      env.gpr(m.rd) = sort2("feq", env.fpr(m.ra), env.fpr(m.rb));
+      break;
+    case MOp::Flt:
+      env.gpr(m.rd) = bin2("flt", env.fpr(m.ra), env.fpr(m.rb));
+      break;
+    case MOp::Fle:
+      env.gpr(m.rd) = bin2("fle", env.fpr(m.ra), env.fpr(m.rb));
+      break;
+    case MOp::Beq:
+    case MOp::Bne:
+    case MOp::Blt:
+    case MOp::Bge:
+      // Compare-and-branch: the tag carries the tested operand expressions,
+      // so both the condition and the target must agree.
+      branch(std::string(mach::mnemonic(m.op)) + "->" +
+             std::to_string(op.target_label) + ":" + env.gpr(m.ra) + "," +
+             env.gpr(m.rb));
       break;
   }
 }
@@ -513,6 +559,7 @@ std::vector<Marker> markers_of(const AsmFunction& fn) {
 }  // namespace
 
 CheckResult check_machine_equivalence(const AsmFunction& before,
+                                      const mach::TargetDesc& desc,
                                       const AsmFunction& after) {
   if (before.name != after.name) return CheckResult::fail("name changed");
   if (before.frame_bytes != after.frame_bytes)
@@ -545,7 +592,7 @@ CheckResult check_machine_equivalence(const AsmFunction& before,
     s = e;
   }
 
-  const ppc::MachineLiveness live_before(before);
+  const mach::MachineLiveness live_before(before, desc);
 
   // Segment boundaries: start, each marker position, end.
   auto bounds = [](const std::vector<Marker>& ms, std::size_t n) {
@@ -656,9 +703,9 @@ CheckResult check_region(const AsmFunction& before, const AsmFunction& after,
     IssueModel::resources(m, reads, &n_reads, writes, &n_writes);
     rd[i].assign(reads, reads + n_reads);
     wr[i].assign(writes, writes + n_writes);
-    is_mem[i] = ppc::is_memory_op(m.op);
-    is_load[i] = m.op == POp::Lwz || m.op == POp::Lwzx || m.op == POp::Lfd ||
-                 m.op == POp::Lfdx;
+    is_mem[i] = mach::is_memory_op(m.op);
+    is_load[i] = m.op == MOp::Lwz || m.op == MOp::Lwzx || m.op == MOp::Lfd ||
+                 m.op == MOp::Lfdx;
   }
   auto intersects = [](const std::vector<int>& a, const std::vector<int>& b) {
     for (int x : a)
@@ -716,7 +763,7 @@ CheckResult check_schedule(const AsmFunction& before,
   for (const auto& [label, lpos] : before.labels) boundary[lpos] = true;
   for (const auto& a : before.annots) boundary[a.addr] = true;
   for (std::size_t i = 0; i < before.ops.size(); ++i) {
-    if (ppc::is_branch(before.ops[i].ins.op) ||
+    if (mach::is_branch(before.ops[i].ins.op) ||
         before.ops[i].target_label >= 0) {
       boundary[i] = true;
       boundary[i + 1] = true;

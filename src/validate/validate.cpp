@@ -895,7 +895,8 @@ driver::Compiled validated_compile(const minic::Program& program,
     check(t.machine_before != nullptr,
           "validator hook without machine snapshot");
     if (t.pass == "selfmove" || t.pass == "peephole")
-      require(check_machine_equivalence(*t.machine_before, t.state->machine));
+      require(check_machine_equivalence(*t.machine_before, *t.state->target,
+                                        t.state->machine));
     if (t.pass == "schedule")
       require(check_schedule(*t.machine_before, t.state->machine));
     return checks;

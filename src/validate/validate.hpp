@@ -72,7 +72,7 @@
 
 #include "driver/compiler.hpp"
 #include "minic/ast.hpp"
-#include "ppc/codegen.hpp"
+#include "mach/codegen.hpp"
 #include "regalloc/regalloc.hpp"
 #include "rtl/rtl.hpp"
 
@@ -121,13 +121,14 @@ CheckResult check_register_allocation(const rtl::Function& before,
 /// instructions but not reorder across labels/annotations or change control
 /// flow (self-move removal, the peephole pass): per-segment symbolic
 /// execution as described in the header comment.
-CheckResult check_machine_equivalence(const ppc::AsmFunction& before,
-                                      const ppc::AsmFunction& after);
+CheckResult check_machine_equivalence(const mach::AsmFunction& before,
+                                      const mach::TargetDesc& desc,
+                                      const mach::AsmFunction& after);
 
 /// Validates a scheduling step: a per-region permutation that respects the
 /// dependence DAG and preserves the per-region instruction multiset.
-CheckResult check_schedule(const ppc::AsmFunction& before,
-                           const ppc::AsmFunction& after);
+CheckResult check_schedule(const mach::AsmFunction& before,
+                           const mach::AsmFunction& after);
 
 /// End-to-end: compiled image vs. reference interpreter on `fn_name`,
 /// over `n_tests` stateful call sequences.

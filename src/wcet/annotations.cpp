@@ -107,7 +107,7 @@ std::optional<std::map<int, Interval>> parse_chain(const std::string& format) {
   return result;
 }
 
-AnnotIndex index_annotations(const ppc::Image& image, std::uint32_t lo,
+AnnotIndex index_annotations(const mach::Image& image, std::uint32_t lo,
                              std::uint32_t hi) {
   AnnotIndex index;
   for (const auto& entry : image.annotations) {
@@ -143,9 +143,9 @@ AnnotIndex index_annotations(const ppc::Image& image, std::uint32_t lo,
                                  std::to_string(operand) + " out of range");
         continue;
       }
-      const ppc::MLoc& loc =
+      const mach::MLoc& loc =
           entry.operands[static_cast<std::size_t>(operand - 1)];
-      if (loc.kind == ppc::MLoc::Kind::Fpr) continue;  // floats untracked
+      if (loc.kind == mach::MLoc::Kind::Fpr) continue;  // floats untracked
       index.constraints[entry.addr].push_back(ValueConstraint{loc, range});
     }
   }

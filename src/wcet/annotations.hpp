@@ -20,14 +20,14 @@
 #include <string>
 #include <vector>
 
-#include "ppc/program.hpp"
+#include "mach/program.hpp"
 #include "support/interval.hpp"
 
 namespace vc::wcet {
 
 /// One interval constraint on a value location at a code address.
 struct ValueConstraint {
-  ppc::MLoc loc;
+  mach::MLoc loc;
   Interval range;
 };
 
@@ -40,7 +40,7 @@ struct AnnotIndex {
 };
 
 /// Indexes the image's annotation entries that fall inside [lo, hi).
-AnnotIndex index_annotations(const ppc::Image& image, std::uint32_t lo,
+AnnotIndex index_annotations(const mach::Image& image, std::uint32_t lo,
                              std::uint32_t hi);
 
 /// Parses a constraint chain; returns per-%k intervals (1-based keys), or

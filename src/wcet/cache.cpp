@@ -47,7 +47,7 @@ struct Event {
 class CacheAnalyzer {
  public:
   CacheAnalyzer(const Cfg& cfg, const ValueAnalysisResult& values,
-                const ppc::CacheConfig& icfg, const ppc::CacheConfig& dcfg)
+                const mach::CacheConfig& icfg, const mach::CacheConfig& dcfg)
       : cfg_(cfg), values_(values), icfg_(icfg), dcfg_(dcfg) {}
 
   CacheAnalysisResult run() {
@@ -113,7 +113,7 @@ class CacheAnalyzer {
   }
 
   void transfer_event(const Event& ev, MustState* s) const {
-    const ppc::CacheConfig& cfg = ev.is_data ? dcfg_ : icfg_;
+    const mach::CacheConfig& cfg = ev.is_data ? dcfg_ : icfg_;
     auto& age = s->age[ev.is_data ? 1 : 0];
     if (ev.precise) {
       const std::uint32_t set = cfg.set_of(ev.line);
@@ -239,7 +239,7 @@ class CacheAnalyzer {
       ScopeInfo& si = info[scope];
       for (int b : blocks_of_scope(scope)) {
         for (const Event& ev : events_[static_cast<std::size_t>(b)]) {
-          const ppc::CacheConfig& cfg = ev.is_data ? dcfg_ : icfg_;
+          const mach::CacheConfig& cfg = ev.is_data ? dcfg_ : icfg_;
           const int space = ev.is_data ? 1 : 0;
           if (ev.precise) {
             si.lines[space][cfg.set_of(ev.line)].insert(ev.line);
@@ -263,7 +263,7 @@ class CacheAnalyzer {
     }
 
     auto persistent_in = [&](int scope, bool is_data, std::uint32_t line) {
-      const ppc::CacheConfig& cfg = is_data ? dcfg_ : icfg_;
+      const mach::CacheConfig& cfg = is_data ? dcfg_ : icfg_;
       const int space = is_data ? 1 : 0;
       const ScopeInfo& si = info.at(scope);
       if (si.fully_polluted[space]) return false;
@@ -307,8 +307,8 @@ class CacheAnalyzer {
 
   const Cfg& cfg_;
   const ValueAnalysisResult& values_;
-  ppc::CacheConfig icfg_;
-  ppc::CacheConfig dcfg_;
+  mach::CacheConfig icfg_;
+  mach::CacheConfig dcfg_;
   CacheAnalysisResult result_;
   std::vector<std::vector<Event>> events_;
   std::vector<MustState> in_;
@@ -318,7 +318,7 @@ class CacheAnalyzer {
 
 CacheAnalysisResult analyze_caches(const Cfg& cfg,
                                    const ValueAnalysisResult& values,
-                                   const ppc::MachineConfig& config) {
+                                   const mach::MachineConfig& config) {
   return CacheAnalyzer(cfg, values, config.icache, config.dcache).run();
 }
 

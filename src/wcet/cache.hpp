@@ -18,7 +18,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "ppc/timing.hpp"
+#include "mach/timing.hpp"
 #include "wcet/cfg.hpp"
 #include "wcet/value_analysis.hpp"
 
@@ -47,6 +47,6 @@ struct CacheAnalysisResult {
 
 CacheAnalysisResult analyze_caches(const Cfg& cfg,
                                    const ValueAnalysisResult& values,
-                                   const ppc::MachineConfig& config);
+                                   const mach::MachineConfig& config);
 
 }  // namespace vc::wcet

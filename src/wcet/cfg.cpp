@@ -8,8 +8,8 @@
 
 namespace vc::wcet {
 
-using ppc::MInstr;
-using ppc::POp;
+using mach::MInstr;
+using mach::MOp;
 
 int Cfg::block_at(std::uint32_t addr) const {
   for (std::size_t i = 0; i < blocks.size(); ++i)
@@ -100,7 +100,7 @@ bool dominates(const std::vector<int>& idom, int a, int b) {
 
 }  // namespace
 
-Cfg build_cfg(const ppc::Image& image, const std::string& fn_name) {
+Cfg build_cfg(const mach::Image& image, const std::string& fn_name) {
   const std::uint32_t lo = image.fn_entry.at(fn_name);
   const std::uint32_t hi = image.fn_end.at(fn_name);
 
@@ -110,14 +110,14 @@ Cfg build_cfg(const ppc::Image& image, const std::string& fn_name) {
   for (std::uint32_t addr = lo; addr < hi; addr += 4) {
     const MInstr ins = image.fetch(addr);
     code[addr] = ins;
-    if (ins.op == POp::B || ins.op == POp::Bc) {
+    if (ins.op == MOp::B || mach::is_cond_branch(ins.op)) {
       const std::uint32_t target =
           addr + static_cast<std::uint32_t>(ins.disp) * 4;
       if (target < lo || target >= hi)
         throw CompileError("branch outside function at " + hex32(addr));
       leaders.insert(target);
       if (addr + 4 < hi) leaders.insert(addr + 4);
-    } else if (ins.op == POp::Blr) {
+    } else if (ins.op == MOp::Blr) {
       if (addr + 4 < hi) leaders.insert(addr + 4);
     }
   }
@@ -135,14 +135,14 @@ Cfg build_cfg(const ppc::Image& image, const std::string& fn_name) {
     // Successors.
     const MInstr& last = bb.instrs.back();
     const std::uint32_t last_addr = end - 4;
-    if (last.op == POp::B) {
+    if (last.op == MOp::B) {
       bb.succ_addrs.push_back(last_addr +
                               static_cast<std::uint32_t>(last.disp) * 4);
-    } else if (last.op == POp::Bc) {
+    } else if (mach::is_cond_branch(last.op)) {
       bb.succ_addrs.push_back(last_addr +
                               static_cast<std::uint32_t>(last.disp) * 4);
       if (end < hi) bb.succ_addrs.push_back(end);
-    } else if (last.op == POp::Blr) {
+    } else if (last.op == MOp::Blr) {
       // no successors
     } else {
       // Fall-through into the next leader (no draining branch in between):

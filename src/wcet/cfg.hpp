@@ -10,13 +10,13 @@
 #include <optional>
 #include <vector>
 
-#include "ppc/program.hpp"
+#include "mach/program.hpp"
 
 namespace vc::wcet {
 
 struct MachineBlock {
   std::uint32_t start = 0;  // address of first instruction
-  std::vector<ppc::MInstr> instrs;
+  std::vector<mach::MInstr> instrs;
   std::vector<std::uint32_t> succ_addrs;  // successor block start addresses
   std::vector<int> succs;                 // successor block ids
   std::vector<int> preds;
@@ -51,6 +51,6 @@ struct Cfg {
 
 /// Reconstructs the CFG of `fn_name` from the image. Throws CompileError on
 /// malformed code (branch outside the function, irreducible loops).
-Cfg build_cfg(const ppc::Image& image, const std::string& fn_name);
+Cfg build_cfg(const mach::Image& image, const std::string& fn_name);
 
 }  // namespace vc::wcet

@@ -19,7 +19,7 @@
 #include <string>
 #include <vector>
 
-#include "ppc/timing.hpp"
+#include "mach/timing.hpp"
 #include "wcet/cfg.hpp"
 #include "wcet/value_analysis.hpp"
 

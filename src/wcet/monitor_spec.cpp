@@ -1,11 +1,11 @@
 #include "wcet/monitor_spec.hpp"
 
-#include "ppc/isa.hpp"
+#include "mach/isa.hpp"
 #include "wcet/cfg.hpp"
 
 namespace vc::wcet {
 
-machine::MonitorSpec build_monitor_spec(const ppc::Image& image,
+machine::MonitorSpec build_monitor_spec(const mach::Image& image,
                                         const std::string& fn_name,
                                         machine::MonitorMode mode,
                                         const WcetOptions& options) {
@@ -24,11 +24,11 @@ machine::MonitorSpec build_monitor_spec(const ppc::Image& image,
   // runtime, which is exactly the kind of reconstruction bug it exists for.
   for (const MachineBlock& block : cfg.blocks) {
     for (std::size_t i = 0; i < block.instrs.size(); ++i) {
-      if (!ppc::is_branch(block.instrs[i].op)) continue;
+      if (!mach::is_branch(block.instrs[i].op)) continue;
       const std::uint32_t pc =
           block.start + static_cast<std::uint32_t>(i) * 4;
-      if (block.instrs[i].op == ppc::POp::Blr)
-        spec.branch_targets[pc] = {ppc::Image::kStopAddr};
+      if (block.instrs[i].op == mach::MOp::Blr)
+        spec.branch_targets[pc] = {mach::Image::kStopAddr};
       else if (i + 1 == block.instrs.size())
         spec.branch_targets[pc] = block.succ_addrs;
     }
@@ -39,7 +39,7 @@ machine::MonitorSpec build_monitor_spec(const ppc::Image& image,
   // Value claims: the raw annotation table, independently re-parsed by the
   // spec itself (MonitorSpec::add_annotation shares nothing with the
   // analyzer's chain parser).
-  for (const ppc::AnnotEntry& entry : image.annotations)
+  for (const mach::AnnotEntry& entry : image.annotations)
     if (entry.addr >= spec.lo && entry.addr < spec.hi)
       spec.add_annotation(entry);
 

@@ -12,7 +12,7 @@
 #include <string>
 
 #include "machine/monitor.hpp"
-#include "ppc/program.hpp"
+#include "mach/program.hpp"
 #include "wcet/wcet.hpp"
 
 namespace vc::wcet {
@@ -26,7 +26,7 @@ namespace vc::wcet {
 ///     engine (exactly the rows IPET consumes). `options` controls the
 ///     annotation/cache knobs of that analysis; its engine field is ignored.
 /// Throws like build_cfg / analyze_wcet on malformed code or unbounded loops.
-machine::MonitorSpec build_monitor_spec(const ppc::Image& image,
+machine::MonitorSpec build_monitor_spec(const mach::Image& image,
                                         const std::string& fn_name,
                                         machine::MonitorMode mode,
                                         const WcetOptions& options = {});

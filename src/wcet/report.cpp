@@ -7,7 +7,7 @@
 
 namespace vc::wcet {
 
-std::string format_report(const ppc::Image& image, const std::string& fn_name,
+std::string format_report(const mach::Image& image, const std::string& fn_name,
                           const WcetResult& result) {
   std::string out;
   out += "WCET report for '" + fn_name + "'\n";

@@ -5,13 +5,13 @@
 
 #include <string>
 
-#include "ppc/program.hpp"
+#include "mach/program.hpp"
 #include "wcet/wcet.hpp"
 
 namespace vc::wcet {
 
 /// Formats `result` for function `fn_name` of `image` as a text report.
-std::string format_report(const ppc::Image& image, const std::string& fn_name,
+std::string format_report(const mach::Image& image, const std::string& fn_name,
                           const WcetResult& result);
 
 }  // namespace vc::wcet

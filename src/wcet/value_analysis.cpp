@@ -2,13 +2,14 @@
 
 #include <algorithm>
 
+#include "mach/target.hpp"
 #include "machine/machine.hpp"
 
 namespace vc::wcet {
 
-using ppc::Image;
-using ppc::MInstr;
-using ppc::POp;
+using mach::Image;
+using mach::MInstr;
+using mach::MOp;
 
 namespace {
 
@@ -32,18 +33,19 @@ Interval u32_interval(const Interval& v) {
 
 }  // namespace
 
-std::uint32_t stack_loc_address(const ppc::MLoc& loc) {
-  check(loc.kind == ppc::MLoc::Kind::StackSlot, "not a stack location");
+std::uint32_t stack_loc_address(const mach::MLoc& loc) {
+  check(loc.kind == mach::MLoc::Kind::StackSlot, "not a stack location");
   return kEntryR1 + static_cast<std::uint32_t>(loc.offset);
 }
 
-AbsState AbsState::entry_state() {
+AbsState AbsState::entry_state(const mach::TargetDesc& desc) {
   AbsState s;
   s.reachable = true;
   for (auto& g : s.gpr) g = Interval::i32_range();
   // Pinned registers (calling convention / linker script facts).
-  s.gpr[1] = Interval::constant(kEntryR1);
-  s.gpr[2] = Interval::constant(Image::kDataBase);
+  s.gpr[desc.stack_ptr] = Interval::constant(kEntryR1);
+  s.gpr[desc.data_base] = Interval::constant(Image::kDataBase);
+  if (desc.zero_gpr >= 0) s.gpr[desc.zero_gpr] = Interval::constant(0);
   return s;
 }
 
@@ -82,13 +84,14 @@ namespace {
 
 class Analyzer {
  public:
-  Analyzer(const Cfg& cfg, const AnnotIndex& annots)
-      : cfg_(cfg), annots_(annots) {}
+  Analyzer(const Cfg& cfg, const AnnotIndex& annots,
+           const mach::TargetDesc& desc)
+      : cfg_(cfg), annots_(annots), desc_(desc) {}
 
   ValueAnalysisResult run() {
     const std::size_t n = cfg_.blocks.size();
     result_.block_in.assign(n, AbsState{});
-    result_.block_in[0] = AbsState::entry_state();
+    result_.block_in[0] = AbsState::entry_state(desc_);
 
     // Worklist to fixpoint with widening at loop headers.
     std::vector<int> widen_count(n, 0);
@@ -149,11 +152,11 @@ class Analyzer {
     auto it = annots_.constraints.find(addr);
     if (it == annots_.constraints.end()) return;
     for (const ValueConstraint& c : it->second) {
-      if (c.loc.kind == ppc::MLoc::Kind::Gpr) {
+      if (c.loc.kind == mach::MLoc::Kind::Gpr) {
         Interval& g = s->gpr[c.loc.index];
         const Interval met = g.meet(c.range);
         if (!met.is_bottom()) g = met;
-      } else if (c.loc.kind == ppc::MLoc::Kind::StackSlot && !c.loc.is_f64) {
+      } else if (c.loc.kind == mach::MLoc::Kind::StackSlot && !c.loc.is_f64) {
         const std::uint32_t cell = stack_loc_address(c.loc);
         Interval cur = s->stack.count(cell) ? s->stack[cell]
                                             : Interval::i32_range();
@@ -174,12 +177,15 @@ class Analyzer {
   /// a non-GPR destination here is conservative (it only drops equalities).
   static int def_gpr(const MInstr& m) {
     switch (m.op) {
-      case POp::Li: case POp::Lis: case POp::Ori: case POp::Xori:
-      case POp::Addi: case POp::Mr: case POp::Add: case POp::Subf:
-      case POp::Mullw: case POp::Divw: case POp::Neg: case POp::And:
-      case POp::Or: case POp::Xor: case POp::Nor: case POp::Slw:
-      case POp::Srw: case POp::Sraw: case POp::Rlwinm: case POp::Mfcr:
-      case POp::Fcti: case POp::Lwz: case POp::Lwzx:
+      case MOp::Li: case MOp::Lis: case MOp::Ori: case MOp::Xori:
+      case MOp::Addi: case MOp::Mr: case MOp::Add: case MOp::Subf:
+      case MOp::Mullw: case MOp::Divw: case MOp::Neg: case MOp::And:
+      case MOp::Or: case MOp::Xor: case MOp::Nor: case MOp::Slw:
+      case MOp::Srw: case MOp::Sraw: case MOp::Rlwinm: case MOp::Mfcr:
+      case MOp::Fcti: case MOp::Lwz: case MOp::Lwzx:
+      case MOp::Lui: case MOp::Sll: case MOp::Srl: case MOp::Sra:
+      case MOp::Slli: case MOp::Slt: case MOp::Sltu: case MOp::Sltiu:
+      case MOp::Rem: case MOp::Feq: case MOp::Flt: case MOp::Fle:
         return m.rd;
       default:
         return -1;
@@ -188,8 +194,8 @@ class Analyzer {
 
   /// The GPR whose value a register-to-register copy duplicates, or -1.
   static int copy_src(const MInstr& m) {
-    if (m.op == POp::Mr) return m.ra;
-    if ((m.op == POp::Addi || m.op == POp::Ori) && m.imm == 0) return m.ra;
+    if (m.op == MOp::Mr) return m.ra;
+    if ((m.op == MOp::Addi || m.op == MOp::Ori) && m.imm == 0) return m.ra;
     return -1;
   }
 
@@ -223,42 +229,52 @@ class Analyzer {
       apply_constraints(addr, s);
       const MInstr& m = bb.instrs[i];
       transfer_instr(m, s, record, b, static_cast<int>(i), addr);
+      if (desc_.zero_gpr >= 0)
+        s->gpr[desc_.zero_gpr] = Interval::constant(0);
       if (const int d = def_gpr(m); d >= 0) {
         const int src = copy_src(m);
         detach(d);
         if (src >= 0 && src != d) root[d] = root[src];
       }
       switch (m.op) {
-        case POp::Cmpw:
+        case MOp::Cmpw:
           cr_state[m.crf] = PendingCmp{true, true, m.ra, m.rb, 0};
           break;
-        case POp::Cmpwi:
+        case MOp::Cmpwi:
           cr_state[m.crf] = PendingCmp{true, true, m.ra, -1, m.imm};
           break;
-        case POp::Fcmpu:
+        case MOp::Fcmpu:
           cr_state[m.crf] = PendingCmp{true, false, -1, -1, 0};
           break;
-        case POp::Cror:
+        case MOp::Cror:
           cr_state[m.crbd / 4].valid = false;
           break;
         default:
           break;
       }
-      if (record && m.op == POp::Bc) {
+      if (record && m.op == MOp::Bc) {
         const PendingCmp& p = cr_state[m.crbit / 4];
         if (p.valid && p.is_int) {
           ValueAnalysisResult::CompareFact fact;
           fact.lhs_reg = p.lhs;
           fact.rhs_reg = p.rhs;
           fact.rhs_imm = p.imm;
-          fact.crbit = m.crbit;
           fact.lhs_at_test = s->gpr[p.lhs];
           fact.rhs_at_test =
               p.rhs >= 0 ? s->gpr[p.rhs] : Interval::constant(p.imm);
           result_.compare_facts[b] = fact;
         }
       }
-      if (i + 1 == bb.instrs.size() && m.op == POp::Bc) {
+      if (record && mach::is_cond_branch(m.op) && m.op != MOp::Bc) {
+        // Compare-and-branch: the operands are on the branch itself.
+        ValueAnalysisResult::CompareFact fact;
+        fact.lhs_reg = m.ra;
+        fact.rhs_reg = m.rb;
+        fact.lhs_at_test = s->gpr[m.ra];
+        fact.rhs_at_test = s->gpr[m.rb];
+        result_.compare_facts[b] = fact;
+      }
+      if (i + 1 == bb.instrs.size() && m.op == MOp::Bc) {
         // Stash the pending compare for edge refinement.
         last_cmp_[b] = cr_state[m.crbit / 4].valid && cr_state[m.crbit / 4].is_int
                            ? cr_state[m.crbit / 4]
@@ -273,14 +289,22 @@ class Analyzer {
   AbsState refine_edge(int b, int k, const AbsState& out) const {
     const MachineBlock& bb = cfg_.blocks[static_cast<std::size_t>(b)];
     const MInstr& t = bb.instrs.back();
-    if (t.op != POp::Bc) return out;
-    auto it = last_cmp_.find(b);
-    if (it == last_cmp_.end() || !it->second.valid) return out;
-    const auto& cmp = it->second;
+    if (!mach::is_cond_branch(t.op)) return out;
+    const auto cond = mach::branch_condition(t);
+    if (!cond) return out;
+    PendingCmp cmp;
+    if (cond->has_operands) {
+      // Compare-and-branch carries its integer operands directly.
+      cmp = PendingCmp{true, true, t.ra, t.rb, 0};
+    } else {
+      auto it = last_cmp_.find(b);
+      if (it == last_cmp_.end() || !it->second.valid) return out;
+      cmp = it->second;
+    }
 
-    // Edge 0 is taken (CR[bit]==expect), edge 1 is fall-through.
-    const bool cond_true = (k == 0) == t.expect;
-    const int rel = t.crbit % 4;  // 0 lt, 1 gt, 2 eq
+    // Edge 0 is taken (relation == when_true), edge 1 is fall-through.
+    const bool cond_true = (k == 0) == cond->when_true;
+    const int rel = cond->rel;
 
     AbsState s = out;
     Interval& a = s.gpr[cmp.lhs];
@@ -290,7 +314,7 @@ class Analyzer {
 
     Interval a2 = a;
     Interval b2 = bval;
-    if (rel == ppc::kLt) {
+    if (rel == mach::kLt) {
       if (cond_true) {  // a < b
         a2 = a.refine_lt(bval.hi());
         b2 = bval.refine_gt(a.lo());
@@ -298,7 +322,7 @@ class Analyzer {
         a2 = a.refine_ge(bval.lo());
         b2 = bval.refine_le(a.hi());
       }
-    } else if (rel == ppc::kGt) {
+    } else if (rel == mach::kGt) {
       if (cond_true) {  // a > b
         a2 = a.refine_gt(bval.lo());
         b2 = bval.refine_lt(a.hi());
@@ -306,7 +330,7 @@ class Analyzer {
         a2 = a.refine_le(bval.hi());
         b2 = bval.refine_ge(a.lo());
       }
-    } else if (rel == ppc::kEq) {
+    } else if (rel == mach::kEq) {
       if (cond_true) {
         a2 = a.meet(bval);
         b2 = a2;
@@ -346,14 +370,14 @@ class Analyzer {
     auto& g = s->gpr;
     auto top = [] { return Interval::i32_range(); };
     switch (m.op) {
-      case POp::Li:
+      case MOp::Li:
         g[m.rd] = Interval::constant(m.imm);
         break;
-      case POp::Lis:
+      case MOp::Lis:
         g[m.rd] = Interval::constant(static_cast<std::int32_t>(
             static_cast<std::uint32_t>(m.imm) << 16));
         break;
-      case POp::Ori:
+      case MOp::Ori:
         if (auto c = g[m.ra].as_constant())
           g[m.rd] = Interval::constant(
               static_cast<std::int32_t>(static_cast<std::uint32_t>(*c) |
@@ -361,7 +385,7 @@ class Analyzer {
         else
           g[m.rd] = top();
         break;
-      case POp::Xori:
+      case MOp::Xori:
         if (auto c = g[m.ra].as_constant())
           g[m.rd] = Interval::constant(
               static_cast<std::int32_t>(static_cast<std::uint32_t>(*c) ^
@@ -372,29 +396,29 @@ class Analyzer {
         else
           g[m.rd] = top();
         break;
-      case POp::Addi:
+      case MOp::Addi:
         g[m.rd] = g[m.ra].add(Interval::constant(m.imm)).clamp_i32();
         break;
-      case POp::Mr:
+      case MOp::Mr:
         g[m.rd] = g[m.ra];
         break;
-      case POp::Add:
+      case MOp::Add:
         g[m.rd] = g[m.ra].add(g[m.rb]).clamp_i32();
         break;
-      case POp::Subf:
+      case MOp::Subf:
         g[m.rd] = g[m.rb].sub(g[m.ra]).clamp_i32();
         break;
-      case POp::Mullw:
+      case MOp::Mullw:
         g[m.rd] = g[m.ra].mul(g[m.rb]).clamp_i32();
         break;
-      case POp::Divw:
+      case MOp::Divw:
         g[m.rd] = g[m.ra].div(g[m.rb]).clamp_i32();
         if (g[m.rd].is_bottom()) g[m.rd] = top();
         break;
-      case POp::Neg:
+      case MOp::Neg:
         g[m.rd] = g[m.ra].neg().clamp_i32();
         break;
-      case POp::And:
+      case MOp::And:
         // Common case: masking a boolean.
         if (Interval::boolean().contains(g[m.ra]) ||
             Interval::boolean().contains(g[m.rb]))
@@ -402,23 +426,23 @@ class Analyzer {
         else
           g[m.rd] = top();
         break;
-      case POp::Or:
-      case POp::Xor:
+      case MOp::Or:
+      case MOp::Xor:
         if (Interval::boolean().contains(g[m.ra]) &&
             Interval::boolean().contains(g[m.rb]))
           g[m.rd] = Interval::boolean();
         else
           g[m.rd] = top();
         break;
-      case POp::Nor:
+      case MOp::Nor:
         g[m.rd] = top();
         break;
-      case POp::Slw:
-      case POp::Srw:
-      case POp::Sraw:
+      case MOp::Slw:
+      case MOp::Srw:
+      case MOp::Sraw:
         g[m.rd] = top();
         break;
-      case POp::Rlwinm: {
+      case MOp::Rlwinm: {
         // Recognize slwi (mb=0, me=31-sh): multiply by 2^sh.
         if (m.mb == 0 && m.me == 31 - m.sh) {
           g[m.rd] = g[m.ra]
@@ -431,26 +455,26 @@ class Analyzer {
         }
         break;
       }
-      case POp::Mfcr:
+      case MOp::Mfcr:
         g[m.rd] = top();
         break;
-      case POp::Fcti:
+      case MOp::Fcti:
         g[m.rd] = top();
         break;
-      case POp::Lwz:
-      case POp::Lwzx:
-      case POp::Lfd:
-      case POp::Lfdx:
-      case POp::Stw:
-      case POp::Stwx:
-      case POp::Stfd:
-      case POp::Stfdx: {
-        const bool is_store = m.op == POp::Stw || m.op == POp::Stwx ||
-                              m.op == POp::Stfd || m.op == POp::Stfdx;
-        const bool is_f64 = m.op == POp::Lfd || m.op == POp::Lfdx ||
-                            m.op == POp::Stfd || m.op == POp::Stfdx;
-        const bool x_form = m.op == POp::Lwzx || m.op == POp::Stwx ||
-                            m.op == POp::Lfdx || m.op == POp::Stfdx;
+      case MOp::Lwz:
+      case MOp::Lwzx:
+      case MOp::Lfd:
+      case MOp::Lfdx:
+      case MOp::Stw:
+      case MOp::Stwx:
+      case MOp::Stfd:
+      case MOp::Stfdx: {
+        const bool is_store = m.op == MOp::Stw || m.op == MOp::Stwx ||
+                              m.op == MOp::Stfd || m.op == MOp::Stfdx;
+        const bool is_f64 = m.op == MOp::Lfd || m.op == MOp::Lfdx ||
+                            m.op == MOp::Stfd || m.op == MOp::Stfdx;
+        const bool x_form = m.op == MOp::Lwzx || m.op == MOp::Stwx ||
+                            m.op == MOp::Lfdx || m.op == MOp::Stfdx;
         Interval ea = x_form
                           ? g[m.ra].add(g[m.rb])
                           : g[m.ra].add(Interval::constant(m.imm));
@@ -496,18 +520,37 @@ class Analyzer {
         }
         break;
       }
-      case POp::Icvf:
-      case POp::Fadd: case POp::Fsub: case POp::Fmul: case POp::Fdiv:
-      case POp::Fmadd: case POp::Fmsub: case POp::Fneg: case POp::Fabs:
-      case POp::Fmr:
-      case POp::Cmpw: case POp::Cmpwi: case POp::Fcmpu: case POp::Cror:
-      case POp::B: case POp::Bc: case POp::Blr: case POp::Nop:
+      case MOp::Lui:
+        g[m.rd] = Interval::constant(static_cast<std::int32_t>(
+            static_cast<std::uint32_t>(m.imm) << 12));
+        break;
+      case MOp::Slli:
+        // Multiply by 2^sh (the rv32 analogue of slwi).
+        g[m.rd] = g[m.ra]
+                      .mul(Interval::constant(std::int64_t{1} << (m.imm & 31)))
+                      .clamp_i32();
+        break;
+      case MOp::Slt: case MOp::Sltu: case MOp::Sltiu:
+      case MOp::Feq: case MOp::Flt: case MOp::Fle:
+        g[m.rd] = Interval::boolean();
+        break;
+      case MOp::Sll: case MOp::Srl: case MOp::Sra: case MOp::Rem:
+        g[m.rd] = top();
+        break;
+      case MOp::Icvf:
+      case MOp::Fadd: case MOp::Fsub: case MOp::Fmul: case MOp::Fdiv:
+      case MOp::Fmadd: case MOp::Fmsub: case MOp::Fneg: case MOp::Fabs:
+      case MOp::Fmr:
+      case MOp::Cmpw: case MOp::Cmpwi: case MOp::Fcmpu: case MOp::Cror:
+      case MOp::B: case MOp::Bc: case MOp::Blr: case MOp::Nop:
+      case MOp::Beq: case MOp::Bne: case MOp::Blt: case MOp::Bge:
         break;
     }
   }
 
   const Cfg& cfg_;
   const AnnotIndex& annots_;
+  const mach::TargetDesc& desc_;
   ValueAnalysisResult result_;
   std::map<int, PendingCmp> last_cmp_;
   // Per-block copy classes at the terminator (position-independent within
@@ -517,8 +560,9 @@ class Analyzer {
 
 }  // namespace
 
-ValueAnalysisResult analyze_values(const Cfg& cfg, const AnnotIndex& annots) {
-  return Analyzer(cfg, annots).run();
+ValueAnalysisResult analyze_values(const Cfg& cfg, const AnnotIndex& annots,
+                                  const mach::TargetDesc& desc) {
+  return Analyzer(cfg, annots, desc).run();
 }
 
 }  // namespace vc::wcet

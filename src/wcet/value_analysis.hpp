@@ -12,6 +12,7 @@
 #include <map>
 #include <vector>
 
+#include "mach/target.hpp"
 #include "support/interval.hpp"
 #include "wcet/annotations.hpp"
 #include "wcet/cfg.hpp"
@@ -24,7 +25,7 @@ struct AbsState {
   /// Tracked i32 stack cells, keyed by absolute address.
   std::map<std::uint32_t, Interval> stack;
 
-  static AbsState entry_state();
+  static AbsState entry_state(const mach::TargetDesc& desc);
   /// Least upper bound; drops stack keys absent on either side.
   [[nodiscard]] AbsState join(const AbsState& other) const;
   /// Widening against the next iterate (applied at loop headers).
@@ -52,17 +53,17 @@ struct ValueAnalysisResult {
     int lhs_reg = -1;
     int rhs_reg = -1;       // -1 when immediate
     std::int32_t rhs_imm = 0;
-    std::uint8_t crbit = 0;
     Interval lhs_at_test;   // interval of lhs register at the compare
     Interval rhs_at_test;
   };
   std::map<int, CompareFact> compare_facts;
 };
 
-ValueAnalysisResult analyze_values(const Cfg& cfg, const AnnotIndex& annots);
+ValueAnalysisResult analyze_values(const Cfg& cfg, const AnnotIndex& annots,
+                                  const mach::TargetDesc& desc);
 
 /// Address of the stack cell a StackSlot annotation location refers to
 /// (entry r1 is pinned by the harness/linker convention).
-std::uint32_t stack_loc_address(const ppc::MLoc& loc);
+std::uint32_t stack_loc_address(const mach::MLoc& loc);
 
 }  // namespace vc::wcet

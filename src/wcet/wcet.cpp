@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 
+#include "mach/target.hpp"
 #include "support/strings.hpp"
 #include "wcet/annotations.hpp"
 #include "wcet/cache.hpp"
@@ -19,8 +20,8 @@ std::optional<WcetEngine> parse_wcet_engine(const std::string& name) {
   return std::nullopt;
 }
 
-using ppc::MInstr;
-using ppc::POp;
+using mach::MInstr;
+using mach::MOp;
 
 namespace {
 
@@ -38,33 +39,35 @@ std::optional<std::int64_t> derive_bound(const Cfg& cfg,
 
   for (const auto& [exit_from, exit_to] : loop.exits) {
     const MachineBlock& bb = cfg.blocks[static_cast<std::size_t>(exit_from)];
-    if (bb.instrs.back().op != POp::Bc) continue;
+    if (!mach::is_cond_branch(bb.instrs.back().op)) continue;
     auto fact_it = values.compare_facts.find(exit_from);
     if (fact_it == values.compare_facts.end()) continue;
     const auto& fact = fact_it->second;
     const MInstr& bc = bb.instrs.back();
+    const auto cond = mach::branch_condition(bc);
+    if (!cond) continue;
 
     // Determine the relation that holds on the *stay-in-loop* edge.
     // succs[0] is the taken edge, succs[1] the fall-through.
     const int stay_succ_index = bb.succs[0] == exit_to ? 1 : 0;
     if (bb.succs[static_cast<std::size_t>(stay_succ_index)] == exit_to)
       continue;  // both edges leave: not the pattern
-    const bool stay_when_true = (stay_succ_index == 0) == bc.expect;
-    const int rel = bc.crbit % 4;
+    const bool stay_when_true = (stay_succ_index == 0) == cond->when_true;
+    const int rel = cond->rel;
 
     // Stay relation must be "counter < limit" or "counter <= limit".
     bool counter_is_lhs = true;
     bool strict = true;
-    if (rel == ppc::kLt && stay_when_true) {
+    if (rel == mach::kLt && stay_when_true) {
       counter_is_lhs = true;  // lhs < rhs
       strict = true;
-    } else if (rel == ppc::kGt && stay_when_true) {
+    } else if (rel == mach::kGt && stay_when_true) {
       counter_is_lhs = false;  // lhs > rhs, i.e. rhs < lhs: counter is rhs
       strict = true;
-    } else if (rel == ppc::kGt && !stay_when_true) {
+    } else if (rel == mach::kGt && !stay_when_true) {
       counter_is_lhs = true;  // stay when !(lhs > rhs): lhs <= rhs
       strict = false;
-    } else if (rel == ppc::kLt && !stay_when_true) {
+    } else if (rel == mach::kLt && !stay_when_true) {
       counter_is_lhs = false;  // stay when !(lhs < rhs): rhs <= lhs
       strict = false;
     } else {
@@ -83,8 +86,8 @@ std::optional<std::int64_t> derive_bound(const Cfg& cfg,
     // add T,C,X ; mr C,T pair.
     int defs = 0;
     bool step_ok = false;
-    int reads[ppc::IssueModel::kMaxResourcesPerInstr];
-    int writes[ppc::IssueModel::kMaxResourcesPerInstr];
+    int reads[mach::IssueModel::kMaxResourcesPerInstr];
+    int writes[mach::IssueModel::kMaxResourcesPerInstr];
     int n_reads = 0;
     int n_writes = 0;
     // Is `reg` exactly 1 just before instruction `i` of block `b`? The last
@@ -93,15 +96,15 @@ std::optional<std::int64_t> derive_bound(const Cfg& cfg,
     // of the loop, so a same-block `li reg, 1` is not guaranteed to exist.
     const auto reg_is_one = [&](const MachineBlock& mb, int b, std::size_t i,
                                 int reg) {
-      int r2[ppc::IssueModel::kMaxResourcesPerInstr];
-      int w2[ppc::IssueModel::kMaxResourcesPerInstr];
+      int r2[mach::IssueModel::kMaxResourcesPerInstr];
+      int w2[mach::IssueModel::kMaxResourcesPerInstr];
       int nr2 = 0;
       int nw2 = 0;
       for (std::size_t j = i; j > 0; --j) {
         const MInstr& def = mb.instrs[j - 1];
-        ppc::IssueModel::resources(def, r2, &nr2, w2, &nw2);
+        mach::IssueModel::resources(def, r2, &nr2, w2, &nw2);
         for (int k = 0; k < nw2; ++k)
-          if (w2[k] == reg) return def.op == POp::Li && def.imm == 1;
+          if (w2[k] == reg) return def.op == MOp::Li && def.imm == 1;
       }
       const Interval& iv =
           values.block_in[static_cast<std::size_t>(b)].gpr[reg];
@@ -111,29 +114,29 @@ std::optional<std::int64_t> derive_bound(const Cfg& cfg,
       const MachineBlock& mb = cfg.blocks[static_cast<std::size_t>(b)];
       for (std::size_t i = 0; i < mb.instrs.size(); ++i) {
         const MInstr& m = mb.instrs[i];
-        ppc::IssueModel::resources(m, reads, &n_reads, writes, &n_writes);
+        mach::IssueModel::resources(m, reads, &n_reads, writes, &n_writes);
         bool writes_counter = false;
         for (int k = 0; k < n_writes; ++k)
           if (writes[k] == counter) writes_counter = true;
         if (!writes_counter) continue;
         ++defs;
-        if (m.op == POp::Addi && m.rd == counter && m.ra == counter &&
+        if (m.op == MOp::Addi && m.rd == counter && m.ra == counter &&
             m.imm == 1) {
           step_ok = true;
-        } else if (m.op == POp::Add && m.rd == counter &&
+        } else if (m.op == MOp::Add && m.rd == counter &&
                    (m.ra == counter || m.rb == counter)) {
           const int other = m.ra == counter ? m.rb : m.ra;
           if (reg_is_one(mb, b, i, other)) step_ok = true;
-        } else if (m.op == POp::Mr && m.rd == counter) {
+        } else if (m.op == MOp::Mr && m.rd == counter) {
           // mr C,T after add T,C,1-ish: accept if the source was computed as
           // C + 1 in the same block.
           const int t = m.ra;
           for (std::size_t j = 0; j < i; ++j) {
             const MInstr& def = mb.instrs[j];
-            if (def.op == POp::Addi && def.rd == t && def.ra == counter &&
+            if (def.op == MOp::Addi && def.rd == t && def.ra == counter &&
                 def.imm == 1) {
               step_ok = true;
-            } else if (def.op == POp::Add && def.rd == t &&
+            } else if (def.op == MOp::Add && def.rd == t &&
                        (def.ra == counter || def.rb == counter)) {
               const int other = def.ra == counter ? def.rb : def.ra;
               if (reg_is_one(mb, b, j, other)) step_ok = true;
@@ -169,12 +172,13 @@ std::optional<std::int64_t> derive_bound(const Cfg& cfg,
 std::uint64_t block_base_cost(const MachineBlock& bb,
                               const std::vector<ILineEvent>& ilines,
                               const std::vector<const AccessClass*>& daccess,
-                              const ppc::MachineConfig& machine,
+                              const mach::TargetDesc& desc,
+                              const mach::MachineConfig& machine,
                               bool reachable) {
-  ppc::IssueModel pipe;
+  mach::IssueModel pipe(desc);
   pipe.reset();
-  int reads[ppc::IssueModel::kMaxResourcesPerInstr];
-  int writes[ppc::IssueModel::kMaxResourcesPerInstr];
+  int reads[mach::IssueModel::kMaxResourcesPerInstr];
+  int writes[mach::IssueModel::kMaxResourcesPerInstr];
   int n_reads = 0;
   int n_writes = 0;
   std::size_t iline_next = 0;
@@ -190,7 +194,7 @@ std::uint64_t block_base_cost(const MachineBlock& bb,
       ++iline_next;
     }
     std::uint32_t extra_mem = 0;
-    if (ppc::is_memory_op(m.op)) {
+    if (mach::is_memory_op(m.op)) {
       if (dacc_next < daccess.size()) {
         if (daccess[dacc_next]->cls == CacheClass::Miss)
           extra_mem = machine.miss_penalty;
@@ -204,9 +208,9 @@ std::uint64_t block_base_cost(const MachineBlock& bb,
         extra_mem = machine.miss_penalty;
       }
     }
-    ppc::IssueModel::resources(m, reads, &n_reads, writes, &n_writes);
+    mach::IssueModel::resources(m, reads, &n_reads, writes, &n_writes);
     pipe.issue(m, reads, n_reads, writes, n_writes, extra_mem, fetch_stall);
-    if (ppc::is_branch(m.op)) {
+    if (mach::is_branch(m.op)) {
       pipe.drain();
       pipe.add_stall(machine.taken_branch_penalty);
     }
@@ -359,9 +363,14 @@ std::uint64_t loop_wcet(const PathContext& ctx, int loop_index) {
 
 }  // namespace
 
-WcetResult analyze_wcet(const ppc::Image& image, const std::string& fn_name,
+WcetResult analyze_wcet(const mach::Image& image, const std::string& fn_name,
                         const WcetOptions& options) {
   WcetResult result;
+
+  const mach::TargetDesc& desc = mach::target_by_name(
+      image.target.empty() ? mach::default_target_name() : image.target);
+  const mach::MachineConfig machine =
+      options.machine ? *options.machine : desc.machine;
 
   const Cfg cfg = build_cfg(image, fn_name);
   AnnotIndex annots;
@@ -370,11 +379,11 @@ WcetResult analyze_wcet(const ppc::Image& image, const std::string& fn_name,
                                image.fn_end.at(fn_name));
   result.warnings = annots.warnings;
 
-  const ValueAnalysisResult values = analyze_values(cfg, annots);
+  const ValueAnalysisResult values = analyze_values(cfg, annots, desc);
 
   CacheAnalysisResult caches;
   if (options.cache_analysis) {
-    caches = analyze_caches(cfg, values, options.machine);
+    caches = analyze_caches(cfg, values, machine);
   } else {
     // Everything is a miss.
     caches.ilines.assign(cfg.blocks.size(), {});
@@ -384,7 +393,7 @@ WcetResult analyze_wcet(const ppc::Image& image, const std::string& fn_name,
       for (std::size_t i = 0; i < bb.instrs.size(); ++i) {
         const std::uint32_t addr =
             bb.start + static_cast<std::uint32_t>(i) * 4;
-        const std::uint32_t line = options.machine.icache.line_addr(addr);
+        const std::uint32_t line = machine.icache.line_addr(addr);
         if (line != prev_line) {
           prev_line = line;
           ILineEvent ev;
@@ -460,15 +469,15 @@ WcetResult analyze_wcet(const ppc::Image& image, const std::string& fn_name,
   auto charge_persistent = [&](const AccessClass& cls) {
     if (cls.cls != CacheClass::Persistent) return;
     if (cls.scope == -1)
-      function_ps_charge += options.machine.miss_penalty;
+      function_ps_charge += machine.miss_penalty;
     else
       loop_ps_charge[static_cast<std::size_t>(cls.scope)] +=
-          options.machine.miss_penalty;
+          machine.miss_penalty;
   };
 
   for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
     block_cost[b] = block_base_cost(cfg.blocks[b], caches.ilines[b],
-                                    dacc_by_block[b], options.machine,
+                                    dacc_by_block[b], desc, machine,
                                     values.block_in[b].reachable);
     for (const ILineEvent& ev : caches.ilines[b]) charge_persistent(ev.cls);
     result.block_costs.emplace_back(cfg.blocks[b].start, block_cost[b]);

@@ -16,8 +16,8 @@
 #include <string>
 #include <vector>
 
-#include "ppc/program.hpp"
-#include "ppc/timing.hpp"
+#include "mach/program.hpp"
+#include "mach/timing.hpp"
 #include "wcet/ipet.hpp"
 
 namespace vc::wcet {
@@ -44,7 +44,9 @@ inline constexpr const char* kWcetEngineNames[] = {"structural", "ipet",
     const std::string& name);
 
 struct WcetOptions {
-  ppc::MachineConfig machine;
+  /// Machine-configuration override (caches, penalties). Unset = use the
+  /// image target's configuration (the normal case); set for ablations.
+  std::optional<mach::MachineConfig> machine;
   /// Consult the image's annotation table (§3.4 flow). Disabling this is the
   /// ablation of bench_annotations.
   bool use_annotations = true;
@@ -83,7 +85,7 @@ class WcetError : public std::runtime_error {
       : std::runtime_error(message) {}
 };
 
-WcetResult analyze_wcet(const ppc::Image& image, const std::string& fn_name,
+WcetResult analyze_wcet(const mach::Image& image, const std::string& fn_name,
                         const WcetOptions& options = {});
 
 }  // namespace vc::wcet

@@ -79,7 +79,7 @@ TEST(AnnotIndex, LoopBoundsAndConstraints) {
   ASSERT_EQ(constraints.size(), 1u);
   EXPECT_EQ(constraints[0].range, Interval::range(0, 6));
   // In the verified config the operand lives in a register.
-  EXPECT_EQ(constraints[0].loc.kind, ppc::MLoc::Kind::Gpr);
+  EXPECT_EQ(constraints[0].loc.kind, mach::MLoc::Kind::Gpr);
 }
 
 TEST(AnnotIndex, PatternModeResolvesToStackSlots) {
@@ -100,7 +100,7 @@ TEST(AnnotIndex, PatternModeResolvesToStackSlots) {
       compiled.image.fn_end.at("f"));
   ASSERT_EQ(index.constraints.size(), 1u);
   EXPECT_EQ(index.constraints.begin()->second[0].loc.kind,
-            ppc::MLoc::Kind::StackSlot);
+            mach::MLoc::Kind::StackSlot);
 }
 
 TEST(AnnotIndex, UnparseableFormatsWarnButDoNotFail) {

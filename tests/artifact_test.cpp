@@ -64,13 +64,18 @@ TEST(HashTest, SizedFramingPreventsConcatenationCollisions) {
 
 TEST(HashTest, MakeKeyDependsOnEveryField) {
   using artifact::ArtifactStore;
-  const Hash128 base = ArtifactStore::make_key("src", "f", "O2", true, "v1");
-  EXPECT_EQ(base, ArtifactStore::make_key("src", "f", "O2", true, "v1"));
-  EXPECT_NE(base, ArtifactStore::make_key("src2", "f", "O2", true, "v1"));
-  EXPECT_NE(base, ArtifactStore::make_key("src", "g", "O2", true, "v1"));
-  EXPECT_NE(base, ArtifactStore::make_key("src", "f", "O0", true, "v1"));
-  EXPECT_NE(base, ArtifactStore::make_key("src", "f", "O2", false, "v1"));
-  EXPECT_NE(base, ArtifactStore::make_key("src", "f", "O2", true, "v2"));
+  const Hash128 base =
+      ArtifactStore::make_key("src", "f", "O2", "ppc", true, "v1");
+  EXPECT_EQ(base, ArtifactStore::make_key("src", "f", "O2", "ppc", true, "v1"));
+  EXPECT_NE(base,
+            ArtifactStore::make_key("src2", "f", "O2", "ppc", true, "v1"));
+  EXPECT_NE(base, ArtifactStore::make_key("src", "g", "O2", "ppc", true, "v1"));
+  EXPECT_NE(base, ArtifactStore::make_key("src", "f", "O0", "ppc", true, "v1"));
+  EXPECT_NE(base,
+            ArtifactStore::make_key("src", "f", "O2", "rv32", true, "v1"));
+  EXPECT_NE(base,
+            ArtifactStore::make_key("src", "f", "O2", "ppc", false, "v1"));
+  EXPECT_NE(base, ArtifactStore::make_key("src", "f", "O2", "ppc", true, "v2"));
 }
 
 // ------------------------------------------------------------------- JSON
@@ -165,14 +170,14 @@ func f64 clamp2(f64 x) {
 }
 )";
 
-ppc::Image compile_image(driver::Config config = driver::Config::O2Full) {
+mach::Image compile_image(driver::Config config = driver::Config::O2Full) {
   minic::Program program = minic::parse_program(kSource, "artifact_test");
   minic::type_check(program);
   return driver::compile_program(program, config).image;
 }
 
 TEST(ImageIoTest, SerializedImageRoundTripsExactly) {
-  const ppc::Image image = compile_image();
+  const mach::Image image = compile_image();
   ASSERT_FALSE(image.words.empty());
   ASSERT_FALSE(image.annotations.empty());
 
@@ -222,7 +227,7 @@ TEST(ImageIoTest, WrongMagicAndVersionAreCleanErrors) {
 }
 
 TEST(ImageIoTest, AnnotationTextListsEveryEntry) {
-  const ppc::Image image = compile_image();
+  const mach::Image image = compile_image();
   const std::string text = artifact::annotation_text(image);
   // One line per annotation entry.
   std::size_t lines = 0;
@@ -249,7 +254,7 @@ class StoreTest : public ::testing::Test {
   void TearDown() override { fs::remove_all(dir_); }
 
   static Hash128 key_of(const std::string& tag) {
-    return artifact::ArtifactStore::make_key(tag, "f", "O2", true,
+    return artifact::ArtifactStore::make_key(tag, "f", "O2", "ppc", true,
                                              driver::kCompilerVersion);
   }
 

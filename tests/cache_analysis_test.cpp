@@ -5,6 +5,7 @@
 
 #include "driver/compiler.hpp"
 #include "machine/machine.hpp"
+#include "mach/target.hpp"
 #include "minic/parser.hpp"
 #include "minic/typecheck.hpp"
 #include "wcet/annotations.hpp"
@@ -32,8 +33,8 @@ Analysis analyze(const driver::Compiled& compiled, const std::string& fn) {
   const wcet::AnnotIndex annots = wcet::index_annotations(
       compiled.image, compiled.image.fn_entry.at(fn),
       compiled.image.fn_end.at(fn));
-  a.values = wcet::analyze_values(a.cfg, annots);
-  a.caches = wcet::analyze_caches(a.cfg, a.values, ppc::MachineConfig{});
+  a.values = wcet::analyze_values(a.cfg, annots, mach::target_by_name("ppc"));
+  a.caches = wcet::analyze_caches(a.cfg, a.values, mach::MachineConfig{});
   return a;
 }
 

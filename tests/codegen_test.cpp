@@ -15,7 +15,7 @@ namespace vc {
 namespace {
 
 using minic::Value;
-using ppc::POp;
+using mach::MOp;
 
 minic::Program parse(const std::string& src) {
   minic::Program p = minic::parse_program(src);
@@ -23,10 +23,10 @@ minic::Program parse(const std::string& src) {
   return p;
 }
 
-int count_pop(const ppc::Image& image, POp op) {
+int count_pop(const mach::Image& image, MOp op) {
   int n = 0;
   for (std::uint32_t w : image.words)
-    if (ppc::decode(w).op == op) ++n;
+    if (mach::decode(w).op == op) ++n;
   return n;
 }
 
@@ -38,8 +38,8 @@ TEST(Codegen, SmallDataVsAbsoluteAddressing) {
   const auto sda = driver::compile_program(program, driver::Config::O2Full);
   const auto abs = driver::compile_program(program, driver::Config::Verified);
   // The verified configuration pays lis (@ha) instructions; SDA does not.
-  EXPECT_EQ(count_pop(sda.image, POp::Lis), 0);
-  EXPECT_GT(count_pop(abs.image, POp::Lis), 0);
+  EXPECT_EQ(count_pop(sda.image, MOp::Lis), 0);
+  EXPECT_GT(count_pop(abs.image, MOp::Lis), 0);
   EXPECT_LT(sda.image.code_size_bytes(), abs.image.code_size_bytes());
   // Both compute the same result.
   machine::Machine m1(sda.image);
@@ -59,8 +59,8 @@ TEST(Codegen, PeepholeFusesMultiplyAdd) {
   const auto o2 = driver::compile_program(program, driver::Config::O2Full);
   const auto verified =
       driver::compile_program(program, driver::Config::Verified);
-  EXPECT_GE(count_pop(o2.image, POp::Fmadd), 1);
-  EXPECT_EQ(count_pop(verified.image, POp::Fmadd), 0);
+  EXPECT_GE(count_pop(o2.image, MOp::Fmadd), 1);
+  EXPECT_EQ(count_pop(verified.image, MOp::Fmadd), 0);
   // Fusion preserves the (unfused, double-rounded) result.
   machine::Machine m1(o2.image);
   machine::Machine m2(verified.image);
@@ -85,7 +85,7 @@ TEST(Codegen, PeepholeFoldsImmediates) {
   )");
   const auto o2 = driver::compile_program(program, driver::Config::O2Full);
   // The loop increment should fold into addi under O2.
-  EXPECT_GE(count_pop(o2.image, POp::Addi), 1);
+  EXPECT_GE(count_pop(o2.image, MOp::Addi), 1);
   machine::Machine m(o2.image);
   EXPECT_EQ(m.call("f", {Value::of_i32(3)}, minic::Type::I32),
             Value::of_i32(27));
@@ -146,11 +146,11 @@ TEST(Linker, FunctionLayoutAndSymbols) {
   )");
   const auto compiled =
       driver::compile_program(program, driver::Config::O2Full);
-  const ppc::Image& image = compiled.image;
-  EXPECT_EQ(image.fn_entry.at("one"), ppc::Image::kCodeBase);
+  const mach::Image& image = compiled.image;
+  EXPECT_EQ(image.fn_entry.at("one"), mach::Image::kCodeBase);
   EXPECT_EQ(image.fn_entry.at("two"), image.fn_end.at("one"));
-  EXPECT_EQ(image.global_addr.at("a"), ppc::Image::kDataBase);
-  EXPECT_EQ(image.global_addr.at("b"), ppc::Image::kDataBase + 8);
+  EXPECT_EQ(image.global_addr.at("a"), mach::Image::kDataBase);
+  EXPECT_EQ(image.global_addr.at("b"), mach::Image::kDataBase + 8);
   // Initializers are big-endian in the data image.
   EXPECT_EQ(image.data_init[8 + 3], 1);   // b[0] low byte
   EXPECT_EQ(image.data_init[12 + 3], 2);  // b[1]
@@ -190,18 +190,18 @@ TEST(Codegen, EveryBlockEndsInABranch) {
     const auto compiled = driver::compile_program(nodes_program, config);
     // Decode and verify: an instruction followed by a branch target must be
     // a branch itself. Collect branch targets first.
-    std::vector<ppc::MInstr> instrs;
+    std::vector<mach::MInstr> instrs;
     for (std::uint32_t w : compiled.image.words)
-      instrs.push_back(ppc::decode(w));
+      instrs.push_back(mach::decode(w));
     std::set<std::size_t> leaders;
     for (std::size_t i = 0; i < instrs.size(); ++i) {
-      if (instrs[i].op == POp::B || instrs[i].op == POp::Bc)
+      if (instrs[i].op == MOp::B || instrs[i].op == MOp::Bc)
         leaders.insert(i + static_cast<std::size_t>(instrs[i].disp));
     }
     for (std::size_t leader : leaders) {
       if (leader == 0) continue;
-      const POp prev = instrs[leader - 1].op;
-      EXPECT_TRUE(prev == POp::B || prev == POp::Bc || prev == POp::Blr)
+      const MOp prev = instrs[leader - 1].op;
+      EXPECT_TRUE(prev == MOp::B || prev == MOp::Bc || prev == MOp::Blr)
           << "fall-through into leader at index " << leader << " under "
           << driver::to_string(config);
     }

@@ -3,18 +3,18 @@
 // rejection, and classification helpers.
 #include <gtest/gtest.h>
 
-#include "ppc/isa.hpp"
+#include "mach/isa.hpp"
 #include "support/rng.hpp"
 
 namespace vc {
 namespace {
 
-using ppc::MInstr;
-using ppc::POp;
+using mach::MInstr;
+using mach::MOp;
 
 MInstr random_instr(Rng& rng) {
   MInstr m;
-  m.op = static_cast<POp>(rng.next_below(static_cast<int>(POp::Nop) + 1));
+  m.op = static_cast<MOp>(rng.next_below(static_cast<int>(MOp::Nop) + 1));
   m.rd = static_cast<std::uint8_t>(rng.next_below(32));
   m.ra = static_cast<std::uint8_t>(rng.next_below(32));
   m.rb = static_cast<std::uint8_t>(rng.next_below(32));
@@ -29,11 +29,11 @@ MInstr random_instr(Rng& rng) {
   m.crbit = static_cast<std::uint8_t>(rng.next_below(32));
   m.expect = rng.next_bool();
   // Immediates respecting signedness per opcode.
-  if (m.op == POp::Ori || m.op == POp::Xori)
+  if (m.op == MOp::Ori || m.op == MOp::Xori)
     m.imm = static_cast<std::int32_t>(rng.next_below(65536));
   else
     m.imm = static_cast<std::int32_t>(rng.next_range(-32768, 32767));
-  if (m.op == POp::B)
+  if (m.op == MOp::B)
     m.disp = static_cast<std::int32_t>(rng.next_range(-(1 << 25), (1 << 25) - 1));
   else
     m.disp = static_cast<std::int32_t>(rng.next_range(-32768, 32767));
@@ -43,8 +43,8 @@ MInstr random_instr(Rng& rng) {
 /// Normalizes fields the encoding does not carry for this opcode, so that
 /// round-trip comparison is meaningful.
 MInstr normalized(const MInstr& in) {
-  const std::uint32_t word = ppc::encode(in);
-  return ppc::decode(word);
+  const std::uint32_t word = mach::encode(in);
+  return mach::decode(word);
 }
 
 class IsaRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
@@ -56,8 +56,8 @@ TEST_P(IsaRoundTrip, EncodeDecodeIdentity) {
     const MInstr once = normalized(m);
     // decode(encode(x)) must be a fixed point.
     const MInstr twice = normalized(once);
-    EXPECT_TRUE(once == twice) << ppc::mnemonic(m.op);
-    EXPECT_EQ(ppc::encode(once), ppc::encode(twice));
+    EXPECT_TRUE(once == twice) << mach::mnemonic(m.op);
+    EXPECT_EQ(mach::encode(once), mach::encode(twice));
     // The carried fields must survive (spot-check the important ones).
     EXPECT_EQ(once.op, m.op);
   }
@@ -67,88 +67,88 @@ INSTANTIATE_TEST_SUITE_P(Seeds, IsaRoundTrip, ::testing::Values(11u, 22u, 33u));
 
 TEST(Isa, SpecificEncodingsSurviveExactly) {
   MInstr li;
-  li.op = POp::Li;
+  li.op = MOp::Li;
   li.rd = 14;
   li.imm = -1234;
-  EXPECT_EQ(ppc::decode(ppc::encode(li)).imm, -1234);
+  EXPECT_EQ(mach::decode(mach::encode(li)).imm, -1234);
 
   MInstr rl;
-  rl.op = POp::Rlwinm;
+  rl.op = MOp::Rlwinm;
   rl.rd = 15;
   rl.ra = 16;
   rl.sh = 3;
   rl.mb = 31;
   rl.me = 31;
-  const MInstr rl2 = ppc::decode(ppc::encode(rl));
+  const MInstr rl2 = mach::decode(mach::encode(rl));
   EXPECT_EQ(rl2.sh, 3);
   EXPECT_EQ(rl2.mb, 31);
   EXPECT_EQ(rl2.me, 31);
 
   MInstr bc;
-  bc.op = POp::Bc;
+  bc.op = MOp::Bc;
   bc.crbit = 6;
   bc.expect = true;
   bc.disp = -12;
-  const MInstr bc2 = ppc::decode(ppc::encode(bc));
+  const MInstr bc2 = mach::decode(mach::encode(bc));
   EXPECT_EQ(bc2.crbit, 6);
   EXPECT_TRUE(bc2.expect);
   EXPECT_EQ(bc2.disp, -12);
 
   MInstr b;
-  b.op = POp::B;
+  b.op = MOp::B;
   b.disp = -(1 << 20);
-  EXPECT_EQ(ppc::decode(ppc::encode(b)).disp, -(1 << 20));
+  EXPECT_EQ(mach::decode(mach::encode(b)).disp, -(1 << 20));
 }
 
 TEST(Isa, FieldOverflowIsRejected) {
   MInstr li;
-  li.op = POp::Li;
+  li.op = MOp::Li;
   li.rd = 1;
   li.imm = 40000;  // does not fit simm16
-  EXPECT_THROW(ppc::encode(li), InternalError);
+  EXPECT_THROW(mach::encode(li), InternalError);
 
   MInstr ori;
-  ori.op = POp::Ori;
+  ori.op = MOp::Ori;
   ori.imm = -1;  // uimm16 must be non-negative
-  EXPECT_THROW(ppc::encode(ori), InternalError);
+  EXPECT_THROW(mach::encode(ori), InternalError);
 
   MInstr b;
-  b.op = POp::B;
+  b.op = MOp::B;
   b.disp = 1 << 26;
-  EXPECT_THROW(ppc::encode(b), InternalError);
+  EXPECT_THROW(mach::encode(b), InternalError);
 }
 
 TEST(Isa, InvalidOpcodeRejectedOnDecode) {
-  EXPECT_THROW(ppc::decode(0xFFFFFFFFu), CompileError);
+  EXPECT_THROW(mach::decode(0xFFFFFFFFu), CompileError);
 }
 
 TEST(Isa, Classification) {
-  EXPECT_TRUE(ppc::is_memory_op(POp::Lwz));
-  EXPECT_TRUE(ppc::is_memory_op(POp::Stfdx));
-  EXPECT_FALSE(ppc::is_memory_op(POp::Add));
-  EXPECT_TRUE(ppc::is_branch(POp::B));
-  EXPECT_TRUE(ppc::is_branch(POp::Bc));
-  EXPECT_TRUE(ppc::is_branch(POp::Blr));
-  EXPECT_FALSE(ppc::is_branch(POp::Cmpw));
+  EXPECT_TRUE(mach::is_memory_op(MOp::Lwz));
+  EXPECT_TRUE(mach::is_memory_op(MOp::Stfdx));
+  EXPECT_FALSE(mach::is_memory_op(MOp::Add));
+  EXPECT_TRUE(mach::is_branch(MOp::B));
+  EXPECT_TRUE(mach::is_branch(MOp::Bc));
+  EXPECT_TRUE(mach::is_branch(MOp::Blr));
+  EXPECT_FALSE(mach::is_branch(MOp::Cmpw));
 }
 
 TEST(Isa, FormattingSmoke) {
   MInstr lfd;
-  lfd.op = POp::Lfd;
+  lfd.op = MOp::Lfd;
   lfd.rd = 13;
   lfd.ra = 1;
   lfd.imm = 24;
-  EXPECT_EQ(ppc::format_instr(lfd, 0x1000), "lfd f13, 24(r1)");
+  EXPECT_EQ(mach::format_instr(lfd, 0x1000), "lfd f13, 24(r1)");
   MInstr fadd;
-  fadd.op = POp::Fadd;
+  fadd.op = MOp::Fadd;
   fadd.rd = 5;
   fadd.ra = 4;
   fadd.rb = 3;
-  EXPECT_EQ(ppc::format_instr(fadd, 0x1000), "fadd f5, f4, f3");
+  EXPECT_EQ(mach::format_instr(fadd, 0x1000), "fadd f5, f4, f3");
   MInstr b;
-  b.op = POp::B;
+  b.op = MOp::B;
   b.disp = 4;
-  EXPECT_EQ(ppc::format_instr(b, 0x1000), "b 0x00001010");
+  EXPECT_EQ(mach::format_instr(b, 0x1000), "b 0x00001010");
 }
 
 }  // namespace

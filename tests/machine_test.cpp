@@ -6,31 +6,32 @@
 #include <cmath>
 
 #include "machine/machine.hpp"
-#include "ppc/program.hpp"
-#include "ppc/timing.hpp"
+#include "mach/program.hpp"
+#include "mach/timing.hpp"
+#include "mach/target.hpp"
 
 namespace vc {
 namespace {
 
 using machine::Machine;
-using ppc::MInstr;
-using ppc::POp;
+using mach::MInstr;
+using mach::MOp;
 
 /// Assembles a raw instruction sequence (ending in blr) into an image with a
 /// single function "f" and no globals.
-ppc::Image assemble(std::vector<MInstr> code) {
+mach::Image assemble(std::vector<MInstr> code) {
   MInstr blr;
-  blr.op = POp::Blr;
+  blr.op = MOp::Blr;
   code.push_back(blr);
-  ppc::MachineFunction fn;
+  mach::MachineFunction fn;
   fn.name = "f";
   fn.code = std::move(code);
   minic::Program empty;
-  const ppc::DataLayout layout(empty);
-  return ppc::link({fn}, layout);
+  const mach::DataLayout layout(empty);
+  return mach::link({fn}, layout);
 }
 
-MInstr ri(POp op, int rd, int ra, std::int32_t imm) {
+MInstr ri(MOp op, int rd, int ra, std::int32_t imm) {
   MInstr m;
   m.op = op;
   m.rd = static_cast<std::uint8_t>(rd);
@@ -39,7 +40,7 @@ MInstr ri(POp op, int rd, int ra, std::int32_t imm) {
   return m;
 }
 
-MInstr r3(POp op, int rd, int ra, int rb) {
+MInstr r3(MOp op, int rd, int ra, int rb) {
   MInstr m;
   m.op = op;
   m.rd = static_cast<std::uint8_t>(rd);
@@ -50,61 +51,61 @@ MInstr r3(POp op, int rd, int ra, int rb) {
 
 /// Runs "f" and returns the final value of r3.
 std::int32_t run_gpr(const std::vector<MInstr>& code) {
-  const ppc::Image image = assemble(code);
+  const mach::Image image = assemble(code);
   Machine m(image);
   return m.call("f", {}, minic::Type::I32).i;
 }
 
 TEST(Machine, ImmediateConstruction) {
   // lis/ori pair builds a full 32-bit constant.
-  EXPECT_EQ(run_gpr({ri(POp::Lis, 3, 0, 0x1234), ri(POp::Ori, 3, 3, 0x5678)}),
+  EXPECT_EQ(run_gpr({ri(MOp::Lis, 3, 0, 0x1234), ri(MOp::Ori, 3, 3, 0x5678)}),
             0x12345678);
-  EXPECT_EQ(run_gpr({ri(POp::Li, 3, 0, -5)}), -5);
-  EXPECT_EQ(run_gpr({ri(POp::Li, 3, 0, 10), ri(POp::Addi, 3, 3, -20)}), -10);
-  EXPECT_EQ(run_gpr({ri(POp::Li, 4, 0, 0x00FF), ri(POp::Xori, 3, 4, 0x0F0F)}),
+  EXPECT_EQ(run_gpr({ri(MOp::Li, 3, 0, -5)}), -5);
+  EXPECT_EQ(run_gpr({ri(MOp::Li, 3, 0, 10), ri(MOp::Addi, 3, 3, -20)}), -10);
+  EXPECT_EQ(run_gpr({ri(MOp::Li, 4, 0, 0x00FF), ri(MOp::Xori, 3, 4, 0x0F0F)}),
             0x0FF0);
 }
 
 TEST(Machine, IntegerAluAndShifts) {
-  EXPECT_EQ(run_gpr({ri(POp::Li, 4, 0, 21), ri(POp::Li, 5, 0, 2),
-                     r3(POp::Mullw, 3, 4, 5)}),
+  EXPECT_EQ(run_gpr({ri(MOp::Li, 4, 0, 21), ri(MOp::Li, 5, 0, 2),
+                     r3(MOp::Mullw, 3, 4, 5)}),
             42);
   // subf rd, ra, rb = rb - ra.
-  EXPECT_EQ(run_gpr({ri(POp::Li, 4, 0, 5), ri(POp::Li, 5, 0, 30),
-                     r3(POp::Subf, 3, 4, 5)}),
+  EXPECT_EQ(run_gpr({ri(MOp::Li, 4, 0, 5), ri(MOp::Li, 5, 0, 30),
+                     r3(MOp::Subf, 3, 4, 5)}),
             25);
-  EXPECT_EQ(run_gpr({ri(POp::Li, 4, 0, -32), ri(POp::Li, 5, 0, 3),
-                     r3(POp::Divw, 3, 4, 5)}),
+  EXPECT_EQ(run_gpr({ri(MOp::Li, 4, 0, -32), ri(MOp::Li, 5, 0, 3),
+                     r3(MOp::Divw, 3, 4, 5)}),
             -10);
-  EXPECT_EQ(run_gpr({ri(POp::Li, 4, 0, 1), ri(POp::Li, 5, 0, 33),
-                     r3(POp::Slw, 3, 4, 5)}),
+  EXPECT_EQ(run_gpr({ri(MOp::Li, 4, 0, 1), ri(MOp::Li, 5, 0, 33),
+                     r3(MOp::Slw, 3, 4, 5)}),
             0);  // shift >= 32 clears
-  EXPECT_EQ(run_gpr({ri(POp::Li, 4, 0, -64), ri(POp::Li, 5, 0, 4),
-                     r3(POp::Sraw, 3, 4, 5)}),
+  EXPECT_EQ(run_gpr({ri(MOp::Li, 4, 0, -64), ri(MOp::Li, 5, 0, 4),
+                     r3(MOp::Sraw, 3, 4, 5)}),
             -4);
-  EXPECT_EQ(run_gpr({ri(POp::Li, 4, 0, 7), r3(POp::Nor, 3, 4, 4)}), ~7);
-  EXPECT_EQ(run_gpr({ri(POp::Li, 4, 0, 7), r3(POp::Neg, 3, 4, 0)}), -7);
+  EXPECT_EQ(run_gpr({ri(MOp::Li, 4, 0, 7), r3(MOp::Nor, 3, 4, 4)}), ~7);
+  EXPECT_EQ(run_gpr({ri(MOp::Li, 4, 0, 7), r3(MOp::Neg, 3, 4, 0)}), -7);
 }
 
 TEST(Machine, RlwinmMasks) {
   // slwi 2 == rlwinm sh=2, mb=0, me=29.
   MInstr slwi;
-  slwi.op = POp::Rlwinm;
+  slwi.op = MOp::Rlwinm;
   slwi.rd = 3;
   slwi.ra = 4;
   slwi.sh = 2;
   slwi.mb = 0;
   slwi.me = 29;
-  EXPECT_EQ(run_gpr({ri(POp::Li, 4, 0, 5), slwi}), 20);
+  EXPECT_EQ(run_gpr({ri(MOp::Li, 4, 0, 5), slwi}), 20);
   // Single-bit extraction: bit 31 (LSB after rotate).
   MInstr bit;
-  bit.op = POp::Rlwinm;
+  bit.op = MOp::Rlwinm;
   bit.rd = 3;
   bit.ra = 4;
   bit.sh = 1;
   bit.mb = 31;
   bit.me = 31;
-  EXPECT_EQ(run_gpr({ri(POp::Lis, 4, 0, static_cast<std::int16_t>(0x8000)),
+  EXPECT_EQ(run_gpr({ri(MOp::Lis, 4, 0, static_cast<std::int16_t>(0x8000)),
                      bit}),
             1);  // MSB rotated into LSB
 }
@@ -112,80 +113,80 @@ TEST(Machine, RlwinmMasks) {
 TEST(Machine, CompareBranchAndCr) {
   // if (10 < 20) r3 = 1 else r3 = 2, via cmpwi + bc.
   MInstr cmp;
-  cmp.op = POp::Cmpwi;
+  cmp.op = MOp::Cmpwi;
   cmp.crf = 0;
   cmp.ra = 4;
   cmp.imm = 20;
   MInstr bc;
-  bc.op = POp::Bc;
-  bc.crbit = ppc::kLt;  // cr0.lt
+  bc.op = MOp::Bc;
+  bc.crbit = mach::kLt;  // cr0.lt
   bc.expect = true;
   bc.disp = 3;  // skip the else arm (2 instructions ahead)
   MInstr b_end;
-  b_end.op = POp::B;
+  b_end.op = MOp::B;
   b_end.disp = 2;
-  EXPECT_EQ(run_gpr({ri(POp::Li, 4, 0, 10), cmp, bc, ri(POp::Li, 3, 0, 2),
-                     b_end, ri(POp::Li, 3, 0, 1)}),
+  EXPECT_EQ(run_gpr({ri(MOp::Li, 4, 0, 10), cmp, bc, ri(MOp::Li, 3, 0, 2),
+                     b_end, ri(MOp::Li, 3, 0, 1)}),
             1);
   // mfcr materialization: EQ bit of cr0 after equal compare.
   MInstr cmp2;
-  cmp2.op = POp::Cmpwi;
+  cmp2.op = MOp::Cmpwi;
   cmp2.crf = 0;
   cmp2.ra = 4;
   cmp2.imm = 10;
   MInstr mfcr;
-  mfcr.op = POp::Mfcr;
+  mfcr.op = MOp::Mfcr;
   mfcr.rd = 5;
   MInstr extract;
-  extract.op = POp::Rlwinm;
+  extract.op = MOp::Rlwinm;
   extract.rd = 3;
   extract.ra = 5;
-  extract.sh = ppc::kEq + 1;
+  extract.sh = mach::kEq + 1;
   extract.mb = 31;
   extract.me = 31;
-  EXPECT_EQ(run_gpr({ri(POp::Li, 4, 0, 10), cmp2, mfcr, extract}), 1);
+  EXPECT_EQ(run_gpr({ri(MOp::Li, 4, 0, 10), cmp2, mfcr, extract}), 1);
 }
 
 TEST(Machine, FloatPipelineAndConversion) {
   // icvf/fcti round trip with truncation.
-  MInstr icvf = r3(POp::Icvf, 1, 4, 0);
-  MInstr fadd = r3(POp::Fadd, 1, 1, 1);  // f1 = 2 * f1
-  MInstr fcti = r3(POp::Fcti, 3, 1, 0);
-  EXPECT_EQ(run_gpr({ri(POp::Li, 4, 0, 21), icvf, fadd, fcti}), 42);
+  MInstr icvf = r3(MOp::Icvf, 1, 4, 0);
+  MInstr fadd = r3(MOp::Fadd, 1, 1, 1);  // f1 = 2 * f1
+  MInstr fcti = r3(MOp::Fcti, 3, 1, 0);
+  EXPECT_EQ(run_gpr({ri(MOp::Li, 4, 0, 21), icvf, fadd, fcti}), 42);
 }
 
 TEST(Machine, MemoryIsBigEndianAndBounded) {
   // stw to the stack then byte-order-sensitive reload.
   std::vector<MInstr> code;
-  code.push_back(ri(POp::Lis, 4, 0, 0x1122));
-  code.push_back(ri(POp::Ori, 4, 4, 0x3344));
-  code.push_back(ri(POp::Stw, 4, 1, -8));  // store below the stack pointer
-  code.push_back(ri(POp::Lwz, 3, 1, -8));
+  code.push_back(ri(MOp::Lis, 4, 0, 0x1122));
+  code.push_back(ri(MOp::Ori, 4, 4, 0x3344));
+  code.push_back(ri(MOp::Stw, 4, 1, -8));  // store below the stack pointer
+  code.push_back(ri(MOp::Lwz, 3, 1, -8));
   EXPECT_EQ(run_gpr(code), 0x11223344);
 
   // Out-of-segment access traps.
   std::vector<MInstr> bad;
-  bad.push_back(ri(POp::Li, 4, 0, 0));
-  bad.push_back(ri(POp::Lwz, 3, 4, 16));  // address 16: unmapped
-  const ppc::Image image = assemble(bad);
+  bad.push_back(ri(MOp::Li, 4, 0, 0));
+  bad.push_back(ri(MOp::Lwz, 3, 4, 16));  // address 16: unmapped
+  const mach::Image image = assemble(bad);
   Machine m(image);
   EXPECT_THROW(m.call("f", {}, minic::Type::I32), machine::MachineError);
 }
 
 TEST(Machine, DivideByZeroTraps) {
-  const ppc::Image image = assemble(
-      {ri(POp::Li, 4, 0, 1), ri(POp::Li, 5, 0, 0), r3(POp::Divw, 3, 4, 5)});
+  const mach::Image image = assemble(
+      {ri(MOp::Li, 4, 0, 1), ri(MOp::Li, 5, 0, 0), r3(MOp::Divw, 3, 4, 5)});
   Machine m(image);
   EXPECT_THROW(m.call("f", {}, minic::Type::I32), machine::MachineError);
 }
 
 TEST(Machine, CacheStatisticsAreCounted) {
   std::vector<MInstr> code;
-  code.push_back(ri(POp::Li, 4, 0, 7));
-  code.push_back(ri(POp::Stw, 4, 1, -8));
-  code.push_back(ri(POp::Lwz, 3, 1, -8));
-  code.push_back(ri(POp::Lwz, 5, 1, -8));
-  const ppc::Image image = assemble(code);
+  code.push_back(ri(MOp::Li, 4, 0, 7));
+  code.push_back(ri(MOp::Stw, 4, 1, -8));
+  code.push_back(ri(MOp::Lwz, 3, 1, -8));
+  code.push_back(ri(MOp::Lwz, 5, 1, -8));
+  const mach::Image image = assemble(code);
   Machine m(image);
   m.call("f", {}, minic::Type::I32);
   EXPECT_EQ(m.stats().dcache_reads, 2u);
@@ -199,7 +200,7 @@ TEST(Machine, CacheStatisticsAreCounted) {
 }
 
 TEST(Cache, LruEviction) {
-  ppc::CacheConfig cfg;
+  mach::CacheConfig cfg;
   cfg.sets = 1;
   cfg.ways = 2;
   cfg.line_bytes = 32;
@@ -213,7 +214,7 @@ TEST(Cache, LruEviction) {
 }
 
 TEST(IssueModel, DualIssueAndHazards) {
-  ppc::IssueModel pipe;
+  mach::IssueModel pipe(mach::target_by_name("ppc"));
   pipe.reset();
   int reads[16];
   int writes[16];
@@ -221,38 +222,38 @@ TEST(IssueModel, DualIssueAndHazards) {
   int n_writes = 0;
   auto issue = [&](const MInstr& m, std::uint32_t mem = 0,
                    std::uint32_t fetch = 0) {
-    ppc::IssueModel::resources(m, reads, &n_reads, writes, &n_writes);
+    mach::IssueModel::resources(m, reads, &n_reads, writes, &n_writes);
     return pipe.issue(m, reads, n_reads, writes, n_writes, mem, fetch);
   };
 
   // Two independent simple IU ops pair in one cycle.
-  const auto t0 = issue(ri(POp::Li, 14, 0, 1));
-  const auto t1 = issue(ri(POp::Li, 15, 0, 2));
+  const auto t0 = issue(ri(MOp::Li, 14, 0, 1));
+  const auto t1 = issue(ri(MOp::Li, 15, 0, 2));
   EXPECT_EQ(t0, t1);
   // A third cannot (only two slots per cycle).
-  const auto t2 = issue(ri(POp::Li, 16, 0, 3));
+  const auto t2 = issue(ri(MOp::Li, 16, 0, 3));
   EXPECT_GT(t2, t1);
   // RAW hazard: consumer of a mullw result waits for its 3-cycle latency.
-  const auto t3 = issue(r3(POp::Mullw, 17, 14, 15));
-  const auto t4 = issue(ri(POp::Addi, 18, 17, 1));
+  const auto t3 = issue(r3(MOp::Mullw, 17, 14, 15));
+  const auto t4 = issue(ri(MOp::Addi, 18, 17, 1));
   EXPECT_GE(t4, t3 + 3);
   // The divider blocks its unit until complete.
-  const auto t5 = issue(r3(POp::Divw, 19, 14, 15));
-  const auto t6 = issue(r3(POp::Mullw, 20, 14, 15));  // independent, same IU?
+  const auto t5 = issue(r3(MOp::Divw, 19, 14, 15));
+  const auto t6 = issue(r3(MOp::Mullw, 20, 14, 15));  // independent, same IU?
   EXPECT_GE(t6, t5);  // complex IU ops cannot pair
   pipe.drain();
   EXPECT_GE(pipe.current_cycle(), t5 + 19);
 }
 
 TEST(IssueModel, FetchStallDelaysIssue) {
-  ppc::IssueModel pipe;
+  mach::IssueModel pipe(mach::target_by_name("ppc"));
   pipe.reset();
   int reads[16];
   int writes[16];
   int n_reads = 0;
   int n_writes = 0;
-  MInstr li = ri(POp::Li, 14, 0, 1);
-  ppc::IssueModel::resources(li, reads, &n_reads, writes, &n_writes);
+  MInstr li = ri(MOp::Li, 14, 0, 1);
+  mach::IssueModel::resources(li, reads, &n_reads, writes, &n_writes);
   const auto t = pipe.issue(li, reads, n_reads, writes, n_writes, 0, 30);
   EXPECT_GE(t, 30u);
 }

@@ -14,9 +14,10 @@
 #include "minic/parser.hpp"
 #include "minic/typecheck.hpp"
 #include "pass/pass.hpp"
-#include "ppc/codegen.hpp"
-#include "ppc/isa.hpp"
-#include "ppc/timing.hpp"
+#include "mach/codegen.hpp"
+#include "mach/isa.hpp"
+#include "mach/timing.hpp"
+#include "mach/target.hpp"
 #include "regalloc/regalloc.hpp"
 #include "validate/validate.hpp"
 
@@ -54,7 +55,7 @@ struct Captured {
   regalloc::Allocation alloc;
   int k_int = 0;
   int k_float = 0;
-  ppc::AsmFunction machine;
+  mach::AsmFunction machine;
   bool have_ra = false;
   bool have_machine = false;
 };
@@ -81,21 +82,21 @@ Captured capture(const minic::Program& program, driver::Config config) {
   return cap;
 }
 
-bool is_load_op(ppc::POp op) {
-  return op == ppc::POp::Lwz || op == ppc::POp::Lwzx ||
-         op == ppc::POp::Lfd || op == ppc::POp::Lfdx;
+bool is_load_op(mach::MOp op) {
+  return op == mach::MOp::Lwz || op == mach::MOp::Lwzx ||
+         op == mach::MOp::Lfd || op == mach::MOp::Lfdx;
 }
 
 /// The scheduler's dependence rule, rebuilt here a third time (scheduler,
 /// checker, test) so the test does not trust the code under test.
-bool depend(const ppc::MInstr& a, const ppc::MInstr& b) {
-  int ra[ppc::IssueModel::kMaxResourcesPerInstr];
-  int wa[ppc::IssueModel::kMaxResourcesPerInstr];
-  int rb[ppc::IssueModel::kMaxResourcesPerInstr];
-  int wb[ppc::IssueModel::kMaxResourcesPerInstr];
+bool depend(const mach::MInstr& a, const mach::MInstr& b) {
+  int ra[mach::IssueModel::kMaxResourcesPerInstr];
+  int wa[mach::IssueModel::kMaxResourcesPerInstr];
+  int rb[mach::IssueModel::kMaxResourcesPerInstr];
+  int wb[mach::IssueModel::kMaxResourcesPerInstr];
   int nra = 0, nwa = 0, nrb = 0, nwb = 0;
-  ppc::IssueModel::resources(a, ra, &nra, wa, &nwa);
-  ppc::IssueModel::resources(b, rb, &nrb, wb, &nwb);
+  mach::IssueModel::resources(a, ra, &nra, wa, &nwa);
+  mach::IssueModel::resources(b, rb, &nrb, wb, &nwb);
   const auto meets = [](const int* xs, int nx, const int* ys, int ny) {
     for (int i = 0; i < nx; ++i)
       for (int j = 0; j < ny; ++j)
@@ -105,7 +106,7 @@ bool depend(const ppc::MInstr& a, const ppc::MInstr& b) {
   if (meets(wa, nwa, rb, nrb)) return true;  // RAW
   if (meets(ra, nra, wb, nwb)) return true;  // WAR
   if (meets(wa, nwa, wb, nwb)) return true;  // WAW
-  return ppc::is_memory_op(a.op) && ppc::is_memory_op(b.op) &&
+  return mach::is_memory_op(a.op) && mach::is_memory_op(b.op) &&
          !(is_load_op(a.op) && is_load_op(b.op));
 }
 
@@ -211,8 +212,8 @@ TEST(MachineValidation, RegallocCheckerRejectsBrokenAllocations) {
 TEST(MachineValidation, EquivalenceCheckerRejectsCorruptedRewrites) {
   const Captured cap = capture(parse(kLawSource), driver::Config::O2Full);
   ASSERT_TRUE(cap.have_machine);
-  const ppc::AsmFunction& m = cap.machine;
-  EXPECT_TRUE(validate::check_machine_equivalence(m, m).ok);
+  const mach::AsmFunction& m = cap.machine;
+  EXPECT_TRUE(validate::check_machine_equivalence(m, mach::target_by_name("ppc"), m).ok);
 
   // A "peephole" that shifts a store's target location must be rejected:
   // the memory event lists diverge. For a relocated store the displacement
@@ -220,32 +221,32 @@ TEST(MachineValidation, EquivalenceCheckerRejectsCorruptedRewrites) {
   // checker rightly accepts), so shift the relocation addend there instead.
   std::size_t store_at = m.ops.size();
   for (std::size_t i = 0; i < m.ops.size(); ++i) {
-    if (m.ops[i].ins.op == ppc::POp::Stw ||
-        m.ops[i].ins.op == ppc::POp::Stfd) {
+    if (m.ops[i].ins.op == mach::MOp::Stw ||
+        m.ops[i].ins.op == mach::MOp::Stfd) {
       store_at = i;
       break;
     }
   }
   ASSERT_LT(store_at, m.ops.size()) << "kernel has global stores";
   {
-    ppc::AsmFunction bad = m;
+    mach::AsmFunction bad = m;
     if (bad.ops[store_at].reloc_sym.empty())
       bad.ops[store_at].ins.imm += 8;
     else
       bad.ops[store_at].reloc_addend += 8;
-    const validate::CheckResult r = validate::check_machine_equivalence(m, bad);
+    const validate::CheckResult r = validate::check_machine_equivalence(m, mach::target_by_name("ppc"), bad);
     EXPECT_FALSE(r.ok);
   }
 
   // A rewrite that deletes a (live) store loses a memory event.
   {
-    ppc::AsmFunction bad = m;
+    mach::AsmFunction bad = m;
     bad.ops.erase(bad.ops.begin() + static_cast<std::ptrdiff_t>(store_at));
     for (auto& [id, pos] : bad.labels)
       if (pos > store_at) --pos;
     for (auto& a : bad.annots)
       if (a.addr > store_at) --a.addr;
-    EXPECT_FALSE(validate::check_machine_equivalence(m, bad).ok);
+    EXPECT_FALSE(validate::check_machine_equivalence(m, mach::target_by_name("ppc"), bad).ok);
   }
 }
 
@@ -256,11 +257,11 @@ TEST(MachineValidation, EquivalenceCheckerAcceptsMarkerMergeFromDeletion) {
   // started emitting adjacent annotations). The checker must treat the
   // merged run as the same marker set, while still rejecting an actual
   // identity change at the merged address.
-  ppc::AsmFunction fn;
+  mach::AsmFunction fn;
   fn.name = "merge";
   const auto mr = [](int rd, int ra) {
-    ppc::AsmOp op;
-    op.ins.op = ppc::POp::Mr;
+    mach::AsmOp op;
+    op.ins.op = mach::MOp::Mr;
     op.ins.rd = static_cast<std::uint8_t>(rd);
     op.ins.ra = static_cast<std::uint8_t>(ra);
     return op;
@@ -268,35 +269,35 @@ TEST(MachineValidation, EquivalenceCheckerAcceptsMarkerMergeFromDeletion) {
   fn.ops.push_back(mr(3, 4));
   fn.ops.push_back(mr(5, 5));  // self-move between the two annotations
   fn.ops.push_back(mr(6, 7));
-  ppc::AsmOp ret;
-  ret.ins.op = ppc::POp::Blr;
+  mach::AsmOp ret;
+  ret.ins.op = mach::MOp::Blr;
   fn.ops.push_back(ret);
   fn.annots.push_back({1, "zz", {}});
   fn.annots.push_back({2, "aa", {}});  // id order inverts the address order
 
-  ppc::AsmFunction after = fn;
-  ASSERT_EQ(ppc::remove_self_moves(after), 1);
+  mach::AsmFunction after = fn;
+  ASSERT_EQ(mach::remove_self_moves(after), 1);
   ASSERT_EQ(after.annots[0].addr, 1u);
   ASSERT_EQ(after.annots[1].addr, 1u);  // merged
   const validate::CheckResult ok =
-      validate::check_machine_equivalence(fn, after);
+      validate::check_machine_equivalence(fn, mach::target_by_name("ppc"), after);
   EXPECT_TRUE(ok.ok) << ok.message;
 
   // An annotation whose identity really changed is still caught.
-  ppc::AsmFunction bad = after;
+  mach::AsmFunction bad = after;
   bad.annots[1].format = "qq";
-  EXPECT_FALSE(validate::check_machine_equivalence(fn, bad).ok);
+  EXPECT_FALSE(validate::check_machine_equivalence(fn, mach::target_by_name("ppc"), bad).ok);
 }
 
 TEST(MachineValidation, ScheduleCheckerRejectsIllegalReorder) {
   const Captured cap = capture(parse(kLawSource), driver::Config::O2Full);
   ASSERT_TRUE(cap.have_machine);
-  const ppc::AsmFunction& m = cap.machine;
+  const mach::AsmFunction& m = cap.machine;
   EXPECT_TRUE(validate::check_schedule(m, m).ok);
 
   // Frame resizing is not a schedule.
   {
-    ppc::AsmFunction bad = m;
+    mach::AsmFunction bad = m;
     bad.frame_bytes += 8;
     EXPECT_FALSE(validate::check_schedule(m, bad).ok);
   }
@@ -312,9 +313,9 @@ TEST(MachineValidation, ScheduleCheckerRejectsIllegalReorder) {
   };
   std::size_t swap_at = m.ops.size();
   for (std::size_t i = 0; i + 1 < m.ops.size(); ++i) {
-    const ppc::MInstr& a = m.ops[i].ins;
-    const ppc::MInstr& b = m.ops[i + 1].ins;
-    if (ppc::is_branch(a.op) || ppc::is_branch(b.op)) continue;
+    const mach::MInstr& a = m.ops[i].ins;
+    const mach::MInstr& b = m.ops[i + 1].ins;
+    if (mach::is_branch(a.op) || mach::is_branch(b.op)) continue;
     if (boundary_at(i + 1)) continue;
     if (a == b) continue;  // swapping identical ops is a no-op
     if (depend(a, b)) {
@@ -323,7 +324,7 @@ TEST(MachineValidation, ScheduleCheckerRejectsIllegalReorder) {
     }
   }
   ASSERT_LT(swap_at, m.ops.size()) << "kernel has an adjacent dependent pair";
-  ppc::AsmFunction bad = m;
+  mach::AsmFunction bad = m;
   std::swap(bad.ops[swap_at], bad.ops[swap_at + 1]);
   const validate::CheckResult r = validate::check_schedule(m, bad);
   EXPECT_FALSE(r.ok);

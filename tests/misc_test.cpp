@@ -153,25 +153,25 @@ TEST(Image, CodeAndDataAreWellFormed) {
     minic::type_check(program);
     const auto compiled =
         driver::compile_program(program, driver::Config::O2Full);
-    const ppc::Image& image = compiled.image;
+    const mach::Image& image = compiled.image;
     // Every word decodes; every branch lands inside the function it is in.
     for (std::size_t i = 0; i < image.words.size(); ++i) {
       const std::uint32_t addr =
-          ppc::Image::kCodeBase + static_cast<std::uint32_t>(i) * 4;
+          mach::Image::kCodeBase + static_cast<std::uint32_t>(i) * 4;
       ASSERT_NO_THROW({
-        const ppc::MInstr ins = ppc::decode(image.words[i]);
-        if (ins.op == ppc::POp::B || ins.op == ppc::POp::Bc) {
+        const mach::MInstr ins = mach::decode(image.words[i]);
+        if (ins.op == mach::MOp::B || ins.op == mach::MOp::Bc) {
           const std::uint32_t target =
               addr + static_cast<std::uint32_t>(ins.disp) * 4;
-          ASSERT_GE(target, ppc::Image::kCodeBase);
-          ASSERT_LT(target, ppc::Image::kCodeBase + image.code_size_bytes());
+          ASSERT_GE(target, mach::Image::kCodeBase);
+          ASSERT_LT(target, mach::Image::kCodeBase + image.code_size_bytes());
         }
       });
     }
     // Annotation addresses point into the code segment.
     for (const auto& a : image.annotations) {
-      EXPECT_GE(a.addr, ppc::Image::kCodeBase);
-      EXPECT_LT(a.addr, ppc::Image::kCodeBase + image.code_size_bytes());
+      EXPECT_GE(a.addr, mach::Image::kCodeBase);
+      EXPECT_LT(a.addr, mach::Image::kCodeBase + image.code_size_bytes());
     }
     // The data segment fits the 16-bit displacement window.
     EXPECT_LE(image.data_init.size(), 32767u);

@@ -23,7 +23,8 @@
 #include "machine/machine.hpp"
 #include "minic/parser.hpp"
 #include "minic/typecheck.hpp"
-#include "ppc/timing.hpp"
+#include "mach/timing.hpp"
+#include "mach/target.hpp"
 #include "wcet/monitor_spec.hpp"
 
 namespace vc {
@@ -325,7 +326,7 @@ TEST(CounterWidth, ExecStatsAndIssueModelAreUint64Clean) {
 
   // The pipeline's cycle counter must keep counting past uint32 range even
   // when fed uint32-sized stalls.
-  ppc::IssueModel pipe;
+  mach::IssueModel pipe(mach::target_by_name("ppc"));
   pipe.reset();
   const std::uint32_t big = 0xFFFFFFFFu;
   pipe.add_stall(big);

@@ -16,6 +16,10 @@
 //       monitor fully armed — every control transfer must be an edge of the
 //       reconstructed CFG, every annotation interval must hold live, and no
 //       loop may exceed its bound row (a MonitorError fails the sweep).
+//   P7 (cross-target soundness): the same source compiled for every
+//       registered target yields, per target, an IPET bound that dominates
+//       that target's own monitored executions, with a verified certificate
+//       — and every target agrees bit-exactly with the reference simulator.
 #include <gtest/gtest.h>
 
 #include "dataflow/acg.hpp"
@@ -23,6 +27,7 @@
 #include "dataflow/simulator.hpp"
 #include "driver/compiler.hpp"
 #include "machine/machine.hpp"
+#include "mach/target.hpp"
 #include "minic/typecheck.hpp"
 #include "support/rng.hpp"
 #include "validate/validate.hpp"
@@ -145,6 +150,93 @@ TEST_P(PropertySweep, AllInvariantsHold) {
 INSTANTIATE_TEST_SUITE_P(Seeds, PropertySweep,
                          ::testing::Values(101u, 202u, 303u, 404u, 505u,
                                            606u, 707u, 808u));
+
+// P7: the sweep above fixes the default target; this one compiles the same
+// sources for every registered target and holds each backend to its own
+// bound. Soundness is per-target (each ISA has its own timing model, so the
+// bounds are not comparable across targets), but functional behaviour is
+// not: every target must agree bit-exactly with the reference simulator.
+class CrossTargetSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CrossTargetSweep, EveryTargetSoundAndSemanticallyEqual) {
+  const std::uint64_t seed = GetParam();
+  const std::vector<dataflow::Node> nodes = dataflow::generate_suite(seed, 2);
+
+  for (const auto& node : nodes) {
+    minic::Program program;
+    program.name = node.name();
+    dataflow::generate_node(node, &program);
+    minic::type_check(program);
+    const std::string fn = dataflow::step_function_name(node);
+    const bool has_io =
+        program.find_global(dataflow::kIoBusGlobal) != nullptr;
+
+    for (const std::string& target : mach::target_names()) {
+      driver::CompileOptions copts;
+      copts.target = target;
+      const driver::Compiled compiled =
+          driver::compile_program(program, driver::Config::O2Full, copts);
+      EXPECT_EQ(compiled.image.target, target);
+
+      wcet::WcetOptions engines;
+      engines.engine = wcet::WcetEngine::Both;
+      const wcet::WcetResult bound =
+          wcet::analyze_wcet(compiled.image, fn, engines);
+      ASSERT_TRUE(bound.ipet.has_value()) << node.name() << " on " << target;
+      EXPECT_TRUE(bound.ipet->certificate_verified)
+          << node.name() << " on " << target;
+      const std::uint64_t ipet = bound.ipet->wcet_cycles;
+
+      const machine::MonitorSpec mspec =
+          wcet::build_monitor_spec(compiled.image, fn,
+                                   machine::MonitorMode::Full);
+      machine::Machine m(compiled.image);
+      m.arm_monitor(mspec, machine::MonitorMode::Full);
+      dataflow::NodeSimulator reference(node);
+      Rng rng(seed ^ 0xC0FFEE);
+      for (int cycle = 0; cycle < 4; ++cycle) {
+        std::vector<double> f_inputs;
+        std::vector<std::int32_t> i_inputs;
+        std::vector<Value> args;
+        for (const auto& p : program.find_function(fn)->params) {
+          if (p.type == minic::Type::F64) {
+            const double v = rng.next_double(-40.0, 40.0);
+            f_inputs.push_back(v);
+            args.push_back(Value::of_f64(v));
+          } else {
+            const auto v = static_cast<std::int32_t>(rng.next_range(-3, 3));
+            i_inputs.push_back(v);
+            args.push_back(Value::of_i32(v));
+          }
+        }
+        const double io = rng.next_double(-2.0, 2.0);
+        if (has_io)
+          m.write_global(dataflow::kIoBusGlobal, 0, Value::of_f64(io));
+        const std::vector<double> want =
+            reference.step(f_inputs, i_inputs, io);
+        m.clear_caches();
+        m.call(fn, args, minic::Type::I32);
+        ASSERT_LE(m.stats().cycles, ipet)
+            << "P7 violated (ipet unsound): " << node.name() << " on "
+            << target;
+        for (int k = 0; k < node.output_count(); ++k) {
+          ASSERT_EQ(Value::of_f64(want[static_cast<std::size_t>(k)]),
+                    m.read_global(dataflow::output_global(node, k), 0,
+                                  minic::Type::F64))
+              << "P7 violated (semantics): " << node.name() << " output "
+              << k << " on " << target << " cycle " << cycle;
+        }
+      }
+      // A violation would have thrown MonitorError out of m.call; reaching
+      // here with a nonzero step count means every step was checked clean.
+      ASSERT_NE(m.monitor(), nullptr);
+      EXPECT_GT(m.monitor()->steps(), 0u) << node.name() << " on " << target;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossTargetSweep,
+                         ::testing::Values(111u, 222u, 333u, 444u));
 
 }  // namespace
 }  // namespace vc

@@ -334,10 +334,10 @@ TEST(Validate, EndToEndCatchesEmissionBug) {
   // linker defect): flip an fadd into an fsub if present.
   bool corrupted = false;
   for (auto& word : compiled.image.words) {
-    ppc::MInstr ins = ppc::decode(word);
-    if (ins.op == ppc::POp::Fadd) {
-      ins.op = ppc::POp::Fsub;
-      word = ppc::encode(ins);
+    mach::MInstr ins = mach::decode(word);
+    if (ins.op == mach::MOp::Fadd) {
+      ins.op = mach::MOp::Fsub;
+      word = mach::encode(ins);
       corrupted = true;
       break;
     }

@@ -6,6 +6,7 @@
 #include <fstream>
 #include <gtest/gtest.h>
 
+#include "mach/target.hpp"
 #include "tools/vcc_cli.hpp"
 
 namespace vc::tools {
@@ -104,6 +105,31 @@ TEST(VccCliTest, ParseConfigName) {
   EXPECT_EQ(parse_config_name("O2"), driver::Config::O2Full);
   EXPECT_FALSE(parse_config_name("O3").has_value());
   EXPECT_FALSE(parse_config_name("").has_value());
+}
+
+TEST(VccCliTest, ParseTargetName) {
+  // Round-trip every registered target through the strict parser.
+  for (const std::string& name : mach::target_names())
+    EXPECT_EQ(parse_target_name(name), name);
+  EXPECT_EQ(parse_target_name("ppc"), "ppc");
+  EXPECT_EQ(parse_target_name("rv32"), "rv32");
+  // Unknown, empty, and case-mangled spellings are rejected (the callers
+  // turn nullopt into a diagnostic + exit 2).
+  EXPECT_FALSE(parse_target_name("riscv").has_value());
+  EXPECT_FALSE(parse_target_name("PPC").has_value());
+  EXPECT_FALSE(parse_target_name("rv32 ").has_value());
+  EXPECT_FALSE(parse_target_name("").has_value());
+}
+
+TEST(VccCliTest, TargetFlagConflictsAreContradictoryRepeats) {
+  FlagConflicts conflicts;
+  EXPECT_FALSE(conflicts.note("--target", "ppc").has_value());
+  EXPECT_FALSE(conflicts.note("--target", "ppc").has_value());
+  const auto conflict = conflicts.note("--target", "rv32");
+  ASSERT_TRUE(conflict.has_value());
+  EXPECT_NE(conflict->find("--target"), std::string::npos) << *conflict;
+  EXPECT_NE(conflict->find("'ppc'"), std::string::npos) << *conflict;
+  EXPECT_NE(conflict->find("'rv32'"), std::string::npos) << *conflict;
 }
 
 TEST(VccCliTest, ParseWcetEngineName) {

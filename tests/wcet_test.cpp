@@ -350,7 +350,7 @@ TEST(Wcet, CfgReconstruction) {
   // Every block ends with a branch and successors are consistent.
   for (const auto& bb : cfg.blocks) {
     ASSERT_FALSE(bb.instrs.empty());
-    EXPECT_TRUE(ppc::is_branch(bb.instrs.back().op));
+    EXPECT_TRUE(mach::is_branch(bb.instrs.back().op));
     for (int s : bb.succs) {
       EXPECT_GE(s, 0);
       EXPECT_LT(s, static_cast<int>(cfg.blocks.size()));

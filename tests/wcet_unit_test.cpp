@@ -4,6 +4,7 @@
 
 #include "driver/compiler.hpp"
 #include "machine/machine.hpp"
+#include "mach/target.hpp"
 #include "minic/interp.hpp"
 #include "minic/parser.hpp"
 #include "minic/typecheck.hpp"
@@ -38,12 +39,12 @@ TEST(WcetValueAnalysis, TracksConstantsAndRefinement) {
   const auto compiled = compile(program);
   const wcet::Cfg cfg = wcet::build_cfg(compiled.image, "f");
   const wcet::AnnotIndex annots;
-  const auto values = wcet::analyze_values(cfg, annots);
+  const auto values = wcet::analyze_values(cfg, annots, mach::target_by_name("ppc"));
   // r2 is pinned to the data base everywhere reachable.
   for (const auto& state : values.block_in) {
     if (!state.reachable) continue;
     EXPECT_EQ(state.gpr[2].as_constant(),
-              static_cast<std::int64_t>(ppc::Image::kDataBase));
+              static_cast<std::int64_t>(mach::Image::kDataBase));
     EXPECT_TRUE(state.gpr[1].as_constant().has_value());  // stack pointer
   }
   // A compare fact must be recorded for the conditional block.
@@ -67,7 +68,7 @@ TEST(WcetValueAnalysis, MemoryAccessAddressesAreResolved) {
   const auto compiled = compile(program);
   const wcet::Cfg cfg = wcet::build_cfg(compiled.image, "f");
   const wcet::AnnotIndex annots;
-  const auto values = wcet::analyze_values(cfg, annots);
+  const auto values = wcet::analyze_values(cfg, annots, mach::target_by_name("ppc"));
   // The array access address interval must be inside the array, thanks to
   // the clamp refinement: [base, base + 7*8].
   const std::uint32_t base = compiled.image.global_addr.at("arr");
@@ -202,7 +203,7 @@ TEST(Wcet, BlockCostsArePositiveAndReported) {
   const wcet::WcetResult r = wcet::analyze_wcet(compiled.image, "f");
   ASSERT_FALSE(r.block_costs.empty());
   for (const auto& [addr, cost] : r.block_costs) {
-    EXPECT_GE(addr, ppc::Image::kCodeBase);
+    EXPECT_GE(addr, mach::Image::kCodeBase);
     EXPECT_GT(cost, 0u);
   }
 }
