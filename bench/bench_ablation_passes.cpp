@@ -26,6 +26,7 @@ struct Arm {
   const char* label;
   driver::Config config;
   std::vector<std::string> disable;  // --disable-pass list for this arm
+  bool ssa = false;                  // run the arm with --ssa
 };
 
 const std::vector<Arm>& arms() {
@@ -39,6 +40,14 @@ const std::vector<Arm>& arms() {
       {"  - tunnel", driver::Config::Verified, {"tunnel"}},
       {"  - regalloc (= O1 config)", driver::Config::O1NoRegalloc, {}},
       {"  - everything (= O0 config)", driver::Config::O0Pattern, {}},
+      // SSA bracket arms: the full bracket, then the bracket minus one SSA
+      // optimization each — quantifying what GVN / LICM / rotation /
+      // annotated unrolling individually buy on top of the scalar pipeline.
+      {"verified --ssa (full bracket)", driver::Config::Verified, {}, true},
+      {"  - ssa-gvn", driver::Config::Verified, {"ssa-gvn"}, true},
+      {"  - ssa-licm", driver::Config::Verified, {"ssa-licm"}, true},
+      {"  - ssa-rotate", driver::Config::Verified, {"ssa-rotate"}, true},
+      {"  - ssa-unroll", driver::Config::Verified, {"ssa-unroll"}, true},
   };
   return kArms;
 }
@@ -48,6 +57,7 @@ std::uint64_t wcet_of_arm(const bench::NodeBundle& bundle, const Arm& arm,
   driver::CompileOptions copts;
   copts.target = target;
   copts.disable_passes = arm.disable;
+  copts.ssa = arm.ssa;
   const driver::Compiled compiled =
       driver::compile_program(bundle.program, arm.config, copts);
   wcet::WcetOptions wopts;

@@ -76,6 +76,7 @@ int main(int argc, char** argv) {
   options.exec_cycles = 50;
   options.wcet = true;
   options.wcet_engine = flags.wcet_engine;
+  bench::attach_pipeline_flags(&options, flags);
 
   const auto run_with = [&](artifact::ArtifactStore* store) {
     options.store = store;

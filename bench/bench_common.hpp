@@ -58,7 +58,7 @@ inline std::vector<driver::FleetUnit> to_fleet_units(
   std::vector<driver::FleetUnit> units;
   units.reserve(suite.size());
   for (const NodeBundle& b : suite)
-    units.push_back({b.node.name(), &b.program, b.step_fn});
+    units.push_back({b.node.name(), &b.program, b.step_fn, std::nullopt});
   return units;
 }
 
@@ -180,6 +180,15 @@ struct BenchFlags {
   // --monitor=off|cfg|full: arm the runtime execution monitor on every fleet
   // job (driver/fleet.hpp). Benches that run no execution phase ignore it.
   machine::MonitorMode monitor = machine::MonitorMode::Off;
+  // --ssa: enable the SSA mid-end bracket on every fleet compile
+  // (FleetOptions::ssa / CompileOptions::ssa). The pattern configurations
+  // ignore it; part of the artifact-store key.
+  bool ssa = false;
+  // --disable-pass=NAME (repeatable): drop one optimization pass from every
+  // compile the bench performs. Strict like vcc: an unknown step name exits
+  // 2 listing the registered steps — an ablation arm that silently measures
+  // the full pipeline would poison the table.
+  std::vector<std::string> disable_passes;
 };
 
 /// Parses the shared bench flags; exits 2 with a diagnostic on anything else.
@@ -194,7 +203,8 @@ inline BenchFlags parse_bench_flags(int argc, char** argv,
   tools::FlagConflicts conflicts;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (const auto flag = tools::split_flag(arg)) {
+    if (const auto flag = tools::split_flag(arg);
+        flag && flag->name != "--disable-pass") {
       if (const auto conflict = conflicts.note(flag->name, flag->value)) {
         std::fprintf(stderr, "%s: %s\n", bench_name, conflict->c_str());
         std::exit(2);
@@ -227,6 +237,19 @@ inline BenchFlags parse_bench_flags(int argc, char** argv,
         std::exit(2);
       }
       flags.monitor = *mode;
+      continue;
+    }
+    if (arg == "--ssa") {
+      flags.ssa = true;
+      continue;
+    }
+    if (starts_with(arg, "--disable-pass=")) {
+      const std::string name = arg.substr(15);
+      if (const auto bad = tools::check_pass_names({name})) {
+        std::fprintf(stderr, "%s: %s\n", bench_name, bad->c_str());
+        std::exit(2);
+      }
+      flags.disable_passes.push_back(name);
       continue;
     }
     if (arg == "--validate") {
@@ -299,13 +322,23 @@ inline BenchFlags parse_bench_flags(int argc, char** argv,
                    "[--cache-dir=DIR] [--cache-budget-mb=N] "
                    "[--report-json=FILE] [--validate[=off|rtl|full]] "
                    "[--wcet-engine=structural|ipet|both] "
-                   "[--monitor=off|cfg|full]\n",
+                   "[--monitor=off|cfg|full] [--ssa] "
+                   "[--disable-pass=NAME]\n",
                    bench_name, arg.c_str(), bench_name);
       std::exit(2);
     }
     *slot = static_cast<int>(v);
   }
   return flags;
+}
+
+/// Wires the pipeline-shaping flags (--ssa / --disable-pass) into a fleet
+/// run. Both feed CompileOptions for every job and salt the artifact-store
+/// key, so flag'd and unflag'd campaigns never share cached compiles.
+inline void attach_pipeline_flags(driver::FleetOptions* options,
+                                  const BenchFlags& flags) {
+  options->ssa = flags.ssa;
+  options->disable_passes = flags.disable_passes;
 }
 
 /// Wires --validate into a fleet run: attaches a compile override that runs

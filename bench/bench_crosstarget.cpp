@@ -51,6 +51,7 @@ int main(int argc, char** argv) {
     options.wcet_engine = flags.wcet_engine;
     options.monitor = machine::MonitorMode::Full;
     options.suite_seed = 5150;
+    bench::attach_pipeline_flags(&options, flags);
     bench::attach_validation(&options, flags.validate);
     const driver::FleetReport report =
         driver::run_fleet(bench::to_fleet_units(suite), options);

@@ -41,6 +41,7 @@ int main(int argc, char** argv) {
   options.wcet = true;
   options.wcet_engine = flags.wcet_engine;
   options.store = store.get();
+  bench::attach_pipeline_flags(&options, flags);
   bench::attach_validation(&options, flags.validate);
   const driver::FleetReport report =
       driver::run_fleet(bench::to_fleet_units(suite), options);

@@ -46,6 +46,7 @@ int main(int argc, char** argv) {
   options.monitor = mode;
   options.suite_seed = 5150;  // same input streams as the tightness sweep
   options.store = store.get();
+  bench::attach_pipeline_flags(&options, flags);
   bench::attach_validation(&options, flags.validate);
   const driver::FleetReport report =
       driver::run_fleet(bench::to_fleet_units(suite), options);

@@ -108,6 +108,7 @@ ArmResult run_arm(const std::string& arm, const std::string& socket_path,
         job.wcet_engine = flags.wcet_engine;
         job.monitor = flags.monitor;
         job.validate = flags.validate;
+        job.ssa = flags.ssa;
         job.input_seed = jobs[i].seed;
         if (!client.send(service::job_to_json(job))) {
           std::lock_guard<std::mutex> lock(merge_mutex);
@@ -228,6 +229,15 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  // The wire protocol carries --ssa but not --disable-pass; a flag the
+  // daemon arms would silently drop must be rejected, not half-applied.
+  if (!flags.disable_passes.empty()) {
+    std::fprintf(stderr,
+                 "bench_service: --disable-pass is not supported in service "
+                 "mode (the job protocol does not carry it)\n");
+    return 2;
+  }
+
   std::puts("=== vccd service campaign: daemon arms vs serial reference ===");
   std::printf("workload: %zu jobs (compile + 50 cycles + WCET), %d "
               "client(s), kill arm over %d shard(s)\n\n",
@@ -251,6 +261,7 @@ int main(int argc, char** argv) {
   ref_options.wcet = true;
   ref_options.wcet_engine = flags.wcet_engine;
   ref_options.monitor = flags.monitor;
+  bench::attach_pipeline_flags(&ref_options, flags);
   bench::attach_validation(&ref_options, flags.validate);
   const driver::FleetReport reference = driver::run_fleet(units, ref_options);
   std::map<std::string, std::string> ref_records;

@@ -49,6 +49,7 @@ int main(int argc, char** argv) {
   options.jobs = flags.jobs;
   options.exec_cycles = 50;
   options.store = store.get();
+  bench::attach_pipeline_flags(&options, flags);
   bench::attach_validation(&options, flags.validate);
   const driver::FleetReport report =
       driver::run_fleet(bench::to_fleet_units(suite), options);

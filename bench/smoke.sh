@@ -59,4 +59,25 @@ for b in "$dir"/bench_*; do
     status=1
   fi
 done
+
+# The SSA stanza: every fleet bench once more through the SSA mid-end
+# (build / GVN / LICM / rotation / unrolling / out-of-SSA), so a mid-end
+# regression cannot hide behind the scalar default. bench_micro rejects
+# foreign flags; bench_ablation_passes carries its own SSA arms.
+for b in "$dir"/bench_*; do
+  [ -x "$b" ] || continue
+  case "$(basename "$b")" in
+    bench_micro|bench_ablation_passes) continue ;;
+    bench_service)
+      flags="--nodes=4 --jobs=2 --clients=2 --shards=2 --ssa $extra" ;;
+    *)
+      flags="--nodes=4 --jobs=2 --ssa $extra" ;;
+  esac
+  echo "=== smoke (ssa): $(basename "$b") ==="
+  # shellcheck disable=SC2086
+  if ! "$b" $flags > /dev/null; then
+    echo "smoke.sh: $(basename "$b") --ssa FAILED" >&2
+    status=1
+  fi
+done
 exit $status

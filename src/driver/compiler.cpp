@@ -53,9 +53,20 @@ std::vector<std::string> pipeline_names(Config config) {
 std::vector<std::string> resolve_pipeline(Config config,
                                           const CompileOptions& options) {
   const pass::Registry registry = pass::Registry::builtin();
+  auto selectable_steps = [&] {
+    std::string out;
+    for (const std::string& n : registry.names()) {
+      if (registry.find(n)->structural) continue;
+      if (!out.empty()) out += ", ";
+      out += n;
+    }
+    return out;
+  };
   auto optional_step = [&](const std::string& name) -> const pass::StepDef& {
     const pass::StepDef* def = registry.find(name);
-    if (def == nullptr) throw CompileError("unknown pass '" + name + "'");
+    if (def == nullptr)
+      throw CompileError("unknown pass '" + name +
+                         "'; registered steps: " + selectable_steps());
     if (def->structural)
       throw CompileError("pass '" + name +
                          "' is structural and cannot be selected or disabled");
@@ -78,11 +89,43 @@ std::vector<std::string> resolve_pipeline(Config config,
     names.insert(names.end(), machine_opts.begin(), machine_opts.end());
   } else {
     names = pipeline_names(config);
+    if (options.ssa &&
+        (config == Config::Verified || config == Config::O2Full)) {
+      // The SSA bracket after the scalar round group, plus a second scalar
+      // cleanup round over the out-of-SSA copies it leaves behind.
+      const std::vector<std::string> ssa_group = {
+          "ssa-build", "ssa-gvn",    "ssa-licm", "ssa-unroll", "ssa-rotate",
+          "ssa-out",   "constprop",  "cse",      "forward",    "dce",
+          "deadstore", "tunnel"};
+      const auto at = std::find(names.begin(), names.end(), "regalloc");
+      names.insert(at, ssa_group.begin(), ssa_group.end());
+    }
   }
   for (const std::string& name : options.disable_passes) {
     optional_step(name);  // known and non-structural, or CompileError
     names.erase(std::remove(names.begin(), names.end(), name), names.end());
   }
+  // SSA bracket structure: the SSA optimizations only run between ssa-build
+  // and ssa-out, nothing else runs inside the bracket, and an opened
+  // bracket must close (regalloc and emission never see phis).
+  bool in_ssa = false;
+  for (const std::string& name : names) {
+    const bool is_ssa = name.rfind("ssa-", 0) == 0;
+    if (name == "ssa-build") {
+      if (in_ssa) throw CompileError("nested ssa-build in pipeline");
+      in_ssa = true;
+    } else if (name == "ssa-out") {
+      if (!in_ssa) throw CompileError("ssa-out without a preceding ssa-build");
+      in_ssa = false;
+    } else if (is_ssa && !in_ssa) {
+      throw CompileError("pass '" + name +
+                         "' requires the SSA bracket (ssa-build .. ssa-out)");
+    } else if (!is_ssa && in_ssa) {
+      throw CompileError("pass '" + name +
+                         "' cannot run inside the SSA bracket");
+    }
+  }
+  if (in_ssa) throw CompileError("ssa-build without a matching ssa-out");
   return names;
 }
 

@@ -70,7 +70,7 @@ std::string to_string(ValidateLevel level);
 /// bump it with any change that can alter generated code, annotations, or
 /// WCET analysis results, so stale cached artifacts miss instead of
 /// resurfacing output of an older toolchain.
-inline constexpr const char kCompilerVersion[] = "vcflight-6";
+inline constexpr const char kCompilerVersion[] = "vcflight-7";
 inline constexpr Config kAllConfigs[] = {Config::O0Pattern,
                                          Config::O1NoRegalloc,
                                          Config::Verified, Config::O2Full};
@@ -106,6 +106,13 @@ struct CompileOptions {
   pass::StepHook hook;
   /// When set, accumulates per-pass telemetry over all functions.
   pass::PipelineStats* stats = nullptr;
+  /// Enables the SSA mid-end (src/ssa) on the optimizing configurations
+  /// (Verified and O2Full; ignored for the pattern configurations): the
+  /// bracket ssa-build, ssa-gvn, ssa-licm, ssa-unroll, ssa-rotate, ssa-out
+  /// is inserted after the scalar round group, followed by a second scalar
+  /// cleanup round, all before regalloc. Off by default — the baseline
+  /// pipelines stay byte-identical to the reference corpus.
+  bool ssa = false;
   /// Optimization passes to remove from the configuration's pipeline.
   /// Disabling an unknown or structural pass is a CompileError.
   std::vector<std::string> disable_passes;

@@ -242,11 +242,13 @@ void run_job(const FleetUnit& unit, Config config, std::uint64_t input_seed,
     bool have_image = false;
 
     if (store != nullptr) {
-      key = artifact::ArtifactStore::make_key(*source, unit.entry,
-                                              to_string(config),
-                                              options.target,
-                                              options.use_annotations,
-                                              kCompilerVersion);
+      std::string config_key = to_string(config);
+      if (options.ssa) config_key += "+ssa";
+      for (const std::string& p : options.disable_passes)
+        config_key += "-" + p;
+      key = artifact::ArtifactStore::make_key(
+          *source, unit.entry, config_key, options.target,
+          options.use_annotations, kCompilerVersion);
       const auto t_lookup = Clock::now();
       auto loaded = store->lookup(key);
       record->cache_lookup_seconds = seconds_since(t_lookup);
@@ -279,6 +281,8 @@ void run_job(const FleetUnit& unit, Config config, std::uint64_t input_seed,
       const auto t_compile = Clock::now();
       CompileOptions copts;
       copts.target = options.target;
+      copts.ssa = options.ssa;
+      copts.disable_passes = options.disable_passes;
       copts.stats = &record->pass_stats;
       compiled = options.compile_override
                      ? options.compile_override(*unit.program, config, copts)
@@ -453,6 +457,7 @@ FleetReport run_fleet(const std::vector<FleetUnit>& units,
   report.records.resize(units.size() * options.configs.size());
   report.cache_enabled = options.store != nullptr;
   report.target = options.target;
+  report.ssa = options.ssa;
   report.wcet_engine = options.wcet_engine;
   report.monitor_mode = options.monitor;
 

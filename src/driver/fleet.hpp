@@ -78,6 +78,15 @@ struct FleetOptions {
   /// then carries a dynamically-refuted static claim, which reports must
   /// surface loudly.
   machine::MonitorMode monitor = machine::MonitorMode::Off;
+  /// Enables the SSA mid-end for every job (CompileOptions::ssa: the
+  /// bracket runs on the optimizing configurations, the pattern
+  /// configurations ignore it). Part of the artifact-store key — SSA and
+  /// non-SSA campaigns never share cached compiles.
+  bool ssa = false;
+  /// Optimization passes dropped from every job's pipeline
+  /// (CompileOptions::disable_passes — the ablation-arm surface). Part of
+  /// the artifact-store key like `ssa`.
+  std::vector<std::string> disable_passes;
   /// Base seed for the per-job input streams; the job for unit i draws from
   /// Rng(seed_for(suite_seed, i)) regardless of config and worker count.
   std::uint64_t suite_seed = 7;
@@ -154,6 +163,7 @@ struct FleetReport {
   /// order given to run_fleet.
   std::vector<FleetRecord> records;
   std::string target;  // the campaign's target ISA
+  bool ssa = false;    // SSA mid-end enabled for the campaign's compiles
   std::size_t units = 0;
   std::size_t configs = 0;
   int jobs = 0;             // worker count actually used

@@ -87,9 +87,12 @@ json::Value to_json(const FleetReport& report) {
   // v5: the header's "service" stanza (vccd daemon campaigns: shard count,
   // request/queue counters, incremental-recompilation hits).
   // v6: the header's "target" field (the campaign's target ISA).
-  doc["schema"] = json::Value("vcflight-fleet-report-v6");
+  // v7: the header's "ssa" field (SSA mid-end enabled for the campaign) and
+  // the SSA bracket steps appearing in "pass_stats".
+  doc["schema"] = json::Value("vcflight-fleet-report-v7");
   doc["compiler_version"] = json::Value(kCompilerVersion);
   doc["target"] = json::Value(report.target);
+  doc["ssa"] = json::Value(report.ssa);
   doc["units"] = json::Value(static_cast<std::uint64_t>(report.units));
   doc["configs"] = json::Value(static_cast<std::uint64_t>(report.configs));
   doc["jobs"] = json::Value(static_cast<std::int64_t>(report.jobs));

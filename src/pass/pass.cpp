@@ -5,6 +5,7 @@
 
 #include "opt/opt.hpp"
 #include "rtl/analysis.hpp"
+#include "ssa/ssa.hpp"
 #include "support/diagnostics.hpp"
 
 namespace vc::pass {
@@ -26,6 +27,18 @@ StepDef rtl_opt_step(const char* name, bool (*fn)(rtl::Function&)) {
   d.name = name;
   d.level = Level::Rtl;
   d.fixpoint = true;
+  d.run = [fn](FunctionState& s) { return fn(s.rtl) ? 1 : 0; };
+  return d;
+}
+
+/// An SSA-bracket step: runs exactly once at its pipeline position (no round
+/// group — the bracket order ssa-build .. ssa-out is semantic), and the IR
+/// is re-validated right after it (PassManager::run).
+StepDef ssa_step(const char* name, bool (*fn)(rtl::Function&)) {
+  StepDef d;
+  d.name = name;
+  d.level = Level::Rtl;
+  d.fixpoint = false;
   d.run = [fn](FunctionState& s) { return fn(s.rtl) ? 1 : 0; };
   return d;
 }
@@ -88,6 +101,23 @@ Registry Registry::builtin() {
   r.add(rtl_opt_step("dce", opt::dead_code_elimination));
   r.add(rtl_opt_step("deadstore", opt::dead_store_elimination));
   r.add(rtl_opt_step("tunnel", opt::branch_tunneling));
+
+  // The SSA bracket (src/ssa): construction, the loop optimizations, and
+  // out-of-SSA lowering. Selected by CompileOptions::ssa or an explicit
+  // --passes list; resolve_pipeline enforces the bracket structure.
+  r.add(ssa_step("ssa-build", ssa::build_ssa));
+  r.add(ssa_step("ssa-gvn", ssa::global_value_numbering));
+  r.add(ssa_step("ssa-licm", ssa::loop_invariant_code_motion));
+  StepDef unroll;
+  unroll.name = "ssa-unroll";
+  unroll.level = Level::Rtl;
+  unroll.run = [](FunctionState& s) {
+    s.unroll_cert = {};
+    return ssa::loop_unrolling(s.rtl, &s.unroll_cert) ? 1 : 0;
+  };
+  r.add(std::move(unroll));
+  r.add(ssa_step("ssa-rotate", ssa::loop_rotation));
+  r.add(ssa_step("ssa-out", ssa::destroy_ssa));
 
   StepDef regalloc;
   regalloc.name = "regalloc";
@@ -206,6 +236,11 @@ void PassManager::run(FunctionState& state) const {
       i = j;
     } else {
       run_step(state, def);
+      // Run-once RTL rewrites (the SSA bracket) are re-validated
+      // immediately: each changes the IR shape substantially and the next
+      // step depends on its invariants.
+      if (def.level == Level::Rtl && !def.structural && !def.fixpoint)
+        state.rtl.validate();
       ++i;
     }
   }

@@ -43,6 +43,7 @@
 #include "regalloc/regalloc.hpp"
 #include "rtl/lower.hpp"
 #include "rtl/rtl.hpp"
+#include "ssa/ssa.hpp"
 
 namespace vc::pass {
 
@@ -68,6 +69,10 @@ struct FunctionState {
   regalloc::Allocation alloc;
   mach::AsmFunction machine;
   bool emitted = false;  // `machine` holds valid code
+  /// Annotation-rewrite certificate of the last ssa-unroll execution on this
+  /// function (reset by the step each run; consumed by the
+  /// check_unroll_certificate hook in src/validate).
+  ssa::UnrollCertificate unroll_cert;
 
   // Per-configuration knobs consumed by the structural steps.
   rtl::LowerMode lower_mode = rtl::LowerMode::Value;

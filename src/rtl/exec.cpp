@@ -108,6 +108,37 @@ Value Executor::call(const Function& fn, const std::vector<Value>& args) {
 
   BlockId bb = 0;
   std::size_t ip = 0;
+
+  // SSA-form functions carry phi runs at block heads. All phis of a block
+  // are one parallel copy: every incoming value is read before any phi dst
+  // is written (loop-carried swap patterns are wrong otherwise). The phi
+  // run is consumed here at edge-transfer time, so `ip` always resumes at
+  // the first non-phi instruction.
+  std::vector<Value> phi_tmp;
+  const auto enter_block = [&](BlockId from, BlockId to) {
+    bb = to;
+    ip = 0;
+    const auto& instrs = fn.blocks[to].instrs;
+    std::size_t n_phi = 0;
+    while (n_phi < instrs.size() && instrs[n_phi].op == Opcode::Phi) ++n_phi;
+    if (n_phi == 0) return;
+    phi_tmp.clear();
+    for (std::size_t k = 0; k < n_phi; ++k) {
+      const Instr& phi = instrs[k];
+      const PhiArg* hit = nullptr;
+      for (const PhiArg& a : phi.phi_args)
+        if (a.pred == from) { hit = &a; break; }
+      if (hit == nullptr)
+        throw minic::EvalError("phi has no incoming arg for edge bb" +
+                               std::to_string(from) + " -> bb" +
+                               std::to_string(to));
+      phi_tmp.push_back(regs[hit->src]);
+    }
+    for (std::size_t k = 0; k < n_phi; ++k) regs[instrs[k].dst] = phi_tmp[k];
+    ip = n_phi;
+    steps_ += n_phi;
+  };
+
   for (;;) {
     if (++steps_ > fuel_) throw minic::EvalError("RTL fuel exhausted");
     const Instr& ins = fn.blocks[bb].instrs[ip];
@@ -168,12 +199,10 @@ Value Executor::call(const Function& fn, const std::vector<Value>& args) {
         regs[ins.dst] = args[static_cast<std::size_t>(ins.param_index)];
         break;
       case Opcode::Jump:
-        bb = ins.target;
-        ip = 0;
+        enter_block(bb, ins.target);
         break;
       case Opcode::Branch:
-        bb = regs[ins.src1].i != 0 ? ins.target : ins.target2;
-        ip = 0;
+        enter_block(bb, regs[ins.src1].i != 0 ? ins.target : ins.target2);
         break;
       case Opcode::BranchCmp: {
         const Value& a = regs[ins.src1];
@@ -183,8 +212,7 @@ Value Executor::call(const Function& fn, const std::vector<Value>& args) {
           taken = minic::eval_ibinop(ins.bin_op, a.i, b.i);
         else
           taken = minic::eval_fcmp(ins.bin_op, a.f, b.f);
-        bb = taken != 0 ? ins.target : ins.target2;
-        ip = 0;
+        enter_block(bb, taken != 0 ? ins.target : ins.target2);
         break;
       }
       case Opcode::Ret:
@@ -198,6 +226,10 @@ Value Executor::call(const Function& fn, const std::vector<Value>& args) {
         annotations_.push_back(std::move(ev));
         break;
       }
+      case Opcode::Phi:
+        // Phi runs are consumed by enter_block; reaching one here means it
+        // sits in the entry block, which has no predecessor edge.
+        throw minic::EvalError("phi instruction in entry block");
     }
   }
 }

@@ -29,6 +29,7 @@ std::string to_string(Opcode op) {
     case Opcode::BranchCmp: return "brcmp";
     case Opcode::Ret: return "ret";
     case Opcode::Annot: return "annot";
+    case Opcode::Phi: return "phi";
   }
   throw InternalError("bad rtl opcode");
 }
@@ -71,6 +72,9 @@ std::vector<VReg> Instr::uses() const {
       for (const AnnotOperand& a : annot_args)
         if (!a.is_slot) out.push_back(a.vreg);
       break;
+    case Opcode::Phi:
+      for (const PhiArg& a : phi_args) out.push_back(a.src);
+      break;
   }
   return out;
 }
@@ -86,6 +90,7 @@ std::optional<VReg> Instr::def() const {
     case Opcode::LoadGlobalIdx:
     case Opcode::LoadStack:
     case Opcode::GetParam:
+    case Opcode::Phi:
       return dst;
     default:
       return std::nullopt;
@@ -147,11 +152,25 @@ void Function::validate() const {
   };
   for (const auto& bb : blocks) {
     check(!bb.instrs.empty(), "empty basic block");
+    bool seen_nonphi = false;
     for (std::size_t i = 0; i < bb.instrs.size(); ++i) {
       const Instr& ins = bb.instrs[i];
       const bool last = i + 1 == bb.instrs.size();
       check(ins.is_terminator() == last,
             "terminator placement violation in " + name);
+      if (ins.op == Opcode::Phi) {
+        check(!seen_nonphi, "phi after non-phi instruction in " + name);
+        check(!ins.phi_args.empty(), "phi with no incoming args in " + name);
+        for (std::size_t a = 0; a < ins.phi_args.size(); ++a) {
+          check(ins.phi_args[a].pred < blocks.size(),
+                "phi predecessor out of range in " + name);
+          if (a != 0)
+            check(ins.phi_args[a - 1].pred < ins.phi_args[a].pred,
+                  "phi args not sorted by predecessor in " + name);
+        }
+      } else {
+        seen_nonphi = true;
+      }
       for (VReg u : ins.uses()) check_vreg(u, "use");
       if (auto d = ins.def()) check_vreg(*d, "def");
       if (ins.op == Opcode::LoadStack || ins.op == Opcode::StoreStack)
@@ -252,6 +271,15 @@ std::string print_function(const Function& fn) {
           for (const AnnotOperand& a : ins.annot_args)
             out += a.is_slot ? " slot" + std::to_string(a.slot)
                              : " " + reg_name(fn, a.vreg);
+          break;
+        case Opcode::Phi:
+          out += reg_name(fn, ins.dst) + " = phi [";
+          for (std::size_t a = 0; a < ins.phi_args.size(); ++a) {
+            if (a != 0) out += ", ";
+            out += "bb" + std::to_string(ins.phi_args[a].pred) + ": " +
+                   reg_name(fn, ins.phi_args[a].src);
+          }
+          out += "]";
           break;
       }
       out += "\n";

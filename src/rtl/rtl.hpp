@@ -59,9 +59,18 @@ enum class Opcode {
   BranchCmp,       // if (src1 <op> src2) goto target else goto target2
   Ret,             // return src (optional)
   Annot,           // pro-forma annotation effect (paper §3.4)
+  Phi,             // dst <- phi [pred: src, ...]     (SSA form only)
 };
 
 std::string to_string(Opcode op);
+
+/// One incoming edge of a phi: the value `src` flows into the phi's dst when
+/// control enters the block from predecessor `pred`. Args are kept sorted by
+/// `pred` so the textual dump is deterministic and round-trip stable.
+struct PhiArg {
+  BlockId pred = 0;
+  VReg src = kNoVReg;
+};
 
 /// An annotation operand: a value location referenced by an `__annot`
 /// pro-forma effect. It is either a virtual register or a stack slot, so that
@@ -93,6 +102,7 @@ struct Instr {
   BlockId target2 = 0;      // Branch/BranchCmp: fallthrough successor
   std::string annot_format;
   std::vector<AnnotOperand> annot_args;
+  std::vector<PhiArg> phi_args;  // Phi only; sorted by pred block id
 
   [[nodiscard]] bool is_terminator() const {
     return op == Opcode::Jump || op == Opcode::Branch ||

@@ -145,6 +145,7 @@ std::string JobRequest::class_key() const {
   key += machine::to_string(monitor);
   key += '|';
   key += driver::to_string(validate);
+  key += ssa ? "|ssa" : "|-";
   return key;
 }
 
@@ -171,6 +172,7 @@ Hash128 JobRequest::request_hash() const {
   h.update_bool(use_annotations);
   h.update_sized(machine::to_string(monitor));
   h.update_sized(driver::to_string(validate));
+  h.update_bool(ssa);
   h.update_u64(input_seed);
   return h.digest();
 }
@@ -327,6 +329,8 @@ ParsedRequest parse_request(const std::string& payload) {
                  },
                  &err) &&
       err.empty() &&
+      read_field(doc, "ssa", b, b,
+                 [&](const json::Value& v) { job.ssa = v.as_bool(); }, &err) &&
       read_field(doc, "input_seed", u, i,
                  [&](const json::Value& v) { job.input_seed = v.as_u64(); },
                  &err);
@@ -356,6 +360,7 @@ json::Value job_to_json(const JobRequest& job) {
   doc["use_annotations"] = json::Value(job.use_annotations);
   doc["monitor"] = json::Value(machine::to_string(job.monitor));
   doc["validate"] = json::Value(driver::to_string(job.validate));
+  doc["ssa"] = json::Value(job.ssa);
   doc["input_seed"] = json::Value(job.input_seed);
   return doc;
 }

@@ -86,6 +86,9 @@ struct JobRequest {
   bool use_annotations = true;
   machine::MonitorMode monitor = machine::MonitorMode::Off;
   driver::ValidateLevel validate = driver::ValidateLevel::Off;
+  /// SSA mid-end for this job's compile (FleetOptions::ssa). Part of the
+  /// class key and the incremental-recompilation hash.
+  bool ssa = false;
   std::uint64_t input_seed = 0;
 
   /// Groups jobs that can share one run_fleet call: everything except the

@@ -392,6 +392,7 @@ void ServiceServer::process_batch(std::vector<Queued> batch) {
     fleet.wcet_engine = head.wcet_engine;
     fleet.use_annotations = head.use_annotations;
     fleet.monitor = head.monitor;
+    fleet.ssa = head.ssa;
     fleet.store = store_.get();
     if (head.validate != driver::ValidateLevel::Off) {
       const driver::ValidateLevel level = head.validate;

@@ -1,0 +1,113 @@
+#include <algorithm>
+
+#include "ssa/ssa.hpp"
+#include "support/strings.hpp"
+
+namespace vc::ssa {
+
+using rtl::BlockId;
+using rtl::Function;
+using rtl::kNoBlock;
+
+bool Loop::contains(BlockId b) const {
+  return std::binary_search(blocks.begin(), blocks.end(), b);
+}
+
+LoopForest find_loops(const Function& fn, const std::vector<BlockId>& idom,
+                      const std::vector<std::vector<BlockId>>& preds) {
+  LoopForest forest;
+  forest.loop_of_block.assign(fn.blocks.size(), -1);
+
+  // Natural loops: one loop per header, merged over all back edges u -> h
+  // with h dom u. Blocks are collected by the standard backward walk from
+  // each latch until the header.
+  for (BlockId h = 0; h < fn.blocks.size(); ++h) {
+    if (idom[h] == kNoBlock) continue;  // unreachable
+    std::vector<BlockId> latches;
+    for (BlockId p : preds[h])
+      if (idom[p] != kNoBlock && rtl::dominates(idom, h, p))
+        latches.push_back(p);
+    if (latches.empty()) continue;
+
+    std::vector<char> in(fn.blocks.size(), 0);
+    in[h] = 1;
+    std::vector<BlockId> work;
+    for (BlockId l : latches)
+      if (!in[l]) { in[l] = 1; work.push_back(l); }
+    while (!work.empty()) {
+      const BlockId b = work.back();
+      work.pop_back();
+      for (BlockId p : preds[b])
+        if (idom[p] != kNoBlock && !in[p]) { in[p] = 1; work.push_back(p); }
+    }
+
+    Loop loop;
+    loop.header = h;
+    loop.latches = std::move(latches);
+    std::sort(loop.latches.begin(), loop.latches.end());
+    for (BlockId b = 0; b < fn.blocks.size(); ++b)
+      if (in[b]) loop.blocks.push_back(b);
+    forest.loops.push_back(std::move(loop));
+  }
+
+  // Nesting: loop A is inside loop B iff B contains A's header and A != B.
+  // Parent = smallest strictly-containing loop. Depth follows parents.
+  const int n = static_cast<int>(forest.loops.size());
+  for (int a = 0; a < n; ++a) {
+    int best = -1;
+    for (int b = 0; b < n; ++b) {
+      if (a == b) continue;
+      if (!forest.loops[b].contains(forest.loops[a].header)) continue;
+      if (best == -1 ||
+          forest.loops[b].blocks.size() < forest.loops[best].blocks.size())
+        best = b;
+    }
+    forest.loops[a].parent = best;
+  }
+  for (int a = 0; a < n; ++a) {
+    int depth = 1;
+    for (int p = forest.loops[a].parent; p != -1; p = forest.loops[p].parent)
+      ++depth;
+    forest.loops[a].depth = depth;
+  }
+
+  // Innermost loop per block = deepest loop containing it.
+  for (int a = 0; a < n; ++a)
+    for (BlockId b : forest.loops[a].blocks) {
+      const int cur = forest.loop_of_block[b];
+      if (cur == -1 || forest.loops[a].depth > forest.loops[cur].depth)
+        forest.loop_of_block[b] = a;
+    }
+  return forest;
+}
+
+std::vector<std::vector<BlockId>> dominance_frontiers(
+    const Function& fn, const std::vector<BlockId>& idom,
+    const std::vector<std::vector<BlockId>>& preds) {
+  std::vector<std::vector<BlockId>> df(fn.blocks.size());
+  for (BlockId b = 0; b < fn.blocks.size(); ++b) {
+    if (idom[b] == kNoBlock || preds[b].size() < 2) continue;
+    for (BlockId p : preds[b]) {
+      if (idom[p] == kNoBlock) continue;
+      BlockId runner = p;
+      while (runner != idom[b]) {
+        df[runner].push_back(b);
+        runner = idom[runner];
+      }
+    }
+  }
+  for (auto& f : df) {
+    std::sort(f.begin(), f.end());
+    f.erase(std::unique(f.begin(), f.end()), f.end());
+  }
+  return df;
+}
+
+bool has_phis(const Function& fn) {
+  for (const auto& bb : fn.blocks)
+    for (const auto& ins : bb.instrs)
+      if (ins.op == rtl::Opcode::Phi) return true;
+  return false;
+}
+
+}  // namespace vc::ssa

@@ -1,0 +1,150 @@
+// SSA mid-end over RTL (ROADMAP: loop optimizations beyond the paper's set).
+//
+// The paper's compiler — like CompCert 1.7 it reproduces — performs no loop
+// optimizations (§3.2). This subsystem goes past that while keeping the
+// translation-validation architecture: RTL is brought into pruned SSA form
+// (dominance-frontier phi placement on the existing idom/RPO analyses), a
+// family of SSA passes runs — global value numbering, loop-invariant code
+// motion, bounded unrolling of the counted loops the ACG annotates, and loop
+// rotation — and out-of-SSA lowering with critical-edge splitting restores
+// plain RTL before the scalar cleanup round and register allocation.
+//
+// Every pass is an untrusted rewrite checked by a validator (src/validate):
+// an SSA well-formedness check after every step, a phi-aware value-graph
+// equivalence check for the CFG-preserving passes (GVN, LICM), and — for
+// unrolling, which rewrites the "loop <= N" bounds the IPET engine and the
+// runtime monitor consume — an annotation-rewrite certificate verified
+// against the original bounds (factor k ⇒ residual bound ⌈n/k⌉, anchors
+// remapped) before any downstream consumer trusts the new rows.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rtl/analysis.hpp"
+#include "rtl/rtl.hpp"
+
+namespace vc::ssa {
+
+// --- loop analysis ---------------------------------------------------------
+
+/// One natural loop: `header` dominates every block in `blocks`; `latches`
+/// are the in-loop predecessors of the header (back-edge sources).
+struct Loop {
+  rtl::BlockId header = 0;
+  std::vector<rtl::BlockId> blocks;   // sorted, includes header
+  std::vector<rtl::BlockId> latches;  // sorted
+  int parent = -1;                    // index of enclosing loop, -1 if top
+  int depth = 1;                      // 1 = outermost
+
+  [[nodiscard]] bool contains(rtl::BlockId b) const;
+};
+
+/// The loop forest of a function, innermost loop per block.
+struct LoopForest {
+  std::vector<Loop> loops;
+  std::vector<int> loop_of_block;  // innermost loop index per block, -1 = none
+};
+
+LoopForest find_loops(const rtl::Function& fn,
+                      const std::vector<rtl::BlockId>& idom,
+                      const std::vector<std::vector<rtl::BlockId>>& preds);
+
+/// Dominance frontiers (Cytron et al.) for phi placement.
+std::vector<std::vector<rtl::BlockId>> dominance_frontiers(
+    const rtl::Function& fn, const std::vector<rtl::BlockId>& idom,
+    const std::vector<std::vector<rtl::BlockId>>& preds);
+
+/// True if any instruction in `fn` is a phi (i.e. the function is in SSA
+/// form and must pass through destroy_ssa before regalloc/emission).
+bool has_phis(const rtl::Function& fn);
+
+// --- construction / destruction -------------------------------------------
+
+/// Brings `fn` into pruned SSA form: inserts a dedicated preheader in front
+/// of every natural-loop header (so LICM and the rotation/unroll matchers see
+/// a canonical shape), places phis on iterated dominance frontiers of each
+/// multiply-defined vreg (pruned by liveness), and renames every definition
+/// to a fresh vreg. A use reached by no definition reads the function-entry
+/// zero of its class — exactly the RTL executor's initial register state, so
+/// the rewrite is semantics-preserving. Returns true (the function changed).
+bool build_ssa(rtl::Function& fn);
+
+/// Leaves SSA form: splits critical edges into blocks that carry phi copies,
+/// lowers each block's phi run as one parallel copy per incoming edge
+/// (cycle-safe sequentialization with a class-correct temp), and erases the
+/// phi instructions. Returns true if the function contained phis.
+bool destroy_ssa(rtl::Function& fn);
+
+// --- SSA optimization passes ----------------------------------------------
+
+/// Global value numbering over SSA: dominator-scoped hash-consing of pure
+/// instructions and phis (keyed by block + incoming value numbers), with
+/// integrated copy propagation. A redundant computation is replaced by a Mov
+/// from its representative. Integer commutative operations are canonicalized
+/// by operand value number; float operations are never reordered (bit-exact
+/// results are part of the differential oracle). CFG is unchanged.
+bool global_value_numbering(rtl::Function& fn);
+
+/// Loop-invariant code motion: hoists pure, non-trapping instructions
+/// (integer division/modulo excluded) whose operands are defined outside the
+/// loop — or were themselves hoisted — to the loop preheader. SSA guarantees
+/// the single definition dominates all uses after hoisting. CFG is unchanged.
+bool loop_invariant_code_motion(rtl::Function& fn);
+
+/// Loop rotation (inversion) of annotated counted loops whose header is
+/// phis + a fused compare branch: the header becomes a once-executed guard
+/// (phi operands substituted with their preheader arguments), the latch gets
+/// the test with latch arguments, the header phis move to the body entry,
+/// and exit phis merge the guard/latch paths for values live after the loop.
+/// The per-entry back-edge count drops from n to n-1, so every existing
+/// "loop <= n" bound stays sound. Only loops carrying a loop-bound
+/// annotation are rotated (unannotated loops keep the shape the machine-level
+/// bound derivation recognizes).
+bool loop_rotation(rtl::Function& fn);
+
+// --- unrolling + annotation-rewrite certificate ----------------------------
+
+/// Position of one Annot instruction (block + index within the block).
+struct AnnotAnchor {
+  rtl::BlockId block = 0;
+  std::uint32_t index = 0;
+};
+
+/// Certificate for one unrolled loop: the claim that rewriting every
+/// "loop <= original_bound" annotation of the loop into k copies of
+/// "loop <= residual_bound" is sound. The checker re-derives
+/// residual = ceil(original / factor), verifies each before-anchor is an
+/// Annot with the old format, each after-anchor an Annot with the new
+/// format, the anchor counts match (k after-anchors per before-anchor), and
+/// that no other annotation in the function changed.
+struct UnrollLoopCert {
+  std::string function;
+  rtl::BlockId header = 0;            // loop header in the pre-pass function
+  int factor = 0;                     // k
+  long long original_bound = 0;       // n
+  long long residual_bound = 0;       // claimed ceil(n/k); k | n here, so n/k
+  std::string old_format;             // "loop <= n"
+  std::string new_format;             // "loop <= residual"
+  std::vector<AnnotAnchor> before_anchors;  // in the pre-pass function
+  std::vector<AnnotAnchor> after_anchors;   // in the post-pass function
+};
+
+struct UnrollCertificate {
+  std::vector<UnrollLoopCert> loops;
+};
+
+/// Bounded unrolling of counted loops the ACG already annotates. A loop
+/// qualifies when its header is phis + `brcmp (i icmplt limit)`, the counter
+/// is a header phi advanced by exactly +1 per iteration, init and limit
+/// resolve to integer constants with trip count n = limit - init > 0, every
+/// annotation in the loop is "loop <= n", and some factor k in [2..8]
+/// divides n within the code-size budget. The body is cloned k-1 times with
+/// interior tests elided (sound: i ≡ init (mod k) and k | n imply the elided
+/// tests always pass), and every loop-bound annotation is rewritten to the
+/// residual bound n/k, recorded in `cert` for the annotation-rewrite
+/// checker. Returns true if any loop was unrolled.
+bool loop_unrolling(rtl::Function& fn, UnrollCertificate* cert);
+
+}  // namespace vc::ssa

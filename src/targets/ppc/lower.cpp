@@ -259,6 +259,9 @@ class Emitter {
 
   void emit(const rtl::Instr& ins) {
     switch (ins.op) {
+      case Opcode::Phi:
+        // Phis are eliminated by ssa-out before instruction selection.
+        throw vc::InternalError("phi instruction reached machine lowering");
       case Opcode::LdI:
         load_imm(gpr_of(ins.dst), ins.int_imm);
         return;

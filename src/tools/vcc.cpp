@@ -30,8 +30,15 @@
 //     --validate[=off|rtl|full]      translation-validate every pass; bare
 //                                    --validate means rtl, full adds the
 //                                    machine-level checkers
+//     --ssa                          enable the SSA mid-end bracket
+//                                    (ssa-build .. ssa-out) on the verified
+//                                    and O2 configurations; conflicts with
+//                                    --passes (an explicit list already
+//                                    decides the pipeline)
 //     --passes=a,b,c                 replace the config's optimization passes
 //     --disable-pass=NAME            drop one pass (repeatable)
+//     Unknown step names in --passes / --disable-pass are usage errors
+//     (exit 2) listing the registered steps.
 //     --dump-after=PASS              print the IR after every applied run
 //     --stats                        print per-function code sizes
 //     --profile                      print the per-phase breakdown (compile /
@@ -93,7 +100,7 @@ using namespace vc;
       "           [--wcet=FN] [--wcet-engine=structural|ipet|both]\n"
       "           [--no-annotations] [--run=FN[:args]]\n"
       "           [--monitor=off|cfg|full]\n"
-      "           [--validate[=off|rtl|full]] [--passes=a,b,c]\n"
+      "           [--validate[=off|rtl|full]] [--ssa] [--passes=a,b,c]\n"
       "           [--disable-pass=NAME] [--dump-after=PASS]\n"
       "           [--stats] [--profile] file.mc\n"
       "       vcc [--config=...] [--validate[=off|rtl|full]] [--jobs=N]\n"
@@ -196,6 +203,7 @@ struct ConnectParams {
   wcet::WcetEngine wcet_engine = wcet::WcetEngine::Structural;
   bool use_annotations = true;
   machine::MonitorMode monitor = machine::MonitorMode::Off;
+  bool ssa = false;
   int exec_cycles = 0;
 };
 
@@ -245,6 +253,7 @@ int run_connect(const std::string& socket_path, const std::string& path,
     job.wcet_engine = params.wcet_engine;
     job.use_annotations = params.use_annotations;
     job.monitor = params.monitor;
+    job.ssa = params.ssa;
     job.exec_cycles = params.exec_cycles;
     // Deterministic per-file seed, independent of reply order and shard
     // placement: the same derivation the fleet uses, keyed by sorted index.
@@ -346,6 +355,8 @@ int main(int argc, char** argv) {
       const auto parsed = tools::parse_validate_level(arg.substr(11));
       if (!parsed) die("unknown validate level '" + arg.substr(11) + "'");
       validate_level = *parsed;
+    } else if (arg == "--ssa") {
+      copts.ssa = true;
     } else if (starts_with(arg, "--passes=")) {
       if (arg.size() == 9) die("empty --passes value");
       copts.passes = split_pass_list(arg.substr(9));
@@ -401,6 +412,16 @@ int main(int argc, char** argv) {
     }
   }
   if (path.empty()) usage();
+  // Pass-name problems are usage errors: diagnose them here at parse time
+  // (exit 2, listing the registered steps) instead of letting the pipeline
+  // resolver throw mid-compile (exit 1).
+  if (const auto bad = tools::check_pass_names(copts.passes)) die(*bad);
+  if (const auto bad = tools::check_pass_names(copts.disable_passes))
+    die(*bad);
+  if (copts.ssa && !copts.passes.empty())
+    die("--ssa conflicts with --passes (an explicit pass list already "
+        "decides the pipeline; include the ssa-build .. ssa-out bracket "
+        "there instead)");
 
   if (!connect_sock.empty()) {
     if (!run_spec.empty())
@@ -413,6 +434,7 @@ int main(int argc, char** argv) {
     params.wcet_engine = wcet_engine;
     params.use_annotations = use_annotations;
     params.monitor = monitor_mode;
+    params.ssa = copts.ssa;
     params.exec_cycles = exec_cycles;
     return run_connect(connect_sock, path, batch, params);
   }
@@ -422,6 +444,7 @@ int main(int argc, char** argv) {
     batch_options.config = config;
     batch_options.target = copts.target;
     batch_options.validate = validate_level;
+    batch_options.ssa = copts.ssa;
     batch_options.jobs = jobs;
     batch_options.cache_dir = cache_dir;
     batch_options.cache_budget_bytes = cache_budget_bytes;

@@ -90,6 +90,27 @@ std::optional<std::string> parse_target_name(const std::string& name) {
   return std::nullopt;
 }
 
+std::optional<std::string> check_pass_names(
+    const std::vector<std::string>& names) {
+  const pass::Registry registry = pass::Registry::builtin();
+  std::string selectable;
+  for (const std::string& n : registry.names()) {
+    if (registry.find(n)->structural) continue;
+    if (!selectable.empty()) selectable += ", ";
+    selectable += n;
+  }
+  for (const std::string& name : names) {
+    const pass::StepDef* def = registry.find(name);
+    if (def == nullptr)
+      return "unknown pass '" + name +
+             "'; registered steps: " + selectable;
+    if (def->structural)
+      return "pass '" + name +
+             "' is structural and cannot be selected or disabled";
+  }
+  return std::nullopt;
+}
+
 std::optional<driver::ValidateLevel> parse_validate_level(
     const std::string& name) {
   if (name == "off") return driver::ValidateLevel::Off;
@@ -214,10 +235,15 @@ BatchResult run_batch(const std::string& dir, const BatchOptions& options) {
           const std::string source = buffer.str();
 
           // Whole-file compiles have no entry function; "" keys the image.
+          // The config string carries the SSA salt (same convention as the
+          // fleet runner): SSA and non-SSA compiles never share an entry.
           Hash128 key;
           if (store != nullptr) {
             key = artifact::ArtifactStore::make_key(
-                source, "", driver::to_string(options.config), options.target,
+                source, "",
+                driver::to_string(options.config) +
+                    (options.ssa ? "+ssa" : ""),
+                options.target,
                 /*annotations=*/true, driver::kCompilerVersion);
             if (const auto loaded = store->lookup(key)) {
               std::snprintf(buf, sizeof buf,
@@ -238,6 +264,7 @@ BatchResult run_batch(const std::string& dir, const BatchOptions& options) {
           minic::type_check(program);
           driver::CompileOptions copts;
           copts.target = options.target;
+          copts.ssa = options.ssa;
           const driver::Compiled compiled =
               options.validate != driver::ValidateLevel::Off
                   ? validate::validated_compile(program, options.config,

@@ -70,6 +70,15 @@ std::optional<driver::Config> parse_config_name(const std::string& name);
 /// instead of silently compiling for the default ISA.
 std::optional<std::string> parse_target_name(const std::string& name);
 
+/// Validates --passes= / --disable-pass= step names against the built-in
+/// step registry at argument-parse time. Returns the diagnostic for the
+/// first unknown or structural name ("unknown pass 'x'; registered steps:
+/// ..."), nullopt when every name is selectable. vcc and the bench binaries
+/// share this so a typo'd step name is a usage error (exit 2) listing the
+/// registered steps, never a mid-compile exception (exit 1).
+std::optional<std::string> check_pass_names(
+    const std::vector<std::string>& names);
+
 /// Maps a --validate= level name ("off", "rtl", "full") to the level;
 /// nullopt for unknown names. A bare --validate (no value) means Rtl, but
 /// that defaulting lives in the flag loop, not here.
@@ -134,6 +143,9 @@ struct BatchOptions {
   /// Translation-validation level (off / rtl / full). Validated runs bypass
   /// the artifact cache: re-checking the compilation is the point of the run.
   driver::ValidateLevel validate = driver::ValidateLevel::Off;
+  /// Enable the SSA mid-end bracket for every file (CompileOptions::ssa).
+  /// Part of the cache key: SSA and non-SSA batches never share entries.
+  bool ssa = false;
   int jobs = 0;  // 0 = one worker per hardware thread
   /// Artifact-store directory; empty disables caching.
   std::string cache_dir;

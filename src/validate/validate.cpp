@@ -9,6 +9,8 @@
 #include "minic/interp.hpp"
 #include "rtl/analysis.hpp"
 #include "rtl/exec.hpp"
+#include "ssa/internal.hpp"
+#include "ssa/ssa.hpp"
 #include "support/bitset.hpp"
 #include "support/rng.hpp"
 
@@ -722,9 +724,15 @@ std::string describe(const Value& v) { return v.to_string(); }
 CheckResult differential_check(const minic::Program& program,
                                const rtl::Function& before,
                                const rtl::Function& after, int n_tests,
-                               std::uint64_t seed) {
+                               std::uint64_t seed,
+                               bool normalize_loop_bounds) {
   if (before.params.size() != after.params.size())
     return CheckResult::fail("parameter list changed");
+  const auto norm = [normalize_loop_bounds](const std::string& format) {
+    if (normalize_loop_bounds && ssa::detail::parse_loop_bound(format) >= 0)
+      return std::string("loop");
+    return format;
+  };
 
   Rng rng(seed);
   for (int t = 0; t < n_tests; ++t) {
@@ -774,7 +782,7 @@ CheckResult differential_check(const minic::Program& program,
     if (ann_b.size() != ann_a.size())
       return CheckResult::fail("annotation trace length diverged");
     for (std::size_t i = 0; i < ann_b.size(); ++i) {
-      if (ann_b[i].format != ann_a[i].format ||
+      if (norm(ann_b[i].format) != norm(ann_a[i].format) ||
           ann_b[i].values.size() != ann_a[i].values.size())
         return CheckResult::fail("annotation trace diverged");
       for (std::size_t k = 0; k < ann_b[i].values.size(); ++k)
@@ -883,9 +891,30 @@ driver::Compiled validated_compile(const minic::Program& program,
       if (t.pass == "regalloc" && full)
         require(check_register_allocation(before, after, t.state->alloc,
                                           t.state->k_int, t.state->k_float));
+      // SSA bracket (validate.hpp checkers 8-10). Every step inside the
+      // bracket must leave well-formed SSA; the CFG-preserving rewrites are
+      // accepted symbolically; unrolling must present a verified
+      // annotation-rewrite certificate; out-of-SSA must eliminate all phis.
+      const bool ssa_step = t.pass.rfind("ssa-", 0) == 0;
+      if (ssa_step && t.pass != "ssa-out")
+        require(check_ssa_wellformed(after));
+      if (t.pass == "ssa-gvn" || t.pass == "ssa-licm")
+        require(check_ssa_equivalence(before, after));
+      if (t.pass == "ssa-unroll")
+        require(check_unroll_certificate(before, after,
+                                         t.state->unroll_cert));
+      if (t.pass == "ssa-out")
+        require(ssa::has_phis(after)
+                    ? CheckResult::fail("phis survived out-of-SSA lowering")
+                    : CheckResult::pass());
       // Every RTL-level rewrite — spill code included — is additionally
-      // checked by bounded randomized execution.
-      require(differential_check(program, before, after, n_tests, seed));
+      // checked by bounded randomized execution. For ssa-unroll the
+      // "loop <= N" formats are normalized (the bound rewrite itself is what
+      // the certificate checker just verified); positions, counts and
+      // operand values stay bit-exact.
+      require(differential_check(program, before, after, n_tests, seed,
+                                 /*normalize_loop_bounds=*/
+                                 t.pass == "ssa-unroll"));
       return checks;
     }
 

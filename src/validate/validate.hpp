@@ -62,6 +62,25 @@
 //     (covers code emission, encoding, linking — and whatever a per-pass
 //     checker might have missed).
 //
+// The SSA mid-end (src/ssa, enabled by CompileOptions::ssa) adds three more
+// (src/validate/ssa_check.cpp):
+//
+//  8. `check_ssa_wellformed` — structural SSA sanity after every in-bracket
+//     step: single definitions, dominance of uses (phi args at their
+//     predecessor), phi runs and predecessor sets, reachability.
+//
+//  9. `check_ssa_equivalence` — phi-aware symbolic value-graph equivalence
+//     for the CFG- and name-preserving SSA rewrites (ssa-gvn, ssa-licm):
+//     anchored events (memory, annotations, terminators, trapping divisions)
+//     must appear in identical per-block order with equivalent operands;
+//     phis are compared edge-wise as a bisimulation.
+//
+// 10. `check_unroll_certificate` — verifies the annotation-rewrite
+//     certificate of ssa-unroll (factor k, bound n, residual ceil(n/k) with
+//     k | n, anchor resolution, per-format annotation-count conservation)
+//     before the IPET engine or the runtime monitor consume the rewritten
+//     "loop <= N" rows.
+//
 // These checkers are themselves *tested* (seeded miscompilations must be
 // caught — tests/machine_validate_test.cpp, tests/validate_test.cpp), not
 // proved — the documented substitution for the Coq development.
@@ -75,6 +94,7 @@
 #include "mach/codegen.hpp"
 #include "regalloc/regalloc.hpp"
 #include "rtl/rtl.hpp"
+#include "ssa/ssa.hpp"
 
 namespace vc::validate {
 
@@ -98,11 +118,16 @@ CheckResult check_dead_store_elimination(const rtl::Function& before,
                                          const rtl::Function& after);
 
 /// Randomized differential equivalence of two RTL versions of one function
-/// of `program` (globals/types are taken from the program).
+/// of `program` (globals/types are taken from the program). With
+/// `normalize_loop_bounds` set, annotation formats parsing as "loop <= N"
+/// compare as the bare event "loop" in both traces — positions, counts and
+/// operand values are still bit-exact. Used for ssa-unroll, whose bound
+/// rewrite is verified statically by `check_unroll_certificate` instead.
 CheckResult differential_check(const minic::Program& program,
                                const rtl::Function& before,
                                const rtl::Function& after, int n_tests,
-                               std::uint64_t seed);
+                               std::uint64_t seed,
+                               bool normalize_loop_bounds = false);
 
 /// Validates one register-allocation step: `after` must be `before` under
 /// the spill-everywhere discipline (uses reload from the value's slot, defs
@@ -129,6 +154,21 @@ CheckResult check_machine_equivalence(const mach::AsmFunction& before,
 /// dependence DAG and preserves the per-region instruction multiset.
 CheckResult check_schedule(const mach::AsmFunction& before,
                            const mach::AsmFunction& after);
+
+/// SSA structural sanity (see header comment, checker 8). Run after every
+/// SSA-bracket step except ssa-out.
+CheckResult check_ssa_wellformed(const rtl::Function& fn);
+
+/// Phi-aware symbolic value-graph equivalence for CFG- and name-preserving
+/// SSA rewrites (checker 9; accepts ssa-gvn and ssa-licm).
+CheckResult check_ssa_equivalence(const rtl::Function& before,
+                                  const rtl::Function& after);
+
+/// Verifies the annotation-rewrite certificate emitted by ssa-unroll
+/// (checker 10). `before`/`after` are the function around the unroll step.
+CheckResult check_unroll_certificate(const rtl::Function& before,
+                                     const rtl::Function& after,
+                                     const ssa::UnrollCertificate& cert);
 
 /// End-to-end: compiled image vs. reference interpreter on `fn_name`,
 /// over `n_tests` stateful call sequences.

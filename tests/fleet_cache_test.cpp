@@ -237,7 +237,7 @@ TEST_F(FleetCacheTest, ReportJsonRoundTripsTheRecordArray) {
       driver::run_fleet(suite.units, cached_options(&store, 2));
 
   const json::Value doc = driver::to_json(report);
-  EXPECT_EQ(doc.at("schema").as_string(), "vcflight-fleet-report-v6");
+  EXPECT_EQ(doc.at("schema").as_string(), "vcflight-fleet-report-v7");
   EXPECT_EQ(doc.at("units").as_u64(), report.units);
   EXPECT_EQ(doc.at("cache").at("enabled").as_bool(), true);
   // v2 carries the per-pass telemetry array (ordered by pipeline position).
@@ -296,7 +296,7 @@ TEST(FleetReportServiceStanzaTest, RoundTripsWhenEnabled) {
   report.service.queue_peak = 9;
   report.service.shard_restarts = 1;
   const json::Value doc = driver::to_json(report);
-  EXPECT_EQ(doc.at("schema").as_string(), "vcflight-fleet-report-v6");
+  EXPECT_EQ(doc.at("schema").as_string(), "vcflight-fleet-report-v7");
   const json::Value& service = doc.at("service");
   EXPECT_TRUE(service.at("enabled").as_bool(false));
   EXPECT_EQ(service.at("shards").as_i64(), 4);

@@ -20,12 +20,18 @@
 //       registered target yields, per target, an IPET bound that dominates
 //       that target's own monitored executions, with a verified certificate
 //       — and every target agrees bit-exactly with the reference simulator.
+//   P8 (SSA pipeline determinism + soundness): with the SSA mid-end bracket
+//       enabled, a validated fleet campaign over the seed's nodes produces
+//       byte-identical semantic records at jobs=1 and jobs=8, every IPET
+//       bound dominates its own monitored executions, and the fully-armed
+//       monitor refutes nothing — on every registered target.
 #include <gtest/gtest.h>
 
 #include "dataflow/acg.hpp"
 #include "dataflow/generator.hpp"
 #include "dataflow/simulator.hpp"
 #include "driver/compiler.hpp"
+#include "driver/fleet.hpp"
 #include "machine/machine.hpp"
 #include "mach/target.hpp"
 #include "minic/typecheck.hpp"
@@ -237,6 +243,78 @@ TEST_P(CrossTargetSweep, EveryTargetSoundAndSemanticallyEqual) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CrossTargetSweep,
                          ::testing::Values(111u, 222u, 333u, 444u));
+
+// P8: the SSA-enabled pipeline under the full campaign harness. Per seed,
+// a validated (checker-gated) fleet run with the SSA bracket on, the IPET
+// engine, and the monitor fully armed — once serial and once on 8 workers.
+// The semantic record set must be byte-identical across worker counts
+// (FleetOptions' determinism contract survives the new mid-end), every
+// record must verify its IPET certificate and dominate its own observed
+// cycles, and no monitor violation may surface a refuted static claim.
+class SsaSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SsaSweep, SsaCampaignDeterministicSoundAndMonitorClean) {
+  const std::uint64_t seed = GetParam();
+  std::vector<dataflow::Node> nodes = dataflow::generate_suite(seed, 2);
+  std::vector<minic::Program> programs;
+  programs.reserve(nodes.size());
+  std::vector<driver::FleetUnit> units;
+  for (const auto& node : nodes) {
+    minic::Program program;
+    program.name = node.name();
+    dataflow::generate_node(node, &program);
+    minic::type_check(program);
+    programs.push_back(std::move(program));
+  }
+  for (std::size_t i = 0; i < nodes.size(); ++i)
+    units.push_back({nodes[i].name(), &programs[i],
+                     dataflow::step_function_name(nodes[i])});
+
+  for (const std::string& target : mach::target_names()) {
+    driver::FleetOptions options;
+    options.target = target;
+    options.configs = {driver::Config::Verified, driver::Config::O2Full};
+    options.exec_cycles = 6;
+    options.wcet = true;
+    options.wcet_engine = wcet::WcetEngine::Ipet;
+    options.monitor = machine::MonitorMode::Full;
+    options.ssa = true;
+    options.suite_seed = seed;
+    options.compile_override = [](const minic::Program& program,
+                                  driver::Config config,
+                                  const driver::CompileOptions& copts) {
+      return validate::validated_compile(program, config, /*n_tests=*/4,
+                                         /*seed=*/1,
+                                         driver::ValidateLevel::Rtl, copts);
+    };
+
+    options.jobs = 1;
+    const driver::FleetReport serial = driver::run_fleet(units, options);
+    options.jobs = 8;
+    const driver::FleetReport parallel = driver::run_fleet(units, options);
+
+    ASSERT_EQ(serial.records.size(), parallel.records.size());
+    for (std::size_t i = 0; i < serial.records.size(); ++i) {
+      const driver::FleetRecord& r = serial.records[i];
+      ASSERT_TRUE(r.ok) << "P8: " << r.name << " on " << target << ": "
+                        << r.error;
+      EXPECT_EQ(driver::record_core_json(r).dump(),
+                driver::record_core_json(parallel.records[i]).dump())
+          << "P8 violated (determinism): " << r.name << " on " << target;
+      EXPECT_TRUE(r.wcet_ipet_certified)
+          << "P8 violated (uncertified IPET): " << r.name << " on " << target;
+      EXPECT_LE(r.observed_max_cycles, r.wcet_ipet_cycles)
+          << "P8 violated (ipet unsound): " << r.name << " on " << target;
+      EXPECT_GT(r.monitored_steps, 0u) << r.name << " on " << target;
+      EXPECT_EQ(r.monitor_violations, 0u)
+          << "P8 violated (monitor): " << r.name << " on " << target;
+    }
+    EXPECT_EQ(serial.monitor_violations, 0u) << "on " << target;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SsaSweep,
+                         ::testing::Values(1201u, 1202u, 1203u, 1204u));
 
 }  // namespace
 }  // namespace vc

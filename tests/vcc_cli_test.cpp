@@ -462,5 +462,63 @@ TEST(VccBatchTest, ValidateBypassesTheCache) {
   fs::remove_all(cache);
 }
 
+// ----------------------------------------------------- pass-name strictness
+
+TEST(VccCliTest, CheckPassNamesAcceptsRegisteredSteps) {
+  EXPECT_EQ(check_pass_names({}), std::nullopt);
+  EXPECT_EQ(check_pass_names({"constprop", "cse", "dce"}), std::nullopt);
+  // The SSA bracket steps are selectable like any other optimization step.
+  EXPECT_EQ(check_pass_names({"ssa-build", "ssa-gvn", "ssa-licm",
+                              "ssa-unroll", "ssa-rotate", "ssa-out"}),
+            std::nullopt);
+}
+
+TEST(VccCliTest, CheckPassNamesDiagnosesUnknownNameListingRegistry) {
+  // The classic typo: the diagnostic must name the offender AND list every
+  // registered selectable step so the operator can fix it without digging.
+  const auto diag = check_pass_names({"constprop", "ssa-gnv"});
+  ASSERT_TRUE(diag.has_value());
+  EXPECT_NE(diag->find("unknown pass 'ssa-gnv'"), std::string::npos) << *diag;
+  EXPECT_NE(diag->find("registered steps"), std::string::npos) << *diag;
+  EXPECT_NE(diag->find("ssa-gvn"), std::string::npos) << *diag;
+  EXPECT_NE(diag->find("constprop"), std::string::npos) << *diag;
+}
+
+TEST(VccCliTest, CheckPassNamesRejectsStructuralSteps) {
+  const auto diag = check_pass_names({"regalloc"});
+  ASSERT_TRUE(diag.has_value());
+  EXPECT_NE(diag->find("structural"), std::string::npos) << *diag;
+}
+
+TEST(VccBatchTest, SsaBatchCompilesAndKeysTheCacheSeparately) {
+  const BatchDir dir("ssa");
+  dir.add("loop.mc", "global f64 acc = 0.0;\n"
+                     "func f64 accumulate(f64 x) {\n"
+                     "  local i32 i;\n"
+                     "  i = 0;\n"
+                     "  while (i < 8) { __annot(\"loop <= 8\");\n"
+                     "    acc = acc + x * 2.0; i = i + 1; }\n"
+                     "  return acc;\n"
+                     "}\n");
+  const std::string cache =
+      (fs::temp_directory_path() / "vcc-batch-test-ssa-store").string();
+  fs::remove_all(cache);
+  BatchOptions options;
+  options.cache_dir = cache;
+
+  const BatchResult plain = run_batch(dir.path(), options);
+  EXPECT_EQ(plain.exit_code, 0);
+  // The SSA run must not replay the non-SSA entry: the "+ssa" key salt
+  // forces a cold compile under the bracket.
+  options.ssa = true;
+  const BatchResult ssa_cold = run_batch(dir.path(), options);
+  EXPECT_EQ(ssa_cold.exit_code, 0);
+  EXPECT_EQ(ssa_cold.cache_hits, 0u);
+  const BatchResult ssa_warm = run_batch(dir.path(), options);
+  EXPECT_EQ(ssa_warm.exit_code, 0);
+  EXPECT_EQ(ssa_warm.cache_hits, 1u);
+  fs::remove_all(cache);
+}
+
 }  // namespace
 }  // namespace vc::tools

@@ -1,0 +1,85 @@
+# Binary-level checks for the SSA CLI surface, driven by ctest:
+#   cmake -DVCC=<path to vcc> -DSRC=<path to a .mc program> -P this-file
+#
+# 1. An unknown step name in --passes / --disable-pass must exit 2 at
+#    argument-parse time with a diagnostic that names the offender AND lists
+#    the registered steps — never a mid-compile exception (exit 1).
+# 2. --ssa conflicts with --passes (the explicit list already decides the
+#    pipeline): exit 2.
+# 3. A plain --ssa compile must exit 0, and --ssa --dump-after=ssa-gvn must
+#    actually print phi instructions — the bracket silently not running
+#    would be the worst failure mode.
+
+execute_process(
+  COMMAND ${VCC} --passes=ssa-gnv ${SRC}
+  RESULT_VARIABLE typo_exit
+  ERROR_VARIABLE typo_err)
+if(NOT typo_exit EQUAL 2)
+  message(FATAL_ERROR
+      "vcc --passes=ssa-gnv: expected exit 2 (strict CLI), got ${typo_exit}")
+endif()
+foreach(needle "unknown pass 'ssa-gnv'" "registered steps" "ssa-gvn")
+  string(FIND "${typo_err}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR
+        "vcc unknown-pass diagnostic is missing '${needle}':\n${typo_err}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${VCC} --disable-pass=nosuchpass ${SRC}
+  RESULT_VARIABLE disable_exit
+  ERROR_VARIABLE disable_err)
+if(NOT disable_exit EQUAL 2)
+  message(FATAL_ERROR
+      "vcc --disable-pass=nosuchpass: expected exit 2, got ${disable_exit}")
+endif()
+string(FIND "${disable_err}" "registered steps" disable_pos)
+if(disable_pos EQUAL -1)
+  message(FATAL_ERROR
+      "vcc --disable-pass diagnostic must list the registered steps:\n"
+      "${disable_err}")
+endif()
+
+execute_process(
+  COMMAND ${VCC} --ssa --passes=constprop ${SRC}
+  RESULT_VARIABLE conflict_exit
+  ERROR_VARIABLE conflict_err)
+if(NOT conflict_exit EQUAL 2)
+  message(FATAL_ERROR
+      "vcc --ssa --passes=...: expected exit 2 (conflict), got "
+      "${conflict_exit}")
+endif()
+string(FIND "${conflict_err}" "--ssa conflicts with --passes" conflict_pos)
+if(conflict_pos EQUAL -1)
+  message(FATAL_ERROR
+      "vcc --ssa/--passes conflict diagnostic missing:\n${conflict_err}")
+endif()
+
+execute_process(
+  COMMAND ${VCC} --ssa --config=verified ${SRC}
+  RESULT_VARIABLE ssa_exit
+  ERROR_VARIABLE ssa_err)
+if(NOT ssa_exit EQUAL 0)
+  message(FATAL_ERROR
+      "vcc --ssa compile failed (exit ${ssa_exit}): ${ssa_err}")
+endif()
+
+execute_process(
+  COMMAND ${VCC} --ssa --config=verified --dump-after=ssa-build ${SRC}
+  RESULT_VARIABLE dump_exit
+  OUTPUT_VARIABLE dump_out
+  ERROR_VARIABLE dump_err)
+if(NOT dump_exit EQUAL 0)
+  message(FATAL_ERROR
+      "vcc --ssa --dump-after=ssa-build failed (exit ${dump_exit}): "
+      "${dump_err}")
+endif()
+foreach(needle "after ssa-build" "phi")
+  string(FIND "${dump_out}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR
+        "vcc --ssa --dump-after=ssa-build output is missing '${needle}':\n"
+        "${dump_out}")
+  endif()
+endforeach()
